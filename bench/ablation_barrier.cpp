@@ -1,0 +1,57 @@
+// Ablation: spin barrier vs blocking (condvar) barrier.
+//
+// Algorithm 4 synchronizes with barriers several times per time step; the
+// right implementation depends on whether threads own cores (spin wins)
+// or are oversubscribed (blocking wins). Measures a full round of
+// arrive_and_wait across all threads.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "parallel/barrier.hpp"
+#include "parallel/thread_team.hpp"
+
+namespace {
+
+using namespace lbmib;
+
+template <class BarrierType>
+void barrier_rounds(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kRoundsPerIteration = 16;
+  BarrierType barrier(threads);
+  ThreadTeam team(threads);
+  for (auto _ : state) {
+    team.run([&](int) {
+      for (int r = 0; r < kRoundsPerIteration; ++r) {
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kRoundsPerIteration);
+}
+
+void BM_SpinBarrier(benchmark::State& state) {
+  barrier_rounds<SpinBarrier>(state);
+}
+BENCHMARK(BM_SpinBarrier)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgName("threads")
+    ->Iterations(50)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BlockingBarrier(benchmark::State& state) {
+  barrier_rounds<BlockingBarrier>(state);
+}
+BENCHMARK(BM_BlockingBarrier)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgName("threads")
+    ->Iterations(50)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,40 @@
+// Ablation: kernel 9 (copy_fluid_velocity_distribution) vs the pointer
+// swap alternative.
+//
+// The paper's Table I shows the plain buffer copy costing 5.9% of total
+// time; the paper keeps it for simplicity. FluidGrid::swap_buffers() is
+// the O(1) alternative the "future work" optimizations would use. This
+// bench quantifies the gap.
+#include <benchmark/benchmark.h>
+
+#include "lbm/fluid_grid.hpp"
+#include "lbm/streaming.hpp"
+
+namespace {
+
+using namespace lbmib;
+
+void BM_CopyDistributions(benchmark::State& state) {
+  const Index n = state.range(0);
+  FluidGrid grid(n, n, n);
+  for (auto _ : state) {
+    copy_distributions_range(grid, 0, grid.num_nodes());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(grid.num_nodes()) * 19 * 2 *
+                          static_cast<int64_t>(sizeof(Real)));
+}
+BENCHMARK(BM_CopyDistributions)->Arg(16)->Arg(32)->Arg(48)->ArgName("edge");
+
+void BM_SwapBuffers(benchmark::State& state) {
+  const Index n = state.range(0);
+  FluidGrid grid(n, n, n);
+  for (auto _ : state) {
+    grid.swap_buffers();
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_SwapBuffers)->Arg(16)->Arg(32)->Arg(48)->ArgName("edge");
+
+}  // namespace

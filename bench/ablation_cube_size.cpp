@@ -1,0 +1,46 @@
+// Ablation: how the cube edge length k trades off locality vs overhead.
+//
+// Small cubes fit L1 but pay more cross-cube streaming bookkeeping; large
+// cubes amortize bookkeeping but blow past the per-core cache. One full
+// fluid time step (kernels 5, 6, 7, 9) per iteration, single thread.
+#include <benchmark/benchmark.h>
+
+#include "cube/cube_grid.hpp"
+#include "cube/cube_kernels.hpp"
+
+namespace {
+
+using namespace lbmib;
+
+void BM_CubeTimestep(benchmark::State& state) {
+  const Index k = state.range(0);
+  CubeGrid grid(32, 32, 32, k);
+  for (auto _ : state) {
+    for (Size cube = 0; cube < grid.num_cubes(); ++cube) {
+      cube_collide(grid, 0.8, cube);
+      cube_stream(grid, cube);
+    }
+    for (Size cube = 0; cube < grid.num_cubes(); ++cube) {
+      cube_update_velocity(grid, cube);
+    }
+    for (Size cube = 0; cube < grid.num_cubes(); ++cube) {
+      cube_copy_distributions(grid, cube);
+    }
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(grid.num_nodes()));
+  state.counters["cube_block_KB"] = static_cast<double>(
+      CubeGrid::kSlotsPerCube * grid.nodes_per_cube() * sizeof(Real)) /
+      1024.0;
+}
+BENCHMARK(BM_CubeTimestep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->ArgName("k");
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Ablation: smoothed-delta kernel width (2-, 3-, 4-point Peskin kernels).
+//
+// The 4-point kernel implies the paper's 4x4x4 influential domain (64
+// fluid nodes per fiber node); narrower kernels shrink the domain and the
+// spreading/interpolation cost at some smoothness loss. Measures a
+// spreading-style weighted scatter per kernel choice.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "ib/delta.hpp"
+#include "lbm/fluid_grid.hpp"
+
+namespace {
+
+using namespace lbmib;
+
+/// Spread a unit force from `points` Lagrangian positions with the chosen
+/// kernel's full tensor-product stencil.
+void spread_with(DeltaKernel kernel, FluidGrid& grid, int points) {
+  const int radius = support_radius(kernel);
+  const int width = 2 * radius;
+  for (int p = 0; p < points; ++p) {
+    const Vec3 pos{8.0 + 0.37 * p, 8.0 + 0.21 * p, 8.0 + 0.49 * p};
+    const Index bx = static_cast<Index>(std::floor(pos.x)) - radius + 1;
+    const Index by = static_cast<Index>(std::floor(pos.y)) - radius + 1;
+    const Index bz = static_cast<Index>(std::floor(pos.z)) - radius + 1;
+    for (int a = 0; a < width; ++a) {
+      const Real wa = phi(kernel, static_cast<Real>(bx + a) - pos.x);
+      if (wa == 0.0) continue;
+      for (int b = 0; b < width; ++b) {
+        const Real wb = wa * phi(kernel, static_cast<Real>(by + b) - pos.y);
+        if (wb == 0.0) continue;
+        for (int c = 0; c < width; ++c) {
+          const Real w =
+              wb * phi(kernel, static_cast<Real>(bz + c) - pos.z);
+          if (w == 0.0) continue;
+          grid.fx(grid.periodic_index(bx + a, by + b, bz + c)) += w;
+        }
+      }
+    }
+  }
+}
+
+void BM_DeltaSpread(benchmark::State& state) {
+  const auto kernel = static_cast<DeltaKernel>(state.range(0));
+  FluidGrid grid(32, 32, 32);
+  constexpr int kPoints = 676;  // one 26x26 sheet worth of nodes
+  for (auto _ : state) {
+    spread_with(kernel, grid, kPoints);
+    benchmark::ClobberMemory();
+  }
+  const int w = 2 * support_radius(kernel);
+  state.counters["stencil_nodes"] = w * w * w;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kPoints);
+}
+BENCHMARK(BM_DeltaSpread)
+    ->Arg(static_cast<int>(DeltaKernel::kPhi2))
+    ->Arg(static_cast<int>(DeltaKernel::kPhi3))
+    ->Arg(static_cast<int>(DeltaKernel::kPhi4))
+    ->ArgName("kernel");
+
+void BM_DeltaEvaluation(benchmark::State& state) {
+  const auto kernel = static_cast<DeltaKernel>(state.range(0));
+  Real r = -2.0;
+  Real sink = 0.0;
+  for (auto _ : state) {
+    sink += phi(kernel, r);
+    r += 0.001;
+    if (r > 2.0) r = -2.0;
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_DeltaEvaluation)
+    ->Arg(static_cast<int>(DeltaKernel::kPhi2))
+    ->Arg(static_cast<int>(DeltaKernel::kPhi3))
+    ->Arg(static_cast<int>(DeltaKernel::kPhi4))
+    ->ArgName("kernel");
+
+}  // namespace

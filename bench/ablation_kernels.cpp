@@ -1,0 +1,146 @@
+// Microbenchmarks of the nine LBM-IB computational kernels (planar
+// layout, single thread) — the per-kernel cost structure behind Table I.
+#include <benchmark/benchmark.h>
+
+#include "common/params.hpp"
+#include "ib/fiber_forces.hpp"
+#include "ib/fiber_sheet.hpp"
+#include "ib/interpolation.hpp"
+#include "ib/spreading.hpp"
+#include "lbm/collision.hpp"
+#include "lbm/fluid_grid.hpp"
+#include "lbm/macroscopic.hpp"
+#include "lbm/streaming.hpp"
+
+namespace {
+
+using namespace lbmib;
+
+SimulationParams bench_params() {
+  SimulationParams p;
+  p.nx = 32;
+  p.ny = 32;
+  p.nz = 32;
+  p.num_fibers = 26;
+  p.nodes_per_fiber = 26;
+  p.sheet_width = 10.0;
+  p.sheet_height = 10.0;
+  p.sheet_origin = {12.0, 10.0, 10.0};
+  return p;
+}
+
+void BM_Kernel1_BendingForce(benchmark::State& state) {
+  const SimulationParams p = bench_params();
+  FiberSheet sheet(p);
+  for (auto _ : state) {
+    compute_bending_force(sheet, 0, sheet.num_fibers());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sheet.num_nodes()));
+}
+BENCHMARK(BM_Kernel1_BendingForce);
+
+void BM_Kernel2_StretchingForce(benchmark::State& state) {
+  const SimulationParams p = bench_params();
+  FiberSheet sheet(p);
+  for (auto _ : state) {
+    compute_stretching_force(sheet, 0, sheet.num_fibers());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sheet.num_nodes()));
+}
+BENCHMARK(BM_Kernel2_StretchingForce);
+
+void BM_Kernel3_ElasticForce(benchmark::State& state) {
+  const SimulationParams p = bench_params();
+  FiberSheet sheet(p);
+  for (auto _ : state) {
+    compute_elastic_force(sheet, 0, sheet.num_fibers());
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_Kernel3_ElasticForce);
+
+void BM_Kernel4_SpreadForce(benchmark::State& state) {
+  const SimulationParams p = bench_params();
+  FluidGrid grid(p);
+  FiberSheet sheet(p);
+  compute_all_fiber_forces(sheet);
+  for (auto _ : state) {
+    grid.reset_forces({});
+    spread_force(sheet, grid, 0, sheet.num_fibers());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sheet.num_nodes()) * 64);
+}
+BENCHMARK(BM_Kernel4_SpreadForce);
+
+void BM_Kernel5_Collision(benchmark::State& state) {
+  const SimulationParams p = bench_params();
+  FluidGrid grid(p);
+  for (auto _ : state) {
+    collide_range(grid, p.tau, 0, grid.num_nodes());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(grid.num_nodes()));
+}
+BENCHMARK(BM_Kernel5_Collision);
+
+void BM_Kernel6_Streaming(benchmark::State& state) {
+  const SimulationParams p = bench_params();
+  FluidGrid grid(p);
+  for (auto _ : state) {
+    stream_x_slab(grid, 0, grid.nx());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(grid.num_nodes()));
+}
+BENCHMARK(BM_Kernel6_Streaming);
+
+void BM_Kernel7_UpdateVelocity(benchmark::State& state) {
+  const SimulationParams p = bench_params();
+  FluidGrid grid(p);
+  stream_x_slab(grid, 0, grid.nx());
+  for (auto _ : state) {
+    update_velocity_range(grid, 0, grid.num_nodes());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(grid.num_nodes()));
+}
+BENCHMARK(BM_Kernel7_UpdateVelocity);
+
+void BM_Kernel8_MoveFibers(benchmark::State& state) {
+  const SimulationParams p = bench_params();
+  FluidGrid grid(p);
+  FiberSheet sheet(p);
+  for (auto _ : state) {
+    move_fibers(sheet, grid, 0, sheet.num_fibers());
+    // undo the motion so positions stay in range
+    state.PauseTiming();
+    FiberSheet fresh(p);
+    sheet.positions() = fresh.positions();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_Kernel8_MoveFibers);
+
+void BM_Kernel9_CopyDistribution(benchmark::State& state) {
+  const SimulationParams p = bench_params();
+  FluidGrid grid(p);
+  for (auto _ : state) {
+    copy_distributions_range(grid, 0, grid.num_nodes());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(grid.num_nodes()) * 19 *
+                          static_cast<int64_t>(sizeof(Real)));
+}
+BENCHMARK(BM_Kernel9_CopyDistribution);
+
+}  // namespace

@@ -1,0 +1,75 @@
+// Head-to-head of all five solver implementations on one FSI input —
+// the library's summary benchmark. (Not a paper figure; the paper
+// compares OpenMP vs cube in Figures 5/8. This adds the two future-work
+// solvers to the same axis.)
+//
+// Usage: solver_comparison [steps] [threads] [edge]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <thread>
+
+#include "io/csv_writer.hpp"
+#include "lbmib.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lbmib;
+  const Index steps = argc > 1 ? std::atol(argv[1]) : 8;
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 4;
+  const Index edge = argc > 3 ? std::atol(argv[3]) : 32;
+
+  SimulationParams p;
+  p.nx = edge;
+  p.ny = edge;
+  p.nz = edge;
+  p.boundary = BoundaryType::kChannel;
+  p.body_force = {1e-5, 0.0, 0.0};
+  p.num_fibers = 20;
+  p.nodes_per_fiber = 20;
+  p.sheet_width = 8.0;
+  p.sheet_height = 8.0;
+  p.sheet_origin = {static_cast<Real>(edge) / 2.0,
+                    static_cast<Real>(edge) / 2.0 - 4.0,
+                    static_cast<Real>(edge) / 2.0 - 4.0};
+  p.num_threads = threads;
+  p.cube_size = 4;
+
+  std::cout << "=== Solver comparison: one FSI time step, all five "
+               "implementations ===\n";
+  std::cout << "input: " << p.summary() << ", " << steps
+            << " steps; hardware threads: "
+            << std::thread::hardware_concurrency() << "\n\n";
+
+  CsvWriter csv("solver_comparison.csv",
+                {"solver", "threads", "seconds", "ms_per_step"});
+
+  std::cout << std::setw(14) << "solver" << std::setw(12) << "seconds"
+            << std::setw(14) << "ms/step" << '\n';
+  std::cout << std::string(40, '-') << '\n';
+
+  double seq_seconds = 0.0;
+  for (SolverKind kind :
+       {SolverKind::kSequential, SolverKind::kOpenMP, SolverKind::kCube,
+        SolverKind::kDataflow, SolverKind::kDistributed}) {
+    SimulationParams q = p;
+    if (kind == SolverKind::kSequential) q.num_threads = 1;
+    auto solver = make_solver(kind, q);
+    solver->run(1);  // warm-up
+    WallTimer timer;
+    solver->run(steps);
+    const double seconds = timer.seconds();
+    if (kind == SolverKind::kSequential) seq_seconds = seconds;
+    csv.row(std::string(solver_kind_name(kind)),
+            {static_cast<double>(q.num_threads), seconds,
+             1000.0 * seconds / static_cast<double>(steps)});
+    std::cout << std::setw(14) << solver_kind_name(kind) << std::setw(12)
+              << std::fixed << std::setprecision(3) << seconds
+              << std::setw(14) << std::setprecision(2)
+              << 1000.0 * seconds / static_cast<double>(steps) << '\n';
+  }
+  std::cout << "\n(sequential reference: " << std::setprecision(3)
+            << seq_seconds << " s; all solvers verified to produce "
+            << "matching physics by the test suite)\n"
+            << "Wrote solver_comparison.csv\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces Table I: per-kernel share of sequential execution time.
+//
+// Paper input: 124 x 64 x 64 fluid grid, 52 x 52 fiber nodes, 500 steps
+// (967 s on the paper's 32-core Opteron machine, profiled with gprof).
+// Default here: the same grid shape scaled to half resolution and fewer
+// steps so the bench finishes quickly on any machine; pass `--full` to run
+// the paper's exact input. The *shares* are resolution-insensitive: the
+// four fluid-sweeping kernels (5, 7, 9, 6) must dominate with collision
+// around 70+%.
+//
+// Usage: table1_kernel_profile [--full] [steps]
+#include <cstring>
+#include <iostream>
+
+#include "core/sequential_solver.hpp"
+#include "lbmib.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lbmib;
+
+  bool full = false;
+  Index steps = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else {
+      steps = std::atol(argv[i]);
+    }
+  }
+
+  SimulationParams params = presets::table1_sequential();
+  if (!full) {
+    // Half resolution in every dimension — fluid grid AND sheet — so the
+    // fiber-to-fluid work ratio (and thus the percentage split) matches
+    // the paper's input.
+    params.nx = 64;
+    params.ny = 32;
+    params.nz = 32;
+    params.num_fibers = 26;
+    params.nodes_per_fiber = 26;
+    params.sheet_width = 10.0;
+    params.sheet_height = 10.0;
+    params.sheet_origin = {20.0, 10.5, 10.5};
+  }
+  if (steps == 0) steps = full ? 500 : 30;
+
+  std::cout << "=== Table I reproduction: sequential per-kernel profile ==="
+            << "\ninput: " << params.summary() << ", " << steps
+            << " steps\n\n";
+
+  SequentialSolver solver(params);
+  WallTimer timer;
+  solver.run(steps);
+  const double total = timer.seconds();
+
+  std::cout << solver.profiler().report() << "\n";
+  std::cout << "Wall time: " << total << " s\n";
+  std::cout << "\nPaper reference (Table I, % of total):\n"
+               "  5) compute_fluid_collision            73.2%\n"
+               "  7) update_fluid_velocity              12.6%\n"
+               "  9) copy_fluid_velocity_distribution    5.9%\n"
+               "  6) stream_fluid_velocity_distribution  5.4%\n"
+               "  4) spread_force_from_fibers_to_fluid   1.4%\n"
+               "  8) move_fibers                         0.7%\n"
+               "  1) compute_bending_force_in_fibers     0.03%\n"
+               "  2) compute_stretching_force_in_fibers  0.02%\n"
+               "  3) compute_elastic_force_in_fibers     0.00%\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Reproduces Table II: L1/L2 data-cache miss rates and load imbalance of
+// the OpenMP (planar-layout) implementation as the core count grows —
+// plus the cube-layout contrast that motivates Section V.
+//
+// The paper measured miss rates with PAPI and imbalance with OmpP on real
+// Opterons. Here (DESIGN.md section 5):
+//   * miss rates come from the trace-driven cache simulator replaying each
+//     layout's kernel access pattern through the Opteron 6380's L1/L2
+//     geometry — a property of the access pattern, not the silicon;
+//   * load imbalance is measured from the solvers' per-thread kernel
+//     timings with OmpP's definition (max - avg) / max.
+//
+// Usage: table2_locality [nx ny nz]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "core/openmp_solver.hpp"
+#include "io/csv_writer.hpp"
+#include "lbmib.hpp"
+#include "perfmodel/imbalance.hpp"
+#include "perfmodel/locality.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lbmib;
+  using namespace lbmib::perfmodel;
+
+  // Default: the paper's own Table II input (124 x 64 x 64).
+  const Index nx = argc > 3 ? std::atol(argv[1]) : 124;
+  const Index ny = argc > 3 ? std::atol(argv[2]) : 64;
+  const Index nz = argc > 3 ? std::atol(argv[3]) : 64;
+  const std::vector<int> cores = {1, 2, 4, 8, 16, 32};
+
+  std::cout << "=== Table II reproduction: locality & load imbalance of "
+               "the OpenMP implementation ===\n";
+  std::cout << "grid " << nx << "x" << ny << "x" << nz
+            << "; cache model: Opteron 6380 L1 16KB/4-way, L2 2MB/16-way "
+               "(Table III)\n\n";
+
+  CsvWriter csv("table2_locality.csv",
+                {"cores", "planar_l1_miss", "planar_l2_miss",
+                 "cube_l1_miss", "cube_l2_miss", "load_imbalance"});
+
+  std::cout << std::setw(6) << "cores" << std::setw(14) << "L1 miss"
+            << std::setw(14) << "L2 miss" << std::setw(16)
+            << "L2 miss (cube)" << std::setw(16) << "load imbalance"
+            << '\n';
+  std::cout << std::string(66, '-') << '\n';
+
+  for (int c : cores) {
+    TraceConfig cfg;
+    cfg.nx = nx;
+    cfg.ny = ny;
+    cfg.nz = nz;
+    cfg.cube_size = 4;
+    cfg.num_threads = c;
+    cfg.tid = 0;
+    const LocalityReport planar = analyze_locality(Layout::kPlanar, cfg);
+    const LocalityReport cube = analyze_locality(Layout::kCube, cfg);
+
+    // Load imbalance from a short real run of the OpenMP solver (smaller
+    // grid: imbalance is a partitioning property, not a size one).
+    SimulationParams p;
+    p.nx = 64;
+    p.ny = 32;
+    p.nz = 32;
+    p.num_fibers = 26;
+    p.nodes_per_fiber = 26;
+    p.sheet_width = 10.0;
+    p.sheet_height = 10.0;
+    p.sheet_origin = {32.0, 8.0, 8.0};
+    p.body_force = {1e-5, 0.0, 0.0};
+    p.num_threads = c;
+    OpenMPSolver solver(p);
+    solver.run(3);
+    const double imbalance = total_imbalance(solver.per_thread_profiles());
+
+    csv.row({static_cast<double>(c), planar.l1_miss_rate,
+             planar.l2_miss_rate, cube.l1_miss_rate, cube.l2_miss_rate,
+             imbalance});
+    std::cout << std::setw(6) << c << std::setw(13) << std::fixed
+              << std::setprecision(2) << 100.0 * planar.l1_miss_rate << "%"
+              << std::setw(13) << 100.0 * planar.l2_miss_rate << "%"
+              << std::setw(15) << 100.0 * cube.l2_miss_rate << "%"
+              << std::setw(15) << std::setprecision(1)
+              << 100.0 * imbalance << "%" << '\n';
+  }
+
+  std::cout << "\nPaper reference (Table II): L1 ~1.75% flat; L2 26.1% -> "
+               "27.6%; imbalance 0% -> 13% from 1 to 32 cores.\n"
+               "Notes: modeled rates carry only field traffic (no stack "
+               "loads), so absolute L1/L2 rates run higher than PAPI's; "
+               "the paper's *shape* — planar L2 poor and flat, cube "
+               "better at both levels — is what the model reproduces. "
+               "Imbalance measured on this host is inflated when threads "
+               "exceed hardware cores.\nWrote table2_locality.csv\n";
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces Table III: the description of the 64-core `thog` evaluation
+// machine. This container does not have that hardware, so the numbers come
+// from the NUMA topology model (DESIGN.md section 5) that also drives the
+// cache simulator and the NUMA-aware distribution policies.
+#include <iostream>
+
+#include "parallel/numa_model.hpp"
+
+int main() {
+  using namespace lbmib;
+  std::cout << "=== Table III reproduction: the experimental 64-core "
+               "computer system (modeled) ===\n\n";
+  std::cout << thog_topology().describe();
+  std::cout << "\n(Also modeled: the 32-core profiling machine of "
+               "Sections III-D / IV-B)\n\n";
+  std::cout << abu_dhabi_topology().describe();
+  return 0;
+}

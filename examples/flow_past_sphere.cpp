@@ -1,0 +1,75 @@
+// Flow past a rigid sphere in a channel — the classic bluff-body case,
+// here combined with a flexible sheet in the sphere's wake (an
+// FSI configuration the library's intro scenarios build toward: flexible
+// structures responding to disturbed flow).
+//
+// Usage: flow_past_sphere [num_steps] [num_threads] [output_dir]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "io/csv_writer.hpp"
+#include "io/vtk_writer.hpp"
+#include "lbmib.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lbmib;
+  const Index num_steps = argc > 1 ? std::atol(argv[1]) : 400;
+  const int num_threads = argc > 2 ? std::atoi(argv[2]) : 2;
+  const std::string out_dir = argc > 3 ? argv[3] : ".";
+
+  SimulationParams params;
+  params.nx = 64;
+  params.ny = 24;
+  params.nz = 24;
+  params.tau = 0.7;
+  params.boundary = BoundaryType::kInletOutlet;
+  params.inlet_velocity = {0.05, 0.0, 0.0};
+  params.obstacles.push_back(SphereObstacle{{16.0, 12.0, 12.0}, 4.0});
+
+  // A flexible streamer anchored in the sphere's wake.
+  params.num_fibers = 10;
+  params.nodes_per_fiber = 14;
+  params.sheet_width = 6.0;
+  params.sheet_height = 9.0;
+  params.sheet_origin = {26.0, 9.0, 8.0};
+  params.stretching_coeff = 0.04;
+  params.bending_coeff = 0.003;
+  params.pin_mode = PinMode::kLeadingEdge;
+
+  params.num_threads = num_threads;
+  params.cube_size = 4;
+
+  const Real re = norm(params.inlet_velocity) * 8.0 / params.viscosity();
+  std::cout << "Flow past a sphere (D = 8) with a wake streamer: "
+            << params.summary() << "\nRe_D = " << re << "\n\n";
+
+  Simulation sim(SolverKind::kCube, params);
+  CsvWriter csv(out_dir + "/sphere_wake.csv",
+                {"step", "wake_ux", "free_ux", "streamer_tip_x"});
+
+  sim.on_step(20, [&](Solver& solver, Index step) {
+    FluidGrid snap(params.nx, params.ny, params.nz);
+    solver.snapshot_fluid(snap);
+    const Real wake = snap.ux(snap.index(24, 12, 12));
+    const Real free_lane = snap.ux(snap.index(24, 4, 12));
+    const FiberSheet& sheet = solver.sheet();
+    const Real tip =
+        sheet.position(sheet.num_fibers() / 2, sheet.nodes_per_fiber() - 1)
+            .x;
+    csv.row({static_cast<double>(step + 1), wake, free_lane, tip});
+    if ((step + 1) % 100 == 0) {
+      std::cout << "step " << (step + 1) << ": wake u_x " << wake
+                << " vs free lane " << free_lane << ", streamer tip x "
+                << tip << "\n";
+      write_fluid_vtk(snap, out_dir + "/sphere_fluid_" +
+                                std::to_string(step + 1) + ".vtk");
+      write_sheet_vtk(sheet, out_dir + "/sphere_streamer_" +
+                                 std::to_string(step + 1) + ".vtk");
+    }
+  });
+  sim.run(num_steps);
+  std::cout << "\nWrote sphere_wake.csv and VTK snapshots to " << out_dir
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// The paper's Figure 1 scenario: "a flexible circular plate fastened in
+// the middle region and immersed in a fluid flow". We model the plate as
+// a fiber sheet whose central region is pinned (PinMode::kCenter); the
+// free rim flaps in the oncoming flow.
+//
+// Tracks the rim deflection over time — the oscillation signature of the
+// plate — and writes VTK geometry snapshots.
+//
+// Usage: oscillating_plate [num_steps] [num_threads] [output_dir]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "io/csv_writer.hpp"
+#include "io/vtk_writer.hpp"
+#include "lbmib.hpp"
+
+namespace {
+
+/// Max |x - pin_plane| over the sheet rim: how far the free edge bends.
+lbmib::Real rim_deflection(const lbmib::FiberSheet& sheet,
+                           lbmib::Real pin_x) {
+  using namespace lbmib;
+  Real deflection = 0.0;
+  const Index nf = sheet.num_fibers();
+  const Index nn = sheet.nodes_per_fiber();
+  for (Index f = 0; f < nf; ++f) {
+    for (Index j : {Index{0}, nn - 1}) {
+      deflection = std::max(deflection,
+                            std::abs(sheet.position(f, j).x - pin_x));
+    }
+  }
+  for (Index j = 0; j < nn; ++j) {
+    for (Index f : {Index{0}, nf - 1}) {
+      deflection = std::max(deflection,
+                            std::abs(sheet.position(f, j).x - pin_x));
+    }
+  }
+  return deflection;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lbmib;
+
+  const Index num_steps = argc > 1 ? std::atol(argv[1]) : 300;
+  const int num_threads = argc > 2 ? std::atoi(argv[2]) : 2;
+  const std::string out_dir = argc > 3 ? argv[3] : ".";
+
+  SimulationParams params;
+  params.nx = 48;
+  params.ny = 32;
+  params.nz = 32;
+  params.tau = 0.8;
+  params.boundary = BoundaryType::kChannel;
+  params.body_force = {3e-5, 0.0, 0.0};
+  params.num_fibers = 20;
+  params.nodes_per_fiber = 20;
+  params.sheet_width = 12.0;
+  params.sheet_height = 12.0;
+  params.sheet_origin = {16.0, 10.0, 10.0};
+  params.stretching_coeff = 0.05;
+  params.bending_coeff = 0.005;
+  params.pin_mode = PinMode::kCenter;
+  params.num_threads = num_threads;
+  params.cube_size = 4;
+
+  std::cout << "Oscillating plate (paper Fig. 1): " << params.summary()
+            << "\n";
+
+  Simulation sim(SolverKind::kCube, params);
+  CsvWriter csv(out_dir + "/plate_deflection.csv",
+                {"step", "rim_deflection"});
+
+  sim.on_step(5, [&](Solver& solver, Index step) {
+    const Real d = rim_deflection(solver.sheet(), params.sheet_origin.x);
+    csv.row({static_cast<double>(step + 1), d});
+    if ((step + 1) % 50 == 0) {
+      std::cout << "step " << (step + 1) << ": rim deflection " << d
+                << "\n";
+      write_sheet_vtk(solver.sheet(), out_dir + "/plate_" +
+                                          std::to_string(step + 1) +
+                                          ".vtk");
+    }
+  });
+
+  sim.run(num_steps);
+  std::cout << "\nFinal rim deflection: "
+            << rim_deflection(sim.sheet(), params.sheet_origin.x)
+            << " lattice units\nWrote plate_deflection.csv and VTK "
+               "snapshots to "
+            << out_dir << "\n";
+  return 0;
+}

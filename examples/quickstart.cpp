@@ -1,0 +1,37 @@
+// Quickstart: the smallest complete LBM-IB simulation.
+//
+// A 16^3 periodic fluid box with a small flexible sheet, run with the
+// cube-based parallel solver on 2 threads. Prints bulk diagnostics every
+// few steps and the per-kernel profile at the end (the same shape as the
+// paper's Table I).
+//
+// Usage: quickstart [num_steps] [num_threads]
+#include <cstdlib>
+#include <iostream>
+
+#include "lbmib.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lbmib;
+
+  const Index num_steps = argc > 1 ? std::atol(argv[1]) : 50;
+  const int num_threads = argc > 2 ? std::atoi(argv[2]) : 2;
+
+  SimulationParams params = presets::tiny();
+  params.initial_velocity = {0.02, 0.0, 0.0};
+  params.num_threads = num_threads;
+
+  std::cout << "LBM-IB quickstart: " << params.summary() << "\n\n";
+
+  Simulation sim(SolverKind::kCube, params);
+  sim.on_step(10, [](Solver& solver, Index step) {
+    const Vec3 centroid = solver.sheet().centroid();
+    std::cout << "step " << (step + 1) << ": sheet centroid " << centroid
+              << "\n";
+  });
+  sim.run(num_steps);
+
+  std::cout << "\nPer-kernel profile (Table I format):\n"
+            << sim.profile_report();
+  return 0;
+}

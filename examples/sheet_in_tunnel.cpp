@@ -1,0 +1,71 @@
+// The paper's Figure 7 scenario: "a moving elastic sheet in a fluid" —
+// a flexible sheet immersed in a body-force-driven flow through a 3-D
+// tunnel (bounce-back walls on the y/z sides, periodic along x).
+//
+// Writes the fluid field and the sheet geometry as legacy-VTK snapshots
+// (viewable in ParaView) plus a CSV time series of bulk quantities.
+//
+// Usage: sheet_in_tunnel [num_steps] [num_threads] [output_dir]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "io/csv_writer.hpp"
+#include "io/vtk_writer.hpp"
+#include "lbmib.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lbmib;
+
+  const Index num_steps = argc > 1 ? std::atol(argv[1]) : 200;
+  const int num_threads = argc > 2 ? std::atoi(argv[2]) : 2;
+  const std::string out_dir = argc > 3 ? argv[3] : ".";
+
+  SimulationParams params;
+  params.nx = 48;
+  params.ny = 24;
+  params.nz = 24;
+  params.tau = 0.8;
+  params.boundary = BoundaryType::kChannel;
+  params.body_force = {2e-5, 0.0, 0.0};
+  params.num_fibers = 16;
+  params.nodes_per_fiber = 16;
+  params.sheet_width = 10.0;
+  params.sheet_height = 10.0;
+  params.sheet_origin = {12.0, 7.0, 7.0};
+  params.stretching_coeff = 0.03;
+  params.bending_coeff = 0.002;
+  params.pin_mode = PinMode::kLeadingEdge;
+  params.num_threads = num_threads;
+  params.cube_size = 4;
+
+  std::cout << "Sheet-in-tunnel (paper Fig. 7): " << params.summary()
+            << "\n";
+
+  Simulation sim(SolverKind::kCube, params);
+  CsvWriter csv(out_dir + "/sheet_in_tunnel_series.csv",
+                {"step", "centroid_x", "centroid_y", "centroid_z",
+                 "fluid_momentum_x"});
+
+  const Index snapshot_every = std::max<Index>(1, num_steps / 4);
+  sim.on_step(snapshot_every, [&](Solver& solver, Index step) {
+    const Vec3 c = solver.sheet().centroid();
+    FluidGrid snap(solver.params().nx, solver.params().ny,
+                   solver.params().nz);
+    solver.snapshot_fluid(snap);
+    const Vec3 p = snap.total_momentum();
+    csv.row({static_cast<double>(step + 1), c.x, c.y, c.z, p.x});
+    const std::string tag = std::to_string(step + 1);
+    write_fluid_vtk(snap, out_dir + "/tunnel_fluid_" + tag + ".vtk");
+    write_sheet_vtk(solver.sheet(),
+                    out_dir + "/tunnel_sheet_" + tag + ".vtk");
+    std::cout << "step " << (step + 1) << ": centroid " << c
+              << ", fluid momentum x = " << p.x << "\n";
+  });
+
+  sim.run(num_steps);
+  std::cout << "\nWrote VTK snapshots and sheet_in_tunnel_series.csv to "
+            << out_dir << "\n";
+  std::cout << "\n" << sim.profile_report();
+  return 0;
+}

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure reproduction and every ablation
+# study, collecting console output and CSV series under results/.
+#
+# Usage: scripts/run_all_experiments.sh [build-dir] [results-dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+RESULTS="${2:-results}"
+
+if [[ ! -d "$BUILD/bench" ]]; then
+  echo "error: '$BUILD' does not look like a configured build directory" >&2
+  echo "       (run: cmake -B $BUILD -G Ninja && cmake --build $BUILD)" >&2
+  exit 1
+fi
+
+mkdir -p "$RESULTS"
+cd "$RESULTS"
+
+run() {
+  local name="$1"
+  shift
+  echo "=== $name ==="
+  "../$BUILD/bench/$name" "$@" | tee "$name.txt"
+  echo
+}
+
+# Paper reproductions (DESIGN.md section 4 / EXPERIMENTS.md).
+run table1_kernel_profile
+run table2_locality
+run table3_machine
+run table4_numa_distance
+run fig2_d3q19_model
+run fig34_inputs
+run fig5_openmp_scaling
+run fig6_cube_mapping
+run fig8_weak_scaling
+run solver_comparison
+
+# Ablation studies.
+run ablation_numa_layout
+run ablation_distributed
+for g in ablation_kernels ablation_cube_size ablation_copy_vs_swap \
+         ablation_barrier ablation_delta ablation_distribution \
+         ablation_scheduling ablation_overlap; do
+  echo "=== $g ==="
+  "../$BUILD/bench/$g" --benchmark_min_time=0.05 | tee "$g.txt"
+  echo
+done
+
+# The two paper-figure simulation scenarios (VTK + CSV output).
+echo "=== examples (Figures 1 & 7) ==="
+"../$BUILD/examples/oscillating_plate" 300 4 . | tail -3
+"../$BUILD/examples/sheet_in_tunnel" 200 4 . | tail -3
+"../$BUILD/examples/lid_driven_cavity" 2000 4 32 . | tail -3
+
+echo
+echo "All outputs written to $(pwd)"

@@ -1,0 +1,300 @@
+#include "common/config_file.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lbmib {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+[[noreturn]] void fail(const std::string& origin, int line,
+                       const std::string& message) {
+  throw Error(origin + ":" + std::to_string(line) + ": " + message);
+}
+
+Real parse_real(const std::string& origin, int line,
+                const std::string& value) {
+  std::istringstream is(value);
+  Real v;
+  if (!(is >> v)) fail(origin, line, "expected a number, got '" + value + "'");
+  std::string rest;
+  if (is >> rest) fail(origin, line, "trailing characters in '" + value + "'");
+  return v;
+}
+
+Index parse_index(const std::string& origin, int line,
+                  const std::string& value) {
+  std::istringstream is(value);
+  Index v;
+  if (!(is >> v)) {
+    fail(origin, line, "expected an integer, got '" + value + "'");
+  }
+  std::string rest;
+  if (is >> rest) fail(origin, line, "trailing characters in '" + value + "'");
+  return v;
+}
+
+Vec3 parse_vec3(const std::string& origin, int line,
+                const std::string& value) {
+  std::istringstream is(value);
+  Vec3 v;
+  if (!(is >> v.x >> v.y >> v.z)) {
+    fail(origin, line, "expected three numbers, got '" + value + "'");
+  }
+  std::string rest;
+  if (is >> rest) fail(origin, line, "trailing characters in '" + value + "'");
+  return v;
+}
+
+BoundaryType parse_boundary(const std::string& origin, int line,
+                            const std::string& value) {
+  if (value == "periodic") return BoundaryType::kPeriodic;
+  if (value == "channel") return BoundaryType::kChannel;
+  if (value == "inlet_outlet") return BoundaryType::kInletOutlet;
+  if (value == "cavity") return BoundaryType::kCavity;
+  fail(origin, line,
+       "boundary must be 'periodic', 'channel', 'inlet_outlet' or "
+       "'cavity'");
+}
+
+PinMode parse_pin_mode(const std::string& origin, int line,
+                       const std::string& value) {
+  if (value == "none") return PinMode::kNone;
+  if (value == "leading_edge") return PinMode::kLeadingEdge;
+  if (value == "center") return PinMode::kCenter;
+  fail(origin, line, "pin_mode must be 'none', 'leading_edge' or 'center'");
+}
+
+const char* boundary_name(BoundaryType b) {
+  switch (b) {
+    case BoundaryType::kPeriodic:
+      return "periodic";
+    case BoundaryType::kChannel:
+      return "channel";
+    case BoundaryType::kInletOutlet:
+      return "inlet_outlet";
+    case BoundaryType::kCavity:
+      return "cavity";
+  }
+  return "periodic";
+}
+
+const char* pin_mode_name(PinMode m) {
+  switch (m) {
+    case PinMode::kNone:
+      return "none";
+    case PinMode::kLeadingEdge:
+      return "leading_edge";
+    case PinMode::kCenter:
+      return "center";
+  }
+  return "none";
+}
+
+}  // namespace
+
+SimulationParams parse_params(std::istream& in, const std::string& origin) {
+  SimulationParams params;
+  SheetSpec* sheet = nullptr;        // non-null inside a [sheet] section
+  SphereObstacle* obstacle = nullptr;  // non-null inside an [obstacle]
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string text = trim(raw);
+    if (text.empty()) continue;
+
+    if (text == "[sheet]") {
+      params.extra_sheets.emplace_back();
+      sheet = &params.extra_sheets.back();
+      obstacle = nullptr;
+      continue;
+    }
+    if (text == "[obstacle]") {
+      params.obstacles.emplace_back();
+      obstacle = &params.obstacles.back();
+      sheet = nullptr;
+      continue;
+    }
+    if (text.front() == '[') fail(origin, line, "unknown section " + text);
+
+    const auto eq = text.find('=');
+    if (eq == std::string::npos) {
+      fail(origin, line, "expected 'key = value', got '" + text + "'");
+    }
+    const std::string key = trim(text.substr(0, eq));
+    const std::string value = trim(text.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      fail(origin, line, "empty key or value");
+    }
+
+    if (obstacle != nullptr) {
+      if (key == "center") {
+        obstacle->center = parse_vec3(origin, line, value);
+      } else if (key == "radius") {
+        obstacle->radius = parse_real(origin, line, value);
+      } else {
+        fail(origin, line, "unknown obstacle key '" + key + "'");
+      }
+      continue;
+    }
+
+    if (sheet != nullptr) {
+      if (key == "num_fibers") {
+        sheet->num_fibers = parse_index(origin, line, value);
+      } else if (key == "nodes_per_fiber") {
+        sheet->nodes_per_fiber = parse_index(origin, line, value);
+      } else if (key == "width") {
+        sheet->width = parse_real(origin, line, value);
+      } else if (key == "height") {
+        sheet->height = parse_real(origin, line, value);
+      } else if (key == "origin") {
+        sheet->origin = parse_vec3(origin, line, value);
+      } else if (key == "stretching_coeff") {
+        sheet->stretching_coeff = parse_real(origin, line, value);
+      } else if (key == "bending_coeff") {
+        sheet->bending_coeff = parse_real(origin, line, value);
+      } else if (key == "tether_coeff") {
+        sheet->tether_coeff = parse_real(origin, line, value);
+      } else if (key == "pin_mode") {
+        sheet->pin_mode = parse_pin_mode(origin, line, value);
+      } else {
+        fail(origin, line, "unknown sheet key '" + key + "'");
+      }
+      continue;
+    }
+
+    if (key == "nx") {
+      params.nx = parse_index(origin, line, value);
+    } else if (key == "ny") {
+      params.ny = parse_index(origin, line, value);
+    } else if (key == "nz") {
+      params.nz = parse_index(origin, line, value);
+    } else if (key == "tau") {
+      params.tau = parse_real(origin, line, value);
+    } else if (key == "rho0") {
+      params.rho0 = parse_real(origin, line, value);
+    } else if (key == "body_force") {
+      params.body_force = parse_vec3(origin, line, value);
+    } else if (key == "initial_velocity") {
+      params.initial_velocity = parse_vec3(origin, line, value);
+    } else if (key == "inlet_velocity") {
+      params.inlet_velocity = parse_vec3(origin, line, value);
+    } else if (key == "lid_velocity") {
+      params.lid_velocity = parse_vec3(origin, line, value);
+    } else if (key == "boundary") {
+      params.boundary = parse_boundary(origin, line, value);
+    } else if (key == "collision") {
+      if (value == "bgk") {
+        params.collision = CollisionModel::kBGK;
+      } else if (value == "mrt") {
+        params.collision = CollisionModel::kMRT;
+      } else {
+        fail(origin, line, "collision must be 'bgk' or 'mrt'");
+      }
+    } else if (key == "num_fibers") {
+      params.num_fibers = parse_index(origin, line, value);
+    } else if (key == "nodes_per_fiber") {
+      params.nodes_per_fiber = parse_index(origin, line, value);
+    } else if (key == "sheet_width") {
+      params.sheet_width = parse_real(origin, line, value);
+    } else if (key == "sheet_height") {
+      params.sheet_height = parse_real(origin, line, value);
+    } else if (key == "sheet_origin") {
+      params.sheet_origin = parse_vec3(origin, line, value);
+    } else if (key == "stretching_coeff") {
+      params.stretching_coeff = parse_real(origin, line, value);
+    } else if (key == "bending_coeff") {
+      params.bending_coeff = parse_real(origin, line, value);
+    } else if (key == "tether_coeff") {
+      params.tether_coeff = parse_real(origin, line, value);
+    } else if (key == "pin_mode") {
+      params.pin_mode = parse_pin_mode(origin, line, value);
+    } else if (key == "num_threads") {
+      params.num_threads =
+          static_cast<int>(parse_index(origin, line, value));
+    } else if (key == "cube_size") {
+      params.cube_size = parse_index(origin, line, value);
+    } else {
+      fail(origin, line, "unknown key '" + key + "'");
+    }
+  }
+  params.validate();
+  return params;
+}
+
+SimulationParams load_params_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open config file '" + path + "'");
+  return parse_params(in, path);
+}
+
+void save_params_file(const SimulationParams& params,
+                      const std::string& path) {
+  std::ofstream out(path);
+  require(out.good(), "cannot open '" + path + "' for writing");
+  out.precision(17);
+  out << "# LBM-IB simulation parameters\n";
+  out << "nx = " << params.nx << "\nny = " << params.ny
+      << "\nnz = " << params.nz << "\n";
+  out << "tau = " << params.tau << "\nrho0 = " << params.rho0 << "\n";
+  out << "body_force = " << params.body_force.x << ' '
+      << params.body_force.y << ' ' << params.body_force.z << "\n";
+  out << "initial_velocity = " << params.initial_velocity.x << ' '
+      << params.initial_velocity.y << ' ' << params.initial_velocity.z
+      << "\n";
+  out << "boundary = " << boundary_name(params.boundary) << "\n";
+  out << "collision = "
+      << (params.collision == CollisionModel::kMRT ? "mrt" : "bgk")
+      << "\n";
+  out << "inlet_velocity = " << params.inlet_velocity.x << ' '
+      << params.inlet_velocity.y << ' ' << params.inlet_velocity.z
+      << "\n";
+  out << "lid_velocity = " << params.lid_velocity.x << ' '
+      << params.lid_velocity.y << ' ' << params.lid_velocity.z << "\n";
+  out << "num_fibers = " << params.num_fibers << "\n";
+  out << "nodes_per_fiber = " << params.nodes_per_fiber << "\n";
+  out << "sheet_width = " << params.sheet_width << "\n";
+  out << "sheet_height = " << params.sheet_height << "\n";
+  out << "sheet_origin = " << params.sheet_origin.x << ' '
+      << params.sheet_origin.y << ' ' << params.sheet_origin.z << "\n";
+  out << "stretching_coeff = " << params.stretching_coeff << "\n";
+  out << "bending_coeff = " << params.bending_coeff << "\n";
+  out << "tether_coeff = " << params.tether_coeff << "\n";
+  out << "pin_mode = " << pin_mode_name(params.pin_mode) << "\n";
+  out << "num_threads = " << params.num_threads << "\n";
+  out << "cube_size = " << params.cube_size << "\n";
+  for (const SphereObstacle& o : params.obstacles) {
+    out << "\n[obstacle]\n";
+    out << "center = " << o.center.x << ' ' << o.center.y << ' '
+        << o.center.z << "\n";
+    out << "radius = " << o.radius << "\n";
+  }
+  for (const SheetSpec& s : params.extra_sheets) {
+    out << "\n[sheet]\n";
+    out << "num_fibers = " << s.num_fibers << "\n";
+    out << "nodes_per_fiber = " << s.nodes_per_fiber << "\n";
+    out << "width = " << s.width << "\n";
+    out << "height = " << s.height << "\n";
+    out << "origin = " << s.origin.x << ' ' << s.origin.y << ' '
+        << s.origin.z << "\n";
+    out << "stretching_coeff = " << s.stretching_coeff << "\n";
+    out << "bending_coeff = " << s.bending_coeff << "\n";
+    out << "tether_coeff = " << s.tether_coeff << "\n";
+    out << "pin_mode = " << pin_mode_name(s.pin_mode) << "\n";
+  }
+  require(out.good(), "error while writing '" + path + "'");
+}
+
+}  // namespace lbmib

@@ -1,0 +1,39 @@
+// Plain-text configuration files for SimulationParams.
+//
+// Format: one `key = value` per line; `#` starts a comment; blank lines
+// ignored. Vector values are three whitespace-separated numbers. A line
+// `[sheet]` opens an additional sheet section whose keys fill a SheetSpec
+// appended to extra_sheets. Unknown keys are errors (catching typos beats
+// silently ignoring them).
+//
+// Example:
+//   # tunnel flow
+//   nx = 48            ny = is-not-valid-here; one key per line
+//   boundary = channel
+//   body_force = 2e-5 0 0
+//   pin_mode = leading_edge
+//   [sheet]
+//   num_fibers = 12
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/params.hpp"
+
+namespace lbmib {
+
+/// Parse a configuration file. Throws lbmib::Error with the offending
+/// line number on any syntax or value problem.
+SimulationParams load_params_file(const std::string& path);
+
+/// Parse configuration text from a stream (used by tests).
+SimulationParams parse_params(std::istream& in,
+                              const std::string& origin = "<stream>");
+
+/// Write `params` in the same format; load_params_file() round-trips it.
+void save_params_file(const SimulationParams& params,
+                      const std::string& path);
+
+}  // namespace lbmib

@@ -1,0 +1,22 @@
+// Error handling helpers: library exception type and checked preconditions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lbmib {
+
+/// Exception thrown for all recoverable LBM-IB errors (bad parameters,
+/// malformed files, inconsistent configuration).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throw `Error` with `message` unless `condition` holds. Used to validate
+/// user-facing API preconditions; internal invariants use assert().
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw Error(message);
+}
+
+}  // namespace lbmib

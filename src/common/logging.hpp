@@ -1,0 +1,50 @@
+// Minimal leveled logger writing to stderr.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lbmib {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (thread-safe).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <class... Args>
+std::string concat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <class... Args>
+void log_debug(const Args&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, detail::concat(args...));
+}
+
+template <class... Args>
+void log_info(const Args&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, detail::concat(args...));
+}
+
+template <class... Args>
+void log_warn(const Args&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, detail::concat(args...));
+}
+
+template <class... Args>
+void log_error(const Args&... args) {
+  log_message(LogLevel::kError, detail::concat(args...));
+}
+
+}  // namespace lbmib

@@ -1,0 +1,140 @@
+#include "common/params.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lbmib {
+
+void SimulationParams::validate() const {
+  require(nx > 0 && ny > 0 && nz > 0, "fluid grid dimensions must be > 0");
+  require(tau > Real{0.5},
+          "BGK relaxation time tau must exceed 0.5 for stability");
+  require(rho0 > Real{0}, "reference density must be positive");
+  require(num_fibers >= 0 && nodes_per_fiber >= 0,
+          "fiber sheet dimensions must be non-negative");
+  if (num_fibers > 0) {
+    require(nodes_per_fiber > 0,
+            "a sheet with fibers needs at least one node per fiber");
+  }
+  require(stretching_coeff >= Real{0} && bending_coeff >= Real{0} &&
+              tether_coeff >= Real{0},
+          "elastic coefficients must be non-negative");
+  require(num_threads >= 1, "num_threads must be at least 1");
+  if (boundary == BoundaryType::kCavity) {
+    require(lid_velocity.z == Real{0},
+            "the cavity lid velocity must be tangential (z component 0)");
+    require(norm(lid_velocity) < Real{0.3},
+            "lid velocity too large for the lattice (|u| < 0.3)");
+    require(nx >= 3 && ny >= 3 && nz >= 3,
+            "cavity needs at least one interior fluid layer per axis");
+  }
+  if (boundary == BoundaryType::kInletOutlet) {
+    require(nx >= 3, "inlet/outlet channel needs at least 3 x-layers");
+    // Lattice Mach number must stay well below 1 for the equilibrium
+    // inlet to be meaningful.
+    require(norm(inlet_velocity) < Real{0.3},
+            "inlet velocity too large for the lattice (|u| < 0.3)");
+  }
+  require(cube_size >= 1, "cube_size must be at least 1");
+  require(nx % cube_size == 0 && ny % cube_size == 0 && nz % cube_size == 0,
+          "every grid dimension must be divisible by cube_size");
+  for (const SphereObstacle& o : obstacles) {
+    require(o.radius > Real{0}, "obstacle radius must be positive");
+    require(o.center.x >= 0 && o.center.x < static_cast<Real>(nx) &&
+                o.center.y >= 0 && o.center.y < static_cast<Real>(ny) &&
+                o.center.z >= 0 && o.center.z < static_cast<Real>(nz),
+            "obstacle center must lie inside the fluid domain");
+  }
+  for (const SheetSpec& s : extra_sheets) {
+    require(s.num_fibers > 0 && s.nodes_per_fiber > 0,
+            "extra sheets must be non-empty");
+    require(s.stretching_coeff >= Real{0} && s.bending_coeff >= Real{0},
+            "extra sheet elastic coefficients must be non-negative");
+  }
+  // The 4x4x4 influential domain of the Peskin delta must fit: each sheet
+  // node reaches 2 lattice nodes in every direction.
+  if (fiber_nodes() > 0) {
+    require(nx >= 4 && ny >= 4 && nz >= 4,
+            "grid too small for the 4-point delta influential domain");
+  }
+}
+
+std::vector<SheetSpec> SimulationParams::sheet_specs() const {
+  std::vector<SheetSpec> specs;
+  if (num_fibers > 0) {
+    specs.push_back(SheetSpec{num_fibers, nodes_per_fiber, sheet_width,
+                              sheet_height, sheet_origin, stretching_coeff,
+                              bending_coeff, tether_coeff, pin_mode});
+  }
+  specs.insert(specs.end(), extra_sheets.begin(), extra_sheets.end());
+  return specs;
+}
+
+std::string SimulationParams::summary() const {
+  std::ostringstream os;
+  os << "fluid " << nx << "x" << ny << "x" << nz << ", tau=" << tau
+     << ", sheet " << num_fibers << "x" << nodes_per_fiber << " nodes"
+     << ", ks=" << stretching_coeff << ", kb=" << bending_coeff
+     << ", threads=" << num_threads << ", cube=" << cube_size;
+  return os.str();
+}
+
+namespace presets {
+
+SimulationParams table1_sequential() {
+  SimulationParams p;
+  p.nx = 124;
+  p.ny = 64;
+  p.nz = 64;
+  p.tau = 0.8;
+  p.num_fibers = 52;
+  p.nodes_per_fiber = 52;
+  p.sheet_width = 20.0;
+  p.sheet_height = 20.0;
+  p.sheet_origin = {40.0, 21.5, 21.5};
+  p.stretching_coeff = 0.02;
+  p.bending_coeff = 0.002;
+  p.boundary = BoundaryType::kChannel;
+  p.body_force = {1e-5, 0.0, 0.0};
+  return p;
+}
+
+SimulationParams fig8_weak_scaling_base() {
+  SimulationParams p;
+  p.nx = 128;
+  p.ny = 128;
+  p.nz = 128;
+  p.tau = 0.8;
+  p.num_fibers = 104;
+  p.nodes_per_fiber = 104;
+  p.sheet_width = 40.0;
+  p.sheet_height = 40.0;
+  p.sheet_origin = {30.0, 43.5, 43.5};
+  p.stretching_coeff = 0.02;
+  p.bending_coeff = 0.002;
+  p.boundary = BoundaryType::kChannel;
+  p.body_force = {1e-5, 0.0, 0.0};
+  return p;
+}
+
+SimulationParams tiny() {
+  SimulationParams p;
+  p.nx = 16;
+  p.ny = 16;
+  p.nz = 16;
+  p.tau = 0.8;
+  p.num_fibers = 6;
+  p.nodes_per_fiber = 6;
+  p.sheet_width = 4.0;
+  p.sheet_height = 4.0;
+  p.sheet_origin = {6.0, 6.0, 6.0};
+  p.stretching_coeff = 0.02;
+  p.bending_coeff = 0.002;
+  p.cube_size = 4;
+  return p;
+}
+
+}  // namespace presets
+
+}  // namespace lbmib

@@ -1,0 +1,80 @@
+#include "common/profiler.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <numeric>
+#include <sstream>
+
+namespace lbmib {
+
+std::string_view kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kBendingForce:
+      return "compute_bending_force_in_fibers";
+    case Kernel::kStretchingForce:
+      return "compute_stretching_force_in_fibers";
+    case Kernel::kElasticForce:
+      return "compute_elastic_force_in_fibers";
+    case Kernel::kSpreadForce:
+      return "spread_force_from_fibers_to_fluid";
+    case Kernel::kCollision:
+      return "compute_fluid_collision";
+    case Kernel::kStreaming:
+      return "stream_fluid_velocity_distribution";
+    case Kernel::kUpdateVelocity:
+      return "update_fluid_velocity";
+    case Kernel::kMoveFibers:
+      return "move_fibers";
+    case Kernel::kCopyDistribution:
+      return "copy_fluid_velocity_distribution";
+  }
+  return "unknown_kernel";
+}
+
+int kernel_paper_index(Kernel k) { return static_cast<int>(k) + 1; }
+
+double KernelProfiler::total_seconds() const {
+  return std::accumulate(seconds_.begin(), seconds_.end(), 0.0);
+}
+
+KernelProfiler& KernelProfiler::operator+=(const KernelProfiler& other) {
+  for (int i = 0; i < kNumKernels; ++i) seconds_[i] += other.seconds_[i];
+  return *this;
+}
+
+std::vector<KernelProfiler::Row> KernelProfiler::ranked_rows() const {
+  const double total = total_seconds();
+  std::vector<Row> rows;
+  rows.reserve(kNumKernels);
+  for (int i = 0; i < kNumKernels; ++i) {
+    const auto k = static_cast<Kernel>(i);
+    rows.push_back(Row{k, kernel_paper_index(k), std::string(kernel_name(k)),
+                       seconds_[i],
+                       total > 0.0 ? 100.0 * seconds_[i] / total : 0.0});
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) {
+                     return a.seconds > b.seconds;
+                   });
+  return rows;
+}
+
+std::string KernelProfiler::report() const {
+  std::ostringstream os;
+  os << std::left << std::setw(8) << "Kernel" << std::setw(38) << "Name"
+     << std::right << std::setw(12) << "Seconds" << std::setw(10) << "% Time"
+     << '\n';
+  os << std::string(68, '-') << '\n';
+  for (const Row& r : ranked_rows()) {
+    os << std::left << std::setw(8) << (std::to_string(r.paper_index) + ")")
+       << std::setw(38) << r.name << std::right << std::setw(12)
+       << std::fixed << std::setprecision(3) << r.seconds << std::setw(9)
+       << std::setprecision(2) << r.percent_of_total << "%\n";
+  }
+  os << std::string(68, '-') << '\n';
+  os << "Total: " << std::fixed << std::setprecision(3) << total_seconds()
+     << " s\n";
+  return os.str();
+}
+
+}  // namespace lbmib

@@ -1,0 +1,26 @@
+// Monotonic wall-clock timers.
+#pragma once
+
+#include <chrono>
+
+namespace lbmib {
+
+/// Simple wall-clock stopwatch based on steady_clock.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lbmib

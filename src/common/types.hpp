@@ -1,0 +1,22 @@
+// Fundamental scalar and index types used throughout the LBM-IB library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lbmib {
+
+/// Floating-point type for all physical quantities (lattice units).
+using Real = double;
+
+/// Signed index type for grid coordinates. Signed so that stencil offsets
+/// (x + dx with dx in {-1,0,1}) never mix signedness in comparisons.
+using Index = std::int64_t;
+
+/// Unsigned size type for array extents.
+using Size = std::size_t;
+
+/// Number of discrete velocities in the D3Q19 lattice model.
+inline constexpr int kQ = 19;
+
+}  // namespace lbmib

@@ -1,0 +1,42 @@
+#include "core/autotune.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/cube_solver.hpp"
+
+namespace lbmib {
+
+TuneResult tune_cube_size(const SimulationParams& base,
+                          const std::vector<Index>& candidates,
+                          Index trial_steps) {
+  require(trial_steps >= 1, "need at least one trial step");
+  TuneResult result;
+  double best_seconds = std::numeric_limits<double>::infinity();
+
+  for (Index k : candidates) {
+    if (k < 1 || base.nx % k != 0 || base.ny % k != 0 ||
+        base.nz % k != 0) {
+      continue;
+    }
+    SimulationParams params = base;
+    params.cube_size = k;
+    CubeSolver solver(params);
+    solver.run(1);  // warm-up: first touch, page faults
+    WallTimer timer;
+    solver.run(trial_steps);
+    const double per_step =
+        timer.seconds() / static_cast<double>(trial_steps);
+    result.timings.push_back(CubeSizeTiming{k, per_step});
+    if (per_step < best_seconds) {
+      best_seconds = per_step;
+      result.best_cube_size = k;
+    }
+  }
+  require(!result.timings.empty(),
+          "no candidate cube size divides the grid dimensions");
+  return result;
+}
+
+}  // namespace lbmib

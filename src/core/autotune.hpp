@@ -1,0 +1,41 @@
+// Cube-size auto-tuning.
+//
+// The paper's conclusion lists "performing auto-tuning and code
+// optimizations on individual computational kernels" as future work, and
+// cites Williams et al.'s auto-tuned LBM kernels as complementary. The
+// dominant tunable of the cube-centric algorithm is the cube edge k: it
+// sets the block working-set size (k^3 * 45 * 8 bytes vs the caches) and
+// the face-to-volume overhead of cross-cube streaming; the best value is
+// machine-dependent (see bench/ablation_cube_size.cpp).
+//
+// tune_cube_size() empirically times a few candidate values on a trial
+// problem and returns the fastest, the way production LBM codes pick
+// their blocking at install time.
+#pragma once
+
+#include <vector>
+
+#include "common/params.hpp"
+
+namespace lbmib {
+
+struct CubeSizeTiming {
+  Index cube_size;
+  double seconds_per_step;
+};
+
+struct TuneResult {
+  Index best_cube_size = 0;
+  std::vector<CubeSizeTiming> timings;  ///< every candidate tried
+};
+
+/// Time `trial_steps` cube-solver steps of `base` (its cube_size field is
+/// ignored) for every candidate edge length that divides all three grid
+/// dimensions, and return the fastest. Throws lbmib::Error if no
+/// candidate divides the grid.
+TuneResult tune_cube_size(const SimulationParams& base,
+                          const std::vector<Index>& candidates = {2, 4, 8,
+                                                                  16},
+                          Index trial_steps = 3);
+
+}  // namespace lbmib

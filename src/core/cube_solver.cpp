@@ -1,0 +1,228 @@
+#include "core/cube_solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.hpp"
+#include "cube/cube_kernels.hpp"
+#include "ib/fiber_forces.hpp"
+#include "lbm/boundary.hpp"
+#include "parallel/thread_team.hpp"
+
+namespace lbmib {
+
+namespace {
+
+std::unique_ptr<Barrier> make_barrier(BarrierKind kind, int threads) {
+  if (kind == BarrierKind::kSpin)
+    return std::make_unique<SpinBarrier>(threads);
+  return std::make_unique<BlockingBarrier>(threads);
+}
+
+}  // namespace
+
+CubeSolver::CubeSolver(const SimulationParams& params,
+                       DistributionPolicy policy, BarrierKind barrier_kind)
+    : Solver(params),
+      grid_(params),
+      mesh_(fitted_mesh(params.num_threads, grid_.cubes_x(),
+                        grid_.cubes_y(), grid_.cubes_z())),
+      dist_(grid_.cubes_x(), grid_.cubes_y(), grid_.cubes_z(), mesh_,
+            policy),
+      barrier_(make_barrier(barrier_kind, params.num_threads)),
+      locks_(static_cast<Size>(params.num_threads)),
+      owned_cubes_(static_cast<Size>(params.num_threads)),
+      owned_fibers_(static_cast<Size>(params.num_threads)),
+      thread_profiles_(static_cast<Size>(params.num_threads)) {
+  finish_construction(policy);
+}
+
+CubeSolver::CubeSolver(const SimulationParams& params,
+                       const MachineTopology& topology,
+                       DistributionPolicy policy, BarrierKind barrier_kind)
+    : Solver(params),
+      grid_(params),
+      mesh_(numa_hierarchical_mesh(topology, params.num_threads).mesh),
+      dist_(make_numa_distribution(topology, params.num_threads,
+                                   grid_.cubes_x(), grid_.cubes_y(),
+                                   grid_.cubes_z(), policy)),
+      barrier_(make_barrier(barrier_kind, params.num_threads)),
+      locks_(static_cast<Size>(params.num_threads)),
+      owned_cubes_(static_cast<Size>(params.num_threads)),
+      owned_fibers_(static_cast<Size>(params.num_threads)),
+      thread_profiles_(static_cast<Size>(params.num_threads)) {
+  finish_construction(policy);
+}
+
+void CubeSolver::finish_construction(DistributionPolicy policy) {
+  // Precompute each thread's cube and fiber lists. Equivalent to the
+  // "if cube2thread(I,J,K) == tid" scan in Algorithm 4, hoisted out of the
+  // time loop.
+  for (Index cx = 0; cx < grid_.cubes_x(); ++cx) {
+    for (Index cy = 0; cy < grid_.cubes_y(); ++cy) {
+      for (Index cz = 0; cz < grid_.cubes_z(); ++cz) {
+        const int tid = dist_.cube2thread(cx, cy, cz);
+        owned_cubes_[static_cast<Size>(tid)].push_back(
+            grid_.cube_id(cx, cy, cz));
+      }
+    }
+  }
+  const Index total_fibers = structure_num_fibers(structure_);
+  Index global_fiber = 0;
+  for (Size s = 0; s < structure_.size(); ++s) {
+    for (Index f = 0; f < structure_[s].num_fibers(); ++f, ++global_fiber) {
+      const int tid = fiber2thread(global_fiber, total_fibers,
+                                   params_.num_threads, policy);
+      owned_fibers_[static_cast<Size>(tid)].emplace_back(s, f);
+    }
+  }
+  // The constant body force must be present before the first collision.
+  grid_.reset_forces(params_.body_force);
+}
+
+void CubeSolver::thread_entry(int tid, Index num_steps,
+                              const StepObserver& observer,
+                              Index observer_interval) {
+  using Clock = std::chrono::steady_clock;
+  auto seconds_between = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+
+  KernelProfiler& prof = thread_profiles_[static_cast<Size>(tid)];
+  const std::vector<Size>& my_cubes = owned_cubes_[static_cast<Size>(tid)];
+  const std::vector<std::pair<Size, Index>>& my_fibers =
+      owned_fibers_[static_cast<Size>(tid)];
+
+  for (Index step = 0; step < num_steps; ++step) {
+    // --- 1st loop: fiber kernels 1-4 on owned fibers ---------------------
+    {
+      auto t0 = Clock::now();
+      for (const auto& [s, f] : my_fibers) {
+        compute_bending_force(structure_[s], f, f + 1);
+      }
+      auto t1 = Clock::now();
+      for (const auto& [s, f] : my_fibers) {
+        compute_stretching_force(structure_[s], f, f + 1);
+      }
+      auto t2 = Clock::now();
+      for (const auto& [s, f] : my_fibers) {
+        compute_elastic_force(structure_[s], f, f + 1);
+      }
+      auto t3 = Clock::now();
+      for (const auto& [s, f] : my_fibers) {
+        cube_spread_force(structure_[s], grid_, dist_, locks_, f, f + 1);
+      }
+      auto t4 = Clock::now();
+      prof.add(Kernel::kBendingForce, seconds_between(t0, t1));
+      prof.add(Kernel::kStretchingForce, seconds_between(t1, t2));
+      prof.add(Kernel::kElasticForce, seconds_between(t2, t3));
+      prof.add(Kernel::kSpreadForce, seconds_between(t3, t4));
+    }
+    // Extra barrier (see header comment): all spreading must land before
+    // any thread collides.
+    barrier_->arrive_and_wait();
+
+    // --- 2nd loop: collision + streaming, fused per cube -----------------
+    {
+      double collide_s = 0.0, stream_s = 0.0;
+      for (Size cube : my_cubes) {
+        auto t0 = Clock::now();
+        if (mrt_) {
+          cube_mrt_collide(grid_, *mrt_, cube);
+        } else {
+          cube_collide(grid_, params_.tau, cube);
+        }
+        auto t1 = Clock::now();
+        cube_stream(grid_, cube);
+        auto t2 = Clock::now();
+        collide_s += seconds_between(t0, t1);
+        stream_s += seconds_between(t1, t2);
+      }
+      prof.add(Kernel::kCollision, collide_s);
+      prof.add(Kernel::kStreaming, stream_s);
+    }
+    barrier_->arrive_and_wait();  // paper barrier #1
+
+    // --- 3rd loop: update velocity ---------------------------------------
+    {
+      auto t0 = Clock::now();
+      if (uses_inlet_outlet(params_.boundary)) {
+        for (Size cube : my_cubes) {
+          cube_apply_inlet_outlet(grid_, params_.inlet_velocity, cube);
+        }
+      }
+      for (Size cube : my_cubes) cube_update_velocity(grid_, cube);
+      prof.add(Kernel::kUpdateVelocity, seconds_between(t0, Clock::now()));
+    }
+    barrier_->arrive_and_wait();  // paper barrier #2
+
+    // --- 4th loop: move owned fibers --------------------------------------
+    {
+      auto t0 = Clock::now();
+      for (const auto& [s, f] : my_fibers) {
+        cube_move_fibers(structure_[s], grid_, f, f + 1);
+      }
+      prof.add(Kernel::kMoveFibers, seconds_between(t0, Clock::now()));
+    }
+
+    // --- 5th loop: copy df_new -> df, and reset forces for the next
+    // step's spreading (own cubes only, so no synchronization needed) ------
+    {
+      auto t0 = Clock::now();
+      for (Size cube : my_cubes) {
+        cube_copy_distributions(grid_, cube);
+        Real* fx = grid_.slot(cube, CubeGrid::kFxSlot);
+        Real* fy = grid_.slot(cube, CubeGrid::kFySlot);
+        Real* fz = grid_.slot(cube, CubeGrid::kFzSlot);
+        for (Size local = 0; local < grid_.nodes_per_cube(); ++local) {
+          fx[local] = params_.body_force.x;
+          fy[local] = params_.body_force.y;
+          fz[local] = params_.body_force.z;
+        }
+      }
+      prof.add(Kernel::kCopyDistribution, seconds_between(t0, Clock::now()));
+    }
+    barrier_->arrive_and_wait();  // paper barrier #3 (end of step)
+
+    if (tid == 0) ++steps_completed_;
+    if (observer && ((step + 1) % observer_interval == 0)) {
+      if (tid == 0) observer(*this, steps_completed_ - 1);
+      barrier_->arrive_and_wait();
+    }
+  }
+}
+
+void CubeSolver::run_loop(Index num_steps, const StepObserver& observer,
+                          Index observer_interval) {
+  ThreadTeam team(params_.num_threads);
+  team.run([&](int tid) {
+    thread_entry(tid, num_steps, observer, observer_interval);
+  });
+
+  // Fold per-thread times into the aggregate profiler: charge the slowest
+  // thread per kernel (wall time of that phase).
+  for (int k = 0; k < kNumKernels; ++k) {
+    double max_time = 0.0;
+    for (const KernelProfiler& p : thread_profiles_) {
+      max_time = std::max(max_time, p.seconds(static_cast<Kernel>(k)));
+    }
+    profiler_.add(static_cast<Kernel>(k),
+                  max_time - profiler_merge_mark_[static_cast<Size>(k)]);
+    profiler_merge_mark_[static_cast<Size>(k)] = max_time;
+  }
+}
+
+void CubeSolver::step() { run_loop(1, nullptr, 1); }
+
+void CubeSolver::run(Index num_steps, const StepObserver& observer,
+                     Index observer_interval) {
+  require(observer_interval >= 1, "observer interval must be >= 1");
+  if (num_steps <= 0) return;
+  run_loop(num_steps, observer, observer_interval);
+}
+
+void CubeSolver::snapshot_fluid(FluidGrid& out) const {
+  grid_.to_planar(out);
+}
+
+}  // namespace lbmib

@@ -1,0 +1,413 @@
+#include "core/distributed_solver.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+#include "ib/fiber_forces.hpp"
+#include "ib/spreading.hpp"
+#include "lbm/boundary.hpp"
+#include "lbm/collision.hpp"
+#include "lbm/mrt.hpp"
+#include "lbm/d3q19.hpp"
+#include "lbm/macroscopic.hpp"
+#include "lbm/streaming.hpp"
+#include "parallel/thread_team.hpp"
+
+namespace lbmib {
+
+namespace {
+
+// Populations crossing a +x / -x face of the slab.
+constexpr int kDirsPlusX[5] = {1, 7, 9, 11, 13};
+constexpr int kDirsMinusX[5] = {2, 8, 10, 12, 14};
+
+// Message tags.
+constexpr int kTagHaloRight = 1;  // packet travelling in +x
+constexpr int kTagHaloLeft = 2;   // packet travelling in -x
+constexpr int kTagMoveReduce = 3;
+
+}  // namespace
+
+DistributedSolver::DistributedSolver(const SimulationParams& params)
+    : Solver(params),
+      comm_(params.num_threads),
+      barrier_(params.num_threads),
+      rank_profiles_(static_cast<Size>(params.num_threads)) {
+  const int R = params.num_threads;
+  require(params.nx >= R,
+          "distributed solver needs at least one x-column per rank");
+  if (uses_inlet_outlet(params.boundary)) {
+    require(params.nx / R >= 2,
+            "inlet/outlet needs at least two x-columns on the boundary "
+            "ranks");
+  }
+  ranks_.resize(static_cast<Size>(R));
+  for (int r = 0; r < R; ++r) {
+    Rank& rank = ranks_[static_cast<Size>(r)];
+    rank.x_lo = params.nx * r / R;
+    rank.x_hi = params.nx * (r + 1) / R;
+    const Index local_nx = rank.x_hi - rank.x_lo;
+    rank.grid = std::make_unique<FluidGrid>(local_nx + 2, params.ny,
+                                            params.nz, params.rho0,
+                                            params.initial_velocity);
+    // Mask every local column — ghosts included — by its *global*
+    // position through the shared is_boundary_solid() (walls AND rigid
+    // obstacles). Ghost columns take the wrapped global coordinate, so
+    // obstacles spanning a rank boundary bounce correctly on both sides.
+    // (For non-periodic-x boundaries the wrapped ghost mask is inert: the
+    // real edge columns are walls themselves.)
+    for (Index lx = 0; lx <= rank.x_hi - rank.x_lo + 1; ++lx) {
+      const Index gx = FluidGrid::wrap(rank.x_lo + lx - 1, params.nx);
+      for (Index y = 0; y < params.ny; ++y) {
+        for (Index z = 0; z < params.nz; ++z) {
+          if (is_boundary_solid(params, gx, y, z)) {
+            rank.grid->set_solid(rank.grid->index(lx, y, z), true);
+          }
+        }
+      }
+    }
+    if (params.boundary == BoundaryType::kCavity) {
+      rank.grid->set_lid_velocity(params.lid_velocity);
+    }
+    rank.grid->reset_forces(params.body_force);
+    rank.structure = make_structure(params);
+  }
+}
+
+std::pair<Index, Index> DistributedSolver::slab_of(int rank) const {
+  const Rank& r = ranks_[static_cast<Size>(rank)];
+  return {r.x_lo, r.x_hi};
+}
+
+void DistributedSolver::spread_forces_local(Rank& r) {
+  // Spread every fiber node's force, keeping only contributions that land
+  // in this rank's slab. The per-fluid-node accumulation order equals the
+  // sequential solver's, so the force field is bit-identical.
+  const Index nx = params_.nx;
+  for (const FiberSheet& sheet : r.structure) {
+    const Real area = sheet.node_area();
+    for (Size i = 0; i < sheet.num_nodes(); ++i) {
+      const Vec3 force = area * sheet.elastic_force(i);
+      const InfluenceDomain d = influence_domain(sheet.position(i));
+      for (int a = 0; a < 4; ++a) {
+        if (d.wx[a] == Real{0}) continue;
+        const Index gx = FluidGrid::wrap(d.base[0] + a, nx);
+        if (gx < r.x_lo || gx >= r.x_hi) continue;
+        const Index lx = gx - r.x_lo + 1;
+        for (int b = 0; b < 4; ++b) {
+          const Real wab = d.wx[a] * d.wy[b];
+          if (wab == Real{0}) continue;
+          const Index ly =
+              FluidGrid::wrap(d.base[1] + b, r.grid->ny());
+          for (int c = 0; c < 4; ++c) {
+            const Real w = wab * d.wz[c];
+            if (w == Real{0}) continue;
+            const Index lz =
+                FluidGrid::wrap(d.base[2] + c, r.grid->nz());
+            r.grid->add_force(r.grid->index(lx, ly, lz), w * force);
+          }
+        }
+      }
+    }
+  }
+}
+
+void DistributedSolver::exchange_halos(int rank) {
+  Rank& r = ranks_[static_cast<Size>(rank)];
+  FluidGrid& grid = *r.grid;
+  const Index local_nx = r.x_hi - r.x_lo;
+  const Index ny = grid.ny(), nz = grid.nz();
+  const Size face = static_cast<Size>(ny) * static_cast<Size>(nz);
+  const int R = comm_.num_ranks();
+  const int right = (rank + 1) % R;
+  const int left = (rank + R - 1) % R;
+
+  auto pack = [&](Index x, const int dirs[5]) {
+    std::vector<Real> data(5 * face);
+    Size i = 0;
+    for (int d = 0; d < 5; ++d) {
+      for (Index y = 0; y < ny; ++y) {
+        for (Index z = 0; z < nz; ++z) {
+          data[i++] = grid.df_new(dirs[d], grid.index(x, y, z));
+        }
+      }
+    }
+    return data;
+  };
+  auto unpack = [&](Index x, Index ghost_x, const int dirs[5],
+                    const std::vector<Real>& data) {
+    Size i = 0;
+    for (int d = 0; d < 5; ++d) {
+      const int dir = dirs[d];
+      const Index cy = d3q19::cy[static_cast<Size>(dir)];
+      const Index cz = d3q19::cz[static_cast<Size>(dir)];
+      for (Index y = 0; y < ny; ++y) {
+        for (Index z = 0; z < nz; ++z, ++i) {
+          const Size node = grid.index(x, y, z);
+          if (grid.solid(node)) continue;
+          // A population whose sending-side source sits in a solid (wall
+          // or obstacle) was never pushed by the neighbour — this node
+          // filled the slot itself via bounce-back; don't clobber it.
+          // The source lies in our ghost column, whose mask carries the
+          // correct global solids.
+          if (grid.solid(grid.periodic_index(ghost_x, y - cy, z - cz))) {
+            continue;
+          }
+          grid.df_new(dir, node) = data[i];
+        }
+      }
+    }
+  };
+
+  // Send both halos first (buffered, never blocks), then receive both —
+  // deadlock-free for any R including self-exchange at R = 1.
+  comm_.send(rank, right,
+             Message{kTagHaloRight, pack(local_nx + 1, kDirsPlusX)});
+  comm_.send(rank, left, Message{kTagHaloLeft, pack(0, kDirsMinusX)});
+  unpack(1, 0, kDirsPlusX, comm_.recv(rank, left, kTagHaloRight).data);
+  unpack(local_nx, local_nx + 1, kDirsMinusX,
+         comm_.recv(rank, right, kTagHaloLeft).data);
+  if (rank == 0) halo_exchanges_ += 2;
+}
+
+void DistributedSolver::apply_inlet_outlet_local(Rank& r, int rank) {
+  using namespace d3q19;
+  FluidGrid& grid = *r.grid;
+  const Index ny = grid.ny(), nz = grid.nz();
+  auto streamed_moments = [&](Size node, Real& rho, Vec3& u) {
+    rho = 0.0;
+    Vec3 mom{};
+    for (int dir = 0; dir < kQ; ++dir) {
+      const Real g = grid.df_new(dir, node);
+      rho += g;
+      mom += g * c(dir);
+    }
+    u = mom / rho;
+  };
+
+  if (rank == 0) {
+    // Velocity inlet at global x = 0 (local column 1), density from
+    // global x = 1 (local column 2).
+    for (Index y = 0; y < ny; ++y) {
+      for (Index z = 0; z < nz; ++z) {
+        const Size node = grid.index(1, y, z);
+        if (grid.solid(node)) continue;
+        Real rho_b;
+        Vec3 u_ignored;
+        streamed_moments(grid.index(2, y, z), rho_b, u_ignored);
+        for (int dir = 0; dir < kQ; ++dir) {
+          grid.df_new(dir, node) =
+              equilibrium(dir, rho_b, params_.inlet_velocity);
+        }
+      }
+    }
+  }
+  if (rank == comm_.num_ranks() - 1) {
+    // Pressure outlet at global x = nx-1 (local column local_nx).
+    const Index local_nx = r.x_hi - r.x_lo;
+    for (Index y = 0; y < ny; ++y) {
+      for (Index z = 0; z < nz; ++z) {
+        const Size node = grid.index(local_nx, y, z);
+        if (grid.solid(node)) continue;
+        Real rho_up;
+        Vec3 u_up;
+        streamed_moments(grid.index(local_nx - 1, y, z), rho_up, u_up);
+        for (int dir = 0; dir < kQ; ++dir) {
+          grid.df_new(dir, node) = equilibrium(dir, Real{1}, u_up);
+        }
+      }
+    }
+  }
+}
+
+void DistributedSolver::move_fibers_allreduce(Rank& r, int rank) {
+  // Partial velocity interpolation over this rank's slab, then a global
+  // sum. Every rank then applies identical position updates to its
+  // replica, keeping the structures in sync without further messages.
+  const Index nx = params_.nx;
+  const Size total_nodes = structure_num_nodes(r.structure);
+  if (total_nodes == 0) return;
+  std::vector<Real> partial(3 * total_nodes, 0.0);
+
+  Size base = 0;
+  for (const FiberSheet& sheet : r.structure) {
+    for (Size i = 0; i < sheet.num_nodes(); ++i) {
+      const InfluenceDomain d = influence_domain(sheet.position(i));
+      Vec3 u{};
+      for (int a = 0; a < 4; ++a) {
+        if (d.wx[a] == Real{0}) continue;
+        const Index gx = FluidGrid::wrap(d.base[0] + a, nx);
+        if (gx < r.x_lo || gx >= r.x_hi) continue;
+        const Index lx = gx - r.x_lo + 1;
+        for (int b = 0; b < 4; ++b) {
+          const Real wab = d.wx[a] * d.wy[b];
+          if (wab == Real{0}) continue;
+          const Index ly = FluidGrid::wrap(d.base[1] + b, r.grid->ny());
+          for (int c = 0; c < 4; ++c) {
+            const Real w = wab * d.wz[c];
+            if (w == Real{0}) continue;
+            const Index lz =
+                FluidGrid::wrap(d.base[2] + c, r.grid->nz());
+            u += w * r.grid->velocity(r.grid->index(lx, ly, lz));
+          }
+        }
+      }
+      partial[3 * (base + i) + 0] = u.x;
+      partial[3 * (base + i) + 1] = u.y;
+      partial[3 * (base + i) + 2] = u.z;
+    }
+    base += sheet.num_nodes();
+  }
+
+  const std::vector<Real> total =
+      comm_.allreduce_sum(rank, std::move(partial), kTagMoveReduce);
+
+  base = 0;
+  for (FiberSheet& sheet : r.structure) {
+    for (Size i = 0; i < sheet.num_nodes(); ++i) {
+      if (sheet.immobile(i)) continue;
+      sheet.position(i) += Vec3{total[3 * (base + i) + 0],
+                                total[3 * (base + i) + 1],
+                                total[3 * (base + i) + 2]};
+    }
+    base += sheet.num_nodes();
+  }
+}
+
+void DistributedSolver::rank_entry(int rank, Index num_steps,
+                                   const StepObserver& observer,
+                                   Index observer_interval) {
+  using Clock = std::chrono::steady_clock;
+  auto since = [](Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  Rank& r = ranks_[static_cast<Size>(rank)];
+  KernelProfiler& prof = rank_profiles_[static_cast<Size>(rank)];
+  FluidGrid& grid = *r.grid;
+  const Index local_nx = r.x_hi - r.x_lo;
+  const Size plane = static_cast<Size>(grid.ny()) *
+                     static_cast<Size>(grid.nz());
+  const Size real_begin = plane;
+  const Size real_end = static_cast<Size>(local_nx + 1) * plane;
+
+  for (Index step = 0; step < num_steps; ++step) {
+    {  // kernels 1-4 on the replica, spread into own slab only
+      auto t0 = Clock::now();
+      for (FiberSheet& sheet : r.structure) {
+        compute_bending_force(sheet, 0, sheet.num_fibers());
+        compute_stretching_force(sheet, 0, sheet.num_fibers());
+        compute_elastic_force(sheet, 0, sheet.num_fibers());
+      }
+      grid.reset_forces(params_.body_force);
+      spread_forces_local(r);
+      prof.add(Kernel::kSpreadForce, since(t0));
+    }
+    {  // kernel 5
+      auto t0 = Clock::now();
+      if (mrt_) {
+        mrt_collide_range(grid, *mrt_, real_begin, real_end);
+      } else {
+        collide_range(grid, params_.tau, real_begin, real_end);
+      }
+      prof.add(Kernel::kCollision, since(t0));
+    }
+    {  // kernel 6 + halo exchange (the only fluid communication)
+      auto t0 = Clock::now();
+      stream_x_slab(grid, 1, local_nx + 1);
+      exchange_halos(rank);
+      prof.add(Kernel::kStreaming, since(t0));
+    }
+    {  // kernel 7 (+ boundary pass)
+      auto t0 = Clock::now();
+      if (uses_inlet_outlet(params_.boundary)) {
+        apply_inlet_outlet_local(r, rank);
+      }
+      update_velocity_range(grid, real_begin, real_end);
+      prof.add(Kernel::kUpdateVelocity, since(t0));
+    }
+    {  // kernel 8 (partial interpolation + allreduce)
+      auto t0 = Clock::now();
+      move_fibers_allreduce(r, rank);
+      prof.add(Kernel::kMoveFibers, since(t0));
+    }
+    {  // kernel 9
+      auto t0 = Clock::now();
+      copy_distributions_range(grid, real_begin, real_end);
+      prof.add(Kernel::kCopyDistribution, since(t0));
+    }
+
+    barrier_.arrive_and_wait();  // step boundary (observer consistency)
+    if (rank == 0) ++steps_completed_;
+    if (observer && ((step + 1) % observer_interval == 0)) {
+      if (rank == 0) {
+        // Publish rank 0's replica as the canonical structure before the
+        // observer looks at the solver.
+        structure_ = r.structure;
+        observer(*this, steps_completed_ - 1);
+      }
+      barrier_.arrive_and_wait();
+    }
+  }
+}
+
+void DistributedSolver::run_loop(Index num_steps,
+                                 const StepObserver& observer,
+                                 Index observer_interval) {
+  ThreadTeam team(params_.num_threads);
+  team.run([&](int rank) {
+    rank_entry(rank, num_steps, observer, observer_interval);
+  });
+  // Keep the base-class structure in sync with the replicas (rank 0's is
+  // canonical; all replicas are identical).
+  structure_ = ranks_[0].structure;
+  // Aggregate profiler: max-of-ranks per kernel (rank profiles accumulate
+  // across run() calls, so rebuilding from them keeps the totals right).
+  KernelProfiler merged;
+  for (int k = 0; k < kNumKernels; ++k) {
+    double max_time = 0.0;
+    for (const KernelProfiler& p : rank_profiles_) {
+      max_time = std::max(max_time, p.seconds(static_cast<Kernel>(k)));
+    }
+    merged.add(static_cast<Kernel>(k), max_time);
+  }
+  profiler_ = merged;
+}
+
+void DistributedSolver::step() { run_loop(1, nullptr, 1); }
+
+void DistributedSolver::run(Index num_steps, const StepObserver& observer,
+                            Index observer_interval) {
+  require(observer_interval >= 1, "observer interval must be >= 1");
+  if (num_steps <= 0) return;
+  run_loop(num_steps, observer, observer_interval);
+}
+
+void DistributedSolver::snapshot_fluid(FluidGrid& out) const {
+  require(out.nx() == params_.nx && out.ny() == params_.ny &&
+              out.nz() == params_.nz,
+          "snapshot grid dimensions do not match");
+  for (const Rank& r : ranks_) {
+    const FluidGrid& grid = *r.grid;
+    for (Index gx = r.x_lo; gx < r.x_hi; ++gx) {
+      const Index lx = gx - r.x_lo + 1;
+      for (Index y = 0; y < params_.ny; ++y) {
+        for (Index z = 0; z < params_.nz; ++z) {
+          const Size src = grid.index(lx, y, z);
+          const Size dst = out.index(gx, y, z);
+          for (int dir = 0; dir < kQ; ++dir) {
+            out.df(dir, dst) = grid.df(dir, src);
+            out.df_new(dir, dst) = grid.df_new(dir, src);
+          }
+          out.rho(dst) = grid.rho(src);
+          out.set_velocity(dst, grid.velocity(src));
+          out.fx(dst) = grid.fx(src);
+          out.fy(dst) = grid.fy(src);
+          out.fz(dst) = grid.fz(src);
+          out.set_solid(dst, grid.solid(src));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace lbmib

@@ -1,0 +1,87 @@
+// Distributed-memory LBM-IB solver (the paper's first future-work item:
+// "extend the cube-based implementation from shared memory manycore
+// systems to extreme-scale distributed memory manycore systems").
+//
+// The fluid domain is slab-decomposed along x over R ranks. Each rank
+// owns a private FluidGrid of its slab plus one ghost column per side —
+// NO fluid state is shared. Per time step each rank:
+//
+//   1. computes fiber forces on its *replicated* structure (the
+//      Lagrangian set is tiny compared to the fluid, the standard choice
+//      in distributed IB codes) and spreads them into its own slab only
+//      — spreading needs no communication at all;
+//   2. collides and push-streams locally, spilling boundary-crossing
+//      populations into the ghost columns;
+//   3. exchanges ghost columns with its x-neighbours over the
+//      message-passing layer (5 populations per face, exactly what an
+//      MPI halo exchange would carry);
+//   4. applies inlet/outlet conditions if configured (first/last rank);
+//   5. updates macroscopic fields locally;
+//   6. interpolates fiber velocities *partially* over its slab and
+//      all-reduces the partial sums, after which every rank advances its
+//      structure replica identically;
+//   7. copies distribution buffers locally.
+//
+// Ranks run as threads here; the communication pattern (two halo
+// messages + one all-reduce per step) is the distributed algorithm —
+// porting to MPI replaces Communicator with MPI calls and nothing else.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "parallel/barrier.hpp"
+#include "parallel/communicator.hpp"
+
+namespace lbmib {
+
+class DistributedSolver final : public Solver {
+ public:
+  explicit DistributedSolver(const SimulationParams& params);
+
+  void step() override;
+  void run(Index num_steps, const StepObserver& observer = nullptr,
+           Index observer_interval = 1) override;
+  void snapshot_fluid(FluidGrid& out) const override;
+  std::string name() const override { return "distributed"; }
+
+  std::vector<KernelProfiler> per_thread_profiles() const override {
+    return rank_profiles_;
+  }
+
+  int num_ranks() const { return params_.num_threads; }
+
+  /// Global x-range [begin, end) owned by `rank`.
+  std::pair<Index, Index> slab_of(int rank) const;
+
+  /// Messages sent per rank per step (2 halos + allreduce traffic),
+  /// recorded for tests/benches.
+  Size halo_exchanges() const { return halo_exchanges_; }
+
+ private:
+  struct Rank {
+    Index x_lo = 0, x_hi = 0;  // global column range owned
+    std::unique_ptr<FluidGrid> grid;  // (x_hi-x_lo+2) x ny x nz w/ ghosts
+    Structure structure;              // replica
+  };
+
+  void rank_entry(int rank, Index num_steps, const StepObserver& observer,
+                  Index observer_interval);
+  void run_loop(Index num_steps, const StepObserver& observer,
+                Index observer_interval);
+
+  // Per-step phases (rank-local unless stated).
+  void spread_forces_local(Rank& r);
+  void exchange_halos(int rank);
+  void apply_inlet_outlet_local(Rank& r, int rank);
+  void move_fibers_allreduce(Rank& r, int rank);
+
+  std::vector<Rank> ranks_;
+  Communicator comm_;
+  BlockingBarrier barrier_;
+  std::vector<KernelProfiler> rank_profiles_;
+  Size halo_exchanges_ = 0;
+};
+
+}  // namespace lbmib

@@ -1,0 +1,87 @@
+#include "core/sequential_solver.hpp"
+
+#include "ib/fiber_forces.hpp"
+#include "ib/interpolation.hpp"
+#include "ib/spreading.hpp"
+#include "lbm/boundary.hpp"
+#include "lbm/collision.hpp"
+#include "lbm/mrt.hpp"
+#include "lbm/macroscopic.hpp"
+#include "lbm/streaming.hpp"
+
+namespace lbmib {
+
+SequentialSolver::SequentialSolver(const SimulationParams& params)
+    : Solver(params), grid_(params) {}
+
+void SequentialSolver::step() {
+  const Size n = grid_.num_nodes();
+
+  // --- IB related (kernels 1-4 over every sheet of the structure) ---
+  {
+    KernelProfiler::Scope scope(profiler_, Kernel::kBendingForce);
+    for (FiberSheet& sheet : structure_) {
+      compute_bending_force(sheet, 0, sheet.num_fibers());
+    }
+  }
+  {
+    KernelProfiler::Scope scope(profiler_, Kernel::kStretchingForce);
+    for (FiberSheet& sheet : structure_) {
+      compute_stretching_force(sheet, 0, sheet.num_fibers());
+    }
+  }
+  {
+    KernelProfiler::Scope scope(profiler_, Kernel::kElasticForce);
+    for (FiberSheet& sheet : structure_) {
+      compute_elastic_force(sheet, 0, sheet.num_fibers());
+    }
+  }
+  {
+    KernelProfiler::Scope scope(profiler_, Kernel::kSpreadForce);
+    grid_.reset_forces(params_.body_force);
+    for (const FiberSheet& sheet : structure_) {
+      spread_force(sheet, grid_, 0, sheet.num_fibers());
+    }
+  }
+
+  // --- LBM related ---
+  {
+    KernelProfiler::Scope scope(profiler_, Kernel::kCollision);
+    if (mrt_) {
+      mrt_collide_range(grid_, *mrt_, 0, n);
+    } else {
+      collide_range(grid_, params_.tau, 0, n);
+    }
+  }
+  {
+    KernelProfiler::Scope scope(profiler_, Kernel::kStreaming);
+    stream_x_slab(grid_, 0, grid_.nx());
+  }
+
+  // --- FSI coupling related ---
+  {
+    KernelProfiler::Scope scope(profiler_, Kernel::kUpdateVelocity);
+    if (uses_inlet_outlet(params_.boundary)) {
+      apply_inlet_outlet(grid_, params_.inlet_velocity, 0, grid_.nx());
+    }
+    update_velocity_range(grid_, 0, n);
+  }
+  {
+    KernelProfiler::Scope scope(profiler_, Kernel::kMoveFibers);
+    for (FiberSheet& sheet : structure_) {
+      move_fibers(sheet, grid_, 0, sheet.num_fibers());
+    }
+  }
+  {
+    KernelProfiler::Scope scope(profiler_, Kernel::kCopyDistribution);
+    copy_distributions_range(grid_, 0, n);
+  }
+
+  ++steps_completed_;
+}
+
+void SequentialSolver::snapshot_fluid(FluidGrid& out) const {
+  out.copy_from(grid_);
+}
+
+}  // namespace lbmib

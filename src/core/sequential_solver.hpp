@@ -1,0 +1,25 @@
+// The sequential LBM-IB program of Section III: Algorithm 1 verbatim, with
+// every kernel wrapped in the KernelProfiler (our gprof substitute for
+// Table I).
+#pragma once
+
+#include "core/solver.hpp"
+
+namespace lbmib {
+
+class SequentialSolver final : public Solver {
+ public:
+  explicit SequentialSolver(const SimulationParams& params);
+
+  void step() override;
+  void snapshot_fluid(FluidGrid& out) const override;
+  std::string name() const override { return "sequential"; }
+
+  FluidGrid& fluid() { return grid_; }
+  const FluidGrid& fluid() const { return grid_; }
+
+ private:
+  FluidGrid grid_;
+};
+
+}  // namespace lbmib

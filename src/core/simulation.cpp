@@ -1,0 +1,20 @@
+#include "core/simulation.hpp"
+
+#include "common/error.hpp"
+
+namespace lbmib {
+
+Simulation::Simulation(SolverKind kind, const SimulationParams& params)
+    : solver_(make_solver(kind, params)) {}
+
+void Simulation::on_step(Index interval, Solver::StepObserver observer) {
+  require(interval >= 1, "observer interval must be >= 1");
+  observer_interval_ = interval;
+  observer_ = std::move(observer);
+}
+
+void Simulation::run(Index num_steps) {
+  solver_->run(num_steps, observer_, observer_interval_);
+}
+
+}  // namespace lbmib

@@ -1,0 +1,46 @@
+// The library's top-level facade — the "easy-to-use application
+// programming interface" the paper advertises.
+//
+// Typical usage (see examples/quickstart.cpp):
+//
+//   lbmib::SimulationParams params = lbmib::presets::tiny();
+//   params.num_threads = 8;
+//   lbmib::Simulation sim(lbmib::SolverKind::kCube, params);
+//   sim.on_step(10, [](lbmib::Solver& s, lbmib::Index step) {
+//     std::cout << "step " << step << "\n";
+//   });
+//   sim.run(100);
+#pragma once
+
+#include <memory>
+
+#include "core/solver.hpp"
+
+namespace lbmib {
+
+class Simulation {
+ public:
+  Simulation(SolverKind kind, const SimulationParams& params);
+
+  /// Register an observer called every `interval` steps during run().
+  void on_step(Index interval, Solver::StepObserver observer);
+
+  /// Advance `num_steps` time steps.
+  void run(Index num_steps);
+
+  Solver& solver() { return *solver_; }
+  const Solver& solver() const { return *solver_; }
+  FiberSheet& sheet() { return solver_->sheet(); }
+  const SimulationParams& params() const { return solver_->params(); }
+  Index steps_completed() const { return solver_->steps_completed(); }
+
+  /// Per-kernel time table (Table I style).
+  std::string profile_report() const { return solver_->profiler().report(); }
+
+ private:
+  std::unique_ptr<Solver> solver_;
+  Solver::StepObserver observer_;
+  Index observer_interval_ = 1;
+};
+
+}  // namespace lbmib

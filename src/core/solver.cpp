@@ -1,0 +1,70 @@
+#include "core/solver.hpp"
+
+#include "common/error.hpp"
+#include "core/cube_solver.hpp"
+#include "core/dataflow_solver.hpp"
+#include "core/distributed2d_solver.hpp"
+#include "core/distributed_solver.hpp"
+#include "core/openmp_solver.hpp"
+#include "core/sequential_solver.hpp"
+
+namespace lbmib {
+
+Solver::Solver(const SimulationParams& params) : params_(params) {
+  params_.validate();
+  structure_ = make_structure(params_);
+  if (params_.collision == CollisionModel::kMRT) {
+    mrt_ = std::make_unique<MrtOperator>(
+        MrtRelaxation::from_tau(params_.tau));
+  }
+}
+
+void Solver::run(Index num_steps, const StepObserver& observer,
+                 Index observer_interval) {
+  require(observer_interval >= 1, "observer interval must be >= 1");
+  for (Index s = 0; s < num_steps; ++s) {
+    step();
+    if (observer && (steps_completed_ % observer_interval == 0)) {
+      observer(*this, steps_completed_ - 1);
+    }
+  }
+}
+
+std::string_view solver_kind_name(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kSequential:
+      return "sequential";
+    case SolverKind::kOpenMP:
+      return "openmp";
+    case SolverKind::kCube:
+      return "cube";
+    case SolverKind::kDataflow:
+      return "dataflow";
+    case SolverKind::kDistributed:
+      return "distributed";
+    case SolverKind::kDistributed2D:
+      return "distributed2d";
+  }
+  return "?";
+}
+
+std::unique_ptr<Solver> make_solver(SolverKind kind,
+                                    const SimulationParams& params) {
+  switch (kind) {
+    case SolverKind::kSequential:
+      return std::make_unique<SequentialSolver>(params);
+    case SolverKind::kOpenMP:
+      return std::make_unique<OpenMPSolver>(params);
+    case SolverKind::kCube:
+      return std::make_unique<CubeSolver>(params);
+    case SolverKind::kDataflow:
+      return std::make_unique<DataflowCubeSolver>(params);
+    case SolverKind::kDistributed:
+      return std::make_unique<DistributedSolver>(params);
+    case SolverKind::kDistributed2D:
+      return std::make_unique<Distributed2DSolver>(params);
+  }
+  throw Error("unknown solver kind");
+}
+
+}  // namespace lbmib

@@ -1,0 +1,104 @@
+// The LBM-IB solver interface.
+//
+// A Solver owns the fluid state and the immersed structure, and advances
+// them by executing the paper's nine computational kernels per time step
+// (Algorithm 1). Three implementations exist, mirroring the paper's three
+// programs:
+//   * SequentialSolver - single-threaded reference (Section III),
+//   * OpenMPSolver     - loop-parallel version (Section IV),
+//   * CubeSolver       - cube-centric Pthreads-style version (Section V).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/params.hpp"
+#include "common/profiler.hpp"
+#include "common/types.hpp"
+#include "ib/fiber_sheet.hpp"
+#include "lbm/fluid_grid.hpp"
+#include "lbm/mrt.hpp"
+
+namespace lbmib {
+
+class Solver {
+ public:
+  explicit Solver(const SimulationParams& params);
+  virtual ~Solver() = default;
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Advance the simulation by exactly one time step (all nine kernels).
+  virtual void step() = 0;
+
+  /// Called on the controlling thread between steps; receives the solver
+  /// and the 0-based index of the step just completed.
+  using StepObserver = std::function<void(Solver&, Index)>;
+
+  /// Advance `num_steps` steps. If `observer` is set it runs after every
+  /// `observer_interval`-th step. Parallel solvers may override this to
+  /// keep one persistent thread team across all steps (Algorithm 4).
+  virtual void run(Index num_steps, const StepObserver& observer = nullptr,
+                   Index observer_interval = 1);
+
+  /// Copy the current fluid state into `out` (planar layout). The planar
+  /// solvers copy their grid; the cube solver converts from cubes.
+  virtual void snapshot_fluid(FluidGrid& out) const = 0;
+
+  /// Human-readable implementation name.
+  virtual std::string name() const = 0;
+
+  const SimulationParams& params() const { return params_; }
+
+  /// The full immersed structure (one or more fiber sheets).
+  Structure& structure() { return structure_; }
+  const Structure& structure() const { return structure_; }
+
+  /// The primary (first) sheet — the common single-sheet case.
+  FiberSheet& sheet() { return structure_.front(); }
+  const FiberSheet& sheet() const { return structure_.front(); }
+
+  Index steps_completed() const { return steps_completed_; }
+
+  /// Aggregated per-kernel wall time (all threads merged).
+  const KernelProfiler& profiler() const { return profiler_; }
+  KernelProfiler& profiler() { return profiler_; }
+
+  /// Per-thread per-kernel times for load-imbalance analysis; planar
+  /// sequential returns a single entry.
+  virtual std::vector<KernelProfiler> per_thread_profiles() const {
+    return {profiler_};
+  }
+
+ protected:
+  SimulationParams params_;
+  Structure structure_;  ///< never empty; [0] is the primary sheet
+  /// Non-null iff params.collision == kMRT; shared by all kernel phases.
+  std::unique_ptr<MrtOperator> mrt_;
+  KernelProfiler profiler_;
+  Index steps_completed_ = 0;
+};
+
+/// Which solver implementation to instantiate. kDataflow is the
+/// dynamically scheduled variant of the cube solver and kDistributed the
+/// message-passing slab-decomposed one — the paper's two future-work
+/// directions (see core/dataflow_solver.hpp, core/distributed_solver.hpp).
+enum class SolverKind {
+  kSequential,
+  kOpenMP,
+  kCube,
+  kDataflow,
+  kDistributed,    ///< 1-D slab decomposition (message passing)
+  kDistributed2D,  ///< 2-D tile decomposition (message passing)
+};
+
+std::string_view solver_kind_name(SolverKind kind);
+
+/// Factory covering all three implementations.
+std::unique_ptr<Solver> make_solver(SolverKind kind,
+                                    const SimulationParams& params);
+
+}  // namespace lbmib

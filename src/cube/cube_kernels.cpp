@@ -1,0 +1,524 @@
+#include "cube/cube_kernels.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#include "cube/cube_grid.hpp"
+#include "ib/delta.hpp"
+#include "ib/fiber_sheet.hpp"
+#include "ib/spreading.hpp"
+#include "lbm/collision.hpp"
+#include "lbm/d3q19.hpp"
+#include "lbm/fluid_grid.hpp"
+
+namespace lbmib {
+
+void cube_collide(CubeGrid& grid, Real tau, Size cube) {
+  const Size m = grid.nodes_per_cube();
+  Real* planes[kQ];
+  for (int i = 0; i < kQ; ++i) {
+    planes[i] = grid.slot(cube, CubeGrid::kDfSlot + static_cast<Size>(i));
+  }
+  const Real* fx = grid.slot(cube, CubeGrid::kFxSlot);
+  const Real* fy = grid.slot(cube, CubeGrid::kFySlot);
+  const Real* fz = grid.slot(cube, CubeGrid::kFzSlot);
+  for (Size local = 0; local < m; ++local) {
+    if (grid.solid(cube, local)) continue;
+    NodeDistributions node;
+    for (int i = 0; i < kQ; ++i) node.g[i] = planes[i] + local;
+    collide_node(node, tau, {fx[local], fy[local], fz[local]});
+  }
+}
+
+void cube_mrt_collide(CubeGrid& grid, const MrtOperator& op, Size cube) {
+  const Size m = grid.nodes_per_cube();
+  Real* planes[kQ];
+  for (int i = 0; i < kQ; ++i) {
+    planes[i] = grid.slot(cube, CubeGrid::kDfSlot + static_cast<Size>(i));
+  }
+  const Real* fx = grid.slot(cube, CubeGrid::kFxSlot);
+  const Real* fy = grid.slot(cube, CubeGrid::kFySlot);
+  const Real* fz = grid.slot(cube, CubeGrid::kFzSlot);
+  for (Size local = 0; local < m; ++local) {
+    if (grid.solid(cube, local)) continue;
+    Real g[kQ];
+    for (int i = 0; i < kQ; ++i) g[i] = planes[i][local];
+    op.collide_node(g, {fx[local], fy[local], fz[local]});
+    for (int i = 0; i < kQ; ++i) planes[i][local] = g[i];
+  }
+}
+
+namespace {
+
+/// One axis of a direction's region decomposition for branch-free
+/// streaming: source coordinates in [lo, hi] hop `dc` cubes along this
+/// axis and land at source + shift in the destination cube.
+struct AxisSegment {
+  Index lo, hi;
+  int dc;
+  Index shift;
+};
+
+/// Split an axis of length k for a push offset in {-1, 0, +1} into the
+/// in-cube segment and (if any) the single overflowing layer.
+int axis_segments(Index k, int offset, AxisSegment out[2]) {
+  if (offset == 0) {
+    out[0] = {0, k - 1, 0, 0};
+    return 1;
+  }
+  int n = 0;
+  if (offset > 0) {
+    if (k >= 2) out[n++] = {0, k - 2, 0, 1};
+    out[n++] = {k - 1, k - 1, 1, 1 - k};
+  } else {
+    if (k >= 2) out[n++] = {1, k - 1, 0, -1};
+    out[n++] = {0, 0, -1, k - 1};
+  }
+  return n;
+}
+
+/// Momentum correction for populations bouncing off the moving lid
+/// (z = nz-1 plane): 2 w_dir rho_w (c_dir . u_lid)/cs^2 with rho_w = 1.
+Real lid_correction(const Vec3& lid_velocity, int dir) {
+  using namespace d3q19;
+  return 2 * w[static_cast<Size>(dir)] * inv_cs2 *
+         dot(c(dir), lid_velocity);
+}
+
+/// Streaming fast path for cubes that contain no solid node themselves:
+/// every direction's push decomposes into at most eight rectangular
+/// regions. Regions whose destination cube is also solid-free are strided
+/// row copies with no per-node branching; regions landing in a cube with
+/// walls fall back to per-node bounce-back checks.
+void stream_cube_fast(CubeGrid& grid, Size cube) {
+  using namespace d3q19;
+  const Index k = grid.cube_size();
+  const Size m = grid.nodes_per_cube();
+  const bool has_lid = grid.has_lid();
+  const Index ncz = grid.cubes_z();
+  // Global z of this cube's first layer (for lid-plane detection).
+  const Index gz0 = (static_cast<Index>(cube) % ncz) * k;
+
+  // Rest particle: whole-slot copy.
+  std::memcpy(grid.slot(cube, CubeGrid::kDfNewSlot),
+              grid.slot(cube, CubeGrid::kDfSlot), m * sizeof(Real));
+
+  for (int dir = 1; dir < kQ; ++dir) {
+    const Real* src_plane =
+        grid.slot(cube, CubeGrid::kDfSlot + static_cast<Size>(dir));
+    Real* own_new_opp = grid.slot(
+        cube, CubeGrid::kDfNewSlot + static_cast<Size>(opposite(dir)));
+    AxisSegment xs[2], ys[2], zs[2];
+    const int nxs = axis_segments(k, cx[static_cast<Size>(dir)], xs);
+    const int nys = axis_segments(k, cy[static_cast<Size>(dir)], ys);
+    const int nzs = axis_segments(k, cz[static_cast<Size>(dir)], zs);
+    for (int ix = 0; ix < nxs; ++ix) {
+      for (int iy = 0; iy < nys; ++iy) {
+        for (int iz = 0; iz < nzs; ++iz) {
+          const AxisSegment& sx = xs[ix];
+          const AxisSegment& sy = ys[iy];
+          const AxisSegment& sz = zs[iz];
+          const Size dest_cube =
+              (sx.dc == 0 && sy.dc == 0 && sz.dc == 0)
+                  ? cube
+                  : grid.neighbor_cube(cube, sx.dc, sy.dc, sz.dc);
+          Real* dst_plane = grid.slot(
+              dest_cube, CubeGrid::kDfNewSlot + static_cast<Size>(dir));
+          if (!grid.cube_has_solid(dest_cube)) {
+            const Size row_len = static_cast<Size>(sz.hi - sz.lo + 1);
+            for (Index x = sx.lo; x <= sx.hi; ++x) {
+              for (Index y = sy.lo; y <= sy.hi; ++y) {
+                const Size src_row = grid.local_id(x, y, sz.lo);
+                const Size dst_row = grid.local_id(
+                    x + sx.shift, y + sy.shift, sz.lo + sz.shift);
+                std::memcpy(dst_plane + dst_row, src_plane + src_row,
+                            row_len * sizeof(Real));
+              }
+            }
+          } else {
+            // Destination cube has walls: per-node bounce-back checks.
+            for (Index x = sx.lo; x <= sx.hi; ++x) {
+              for (Index y = sy.lo; y <= sy.hi; ++y) {
+                for (Index z = sz.lo; z <= sz.hi; ++z) {
+                  const Size src = grid.local_id(x, y, z);
+                  const Size dst = grid.local_id(
+                      x + sx.shift, y + sy.shift, z + sz.shift);
+                  if (grid.solid(dest_cube, dst)) {
+                    Real v = src_plane[src];
+                    if (has_lid &&
+                        gz0 + sz.dc * k + z + sz.shift ==
+                            grid.nz() - 1) {
+                      v -= lid_correction(grid.lid_velocity(), dir);
+                    }
+                    own_new_opp[src] = v;
+                  } else {
+                    dst_plane[dst] = src_plane[src];
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void cube_stream(CubeGrid& grid, Size cube) {
+  using namespace d3q19;
+  if (!grid.cube_has_solid(cube)) {
+    stream_cube_fast(grid, cube);
+    return;
+  }
+  const Index k = grid.cube_size();
+  const bool has_lid = grid.has_lid();
+  const Index gz0 = (static_cast<Index>(cube) % grid.cubes_z()) * k;
+
+  // In-cube destinations differ from the source's local id by a constant
+  // per-direction stride; cross-cube pushes use the precomputed
+  // 27-neighbour table and only wrap the local coordinate by +-k.
+  std::ptrdiff_t local_offset[kQ];
+  for (int dir = 0; dir < kQ; ++dir) {
+    local_offset[dir] =
+        (static_cast<std::ptrdiff_t>(cx[static_cast<Size>(dir)]) * k +
+         cy[static_cast<Size>(dir)]) *
+            k +
+        cz[static_cast<Size>(dir)];
+  }
+
+  for (Index lx = 0; lx < k; ++lx) {
+    const bool x_interior = (lx > 0 && lx < k - 1);
+    for (Index ly = 0; ly < k; ++ly) {
+      const bool y_interior = (ly > 0 && ly < k - 1);
+      for (Index lz = 0; lz < k; ++lz) {
+        const Size local = grid.local_id(lx, ly, lz);
+        if (grid.solid(cube, local)) continue;
+        grid.df_new(cube, 0, local) = grid.df(cube, 0, local);
+
+        if (x_interior && y_interior && lz > 0 && lz < k - 1) {
+          // Fast path: every destination stays inside this cube.
+          for (int dir = 1; dir < kQ; ++dir) {
+            const Size dest_local = static_cast<Size>(
+                static_cast<std::ptrdiff_t>(local) + local_offset[dir]);
+            if (grid.solid(cube, dest_local)) {
+              Real v = grid.df(cube, dir, local);
+              if (has_lid && gz0 + lz + cz[static_cast<Size>(dir)] ==
+                                 grid.nz() - 1) {
+                v -= lid_correction(grid.lid_velocity(), dir);
+              }
+              grid.df_new(cube, opposite(dir), local) = v;
+            } else {
+              grid.df_new(cube, dir, dest_local) =
+                  grid.df(cube, dir, local);
+            }
+          }
+        } else {
+          for (int dir = 1; dir < kQ; ++dir) {
+            Index tx = lx + cx[static_cast<Size>(dir)];
+            Index ty = ly + cy[static_cast<Size>(dir)];
+            Index tz = lz + cz[static_cast<Size>(dir)];
+            int dcx = 0, dcy = 0, dcz = 0;
+            if (tx < 0) {
+              tx += k;
+              dcx = -1;
+            } else if (tx >= k) {
+              tx -= k;
+              dcx = 1;
+            }
+            if (ty < 0) {
+              ty += k;
+              dcy = -1;
+            } else if (ty >= k) {
+              ty -= k;
+              dcy = 1;
+            }
+            if (tz < 0) {
+              tz += k;
+              dcz = -1;
+            } else if (tz >= k) {
+              tz -= k;
+              dcz = 1;
+            }
+            const Size dest_cube =
+                (dcx | dcy | dcz) == 0
+                    ? cube
+                    : grid.neighbor_cube(cube, dcx, dcy, dcz);
+            const Size dest_local = grid.local_id(tx, ty, tz);
+            if (grid.solid(dest_cube, dest_local)) {
+              Real v = grid.df(cube, dir, local);
+              if (has_lid && gz0 + dcz * k + tz == grid.nz() - 1) {
+                v -= lid_correction(grid.lid_velocity(), dir);
+              }
+              grid.df_new(cube, opposite(dir), local) = v;
+            } else {
+              grid.df_new(dest_cube, dir, dest_local) =
+                  grid.df(cube, dir, local);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void cube_update_velocity(CubeGrid& grid, Size cube) {
+  using namespace d3q19;
+  const Size m = grid.nodes_per_cube();
+  const Real* planes[kQ];
+  for (int i = 0; i < kQ; ++i) {
+    planes[i] = grid.slot(cube, CubeGrid::kDfNewSlot + static_cast<Size>(i));
+  }
+  const Real* fx = grid.slot(cube, CubeGrid::kFxSlot);
+  const Real* fy = grid.slot(cube, CubeGrid::kFySlot);
+  const Real* fz = grid.slot(cube, CubeGrid::kFzSlot);
+  Real* rho_out = grid.slot(cube, CubeGrid::kRhoSlot);
+  Real* ux_out = grid.slot(cube, CubeGrid::kUxSlot);
+  Real* uy_out = grid.slot(cube, CubeGrid::kUySlot);
+  Real* uz_out = grid.slot(cube, CubeGrid::kUzSlot);
+  for (Size local = 0; local < m; ++local) {
+    if (grid.solid(cube, local)) {
+      ux_out[local] = uy_out[local] = uz_out[local] = 0.0;
+      continue;
+    }
+    Real rho = 0.0;
+    Vec3 mom{};
+    for (int i = 0; i < kQ; ++i) {
+      const Real gi = planes[i][local];
+      rho += gi;
+      mom.x += gi * cx[static_cast<Size>(i)];
+      mom.y += gi * cy[static_cast<Size>(i)];
+      mom.z += gi * cz[static_cast<Size>(i)];
+    }
+    // Same expression as the planar kernel (Vec3 division multiplies by
+    // the reciprocal) so both layouts produce bit-identical velocities.
+    const Vec3 u =
+        (mom + Real{0.5} * Vec3{fx[local], fy[local], fz[local]}) / rho;
+    rho_out[local] = rho;
+    ux_out[local] = u.x;
+    uy_out[local] = u.y;
+    uz_out[local] = u.z;
+  }
+}
+
+namespace {
+
+/// Raw moments of a node's streamed (df_new) distributions.
+void cube_streamed_moments(const CubeGrid& grid, Size cube, Size local,
+                           Real& rho, Vec3& u) {
+  using namespace d3q19;
+  rho = 0.0;
+  Vec3 mom{};
+  for (int dir = 0; dir < kQ; ++dir) {
+    const Real g = grid.df_new(cube, dir, local);
+    rho += g;
+    mom += g * c(dir);
+  }
+  u = mom / rho;
+}
+
+}  // namespace
+
+void cube_apply_inlet_outlet(CubeGrid& grid, const Vec3& inlet_velocity,
+                             Size cube) {
+  const Index k = grid.cube_size();
+  const Index ncy = grid.cubes_y(), ncz = grid.cubes_z();
+  const Index ccx = static_cast<Index>(cube) / (ncy * ncz);
+
+  // Neighbouring column inside or across the cube for local x-offset +-1.
+  auto column_ref = [&](Index lx_target, Index ly, Index lz, int dc)
+      -> CubeGrid::NodeRef {
+    if (lx_target >= 0 && lx_target < k) {
+      return {cube, grid.local_id(lx_target, ly, lz)};
+    }
+    const Size ncube = grid.neighbor_cube(cube, dc, 0, 0);
+    const Index wrapped = lx_target < 0 ? lx_target + k : lx_target - k;
+    return {ncube, grid.local_id(wrapped, ly, lz)};
+  };
+
+  if (ccx == 0) {
+    // Velocity inlet at the local (x=1) density; mirrors
+    // apply_inlet_outlet exactly.
+    for (Index ly = 0; ly < k; ++ly) {
+      for (Index lz = 0; lz < k; ++lz) {
+        const Size local = grid.local_id(0, ly, lz);
+        if (grid.solid(cube, local)) continue;
+        const CubeGrid::NodeRef nb = column_ref(1, ly, lz, 1);
+        Real rho_b;
+        Vec3 u_ignored;
+        cube_streamed_moments(grid, nb.cube, nb.local, rho_b, u_ignored);
+        for (int dir = 0; dir < kQ; ++dir) {
+          grid.df_new(cube, dir, local) =
+              d3q19::equilibrium(dir, rho_b, inlet_velocity);
+        }
+      }
+    }
+  }
+  if (ccx == grid.cubes_x() - 1) {
+    // Pressure outlet: rho = 1, velocity extrapolated from upstream.
+    for (Index ly = 0; ly < k; ++ly) {
+      for (Index lz = 0; lz < k; ++lz) {
+        const Size local = grid.local_id(k - 1, ly, lz);
+        if (grid.solid(cube, local)) continue;
+        const CubeGrid::NodeRef up = column_ref(k - 2, ly, lz, -1);
+        Real rho_up;
+        Vec3 u_up;
+        cube_streamed_moments(grid, up.cube, up.local, rho_up, u_up);
+        for (int dir = 0; dir < kQ; ++dir) {
+          grid.df_new(cube, dir, local) =
+              d3q19::equilibrium(dir, Real{1}, u_up);
+        }
+      }
+    }
+  }
+}
+
+void cube_copy_distributions(CubeGrid& grid, Size cube) {
+  // The 19 df slots and 19 df_new slots are each contiguous within the
+  // cube block, so one memcpy moves the whole new buffer back.
+  std::memcpy(grid.slot(cube, CubeGrid::kDfSlot),
+              grid.slot(cube, CubeGrid::kDfNewSlot),
+              static_cast<Size>(kQ) * grid.nodes_per_cube() * sizeof(Real));
+}
+
+namespace {
+
+/// Cube and local coordinates of each influential-domain offset, resolved
+/// once per axis (12 divisions per fiber node instead of 6 per touched
+/// fluid node).
+struct DomainAxes {
+  Index cube_c[3][4];
+  Index local_c[3][4];
+};
+
+DomainAxes resolve_domain(const CubeGrid& grid, const InfluenceDomain& d) {
+  const Index dims[3] = {grid.nx(), grid.ny(), grid.nz()};
+  const Index k = grid.cube_size();
+  DomainAxes out;
+  for (int axis = 0; axis < 3; ++axis) {
+    for (int a = 0; a < 4; ++a) {
+      const Index g = FluidGrid::wrap(d.base[axis] + a, dims[axis]);
+      out.cube_c[axis][a] = g / k;
+      out.local_c[axis][a] = g % k;
+    }
+  }
+  return out;
+}
+
+template <class AddForce>
+void cube_spread_impl(const FiberSheet& sheet, CubeGrid& grid,
+                      Index fiber_begin, Index fiber_end, AddForce&& add) {
+  const Real area = sheet.node_area();
+  const Index k = grid.cube_size();
+  const Index ncy = grid.cubes_y(), ncz = grid.cubes_z();
+  for (Index f = fiber_begin; f < fiber_end; ++f) {
+    for (Index j = 0; j < sheet.nodes_per_fiber(); ++j) {
+      const Size node_id = sheet.id(f, j);
+      const Vec3 force = area * sheet.elastic_force(node_id);
+      const InfluenceDomain d = influence_domain(sheet.position(node_id));
+      const DomainAxes ax = resolve_domain(grid, d);
+      for (int a = 0; a < 4; ++a) {
+        const Real wa = d.wx[a];
+        if (wa == Real{0}) continue;
+        for (int b = 0; b < 4; ++b) {
+          const Real wab = wa * d.wy[b];
+          if (wab == Real{0}) continue;
+          const Index cube_xy =
+              (ax.cube_c[0][a] * ncy + ax.cube_c[1][b]) * ncz;
+          const Index local_xy =
+              (ax.local_c[0][a] * k + ax.local_c[1][b]) * k;
+          for (int c = 0; c < 4; ++c) {
+            const Real w = wab * d.wz[c];
+            if (w == Real{0}) continue;
+            const CubeGrid::NodeRef r{
+                static_cast<Size>(cube_xy + ax.cube_c[2][c]),
+                static_cast<Size>(local_xy + ax.local_c[2][c])};
+            add(r, w * force);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void cube_spread_force(const FiberSheet& sheet, CubeGrid& grid,
+                       const CubeDistribution& dist,
+                       std::span<SpinLock> locks, Index fiber_begin,
+                       Index fiber_end) {
+  const Index ncy = grid.cubes_y(), ncz = grid.cubes_z();
+  cube_spread_impl(
+      sheet, grid, fiber_begin, fiber_end,
+      [&](const CubeGrid::NodeRef& r, const Vec3& f) {
+        const Index cx = static_cast<Index>(r.cube) / (ncy * ncz);
+        const Index cy = (static_cast<Index>(r.cube) / ncz) % ncy;
+        const Index cz = static_cast<Index>(r.cube) % ncz;
+        const int owner = dist.cube2thread(cx, cy, cz);
+        SpinLockGuard guard(locks[static_cast<Size>(owner)]);
+        grid.add_force(r.cube, r.local, f);
+      });
+}
+
+void cube_spread_force_unlocked(const FiberSheet& sheet, CubeGrid& grid,
+                                Index fiber_begin, Index fiber_end) {
+  cube_spread_impl(sheet, grid, fiber_begin, fiber_end,
+                   [&](const CubeGrid::NodeRef& r, const Vec3& f) {
+                     grid.add_force(r.cube, r.local, f);
+                   });
+}
+
+void cube_spread_force_atomic(const FiberSheet& sheet, CubeGrid& grid,
+                              Index fiber_begin, Index fiber_end) {
+  cube_spread_impl(
+      sheet, grid, fiber_begin, fiber_end,
+      [&](const CubeGrid::NodeRef& r, const Vec3& f) {
+        std::atomic_ref<Real>(grid.slot(r.cube, CubeGrid::kFxSlot)[r.local])
+            .fetch_add(f.x, std::memory_order_relaxed);
+        std::atomic_ref<Real>(grid.slot(r.cube, CubeGrid::kFySlot)[r.local])
+            .fetch_add(f.y, std::memory_order_relaxed);
+        std::atomic_ref<Real>(grid.slot(r.cube, CubeGrid::kFzSlot)[r.local])
+            .fetch_add(f.z, std::memory_order_relaxed);
+      });
+}
+
+Vec3 cube_interpolate_velocity(const CubeGrid& grid, const Vec3& pos) {
+  const InfluenceDomain d = influence_domain(pos);
+  const DomainAxes ax = resolve_domain(grid, d);
+  const Index k = grid.cube_size();
+  const Index ncy = grid.cubes_y(), ncz = grid.cubes_z();
+  Vec3 u{};
+  for (int a = 0; a < 4; ++a) {
+    const Real wa = d.wx[a];
+    if (wa == Real{0}) continue;
+    for (int b = 0; b < 4; ++b) {
+      const Real wab = wa * d.wy[b];
+      if (wab == Real{0}) continue;
+      const Index cube_xy = (ax.cube_c[0][a] * ncy + ax.cube_c[1][b]) * ncz;
+      const Index local_xy = (ax.local_c[0][a] * k + ax.local_c[1][b]) * k;
+      for (int c = 0; c < 4; ++c) {
+        const Real w = wab * d.wz[c];
+        if (w == Real{0}) continue;
+        u += w * grid.velocity(
+                     static_cast<Size>(cube_xy + ax.cube_c[2][c]),
+                     static_cast<Size>(local_xy + ax.local_c[2][c]));
+      }
+    }
+  }
+  return u;
+}
+
+void cube_move_fibers(FiberSheet& sheet, const CubeGrid& grid,
+                      Index fiber_begin, Index fiber_end, Real dt) {
+  for (Index f = fiber_begin; f < fiber_end; ++f) {
+    for (Index j = 0; j < sheet.nodes_per_fiber(); ++j) {
+      const Size i = sheet.id(f, j);
+      if (sheet.immobile(i)) continue;
+      const Vec3 u = cube_interpolate_velocity(grid, sheet.position(i));
+      sheet.position(i) += dt * u;
+    }
+  }
+}
+
+}  // namespace lbmib

@@ -1,0 +1,77 @@
+// Cube-local versions of the LBM-IB computational kernels (Algorithm 4).
+//
+// Every kernel takes a cube id and touches (almost) only that cube's
+// contiguous block. Streaming writes into neighbour cubes' df_new slots,
+// but each (direction, destination-node) pair has a unique source, so the
+// phase is race-free under any cube partitioning; the barrier after it
+// (Algorithm 4) publishes the values. Force spreading may write into cubes
+// owned by other threads and therefore serializes through the owner
+// thread's lock, exactly as the paper prescribes.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "common/vec3.hpp"
+#include "cube/distribution.hpp"
+#include "lbm/mrt.hpp"
+#include "parallel/spinlock.hpp"
+
+namespace lbmib {
+
+class CubeGrid;
+class FiberSheet;
+
+/// Kernel 5 on one cube: BGK collision with Guo forcing, in place on df.
+void cube_collide(CubeGrid& grid, Real tau, Size cube);
+
+/// Kernel 5 on one cube with the MRT operator instead of BGK.
+void cube_mrt_collide(CubeGrid& grid, const MrtOperator& op, Size cube);
+
+/// Kernel 6 on one cube: push-stream df into df_new (own and neighbour
+/// cubes), with half-way bounce-back at solid nodes.
+void cube_stream(CubeGrid& grid, Size cube);
+
+/// Kernel 7 on one cube: macroscopic density/velocity from df_new + F/2.
+void cube_update_velocity(CubeGrid& grid, Size cube);
+
+/// Inlet/outlet pass (BoundaryType::kInletOutlet) for one cube: if the
+/// cube touches x = 0, overwrite those nodes' df_new with the equilibrium
+/// of `inlet_velocity`; if it touches x = nx-1, copy the upstream
+/// column's df_new (zero-gradient outflow). No-op for interior cubes.
+/// Must run after all streaming completes and before
+/// cube_update_velocity (the solvers call it at the start of their
+/// update phase).
+void cube_apply_inlet_outlet(CubeGrid& grid, const Vec3& inlet_velocity,
+                             Size cube);
+
+/// Kernel 9 on one cube: copy df_new back into df.
+void cube_copy_distributions(CubeGrid& grid, Size cube);
+
+/// Kernel 4 for fibers [fiber_begin, fiber_end): spread elastic force into
+/// the cube grid. Writes to a cube are guarded by the owning thread's lock
+/// (`locks[dist.cube2thread(...)]`), so any number of threads may spread
+/// concurrently.
+void cube_spread_force(const FiberSheet& sheet, CubeGrid& grid,
+                       const CubeDistribution& dist,
+                       std::span<SpinLock> locks, Index fiber_begin,
+                       Index fiber_end);
+
+/// Single-writer variant (no locks) used by tests and the sequential path.
+void cube_spread_force_unlocked(const FiberSheet& sheet, CubeGrid& grid,
+                                Index fiber_begin, Index fiber_end);
+
+/// Lock-free variant accumulating with std::atomic_ref fetch-adds; used by
+/// the dynamically scheduled solver where cube ownership is not static.
+void cube_spread_force_atomic(const FiberSheet& sheet, CubeGrid& grid,
+                              Index fiber_begin, Index fiber_end);
+
+/// Kernel 8 for fibers [fiber_begin, fiber_end): interpolate velocity from
+/// the cube grid and advance fiber positions (dt = 1).
+void cube_move_fibers(FiberSheet& sheet, const CubeGrid& grid,
+                      Index fiber_begin, Index fiber_end, Real dt = 1.0);
+
+/// Velocity interpolation at one Lagrangian point from cube storage.
+Vec3 cube_interpolate_velocity(const CubeGrid& grid, const Vec3& pos);
+
+}  // namespace lbmib

@@ -1,0 +1,86 @@
+#include "cube/numa_distribution.hpp"
+
+#include "common/error.hpp"
+
+namespace lbmib {
+
+NumaMesh numa_hierarchical_mesh(const MachineTopology& topology,
+                                int num_threads) {
+  require(num_threads >= 1, "need at least one thread");
+  const int per_node = topology.cores_per_numa_node;
+
+  if (num_threads <= per_node) {
+    // Fits on one node: nothing to arrange.
+    NumaMesh out{balanced_mesh(num_threads), {}};
+    out.mesh_to_physical.resize(static_cast<Size>(num_threads));
+    for (int t = 0; t < num_threads; ++t) {
+      out.mesh_to_physical[static_cast<Size>(t)] = t;
+    }
+    return out;
+  }
+  require(num_threads % per_node == 0,
+          "thread count spanning NUMA nodes must use whole nodes");
+  const int nodes = num_threads / per_node;
+  require(nodes <= topology.numa_nodes,
+          "thread count exceeds the machine's cores");
+
+  const ThreadMesh node_mesh = balanced_mesh(nodes);
+  const ThreadMesh core_mesh = balanced_mesh(per_node);
+  NumaMesh out;
+  out.mesh = ThreadMesh{node_mesh.p * core_mesh.p,
+                        node_mesh.q * core_mesh.q,
+                        node_mesh.r * core_mesh.r};
+  out.mesh_to_physical.resize(static_cast<Size>(num_threads));
+  for (int i = 0; i < out.mesh.p; ++i) {
+    for (int j = 0; j < out.mesh.q; ++j) {
+      for (int k = 0; k < out.mesh.r; ++k) {
+        const int mesh_tid = out.mesh.thread_id(i, j, k);
+        const int node = node_mesh.thread_id(
+            i / core_mesh.p, j / core_mesh.q, k / core_mesh.r);
+        const int core = core_mesh.thread_id(
+            i % core_mesh.p, j % core_mesh.q, k % core_mesh.r);
+        out.mesh_to_physical[static_cast<Size>(mesh_tid)] =
+            node * per_node + core;
+      }
+    }
+  }
+  return out;
+}
+
+CubeDistribution make_numa_distribution(const MachineTopology& topology,
+                                        int num_threads, Index cubes_x,
+                                        Index cubes_y, Index cubes_z,
+                                        DistributionPolicy policy) {
+  const NumaMesh nm = numa_hierarchical_mesh(topology, num_threads);
+  CubeDistribution dist(cubes_x, cubes_y, cubes_z, nm.mesh, policy);
+  dist.set_thread_permutation(nm.mesh_to_physical);
+  return dist;
+}
+
+Size cross_node_faces(const CubeDistribution& dist,
+                      const MachineTopology& topology, Index cubes_x,
+                      Index cubes_y, Index cubes_z) {
+  auto node_of = [&](Index cx, Index cy, Index cz) {
+    return topology.node_of_core(dist.cube2thread(cx, cy, cz));
+  };
+  Size crossings = 0;
+  for (Index cx = 0; cx < cubes_x; ++cx) {
+    for (Index cy = 0; cy < cubes_y; ++cy) {
+      for (Index cz = 0; cz < cubes_z; ++cz) {
+        const int here = node_of(cx, cy, cz);
+        if (cx + 1 < cubes_x && node_of(cx + 1, cy, cz) != here) {
+          ++crossings;
+        }
+        if (cy + 1 < cubes_y && node_of(cx, cy + 1, cz) != here) {
+          ++crossings;
+        }
+        if (cz + 1 < cubes_z && node_of(cx, cy, cz + 1) != here) {
+          ++crossings;
+        }
+      }
+    }
+  }
+  return crossings;
+}
+
+}  // namespace lbmib

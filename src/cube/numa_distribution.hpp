@@ -1,0 +1,49 @@
+// NUMA-aware cube distribution.
+//
+// The paper's evaluation machine has a deep NUMA hierarchy (8 nodes,
+// remote access up to 2.2x local — Table IV), which is what makes the
+// cube algorithm's data locality pay off. This module arranges the thread
+// mesh *hierarchically* over the topology: the NUMA nodes form an outer
+// P_n x Q_n x R_n mesh and the cores of each node an inner mesh, so that
+// with a block distribution every NUMA node owns one contiguous box of
+// cubes and cross-node cube faces (remote memory traffic) are minimized.
+#pragma once
+
+#include <vector>
+
+#include "cube/distribution.hpp"
+#include "parallel/mesh.hpp"
+#include "parallel/numa_model.hpp"
+
+namespace lbmib {
+
+/// A thread mesh plus the map from mesh-logical thread ids to physical
+/// thread ids (tid t assumed pinned to core t, cores numbered node-major).
+struct NumaMesh {
+  ThreadMesh mesh;                    ///< combined (node x core) mesh
+  std::vector<int> mesh_to_physical;  ///< [mesh tid] -> physical tid
+};
+
+/// Build the hierarchical mesh for `num_threads` threads on `topology`.
+/// num_threads must be a multiple of the topology's cores-per-node (use
+/// whole NUMA nodes) or smaller than one node (then the plain balanced
+/// mesh is returned with the identity map).
+NumaMesh numa_hierarchical_mesh(const MachineTopology& topology,
+                                int num_threads);
+
+/// Cube distribution whose owner ids are physical thread ids laid out
+/// NUMA-hierarchically.
+CubeDistribution make_numa_distribution(const MachineTopology& topology,
+                                        int num_threads, Index cubes_x,
+                                        Index cubes_y, Index cubes_z,
+                                        DistributionPolicy policy =
+                                            DistributionPolicy::kBlock);
+
+/// Diagnostic: number of face-adjacent cube pairs whose owners live on
+/// different NUMA nodes — a proxy for remote streaming traffic. Lower is
+/// better; the hierarchical mapping should not exceed the naive one.
+Size cross_node_faces(const CubeDistribution& dist,
+                      const MachineTopology& topology, Index cubes_x,
+                      Index cubes_y, Index cubes_z);
+
+}  // namespace lbmib

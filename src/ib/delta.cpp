@@ -1,0 +1,60 @@
+#include "ib/delta.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lbmib {
+
+Real phi4(Real r) {
+  const Real a = std::abs(r);
+  if (a >= Real{2}) return 0.0;
+  if (a <= Real{1}) {
+    return Real{0.125} *
+           (Real{3} - 2 * a + std::sqrt(Real{1} + 4 * a - 4 * a * a));
+  }
+  return Real{0.125} *
+         (Real{5} - 2 * a - std::sqrt(Real{-7} + 12 * a - 4 * a * a));
+}
+
+Real phi3(Real r) {
+  const Real a = std::abs(r);
+  if (a >= Real{1.5}) return 0.0;
+  if (a <= Real{0.5}) {
+    return (Real{1} + std::sqrt(Real{1} - 3 * a * a)) / Real{3};
+  }
+  return (Real{5} - 3 * a -
+          std::sqrt(Real{-2} + 6 * a - 3 * a * a)) /
+         Real{6};
+}
+
+Real phi2(Real r) {
+  const Real a = std::abs(r);
+  return a < Real{1} ? Real{1} - a : Real{0};
+}
+
+Real phi(DeltaKernel kernel, Real r) {
+  switch (kernel) {
+    case DeltaKernel::kPhi2:
+      return phi2(r);
+    case DeltaKernel::kPhi3:
+      return phi3(r);
+    case DeltaKernel::kPhi4:
+      return phi4(r);
+  }
+  return 0.0;
+}
+
+int support_radius(DeltaKernel kernel) {
+  switch (kernel) {
+    case DeltaKernel::kPhi2:
+      return 1;
+    case DeltaKernel::kPhi3:
+      return 2;  // 3-point support straddles up to 4 nodes off-grid
+    case DeltaKernel::kPhi4:
+      return 2;
+  }
+  return 2;
+}
+
+}  // namespace lbmib

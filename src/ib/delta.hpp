@@ -1,0 +1,41 @@
+// Smoothed Dirac delta kernels for fluid-structure coupling.
+//
+// The paper's LBM-IB method transfers quantities between the Lagrangian
+// fiber nodes and the Eulerian fluid grid through a smoothed approximation
+// of the Dirac delta (Section II-C). The standard choice, and the one
+// implying the paper's 4x4x4 "influential domain", is Peskin's 4-point
+// kernel. 2- and 3-point kernels are provided for the kernel-width
+// ablation study (bench/ablation_delta.cpp).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace lbmib {
+
+/// Peskin 4-point kernel phi(r), support |r| < 2.
+/// Satisfies: sum-of-unity, zero first moment, and the even-odd condition
+/// sum_{j even} phi(r-j) = sum_{j odd} phi(r-j) = 1/2.
+Real phi4(Real r);
+
+/// 3-point kernel (Roma, Peskin & Berger 1999), support |r| < 1.5.
+Real phi3(Real r);
+
+/// 2-point hat kernel (linear interpolation), support |r| < 1.
+Real phi2(Real r);
+
+/// Available delta kernels.
+enum class DeltaKernel { kPhi2, kPhi3, kPhi4 };
+
+/// phi value for the chosen kernel.
+Real phi(DeltaKernel kernel, Real r);
+
+/// Half-width of the kernel support in lattice nodes: the influential
+/// domain spans `2*support_radius` nodes per dimension (2 -> 4x4x4).
+int support_radius(DeltaKernel kernel);
+
+/// 3-D tensor-product delta: phi(x) * phi(y) * phi(z).
+inline Real delta3(Real dx, Real dy, Real dz) {
+  return phi4(dx) * phi4(dy) * phi4(dz);
+}
+
+}  // namespace lbmib

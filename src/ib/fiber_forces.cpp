@@ -1,0 +1,112 @@
+#include "ib/fiber_forces.hpp"
+
+#include "ib/fiber_sheet.hpp"
+
+namespace lbmib {
+
+namespace {
+
+// Bending is discretized as F = -k_b * D2^T (D2 X): first the discrete
+// curvature C_j = X_{j-1} - 2 X_j + X_{j+1} at interior nodes (zero at the
+// free ends — the natural boundary condition), then the adjoint second
+// difference. In the interior this is exactly the 5-point fourth
+// difference (the paper's "8 neighbour fiber nodes"); near free ends the
+// adjoint form keeps the total bending force identically zero (Newton's
+// third law), which a plainly truncated stencil would violate and thereby
+// pump spurious momentum into the fluid.
+
+/// Curvature along the fiber at (f, j); zero outside [1, n-2].
+Vec3 curvature_along(const FiberSheet& s, Index f, Index j) {
+  if (j < 1 || j > s.nodes_per_fiber() - 2) return {};
+  return s.position(f, j - 1) - 2.0 * s.position(f, j) +
+         s.position(f, j + 1);
+}
+
+/// Curvature across fibers at (f, j); zero outside [1, nf-2].
+Vec3 curvature_across(const FiberSheet& s, Index f, Index j) {
+  if (f < 1 || f > s.num_fibers() - 2) return {};
+  return s.position(f - 1, j) - 2.0 * s.position(f, j) +
+         s.position(f + 1, j);
+}
+
+/// (D2^T C)_j along the fiber = C_{j-1} - 2 C_j + C_{j+1}.
+Vec3 fourth_difference_along(const FiberSheet& s, Index f, Index j) {
+  return curvature_along(s, f, j - 1) - 2.0 * curvature_along(s, f, j) +
+         curvature_along(s, f, j + 1);
+}
+
+Vec3 fourth_difference_across(const FiberSheet& s, Index f, Index j) {
+  return curvature_across(s, f - 1, j) - 2.0 * curvature_across(s, f, j) +
+         curvature_across(s, f + 1, j);
+}
+
+/// Hookean tension exerted on node at `p` by a neighbour at `q` with rest
+/// length `rest`.
+Vec3 spring_force(const Vec3& p, const Vec3& q, Real ks, Real rest) {
+  const Vec3 d = q - p;
+  const Real len = norm(d);
+  if (len <= Real{0}) return {};
+  return (ks * (len - rest) / len) * d;
+}
+
+}  // namespace
+
+void compute_bending_force(FiberSheet& sheet, Index fiber_begin,
+                           Index fiber_end) {
+  const Real kb = sheet.bending_coeff();
+  for (Index f = fiber_begin; f < fiber_end; ++f) {
+    for (Index j = 0; j < sheet.nodes_per_fiber(); ++j) {
+      const Vec3 d4 = fourth_difference_along(sheet, f, j) +
+                      fourth_difference_across(sheet, f, j);
+      sheet.bending_force(sheet.id(f, j)) = -kb * d4;
+    }
+  }
+}
+
+void compute_stretching_force(FiberSheet& sheet, Index fiber_begin,
+                              Index fiber_end) {
+  const Real ks = sheet.stretching_coeff();
+  const Real rest_along = sheet.ds_along();
+  const Real rest_across = sheet.ds_across();
+  const Index nn = sheet.nodes_per_fiber();
+  const Index nf = sheet.num_fibers();
+  for (Index f = fiber_begin; f < fiber_end; ++f) {
+    for (Index j = 0; j < nn; ++j) {
+      const Vec3& p = sheet.position(f, j);
+      Vec3 force{};
+      if (j > 0)
+        force += spring_force(p, sheet.position(f, j - 1), ks, rest_along);
+      if (j < nn - 1)
+        force += spring_force(p, sheet.position(f, j + 1), ks, rest_along);
+      if (f > 0)
+        force += spring_force(p, sheet.position(f - 1, j), ks, rest_across);
+      if (f < nf - 1)
+        force += spring_force(p, sheet.position(f + 1, j), ks, rest_across);
+      sheet.stretching_force(sheet.id(f, j)) = force;
+    }
+  }
+}
+
+void compute_elastic_force(FiberSheet& sheet, Index fiber_begin,
+                           Index fiber_end) {
+  const Real kt = sheet.tether_coeff();
+  for (Index f = fiber_begin; f < fiber_end; ++f) {
+    for (Index j = 0; j < sheet.nodes_per_fiber(); ++j) {
+      const Size i = sheet.id(f, j);
+      Vec3 force = sheet.bending_force(i) + sheet.stretching_force(i);
+      if (kt > Real{0} && sheet.pinned(i)) {
+        // Target-point tether: soft anchor toward the rest position.
+        force += -kt * (sheet.position(i) - sheet.anchor(i));
+      }
+      sheet.elastic_force(i) = force;
+    }
+  }
+}
+
+void compute_all_fiber_forces(FiberSheet& sheet) {
+  compute_bending_force(sheet, 0, sheet.num_fibers());
+  compute_stretching_force(sheet, 0, sheet.num_fibers());
+  compute_elastic_force(sheet, 0, sheet.num_fibers());
+}
+
+}  // namespace lbmib

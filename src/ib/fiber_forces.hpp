@@ -1,0 +1,43 @@
+// Kernels 1-3: fiber bending, stretching, and elastic forces.
+//
+// All three kernels write only to the node they visit (reads touch up to
+// two neighbours per direction), so any partition over fibers — OpenMP's
+// two-stage loops of Algorithm 3 or the cube solver's fiber2thread
+// ownership — is race-free.
+//
+// Force model (Section II of the paper; formulas in Zhu et al. 2011):
+//   bending:    F_b = -k_b * D2^T (D2 X) applied along and across fibers.
+//               In the interior this equals the 5-point fourth difference
+//               X[i-2] - 4 X[i-1] + 6 X[i] - 4 X[i+1] + X[i+2], i.e. the
+//               "8 neighbour fiber nodes" the paper describes; at free
+//               ends the curvature is zero (natural BC) and the adjoint
+//               form keeps the total bending force exactly zero.
+//   stretching: F_s(i) = k_s * sum_{j in 4-neighbours}
+//               (|X_j - X_i| - rest_ij) * (X_j - X_i)/|X_j - X_i|.
+//   elastic:    F_e = F_b + F_s.
+// k_b and k_s are discrete stiffness coefficients (quadrature factors
+// absorbed), the common convention in IB codes.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace lbmib {
+
+class FiberSheet;
+
+/// Kernel 1 for fibers [fiber_begin, fiber_end).
+void compute_bending_force(FiberSheet& sheet, Index fiber_begin,
+                           Index fiber_end);
+
+/// Kernel 2 for fibers [fiber_begin, fiber_end).
+void compute_stretching_force(FiberSheet& sheet, Index fiber_begin,
+                              Index fiber_end);
+
+/// Kernel 3 for fibers [fiber_begin, fiber_end).
+void compute_elastic_force(FiberSheet& sheet, Index fiber_begin,
+                           Index fiber_end);
+
+/// Convenience: all three kernels over the whole sheet.
+void compute_all_fiber_forces(FiberSheet& sheet);
+
+}  // namespace lbmib

@@ -1,0 +1,174 @@
+#include "ib/fiber_sheet.hpp"
+
+#include "common/error.hpp"
+
+namespace lbmib {
+
+FiberSheet::FiberSheet(Index num_fibers, Index nodes_per_fiber, Real width,
+                       Real height, const Vec3& origin,
+                       Real stretching_coeff, Real bending_coeff)
+    : num_fibers_(num_fibers),
+      nodes_per_fiber_(nodes_per_fiber),
+      ks_(stretching_coeff),
+      kb_(bending_coeff) {
+  require(num_fibers >= 0 && nodes_per_fiber >= 0,
+          "fiber sheet dimensions must be non-negative");
+  require((num_fibers == 0) == (nodes_per_fiber == 0),
+          "fiber sheet dimensions must be both zero or both positive");
+  ds_across_ = num_fibers > 1
+                   ? width / static_cast<Real>(num_fibers - 1)
+                   : width;
+  ds_along_ = nodes_per_fiber > 1
+                  ? height / static_cast<Real>(nodes_per_fiber - 1)
+                  : height;
+  const Size n = num_nodes();
+  pos_.resize(n);
+  f_bend_.assign(n, Vec3{});
+  f_stretch_.assign(n, Vec3{});
+  f_elastic_.assign(n, Vec3{});
+  pinned_.assign(n, 0);
+  for (Index f = 0; f < num_fibers_; ++f) {
+    for (Index j = 0; j < nodes_per_fiber_; ++j) {
+      pos_[id(f, j)] = origin + Vec3{0.0, static_cast<Real>(f) * ds_across_,
+                                    static_cast<Real>(j) * ds_along_};
+    }
+  }
+  anchor_ = pos_;
+}
+
+FiberSheet::FiberSheet(const SimulationParams& params)
+    : FiberSheet(params.num_fibers, params.nodes_per_fiber,
+                 params.sheet_width, params.sheet_height,
+                 params.sheet_origin, params.stretching_coeff,
+                 params.bending_coeff) {
+  set_tether_coeff(params.tether_coeff);
+  apply_pin_mode(params.pin_mode);
+}
+
+FiberSheet::FiberSheet(const SheetSpec& spec)
+    : FiberSheet(spec.num_fibers, spec.nodes_per_fiber, spec.width,
+                 spec.height, spec.origin, spec.stretching_coeff,
+                 spec.bending_coeff) {
+  set_tether_coeff(spec.tether_coeff);
+  apply_pin_mode(spec.pin_mode);
+}
+
+void FiberSheet::apply_pin_mode(PinMode mode) {
+  switch (mode) {
+    case PinMode::kNone:
+      break;
+    case PinMode::kLeadingEdge:
+      for (Index f = 0; f < num_fibers_; ++f) set_pinned(id(f, 0), true);
+      break;
+    case PinMode::kCenter: {
+      // Pin the central ~1/5 of the sheet in both directions (the plate of
+      // Figure 1 is "fastened in the middle region").
+      const Index f_lo = num_fibers_ * 2 / 5;
+      const Index f_hi = (num_fibers_ * 3 + 4) / 5;
+      const Index j_lo = nodes_per_fiber_ * 2 / 5;
+      const Index j_hi = (nodes_per_fiber_ * 3 + 4) / 5;
+      for (Index f = f_lo; f < f_hi; ++f) {
+        for (Index j = j_lo; j < j_hi; ++j) set_pinned(id(f, j), true);
+      }
+      break;
+    }
+  }
+}
+
+Vec3 FiberSheet::centroid() const {
+  if (pos_.empty()) return {};
+  Vec3 c{};
+  for (const Vec3& p : pos_) c += p;
+  return c / static_cast<Real>(pos_.size());
+}
+
+Vec3 FiberSheet::total_elastic_force() const {
+  Vec3 f{};
+  for (const Vec3& v : f_elastic_) f += v;
+  return f;
+}
+
+Real FiberSheet::stretching_energy() const {
+  Real energy = 0.0;
+  for (Index f = 0; f < num_fibers_; ++f) {
+    for (Index j = 0; j < nodes_per_fiber_; ++j) {
+      if (j + 1 < nodes_per_fiber_) {
+        const Real d =
+            norm(position(f, j + 1) - position(f, j)) - ds_along_;
+        energy += d * d;
+      }
+      if (f + 1 < num_fibers_) {
+        const Real d =
+            norm(position(f + 1, j) - position(f, j)) - ds_across_;
+        energy += d * d;
+      }
+    }
+  }
+  return Real{0.5} * ks_ * energy;
+}
+
+Real FiberSheet::bending_energy() const {
+  Real energy = 0.0;
+  for (Index f = 0; f < num_fibers_; ++f) {
+    for (Index j = 1; j + 1 < nodes_per_fiber_; ++j) {
+      const Vec3 c = position(f, j - 1) - 2.0 * position(f, j) +
+                     position(f, j + 1);
+      energy += norm2(c);
+    }
+  }
+  for (Index j = 0; j < nodes_per_fiber_; ++j) {
+    for (Index f = 1; f + 1 < num_fibers_; ++f) {
+      const Vec3 c = position(f - 1, j) - 2.0 * position(f, j) +
+                     position(f + 1, j);
+      energy += norm2(c);
+    }
+  }
+  return Real{0.5} * kb_ * energy;
+}
+
+Real FiberSheet::tether_energy() const {
+  if (kt_ <= Real{0}) return 0.0;
+  Real energy = 0.0;
+  for (Size i = 0; i < num_nodes(); ++i) {
+    if (pinned(i)) energy += norm2(pos_[i] - anchor_[i]);
+  }
+  return Real{0.5} * kt_ * energy;
+}
+
+Vec3 FiberSheet::anchor_load() const {
+  Vec3 load{};
+  for (Size i = 0; i < num_nodes(); ++i) {
+    if (!pinned(i)) continue;
+    if (kt_ > Real{0}) {
+      load += kt_ * (pos_[i] - anchor_[i]);
+    } else {
+      load += f_bend_[i] + f_stretch_[i];
+    }
+  }
+  return load;
+}
+
+Structure make_structure(const SimulationParams& params) {
+  Structure structure;
+  for (const SheetSpec& spec : params.sheet_specs()) {
+    structure.emplace_back(spec);
+  }
+  if (structure.empty()) {
+    structure.emplace_back(0, 0, 0.0, 0.0, Vec3{}, 0.0, 0.0);
+  }
+  return structure;
+}
+
+Index structure_num_fibers(const Structure& structure) {
+  Index total = 0;
+  for (const FiberSheet& sheet : structure) total += sheet.num_fibers();
+  return total;
+}
+
+Size structure_num_nodes(const Structure& structure) {
+  Size total = 0;
+  for (const FiberSheet& sheet : structure) total += sheet.num_nodes();
+  return total;
+}
+
+}  // namespace lbmib

@@ -1,0 +1,162 @@
+// The Lagrangian immersed structure: a flexible sheet of fibers.
+//
+// A sheet (Figure 4 of the paper) is an array of `num_fibers` fibers, each
+// a chain of `nodes_per_fiber` Lagrangian nodes. Nodes carry a position
+// plus bending, stretching, and total elastic forces. A 3-D structure can
+// be composed of several sheets; the Structure alias at the bottom holds
+// that collection.
+#pragma once
+
+#include <vector>
+
+#include "common/params.hpp"
+#include "common/types.hpp"
+#include "common/vec3.hpp"
+
+namespace lbmib {
+
+class FiberSheet {
+ public:
+  /// Construct a flat sheet in the y-z plane: fiber f, node j starts at
+  /// origin + (0, f * ds_across, j * ds_along). `width` spans the fiber
+  /// direction (across fibers), `height` spans along each fiber.
+  FiberSheet(Index num_fibers, Index nodes_per_fiber, Real width,
+             Real height, const Vec3& origin, Real stretching_coeff,
+             Real bending_coeff);
+
+  /// Build the sheet described by the parameter bundle (including pinning).
+  explicit FiberSheet(const SimulationParams& params);
+
+  /// Build a sheet from a SheetSpec (including pinning).
+  explicit FiberSheet(const SheetSpec& spec);
+
+  Index num_fibers() const { return num_fibers_; }
+  Index nodes_per_fiber() const { return nodes_per_fiber_; }
+  Size num_nodes() const {
+    return static_cast<Size>(num_fibers_) *
+           static_cast<Size>(nodes_per_fiber_);
+  }
+
+  /// Linear node id of (fiber, node).
+  Size id(Index fiber, Index node) const {
+    return static_cast<Size>(fiber) * static_cast<Size>(nodes_per_fiber_) +
+           static_cast<Size>(node);
+  }
+
+  Real stretching_coeff() const { return ks_; }
+  Real bending_coeff() const { return kb_; }
+  /// Rest spacing between adjacent nodes along a fiber.
+  Real ds_along() const { return ds_along_; }
+  /// Rest spacing between corresponding nodes of adjacent fibers.
+  Real ds_across() const { return ds_across_; }
+
+  Vec3& position(Index fiber, Index node) { return pos_[id(fiber, node)]; }
+  const Vec3& position(Index fiber, Index node) const {
+    return pos_[id(fiber, node)];
+  }
+  Vec3& position(Size node_id) { return pos_[node_id]; }
+  const Vec3& position(Size node_id) const { return pos_[node_id]; }
+
+  Vec3& bending_force(Size node_id) { return f_bend_[node_id]; }
+  const Vec3& bending_force(Size node_id) const { return f_bend_[node_id]; }
+  Vec3& stretching_force(Size node_id) { return f_stretch_[node_id]; }
+  const Vec3& stretching_force(Size node_id) const {
+    return f_stretch_[node_id];
+  }
+  Vec3& elastic_force(Size node_id) { return f_elastic_[node_id]; }
+  const Vec3& elastic_force(Size node_id) const {
+    return f_elastic_[node_id];
+  }
+
+  bool pinned(Size node_id) const { return pinned_[node_id] != 0; }
+  void set_pinned(Size node_id, bool p) { pinned_[node_id] = p ? 1 : 0; }
+  /// Apply one of the standard pinning patterns.
+  void apply_pin_mode(PinMode mode);
+
+  /// Tether (target-point) stiffness. Zero (default) makes pinned nodes
+  /// hard constraints that never move. Positive k_t turns them into soft
+  /// anchors: they move with the fluid but feel a restoring force
+  /// F_t = -k_t (X - X_anchor) toward their anchor position — the
+  /// standard IB "target point" treatment, which lets the fluid feel the
+  /// anchoring reaction.
+  Real tether_coeff() const { return kt_; }
+  void set_tether_coeff(Real kt) { kt_ = kt; }
+
+  /// Anchor position of a node (its construction-time location).
+  const Vec3& anchor(Size node_id) const { return anchor_[node_id]; }
+
+  /// True if move_fibers must not move this node (hard pin).
+  bool immobile(Size node_id) const {
+    return pinned(node_id) && kt_ == Real{0};
+  }
+
+  /// Lagrangian surface patch area represented by one node, used as the
+  /// quadrature weight when spreading force densities to the fluid.
+  Real node_area() const { return ds_along_ * ds_across_; }
+
+  /// Centroid of all node positions.
+  Vec3 centroid() const;
+
+  /// Sum of elastic forces over all nodes (zero for a free sheet by
+  /// Newton's third law among internal springs).
+  Vec3 total_elastic_force() const;
+
+  /// Elastic strain energy stored in the stretching springs:
+  /// 1/2 k_s sum (|X_j - X_i| - rest)^2 over all spring pairs.
+  Real stretching_energy() const;
+
+  /// Elastic energy stored in bending: 1/2 k_b sum |D2 X|^2 over the
+  /// along- and across-fiber curvatures (the quadratic form whose
+  /// gradient is the bending force).
+  Real bending_energy() const;
+
+  /// Tether energy 1/2 k_t sum |X - anchor|^2 over pinned nodes.
+  Real tether_energy() const;
+
+  /// Total elastic energy (stretching + bending + tether).
+  Real elastic_energy() const {
+    return stretching_energy() + bending_energy() + tether_energy();
+  }
+
+  /// Force the structure exerts on its mounting. For hard pins this is
+  /// the spring force the rest of the sheet applies to the pinned nodes
+  /// (the stationary pin passes it straight to the mount); for tethered
+  /// sheets it is the tether tension sum k_t (X - anchor). Zero for a
+  /// free sheet; at steady state it equals the hydrodynamic drag the
+  /// structure transmits.
+  Vec3 anchor_load() const;
+
+  std::vector<Vec3>& positions() { return pos_; }
+  const std::vector<Vec3>& positions() const { return pos_; }
+
+ private:
+  Index num_fibers_;
+  Index nodes_per_fiber_;
+  Real ks_;
+  Real kb_;
+  Real ds_along_;
+  Real ds_across_;
+  Real kt_ = 0.0;
+  std::vector<Vec3> anchor_;
+  std::vector<Vec3> pos_;
+  std::vector<Vec3> f_bend_;
+  std::vector<Vec3> f_stretch_;
+  std::vector<Vec3> f_elastic_;
+  std::vector<std::uint8_t> pinned_;
+};
+
+/// A 3-D immersed structure: a collection of fiber sheets.
+using Structure = std::vector<FiberSheet>;
+
+/// Build the full structure (primary sheet + extras) from the parameters.
+/// Always returns at least one sheet; a fiber-free configuration yields a
+/// single empty sheet so Solver::sheet() stays valid.
+Structure make_structure(const SimulationParams& params);
+
+/// Total fiber count across all sheets.
+Index structure_num_fibers(const Structure& structure);
+
+/// Total node count across all sheets.
+Size structure_num_nodes(const Structure& structure);
+
+}  // namespace lbmib

@@ -1,0 +1,42 @@
+#include "ib/interpolation.hpp"
+
+#include "ib/spreading.hpp"
+#include "lbm/fluid_grid.hpp"
+#include "ib/fiber_sheet.hpp"
+
+namespace lbmib {
+
+Vec3 interpolate_velocity(const FluidGrid& grid, const Vec3& pos) {
+  const InfluenceDomain d = influence_domain(pos);
+  Vec3 u{};
+  for (int a = 0; a < 4; ++a) {
+    const Real wa = d.wx[a];
+    if (wa == Real{0}) continue;
+    for (int b = 0; b < 4; ++b) {
+      const Real wab = wa * d.wy[b];
+      if (wab == Real{0}) continue;
+      for (int c = 0; c < 4; ++c) {
+        const Real w = wab * d.wz[c];
+        if (w == Real{0}) continue;
+        const Size node = grid.periodic_index(d.base[0] + a, d.base[1] + b,
+                                              d.base[2] + c);
+        u += w * grid.velocity(node);
+      }
+    }
+  }
+  return u;
+}
+
+void move_fibers(FiberSheet& sheet, const FluidGrid& grid,
+                 Index fiber_begin, Index fiber_end, Real dt) {
+  for (Index f = fiber_begin; f < fiber_end; ++f) {
+    for (Index j = 0; j < sheet.nodes_per_fiber(); ++j) {
+      const Size i = sheet.id(f, j);
+      if (sheet.immobile(i)) continue;
+      const Vec3 u = interpolate_velocity(grid, sheet.position(i));
+      sheet.position(i) += dt * u;
+    }
+  }
+}
+
+}  // namespace lbmib

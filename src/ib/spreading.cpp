@@ -1,0 +1,81 @@
+#include "ib/spreading.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "ib/delta.hpp"
+#include "ib/fiber_sheet.hpp"
+#include "lbm/fluid_grid.hpp"
+
+namespace lbmib {
+
+InfluenceDomain influence_domain(const Vec3& pos) {
+  InfluenceDomain d;
+  const Real coords[3] = {pos.x, pos.y, pos.z};
+  Real* weights[3] = {d.wx, d.wy, d.wz};
+  for (int axis = 0; axis < 3; ++axis) {
+    const Index base = static_cast<Index>(std::floor(coords[axis])) - 1;
+    d.base[axis] = base;
+    for (int k = 0; k < 4; ++k) {
+      weights[axis][k] =
+          phi4(static_cast<Real>(base + k) - coords[axis]);
+    }
+  }
+  return d;
+}
+
+namespace {
+
+template <class AddForce>
+void spread_impl(const FiberSheet& sheet, FluidGrid& grid,
+                 Index fiber_begin, Index fiber_end, AddForce&& add) {
+  const Real area = sheet.node_area();
+  for (Index f = fiber_begin; f < fiber_end; ++f) {
+    for (Index j = 0; j < sheet.nodes_per_fiber(); ++j) {
+      const Size node_id = sheet.id(f, j);
+      const Vec3 force = area * sheet.elastic_force(node_id);
+      const InfluenceDomain d = influence_domain(sheet.position(node_id));
+      for (int a = 0; a < 4; ++a) {
+        const Real wa = d.wx[a];
+        if (wa == Real{0}) continue;
+        for (int b = 0; b < 4; ++b) {
+          const Real wab = wa * d.wy[b];
+          if (wab == Real{0}) continue;
+          for (int c = 0; c < 4; ++c) {
+            const Real w = wab * d.wz[c];
+            if (w == Real{0}) continue;
+            const Size fluid_node = grid.periodic_index(
+                d.base[0] + a, d.base[1] + b, d.base[2] + c);
+            add(fluid_node, w * force);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void spread_force(const FiberSheet& sheet, FluidGrid& grid,
+                  Index fiber_begin, Index fiber_end) {
+  spread_impl(sheet, grid, fiber_begin, fiber_end,
+              [&grid](Size node, const Vec3& f) { grid.add_force(node, f); });
+}
+
+void spread_force_atomic(const FiberSheet& sheet, FluidGrid& grid,
+                         Index fiber_begin, Index fiber_end) {
+  Real* fx = grid.fx_data();
+  Real* fy = grid.fy_data();
+  Real* fz = grid.fz_data();
+  spread_impl(sheet, grid, fiber_begin, fiber_end,
+              [=](Size node, const Vec3& f) {
+                std::atomic_ref<Real>(fx[node]).fetch_add(
+                    f.x, std::memory_order_relaxed);
+                std::atomic_ref<Real>(fy[node]).fetch_add(
+                    f.y, std::memory_order_relaxed);
+                std::atomic_ref<Real>(fz[node]).fetch_add(
+                    f.z, std::memory_order_relaxed);
+              });
+}
+
+}  // namespace lbmib

@@ -1,0 +1,179 @@
+#include "io/checkpoint.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "lbm/fluid_grid.hpp"
+
+namespace lbmib {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4C424D4942435032ull;  // "LBMIBCP2"
+constexpr std::uint64_t kVersion = 2;
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+void write_reals(std::ostream& out, const Real* data, Size count) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(Real)));
+}
+
+void read_reals(std::istream& in, Real* data, Size count) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(count * sizeof(Real)));
+}
+
+void write_grid(std::ostream& out, const FluidGrid& grid) {
+  const Size n = grid.num_nodes();
+  for (int dir = 0; dir < kQ; ++dir) write_reals(out, grid.df_plane(dir), n);
+  for (int dir = 0; dir < kQ; ++dir) {
+    write_reals(out, grid.df_new_plane(dir), n);
+  }
+  for (Size node = 0; node < n; ++node) {
+    Real moments[8] = {grid.rho(node), grid.ux(node), grid.uy(node),
+                       grid.uz(node),  grid.fx(node), grid.fy(node),
+                       grid.fz(node),  grid.solid(node) ? 1.0 : 0.0};
+    write_reals(out, moments, 8);
+  }
+}
+
+void read_grid(std::istream& in, FluidGrid& grid) {
+  const Size n = grid.num_nodes();
+  for (int dir = 0; dir < kQ; ++dir) read_reals(in, grid.df_plane(dir), n);
+  for (int dir = 0; dir < kQ; ++dir) {
+    read_reals(in, grid.df_new_plane(dir), n);
+  }
+  for (Size node = 0; node < n; ++node) {
+    Real moments[8];
+    read_reals(in, moments, 8);
+    grid.rho(node) = moments[0];
+    grid.set_velocity(node, {moments[1], moments[2], moments[3]});
+    grid.fx(node) = moments[4];
+    grid.fy(node) = moments[5];
+    grid.fz(node) = moments[6];
+    grid.set_solid(node, moments[7] != 0.0);
+  }
+}
+
+void write_sheet(std::ostream& out, const FiberSheet& sheet) {
+  write_u64(out, static_cast<std::uint64_t>(sheet.num_fibers()));
+  write_u64(out, static_cast<std::uint64_t>(sheet.nodes_per_fiber()));
+  for (Size i = 0; i < sheet.num_nodes(); ++i) {
+    const Vec3& p = sheet.position(i);
+    const Vec3& b = sheet.bending_force(i);
+    const Vec3& s = sheet.stretching_force(i);
+    const Vec3& e = sheet.elastic_force(i);
+    Real fields[13] = {p.x, p.y, p.z, b.x, b.y, b.z, s.x,
+                       s.y, s.z, e.x, e.y, e.z,
+                       sheet.pinned(i) ? 1.0 : 0.0};
+    write_reals(out, fields, 13);
+  }
+}
+
+void read_sheet(std::istream& in, FiberSheet& sheet,
+                const std::string& path) {
+  require(read_u64(in) == static_cast<std::uint64_t>(sheet.num_fibers()) &&
+              read_u64(in) ==
+                  static_cast<std::uint64_t>(sheet.nodes_per_fiber()),
+          "checkpoint sheet dimensions do not match in '" + path + "'");
+  for (Size i = 0; i < sheet.num_nodes(); ++i) {
+    Real fields[13];
+    read_reals(in, fields, 13);
+    sheet.position(i) = {fields[0], fields[1], fields[2]};
+    sheet.bending_force(i) = {fields[3], fields[4], fields[5]};
+    sheet.stretching_force(i) = {fields[6], fields[7], fields[8]};
+    sheet.elastic_force(i) = {fields[9], fields[10], fields[11]};
+    sheet.set_pinned(i, fields[12] != 0.0);
+  }
+}
+
+template <class SheetRange>
+void save_impl(const std::string& path, const FluidGrid& grid,
+               const SheetRange& sheets, Size num_sheets) {
+  std::ofstream out(path, std::ios::binary);
+  require(out.good(), "cannot open '" + path + "' for writing");
+
+  write_u64(out, kMagic);
+  write_u64(out, kVersion);
+  write_u64(out, static_cast<std::uint64_t>(grid.nx()));
+  write_u64(out, static_cast<std::uint64_t>(grid.ny()));
+  write_u64(out, static_cast<std::uint64_t>(grid.nz()));
+  write_u64(out, num_sheets);
+  write_grid(out, grid);
+  for (const FiberSheet& sheet : sheets) write_sheet(out, sheet);
+  require(out.good(), "error while writing '" + path + "'");
+}
+
+template <class SheetRange>
+void load_impl(const std::string& path, FluidGrid& grid,
+               SheetRange& sheets, Size num_sheets) {
+  std::ifstream in(path, std::ios::binary);
+  require(in.good(), "cannot open '" + path + "' for reading");
+
+  require(read_u64(in) == kMagic, "'" + path + "' is not a checkpoint");
+  require(read_u64(in) == kVersion, "unsupported checkpoint version");
+  require(read_u64(in) == static_cast<std::uint64_t>(grid.nx()) &&
+              read_u64(in) == static_cast<std::uint64_t>(grid.ny()) &&
+              read_u64(in) == static_cast<std::uint64_t>(grid.nz()),
+          "checkpoint grid dimensions do not match");
+  require(read_u64(in) == num_sheets,
+          "checkpoint sheet count does not match");
+  read_grid(in, grid);
+  for (FiberSheet& sheet : sheets) read_sheet(in, sheet, path);
+  require(in.good(), "checkpoint '" + path + "' is truncated");
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, const FluidGrid& grid,
+                     const FiberSheet& sheet) {
+  std::ofstream out(path, std::ios::binary);
+  require(out.good(), "cannot open '" + path + "' for writing");
+  write_u64(out, kMagic);
+  write_u64(out, kVersion);
+  write_u64(out, static_cast<std::uint64_t>(grid.nx()));
+  write_u64(out, static_cast<std::uint64_t>(grid.ny()));
+  write_u64(out, static_cast<std::uint64_t>(grid.nz()));
+  write_u64(out, 1);
+  write_grid(out, grid);
+  write_sheet(out, sheet);
+  require(out.good(), "error while writing '" + path + "'");
+}
+
+void load_checkpoint(const std::string& path, FluidGrid& grid,
+                     FiberSheet& sheet) {
+  std::ifstream in(path, std::ios::binary);
+  require(in.good(), "cannot open '" + path + "' for reading");
+  require(read_u64(in) == kMagic, "'" + path + "' is not a checkpoint");
+  require(read_u64(in) == kVersion, "unsupported checkpoint version");
+  require(read_u64(in) == static_cast<std::uint64_t>(grid.nx()) &&
+              read_u64(in) == static_cast<std::uint64_t>(grid.ny()) &&
+              read_u64(in) == static_cast<std::uint64_t>(grid.nz()),
+          "checkpoint grid dimensions do not match");
+  require(read_u64(in) == 1, "checkpoint holds more than one sheet");
+  read_grid(in, grid);
+  read_sheet(in, sheet, path);
+  require(in.good(), "checkpoint '" + path + "' is truncated");
+}
+
+void save_checkpoint(const std::string& path, const FluidGrid& grid,
+                     const Structure& structure) {
+  save_impl(path, grid, structure, structure.size());
+}
+
+void load_checkpoint(const std::string& path, FluidGrid& grid,
+                     Structure& structure) {
+  load_impl(path, grid, structure, structure.size());
+}
+
+}  // namespace lbmib

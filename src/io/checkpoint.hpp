@@ -1,0 +1,34 @@
+// Binary checkpoint / restart.
+//
+// Serializes the complete simulation state — fluid grid (both distribution
+// buffers, moments, forces, solid mask) and fiber sheet (positions,
+// forces, pins) — so long runs can resume exactly. Format: magic + version
+// header, little-endian raw fields.
+#pragma once
+
+#include <string>
+
+#include "ib/fiber_sheet.hpp"
+
+namespace lbmib {
+
+class FluidGrid;
+
+/// Write grid + sheet to `path`. Throws lbmib::Error on I/O failure.
+void save_checkpoint(const std::string& path, const FluidGrid& grid,
+                     const FiberSheet& sheet);
+
+/// Restore state saved by save_checkpoint (single-sheet file). The grid
+/// and sheet must already have the same dimensions as the saved state
+/// (construct from the same SimulationParams); throws lbmib::Error on any
+/// mismatch or corruption.
+void load_checkpoint(const std::string& path, FluidGrid& grid,
+                     FiberSheet& sheet);
+
+/// Multi-sheet variants: the whole immersed structure in one file.
+void save_checkpoint(const std::string& path, const FluidGrid& grid,
+                     const Structure& structure);
+void load_checkpoint(const std::string& path, FluidGrid& grid,
+                     Structure& structure);
+
+}  // namespace lbmib

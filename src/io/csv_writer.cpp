@@ -1,0 +1,32 @@
+#include "io/csv_writer.hpp"
+
+#include "common/error.hpp"
+
+namespace lbmib {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  require(out_.good(), "cannot open '" + path + "' for writing");
+  require(!header.empty(), "CSV header must not be empty");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    out_ << header[i] << (i + 1 < header.size() ? "," : "\n");
+  }
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  require(values.size() == columns_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out_ << values[i] << (i + 1 < values.size() ? "," : "\n");
+  }
+}
+
+void CsvWriter::row(const std::string& label,
+                    const std::vector<double>& values) {
+  require(values.size() + 1 == columns_, "CSV row width mismatch");
+  out_ << label;
+  for (double v : values) out_ << ',' << v;
+  out_ << '\n';
+}
+
+}  // namespace lbmib

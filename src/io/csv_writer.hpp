@@ -1,0 +1,27 @@
+// Simple CSV time-series writer used by the bench harness and examples.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace lbmib {
+
+/// Append-style CSV writer: set the header once, then add rows of values.
+class CsvWriter {
+ public:
+  /// Open `path` for writing and emit the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Write one row; the value count must match the header.
+  void row(const std::vector<double>& values);
+
+  /// Mixed row: a leading string cell followed by numeric cells.
+  void row(const std::string& label, const std::vector<double>& values);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace lbmib

@@ -1,0 +1,135 @@
+#include "io/vtk_writer.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "ib/fiber_sheet.hpp"
+#include "lbm/fluid_grid.hpp"
+#include "lbm/observables.hpp"
+
+namespace lbmib {
+
+namespace {
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  require(out.good(), "cannot open '" + path + "' for writing");
+  return out;
+}
+}  // namespace
+
+void write_fluid_vtk(const FluidGrid& grid, const std::string& path) {
+  std::ofstream out = open_or_throw(path);
+  const Index nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+  out << "# vtk DataFile Version 3.0\n";
+  out << "LBM-IB fluid state\n";
+  out << "ASCII\n";
+  out << "DATASET STRUCTURED_POINTS\n";
+  out << "DIMENSIONS " << nx << ' ' << ny << ' ' << nz << '\n';
+  out << "ORIGIN 0 0 0\n";
+  out << "SPACING 1 1 1\n";
+  out << "POINT_DATA " << grid.num_nodes() << '\n';
+
+  // VTK structured points iterate x fastest; our storage is z fastest, so
+  // emit in VTK's order explicitly.
+  out << "SCALARS density double 1\nLOOKUP_TABLE default\n";
+  for (Index z = 0; z < nz; ++z) {
+    for (Index y = 0; y < ny; ++y) {
+      for (Index x = 0; x < nx; ++x) {
+        out << grid.rho(grid.index(x, y, z)) << '\n';
+      }
+    }
+  }
+  out << "VECTORS velocity double\n";
+  for (Index z = 0; z < nz; ++z) {
+    for (Index y = 0; y < ny; ++y) {
+      for (Index x = 0; x < nx; ++x) {
+        const Vec3 u = grid.velocity(grid.index(x, y, z));
+        out << u.x << ' ' << u.y << ' ' << u.z << '\n';
+      }
+    }
+  }
+  out << "VECTORS force double\n";
+  for (Index z = 0; z < nz; ++z) {
+    for (Index y = 0; y < ny; ++y) {
+      for (Index x = 0; x < nx; ++x) {
+        const Vec3 f = grid.force(grid.index(x, y, z));
+        out << f.x << ' ' << f.y << ' ' << f.z << '\n';
+      }
+    }
+  }
+  require(out.good(), "error while writing '" + path + "'");
+}
+
+void write_observables_vtk(const FluidGrid& grid, Real tau,
+                           const std::string& path) {
+  std::ofstream out = open_or_throw(path);
+  const Index nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+  out << "# vtk DataFile Version 3.0\n";
+  out << "LBM-IB derived observables\n";
+  out << "ASCII\n";
+  out << "DATASET STRUCTURED_POINTS\n";
+  out << "DIMENSIONS " << nx << ' ' << ny << ' ' << nz << '\n';
+  out << "ORIGIN 0 0 0\n";
+  out << "SPACING 1 1 1\n";
+  out << "POINT_DATA " << grid.num_nodes() << '\n';
+
+  out << "SCALARS pressure double 1\nLOOKUP_TABLE default\n";
+  for (Index z = 0; z < nz; ++z) {
+    for (Index y = 0; y < ny; ++y) {
+      for (Index x = 0; x < nx; ++x) {
+        out << pressure(grid, grid.index(x, y, z)) << '\n';
+      }
+    }
+  }
+  out << "VECTORS vorticity double\n";
+  for (Index z = 0; z < nz; ++z) {
+    for (Index y = 0; y < ny; ++y) {
+      for (Index x = 0; x < nx; ++x) {
+        const Vec3 w = vorticity(grid, x, y, z);
+        out << w.x << ' ' << w.y << ' ' << w.z << '\n';
+      }
+    }
+  }
+  out << "SCALARS strain_rate_norm double 1\nLOOKUP_TABLE default\n";
+  for (Index z = 0; z < nz; ++z) {
+    for (Index y = 0; y < ny; ++y) {
+      for (Index x = 0; x < nx; ++x) {
+        out << strain_rate(grid, grid.index(x, y, z), tau).norm() << '\n';
+      }
+    }
+  }
+  require(out.good(), "error while writing '" + path + "'");
+}
+
+void write_sheet_vtk(const FiberSheet& sheet, const std::string& path) {
+  std::ofstream out = open_or_throw(path);
+  const Index nf = sheet.num_fibers();
+  const Index nn = sheet.nodes_per_fiber();
+  out << "# vtk DataFile Version 3.0\n";
+  out << "LBM-IB fiber sheet\n";
+  out << "ASCII\n";
+  out << "DATASET POLYDATA\n";
+  out << "POINTS " << sheet.num_nodes() << " double\n";
+  for (Index f = 0; f < nf; ++f) {
+    for (Index j = 0; j < nn; ++j) {
+      const Vec3& p = sheet.position(f, j);
+      out << p.x << ' ' << p.y << ' ' << p.z << '\n';
+    }
+  }
+  // One polyline per fiber.
+  out << "LINES " << nf << ' ' << nf * (nn + 1) << '\n';
+  for (Index f = 0; f < nf; ++f) {
+    out << nn;
+    for (Index j = 0; j < nn; ++j) out << ' ' << sheet.id(f, j);
+    out << '\n';
+  }
+  out << "POINT_DATA " << sheet.num_nodes() << '\n';
+  out << "VECTORS elastic_force double\n";
+  for (Size i = 0; i < sheet.num_nodes(); ++i) {
+    const Vec3& e = sheet.elastic_force(i);
+    out << e.x << ' ' << e.y << ' ' << e.z << '\n';
+  }
+  require(out.good(), "error while writing '" + path + "'");
+}
+
+}  // namespace lbmib

@@ -1,0 +1,29 @@
+// Legacy-VTK output for visualization (the renderings of Figures 1 and 7).
+//
+// The fluid grid is written as STRUCTURED_POINTS with density, velocity,
+// and force point data; a fiber sheet as POLYDATA with the fiber polylines
+// and per-node elastic force. Files load directly in ParaView/VisIt.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace lbmib {
+
+class FluidGrid;
+class FiberSheet;
+
+/// Write the full fluid state to `path` (legacy VTK, ASCII).
+void write_fluid_vtk(const FluidGrid& grid, const std::string& path);
+
+/// Write derived observables — pressure, vorticity, strain-rate norm —
+/// to `path` (legacy VTK, ASCII). `tau` is needed for the moment-based
+/// strain rate.
+void write_observables_vtk(const FluidGrid& grid, Real tau,
+                           const std::string& path);
+
+/// Write the sheet geometry and forces to `path` (legacy VTK, ASCII).
+void write_sheet_vtk(const FiberSheet& sheet, const std::string& path);
+
+}  // namespace lbmib

@@ -1,0 +1,130 @@
+#include "lbm/boundary.hpp"
+
+#include "lbm/d3q19.hpp"
+#include "lbm/fluid_grid.hpp"
+
+namespace lbmib {
+
+void apply_boundary_mask(FluidGrid& grid, BoundaryType type) {
+  if (type == BoundaryType::kPeriodic) return;
+  const Index nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+  const bool x_walls = (type == BoundaryType::kCavity);
+  for (Index x = 0; x < nx; ++x) {
+    for (Index y = 0; y < ny; ++y) {
+      for (Index z = 0; z < nz; ++z) {
+        const bool wall = (y == 0 || y == ny - 1 || z == 0 ||
+                           z == nz - 1 ||
+                           (x_walls && (x == 0 || x == nx - 1)));
+        if (wall) grid.set_solid(grid.index(x, y, z), true);
+      }
+    }
+  }
+}
+
+bool is_boundary_solid(const SimulationParams& params, Index gx, Index gy,
+                       Index gz) {
+  switch (params.boundary) {
+    case BoundaryType::kPeriodic:
+      break;
+    case BoundaryType::kChannel:
+    case BoundaryType::kInletOutlet:
+      if (gy == 0 || gy == params.ny - 1 || gz == 0 ||
+          gz == params.nz - 1) {
+        return true;
+      }
+      break;
+    case BoundaryType::kCavity:
+      if (gx == 0 || gx == params.nx - 1 || gy == 0 ||
+          gy == params.ny - 1 || gz == 0 || gz == params.nz - 1) {
+        return true;
+      }
+      break;
+  }
+  for (const SphereObstacle& s : params.obstacles) {
+    const Vec3 p{static_cast<Real>(gx), static_cast<Real>(gy),
+                 static_cast<Real>(gz)};
+    if (norm2(p - s.center) <= s.radius * s.radius) return true;
+  }
+  return false;
+}
+
+void apply_params_mask(FluidGrid& grid, const SimulationParams& params) {
+  for (Index x = 0; x < grid.nx(); ++x) {
+    for (Index y = 0; y < grid.ny(); ++y) {
+      for (Index z = 0; z < grid.nz(); ++z) {
+        if (is_boundary_solid(params, x, y, z)) {
+          grid.set_solid(grid.index(x, y, z), true);
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Raw moments of a node's streamed distributions (no force correction).
+void streamed_moments(const FluidGrid& grid, Size node, Real& rho,
+                      Vec3& u) {
+  using namespace d3q19;
+  rho = 0.0;
+  Vec3 mom{};
+  for (int dir = 0; dir < kQ; ++dir) {
+    const Real g = grid.df_new(dir, node);
+    rho += g;
+    mom += g * c(dir);
+  }
+  u = mom / rho;
+}
+
+}  // namespace
+
+void apply_inlet_outlet(FluidGrid& grid, const Vec3& inlet_velocity,
+                        Index x_begin, Index x_end) {
+  const Index nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+  if (x_begin <= 0 && 0 < x_end) {
+    // Velocity inlet: impose u = inlet_velocity at the local density
+    // (taken from the x=1 neighbour, whose post-streaming state is
+    // uncontaminated by the periodic wrap). Using the local density
+    // instead of a fixed one lets the channel carry the pressure
+    // gradient the wall friction requires.
+    for (Index y = 0; y < ny; ++y) {
+      for (Index z = 0; z < nz; ++z) {
+        const Size node = grid.index(0, y, z);
+        if (grid.solid(node)) continue;
+        Real rho_b;
+        Vec3 u_ignored;
+        streamed_moments(grid, grid.index(1, y, z), rho_b, u_ignored);
+        for (int dir = 0; dir < kQ; ++dir) {
+          grid.df_new(dir, node) =
+              d3q19::equilibrium(dir, rho_b, inlet_velocity);
+        }
+      }
+    }
+  }
+  if (x_begin <= nx - 1 && nx - 1 < x_end) {
+    // Pressure outlet: anchor the density at 1 and extrapolate the
+    // velocity from the upstream column (first-order open boundary).
+    for (Index y = 0; y < ny; ++y) {
+      for (Index z = 0; z < nz; ++z) {
+        const Size node = grid.index(nx - 1, y, z);
+        if (grid.solid(node)) continue;
+        Real rho_up;
+        Vec3 u_up;
+        streamed_moments(grid, grid.index(nx - 2, y, z), rho_up, u_up);
+        for (int dir = 0; dir < kQ; ++dir) {
+          grid.df_new(dir, node) = d3q19::equilibrium(dir, Real{1}, u_up);
+        }
+      }
+    }
+  }
+}
+
+Size count_solid_nodes(const FluidGrid& grid) {
+  Size count = 0;
+  for (Size node = 0; node < grid.num_nodes(); ++node) {
+    if (grid.solid(node)) ++count;
+  }
+  return count;
+}
+
+}  // namespace lbmib

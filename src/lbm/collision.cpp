@@ -1,0 +1,50 @@
+#include "lbm/collision.hpp"
+
+#include "lbm/d3q19.hpp"
+#include "lbm/fluid_grid.hpp"
+
+namespace lbmib {
+
+namespace {
+
+/// Core BGK + Guo update for one node's 19 distribution values.
+inline void collide_values(Real* g[kQ], Real tau, const Vec3& force) {
+  using namespace d3q19;
+  Real rho = 0.0;
+  Vec3 mom{};
+  for (int i = 0; i < kQ; ++i) {
+    const Real gi = *g[i];
+    rho += gi;
+    mom.x += gi * cx[static_cast<Size>(i)];
+    mom.y += gi * cy[static_cast<Size>(i)];
+    mom.z += gi * cz[static_cast<Size>(i)];
+  }
+  const Vec3 u = (mom + Real{0.5} * force) / rho;
+  const Real inv_tau = Real{1} / tau;
+  for (int i = 0; i < kQ; ++i) {
+    const Real geq = equilibrium(i, rho, u);
+    *g[i] += -inv_tau * (*g[i] - geq) + guo_forcing(i, tau, u, force);
+  }
+}
+
+}  // namespace
+
+void collide_node(const NodeDistributions& node, Real tau,
+                  const Vec3& force) {
+  Real* g[kQ];
+  for (int i = 0; i < kQ; ++i) g[i] = node.g[i];
+  collide_values(g, tau, force);
+}
+
+void collide_range(FluidGrid& grid, Real tau, Size begin, Size end) {
+  Real* planes[kQ];
+  for (int i = 0; i < kQ; ++i) planes[i] = grid.df_plane(i);
+  for (Size node = begin; node < end; ++node) {
+    if (grid.solid(node)) continue;
+    Real* g[kQ];
+    for (int i = 0; i < kQ; ++i) g[i] = planes[i] + node;
+    collide_values(g, tau, grid.force(node));
+  }
+}
+
+}  // namespace lbmib

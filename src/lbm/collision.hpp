@@ -1,0 +1,33 @@
+// Kernel 5: compute_fluid_collision.
+//
+// BGK single-relaxation-time collision with the Guo et al. (2002) forcing
+// term, applied in place to the present distribution buffer. The kernel is
+// expressed over a half-open node range so the sequential solver passes
+// [0, n), the OpenMP solver passes per-thread x-slabs, and the cube solver
+// reuses the same inner loop per cube through a strided span.
+#pragma once
+
+#include "common/types.hpp"
+#include "common/vec3.hpp"
+
+namespace lbmib {
+
+class FluidGrid;
+
+/// Collide every non-solid node in [begin, end).
+/// The velocity used in the equilibrium includes the half-force shift
+/// u = (sum_i c_i g_i + F/2) / rho, which makes the scheme second order in
+/// the presence of the spread elastic force.
+void collide_range(FluidGrid& grid, Real tau, Size begin, Size end);
+
+/// Collide a single node given raw field pointers; shared by the planar
+/// and cube code paths. `df[dir]` must point at the node's distribution
+/// slot for direction dir (stride-free). Returns nothing; updates df.
+struct NodeDistributions {
+  Real* g[19];
+};
+
+void collide_node(const NodeDistributions& node, Real tau,
+                  const Vec3& force);
+
+}  // namespace lbmib

@@ -1,0 +1,37 @@
+#include "lbm/d3q19.hpp"
+
+#include <sstream>
+
+namespace lbmib::d3q19 {
+
+namespace {
+std::array<int, kQ> make_opposite_table() {
+  std::array<int, kQ> table{};
+  for (int i = 0; i < kQ; ++i) {
+    for (int j = 0; j < kQ; ++j) {
+      if (cx[j] == -cx[i] && cy[j] == -cy[i] && cz[j] == -cz[i]) {
+        table[static_cast<Size>(i)] = j;
+        break;
+      }
+    }
+  }
+  return table;
+}
+}  // namespace
+
+const std::array<int, kQ> kOpposite = make_opposite_table();
+
+int opposite(int i) { return kOpposite[static_cast<Size>(i)]; }
+
+std::string direction_label(int i) {
+  auto sign = [](int v) {
+    return v > 0 ? "+1" : (v < 0 ? "-1" : " 0");
+  };
+  std::ostringstream os;
+  os << '(' << sign(cx[static_cast<Size>(i)]) << ','
+     << sign(cy[static_cast<Size>(i)]) << ','
+     << sign(cz[static_cast<Size>(i)]) << ')';
+  return os.str();
+}
+
+}  // namespace lbmib::d3q19

@@ -1,0 +1,74 @@
+// The D3Q19 lattice model (Figure 2 of the paper).
+//
+// 19 discrete velocities: the rest particle, 6 axis-aligned directions, and
+// 12 face-diagonal directions. Lattice units with dx = dt = 1, so the
+// lattice speed of sound satisfies cs^2 = 1/3.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/types.hpp"
+#include "common/vec3.hpp"
+
+namespace lbmib::d3q19 {
+
+/// Discrete velocity components. Index 0 is the rest particle; indices
+/// 1..6 are the +-x, +-y, +-z axis directions; 7..18 the face diagonals.
+inline constexpr std::array<int, kQ> cx = {
+    0, 1, -1, 0, 0, 0, 0, 1, -1, 1, -1, 1, -1, 1, -1, 0, 0, 0, 0};
+inline constexpr std::array<int, kQ> cy = {
+    0, 0, 0, 1, -1, 0, 0, 1, -1, -1, 1, 0, 0, 0, 0, 1, -1, 1, -1};
+inline constexpr std::array<int, kQ> cz = {
+    0, 0, 0, 0, 0, 1, -1, 0, 0, 0, 0, 1, -1, -1, 1, 1, -1, -1, 1};
+
+/// Quadrature weights: 1/3 for rest, 1/18 for axis, 1/36 for diagonals.
+inline constexpr std::array<Real, kQ> w = {
+    Real{1} / 3,  Real{1} / 18, Real{1} / 18, Real{1} / 18, Real{1} / 18,
+    Real{1} / 18, Real{1} / 18, Real{1} / 36, Real{1} / 36, Real{1} / 36,
+    Real{1} / 36, Real{1} / 36, Real{1} / 36, Real{1} / 36, Real{1} / 36,
+    Real{1} / 36, Real{1} / 36, Real{1} / 36, Real{1} / 36};
+
+/// Lattice speed of sound squared and its inverse.
+inline constexpr Real cs2 = Real{1} / 3;
+inline constexpr Real inv_cs2 = 3;
+inline constexpr Real inv_cs4 = 9;
+
+/// Index of the velocity opposite to `i` (c[opposite(i)] == -c[i]).
+int opposite(int i);
+
+/// Precomputed opposite-direction table.
+extern const std::array<int, kQ> kOpposite;
+
+/// Velocity `i` as a Vec3.
+inline Vec3 c(int i) {
+  return {static_cast<Real>(cx[i]), static_cast<Real>(cy[i]),
+          static_cast<Real>(cz[i])};
+}
+
+/// BGK equilibrium distribution for direction `i` at density `rho` and
+/// velocity `u`:
+///   g_i^eq = w_i rho [1 + (c.u)/cs2 + (c.u)^2/(2 cs4) - u^2/(2 cs2)].
+inline Real equilibrium(int i, Real rho, const Vec3& u) {
+  const Real cu = static_cast<Real>(cx[i]) * u.x +
+                  static_cast<Real>(cy[i]) * u.y +
+                  static_cast<Real>(cz[i]) * u.z;
+  const Real u2 = dot(u, u);
+  return w[i] * rho *
+         (Real{1} + inv_cs2 * cu + Real{0.5} * inv_cs4 * cu * cu -
+          Real{0.5} * inv_cs2 * u2);
+}
+
+/// Guo et al. (2002) discrete forcing term for direction `i`:
+///   F_i = (1 - 1/(2 tau)) w_i [ (c-u)/cs2 + (c.u) c / cs4 ] . F
+inline Real guo_forcing(int i, Real tau, const Vec3& u, const Vec3& force) {
+  const Vec3 ci = c(i);
+  const Real cu = dot(ci, u);
+  const Vec3 term = inv_cs2 * (ci - u) + (inv_cs4 * cu) * ci;
+  return (Real{1} - Real{0.5} / tau) * w[i] * dot(term, force);
+}
+
+/// Human-readable direction label, e.g. "(+1,-1, 0)".
+std::string direction_label(int i);
+
+}  // namespace lbmib::d3q19

@@ -1,0 +1,99 @@
+#include "lbm/fluid_grid.hpp"
+
+#include "common/error.hpp"
+#include "lbm/boundary.hpp"
+#include "lbm/d3q19.hpp"
+
+namespace lbmib {
+
+FluidGrid::FluidGrid(Index nx, Index ny, Index nz, Real rho0, const Vec3& u0)
+    : nx_(nx),
+      ny_(ny),
+      nz_(nz),
+      n_(static_cast<Size>(nx) * static_cast<Size>(ny) *
+         static_cast<Size>(nz)) {
+  require(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+  df_.reset(static_cast<Size>(kQ) * n_);
+  df_new_.reset(static_cast<Size>(kQ) * n_);
+  rho_.reset(n_);
+  ux_.reset(n_);
+  uy_.reset(n_);
+  uz_.reset(n_);
+  fx_.reset(n_);
+  fy_.reset(n_);
+  fz_.reset(n_);
+  solid_.reset(n_);
+  initialize(rho0, u0);
+}
+
+FluidGrid::FluidGrid(const SimulationParams& params)
+    : FluidGrid(params.nx, params.ny, params.nz, params.rho0,
+                params.initial_velocity) {
+  apply_params_mask(*this, params);
+  if (params.boundary == BoundaryType::kCavity) {
+    set_lid_velocity(params.lid_velocity);
+  }
+}
+
+void FluidGrid::initialize(Real rho0, const Vec3& u0) {
+  for (Size node = 0; node < n_; ++node) {
+    rho_[node] = rho0;
+    ux_[node] = u0.x;
+    uy_[node] = u0.y;
+    uz_[node] = u0.z;
+    fx_[node] = fy_[node] = fz_[node] = 0.0;
+    for (int dir = 0; dir < kQ; ++dir) {
+      df(dir, node) = d3q19::equilibrium(dir, rho0, u0);
+      df_new(dir, node) = 0.0;
+    }
+  }
+}
+
+void FluidGrid::reset_forces(const Vec3& constant_force) {
+  fx_.fill(constant_force.x);
+  fy_.fill(constant_force.y);
+  fz_.fill(constant_force.z);
+}
+
+void FluidGrid::copy_from(const FluidGrid& other) {
+  require(other.nx_ == nx_ && other.ny_ == ny_ && other.nz_ == nz_,
+          "copy_from requires identical grid dimensions");
+  auto copy = [](auto& dst, const auto& src) {
+    for (Size i = 0; i < src.size(); ++i) dst[i] = src[i];
+  };
+  copy(df_, other.df_);
+  copy(df_new_, other.df_new_);
+  copy(rho_, other.rho_);
+  copy(ux_, other.ux_);
+  copy(uy_, other.uy_);
+  copy(uz_, other.uz_);
+  copy(fx_, other.fx_);
+  copy(fy_, other.fy_);
+  copy(fz_, other.fz_);
+  copy(solid_, other.solid_);
+}
+
+Real FluidGrid::total_mass() const {
+  Real mass = 0.0;
+  for (Size node = 0; node < n_; ++node) {
+    if (solid(node)) continue;
+    for (int dir = 0; dir < kQ; ++dir) mass += df(dir, node);
+  }
+  return mass;
+}
+
+Vec3 FluidGrid::total_momentum() const {
+  Vec3 p{};
+  for (Size node = 0; node < n_; ++node) {
+    if (solid(node)) continue;
+    for (int dir = 0; dir < kQ; ++dir) {
+      const Real g = df(dir, node);
+      p.x += g * d3q19::cx[static_cast<Size>(dir)];
+      p.y += g * d3q19::cy[static_cast<Size>(dir)];
+      p.z += g * d3q19::cz[static_cast<Size>(dir)];
+    }
+  }
+  return p;
+}
+
+}  // namespace lbmib

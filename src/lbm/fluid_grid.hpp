@@ -1,0 +1,173 @@
+// Planar (non-blocked) Eulerian fluid grid — the data structure of the
+// sequential and OpenMP solvers (Figure 3 of the paper).
+//
+// Storage is structure-of-arrays: each field is one contiguous array over
+// all nx*ny*nz nodes with x-major node index ((x*ny)+y)*nz + z, so OpenMP's
+// static x-slab partitioning (Algorithm 2) touches contiguous memory.
+// Distribution functions are direction-major (dir*n + node) and come in two
+// buffers: `df` holds the present time step's distributions, `df_new`
+// receives streamed values (kernels 6/9 of the paper).
+#pragma once
+
+#include "common/aligned_buffer.hpp"
+#include "common/params.hpp"
+#include "common/types.hpp"
+#include "common/vec3.hpp"
+
+namespace lbmib {
+
+class FluidGrid {
+ public:
+  /// Build a grid of nx x ny x nz nodes at rest density `rho0` and uniform
+  /// velocity `u0`; distributions start at equilibrium.
+  FluidGrid(Index nx, Index ny, Index nz, Real rho0 = 1.0,
+            const Vec3& u0 = {});
+
+  /// Convenience constructor from the parameter bundle (also applies the
+  /// boundary mask for the configured BoundaryType).
+  explicit FluidGrid(const SimulationParams& params);
+
+  Index nx() const { return nx_; }
+  Index ny() const { return ny_; }
+  Index nz() const { return nz_; }
+  Size num_nodes() const { return n_; }
+
+  /// Linear node index of coordinate (x, y, z).
+  Size index(Index x, Index y, Index z) const {
+    return (static_cast<Size>(x) * static_cast<Size>(ny_) +
+            static_cast<Size>(y)) *
+               static_cast<Size>(nz_) +
+           static_cast<Size>(z);
+  }
+
+  /// Coordinate wrapped periodically into [0, n).
+  static Index wrap(Index v, Index n) {
+    v %= n;
+    return v < 0 ? v + n : v;
+  }
+
+  /// Linear index of (x, y, z) with periodic wrapping in all directions.
+  Size periodic_index(Index x, Index y, Index z) const {
+    return index(wrap(x, nx_), wrap(y, ny_), wrap(z, nz_));
+  }
+
+  // --- field access -------------------------------------------------------
+
+  /// Present distribution value for direction `dir` at node `node`.
+  Real& df(int dir, Size node) {
+    return df_[static_cast<Size>(dir) * n_ + node];
+  }
+  Real df(int dir, Size node) const {
+    return df_[static_cast<Size>(dir) * n_ + node];
+  }
+
+  /// New (streamed) distribution buffer.
+  Real& df_new(int dir, Size node) {
+    return df_new_[static_cast<Size>(dir) * n_ + node];
+  }
+  Real df_new(int dir, Size node) const {
+    return df_new_[static_cast<Size>(dir) * n_ + node];
+  }
+
+  /// Raw direction-plane pointers for vectorised kernels.
+  Real* df_plane(int dir) { return df_.data() + static_cast<Size>(dir) * n_; }
+  const Real* df_plane(int dir) const {
+    return df_.data() + static_cast<Size>(dir) * n_;
+  }
+  Real* df_new_plane(int dir) {
+    return df_new_.data() + static_cast<Size>(dir) * n_;
+  }
+  const Real* df_new_plane(int dir) const {
+    return df_new_.data() + static_cast<Size>(dir) * n_;
+  }
+
+  Real& rho(Size node) { return rho_[node]; }
+  Real rho(Size node) const { return rho_[node]; }
+
+  Real& ux(Size node) { return ux_[node]; }
+  Real ux(Size node) const { return ux_[node]; }
+  Real& uy(Size node) { return uy_[node]; }
+  Real uy(Size node) const { return uy_[node]; }
+  Real& uz(Size node) { return uz_[node]; }
+  Real uz(Size node) const { return uz_[node]; }
+
+  Vec3 velocity(Size node) const {
+    return {ux_[node], uy_[node], uz_[node]};
+  }
+  void set_velocity(Size node, const Vec3& u) {
+    ux_[node] = u.x;
+    uy_[node] = u.y;
+    uz_[node] = u.z;
+  }
+
+  Real& fx(Size node) { return fx_[node]; }
+  Real fx(Size node) const { return fx_[node]; }
+  Real& fy(Size node) { return fy_[node]; }
+  Real fy(Size node) const { return fy_[node]; }
+  Real& fz(Size node) { return fz_[node]; }
+  Real fz(Size node) const { return fz_[node]; }
+
+  Vec3 force(Size node) const { return {fx_[node], fy_[node], fz_[node]}; }
+  void add_force(Size node, const Vec3& f) {
+    fx_[node] += f.x;
+    fy_[node] += f.y;
+    fz_[node] += f.z;
+  }
+
+  Real* fx_data() { return fx_.data(); }
+  Real* fy_data() { return fy_.data(); }
+  Real* fz_data() { return fz_.data(); }
+
+  bool solid(Size node) const { return solid_[node] != 0; }
+  void set_solid(Size node, bool s) { solid_[node] = s ? 1 : 0; }
+
+  /// Give the z = nz-1 wall plane a tangential velocity (the lid of a
+  /// lid-driven cavity). Streaming then applies the momentum-corrected
+  /// bounce-back  g_opp(x) = g_dir(x) - 2 w_dir rho_w (c_dir . u_lid)/cs^2
+  /// at that plane.
+  void set_lid_velocity(const Vec3& u) {
+    lid_velocity_ = u;
+    has_lid_ = (u.x != 0.0 || u.y != 0.0 || u.z != 0.0);
+  }
+  bool has_lid() const { return has_lid_; }
+  const Vec3& lid_velocity() const { return lid_velocity_; }
+
+  // --- whole-grid operations ----------------------------------------------
+
+  /// Reset every node to equilibrium at (rho0, u0) and clear forces.
+  void initialize(Real rho0, const Vec3& u0);
+
+  /// Set all three force components at every node to `constant_force`
+  /// (the start-of-step reset before fiber forces are spread; the constant
+  /// part is the body force driving channel flow).
+  void reset_forces(const Vec3& constant_force);
+
+  /// Swap the present and new distribution buffers (the pointer-swap
+  /// alternative to kernel 9; see bench/ablation_copy_vs_swap.cpp).
+  void swap_buffers() { std::swap(df_, df_new_); }
+
+  /// Deep-copy every field from a grid of identical dimensions. (The grid
+  /// is otherwise move-only; copying multi-GB state should be explicit.)
+  void copy_from(const FluidGrid& other);
+
+  /// Total fluid mass (sum of rho over non-solid nodes); conserved by
+  /// collision + streaming under periodic boundaries.
+  Real total_mass() const;
+
+  /// Total fluid momentum computed from the present distributions.
+  Vec3 total_momentum() const;
+
+ private:
+  Index nx_, ny_, nz_;
+  Size n_;
+  AlignedBuffer<Real> df_;       // [kQ * n], direction-major
+  AlignedBuffer<Real> df_new_;   // [kQ * n]
+  AlignedBuffer<Real> rho_;      // [n]
+  AlignedBuffer<Real> ux_, uy_, uz_;  // [n] each
+  AlignedBuffer<Real> fx_, fy_, fz_;  // [n] each
+  AlignedBuffer<std::uint8_t> solid_;  // [n]
+  Vec3 lid_velocity_{};
+  bool has_lid_ = false;
+};
+
+}  // namespace lbmib

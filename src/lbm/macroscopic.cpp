@@ -1,0 +1,32 @@
+#include "lbm/macroscopic.hpp"
+
+#include "lbm/d3q19.hpp"
+#include "lbm/fluid_grid.hpp"
+
+namespace lbmib {
+
+void update_velocity_range(FluidGrid& grid, Size begin, Size end) {
+  using namespace d3q19;
+  const Real* planes[kQ];
+  for (int i = 0; i < kQ; ++i) planes[i] = grid.df_new_plane(i);
+  for (Size node = begin; node < end; ++node) {
+    if (grid.solid(node)) {
+      grid.set_velocity(node, {});
+      continue;
+    }
+    Real rho = 0.0;
+    Vec3 mom{};
+    for (int i = 0; i < kQ; ++i) {
+      const Real gi = planes[i][node];
+      rho += gi;
+      mom.x += gi * cx[static_cast<Size>(i)];
+      mom.y += gi * cy[static_cast<Size>(i)];
+      mom.z += gi * cz[static_cast<Size>(i)];
+    }
+    const Vec3 u = (mom + Real{0.5} * grid.force(node)) / rho;
+    grid.rho(node) = rho;
+    grid.set_velocity(node, u);
+  }
+}
+
+}  // namespace lbmib

@@ -1,0 +1,19 @@
+// Kernel 7: update_fluid_velocity.
+//
+// Computes macroscopic density and velocity from the *streamed*
+// distributions (df_new) plus the half-force correction required by the
+// Guo forcing scheme:
+//   rho = sum_i g_i,     u = (sum_i c_i g_i + F/2) / rho.
+// Solid wall nodes get rho = rho and u = 0 (no-slip).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace lbmib {
+
+class FluidGrid;
+
+/// Update rho and u for every node in [begin, end) from df_new.
+void update_velocity_range(FluidGrid& grid, Size begin, Size end);
+
+}  // namespace lbmib

@@ -1,0 +1,118 @@
+#include "lbm/observables.hpp"
+
+#include <cmath>
+
+#include "lbm/d3q19.hpp"
+#include "lbm/fluid_grid.hpp"
+
+namespace lbmib {
+
+Real SymTensor3::norm() const {
+  return std::sqrt(xx * xx + yy * yy + zz * zz +
+                   2 * (xy * xy + xz * xz + yz * yz));
+}
+
+Real pressure(const FluidGrid& grid, Size node) {
+  return d3q19::cs2 * grid.rho(node);
+}
+
+SymTensor3 nonequilibrium_moment(const FluidGrid& grid, Size node) {
+  using namespace d3q19;
+  const Real rho = grid.rho(node);
+  const Vec3 u = grid.velocity(node);
+  SymTensor3 pi;
+  for (int i = 0; i < kQ; ++i) {
+    const Real gneq = grid.df(i, node) - equilibrium(i, rho, u);
+    const Real cix = cx[static_cast<Size>(i)];
+    const Real ciy = cy[static_cast<Size>(i)];
+    const Real ciz = cz[static_cast<Size>(i)];
+    pi.xx += gneq * cix * cix;
+    pi.yy += gneq * ciy * ciy;
+    pi.zz += gneq * ciz * ciz;
+    pi.xy += gneq * cix * ciy;
+    pi.xz += gneq * cix * ciz;
+    pi.yz += gneq * ciy * ciz;
+  }
+  return pi;
+}
+
+SymTensor3 strain_rate(const FluidGrid& grid, Size node, Real tau) {
+  SymTensor3 s = nonequilibrium_moment(grid, node);
+  const Real scale =
+      -Real{1} / (2 * grid.rho(node) * d3q19::cs2 * tau);
+  s.xx *= scale;
+  s.yy *= scale;
+  s.zz *= scale;
+  s.xy *= scale;
+  s.xz *= scale;
+  s.yz *= scale;
+  return s;
+}
+
+SymTensor3 shear_stress(const FluidGrid& grid, Size node, Real tau) {
+  SymTensor3 s = strain_rate(grid, node, tau);
+  const Real nu = d3q19::cs2 * (tau - Real{0.5});
+  const Real scale = 2 * grid.rho(node) * nu;
+  s.xx *= scale;
+  s.yy *= scale;
+  s.zz *= scale;
+  s.xy *= scale;
+  s.xz *= scale;
+  s.yz *= scale;
+  return s;
+}
+
+Vec3 vorticity(const FluidGrid& grid, Index x, Index y, Index z) {
+  auto u = [&](Index xi, Index yi, Index zi) {
+    return grid.velocity(grid.periodic_index(xi, yi, zi));
+  };
+  // Central differences, spacing 2.
+  const Vec3 dudx = Real{0.5} * (u(x + 1, y, z) - u(x - 1, y, z));
+  const Vec3 dudy = Real{0.5} * (u(x, y + 1, z) - u(x, y - 1, z));
+  const Vec3 dudz = Real{0.5} * (u(x, y, z + 1) - u(x, y, z - 1));
+  return {dudy.z - dudz.y, dudz.x - dudx.z, dudx.y - dudy.x};
+}
+
+std::vector<Vec3> vorticity_field(const FluidGrid& grid) {
+  std::vector<Vec3> field(grid.num_nodes());
+  for (Index x = 0; x < grid.nx(); ++x) {
+    for (Index y = 0; y < grid.ny(); ++y) {
+      for (Index z = 0; z < grid.nz(); ++z) {
+        field[grid.index(x, y, z)] = vorticity(grid, x, y, z);
+      }
+    }
+  }
+  return field;
+}
+
+Real kinetic_energy(const FluidGrid& grid) {
+  Real e = 0.0;
+  for (Size node = 0; node < grid.num_nodes(); ++node) {
+    if (grid.solid(node)) continue;
+    e += Real{0.5} * grid.rho(node) * norm2(grid.velocity(node));
+  }
+  return e;
+}
+
+Real enstrophy(const FluidGrid& grid) {
+  Real e = 0.0;
+  for (Index x = 0; x < grid.nx(); ++x) {
+    for (Index y = 0; y < grid.ny(); ++y) {
+      for (Index z = 0; z < grid.nz(); ++z) {
+        e += Real{0.5} * norm2(vorticity(grid, x, y, z));
+      }
+    }
+  }
+  return e;
+}
+
+Real max_velocity_magnitude(const FluidGrid& grid) {
+  Real m = 0.0;
+  for (Size node = 0; node < grid.num_nodes(); ++node) {
+    if (grid.solid(node)) continue;
+    m = std::max(m, norm2(grid.velocity(node)));
+  }
+  return std::sqrt(m);
+}
+
+}  // namespace lbmib

@@ -1,0 +1,67 @@
+// Derived fluid observables.
+//
+// The paper lists velocity, pressure, vorticity, and shear stress among
+// the per-node fluid properties (Section III-A). Pressure and the
+// deviatoric stress come directly from the distribution functions — one
+// of LBM's advantages: the strain-rate tensor is local, computed from the
+// non-equilibrium moments with no finite differences:
+//
+//   p          = cs^2 rho
+//   Pi^neq_ab  = sum_i c_ia c_ib (g_i - g_i^eq(rho, u))
+//   S_ab       = -Pi^neq_ab / (2 rho cs^2 tau)         (dt = 1)
+//   sigma_ab   = 2 rho nu S_ab,  nu = cs^2 (tau - 1/2)
+//
+// Vorticity is a neighbourhood quantity and uses central differences of
+// the macroscopic velocity field with periodic wrapping.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/vec3.hpp"
+
+namespace lbmib {
+
+class FluidGrid;
+
+/// Symmetric rank-2 tensor (row-major unique components).
+struct SymTensor3 {
+  Real xx = 0, yy = 0, zz = 0, xy = 0, xz = 0, yz = 0;
+
+  Real trace() const { return xx + yy + zz; }
+
+  /// Frobenius norm, counting off-diagonals twice.
+  Real norm() const;
+};
+
+/// Lattice pressure at a node: cs^2 * rho.
+Real pressure(const FluidGrid& grid, Size node);
+
+/// Non-equilibrium momentum-flux tensor at a node (from the *present*
+/// distribution buffer and the stored macroscopic rho/u).
+SymTensor3 nonequilibrium_moment(const FluidGrid& grid, Size node);
+
+/// Strain-rate tensor at a node.
+SymTensor3 strain_rate(const FluidGrid& grid, Size node, Real tau);
+
+/// Deviatoric (viscous shear) stress tensor at a node.
+SymTensor3 shear_stress(const FluidGrid& grid, Size node, Real tau);
+
+/// Vorticity (curl of u) at (x, y, z) via central differences with
+/// periodic wrapping. Meaningless adjacent to solid nodes.
+Vec3 vorticity(const FluidGrid& grid, Index x, Index y, Index z);
+
+/// Vorticity at every node (ordered like FluidGrid::index).
+std::vector<Vec3> vorticity_field(const FluidGrid& grid);
+
+/// Total kinetic energy: 1/2 sum rho |u|^2 over non-solid nodes.
+Real kinetic_energy(const FluidGrid& grid);
+
+/// Total enstrophy: 1/2 sum |curl u|^2 over all nodes.
+Real enstrophy(const FluidGrid& grid);
+
+/// Maximum |u| over non-solid nodes (stability monitoring: the lattice
+/// Mach number |u|/cs should stay well below 1).
+Real max_velocity_magnitude(const FluidGrid& grid);
+
+}  // namespace lbmib

@@ -1,0 +1,24 @@
+// Umbrella header: the full public API of the LBM-IB library.
+#pragma once
+
+#include "common/config_file.hpp" // IWYU pragma: export
+#include "common/error.hpp"      // IWYU pragma: export
+#include "common/params.hpp"     // IWYU pragma: export
+#include "common/profiler.hpp"   // IWYU pragma: export
+#include "common/timer.hpp"      // IWYU pragma: export
+#include "common/types.hpp"      // IWYU pragma: export
+#include "common/vec3.hpp"       // IWYU pragma: export
+#include "core/autotune.hpp"    // IWYU pragma: export
+#include "core/simulation.hpp"   // IWYU pragma: export
+#include "core/solver.hpp"       // IWYU pragma: export
+#include "core/verification.hpp" // IWYU pragma: export
+#include "cube/cube_grid.hpp"    // IWYU pragma: export
+#include "cube/distribution.hpp" // IWYU pragma: export
+#include "cube/numa_distribution.hpp" // IWYU pragma: export
+#include "ib/delta.hpp"          // IWYU pragma: export
+#include "ib/fiber_sheet.hpp"    // IWYU pragma: export
+#include "lbm/d3q19.hpp"         // IWYU pragma: export
+#include "lbm/fluid_grid.hpp"    // IWYU pragma: export
+#include "lbm/mrt.hpp"           // IWYU pragma: export
+#include "lbm/observables.hpp"   // IWYU pragma: export
+#include "parallel/numa_model.hpp" // IWYU pragma: export

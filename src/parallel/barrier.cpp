@@ -1,0 +1,56 @@
+#include "parallel/barrier.hpp"
+
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace lbmib {
+
+SpinBarrier::SpinBarrier(int num_threads)
+    : num_threads_(num_threads), remaining_(num_threads) {
+  require(num_threads >= 1, "barrier needs at least one thread");
+}
+
+void SpinBarrier::arrive_and_wait() {
+  const std::uint64_t my_generation =
+      generation_.load(std::memory_order_acquire);
+  if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last arrival: reopen the barrier for the next generation.
+    remaining_.store(num_threads_, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  // Spin until the last arrival advances the generation. Yield
+  // occasionally so oversubscribed runs (threads > cores) still progress.
+  int spins = 0;
+  while (generation_.load(std::memory_order_acquire) == my_generation) {
+    if (++spins >= 1024) {
+      spins = 0;
+      std::this_thread::yield();
+    } else {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    }
+  }
+}
+
+BlockingBarrier::BlockingBarrier(int num_threads)
+    : num_threads_(num_threads), remaining_(num_threads) {
+  require(num_threads >= 1, "barrier needs at least one thread");
+}
+
+void BlockingBarrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::uint64_t my_generation = generation_;
+  if (--remaining_ == 0) {
+    remaining_ = num_threads_;
+    ++generation_;
+    lock.unlock();
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != my_generation; });
+}
+
+}  // namespace lbmib

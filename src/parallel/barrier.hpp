@@ -1,0 +1,59 @@
+// Thread barriers for the cube-based solver.
+//
+// Algorithm 4 places three barriers in each time step. We provide two
+// implementations with identical semantics:
+//   * SpinBarrier  - centralized generation-counting spin barrier; lowest
+//                    latency when threads <= cores.
+//   * BlockingBarrier - mutex/condvar barrier; yields the CPU while
+//                    waiting, the right choice when oversubscribed.
+// The ablation bench bench/ablation_barrier.cpp compares them.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace lbmib {
+
+/// Abstract barrier interface so solvers can swap implementations.
+class Barrier {
+ public:
+  virtual ~Barrier() = default;
+  /// Block until all participating threads have arrived.
+  virtual void arrive_and_wait() = 0;
+};
+
+/// Centralized spin barrier. Arriving threads decrement a counter; the last
+/// arrival resets it and bumps a generation number the others spin on.
+/// Requires no per-thread state, so one thread may freely mix several
+/// barrier instances (as the cube solver does).
+class SpinBarrier final : public Barrier {
+ public:
+  explicit SpinBarrier(int num_threads);
+  void arrive_and_wait() override;
+
+ private:
+  const int num_threads_;
+  std::atomic<int> remaining_;
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+/// Mutex + condition-variable barrier; sleeps instead of spinning.
+class BlockingBarrier final : public Barrier {
+ public:
+  explicit BlockingBarrier(int num_threads);
+  void arrive_and_wait() override;
+
+ private:
+  const int num_threads_;
+  int remaining_;
+  std::uint64_t generation_ = 0;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+/// Which barrier flavour a parallel solver should construct.
+enum class BarrierKind { kSpin, kBlocking };
+
+}  // namespace lbmib

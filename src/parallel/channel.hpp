@@ -1,0 +1,52 @@
+// Blocking message channel — the building block of the in-process
+// message-passing layer used by the distributed-memory solver.
+//
+// The paper's first future-work item is extending the cube-based
+// implementation "to extreme-scale distributed memory manycore systems".
+// DistributedSolver realizes that algorithm with ranks that share no
+// fluid state and communicate only through these channels; porting it to
+// MPI means replacing Channel/Communicator with MPI_Send/MPI_Recv and
+// nothing else.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace lbmib {
+
+/// Unbounded FIFO channel. send() never blocks; recv() blocks until a
+/// message is available. Multiple producers and consumers are safe.
+template <class T>
+class Channel {
+ public:
+  void send(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+  }
+
+  T recv() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !queue_.empty(); });
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  /// Non-blocking probe (used by tests).
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.empty();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+};
+
+}  // namespace lbmib

@@ -1,0 +1,53 @@
+#include "parallel/communicator.hpp"
+
+#include "common/error.hpp"
+
+namespace lbmib {
+
+Communicator::Communicator(int num_ranks) : num_ranks_(num_ranks) {
+  require(num_ranks >= 1, "communicator needs at least one rank");
+  channels_.resize(static_cast<Size>(num_ranks) *
+                   static_cast<Size>(num_ranks));
+  for (auto& c : channels_) c = std::make_unique<Channel<Message>>();
+}
+
+void Communicator::send(int from, int to, Message message) {
+  require(from >= 0 && from < num_ranks_ && to >= 0 && to < num_ranks_,
+          "rank out of range");
+  channel(from, to).send(std::move(message));
+}
+
+Message Communicator::recv(int at, int from, int expected_tag) {
+  require(at >= 0 && at < num_ranks_ && from >= 0 && from < num_ranks_,
+          "rank out of range");
+  Message m = channel(from, at).recv();
+  require(m.tag == expected_tag,
+          "message protocol error: expected tag " +
+              std::to_string(expected_tag) + ", got " +
+              std::to_string(m.tag));
+  return m;
+}
+
+std::vector<Real> Communicator::allreduce_sum(int rank,
+                                              std::vector<Real> partial,
+                                              int tag) {
+  if (num_ranks_ == 1) return partial;
+  if (rank == 0) {
+    // Reduce in rank order so the result is deterministic.
+    std::vector<Real> total = std::move(partial);
+    for (int r = 1; r < num_ranks_; ++r) {
+      const Message m = recv(0, r, tag);
+      require(m.data.size() == total.size(),
+              "allreduce length mismatch");
+      for (Size i = 0; i < total.size(); ++i) total[i] += m.data[i];
+    }
+    for (int r = 1; r < num_ranks_; ++r) {
+      send(0, r, Message{tag, total});
+    }
+    return total;
+  }
+  send(rank, 0, Message{tag, std::move(partial)});
+  return recv(rank, 0, tag).data;
+}
+
+}  // namespace lbmib

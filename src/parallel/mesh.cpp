@@ -1,0 +1,66 @@
+#include "parallel/mesh.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lbmib {
+
+std::string ThreadMesh::to_string() const {
+  std::ostringstream os;
+  os << p << " x " << q << " x " << r;
+  return os.str();
+}
+
+ThreadMesh balanced_mesh(int num_threads) {
+  require(num_threads >= 1, "mesh needs at least one thread");
+  ThreadMesh best{num_threads, 1, 1};
+  int best_spread = num_threads - 1;
+  for (int p = 1; p <= num_threads; ++p) {
+    if (num_threads % p != 0) continue;
+    const int qr = num_threads / p;
+    for (int q = 1; q <= qr; ++q) {
+      if (qr % q != 0) continue;
+      const int r = qr / q;
+      if (p < q || q < r) continue;  // canonical order P >= Q >= R
+      const int spread = p - r;
+      if (spread < best_spread) {
+        best_spread = spread;
+        best = ThreadMesh{p, q, r};
+      }
+    }
+  }
+  return best;
+}
+
+ThreadMesh fitted_mesh(int num_threads, Index cubes_x, Index cubes_y,
+                       Index cubes_z) {
+  require(cubes_x >= 1 && cubes_y >= 1 && cubes_z >= 1,
+          "cube grid must be non-empty");
+  // Search all factorizations; prefer ones that fit inside the cube grid,
+  // then the most balanced.
+  ThreadMesh best{num_threads, 1, 1};
+  bool best_fits = false;
+  int best_spread = num_threads;
+  for (int p = 1; p <= num_threads; ++p) {
+    if (num_threads % p != 0) continue;
+    const int qr = num_threads / p;
+    for (int q = 1; q <= qr; ++q) {
+      if (qr % q != 0) continue;
+      const int r = qr / q;
+      const bool fits = p <= cubes_x && q <= cubes_y && r <= cubes_z;
+      const int spread =
+          std::max({p, q, r}) - std::min({p, q, r});
+      if ((fits && !best_fits) ||
+          (fits == best_fits && spread < best_spread)) {
+        best = ThreadMesh{p, q, r};
+        best_fits = fits;
+        best_spread = spread;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace lbmib

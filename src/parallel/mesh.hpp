@@ -1,0 +1,44 @@
+// 3-D thread-mesh factorization.
+//
+// The cube-based algorithm lays n threads out as a P x Q x R mesh
+// (Section V-A) so cubes can be block-distributed in all three dimensions.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace lbmib {
+
+/// A 3-D arrangement of threads: n = P * Q * R.
+struct ThreadMesh {
+  int p = 1;  ///< threads along x
+  int q = 1;  ///< threads along y
+  int r = 1;  ///< threads along z
+
+  int size() const { return p * q * r; }
+
+  /// Linear thread id of mesh coordinate (i, j, k), x-major like the grid.
+  int thread_id(int i, int j, int k) const { return (i * q + j) * r + k; }
+
+  /// Inverse of thread_id().
+  std::array<int, 3> coordinates(int tid) const {
+    return {tid / (q * r), (tid / r) % q, tid % r};
+  }
+
+  std::string to_string() const;
+};
+
+/// Factor `num_threads` into the most balanced P x Q x R mesh (P >= Q >= R,
+/// minimizing the spread between the largest and smallest factor). Matches
+/// the paper's example of mapping 8 threads as 2 x 2 x 2.
+ThreadMesh balanced_mesh(int num_threads);
+
+/// Factor `num_threads` into a mesh no dimension of which exceeds the
+/// corresponding cube-count, so every thread can own at least one cube.
+/// Falls back to flattening extra factors into earlier dimensions.
+ThreadMesh fitted_mesh(int num_threads, Index cubes_x, Index cubes_y,
+                       Index cubes_z);
+
+}  // namespace lbmib

@@ -1,0 +1,114 @@
+#include "parallel/numa_model.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace lbmib {
+
+namespace {
+
+/// Two-level hierarchical distance matrix: local = 10, same-pair = 16,
+/// cross-pair = 22, matching the Opteron 6300 HyperTransport layout the
+/// paper reports. Node i and node i^1 are the two dies of one package.
+std::vector<std::vector<int>> opteron_distance(int nodes) {
+  std::vector<std::vector<int>> d(
+      static_cast<Size>(nodes), std::vector<int>(static_cast<Size>(nodes)));
+  for (int i = 0; i < nodes; ++i) {
+    for (int j = 0; j < nodes; ++j) {
+      if (i == j) {
+        d[i][j] = 10;
+      } else if ((i ^ 1) == j || ((i % 2) == (j % 2))) {
+        // Same package, or same-parity die on another package: one hop.
+        d[i][j] = 16;
+      } else {
+        d[i][j] = 22;
+      }
+    }
+  }
+  return d;
+}
+
+std::string human_bytes(Size bytes) {
+  std::ostringstream os;
+  if (bytes >= (Size{1} << 30)) {
+    os << (bytes >> 30) << " GB";
+  } else if (bytes >= (Size{1} << 20)) {
+    os << (bytes >> 20) << " MB";
+  } else {
+    os << (bytes >> 10) << " KB";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string MachineTopology::describe() const {
+  std::ostringstream os;
+  os << "Machine: " << name << '\n';
+  os << "  Processor type        : " << processor << '\n';
+  os << "  Cores per processor   : " << cores_per_socket << '\n';
+  os << "  L1 cache              : " << human_bytes(l1.size_bytes)
+     << " per core\n";
+  os << "  L2 unified cache      : "
+     << (cores_per_socket / l2.cores_sharing) << " x "
+     << human_bytes(l2.size_bytes) << ", each shared by "
+     << l2.cores_sharing << " cores\n";
+  os << "  L3 unified cache      : "
+     << (cores_per_socket / l3.cores_sharing) << " x "
+     << human_bytes(l3.size_bytes) << ", each shared by "
+     << l3.cores_sharing << " cores\n";
+  os << "  Number of processors  : " << num_sockets << '\n';
+  os << "  Number of NUMA nodes  : " << numa_nodes << '\n';
+  os << "  Cores per NUMA node   : " << cores_per_numa_node << '\n';
+  os << "  Memory per NUMA node  : "
+     << human_bytes(memory_per_numa_node_bytes) << '\n';
+  os << "  Total cores           : " << total_cores() << '\n';
+  return os.str();
+}
+
+std::string MachineTopology::distance_table() const {
+  std::ostringstream os;
+  os << "node ";
+  for (Size j = 0; j < distance.size(); ++j) os << std::setw(4) << j;
+  os << '\n';
+  for (Size i = 0; i < distance.size(); ++i) {
+    os << std::setw(3) << i << ": ";
+    for (int v : distance[i]) os << std::setw(4) << v;
+    os << '\n';
+  }
+  return os.str();
+}
+
+MachineTopology thog_topology() {
+  MachineTopology t;
+  t.name = "thog (modeled)";
+  t.processor = "AMD Opteron 6380 2.5 GHz";
+  t.num_sockets = 4;
+  t.cores_per_socket = 16;
+  t.numa_nodes = 8;
+  t.cores_per_numa_node = 8;
+  t.memory_per_numa_node_bytes = Size{32} << 30;
+  t.l1 = CacheGeometry{Size{16} << 10, 64, 4, 1};
+  t.l2 = CacheGeometry{Size{2} << 20, 64, 16, 2};
+  t.l3 = CacheGeometry{Size{12} << 20, 64, 16, 8};
+  t.distance = opteron_distance(t.numa_nodes);
+  return t;
+}
+
+MachineTopology abu_dhabi_topology() {
+  MachineTopology t;
+  t.name = "32-core profiling machine (modeled)";
+  t.processor = "AMD Opteron 16-core Abu Dhabi 2.9 GHz";
+  t.num_sockets = 2;
+  t.cores_per_socket = 16;
+  t.numa_nodes = 4;
+  t.cores_per_numa_node = 8;
+  t.memory_per_numa_node_bytes = Size{16} << 30;
+  t.l1 = CacheGeometry{Size{16} << 10, 64, 4, 1};
+  t.l2 = CacheGeometry{Size{2} << 20, 64, 16, 2};
+  t.l3 = CacheGeometry{Size{8} << 20, 64, 16, 8};
+  t.distance = opteron_distance(t.numa_nodes);
+  return t;
+}
+
+}  // namespace lbmib

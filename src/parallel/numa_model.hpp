@@ -1,0 +1,70 @@
+// Synthetic NUMA topology model.
+//
+// The paper characterizes its 64-core evaluation machine ("thog",
+// 4 x AMD Opteron 6380) in Tables III and IV: cache sizes, NUMA node
+// layout, and the node-distance matrix reported by `numactl --hardware`.
+// This container has no such machine, so we model the topology instead
+// (DESIGN.md section 5). The model drives:
+//   * the Table III / Table IV bench reproductions,
+//   * the NUMA-aware variants of cube2thread (threads on the same node get
+//     adjacent cube blocks), and
+//   * the cache-simulator configuration (L1/L2 geometry).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lbmib {
+
+/// One cache level's geometry.
+struct CacheGeometry {
+  Size size_bytes = 0;
+  Size line_bytes = 64;
+  int associativity = 1;
+  int cores_sharing = 1;  ///< how many cores share one instance
+};
+
+/// A shared-memory machine with identical NUMA nodes.
+struct MachineTopology {
+  std::string name;
+  std::string processor;
+  int num_sockets = 1;
+  int cores_per_socket = 1;
+  int numa_nodes = 1;
+  int cores_per_numa_node = 1;
+  Size memory_per_numa_node_bytes = 0;
+  CacheGeometry l1;
+  CacheGeometry l2;
+  CacheGeometry l3;
+  /// distance[i][j]: relative access cost from node i to node j's memory,
+  /// in the units `numactl --hardware` uses (local = 10).
+  std::vector<std::vector<int>> distance;
+
+  int total_cores() const { return num_sockets * cores_per_socket; }
+
+  /// NUMA node that core `core_id` belongs to (cores numbered node-major).
+  int node_of_core(int core_id) const {
+    return core_id / cores_per_numa_node;
+  }
+
+  /// Render the Table III style machine description.
+  std::string describe() const;
+
+  /// Render the Table IV style node-distance matrix.
+  std::string distance_table() const;
+};
+
+/// The paper's 64-core `thog` machine: 4 x Opteron 6380 (2.5 GHz),
+/// 16 cores/socket, 8 NUMA nodes of 8 cores and 32 GB each, 16 KB L1 per
+/// core, 2 MB L2 per 2 cores, 12 MB L3 per 8 cores. The distance matrix is
+/// transcribed from Table IV.
+MachineTopology thog_topology();
+
+/// The 32-core profiling machine of Sections III-D/IV-B: 2 x Opteron
+/// "Abu Dhabi" 2.9 GHz, 64 GB memory. Cache geometry matches the same
+/// Piledriver microarchitecture.
+MachineTopology abu_dhabi_topology();
+
+}  // namespace lbmib

@@ -1,0 +1,52 @@
+// Test-and-test-and-set spinlock used as the per-owner cube lock.
+//
+// Algorithm 4 of the paper protects each thread's subset of cubes with the
+// owner thread's private lock; threads spreading fiber forces into foreign
+// cubes acquire the owner's lock first. Critical sections are tiny (a few
+// scattered adds), so a spinlock beats a futex-backed std::mutex.
+#pragma once
+
+#include <atomic>
+
+namespace lbmib {
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    for (;;) {
+      // Optimistically try to grab the lock.
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      // Spin on a plain load to avoid cache-line ping-pong.
+      while (flag_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// RAII guard for SpinLock (CP.20: never plain lock()/unlock()).
+class SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) : lock_(lock) { lock_.lock(); }
+  ~SpinLockGuard() { lock_.unlock(); }
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+}  // namespace lbmib

@@ -1,0 +1,41 @@
+#include "parallel/thread_team.hpp"
+
+#include <exception>
+
+#include "common/error.hpp"
+
+namespace lbmib {
+
+ThreadTeam::ThreadTeam(int num_threads) : num_threads_(num_threads) {
+  require(num_threads >= 1, "ThreadTeam needs at least one thread");
+}
+
+void ThreadTeam::run(const std::function<void(int)>& body) {
+  // tid 0 runs on the calling thread; the rest get their own std::thread.
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(num_threads_));
+
+  for (int tid = 1; tid < num_threads_; ++tid) {
+    workers.emplace_back([&, tid] {
+      try {
+        body(tid);
+      } catch (...) {
+        errors[static_cast<std::size_t>(tid)] = std::current_exception();
+      }
+    });
+  }
+  try {
+    body(0);
+  } catch (...) {
+    errors[0] = std::current_exception();
+  }
+  for (std::thread& t : workers) t.join();
+
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace lbmib

@@ -1,0 +1,33 @@
+// Persistent worker-thread team.
+//
+// The paper's cube-based implementation (Algorithm 4) launches one Pthread
+// per worker that runs the *entire* time loop, synchronizing through
+// barriers, instead of forking/joining per kernel. ThreadTeam provides that
+// execution model on std::thread (the C++ face of Pthreads on Linux).
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace lbmib {
+
+/// Launches `num_threads` workers, each executing `body(tid)` once, and
+/// joins them all in run(). The body typically contains the full time loop
+/// with barrier synchronization, exactly as Thread_entry_fn in Algorithm 4.
+class ThreadTeam {
+ public:
+  explicit ThreadTeam(int num_threads);
+
+  int num_threads() const { return num_threads_; }
+
+  /// Run `body(tid)` on every worker (tid in [0, num_threads)) and wait for
+  /// all of them to finish. Exceptions thrown by workers are rethrown (the
+  /// first one wins) after every thread has been joined.
+  void run(const std::function<void(int)>& body);
+
+ private:
+  int num_threads_;
+};
+
+}  // namespace lbmib

@@ -1,0 +1,405 @@
+#include "perfmodel/access_trace.hpp"
+
+#include "common/error.hpp"
+#include "lbm/d3q19.hpp"
+
+namespace lbmib::perfmodel {
+
+namespace {
+
+constexpr Size kReal = sizeof(Real);
+// Field slot indices shared by both layouts (match CubeGrid's block order;
+// the planar map uses them as whole-grid plane indices).
+constexpr Size kDf = 0, kDfNew = 19, kRho = 38, kU = 39, kF = 42;
+
+/// Address helpers for the planar layout of the paper's OpenMP program:
+/// array-of-structs, as Algorithm 2's fluid_nodes[x,y,z].distri_freq[dir]
+/// shows — each node's 45 Reals (df, df_new, rho, u, F) are contiguous.
+/// (Our own FluidGrid is SoA for vectorization; the locality model
+/// replays the layout the paper measured with PAPI.)
+struct PlanarMap {
+  Size n;
+  std::uint64_t field(Size slot, Size node) const {
+    return (node * 45 + slot) * kReal;
+  }
+};
+
+/// Address helpers for the cube (CubeGrid) layout: cube blocks of
+/// 45 * m Reals.
+struct CubeMap {
+  Size m;  // nodes per cube
+  std::uint64_t field(Size cube, Size slot, Size local) const {
+    return (cube * 45 + slot) * m * kReal + local * kReal;
+  }
+};
+
+struct PlanarPartition {
+  Index x_begin, x_end;
+  Size node_begin, node_end;
+};
+
+PlanarPartition planar_partition(const TraceConfig& cfg) {
+  const Index x_begin = cfg.nx * cfg.tid / cfg.num_threads;
+  const Index x_end = cfg.nx * (cfg.tid + 1) / cfg.num_threads;
+  const Size plane = static_cast<Size>(cfg.ny) * static_cast<Size>(cfg.nz);
+  return {x_begin, x_end, static_cast<Size>(x_begin) * plane,
+          static_cast<Size>(x_end) * plane};
+}
+
+Size planar_nodes(const TraceConfig& cfg) {
+  return static_cast<Size>(cfg.nx) * static_cast<Size>(cfg.ny) *
+         static_cast<Size>(cfg.nz);
+}
+
+/// Cube ids owned by cfg.tid under the block distribution (1-D block over
+/// the linearized cube list is equivalent to the solvers' x-major block
+/// distribution when the mesh is 1-D; adequate for the locality model).
+struct CubePartition {
+  Size cube_begin, cube_end;
+  Size m;
+  Index ncx, ncy, ncz;
+};
+
+CubePartition cube_partition(const TraceConfig& cfg) {
+  require(cfg.nx % cfg.cube_size == 0 && cfg.ny % cfg.cube_size == 0 &&
+              cfg.nz % cfg.cube_size == 0,
+          "trace grid must be divisible by the cube size");
+  const Index ncx = cfg.nx / cfg.cube_size;
+  const Index ncy = cfg.ny / cfg.cube_size;
+  const Index ncz = cfg.nz / cfg.cube_size;
+  const Size ncubes = static_cast<Size>(ncx * ncy * ncz);
+  const Size m = static_cast<Size>(cfg.cube_size) *
+                 static_cast<Size>(cfg.cube_size) *
+                 static_cast<Size>(cfg.cube_size);
+  const Size begin = ncubes * static_cast<Size>(cfg.tid) /
+                     static_cast<Size>(cfg.num_threads);
+  const Size end = ncubes * static_cast<Size>(cfg.tid + 1) /
+                   static_cast<Size>(cfg.num_threads);
+  return {begin, end, m, ncx, ncy, ncz};
+}
+
+}  // namespace
+
+// --- planar traces ----------------------------------------------------------
+
+void trace_collision_planar(CacheHierarchy& cache, const TraceConfig& cfg) {
+  const PlanarMap map{planar_nodes(cfg)};
+  const PlanarPartition part = planar_partition(cfg);
+  for (Size node = part.node_begin; node < part.node_end; ++node) {
+    for (Size dir = 0; dir < kQ; ++dir) {
+      cache.access(map.field(kDf + dir, node));  // read g_i
+    }
+    for (Size axis = 0; axis < 3; ++axis) {
+      cache.access(map.field(kF + axis, node));  // read force
+    }
+    for (Size dir = 0; dir < kQ; ++dir) {
+      cache.access(map.field(kDf + dir, node));  // write g_i'
+    }
+  }
+}
+
+void trace_streaming_planar(CacheHierarchy& cache, const TraceConfig& cfg) {
+  using namespace d3q19;
+  const PlanarMap map{planar_nodes(cfg)};
+  const PlanarPartition part = planar_partition(cfg);
+  const Size plane = static_cast<Size>(cfg.ny) * static_cast<Size>(cfg.nz);
+  for (Index x = part.x_begin; x < part.x_end; ++x) {
+    for (Index y = 0; y < cfg.ny; ++y) {
+      for (Index z = 0; z < cfg.nz; ++z) {
+        const Size node =
+            (static_cast<Size>(x) * static_cast<Size>(cfg.ny) +
+             static_cast<Size>(y)) *
+                static_cast<Size>(cfg.nz) +
+            static_cast<Size>(z);
+        for (Size dir = 0; dir < kQ; ++dir) {
+          cache.access(map.field(kDf + dir, node));  // read g_i
+          // push to the periodic neighbour
+          const Index tx = (x + cx[dir] + cfg.nx) % cfg.nx;
+          const Index ty = (y + cy[dir] + cfg.ny) % cfg.ny;
+          const Index tz = (z + cz[dir] + cfg.nz) % cfg.nz;
+          const Size dst =
+              (static_cast<Size>(tx) * static_cast<Size>(cfg.ny) +
+               static_cast<Size>(ty)) *
+                  static_cast<Size>(cfg.nz) +
+              static_cast<Size>(tz);
+          cache.access(map.field(kDfNew + dir, dst));  // write
+        }
+      }
+    }
+  }
+  (void)plane;
+}
+
+void trace_update_velocity_planar(CacheHierarchy& cache,
+                                  const TraceConfig& cfg) {
+  const PlanarMap map{planar_nodes(cfg)};
+  const PlanarPartition part = planar_partition(cfg);
+  for (Size node = part.node_begin; node < part.node_end; ++node) {
+    for (Size dir = 0; dir < kQ; ++dir) {
+      cache.access(map.field(kDfNew + dir, node));  // read streamed g
+    }
+    for (Size axis = 0; axis < 3; ++axis) {
+      cache.access(map.field(kF + axis, node));  // read force
+    }
+    cache.access(map.field(kRho, node));  // write rho
+    for (Size axis = 0; axis < 3; ++axis) {
+      cache.access(map.field(kU + axis, node));  // write u
+    }
+  }
+}
+
+void trace_copy_planar(CacheHierarchy& cache, const TraceConfig& cfg) {
+  const PlanarMap map{planar_nodes(cfg)};
+  const PlanarPartition part = planar_partition(cfg);
+  // memcpy per direction plane: read df_new, write df, plane by plane.
+  for (Size dir = 0; dir < kQ; ++dir) {
+    for (Size node = part.node_begin; node < part.node_end; ++node) {
+      cache.access(map.field(kDfNew + dir, node));
+      cache.access(map.field(kDf + dir, node));
+    }
+  }
+}
+
+// --- cube traces ------------------------------------------------------------
+
+void trace_collision_cube(CacheHierarchy& cache, const TraceConfig& cfg) {
+  const CubePartition part = cube_partition(cfg);
+  const CubeMap map{part.m};
+  for (Size cube = part.cube_begin; cube < part.cube_end; ++cube) {
+    for (Size local = 0; local < part.m; ++local) {
+      for (Size dir = 0; dir < kQ; ++dir) {
+        cache.access(map.field(cube, kDf + dir, local));
+      }
+      for (Size axis = 0; axis < 3; ++axis) {
+        cache.access(map.field(cube, kF + axis, local));
+      }
+      for (Size dir = 0; dir < kQ; ++dir) {
+        cache.access(map.field(cube, kDf + dir, local));
+      }
+    }
+  }
+}
+
+void trace_streaming_cube(CacheHierarchy& cache, const TraceConfig& cfg) {
+  using namespace d3q19;
+  const CubePartition part = cube_partition(cfg);
+  const CubeMap map{part.m};
+  const Index k = cfg.cube_size;
+  for (Size cube = part.cube_begin; cube < part.cube_end; ++cube) {
+    const Index ccx = static_cast<Index>(cube) / (part.ncy * part.ncz);
+    const Index ccy =
+        (static_cast<Index>(cube) / part.ncz) % part.ncy;
+    const Index ccz = static_cast<Index>(cube) % part.ncz;
+    for (Index lx = 0; lx < k; ++lx) {
+      for (Index ly = 0; ly < k; ++ly) {
+        for (Index lz = 0; lz < k; ++lz) {
+          const Size local =
+              (static_cast<Size>(lx) * static_cast<Size>(k) +
+               static_cast<Size>(ly)) *
+                  static_cast<Size>(k) +
+              static_cast<Size>(lz);
+          for (Size dir = 0; dir < kQ; ++dir) {
+            cache.access(map.field(cube, kDf + dir, local));  // read
+            // destination node (periodic at the grid level)
+            const Index gx =
+                (ccx * k + lx + cx[dir] + cfg.nx) % cfg.nx;
+            const Index gy =
+                (ccy * k + ly + cy[dir] + cfg.ny) % cfg.ny;
+            const Index gz =
+                (ccz * k + lz + cz[dir] + cfg.nz) % cfg.nz;
+            const Size dcube = static_cast<Size>(
+                ((gx / k) * part.ncy + (gy / k)) * part.ncz + (gz / k));
+            const Size dlocal =
+                (static_cast<Size>(gx % k) * static_cast<Size>(k) +
+                 static_cast<Size>(gy % k)) *
+                    static_cast<Size>(k) +
+                static_cast<Size>(gz % k);
+            cache.access(map.field(dcube, kDfNew + dir, dlocal));  // write
+          }
+        }
+      }
+    }
+  }
+}
+
+void trace_update_velocity_cube(CacheHierarchy& cache,
+                                const TraceConfig& cfg) {
+  const CubePartition part = cube_partition(cfg);
+  const CubeMap map{part.m};
+  for (Size cube = part.cube_begin; cube < part.cube_end; ++cube) {
+    for (Size local = 0; local < part.m; ++local) {
+      for (Size dir = 0; dir < kQ; ++dir) {
+        cache.access(map.field(cube, kDfNew + dir, local));
+      }
+      for (Size axis = 0; axis < 3; ++axis) {
+        cache.access(map.field(cube, kF + axis, local));
+      }
+      cache.access(map.field(cube, kRho, local));
+      for (Size axis = 0; axis < 3; ++axis) {
+        cache.access(map.field(cube, kU + axis, local));
+      }
+    }
+  }
+}
+
+void trace_copy_cube(CacheHierarchy& cache, const TraceConfig& cfg) {
+  const CubePartition part = cube_partition(cfg);
+  const CubeMap map{part.m};
+  for (Size cube = part.cube_begin; cube < part.cube_end; ++cube) {
+    for (Size dir = 0; dir < kQ; ++dir) {
+      for (Size local = 0; local < part.m; ++local) {
+        cache.access(map.field(cube, kDfNew + dir, local));
+        cache.access(map.field(cube, kDf + dir, local));
+      }
+    }
+  }
+}
+
+namespace {
+
+/// The cube solver fuses collision and streaming per cube (2nd loop of
+/// Algorithm 4): collide cube c, stream cube c, then move to cube c+1.
+/// Replaying the same interleaving matters — it is what keeps the cube's
+/// block resident across both kernels.
+void trace_fused_collide_stream_cube(CacheHierarchy& cache,
+                                     const TraceConfig& cfg) {
+  const CubePartition part = cube_partition(cfg);
+  for (Size cube = part.cube_begin; cube < part.cube_end; ++cube) {
+    TraceConfig one = cfg;
+    // Narrow the partition to exactly this cube by replaying with a
+    // single-cube window: emulate via a thread count equal to the number
+    // of cubes and tid = cube. The 1-D block partition then owns [cube,
+    // cube+1).
+    one.num_threads = static_cast<int>(part.ncx * part.ncy * part.ncz);
+    one.tid = static_cast<int>(cube);
+    trace_collision_cube(cache, one);
+    trace_streaming_cube(cache, one);
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// Visit the three named force/velocity slots of each node in the 4x4x4
+/// influential domain of one fiber node, plus the Lagrangian node's own
+/// state, for the given layout. `writes` doubles the fluid accesses
+/// (read-modify-write of kernel 4 vs pure reads of kernel 8).
+void trace_fiber_kernel(CacheHierarchy& cache, Layout layout,
+                        const TraceConfig& cfg, Size first_fluid_slot,
+                        bool writes) {
+  if (cfg.num_fibers == 0 || cfg.nodes_per_fiber == 0) return;
+  // Lagrangian arrays live after the fluid fields in the address space.
+  const Size fluid_bytes =
+      static_cast<Size>(cfg.nx) * static_cast<Size>(cfg.ny) *
+      static_cast<Size>(cfg.nz) * 46 * kReal;
+  const Size fiber_nodes = static_cast<Size>(cfg.num_fibers) *
+                           static_cast<Size>(cfg.nodes_per_fiber);
+  // This thread's block of fibers (like fiber2thread's block policy).
+  const Index f_begin = cfg.num_fibers * cfg.tid / cfg.num_threads;
+  const Index f_end = cfg.num_fibers * (cfg.tid + 1) / cfg.num_threads;
+
+  const Index k = cfg.cube_size;
+  const Index ncy = cfg.ny / k, ncz = cfg.nz / k;
+  const Size m = static_cast<Size>(k) * static_cast<Size>(k) *
+                 static_cast<Size>(k);
+  const PlanarMap pmap{static_cast<Size>(cfg.nx) *
+                       static_cast<Size>(cfg.ny) *
+                       static_cast<Size>(cfg.nz)};
+  const CubeMap cmap{m};
+
+  auto wrap = [](Index v, Index n) { return ((v % n) + n) % n; };
+  for (Index f = f_begin; f < f_end; ++f) {
+    for (Index j = 0; j < cfg.nodes_per_fiber; ++j) {
+      const Size node_id =
+          static_cast<Size>(f) * static_cast<Size>(cfg.nodes_per_fiber) +
+          static_cast<Size>(j);
+      // Lagrangian state: position (3) + force (3) per node.
+      cache.access_range(fluid_bytes + node_id * 6 * kReal, 6 * kReal);
+      (void)fiber_nodes;
+      // Influential domain base from the synthetic geometry.
+      const Index bx = static_cast<Index>(
+                           cfg.sheet_origin[0]) - 1;
+      const Index by = static_cast<Index>(cfg.sheet_origin[1] +
+                                          cfg.sheet_spacing * f) - 1;
+      const Index bz = static_cast<Index>(cfg.sheet_origin[2] +
+                                          cfg.sheet_spacing * j) - 1;
+      for (Index a = 0; a < 4; ++a) {
+        const Index gx = wrap(bx + a, cfg.nx);
+        for (Index b = 0; b < 4; ++b) {
+          const Index gy = wrap(by + b, cfg.ny);
+          for (Index c = 0; c < 4; ++c) {
+            const Index gz = wrap(bz + c, cfg.nz);
+            for (Size axis = 0; axis < 3; ++axis) {
+              std::uint64_t addr;
+              if (layout == Layout::kPlanar) {
+                const Size node =
+                    (static_cast<Size>(gx) * static_cast<Size>(cfg.ny) +
+                     static_cast<Size>(gy)) *
+                        static_cast<Size>(cfg.nz) +
+                    static_cast<Size>(gz);
+                addr = pmap.field(first_fluid_slot + axis, node);
+              } else {
+                const Size cube = static_cast<Size>(
+                    ((gx / k) * ncy + (gy / k)) * ncz + (gz / k));
+                const Size local =
+                    (static_cast<Size>(gx % k) * static_cast<Size>(k) +
+                     static_cast<Size>(gy % k)) *
+                        static_cast<Size>(k) +
+                    static_cast<Size>(gz % k);
+                addr = cmap.field(cube, first_fluid_slot + axis, local);
+              }
+              cache.access(addr);           // read
+              if (writes) cache.access(addr);  // modify-write
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void trace_spread(CacheHierarchy& cache, Layout layout,
+                  const TraceConfig& cfg) {
+  trace_fiber_kernel(cache, layout, cfg, kF, /*writes=*/true);
+}
+
+void trace_move(CacheHierarchy& cache, Layout layout,
+                const TraceConfig& cfg) {
+  trace_fiber_kernel(cache, layout, cfg, kU, /*writes=*/false);
+}
+
+void trace_timestep(CacheHierarchy& cache, Layout layout,
+                    const TraceConfig& cfg) {
+  trace_spread(cache, layout, cfg);  // kernel 4
+  if (layout == Layout::kPlanar) {
+    trace_collision_planar(cache, cfg);
+    trace_streaming_planar(cache, cfg);
+    trace_update_velocity_planar(cache, cfg);
+  } else {
+    trace_fused_collide_stream_cube(cache, cfg);
+    trace_update_velocity_cube(cache, cfg);
+  }
+  trace_move(cache, layout, cfg);  // kernel 8
+  if (layout == Layout::kPlanar) {
+    trace_copy_planar(cache, cfg);
+  } else {
+    trace_copy_cube(cache, cfg);
+  }
+}
+
+Size working_set_bytes(Layout layout, const TraceConfig& cfg) {
+  // Per time step a thread touches its partition of: 19 df + 19 df_new +
+  // rho + 3 u + 3 f = 45 Reals per node, plus the streaming halo. The
+  // halo is one node layer around the partition surface.
+  const Size own_nodes =
+      layout == Layout::kPlanar
+          ? planar_partition(cfg).node_end - planar_partition(cfg).node_begin
+          : (cube_partition(cfg).cube_end - cube_partition(cfg).cube_begin) *
+                cube_partition(cfg).m;
+  return own_nodes * 45 * sizeof(Real);
+}
+
+}  // namespace lbmib::perfmodel

@@ -1,0 +1,78 @@
+// Kernel memory-access trace generators.
+//
+// These functions replay, address by address, the memory traffic one
+// thread generates while executing the fluid kernels of a time step — for
+// the planar layout (OpenMP program: the thread sweeps an x-slab of
+// grid-sized field planes) and for the cube layout (cube program: the
+// thread sweeps its contiguous cube blocks). Feeding both traces through
+// the same CacheHierarchy reproduces the locality contrast behind the
+// paper's Table II and the Figure 8 performance gap.
+//
+// Addresses mirror the real data structures byte for byte: the planar map
+// follows FluidGrid (field planes of nx*ny*nz Reals), the cube map follows
+// CubeGrid (45-slot blocks of k^3 Reals per cube).
+#pragma once
+
+#include "common/types.hpp"
+#include "perfmodel/cache_sim.hpp"
+
+namespace lbmib::perfmodel {
+
+/// Grid/partition description for trace generation.
+struct TraceConfig {
+  Index nx = 64, ny = 64, nz = 64;
+  Index cube_size = 4;  ///< used by the cube-layout traces only
+  int num_threads = 1;  ///< partition the grid like the solvers do
+  int tid = 0;          ///< which thread's accesses to replay
+
+  // Optional immersed sheet for the fiber-kernel traces (4: spread,
+  // 8: move). Zero fibers disables them. The synthetic sheet sits at
+  // `sheet_origin` with `sheet_spacing` between nodes, like FiberSheet.
+  Index num_fibers = 0;
+  Index nodes_per_fiber = 0;
+  Real sheet_origin[3] = {0.0, 0.0, 0.0};
+  Real sheet_spacing = 0.5;
+};
+
+/// Which data layout a trace replays.
+enum class Layout { kPlanar, kCube };
+
+// --- per-kernel traces (planar layout, x-slab partition) -------------------
+
+void trace_collision_planar(CacheHierarchy& cache, const TraceConfig& cfg);
+void trace_streaming_planar(CacheHierarchy& cache, const TraceConfig& cfg);
+void trace_update_velocity_planar(CacheHierarchy& cache,
+                                  const TraceConfig& cfg);
+void trace_copy_planar(CacheHierarchy& cache, const TraceConfig& cfg);
+
+// --- per-kernel traces (cube layout, block distribution) -------------------
+
+void trace_collision_cube(CacheHierarchy& cache, const TraceConfig& cfg);
+void trace_streaming_cube(CacheHierarchy& cache, const TraceConfig& cfg);
+void trace_update_velocity_cube(CacheHierarchy& cache,
+                                const TraceConfig& cfg);
+void trace_copy_cube(CacheHierarchy& cache, const TraceConfig& cfg);
+
+// --- fiber-kernel traces (both layouts) -------------------------------------
+
+/// Kernel 4 (spread): each of this thread's fiber nodes reads its
+/// position/force and read-modify-writes the 4x4x4 influential domain's
+/// three force components.
+void trace_spread(CacheHierarchy& cache, Layout layout,
+                  const TraceConfig& cfg);
+
+/// Kernel 8 (move): each fiber node reads the influential domain's three
+/// velocity components and writes its position.
+void trace_move(CacheHierarchy& cache, Layout layout,
+                const TraceConfig& cfg);
+
+/// Replay one full time step: the four fluid-sweeping kernels (5, 6, 7,
+/// 9) plus, when the config defines a sheet, the fiber kernels (4, 8) in
+/// Algorithm 1 order.
+void trace_timestep(CacheHierarchy& cache, Layout layout,
+                    const TraceConfig& cfg);
+
+/// Bytes of state one thread touches per time step (working set).
+Size working_set_bytes(Layout layout, const TraceConfig& cfg);
+
+}  // namespace lbmib::perfmodel

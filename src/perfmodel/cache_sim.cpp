@@ -1,0 +1,114 @@
+#include "perfmodel/cache_sim.hpp"
+
+#include <bit>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lbmib {
+
+namespace {
+constexpr std::uint64_t kEmpty = std::numeric_limits<std::uint64_t>::max();
+}
+
+CacheLevel::CacheLevel(Size size_bytes, Size line_bytes, int associativity)
+    : size_bytes_(size_bytes),
+      line_bytes_(line_bytes),
+      associativity_(associativity) {
+  require(line_bytes > 0 && (line_bytes & (line_bytes - 1)) == 0,
+          "cache line size must be a power of two");
+  require(associativity >= 1, "associativity must be >= 1");
+  require(size_bytes % (line_bytes * static_cast<Size>(associativity)) == 0,
+          "cache size must be a multiple of line size * associativity");
+  num_sets_ = size_bytes / (line_bytes * static_cast<Size>(associativity));
+  require((num_sets_ & (num_sets_ - 1)) == 0,
+          "number of sets must be a power of two");
+  line_shift_ = static_cast<Size>(std::countr_zero(line_bytes));
+  tags_.assign(num_sets_ * static_cast<Size>(associativity), kEmpty);
+  stamps_.assign(tags_.size(), 0);
+}
+
+bool CacheLevel::access(std::uint64_t addr) {
+  ++accesses_;
+  ++clock_;
+  const std::uint64_t line = addr >> line_shift_;
+  const Size set = static_cast<Size>(line) & (num_sets_ - 1);
+  const Size base = set * static_cast<Size>(associativity_);
+
+  // Hit?
+  for (int way = 0; way < associativity_; ++way) {
+    if (tags_[base + static_cast<Size>(way)] == line) {
+      stamps_[base + static_cast<Size>(way)] = clock_;
+      return true;
+    }
+  }
+  // Miss: fill the LRU way.
+  ++misses_;
+  Size victim = base;
+  std::uint64_t oldest = stamps_[base];
+  for (int way = 0; way < associativity_; ++way) {
+    const Size idx = base + static_cast<Size>(way);
+    if (tags_[idx] == kEmpty) {
+      victim = idx;
+      break;
+    }
+    if (stamps_[idx] < oldest) {
+      oldest = stamps_[idx];
+      victim = idx;
+    }
+  }
+  tags_[victim] = line;
+  stamps_[victim] = clock_;
+  return false;
+}
+
+void CacheLevel::reset_stats() {
+  accesses_ = 0;
+  misses_ = 0;
+}
+
+void CacheLevel::flush() {
+  reset_stats();
+  tags_.assign(tags_.size(), kEmpty);
+  stamps_.assign(stamps_.size(), 0);
+  clock_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(const CacheGeometry& l1,
+                               const CacheGeometry& l2)
+    : l1_(l1.size_bytes, l1.line_bytes, l1.associativity),
+      l2_(l2.size_bytes, l2.line_bytes, l2.associativity) {}
+
+CacheHierarchy CacheHierarchy::opteron6380() {
+  const MachineTopology t = thog_topology();
+  return CacheHierarchy(t.l1, t.l2);
+}
+
+void CacheHierarchy::access_range(std::uint64_t addr, Size bytes) {
+  const Size line = l1_.line_bytes();
+  const std::uint64_t first = addr & ~static_cast<std::uint64_t>(line - 1);
+  const std::uint64_t last = (addr + bytes - 1) &
+                             ~static_cast<std::uint64_t>(line - 1);
+  for (std::uint64_t a = first; a <= last; a += line) access(a);
+}
+
+void CacheHierarchy::reset_stats() {
+  l1_.reset_stats();
+  l2_.reset_stats();
+}
+
+void CacheHierarchy::flush() {
+  l1_.flush();
+  l2_.flush();
+}
+
+std::string CacheHierarchy::summary() const {
+  std::ostringstream os;
+  os << "L1: " << l1_.accesses() << " accesses, miss rate "
+     << 100.0 * l1_.miss_rate() << "%; L2: " << l2_.accesses()
+     << " accesses, miss rate " << 100.0 * l2_.miss_rate() << "%";
+  return os.str();
+}
+
+}  // namespace lbmib

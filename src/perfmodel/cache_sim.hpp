@@ -1,0 +1,100 @@
+// Trace-driven set-associative cache simulator.
+//
+// Substitute for the PAPI hardware counters of the paper's Table II (see
+// DESIGN.md section 5): the paper's observation — the planar layout's L2
+// miss rate exceeds 25% while the cube layout shrinks the working set — is
+// a property of the memory access *pattern*, which we replay through a
+// model of the Opteron 6380's L1/L2 geometry.
+//
+// Model: per-level set-associative cache with true-LRU replacement and
+// inclusive behaviour (an L1 miss probes L2; an L2 miss fills both).
+// Writes are modelled as accesses (write-allocate), matching how PAPI's
+// *_DCM counters see a write-allocate data cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "parallel/numa_model.hpp"
+
+namespace lbmib {
+
+/// One cache level.
+class CacheLevel {
+ public:
+  CacheLevel(Size size_bytes, Size line_bytes, int associativity);
+
+  /// Access `addr`; returns true on hit. On miss the line is filled (LRU
+  /// victim evicted).
+  bool access(std::uint64_t addr);
+
+  void reset_stats();
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t misses() const { return misses_; }
+  double miss_rate() const {
+    return accesses_ ? static_cast<double>(misses_) /
+                           static_cast<double>(accesses_)
+                     : 0.0;
+  }
+
+  Size size_bytes() const { return size_bytes_; }
+  Size line_bytes() const { return line_bytes_; }
+  int associativity() const { return associativity_; }
+  Size num_sets() const { return num_sets_; }
+
+  /// Drop all cached lines (cold restart) as well as statistics.
+  void flush();
+
+ private:
+  Size size_bytes_;
+  Size line_bytes_;
+  int associativity_;
+  Size num_sets_;
+  Size line_shift_;
+  // ways_[set * associativity + way] = line tag (or kEmpty);
+  // lru_[same index] = last-use stamp.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> stamps_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// A two-level hierarchy (L1 -> L2), the levels PAPI reports in Table II.
+class CacheHierarchy {
+ public:
+  CacheHierarchy(const CacheGeometry& l1, const CacheGeometry& l2);
+
+  /// Convenience: hierarchy with the Opteron 6380 geometry of Table III.
+  static CacheHierarchy opteron6380();
+
+  /// Access one byte address.
+  void access(std::uint64_t addr) {
+    if (!l1_.access(addr)) l2_.access(addr);
+  }
+
+  /// Access `bytes` consecutive bytes starting at `addr` (touches every
+  /// cache line in the range once).
+  void access_range(std::uint64_t addr, Size bytes);
+
+  CacheLevel& l1() { return l1_; }
+  CacheLevel& l2() { return l2_; }
+  const CacheLevel& l1() const { return l1_; }
+  const CacheLevel& l2() const { return l2_; }
+
+  void reset_stats();
+  void flush();
+
+  /// "L1 miss rate / L2 miss rate" like Table II. The L2 miss rate is
+  /// relative to L2 accesses (i.e. L1 misses), matching PAPI's
+  /// L2_DCM / L2_DCA convention used in the paper.
+  std::string summary() const;
+
+ private:
+  CacheLevel l1_;
+  CacheLevel l2_;
+};
+
+}  // namespace lbmib

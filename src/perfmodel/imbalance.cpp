@@ -1,0 +1,36 @@
+#include "perfmodel/imbalance.hpp"
+
+#include <algorithm>
+
+namespace lbmib::perfmodel {
+
+namespace {
+
+double imbalance_of(const std::vector<double>& times) {
+  if (times.empty()) return 0.0;
+  const double max_time = *std::max_element(times.begin(), times.end());
+  if (max_time <= 0.0) return 0.0;
+  double sum = 0.0;
+  for (double t : times) sum += t;
+  const double avg = sum / static_cast<double>(times.size());
+  return (max_time - avg) / max_time;
+}
+
+}  // namespace
+
+double kernel_imbalance(const std::vector<KernelProfiler>& profiles,
+                        Kernel kernel) {
+  std::vector<double> times;
+  times.reserve(profiles.size());
+  for (const KernelProfiler& p : profiles) times.push_back(p.seconds(kernel));
+  return imbalance_of(times);
+}
+
+double total_imbalance(const std::vector<KernelProfiler>& profiles) {
+  std::vector<double> times;
+  times.reserve(profiles.size());
+  for (const KernelProfiler& p : profiles) times.push_back(p.total_seconds());
+  return imbalance_of(times);
+}
+
+}  // namespace lbmib::perfmodel

@@ -1,0 +1,22 @@
+// OmpP-style load-imbalance metric.
+//
+// The paper's Table II reports load imbalance relative to the whole
+// program, measured with OmpP. The equivalent definition on our per-thread
+// kernel timings: imbalance = (max_t T_t - avg_t T_t) / max_t T_t, where
+// T_t is thread t's total busy time across all kernels of the run.
+#pragma once
+
+#include <vector>
+
+#include "common/profiler.hpp"
+
+namespace lbmib::perfmodel {
+
+/// Load imbalance in [0, 1) of one kernel across threads.
+double kernel_imbalance(const std::vector<KernelProfiler>& profiles,
+                        Kernel kernel);
+
+/// Whole-program load imbalance across threads.
+double total_imbalance(const std::vector<KernelProfiler>& profiles);
+
+}  // namespace lbmib::perfmodel

@@ -1,0 +1,48 @@
+#include "perfmodel/locality.hpp"
+
+#include <sstream>
+
+namespace lbmib::perfmodel {
+
+std::string LocalityReport::to_string() const {
+  std::ostringstream os;
+  os << (layout == Layout::kPlanar ? "planar" : "cube  ") << "  threads="
+     << num_threads << "  L1 miss " << 100.0 * l1_miss_rate << "%  L2 miss "
+     << 100.0 * l2_miss_rate << "%  working set "
+     << (working_set_bytes >> 10) << " KB";
+  return os.str();
+}
+
+LocalityReport analyze_locality(Layout layout, const TraceConfig& cfg,
+                                int warmup_steps, int measure_steps) {
+  CacheHierarchy cache = CacheHierarchy::opteron6380();
+  for (int s = 0; s < warmup_steps; ++s) trace_timestep(cache, layout, cfg);
+  cache.reset_stats();
+  for (int s = 0; s < measure_steps; ++s) trace_timestep(cache, layout, cfg);
+  return LocalityReport{layout,
+                        cfg.num_threads,
+                        cache.l1().miss_rate(),
+                        cache.l2().miss_rate(),
+                        working_set_bytes(layout, cfg)};
+}
+
+std::vector<LocalityReport> table2_sweep(Layout layout,
+                                         const std::vector<int>& cores,
+                                         Index nx, Index ny, Index nz,
+                                         Index cube_size) {
+  std::vector<LocalityReport> rows;
+  rows.reserve(cores.size());
+  for (int c : cores) {
+    TraceConfig cfg;
+    cfg.nx = nx;
+    cfg.ny = ny;
+    cfg.nz = nz;
+    cfg.cube_size = cube_size;
+    cfg.num_threads = c;
+    cfg.tid = 0;
+    rows.push_back(analyze_locality(layout, cfg));
+  }
+  return rows;
+}
+
+}  // namespace lbmib::perfmodel

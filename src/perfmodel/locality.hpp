@@ -1,0 +1,36 @@
+// Table II style locality analysis: cache miss rates of the planar vs
+// cube layouts, obtained by replaying kernel access traces through the
+// modeled Opteron cache hierarchy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perfmodel/access_trace.hpp"
+
+namespace lbmib::perfmodel {
+
+struct LocalityReport {
+  Layout layout;
+  int num_threads;
+  double l1_miss_rate;  ///< fraction of L1 accesses missing
+  double l2_miss_rate;  ///< fraction of L2 accesses (= L1 misses) missing
+  Size working_set_bytes;
+
+  std::string to_string() const;
+};
+
+/// Replay `measure_steps` full time steps of thread 0's traffic after
+/// `warmup_steps` warm-up steps, through the Opteron 6380 L1/L2 model.
+LocalityReport analyze_locality(Layout layout, const TraceConfig& cfg,
+                                int warmup_steps = 1, int measure_steps = 1);
+
+/// Table II reproduction: one LocalityReport per requested core count for
+/// the planar layout (the paper's OpenMP program), plus cube-layout rows
+/// for contrast. `nx0` etc. give the single-core grid.
+std::vector<LocalityReport> table2_sweep(Layout layout,
+                                         const std::vector<int>& cores,
+                                         Index nx, Index ny, Index nz,
+                                         Index cube_size);
+
+}  // namespace lbmib::perfmodel

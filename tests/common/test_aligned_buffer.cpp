@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "common/aligned_buffer.hpp"
+
+namespace lbmib {
+namespace {
+
+TEST(AlignedBuffer, DefaultIsEmpty) {
+  AlignedBuffer<double> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.data(), nullptr);
+}
+
+TEST(AlignedBuffer, AllocatesRequestedCount) {
+  AlignedBuffer<double> buf(100);
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_NE(buf.data(), nullptr);
+}
+
+TEST(AlignedBuffer, DataIsCacheLineAligned) {
+  for (Size count : {1u, 7u, 64u, 1000u}) {
+    AlignedBuffer<double> buf(count);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) %
+                  kCacheLineBytes,
+              0u)
+        << "count=" << count;
+  }
+}
+
+TEST(AlignedBuffer, ZeroInitialised) {
+  AlignedBuffer<double> buf(257);
+  for (double v : buf) EXPECT_EQ(v, 0.0);
+}
+
+TEST(AlignedBuffer, FillSetsEveryElement) {
+  AlignedBuffer<int> buf(33);
+  buf.fill(42);
+  for (int v : buf) EXPECT_EQ(v, 42);
+}
+
+TEST(AlignedBuffer, IndexingReadsAndWrites) {
+  AlignedBuffer<double> buf(10);
+  buf[3] = 1.5;
+  EXPECT_EQ(buf[3], 1.5);
+  const auto& cbuf = buf;
+  EXPECT_EQ(cbuf[3], 1.5);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<double> a(16);
+  a[0] = 9.0;
+  double* raw = a.data();
+  AlignedBuffer<double> b(std::move(a));
+  EXPECT_EQ(b.data(), raw);
+  EXPECT_EQ(b[0], 9.0);
+  EXPECT_TRUE(a.empty());
+
+  AlignedBuffer<double> c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), raw);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(AlignedBuffer, MoveAssignToSelfSafe) {
+  AlignedBuffer<double> a(8);
+  a[2] = 5.0;
+  AlignedBuffer<double>& alias = a;
+  a = std::move(alias);
+  EXPECT_EQ(a.size(), 8u);
+  EXPECT_EQ(a[2], 5.0);
+}
+
+TEST(AlignedBuffer, ResetReallocatesAndZeroes) {
+  AlignedBuffer<double> buf(4);
+  buf.fill(3.0);
+  buf.reset(10);
+  EXPECT_EQ(buf.size(), 10u);
+  for (double v : buf) EXPECT_EQ(v, 0.0);
+}
+
+TEST(AlignedBuffer, ResetToZeroReleases) {
+  AlignedBuffer<double> buf(4);
+  buf.reset(0);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(AlignedBuffer, SpanCoversBuffer) {
+  AlignedBuffer<double> buf(5);
+  auto s = buf.span();
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.data(), buf.data());
+}
+
+TEST(AlignedBuffer, CustomAlignment) {
+  AlignedBuffer<double, 4096> buf(3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 4096, 0u);
+}
+
+}  // namespace
+}  // namespace lbmib

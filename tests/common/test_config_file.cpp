@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/config_file.hpp"
+#include "common/error.hpp"
+
+namespace lbmib {
+namespace {
+
+SimulationParams parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_params(in);
+}
+
+TEST(ConfigFile, ParsesScalarsAndVectors) {
+  const SimulationParams p = parse(
+      "nx = 32\nny = 16\nnz = 8\n"
+      "tau = 0.9\nrho0 = 1.1\n"
+      "body_force = 1e-5 0 -2e-5\n"
+      "initial_velocity = 0.01 0.02 0.03\n"
+      "num_fibers = 6\nnodes_per_fiber = 6\n"
+      "sheet_width = 4\nsheet_height = 4\nsheet_origin = 10 6 2\n"
+      "cube_size = 4\nnum_threads = 3\n");
+  EXPECT_EQ(p.nx, 32);
+  EXPECT_EQ(p.ny, 16);
+  EXPECT_EQ(p.nz, 8);
+  EXPECT_DOUBLE_EQ(p.tau, 0.9);
+  EXPECT_DOUBLE_EQ(p.rho0, 1.1);
+  EXPECT_EQ(p.body_force, (Vec3{1e-5, 0.0, -2e-5}));
+  EXPECT_EQ(p.initial_velocity, (Vec3{0.01, 0.02, 0.03}));
+  EXPECT_EQ(p.sheet_origin, (Vec3{10.0, 6.0, 2.0}));
+  EXPECT_EQ(p.num_threads, 3);
+}
+
+TEST(ConfigFile, ParsesEnums) {
+  SimulationParams p = parse("boundary = channel\npin_mode = center\n");
+  EXPECT_EQ(p.boundary, BoundaryType::kChannel);
+  EXPECT_EQ(p.pin_mode, PinMode::kCenter);
+  p = parse("boundary = periodic\npin_mode = leading_edge\n");
+  EXPECT_EQ(p.boundary, BoundaryType::kPeriodic);
+  EXPECT_EQ(p.pin_mode, PinMode::kLeadingEdge);
+}
+
+TEST(ConfigFile, CommentsAndBlanksIgnored) {
+  const SimulationParams p = parse(
+      "# full line comment\n"
+      "\n"
+      "   \t \n"
+      "nx = 24   # trailing comment\n");
+  EXPECT_EQ(p.nx, 24);
+}
+
+TEST(ConfigFile, SheetSectionsAppendExtraSheets) {
+  const SimulationParams p = parse(
+      "nx = 32\nny = 16\nnz = 16\n"
+      "[sheet]\n"
+      "num_fibers = 5\nnodes_per_fiber = 7\nwidth = 3\nheight = 4\n"
+      "origin = 10 4 4\nstretching_coeff = 0.03\nbending_coeff = 0.003\n"
+      "pin_mode = leading_edge\n"
+      "[sheet]\n"
+      "num_fibers = 4\nnodes_per_fiber = 4\nwidth = 2\nheight = 2\n"
+      "origin = 20 8 8\nstretching_coeff = 0.01\nbending_coeff = 0.001\n");
+  ASSERT_EQ(p.extra_sheets.size(), 2u);
+  EXPECT_EQ(p.extra_sheets[0].num_fibers, 5);
+  EXPECT_EQ(p.extra_sheets[0].pin_mode, PinMode::kLeadingEdge);
+  EXPECT_EQ(p.extra_sheets[1].origin, (Vec3{20.0, 8.0, 8.0}));
+}
+
+TEST(ConfigFile, RejectsUnknownKey) {
+  EXPECT_THROW(parse("nx = 32\nbogus = 7\n"), Error);
+}
+
+TEST(ConfigFile, RejectsUnknownSheetKey) {
+  EXPECT_THROW(parse("[sheet]\nnum_fibers = 2\nnodes_per_fiber = 2\n"
+                     "bogus = 1\n"),
+               Error);
+}
+
+TEST(ConfigFile, RejectsMalformedLines) {
+  EXPECT_THROW(parse("nx 32\n"), Error);        // no '='
+  EXPECT_THROW(parse("= 32\n"), Error);         // empty key
+  EXPECT_THROW(parse("nx =\n"), Error);         // empty value
+  EXPECT_THROW(parse("nx = abc\n"), Error);     // not a number
+  EXPECT_THROW(parse("nx = 3 4\n"), Error);     // trailing junk
+  EXPECT_THROW(parse("body_force = 1 2\n"), Error);  // short vector
+  EXPECT_THROW(parse("[fluid]\n"), Error);      // unknown section
+  EXPECT_THROW(parse("boundary = open\n"), Error);
+  EXPECT_THROW(parse("pin_mode = welded\n"), Error);
+}
+
+TEST(ConfigFile, ErrorsCarryLineNumbers) {
+  try {
+    parse("nx = 32\n\nbogus = 1\n");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(":3:"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ConfigFile, ValidationRunsAfterParsing) {
+  EXPECT_THROW(parse("tau = 0.4\n"), Error);          // unstable tau
+  EXPECT_THROW(parse("nx = 30\ncube_size = 4\n"), Error);  // indivisible
+}
+
+TEST(ConfigFile, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "lbmib_config_test.cfg";
+  SimulationParams p = presets::table1_sequential();
+  p.num_threads = 8;
+  p.pin_mode = PinMode::kCenter;
+  SheetSpec extra;
+  extra.num_fibers = 9;
+  extra.nodes_per_fiber = 11;
+  extra.width = 2.5;
+  extra.height = 3.5;
+  extra.origin = {60.0, 30.0, 30.0};
+  extra.stretching_coeff = 0.015;
+  extra.bending_coeff = 0.0015;
+  extra.pin_mode = PinMode::kLeadingEdge;
+  p.extra_sheets.push_back(extra);
+
+  save_params_file(p, path);
+  const SimulationParams q = load_params_file(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(q.nx, p.nx);
+  EXPECT_EQ(q.tau, p.tau);
+  EXPECT_EQ(q.body_force, p.body_force);
+  EXPECT_EQ(q.boundary, p.boundary);
+  EXPECT_EQ(q.pin_mode, p.pin_mode);
+  EXPECT_EQ(q.num_threads, p.num_threads);
+  ASSERT_EQ(q.extra_sheets.size(), 1u);
+  EXPECT_EQ(q.extra_sheets[0].num_fibers, 9);
+  EXPECT_EQ(q.extra_sheets[0].origin, extra.origin);
+  EXPECT_EQ(q.extra_sheets[0].pin_mode, PinMode::kLeadingEdge);
+  EXPECT_DOUBLE_EQ(q.extra_sheets[0].stretching_coeff, 0.015);
+}
+
+TEST(ConfigFile, MissingFileThrows) {
+  EXPECT_THROW(load_params_file("/nonexistent_xyz/params.cfg"), Error);
+}
+
+}  // namespace
+}  // namespace lbmib

@@ -1,0 +1,31 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+
+namespace lbmib {
+namespace {
+
+TEST(Logging, LevelRoundTrips) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(original);
+}
+
+TEST(Logging, EmitBelowLevelDoesNotCrash) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  log_debug("dropped ", 1);
+  log_info("dropped ", 2.5);
+  log_warn("dropped");
+  set_log_level(original);
+}
+
+TEST(Logging, VariadicConcatenation) {
+  EXPECT_EQ(detail::concat("a", 1, "b", 2.5), "a1b2.5");
+}
+
+}  // namespace
+}  // namespace lbmib

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/params.hpp"
+
+namespace lbmib {
+namespace {
+
+TEST(SimulationParams, DefaultsAreValid) {
+  SimulationParams p;
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(SimulationParams, PresetsAreValid) {
+  EXPECT_NO_THROW(presets::tiny().validate());
+  EXPECT_NO_THROW(presets::table1_sequential().validate());
+  EXPECT_NO_THROW(presets::fig8_weak_scaling_base().validate());
+}
+
+TEST(SimulationParams, Table1PresetMatchesPaperInput) {
+  const SimulationParams p = presets::table1_sequential();
+  // "a 3D fluid grid of dimension 124x64x64 and an immersed 2D sheet of
+  // dimension 20x20 with 52x52 fiber nodes"
+  EXPECT_EQ(p.nx, 124);
+  EXPECT_EQ(p.ny, 64);
+  EXPECT_EQ(p.nz, 64);
+  EXPECT_EQ(p.num_fibers, 52);
+  EXPECT_EQ(p.nodes_per_fiber, 52);
+  EXPECT_DOUBLE_EQ(p.sheet_width, 20.0);
+  EXPECT_DOUBLE_EQ(p.sheet_height, 20.0);
+}
+
+TEST(SimulationParams, Fig8PresetMatchesPaperInput) {
+  const SimulationParams p = presets::fig8_weak_scaling_base();
+  // "the input of the single core experiment takes as input 128^3 fluid
+  // nodes ... The fiber input size ... consists of 104x104 fiber nodes"
+  EXPECT_EQ(p.nx, 128);
+  EXPECT_EQ(p.ny, 128);
+  EXPECT_EQ(p.nz, 128);
+  EXPECT_EQ(p.num_fibers, 104);
+  EXPECT_EQ(p.nodes_per_fiber, 104);
+}
+
+TEST(SimulationParams, RejectsNonPositiveGrid) {
+  SimulationParams p;
+  p.nx = 0;
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(SimulationParams, RejectsUnstableTau) {
+  SimulationParams p;
+  p.tau = 0.5;
+  EXPECT_THROW(p.validate(), Error);
+  p.tau = 0.3;
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(SimulationParams, RejectsNonPositiveDensity) {
+  SimulationParams p;
+  p.rho0 = 0.0;
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(SimulationParams, RejectsNegativeStiffness) {
+  SimulationParams p;
+  p.stretching_coeff = -1.0;
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(SimulationParams, RejectsZeroThreads) {
+  SimulationParams p;
+  p.num_threads = 0;
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(SimulationParams, RejectsIndivisibleCubeSize) {
+  SimulationParams p;
+  p.nx = 64;
+  p.ny = 32;
+  p.nz = 32;
+  p.cube_size = 5;  // 64 % 5 != 0
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(SimulationParams, RejectsGridTooSmallForDelta) {
+  SimulationParams p;
+  p.nx = 2;
+  p.ny = 2;
+  p.nz = 2;
+  p.cube_size = 1;
+  p.num_fibers = 2;
+  p.nodes_per_fiber = 2;
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(SimulationParams, AllowsZeroFibers) {
+  SimulationParams p;
+  p.num_fibers = 0;
+  p.nodes_per_fiber = 0;
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(SimulationParams, ViscosityFollowsTau) {
+  SimulationParams p;
+  p.tau = 0.8;
+  EXPECT_DOUBLE_EQ(p.viscosity(), 0.3 / 3.0);
+  p.tau = 1.0;
+  EXPECT_DOUBLE_EQ(p.viscosity(), 0.5 / 3.0);
+}
+
+TEST(SimulationParams, NodeCounts) {
+  SimulationParams p;
+  p.nx = 4;
+  p.ny = 5;
+  p.nz = 6;
+  p.num_fibers = 3;
+  p.nodes_per_fiber = 7;
+  EXPECT_EQ(p.fluid_nodes(), 120u);
+  EXPECT_EQ(p.fiber_nodes(), 21u);
+}
+
+TEST(SimulationParams, SummaryMentionsKeyValues) {
+  SimulationParams p;
+  const std::string s = p.summary();
+  EXPECT_NE(s.find("fluid"), std::string::npos);
+  EXPECT_NE(s.find("threads"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbmib

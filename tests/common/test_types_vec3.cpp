@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/vec3.hpp"
+
+namespace lbmib {
+namespace {
+
+TEST(Vec3, DefaultIsZero) {
+  Vec3 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+  EXPECT_EQ(v.z, 0.0);
+}
+
+TEST(Vec3, IndexOperatorMatchesComponents) {
+  Vec3 v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[1], 2.0);
+  EXPECT_EQ(v[2], 3.0);
+  v[1] = 7.0;
+  EXPECT_EQ(v.y, 7.0);
+}
+
+TEST(Vec3, Addition) {
+  Vec3 a{1.0, 2.0, 3.0};
+  Vec3 b{0.5, -1.0, 2.0};
+  const Vec3 c = a + b;
+  EXPECT_EQ(c, (Vec3{1.5, 1.0, 5.0}));
+}
+
+TEST(Vec3, Subtraction) {
+  const Vec3 c = Vec3{1.0, 2.0, 3.0} - Vec3{1.0, 2.0, 3.0};
+  EXPECT_EQ(c, Vec3{});
+}
+
+TEST(Vec3, ScalarMultiplicationBothSides) {
+  const Vec3 v{1.0, -2.0, 3.0};
+  EXPECT_EQ(2.0 * v, v * 2.0);
+  EXPECT_EQ((2.0 * v).y, -4.0);
+}
+
+TEST(Vec3, DivisionByScalar) {
+  const Vec3 v = Vec3{2.0, 4.0, 8.0} / 2.0;
+  EXPECT_EQ(v, (Vec3{1.0, 2.0, 4.0}));
+}
+
+TEST(Vec3, Negation) {
+  EXPECT_EQ(-Vec3({1.0, -2.0, 3.0}), (Vec3{-1.0, 2.0, -3.0}));
+}
+
+TEST(Vec3, DotProduct) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0, 3.0}, {4.0, -5.0, 6.0}), 4.0 - 10.0 + 18.0);
+}
+
+TEST(Vec3, DotWithSelfIsNorm2) {
+  const Vec3 v{3.0, 4.0, 12.0};
+  EXPECT_DOUBLE_EQ(norm2(v), dot(v, v));
+  EXPECT_DOUBLE_EQ(norm(v), 13.0);
+}
+
+TEST(Vec3, CrossProductOrthogonality) {
+  const Vec3 a{1.0, 0.0, 0.0};
+  const Vec3 b{0.0, 1.0, 0.0};
+  EXPECT_EQ(cross(a, b), (Vec3{0.0, 0.0, 1.0}));
+  // anti-commutative
+  EXPECT_EQ(cross(b, a), (Vec3{0.0, 0.0, -1.0}));
+}
+
+TEST(Vec3, CrossIsPerpendicular) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-2.0, 0.5, 4.0};
+  const Vec3 c = cross(a, b);
+  EXPECT_NEAR(dot(c, a), 0.0, 1e-12);
+  EXPECT_NEAR(dot(c, b), 0.0, 1e-12);
+}
+
+TEST(Vec3, CompoundOperators) {
+  Vec3 v{1.0, 1.0, 1.0};
+  v += Vec3{1.0, 2.0, 3.0};
+  v -= Vec3{0.5, 0.5, 0.5};
+  v *= 2.0;
+  EXPECT_EQ(v, (Vec3{3.0, 5.0, 7.0}));
+}
+
+TEST(Vec3, StreamOutput) {
+  std::ostringstream os;
+  os << Vec3{1.0, 2.5, -3.0};
+  EXPECT_EQ(os.str(), "(1, 2.5, -3)");
+}
+
+}  // namespace
+}  // namespace lbmib

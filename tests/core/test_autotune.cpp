@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/autotune.hpp"
+
+namespace lbmib {
+namespace {
+
+SimulationParams tune_params() {
+  SimulationParams p = presets::tiny();  // 16^3 grid
+  p.body_force = {1e-5, 0.0, 0.0};
+  return p;
+}
+
+TEST(Autotune, ReturnsAValidDivisor) {
+  const TuneResult r = tune_cube_size(tune_params(), {2, 4, 8}, 1);
+  EXPECT_TRUE(r.best_cube_size == 2 || r.best_cube_size == 4 ||
+              r.best_cube_size == 8);
+  EXPECT_EQ(tune_params().nx % r.best_cube_size, 0);
+}
+
+TEST(Autotune, TriesEveryDividingCandidate) {
+  const TuneResult r = tune_cube_size(tune_params(), {2, 4, 8, 16}, 1);
+  ASSERT_EQ(r.timings.size(), 4u);
+  for (const CubeSizeTiming& t : r.timings) {
+    EXPECT_GT(t.seconds_per_step, 0.0);
+  }
+}
+
+TEST(Autotune, SkipsNonDividingCandidates) {
+  const TuneResult r = tune_cube_size(tune_params(), {3, 4, 5, 7}, 1);
+  ASSERT_EQ(r.timings.size(), 1u);  // only 4 divides 16
+  EXPECT_EQ(r.best_cube_size, 4);
+}
+
+TEST(Autotune, BestIsMinimumOfTimings) {
+  const TuneResult r = tune_cube_size(tune_params(), {2, 4, 8}, 1);
+  double best = 1e30;
+  Index best_k = 0;
+  for (const CubeSizeTiming& t : r.timings) {
+    if (t.seconds_per_step < best) {
+      best = t.seconds_per_step;
+      best_k = t.cube_size;
+    }
+  }
+  EXPECT_EQ(r.best_cube_size, best_k);
+}
+
+TEST(Autotune, ThrowsWhenNothingDivides) {
+  EXPECT_THROW(tune_cube_size(tune_params(), {3, 5, 7}, 1), Error);
+  EXPECT_THROW(tune_cube_size(tune_params(), {}, 1), Error);
+}
+
+TEST(Autotune, RejectsZeroTrialSteps) {
+  EXPECT_THROW(tune_cube_size(tune_params(), {4}, 0), Error);
+}
+
+TEST(Autotune, WorksWithMultipleThreads) {
+  SimulationParams p = tune_params();
+  p.num_threads = 2;
+  const TuneResult r = tune_cube_size(p, {4, 8}, 1);
+  EXPECT_TRUE(r.best_cube_size == 4 || r.best_cube_size == 8);
+}
+
+}  // namespace
+}  // namespace lbmib

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "core/cube_solver.hpp"
+#include "core/sequential_solver.hpp"
+#include "core/verification.hpp"
+
+namespace lbmib {
+namespace {
+
+SimulationParams small_params() {
+  SimulationParams p = presets::tiny();
+  p.body_force = {1e-5, 0.0, 0.0};
+  return p;
+}
+
+/// Sweep threads x cube sizes x distribution policies against the
+/// sequential reference — the paper's correctness criterion for the
+/// cube-based implementation.
+using CubeCase = std::tuple<int, Index, DistributionPolicy>;
+
+class CubeEquivalence : public ::testing::TestWithParam<CubeCase> {};
+
+TEST_P(CubeEquivalence, MatchesSequential) {
+  const auto [threads, cube_size, policy] = GetParam();
+  SimulationParams p = small_params();
+  SequentialSolver seq(p);
+  p.num_threads = threads;
+  p.cube_size = cube_size;
+  CubeSolver cube(p, policy);
+  seq.run(8);
+  cube.run(8);
+  const StateDiff diff = compare_solvers(seq, cube);
+  EXPECT_LT(diff.max_any(), 1e-11) << diff.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CubeEquivalence,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values<Index>(2, 4, 8),
+                       ::testing::Values(DistributionPolicy::kBlock,
+                                         DistributionPolicy::kCyclic)),
+    [](const auto& info) {
+      return std::string(std::get<2>(info.param) ==
+                                 DistributionPolicy::kBlock
+                             ? "block"
+                             : "cyclic") +
+             "_t" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(CubeSolver, ChannelFlowMatchesSequential) {
+  SimulationParams p = small_params();
+  p.boundary = BoundaryType::kChannel;
+  p.sheet_origin = {6.0, 6.0, 6.0};
+  SequentialSolver seq(p);
+  p.num_threads = 4;
+  CubeSolver cube(p);
+  seq.run(8);
+  cube.run(8);
+  EXPECT_LT(compare_solvers(seq, cube).max_any(), 1e-11);
+}
+
+TEST(CubeSolver, SpinBarrierVariantMatchesSequential) {
+  SimulationParams p = small_params();
+  SequentialSolver seq(p);
+  p.num_threads = 3;
+  CubeSolver cube(p, DistributionPolicy::kBlock, BarrierKind::kSpin);
+  seq.run(5);
+  cube.run(5);
+  EXPECT_LT(compare_solvers(seq, cube).max_any(), 1e-11);
+}
+
+TEST(CubeSolver, StepByStepMatchesSingleRun) {
+  SimulationParams p = small_params();
+  p.num_threads = 2;
+  CubeSolver a(p), b(p);
+  a.run(6);
+  for (int i = 0; i < 6; ++i) b.step();
+  EXPECT_LT(compare_solvers(a, b).max_any(), 1e-12);
+  EXPECT_EQ(a.steps_completed(), b.steps_completed());
+}
+
+TEST(CubeSolver, ObserverRunsAtIntervalDuringTeamRun) {
+  SimulationParams p = small_params();
+  p.num_threads = 4;
+  CubeSolver solver(p);
+  std::vector<Index> seen;
+  solver.run(
+      9, [&](Solver&, Index step) { seen.push_back(step); }, 3);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], 2);
+  EXPECT_EQ(seen[2], 8);
+}
+
+TEST(CubeSolver, ObserverCanSnapshotConsistentState) {
+  SimulationParams p = small_params();
+  p.num_threads = 4;
+  CubeSolver solver(p);
+  SequentialSolver reference(small_params());
+  Real max_diff = 0.0;
+  solver.run(
+      6,
+      [&](Solver& s, Index) {
+        reference.run(3);
+        max_diff = std::max(max_diff,
+                            compare_solvers(reference, s).max_any());
+      },
+      3);
+  EXPECT_LT(max_diff, 1e-11);
+}
+
+TEST(CubeSolver, MoreThreadsThanCubes) {
+  SimulationParams p = small_params();
+  p.cube_size = 8;  // 16^3 grid -> 2x2x2 = 8 cubes
+  SequentialSolver seq(p);
+  p.num_threads = 12;  // some threads own nothing
+  CubeSolver cube(p);
+  seq.run(4);
+  cube.run(4);
+  EXPECT_LT(compare_solvers(seq, cube).max_any(), 1e-11);
+}
+
+TEST(CubeSolver, PerThreadProfilesExposeLoadSplit) {
+  SimulationParams p = small_params();
+  p.num_threads = 4;
+  CubeSolver solver(p);
+  solver.run(3);
+  const auto profiles = solver.per_thread_profiles();
+  ASSERT_EQ(profiles.size(), 4u);
+  double total = 0.0;
+  for (const auto& prof : profiles) total += prof.total_seconds();
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(CubeSolver, ExposesDistributionAndMesh) {
+  SimulationParams p = small_params();
+  p.num_threads = 8;
+  CubeSolver solver(p);
+  EXPECT_EQ(solver.thread_mesh().size(), 8);
+  EXPECT_EQ(solver.distribution().cubes_x(), p.nx / p.cube_size);
+  EXPECT_EQ(solver.name(), "cube");
+}
+
+TEST(CubeSolver, ZeroFiberSimulation) {
+  SimulationParams p = small_params();
+  p.num_fibers = 0;
+  p.nodes_per_fiber = 0;
+  p.num_threads = 4;
+  CubeSolver solver(p);
+  solver.run(5);
+  EXPECT_EQ(solver.steps_completed(), 5);
+}
+
+TEST(CubeSolver, RunZeroStepsIsNoOp) {
+  SimulationParams p = small_params();
+  CubeSolver solver(p);
+  solver.run(0);
+  EXPECT_EQ(solver.steps_completed(), 0);
+}
+
+}  // namespace
+}  // namespace lbmib

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/distributed2d_solver.hpp"
+#include "core/sequential_solver.hpp"
+#include "core/verification.hpp"
+
+namespace lbmib {
+namespace {
+
+SimulationParams small_params() {
+  SimulationParams p = presets::tiny();
+  p.body_force = {1e-5, 0.0, 0.0};
+  return p;
+}
+
+/// The 2-D tile decomposition (faces + corners) against the sequential
+/// reference, across rank counts that factor into different meshes
+/// (4 -> 2x2, 6 -> 3x2, 8 -> 4x2, 9 -> 3x3).
+class Distributed2DEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(Distributed2DEquivalence, PeriodicMatchesSequential) {
+  SimulationParams p = small_params();
+  SequentialSolver seq(p);
+  seq.run(8);
+  p.num_threads = GetParam();
+  Distributed2DSolver dist(p);
+  dist.run(8);
+  const StateDiff diff = compare_solvers(seq, dist);
+  EXPECT_LT(diff.max_any(), 1e-11) << diff.to_string();
+}
+
+TEST_P(Distributed2DEquivalence, ChannelMatchesSequential) {
+  SimulationParams p = small_params();
+  p.boundary = BoundaryType::kChannel;
+  p.sheet_origin = {6.0, 6.0, 6.0};
+  SequentialSolver seq(p);
+  seq.run(8);
+  p.num_threads = GetParam();
+  Distributed2DSolver dist(p);
+  dist.run(8);
+  EXPECT_LT(compare_solvers(seq, dist).max_any(), 1e-11);
+}
+
+TEST_P(Distributed2DEquivalence, CavityMatchesSequential) {
+  SimulationParams p;
+  p.nx = 16;
+  p.ny = 16;
+  p.nz = 16;
+  p.boundary = BoundaryType::kCavity;
+  p.lid_velocity = {0.05, 0.0, 0.0};
+  p.num_fibers = 0;
+  p.nodes_per_fiber = 0;
+  SequentialSolver seq(p);
+  seq.run(10);
+  p.num_threads = GetParam();
+  Distributed2DSolver dist(p);
+  dist.run(10);
+  EXPECT_LT(compare_solvers(seq, dist).max_any(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, Distributed2DEquivalence,
+                         ::testing::Values(1, 2, 4, 6, 8, 9),
+                         [](const auto& info) {
+                           return "r" + std::to_string(info.param);
+                         });
+
+TEST(Distributed2DSolver, MeshFactorization) {
+  SimulationParams p = small_params();
+  p.num_threads = 6;
+  Distributed2DSolver dist(p);
+  EXPECT_EQ(dist.ranks_x() * dist.ranks_y(), 6);
+  EXPECT_GE(dist.ranks_x(), dist.ranks_y());
+  EXPECT_EQ(dist.ranks_x(), 3);
+  EXPECT_EQ(dist.ranks_y(), 2);
+}
+
+TEST(Distributed2DSolver, TilesPartitionTheDomain) {
+  SimulationParams p = small_params();
+  p.num_threads = 6;
+  Distributed2DSolver dist(p);
+  Size covered = 0;
+  for (int r = 0; r < 6; ++r) {
+    const auto t = dist.tile_of(r);
+    EXPECT_LT(t.x_lo, t.x_hi);
+    EXPECT_LT(t.y_lo, t.y_hi);
+    covered += static_cast<Size>((t.x_hi - t.x_lo) * (t.y_hi - t.y_lo));
+  }
+  EXPECT_EQ(covered, static_cast<Size>(p.nx * p.ny));
+}
+
+TEST(Distributed2DSolver, InletOutletMatchesSequential) {
+  SimulationParams p;
+  p.nx = 24;
+  p.ny = 12;
+  p.nz = 12;
+  p.boundary = BoundaryType::kInletOutlet;
+  p.inlet_velocity = {0.03, 0.0, 0.0};
+  p.num_fibers = 5;
+  p.nodes_per_fiber = 5;
+  p.sheet_width = 4.0;
+  p.sheet_height = 4.0;
+  p.sheet_origin = {10.0, 4.0, 4.0};
+  SequentialSolver seq(p);
+  seq.run(10);
+  p.num_threads = 6;  // 3 x 2 mesh: the inlet spans two y-ranks
+  Distributed2DSolver dist(p);
+  dist.run(10);
+  EXPECT_LT(compare_solvers(seq, dist).max_any(), 1e-11);
+}
+
+TEST(Distributed2DSolver, MultiSheetMrtMatchesSequential) {
+  SimulationParams p = small_params();
+  p.collision = CollisionModel::kMRT;
+  SheetSpec second;
+  second.num_fibers = 4;
+  second.nodes_per_fiber = 5;
+  second.width = 2.0;
+  second.height = 3.0;
+  second.origin = {10.0, 5.0, 5.0};
+  second.stretching_coeff = 0.02;
+  second.bending_coeff = 0.002;
+  p.extra_sheets.push_back(second);
+  SequentialSolver seq(p);
+  seq.run(6);
+  p.num_threads = 4;
+  Distributed2DSolver dist(p);
+  dist.run(6);
+  EXPECT_LT(compare_solvers(seq, dist).max_any(), 1e-11);
+}
+
+TEST(Distributed2DSolver, RejectsTooManyRanks) {
+  SimulationParams p = small_params();  // 16^3
+  p.num_threads = 17;  // prime -> 17 x 1 mesh, nx = 16 < 17
+  EXPECT_THROW(Distributed2DSolver{p}, Error);
+}
+
+TEST(Distributed2DSolver, AvailableThroughFactory) {
+  auto solver = make_solver(SolverKind::kDistributed2D, small_params());
+  EXPECT_EQ(solver->name(), "distributed2d");
+  solver->run(2);
+  EXPECT_EQ(solver->steps_completed(), 2);
+}
+
+TEST(Distributed2DSolver, ObserverSeesConsistentState) {
+  SimulationParams p = small_params();
+  p.num_threads = 4;
+  Distributed2DSolver dist(p);
+  SequentialSolver reference(small_params());
+  Real max_diff = 0.0;
+  dist.run(
+      6,
+      [&](Solver& s, Index) {
+        reference.run(3);
+        max_diff =
+            std::max(max_diff, compare_solvers(reference, s).max_any());
+      },
+      3);
+  EXPECT_LT(max_diff, 1e-11);
+}
+
+}  // namespace
+}  // namespace lbmib

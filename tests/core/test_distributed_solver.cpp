@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/distributed_solver.hpp"
+#include "core/sequential_solver.hpp"
+#include "core/verification.hpp"
+
+namespace lbmib {
+namespace {
+
+SimulationParams small_params() {
+  SimulationParams p = presets::tiny();
+  p.body_force = {1e-5, 0.0, 0.0};
+  return p;
+}
+
+/// Equivalence against the sequential solver across rank counts — the
+/// halo-exchange protocol must reproduce shared-memory streaming exactly
+/// (only fiber interpolation reassociates floating point sums).
+class DistributedEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributedEquivalence, MatchesSequential) {
+  SimulationParams p = small_params();
+  SequentialSolver seq(p);
+  p.num_threads = GetParam();
+  DistributedSolver dist(p);
+  seq.run(8);
+  dist.run(8);
+  const StateDiff diff = compare_solvers(seq, dist);
+  EXPECT_LT(diff.max_any(), 1e-11) << diff.to_string();
+}
+
+TEST_P(DistributedEquivalence, ChannelFlowMatchesSequential) {
+  SimulationParams p = small_params();
+  p.boundary = BoundaryType::kChannel;
+  p.sheet_origin = {6.0, 6.0, 6.0};
+  SequentialSolver seq(p);
+  p.num_threads = GetParam();
+  DistributedSolver dist(p);
+  seq.run(8);
+  dist.run(8);
+  EXPECT_LT(compare_solvers(seq, dist).max_any(), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DistributedEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 7, 8),
+                         [](const auto& info) {
+                           return "r" + std::to_string(info.param);
+                         });
+
+TEST(DistributedSolver, InletOutletMatchesSequential) {
+  SimulationParams p;
+  p.nx = 24;
+  p.ny = 12;
+  p.nz = 12;
+  p.boundary = BoundaryType::kInletOutlet;
+  p.inlet_velocity = {0.03, 0.0, 0.0};
+  p.num_fibers = 5;
+  p.nodes_per_fiber = 5;
+  p.sheet_width = 4.0;
+  p.sheet_height = 4.0;
+  p.sheet_origin = {10.0, 4.0, 4.0};
+  SequentialSolver seq(p);
+  seq.run(10);
+  p.num_threads = 4;
+  DistributedSolver dist(p);
+  dist.run(10);
+  EXPECT_LT(compare_solvers(seq, dist).max_any(), 1e-11);
+}
+
+TEST(DistributedSolver, MultiSheetMatchesSequential) {
+  SimulationParams p = small_params();
+  SheetSpec second;
+  second.num_fibers = 4;
+  second.nodes_per_fiber = 5;
+  second.width = 2.0;
+  second.height = 3.0;
+  second.origin = {10.0, 5.0, 5.0};
+  second.stretching_coeff = 0.02;
+  second.bending_coeff = 0.002;
+  p.extra_sheets.push_back(second);
+  SequentialSolver seq(p);
+  seq.run(6);
+  p.num_threads = 3;
+  DistributedSolver dist(p);
+  dist.run(6);
+  EXPECT_LT(compare_solvers(seq, dist).max_any(), 1e-11);
+}
+
+TEST(DistributedSolver, SlabsPartitionTheDomain) {
+  SimulationParams p = small_params();
+  p.num_threads = 5;
+  DistributedSolver dist(p);
+  Index covered = 0;
+  for (int r = 0; r < 5; ++r) {
+    const auto [lo, hi] = dist.slab_of(r);
+    EXPECT_LE(lo, hi);
+    if (r > 0) EXPECT_EQ(lo, dist.slab_of(r - 1).second);
+    covered += hi - lo;
+  }
+  EXPECT_EQ(dist.slab_of(0).first, 0);
+  EXPECT_EQ(dist.slab_of(4).second, p.nx);
+  EXPECT_EQ(covered, p.nx);
+}
+
+TEST(DistributedSolver, HaloTrafficIsTwoMessagesPerStep) {
+  SimulationParams p = small_params();
+  p.num_threads = 4;
+  DistributedSolver dist(p);
+  dist.run(6);
+  EXPECT_EQ(dist.halo_exchanges(), 12u);  // 2 per step, counted at rank 0
+}
+
+TEST(DistributedSolver, RejectsMoreRanksThanColumns) {
+  SimulationParams p = small_params();  // nx = 16
+  p.num_threads = 17;
+  EXPECT_THROW(DistributedSolver{p}, Error);
+}
+
+TEST(DistributedSolver, InletOutletNeedsTwoColumnsPerBoundaryRank) {
+  SimulationParams p = small_params();
+  p.boundary = BoundaryType::kInletOutlet;
+  p.inlet_velocity = {0.02, 0.0, 0.0};
+  p.num_threads = 16;  // one column per rank
+  EXPECT_THROW(DistributedSolver{p}, Error);
+}
+
+TEST(DistributedSolver, ObserverSeesConsistentState) {
+  SimulationParams p = small_params();
+  p.num_threads = 4;
+  DistributedSolver dist(p);
+  SequentialSolver reference(small_params());
+  Real max_diff = 0.0;
+  dist.run(
+      6,
+      [&](Solver& s, Index) {
+        reference.run(3);
+        max_diff =
+            std::max(max_diff, compare_solvers(reference, s).max_any());
+      },
+      3);
+  EXPECT_LT(max_diff, 1e-11);
+}
+
+TEST(DistributedSolver, StructureReplicasStayInSync) {
+  SimulationParams p = small_params();
+  p.num_threads = 4;
+  p.initial_velocity = {0.02, 0.0, 0.0};
+  DistributedSolver dist(p);
+  dist.run(10);
+  // The base structure (rank 0's replica) moved with the flow.
+  EXPECT_GT(dist.sheet().centroid().x, p.sheet_origin.x + 0.1);
+}
+
+TEST(DistributedSolver, AvailableThroughFactory) {
+  auto solver = make_solver(SolverKind::kDistributed, small_params());
+  EXPECT_EQ(solver->name(), "distributed");
+  solver->run(2);
+  EXPECT_EQ(solver->steps_completed(), 2);
+}
+
+TEST(DistributedSolver, ZeroFiberSimulation) {
+  SimulationParams p = small_params();
+  p.num_fibers = 0;
+  p.nodes_per_fiber = 0;
+  p.num_threads = 4;
+  DistributedSolver dist(p);
+  SequentialSolver seq(p);
+  dist.run(5);
+  seq.run(5);
+  EXPECT_LT(compare_solvers(seq, dist).max_any(), 1e-12);
+}
+
+}  // namespace
+}  // namespace lbmib

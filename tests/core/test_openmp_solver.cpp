@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/openmp_solver.hpp"
+#include "core/sequential_solver.hpp"
+#include "core/verification.hpp"
+
+namespace lbmib {
+namespace {
+
+SimulationParams small_params() {
+  SimulationParams p = presets::tiny();
+  p.body_force = {1e-5, 0.0, 0.0};
+  return p;
+}
+
+/// The paper's correctness criterion: parallel results must match the
+/// sequential implementation. Sweep thread counts.
+class OpenMPEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(OpenMPEquivalence, MatchesSequentialAfterManySteps) {
+  SimulationParams p = small_params();
+  SequentialSolver seq(p);
+  p.num_threads = GetParam();
+  OpenMPSolver omp(p);
+  seq.run(10);
+  omp.run(10);
+  const StateDiff diff = compare_solvers(seq, omp);
+  // Atomic force accumulation reorders additions, so allow rounding noise.
+  EXPECT_LT(diff.max_any(), 1e-11) << diff.to_string();
+}
+
+TEST_P(OpenMPEquivalence, ChannelFlowMatchesSequential) {
+  SimulationParams p = small_params();
+  p.boundary = BoundaryType::kChannel;
+  p.sheet_origin = {6.0, 6.0, 6.0};
+  SequentialSolver seq(p);
+  p.num_threads = GetParam();
+  OpenMPSolver omp(p);
+  seq.run(8);
+  omp.run(8);
+  const StateDiff diff = compare_solvers(seq, omp);
+  EXPECT_LT(diff.max_any(), 1e-11) << diff.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, OpenMPEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 7, 8),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+TEST(OpenMPSolver, PerThreadProfilesHaveOneEntryPerThread) {
+  SimulationParams p = small_params();
+  p.num_threads = 4;
+  OpenMPSolver solver(p);
+  solver.run(2);
+  const auto profiles = solver.per_thread_profiles();
+  ASSERT_EQ(profiles.size(), 4u);
+  for (const KernelProfiler& prof : profiles) {
+    EXPECT_GT(prof.total_seconds(), 0.0);
+  }
+}
+
+TEST(OpenMPSolver, AggregateProfilerAdvancesPerStep) {
+  SimulationParams p = small_params();
+  p.num_threads = 2;
+  OpenMPSolver solver(p);
+  solver.run(1);
+  const double after_one = solver.profiler().total_seconds();
+  solver.run(1);
+  EXPECT_GT(solver.profiler().total_seconds(), after_one);
+}
+
+TEST(OpenMPSolver, MoreThreadsThanXSlabsStillCorrect) {
+  SimulationParams p = small_params();  // nx = 16
+  SequentialSolver seq(p);
+  p.num_threads = 16;
+  OpenMPSolver omp(p);
+  seq.run(4);
+  omp.run(4);
+  EXPECT_LT(compare_solvers(seq, omp).max_any(), 1e-11);
+}
+
+TEST(OpenMPSolver, Name) {
+  OpenMPSolver solver(small_params());
+  EXPECT_EQ(solver.name(), "openmp");
+}
+
+}  // namespace
+}  // namespace lbmib

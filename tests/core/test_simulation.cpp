@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/simulation.hpp"
+#include "core/verification.hpp"
+
+namespace lbmib {
+namespace {
+
+TEST(Simulation, FactoryCreatesEachKind) {
+  const SimulationParams p = presets::tiny();
+  for (SolverKind kind :
+       {SolverKind::kSequential, SolverKind::kOpenMP, SolverKind::kCube,
+        SolverKind::kDataflow, SolverKind::kDistributed,
+        SolverKind::kDistributed2D}) {
+    Simulation sim(kind, p);
+    EXPECT_EQ(sim.solver().name(), solver_kind_name(kind));
+  }
+}
+
+TEST(Simulation, RunsAndTracksSteps) {
+  Simulation sim(SolverKind::kSequential, presets::tiny());
+  sim.run(4);
+  EXPECT_EQ(sim.steps_completed(), 4);
+  sim.run(2);
+  EXPECT_EQ(sim.steps_completed(), 6);
+}
+
+TEST(Simulation, ObserverFiresOnInterval) {
+  Simulation sim(SolverKind::kSequential, presets::tiny());
+  int calls = 0;
+  sim.on_step(2, [&](Solver&, Index) { ++calls; });
+  sim.run(10);
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(Simulation, ObserverIntervalMustBePositive) {
+  Simulation sim(SolverKind::kSequential, presets::tiny());
+  EXPECT_THROW(sim.on_step(0, [](Solver&, Index) {}), Error);
+}
+
+TEST(Simulation, AllKindsAgree) {
+  SimulationParams p = presets::tiny();
+  p.body_force = {1e-5, 0.0, 0.0};
+  Simulation seq(SolverKind::kSequential, p);
+  seq.run(6);
+  p.num_threads = 4;
+  for (SolverKind kind :
+       {SolverKind::kOpenMP, SolverKind::kCube, SolverKind::kDataflow,
+        SolverKind::kDistributed, SolverKind::kDistributed2D}) {
+    Simulation sim(kind, p);
+    sim.run(6);
+    EXPECT_LT(compare_solvers(seq.solver(), sim.solver()).max_any(), 1e-11)
+        << solver_kind_name(kind);
+  }
+}
+
+TEST(Simulation, ProfileReportNonEmptyAfterRun) {
+  Simulation sim(SolverKind::kSequential, presets::tiny());
+  sim.run(2);
+  const std::string report = sim.profile_report();
+  EXPECT_NE(report.find("compute_fluid_collision"), std::string::npos);
+}
+
+TEST(Simulation, SolverKindNames) {
+  EXPECT_EQ(solver_kind_name(SolverKind::kSequential), "sequential");
+  EXPECT_EQ(solver_kind_name(SolverKind::kOpenMP), "openmp");
+  EXPECT_EQ(solver_kind_name(SolverKind::kCube), "cube");
+}
+
+TEST(Simulation, InvalidParamsRejectedAtConstruction) {
+  SimulationParams p = presets::tiny();
+  p.tau = 0.4;
+  EXPECT_THROW(Simulation(SolverKind::kSequential, p), Error);
+}
+
+}  // namespace
+}  // namespace lbmib

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "cube/cube_grid.hpp"
+#include "lbm/boundary.hpp"
+#include "lbm/d3q19.hpp"
+#include "lbm/fluid_grid.hpp"
+
+namespace lbmib {
+namespace {
+
+TEST(CubeGrid, DimensionsAndCounts) {
+  CubeGrid grid(8, 8, 12, 4);
+  EXPECT_EQ(grid.cubes_x(), 2);
+  EXPECT_EQ(grid.cubes_y(), 2);
+  EXPECT_EQ(grid.cubes_z(), 3);
+  EXPECT_EQ(grid.num_cubes(), 12u);
+  EXPECT_EQ(grid.nodes_per_cube(), 64u);
+  EXPECT_EQ(grid.num_nodes(), 768u);
+}
+
+TEST(CubeGrid, RejectsIndivisibleDimensions) {
+  EXPECT_THROW(CubeGrid(10, 8, 8, 4), Error);
+  EXPECT_THROW(CubeGrid(8, 8, 8, 3), Error);
+}
+
+TEST(CubeGrid, CubeSizeOneIsValid) {
+  CubeGrid grid(4, 4, 4, 1);
+  EXPECT_EQ(grid.num_cubes(), 64u);
+  EXPECT_EQ(grid.nodes_per_cube(), 1u);
+}
+
+TEST(CubeGrid, LocateSplitsCoordinates) {
+  CubeGrid grid(8, 8, 8, 4);
+  const auto r = grid.locate(5, 2, 7);
+  EXPECT_EQ(r.cube, grid.cube_id(1, 0, 1));
+  EXPECT_EQ(r.local, grid.local_id(1, 2, 3));
+}
+
+TEST(CubeGrid, LocatePeriodicWraps) {
+  CubeGrid grid(8, 8, 8, 4);
+  const auto r = grid.locate_periodic(-1, 8, 9);
+  EXPECT_EQ(r.cube, grid.cube_id(1, 0, 0));
+  EXPECT_EQ(r.local, grid.local_id(3, 0, 1));
+}
+
+TEST(CubeGrid, LocateIsBijective) {
+  CubeGrid grid(8, 4, 4, 2);
+  std::vector<bool> seen(grid.num_nodes(), false);
+  for (Index x = 0; x < 8; ++x) {
+    for (Index y = 0; y < 4; ++y) {
+      for (Index z = 0; z < 4; ++z) {
+        const auto r = grid.locate(x, y, z);
+        const Size flat = r.cube * grid.nodes_per_cube() + r.local;
+        ASSERT_LT(flat, seen.size());
+        EXPECT_FALSE(seen[flat]);
+        seen[flat] = true;
+      }
+    }
+  }
+}
+
+TEST(CubeGrid, BlocksAreContiguousAndDisjoint) {
+  CubeGrid grid(8, 8, 8, 4);
+  const Size stride = CubeGrid::kSlotsPerCube * grid.nodes_per_cube();
+  for (Size cube = 0; cube + 1 < grid.num_cubes(); ++cube) {
+    EXPECT_EQ(grid.block(cube) + stride, grid.block(cube + 1));
+  }
+}
+
+TEST(CubeGrid, InitializesToEquilibrium) {
+  const Vec3 u0{0.02, 0.01, -0.01};
+  CubeGrid grid(8, 8, 8, 4, 1.1, u0);
+  for (Size cube = 0; cube < grid.num_cubes(); ++cube) {
+    for (Size local = 0; local < grid.nodes_per_cube(); ++local) {
+      EXPECT_DOUBLE_EQ(grid.rho(cube, local), 1.1);
+      EXPECT_EQ(grid.velocity(cube, local), u0);
+      for (int dir = 0; dir < kQ; ++dir) {
+        EXPECT_DOUBLE_EQ(grid.df(cube, dir, local),
+                         d3q19::equilibrium(dir, 1.1, u0));
+      }
+    }
+  }
+}
+
+TEST(CubeGrid, PlanarRoundTripIsExact) {
+  FluidGrid planar(8, 8, 8);
+  SplitMix64 rng(1);
+  for (Size n = 0; n < planar.num_nodes(); ++n) {
+    for (int d = 0; d < kQ; ++d) {
+      planar.df(d, n) = rng.next_double();
+      planar.df_new(d, n) = rng.next_double();
+    }
+    planar.rho(n) = rng.next_double(0.9, 1.1);
+    planar.set_velocity(n, {rng.next_double(), rng.next_double(),
+                            rng.next_double()});
+    planar.fx(n) = rng.next_double();
+    planar.set_solid(n, rng.next_below(5) == 0);
+  }
+  CubeGrid cubes(8, 8, 8, 4);
+  cubes.from_planar(planar);
+  FluidGrid back(8, 8, 8);
+  cubes.to_planar(back);
+  for (Size n = 0; n < planar.num_nodes(); ++n) {
+    for (int d = 0; d < kQ; ++d) {
+      EXPECT_EQ(back.df(d, n), planar.df(d, n));
+      EXPECT_EQ(back.df_new(d, n), planar.df_new(d, n));
+    }
+    EXPECT_EQ(back.rho(n), planar.rho(n));
+    EXPECT_EQ(back.velocity(n), planar.velocity(n));
+    EXPECT_EQ(back.fx(n), planar.fx(n));
+    EXPECT_EQ(back.solid(n), planar.solid(n));
+  }
+}
+
+TEST(CubeGrid, FromPlanarRejectsMismatch) {
+  FluidGrid planar(8, 8, 4);
+  CubeGrid cubes(8, 8, 8, 4);
+  EXPECT_THROW(cubes.from_planar(planar), Error);
+}
+
+TEST(CubeGrid, BoundaryMaskMatchesPlanar) {
+  SimulationParams p = presets::tiny();
+  p.boundary = BoundaryType::kChannel;
+  FluidGrid planar(p);
+  CubeGrid cubes(p);
+  for (Index x = 0; x < p.nx; ++x) {
+    for (Index y = 0; y < p.ny; ++y) {
+      for (Index z = 0; z < p.nz; ++z) {
+        const auto r = cubes.locate(x, y, z);
+        EXPECT_EQ(cubes.solid(r.cube, r.local),
+                  planar.solid(planar.index(x, y, z)));
+      }
+    }
+  }
+}
+
+TEST(CubeGrid, ResetForcesSetsConstant) {
+  CubeGrid grid(4, 4, 4, 2);
+  grid.reset_forces({1.0, 2.0, 3.0});
+  for (Size cube = 0; cube < grid.num_cubes(); ++cube) {
+    for (Size local = 0; local < grid.nodes_per_cube(); ++local) {
+      EXPECT_EQ(grid.force(cube, local), (Vec3{1.0, 2.0, 3.0}));
+    }
+  }
+}
+
+TEST(CubeGrid, AddForceAccumulates) {
+  CubeGrid grid(4, 4, 4, 2);
+  grid.add_force(3, 5, {1.0, 0.0, 0.0});
+  grid.add_force(3, 5, {0.5, 0.25, 0.0});
+  EXPECT_EQ(grid.force(3, 5), (Vec3{1.5, 0.25, 0.0}));
+}
+
+}  // namespace
+}  // namespace lbmib

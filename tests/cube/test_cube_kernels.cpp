@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "cube/cube_grid.hpp"
+#include "cube/cube_kernels.hpp"
+#include "lbm/boundary.hpp"
+#include "lbm/collision.hpp"
+#include "ib/interpolation.hpp"
+#include "lbm/d3q19.hpp"
+#include "lbm/fluid_grid.hpp"
+#include "lbm/macroscopic.hpp"
+#include "lbm/streaming.hpp"
+
+namespace lbmib {
+namespace {
+
+/// The central property: every cube kernel must produce *exactly* the same
+/// state as its planar counterpart, for any cube size.
+class CubeKernelEquivalence : public ::testing::TestWithParam<Index> {
+ protected:
+  static constexpr Index kN = 8;
+
+  void SetUp() override {
+    planar_ = std::make_unique<FluidGrid>(kN, kN, kN);
+    SplitMix64 rng(99);
+    for (Size n = 0; n < planar_->num_nodes(); ++n) {
+      for (int d = 0; d < kQ; ++d) {
+        planar_->df(d, n) =
+            d3q19::w[static_cast<Size>(d)] * (1.0 + 0.2 * rng.next_double());
+      }
+      planar_->fx(n) = rng.next_double(-1e-3, 1e-3);
+      planar_->fy(n) = rng.next_double(-1e-3, 1e-3);
+      planar_->fz(n) = rng.next_double(-1e-3, 1e-3);
+    }
+    cubes_ = std::make_unique<CubeGrid>(kN, kN, kN, GetParam());
+    cubes_->from_planar(*planar_);
+  }
+
+  void expect_equal_state() {
+    FluidGrid back(kN, kN, kN);
+    cubes_->to_planar(back);
+    for (Size n = 0; n < planar_->num_nodes(); ++n) {
+      for (int d = 0; d < kQ; ++d) {
+        EXPECT_EQ(back.df(d, n), planar_->df(d, n)) << "df node " << n;
+        EXPECT_EQ(back.df_new(d, n), planar_->df_new(d, n))
+            << "df_new node " << n;
+      }
+      EXPECT_EQ(back.rho(n), planar_->rho(n));
+      EXPECT_EQ(back.velocity(n), planar_->velocity(n));
+    }
+  }
+
+  std::unique_ptr<FluidGrid> planar_;
+  std::unique_ptr<CubeGrid> cubes_;
+};
+
+TEST_P(CubeKernelEquivalence, Collision) {
+  collide_range(*planar_, 0.8, 0, planar_->num_nodes());
+  for (Size cube = 0; cube < cubes_->num_cubes(); ++cube) {
+    cube_collide(*cubes_, 0.8, cube);
+  }
+  expect_equal_state();
+}
+
+TEST_P(CubeKernelEquivalence, Streaming) {
+  stream_x_slab(*planar_, 0, kN);
+  for (Size cube = 0; cube < cubes_->num_cubes(); ++cube) {
+    cube_stream(*cubes_, cube);
+  }
+  expect_equal_state();
+}
+
+TEST_P(CubeKernelEquivalence, UpdateVelocity) {
+  stream_x_slab(*planar_, 0, kN);
+  for (Size cube = 0; cube < cubes_->num_cubes(); ++cube) {
+    cube_stream(*cubes_, cube);
+  }
+  update_velocity_range(*planar_, 0, planar_->num_nodes());
+  for (Size cube = 0; cube < cubes_->num_cubes(); ++cube) {
+    cube_update_velocity(*cubes_, cube);
+  }
+  expect_equal_state();
+}
+
+TEST_P(CubeKernelEquivalence, CopyDistribution) {
+  stream_x_slab(*planar_, 0, kN);
+  copy_distributions_range(*planar_, 0, planar_->num_nodes());
+  // Stream ALL cubes before copying any: copying cube c before its
+  // neighbours have pushed into c's df_new would capture stale values
+  // (the cube solver separates these phases with a barrier).
+  for (Size cube = 0; cube < cubes_->num_cubes(); ++cube) {
+    cube_stream(*cubes_, cube);
+  }
+  for (Size cube = 0; cube < cubes_->num_cubes(); ++cube) {
+    cube_copy_distributions(*cubes_, cube);
+  }
+  expect_equal_state();
+}
+
+TEST_P(CubeKernelEquivalence, FullKernelSequence) {
+  // Kernels 5, 6, 7, 9 chained for two pseudo-steps.
+  for (int step = 0; step < 2; ++step) {
+    collide_range(*planar_, 0.8, 0, planar_->num_nodes());
+    stream_x_slab(*planar_, 0, kN);
+    update_velocity_range(*planar_, 0, planar_->num_nodes());
+    copy_distributions_range(*planar_, 0, planar_->num_nodes());
+
+    for (Size cube = 0; cube < cubes_->num_cubes(); ++cube) {
+      cube_collide(*cubes_, 0.8, cube);
+    }
+    for (Size cube = 0; cube < cubes_->num_cubes(); ++cube) {
+      cube_stream(*cubes_, cube);
+    }
+    for (Size cube = 0; cube < cubes_->num_cubes(); ++cube) {
+      cube_update_velocity(*cubes_, cube);
+    }
+    for (Size cube = 0; cube < cubes_->num_cubes(); ++cube) {
+      cube_copy_distributions(*cubes_, cube);
+    }
+  }
+  expect_equal_state();
+}
+
+INSTANTIATE_TEST_SUITE_P(CubeSizes, CubeKernelEquivalence,
+                         ::testing::Values<Index>(1, 2, 4, 8),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+TEST(CubeKernelsBoundary, StreamingBounceBackMatchesPlanar) {
+  SimulationParams p;
+  p.nx = 8;
+  p.ny = 8;
+  p.nz = 8;
+  p.cube_size = 4;
+  p.boundary = BoundaryType::kChannel;
+  p.num_fibers = 0;
+  p.nodes_per_fiber = 0;
+  FluidGrid planar(p);
+  SplitMix64 rng(5);
+  for (Size n = 0; n < planar.num_nodes(); ++n) {
+    for (int d = 0; d < kQ; ++d) {
+      planar.df(d, n) = planar.solid(n) ? 0.0 : rng.next_double(0.01, 1.0);
+    }
+  }
+  CubeGrid cubes(p);
+  cubes.from_planar(planar);
+
+  stream_x_slab(planar, 0, 8);
+  for (Size cube = 0; cube < cubes.num_cubes(); ++cube) {
+    cube_stream(cubes, cube);
+  }
+  FluidGrid back(8, 8, 8);
+  cubes.to_planar(back);
+  for (Size n = 0; n < planar.num_nodes(); ++n) {
+    for (int d = 0; d < kQ; ++d) {
+      EXPECT_EQ(back.df_new(d, n), planar.df_new(d, n)) << "node " << n;
+    }
+  }
+}
+
+TEST(CubeKernelsInterp, MatchesPlanarInterpolation) {
+  FluidGrid planar(8, 8, 8);
+  SplitMix64 rng(6);
+  for (Size n = 0; n < planar.num_nodes(); ++n) {
+    planar.set_velocity(n, {rng.next_double(-0.1, 0.1),
+                            rng.next_double(-0.1, 0.1),
+                            rng.next_double(-0.1, 0.1)});
+  }
+  CubeGrid cubes(8, 8, 8, 4);
+  cubes.from_planar(planar);
+  for (const Vec3& pos :
+       {Vec3{4.3, 3.9, 5.1}, Vec3{0.2, 7.8, 1.0}, Vec3{6.66, 2.22, 4.44}}) {
+    const Vec3 a = interpolate_velocity(planar, pos);
+    const Vec3 b = cube_interpolate_velocity(cubes, pos);
+    EXPECT_NEAR(a.x, b.x, 1e-15);
+    EXPECT_NEAR(a.y, b.y, 1e-15);
+    EXPECT_NEAR(a.z, b.z, 1e-15);
+  }
+}
+
+}  // namespace
+}  // namespace lbmib

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "core/cube_solver.hpp"
+#include "core/sequential_solver.hpp"
+#include "core/verification.hpp"
+#include "cube/numa_distribution.hpp"
+
+namespace lbmib {
+namespace {
+
+TEST(NumaMeshBuild, SingleNodeIsIdentity) {
+  const MachineTopology thog = thog_topology();
+  const NumaMesh nm = numa_hierarchical_mesh(thog, 4);
+  EXPECT_EQ(nm.mesh.size(), 4);
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(nm.mesh_to_physical[static_cast<Size>(t)], t);
+  }
+}
+
+TEST(NumaMeshBuild, SixtyFourThreadsOnThog) {
+  const MachineTopology thog = thog_topology();
+  const NumaMesh nm = numa_hierarchical_mesh(thog, 64);
+  // 8 nodes as 2x2x2, 8 cores/node as 2x2x2 -> combined 4x4x4.
+  EXPECT_EQ(nm.mesh.p, 4);
+  EXPECT_EQ(nm.mesh.q, 4);
+  EXPECT_EQ(nm.mesh.r, 4);
+  // Bijection onto [0, 64).
+  std::set<int> seen(nm.mesh_to_physical.begin(),
+                     nm.mesh_to_physical.end());
+  EXPECT_EQ(seen.size(), 64u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 63);
+}
+
+TEST(NumaMeshBuild, MeshNeighborsWithinNodeBlockShareNode) {
+  const MachineTopology thog = thog_topology();
+  const NumaMesh nm = numa_hierarchical_mesh(thog, 64);
+  // All mesh positions inside one 2x2x2 core block map to cores of the
+  // same NUMA node.
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      for (int k = 0; k < 2; ++k) {
+        const int tid = nm.mesh_to_physical[static_cast<Size>(
+            nm.mesh.thread_id(i, j, k))];
+        EXPECT_EQ(thog.node_of_core(tid), thog.node_of_core(
+            nm.mesh_to_physical[static_cast<Size>(
+                nm.mesh.thread_id(0, 0, 0))]));
+      }
+    }
+  }
+}
+
+TEST(NumaMeshBuild, RejectsPartialNodes) {
+  const MachineTopology thog = thog_topology();
+  EXPECT_THROW(numa_hierarchical_mesh(thog, 12), Error);  // 1.5 nodes
+  EXPECT_THROW(numa_hierarchical_mesh(thog, 128), Error);  // > machine
+}
+
+TEST(NumaDistribution, EveryOwnerValid) {
+  const MachineTopology thog = thog_topology();
+  const CubeDistribution dist =
+      make_numa_distribution(thog, 64, 16, 16, 16);
+  for (Index cx = 0; cx < 16; ++cx) {
+    for (Index cy = 0; cy < 16; ++cy) {
+      for (Index cz = 0; cz < 16; ++cz) {
+        const int t = dist.cube2thread(cx, cy, cz);
+        EXPECT_GE(t, 0);
+        EXPECT_LT(t, 64);
+      }
+    }
+  }
+}
+
+TEST(NumaDistribution, BalancedOwnership) {
+  const MachineTopology thog = thog_topology();
+  const CubeDistribution dist =
+      make_numa_distribution(thog, 64, 16, 16, 16);
+  for (int t = 0; t < 64; ++t) {
+    EXPECT_EQ(dist.cubes_owned(t), 16u * 16 * 16 / 64);
+  }
+}
+
+TEST(NumaDistribution, EachNodeOwnsContiguousBox) {
+  // With the hierarchical block layout, the cubes owned by one NUMA node
+  // form an axis-aligned box: checking min/max bounds contain exactly the
+  // owned count.
+  const MachineTopology thog = thog_topology();
+  const CubeDistribution dist =
+      make_numa_distribution(thog, 64, 8, 8, 8);
+  for (int node = 0; node < 8; ++node) {
+    Index lo[3] = {99, 99, 99}, hi[3] = {-1, -1, -1};
+    Size count = 0;
+    for (Index cx = 0; cx < 8; ++cx) {
+      for (Index cy = 0; cy < 8; ++cy) {
+        for (Index cz = 0; cz < 8; ++cz) {
+          if (thog.node_of_core(dist.cube2thread(cx, cy, cz)) != node) {
+            continue;
+          }
+          ++count;
+          lo[0] = std::min(lo[0], cx);
+          lo[1] = std::min(lo[1], cy);
+          lo[2] = std::min(lo[2], cz);
+          hi[0] = std::max(hi[0], cx);
+          hi[1] = std::max(hi[1], cy);
+          hi[2] = std::max(hi[2], cz);
+        }
+      }
+    }
+    ASSERT_GT(count, 0u) << "node " << node;
+    const Size box = static_cast<Size>(hi[0] - lo[0] + 1) *
+                     static_cast<Size>(hi[1] - lo[1] + 1) *
+                     static_cast<Size>(hi[2] - lo[2] + 1);
+    EXPECT_EQ(count, box) << "node " << node << " region is not a box";
+  }
+}
+
+TEST(NumaDistribution, FewerCrossNodeFacesThanNaiveLayout) {
+  // The motivating metric: hierarchical layout must not increase (and for
+  // this shape strictly decreases) the number of cube faces crossing NUMA
+  // node boundaries compared to the naive x-major mesh.
+  const MachineTopology thog = thog_topology();
+  const Index n = 16;
+
+  const CubeDistribution numa_dist =
+      make_numa_distribution(thog, 64, n, n, n);
+  CubeDistribution naive(n, n, n, balanced_mesh(64),
+                         DistributionPolicy::kBlock);
+
+  const Size numa_faces = cross_node_faces(numa_dist, thog, n, n, n);
+  const Size naive_faces = cross_node_faces(naive, thog, n, n, n);
+  EXPECT_LT(numa_faces, naive_faces);
+}
+
+TEST(NumaDistribution, PermutationValidationCatchesBadMaps) {
+  CubeDistribution dist(4, 4, 4, balanced_mesh(8));
+  EXPECT_THROW(dist.set_thread_permutation({0, 1}), Error);  // wrong size
+  EXPECT_THROW(dist.set_thread_permutation({0, 0, 1, 2, 3, 4, 5, 6}),
+               Error);  // not a bijection
+  EXPECT_NO_THROW(
+      dist.set_thread_permutation({7, 6, 5, 4, 3, 2, 1, 0}));
+}
+
+TEST(NumaDistribution, PermutationRemapsOwners) {
+  CubeDistribution dist(2, 1, 1, ThreadMesh{2, 1, 1});
+  EXPECT_EQ(dist.cube2thread(0, 0, 0), 0);
+  EXPECT_EQ(dist.cube2thread(1, 0, 0), 1);
+  dist.set_thread_permutation({1, 0});
+  EXPECT_EQ(dist.cube2thread(0, 0, 0), 1);
+  EXPECT_EQ(dist.cube2thread(1, 0, 0), 0);
+}
+
+TEST(NumaCubeSolver, MatchesSequentialWithHierarchicalLayout) {
+  SimulationParams p = presets::tiny();
+  p.body_force = {1e-5, 0.0, 0.0};
+  p.cube_size = 2;  // 8^3 cubes so 16 threads each own something
+  SequentialSolver seq(p);
+  seq.run(6);
+  p.num_threads = 16;  // two full NUMA nodes of the thog model
+  CubeSolver cube(p, thog_topology());
+  cube.run(6);
+  EXPECT_LT(compare_solvers(seq, cube).max_any(), 1e-11);
+}
+
+TEST(NumaCubeSolver, SingleNodeThreadCountAlsoWorks) {
+  SimulationParams p = presets::tiny();
+  SequentialSolver seq(p);
+  seq.run(5);
+  p.num_threads = 4;  // fits inside one NUMA node -> identity layout
+  CubeSolver cube(p, thog_topology());
+  cube.run(5);
+  EXPECT_LT(compare_solvers(seq, cube).max_any(), 1e-11);
+}
+
+TEST(NumaCubeSolver, RejectsPartialNodeSpan) {
+  SimulationParams p = presets::tiny();
+  p.num_threads = 12;  // 1.5 thog nodes
+  EXPECT_THROW(CubeSolver(p, thog_topology()), Error);
+}
+
+}  // namespace
+}  // namespace lbmib

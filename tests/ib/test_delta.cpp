@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ib/delta.hpp"
+
+namespace lbmib {
+namespace {
+
+/// Sweep of continuous sub-grid offsets used by the property tests.
+class DeltaOffsetTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DeltaOffsetTest, Phi4PartitionOfUnity) {
+  // sum_j phi(r - j) = 1 for any real r: the interpolation is exact for
+  // constants.
+  const double r = GetParam();
+  double sum = 0.0;
+  for (int j = -8; j <= 8; ++j) sum += phi4(r - j);
+  EXPECT_NEAR(sum, 1.0, 1e-12) << "r=" << r;
+}
+
+TEST_P(DeltaOffsetTest, Phi4ZeroFirstMoment) {
+  // sum_j (r - j) phi(r - j) = 0: the interpolation is exact for linears.
+  const double r = GetParam();
+  double sum = 0.0;
+  for (int j = -8; j <= 8; ++j) sum += (r - j) * phi4(r - j);
+  EXPECT_NEAR(sum, 0.0, 1e-12) << "r=" << r;
+}
+
+TEST_P(DeltaOffsetTest, Phi4EvenOddCondition) {
+  // Peskin's even-odd condition: even and odd translates each sum to 1/2,
+  // which suppresses grid-scale oscillations.
+  const double r = GetParam();
+  double even = 0.0, odd = 0.0;
+  for (int j = -8; j <= 8; ++j) {
+    if (j % 2 == 0) {
+      even += phi4(r - j);
+    } else {
+      odd += phi4(r - j);
+    }
+  }
+  EXPECT_NEAR(even, 0.5, 1e-12) << "r=" << r;
+  EXPECT_NEAR(odd, 0.5, 1e-12) << "r=" << r;
+}
+
+TEST_P(DeltaOffsetTest, Phi3PartitionOfUnity) {
+  const double r = GetParam();
+  double sum = 0.0;
+  for (int j = -8; j <= 8; ++j) sum += phi3(r - j);
+  EXPECT_NEAR(sum, 1.0, 1e-12) << "r=" << r;
+}
+
+TEST_P(DeltaOffsetTest, Phi2PartitionOfUnity) {
+  const double r = GetParam();
+  double sum = 0.0;
+  for (int j = -8; j <= 8; ++j) sum += phi2(r - j);
+  EXPECT_NEAR(sum, 1.0, 1e-12) << "r=" << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Offsets, DeltaOffsetTest,
+    ::testing::Values(0.0, 0.1, 0.25, 0.3333333, 0.5, 0.70001, 0.875, 0.999,
+                      -0.4, -0.9, 2.3, -3.7),
+    [](const auto& info) {
+      std::string s = std::to_string(info.param);
+      for (char& c : s) {
+        if (c == '.' || c == '-') c = '_';
+      }
+      return "r" + s;
+    });
+
+TEST(Delta, Phi4IsEven) {
+  for (double r : {0.1, 0.5, 0.9, 1.3, 1.9}) {
+    EXPECT_DOUBLE_EQ(phi4(r), phi4(-r));
+  }
+}
+
+TEST(Delta, Phi4SupportIsTwo) {
+  EXPECT_EQ(phi4(2.0), 0.0);
+  EXPECT_EQ(phi4(-2.0), 0.0);
+  EXPECT_EQ(phi4(2.5), 0.0);
+  EXPECT_GT(phi4(1.999), 0.0);
+}
+
+TEST(Delta, Phi4PeakAtOrigin) {
+  EXPECT_NEAR(phi4(0.0), 0.5, 1e-15);
+  EXPECT_GT(phi4(0.0), phi4(0.5));
+  EXPECT_GT(phi4(0.5), phi4(1.0));
+  EXPECT_GT(phi4(1.0), phi4(1.5));
+}
+
+TEST(Delta, Phi4ContinuousAtBreakpoint) {
+  // The two branches must agree at |r| = 1.
+  const double eps = 1e-9;
+  EXPECT_NEAR(phi4(1.0 - eps), phi4(1.0 + eps), 1e-7);
+}
+
+TEST(Delta, Phi4NonNegative) {
+  for (double r = -2.5; r <= 2.5; r += 0.01) {
+    EXPECT_GE(phi4(r), 0.0) << "r=" << r;
+  }
+}
+
+TEST(Delta, Phi3SupportAndPeak) {
+  EXPECT_EQ(phi3(1.5), 0.0);
+  EXPECT_GT(phi3(1.49), 0.0);
+  EXPECT_NEAR(phi3(0.0), 2.0 / 3.0, 1e-15);
+}
+
+TEST(Delta, Phi2IsHatFunction) {
+  EXPECT_DOUBLE_EQ(phi2(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(phi2(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(phi2(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(phi2(-0.25), 0.75);
+}
+
+TEST(Delta, DispatcherMatchesDirectFunctions) {
+  for (double r : {0.0, 0.3, 0.8, 1.2}) {
+    EXPECT_EQ(phi(DeltaKernel::kPhi2, r), phi2(r));
+    EXPECT_EQ(phi(DeltaKernel::kPhi3, r), phi3(r));
+    EXPECT_EQ(phi(DeltaKernel::kPhi4, r), phi4(r));
+  }
+}
+
+TEST(Delta, SupportRadii) {
+  EXPECT_EQ(support_radius(DeltaKernel::kPhi2), 1);
+  EXPECT_EQ(support_radius(DeltaKernel::kPhi4), 2);
+}
+
+TEST(Delta, TensorProduct3D) {
+  EXPECT_NEAR(delta3(0.0, 0.0, 0.0), 0.125, 1e-15);  // 0.5^3
+  EXPECT_EQ(delta3(2.0, 0.0, 0.0), 0.0);
+  EXPECT_NEAR(delta3(0.5, 0.5, 0.5), std::pow(phi4(0.5), 3.0), 1e-15);
+}
+
+TEST(Delta, TensorProductSumsToOneOver3DStencil) {
+  // 4x4x4 influential domain weights sum to 1 for an arbitrary offset.
+  const double ox = 0.37, oy = 0.81, oz = 0.12;
+  double sum = 0.0;
+  for (int a = -1; a <= 2; ++a) {
+    for (int b = -1; b <= 2; ++b) {
+      for (int c = -1; c <= 2; ++c) {
+        sum += delta3(a - ox, b - oy, c - oz);
+      }
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace lbmib

@@ -1,0 +1,87 @@
+// Elastic energy diagnostics and their consistency with the force
+// kernels (force = -gradient of energy).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sequential_solver.hpp"
+#include "ib/fiber_forces.hpp"
+#include "ib/fiber_sheet.hpp"
+
+namespace lbmib {
+namespace {
+
+TEST(ElasticEnergy, ZeroAtRest) {
+  FiberSheet sheet(5, 5, 4.0, 4.0, {6.0, 6.0, 6.0}, 0.05, 0.01);
+  EXPECT_EQ(sheet.stretching_energy(), 0.0);
+  EXPECT_EQ(sheet.bending_energy(), 0.0);
+  EXPECT_EQ(sheet.tether_energy(), 0.0);
+  EXPECT_EQ(sheet.elastic_energy(), 0.0);
+}
+
+TEST(ElasticEnergy, StretchedPairEnergy) {
+  FiberSheet sheet(1, 2, 1.0, 1.0, {}, 2.0, 0.0);  // rest length 1
+  sheet.position(0, 1).z = 2.5;                    // stretch by 1.5
+  EXPECT_NEAR(sheet.stretching_energy(), 0.5 * 2.0 * 1.5 * 1.5, 1e-14);
+}
+
+TEST(ElasticEnergy, BentTripleEnergy) {
+  FiberSheet sheet(1, 3, 1.0, 2.0, {}, 0.0, 4.0);
+  sheet.position(0, 1).x += 0.25;  // curvature magnitude 2 * 0.25 = 0.5
+  EXPECT_NEAR(sheet.bending_energy(), 0.5 * 4.0 * 0.25, 1e-14);
+}
+
+TEST(ElasticEnergy, TetherEnergyOfDisplacedPin) {
+  FiberSheet sheet(2, 2, 1.0, 1.0, {}, 0.0, 0.0);
+  sheet.set_pinned(0, true);
+  sheet.set_tether_coeff(0.5);
+  sheet.position(0) += Vec3{0.3, 0.4, 0.0};  // |d| = 0.5
+  EXPECT_NEAR(sheet.tether_energy(), 0.5 * 0.5 * 0.25, 1e-14);
+}
+
+TEST(ElasticEnergy, ForceIsNegativeEnergyGradient) {
+  // Central-difference check of dE/dx against the force kernels for a
+  // randomly deformed sheet.
+  FiberSheet sheet(4, 4, 3.0, 3.0, {}, 0.7, 0.3);
+  for (Size i = 0; i < sheet.num_nodes(); ++i) {
+    sheet.position(i) += Vec3{0.05 * std::sin(3.1 * i),
+                              0.04 * std::cos(2.3 * i),
+                              0.03 * std::sin(1.7 * i)};
+  }
+  compute_all_fiber_forces(sheet);
+
+  const Size probe = sheet.id(2, 1);
+  const Real h = 1e-6;
+  for (int axis = 0; axis < 3; ++axis) {
+    FiberSheet plus = sheet, minus = sheet;
+    plus.position(probe)[axis] += h;
+    minus.position(probe)[axis] -= h;
+    const Real dE =
+        (plus.elastic_energy() - minus.elastic_energy()) / (2 * h);
+    EXPECT_NEAR(sheet.elastic_force(probe)[axis], -dE, 1e-6)
+        << "axis " << axis;
+  }
+}
+
+TEST(ElasticEnergy, ViscousFluidDissipatesSheetEnergy) {
+  // A deformed sheet released in quiescent fluid rings down: its elastic
+  // energy must decrease over a viscous relaxation (the fluid takes the
+  // energy and dissipates it).
+  SimulationParams p = presets::tiny();
+  p.initial_velocity = {};
+  p.body_force = {};
+  p.stretching_coeff = 0.1;
+  p.bending_coeff = 0.01;
+  SequentialSolver solver(p);
+  FiberSheet& sheet = solver.sheet();
+  for (Size i = 0; i < sheet.num_nodes(); ++i) {
+    sheet.position(i).x += 0.3 * std::sin(static_cast<Real>(i));
+  }
+  const Real e0 = sheet.elastic_energy();
+  ASSERT_GT(e0, 0.0);
+  solver.run(200);
+  EXPECT_LT(sheet.elastic_energy(), 0.5 * e0);
+}
+
+}  // namespace
+}  // namespace lbmib

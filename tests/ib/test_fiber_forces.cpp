@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ib/fiber_forces.hpp"
+#include "ib/fiber_sheet.hpp"
+
+namespace lbmib {
+namespace {
+
+FiberSheet make_sheet(Index nf = 6, Index nn = 6) {
+  // spacing 1.0 in both directions
+  return FiberSheet(nf, nn, static_cast<Real>(nf - 1),
+                    static_cast<Real>(nn - 1), {10.0, 10.0, 10.0}, 0.05,
+                    0.01);
+}
+
+void perturb(FiberSheet& sheet, std::uint64_t seed, Real amplitude = 0.3) {
+  SplitMix64 rng(seed);
+  for (Size i = 0; i < sheet.num_nodes(); ++i) {
+    sheet.position(i) += Vec3{rng.next_double(-amplitude, amplitude),
+                              rng.next_double(-amplitude, amplitude),
+                              rng.next_double(-amplitude, amplitude)};
+  }
+}
+
+TEST(FiberForces, RestConfigurationHasZeroForce) {
+  FiberSheet sheet = make_sheet();
+  compute_all_fiber_forces(sheet);
+  for (Size i = 0; i < sheet.num_nodes(); ++i) {
+    EXPECT_NEAR(norm(sheet.bending_force(i)), 0.0, 1e-14) << i;
+    EXPECT_NEAR(norm(sheet.stretching_force(i)), 0.0, 1e-14) << i;
+    EXPECT_NEAR(norm(sheet.elastic_force(i)), 0.0, 1e-14) << i;
+  }
+}
+
+TEST(FiberForces, StretchingTotalIsZeroNewtonThirdLaw) {
+  // Internal spring forces must sum to zero over the sheet.
+  FiberSheet sheet = make_sheet();
+  perturb(sheet, 1);
+  compute_stretching_force(sheet, 0, sheet.num_fibers());
+  Vec3 total{};
+  for (Size i = 0; i < sheet.num_nodes(); ++i) {
+    total += sheet.stretching_force(i);
+  }
+  EXPECT_NEAR(norm(total), 0.0, 1e-12);
+}
+
+TEST(FiberForces, BendingTotalIsZeroNewtonThirdLaw) {
+  // F_b = -k_b D2^T (D2 X), and every row of D2 sums to zero, so the
+  // total bending force vanishes exactly — even with free ends.
+  FiberSheet sheet = make_sheet();
+  perturb(sheet, 2);
+  compute_bending_force(sheet, 0, sheet.num_fibers());
+  Vec3 total{};
+  for (Size i = 0; i < sheet.num_nodes(); ++i) {
+    total += sheet.bending_force(i);
+  }
+  EXPECT_NEAR(norm(total), 0.0, 1e-12);
+}
+
+TEST(FiberForces, BendingFirstMomentIsZero) {
+  // D2 annihilates linear functions, so bending exerts no net torque-free
+  // translation bias: sum_i i * F_b(i) along a single fiber vanishes.
+  FiberSheet sheet(1, 9, 1.0, 8.0, {}, 0.0, 1.0);
+  SplitMix64 rng(11);
+  for (Size i = 0; i < sheet.num_nodes(); ++i) {
+    sheet.position(i) += Vec3{rng.next_double(-0.2, 0.2),
+                              rng.next_double(-0.2, 0.2),
+                              rng.next_double(-0.2, 0.2)};
+  }
+  compute_bending_force(sheet, 0, 1);
+  Vec3 moment{};
+  for (Index j = 0; j < 9; ++j) {
+    moment += static_cast<Real>(j) * sheet.bending_force(sheet.id(0, j));
+  }
+  EXPECT_NEAR(norm(moment), 0.0, 1e-12);
+}
+
+TEST(FiberForces, StretchedPairPullsTogether) {
+  // Two-node fiber stretched beyond rest length: forces point inward.
+  FiberSheet sheet(1, 2, 1.0, 1.0, {0.0, 0.0, 0.0}, 1.0, 0.0);
+  sheet.position(0, 1).z = 3.0;  // rest length 1, actual 3
+  compute_stretching_force(sheet, 0, 1);
+  EXPECT_GT(sheet.stretching_force(sheet.id(0, 0)).z, 0.0);
+  EXPECT_LT(sheet.stretching_force(sheet.id(0, 1)).z, 0.0);
+  // Magnitude: ks * (3 - 1) = 2.
+  EXPECT_NEAR(sheet.stretching_force(sheet.id(0, 0)).z, 2.0, 1e-12);
+}
+
+TEST(FiberForces, CompressedPairPushesApart) {
+  FiberSheet sheet(1, 2, 1.0, 1.0, {0.0, 0.0, 0.0}, 1.0, 0.0);
+  sheet.position(0, 1).z = 0.25;
+  compute_stretching_force(sheet, 0, 1);
+  EXPECT_LT(sheet.stretching_force(sheet.id(0, 0)).z, 0.0);
+  EXPECT_GT(sheet.stretching_force(sheet.id(0, 1)).z, 0.0);
+}
+
+TEST(FiberForces, StretchingScalesLinearlyWithCoefficient) {
+  FiberSheet a(4, 4, 3.0, 3.0, {}, 0.1, 0.0);
+  FiberSheet b(4, 4, 3.0, 3.0, {}, 0.2, 0.0);
+  // identical perturbation
+  for (Size i = 0; i < a.num_nodes(); ++i) {
+    const Vec3 d{0.01 * static_cast<Real>(i % 3),
+                 -0.02 * static_cast<Real>(i % 2), 0.015};
+    a.position(i) += d;
+    b.position(i) += d;
+  }
+  compute_stretching_force(a, 0, 4);
+  compute_stretching_force(b, 0, 4);
+  for (Size i = 0; i < a.num_nodes(); ++i) {
+    EXPECT_NEAR(b.stretching_force(i).x, 2.0 * a.stretching_force(i).x,
+                1e-12);
+    EXPECT_NEAR(b.stretching_force(i).y, 2.0 * a.stretching_force(i).y,
+                1e-12);
+    EXPECT_NEAR(b.stretching_force(i).z, 2.0 * a.stretching_force(i).z,
+                1e-12);
+  }
+}
+
+TEST(FiberForces, BendingOpposesCurvature) {
+  // Displace one interior node of a straight fiber; bending must push it
+  // back toward the line.
+  FiberSheet sheet(1, 7, 1.0, 6.0, {0.0, 0.0, 0.0}, 0.0, 1.0);
+  const Size mid = sheet.id(0, 3);
+  sheet.position(mid).x += 0.5;
+  compute_bending_force(sheet, 0, 1);
+  EXPECT_LT(sheet.bending_force(mid).x, 0.0);
+}
+
+TEST(FiberForces, BendingUsesBothDirections) {
+  // A node displaced on a 6x6 sheet receives restoring force from the
+  // along-fiber and across-fiber stencils; a 1-fiber sheet only from one.
+  FiberSheet sheet = make_sheet(6, 6);
+  const Size mid = sheet.id(3, 3);
+  sheet.position(mid).x += 0.5;
+  compute_bending_force(sheet, 0, 6);
+  FiberSheet line(1, 6, 1.0, 5.0, {10.0, 10.0, 10.0}, 0.05, 0.01);
+  line.position(line.id(0, 3)).x += 0.5;
+  compute_bending_force(line, 0, 1);
+  EXPECT_NEAR(sheet.bending_force(mid).x,
+              2.0 * line.bending_force(line.id(0, 3)).x, 1e-12);
+}
+
+TEST(FiberForces, TranslationInvariance) {
+  FiberSheet a = make_sheet();
+  FiberSheet b = make_sheet();
+  perturb(a, 5);
+  for (Size i = 0; i < a.num_nodes(); ++i) {
+    b.position(i) = a.position(i) + Vec3{100.0, -50.0, 25.0};
+  }
+  compute_all_fiber_forces(a);
+  compute_all_fiber_forces(b);
+  for (Size i = 0; i < a.num_nodes(); ++i) {
+    EXPECT_NEAR(a.elastic_force(i).x, b.elastic_force(i).x, 1e-10);
+    EXPECT_NEAR(a.elastic_force(i).y, b.elastic_force(i).y, 1e-10);
+    EXPECT_NEAR(a.elastic_force(i).z, b.elastic_force(i).z, 1e-10);
+  }
+}
+
+TEST(FiberForces, ElasticIsSumOfBendingAndStretching) {
+  FiberSheet sheet = make_sheet();
+  perturb(sheet, 6);
+  compute_all_fiber_forces(sheet);
+  for (Size i = 0; i < sheet.num_nodes(); ++i) {
+    const Vec3 sum = sheet.bending_force(i) + sheet.stretching_force(i);
+    EXPECT_EQ(sheet.elastic_force(i), sum);
+  }
+}
+
+TEST(FiberForces, FiberRangePartitioningMatchesFullSweep) {
+  FiberSheet whole = make_sheet();
+  FiberSheet parts = make_sheet();
+  perturb(whole, 7);
+  for (Size i = 0; i < whole.num_nodes(); ++i) {
+    parts.position(i) = whole.position(i);
+  }
+  compute_all_fiber_forces(whole);
+  // parts: compute fiber-by-fiber in arbitrary order
+  for (Index f : {5, 0, 3, 1, 4, 2}) {
+    compute_bending_force(parts, f, f + 1);
+    compute_stretching_force(parts, f, f + 1);
+    compute_elastic_force(parts, f, f + 1);
+  }
+  for (Size i = 0; i < whole.num_nodes(); ++i) {
+    EXPECT_EQ(whole.elastic_force(i), parts.elastic_force(i));
+  }
+}
+
+TEST(FiberForces, BendingIsLocalToTwoNeighbours) {
+  // Displacing one node changes bending forces only within two nodes of
+  // it (the stencil reach); nodes further away stay force-free.
+  FiberSheet sheet(1, 9, 1.0, 8.0, {}, 0.0, 1.0);
+  sheet.position(sheet.id(0, 4)).y += 0.3;  // bend the middle
+  compute_bending_force(sheet, 0, 1);
+  for (Index j = 0; j < 9; ++j) {
+    const Real f = norm(sheet.bending_force(sheet.id(0, j)));
+    if (j >= 2 && j <= 6) {
+      EXPECT_GT(f, 0.0) << "j=" << j;
+    } else {
+      EXPECT_EQ(f, 0.0) << "j=" << j;
+    }
+  }
+}
+
+TEST(FiberForces, InteriorBendingMatchesFivePointStencil) {
+  // Away from ends the adjoint form reduces to the classic 5-point
+  // fourth difference.
+  FiberSheet sheet(1, 9, 1.0, 8.0, {}, 0.0, 0.7);
+  SplitMix64 rng(13);
+  for (Size i = 0; i < sheet.num_nodes(); ++i) {
+    sheet.position(i) += Vec3{rng.next_double(-0.2, 0.2),
+                              rng.next_double(-0.2, 0.2), 0.0};
+  }
+  compute_bending_force(sheet, 0, 1);
+  for (Index j = 2; j <= 6; ++j) {
+    const Vec3 d4 = sheet.position(0, j - 2) -
+                    4.0 * sheet.position(0, j - 1) +
+                    6.0 * sheet.position(0, j) -
+                    4.0 * sheet.position(0, j + 1) +
+                    sheet.position(0, j + 2);
+    const Vec3 expect = -0.7 * d4;
+    const Vec3 got = sheet.bending_force(sheet.id(0, j));
+    EXPECT_NEAR(got.x, expect.x, 1e-12) << "j=" << j;
+    EXPECT_NEAR(got.y, expect.y, 1e-12) << "j=" << j;
+  }
+}
+
+}  // namespace
+}  // namespace lbmib

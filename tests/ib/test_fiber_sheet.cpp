@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ib/fiber_sheet.hpp"
+
+namespace lbmib {
+namespace {
+
+TEST(FiberSheet, PaperExampleDimensions) {
+  // Figure 4: "A flexible fiber sheet consisting of 8 fibers. Each fiber
+  // has 5 fiber nodes."
+  FiberSheet sheet(8, 5, 7.0, 4.0, {1.0, 2.0, 3.0}, 0.01, 0.001);
+  EXPECT_EQ(sheet.num_fibers(), 8);
+  EXPECT_EQ(sheet.nodes_per_fiber(), 5);
+  EXPECT_EQ(sheet.num_nodes(), 40u);
+}
+
+TEST(FiberSheet, NodeIdsAreFiberMajor) {
+  FiberSheet sheet(3, 4, 2.0, 3.0, {}, 0.0, 0.0);
+  EXPECT_EQ(sheet.id(0, 0), 0u);
+  EXPECT_EQ(sheet.id(0, 3), 3u);
+  EXPECT_EQ(sheet.id(1, 0), 4u);
+  EXPECT_EQ(sheet.id(2, 3), 11u);
+}
+
+TEST(FiberSheet, InitialGeometryIsRegularGridInYZ) {
+  const Vec3 origin{5.0, 3.0, 2.0};
+  FiberSheet sheet(3, 5, 4.0, 8.0, origin, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(sheet.ds_across(), 2.0);  // 4.0 / (3-1)
+  EXPECT_DOUBLE_EQ(sheet.ds_along(), 2.0);   // 8.0 / (5-1)
+  for (Index f = 0; f < 3; ++f) {
+    for (Index j = 0; j < 5; ++j) {
+      const Vec3& p = sheet.position(f, j);
+      EXPECT_DOUBLE_EQ(p.x, 5.0);
+      EXPECT_DOUBLE_EQ(p.y, 3.0 + 2.0 * f);
+      EXPECT_DOUBLE_EQ(p.z, 2.0 + 2.0 * j);
+    }
+  }
+}
+
+TEST(FiberSheet, RejectsMixedEmptyDimensions) {
+  EXPECT_THROW(FiberSheet(0, 5, 1.0, 1.0, {}, 0.0, 0.0), Error);
+  EXPECT_THROW(FiberSheet(5, 0, 1.0, 1.0, {}, 0.0, 0.0), Error);
+  EXPECT_THROW(FiberSheet(-1, 5, 1.0, 1.0, {}, 0.0, 0.0), Error);
+}
+
+TEST(FiberSheet, AllowsFullyEmptySheet) {
+  FiberSheet sheet(0, 0, 0.0, 0.0, {}, 0.0, 0.0);
+  EXPECT_EQ(sheet.num_nodes(), 0u);
+  EXPECT_EQ(sheet.centroid(), Vec3{});
+  EXPECT_EQ(sheet.total_elastic_force(), Vec3{});
+}
+
+TEST(FiberSheet, ForcesStartZero) {
+  FiberSheet sheet(4, 4, 3.0, 3.0, {}, 0.01, 0.001);
+  for (Size i = 0; i < sheet.num_nodes(); ++i) {
+    EXPECT_EQ(sheet.bending_force(i), Vec3{});
+    EXPECT_EQ(sheet.stretching_force(i), Vec3{});
+    EXPECT_EQ(sheet.elastic_force(i), Vec3{});
+  }
+}
+
+TEST(FiberSheet, NoPinByDefault) {
+  FiberSheet sheet(4, 4, 3.0, 3.0, {}, 0.0, 0.0);
+  for (Size i = 0; i < sheet.num_nodes(); ++i) {
+    EXPECT_FALSE(sheet.pinned(i));
+  }
+}
+
+TEST(FiberSheet, LeadingEdgePinsFirstColumn) {
+  FiberSheet sheet(4, 5, 3.0, 4.0, {}, 0.0, 0.0);
+  sheet.apply_pin_mode(PinMode::kLeadingEdge);
+  for (Index f = 0; f < 4; ++f) {
+    EXPECT_TRUE(sheet.pinned(sheet.id(f, 0)));
+    for (Index j = 1; j < 5; ++j) {
+      EXPECT_FALSE(sheet.pinned(sheet.id(f, j)));
+    }
+  }
+}
+
+TEST(FiberSheet, CenterPinFastensMiddleRegion) {
+  FiberSheet sheet(10, 10, 9.0, 9.0, {}, 0.0, 0.0);
+  sheet.apply_pin_mode(PinMode::kCenter);
+  // The central node is pinned; the corners are free.
+  EXPECT_TRUE(sheet.pinned(sheet.id(5, 5)));
+  EXPECT_FALSE(sheet.pinned(sheet.id(0, 0)));
+  EXPECT_FALSE(sheet.pinned(sheet.id(9, 9)));
+  // Some nodes are pinned, but not all.
+  Size pinned = 0;
+  for (Size i = 0; i < sheet.num_nodes(); ++i) {
+    if (sheet.pinned(i)) ++pinned;
+  }
+  EXPECT_GT(pinned, 0u);
+  EXPECT_LT(pinned, sheet.num_nodes());
+}
+
+TEST(FiberSheet, CentroidOfRegularSheet) {
+  FiberSheet sheet(3, 3, 2.0, 2.0, {1.0, 0.0, 0.0}, 0.0, 0.0);
+  const Vec3 c = sheet.centroid();
+  EXPECT_DOUBLE_EQ(c.x, 1.0);
+  EXPECT_DOUBLE_EQ(c.y, 1.0);  // middle of [0, 2]
+  EXPECT_DOUBLE_EQ(c.z, 1.0);
+}
+
+TEST(FiberSheet, NodeArea) {
+  FiberSheet sheet(5, 3, 8.0, 4.0, {}, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(sheet.node_area(), 2.0 * 2.0);
+}
+
+TEST(FiberSheet, ConstructFromParams) {
+  SimulationParams p = presets::tiny();
+  p.pin_mode = PinMode::kLeadingEdge;
+  FiberSheet sheet(p);
+  EXPECT_EQ(sheet.num_fibers(), p.num_fibers);
+  EXPECT_EQ(sheet.nodes_per_fiber(), p.nodes_per_fiber);
+  EXPECT_TRUE(sheet.pinned(sheet.id(0, 0)));
+  EXPECT_DOUBLE_EQ(sheet.stretching_coeff(), p.stretching_coeff);
+  EXPECT_DOUBLE_EQ(sheet.bending_coeff(), p.bending_coeff);
+}
+
+TEST(FiberSheet, SingleNodeSheetUsesFullExtentAsSpacing) {
+  FiberSheet sheet(1, 1, 3.0, 5.0, {}, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(sheet.ds_across(), 3.0);
+  EXPECT_DOUBLE_EQ(sheet.ds_along(), 5.0);
+}
+
+}  // namespace
+}  // namespace lbmib

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "ib/fiber_sheet.hpp"
+#include "ib/interpolation.hpp"
+#include "lbm/fluid_grid.hpp"
+
+namespace lbmib {
+namespace {
+
+TEST(Interpolation, ConstantFieldIsExact) {
+  // Partition of unity: a uniform velocity field interpolates exactly at
+  // any off-grid position.
+  const Vec3 u0{0.03, -0.01, 0.02};
+  FluidGrid grid(12, 12, 12, 1.0, u0);
+  for (const Vec3& pos :
+       {Vec3{5.5, 5.5, 5.5}, Vec3{3.21, 7.89, 4.5}, Vec3{0.1, 11.9, 6.0}}) {
+    const Vec3 u = interpolate_velocity(grid, pos);
+    EXPECT_NEAR(u.x, u0.x, 1e-13);
+    EXPECT_NEAR(u.y, u0.y, 1e-13);
+    EXPECT_NEAR(u.z, u0.z, 1e-13);
+  }
+}
+
+TEST(Interpolation, LinearFieldIsExactByZeroFirstMoment) {
+  // phi4's zero first moment makes linear fields interpolate exactly away
+  // from the periodic seam.
+  FluidGrid grid(16, 16, 16);
+  for (Index x = 0; x < 16; ++x) {
+    for (Index y = 0; y < 16; ++y) {
+      for (Index z = 0; z < 16; ++z) {
+        grid.set_velocity(grid.index(x, y, z),
+                          {0.01 * static_cast<Real>(x),
+                           0.02 * static_cast<Real>(y),
+                           -0.01 * static_cast<Real>(z)});
+      }
+    }
+  }
+  const Vec3 pos{7.3, 8.6, 5.1};
+  const Vec3 u = interpolate_velocity(grid, pos);
+  EXPECT_NEAR(u.x, 0.01 * pos.x, 1e-12);
+  EXPECT_NEAR(u.y, 0.02 * pos.y, 1e-12);
+  EXPECT_NEAR(u.z, -0.01 * pos.z, 1e-12);
+}
+
+TEST(Interpolation, ExactOnLatticePointOfSmoothField) {
+  FluidGrid grid(12, 12, 12, 1.0, {0.05, 0.0, 0.0});
+  const Vec3 u = interpolate_velocity(grid, {6.0, 6.0, 6.0});
+  EXPECT_NEAR(u.x, 0.05, 1e-13);
+}
+
+TEST(MoveFibers, AdvectsWithLocalVelocity) {
+  const Vec3 u0{0.1, -0.05, 0.025};
+  FluidGrid grid(12, 12, 12, 1.0, u0);
+  FiberSheet sheet(3, 3, 2.0, 2.0, {5.0, 5.0, 5.0}, 0.0, 0.0);
+  const Vec3 before = sheet.position(1, 1);
+  move_fibers(sheet, grid, 0, 3);
+  const Vec3 after = sheet.position(1, 1);
+  EXPECT_NEAR(after.x - before.x, u0.x, 1e-13);
+  EXPECT_NEAR(after.y - before.y, u0.y, 1e-13);
+  EXPECT_NEAR(after.z - before.z, u0.z, 1e-13);
+}
+
+TEST(MoveFibers, RespectsTimestepScale) {
+  const Vec3 u0{0.1, 0.0, 0.0};
+  FluidGrid grid(12, 12, 12, 1.0, u0);
+  FiberSheet sheet(2, 2, 1.0, 1.0, {5.0, 5.0, 5.0}, 0.0, 0.0);
+  move_fibers(sheet, grid, 0, 2, 0.5);
+  EXPECT_NEAR(sheet.position(0, 0).x, 5.05, 1e-13);
+}
+
+TEST(MoveFibers, PinnedNodesStayPut) {
+  const Vec3 u0{0.1, 0.1, 0.1};
+  FluidGrid grid(12, 12, 12, 1.0, u0);
+  FiberSheet sheet(2, 3, 1.0, 2.0, {5.0, 5.0, 5.0}, 0.0, 0.0);
+  sheet.apply_pin_mode(PinMode::kLeadingEdge);
+  move_fibers(sheet, grid, 0, 2);
+  EXPECT_EQ(sheet.position(0, 0), (Vec3{5.0, 5.0, 5.0}));  // pinned
+  EXPECT_NE(sheet.position(0, 1), (Vec3{5.0, 5.0, 6.0}));  // moved
+}
+
+TEST(MoveFibers, FiberRangeOnlyMovesOwnedFibers) {
+  const Vec3 u0{0.1, 0.0, 0.0};
+  FluidGrid grid(12, 12, 12, 1.0, u0);
+  FiberSheet sheet(3, 2, 2.0, 1.0, {5.0, 5.0, 5.0}, 0.0, 0.0);
+  move_fibers(sheet, grid, 1, 2);  // only fiber 1
+  EXPECT_DOUBLE_EQ(sheet.position(0, 0).x, 5.0);
+  EXPECT_NEAR(sheet.position(1, 0).x, 5.1, 1e-13);
+  EXPECT_DOUBLE_EQ(sheet.position(2, 0).x, 5.0);
+}
+
+TEST(MoveFibers, ZeroVelocityFieldLeavesSheetStill) {
+  FluidGrid grid(12, 12, 12);
+  FiberSheet sheet(3, 3, 2.0, 2.0, {5.0, 5.0, 5.0}, 0.0, 0.0);
+  const Vec3 before = sheet.position(2, 2);
+  move_fibers(sheet, grid, 0, 3);
+  EXPECT_EQ(sheet.position(2, 2), before);
+}
+
+}  // namespace
+}  // namespace lbmib

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/sequential_solver.hpp"
+#include "ib/fiber_sheet.hpp"
+#include "io/checkpoint.hpp"
+#include "lbm/fluid_grid.hpp"
+
+namespace lbmib {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "lbmib_checkpoint_test.bin";
+};
+
+void randomize_state(FluidGrid& grid, FiberSheet& sheet,
+                     std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  for (Size n = 0; n < grid.num_nodes(); ++n) {
+    for (int d = 0; d < kQ; ++d) {
+      grid.df(d, n) = rng.next_double();
+      grid.df_new(d, n) = rng.next_double();
+    }
+    grid.rho(n) = rng.next_double(0.9, 1.1);
+    grid.set_velocity(
+        n, {rng.next_double(), rng.next_double(), rng.next_double()});
+    grid.fx(n) = rng.next_double();
+    grid.set_solid(n, rng.next_below(7) == 0);
+  }
+  for (Size i = 0; i < sheet.num_nodes(); ++i) {
+    sheet.position(i) = {rng.next_double(0.0, 10.0),
+                         rng.next_double(0.0, 10.0),
+                         rng.next_double(0.0, 10.0)};
+    sheet.elastic_force(i) = {rng.next_double(), 0.0, 0.0};
+    sheet.set_pinned(i, rng.next_below(3) == 0);
+  }
+}
+
+TEST_F(CheckpointTest, RoundTripIsBitExact) {
+  FluidGrid grid(6, 4, 4);
+  FiberSheet sheet(3, 4, 2.0, 3.0, {2.0, 1.0, 1.0}, 0.05, 0.01);
+  randomize_state(grid, sheet, 42);
+  save_checkpoint(path_, grid, sheet);
+
+  FluidGrid grid2(6, 4, 4);
+  FiberSheet sheet2(3, 4, 2.0, 3.0, {2.0, 1.0, 1.0}, 0.05, 0.01);
+  load_checkpoint(path_, grid2, sheet2);
+
+  for (Size n = 0; n < grid.num_nodes(); ++n) {
+    for (int d = 0; d < kQ; ++d) {
+      EXPECT_EQ(grid2.df(d, n), grid.df(d, n));
+      EXPECT_EQ(grid2.df_new(d, n), grid.df_new(d, n));
+    }
+    EXPECT_EQ(grid2.rho(n), grid.rho(n));
+    EXPECT_EQ(grid2.velocity(n), grid.velocity(n));
+    EXPECT_EQ(grid2.fx(n), grid.fx(n));
+    EXPECT_EQ(grid2.solid(n), grid.solid(n));
+  }
+  for (Size i = 0; i < sheet.num_nodes(); ++i) {
+    EXPECT_EQ(sheet2.position(i), sheet.position(i));
+    EXPECT_EQ(sheet2.elastic_force(i), sheet.elastic_force(i));
+    EXPECT_EQ(sheet2.pinned(i), sheet.pinned(i));
+  }
+}
+
+TEST_F(CheckpointTest, ResumedSimulationContinuesIdentically) {
+  SimulationParams p = presets::tiny();
+  p.body_force = {1e-5, 0.0, 0.0};
+
+  // Run 10 steps straight through.
+  SequentialSolver straight(p);
+  straight.run(10);
+
+  // Run 5, checkpoint, restore into a fresh solver, run 5 more.
+  SequentialSolver first(p);
+  first.run(5);
+  save_checkpoint(path_, first.fluid(), first.sheet());
+  SequentialSolver second(p);
+  load_checkpoint(path_, second.fluid(), second.sheet());
+  second.run(5);
+
+  for (Size n = 0; n < straight.fluid().num_nodes(); ++n) {
+    for (int d = 0; d < kQ; ++d) {
+      EXPECT_EQ(second.fluid().df(d, n), straight.fluid().df(d, n));
+    }
+  }
+  for (Size i = 0; i < straight.sheet().num_nodes(); ++i) {
+    EXPECT_EQ(second.sheet().position(i), straight.sheet().position(i));
+  }
+}
+
+TEST_F(CheckpointTest, RejectsWrongDimensions) {
+  FluidGrid grid(6, 4, 4);
+  FiberSheet sheet(3, 4, 2.0, 3.0, {}, 0.0, 0.0);
+  save_checkpoint(path_, grid, sheet);
+  FluidGrid wrong_grid(6, 4, 8);
+  EXPECT_THROW(load_checkpoint(path_, wrong_grid, sheet), Error);
+  FiberSheet wrong_sheet(3, 5, 2.0, 3.0, {}, 0.0, 0.0);
+  EXPECT_THROW(load_checkpoint(path_, grid, wrong_sheet), Error);
+}
+
+TEST_F(CheckpointTest, RejectsGarbageFile) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "this is not a checkpoint";
+  }
+  FluidGrid grid(6, 4, 4);
+  FiberSheet sheet(3, 4, 2.0, 3.0, {}, 0.0, 0.0);
+  EXPECT_THROW(load_checkpoint(path_, grid, sheet), Error);
+}
+
+TEST_F(CheckpointTest, RejectsTruncatedFile) {
+  FluidGrid grid(6, 4, 4);
+  FiberSheet sheet(3, 4, 2.0, 3.0, {}, 0.0, 0.0);
+  save_checkpoint(path_, grid, sheet);
+  // Truncate the file to half.
+  std::ifstream in(path_, std::ios::binary | std::ios::ate);
+  const auto full = in.tellg();
+  in.seekg(0);
+  std::vector<char> half(static_cast<Size>(full) / 2);
+  in.read(half.data(), static_cast<std::streamsize>(half.size()));
+  in.close();
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(half.data(), static_cast<std::streamsize>(half.size()));
+  }
+  EXPECT_THROW(load_checkpoint(path_, grid, sheet), Error);
+}
+
+TEST_F(CheckpointTest, RejectsMissingFile) {
+  FluidGrid grid(6, 4, 4);
+  FiberSheet sheet(3, 4, 2.0, 3.0, {}, 0.0, 0.0);
+  EXPECT_THROW(load_checkpoint("/nonexistent_xyz/cp.bin", grid, sheet),
+               Error);
+}
+
+}  // namespace
+}  // namespace lbmib

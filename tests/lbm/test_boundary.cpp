@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "lbm/boundary.hpp"
+#include "lbm/fluid_grid.hpp"
+
+namespace lbmib {
+namespace {
+
+TEST(Boundary, PeriodicMarksNothing) {
+  FluidGrid grid(4, 4, 4);
+  apply_boundary_mask(grid, BoundaryType::kPeriodic);
+  EXPECT_EQ(count_solid_nodes(grid), 0u);
+}
+
+TEST(Boundary, ChannelMarksYandZWalls) {
+  FluidGrid grid(4, 6, 8);
+  apply_boundary_mask(grid, BoundaryType::kChannel);
+  for (Index x = 0; x < 4; ++x) {
+    for (Index y = 0; y < 6; ++y) {
+      for (Index z = 0; z < 8; ++z) {
+        const bool wall = (y == 0 || y == 5 || z == 0 || z == 7);
+        EXPECT_EQ(grid.solid(grid.index(x, y, z)), wall)
+            << x << "," << y << "," << z;
+      }
+    }
+  }
+}
+
+TEST(Boundary, ChannelSolidCountFormula) {
+  FluidGrid grid(5, 6, 7);
+  apply_boundary_mask(grid, BoundaryType::kChannel);
+  // Walls: full y=0/y=ny-1 planes plus z=0/z=nz-1 planes minus the shared
+  // edges. Per x-slice: ny*nz - (ny-2)*(nz-2) wall nodes.
+  const Size per_slice = 6 * 7 - 4 * 5;
+  EXPECT_EQ(count_solid_nodes(grid), 5 * per_slice);
+}
+
+TEST(Boundary, XRemainsOpenInChannel) {
+  FluidGrid grid(4, 6, 6);
+  apply_boundary_mask(grid, BoundaryType::kChannel);
+  // Interior y/z at both x extremes must be fluid (flow direction open).
+  EXPECT_FALSE(grid.solid(grid.index(0, 3, 3)));
+  EXPECT_FALSE(grid.solid(grid.index(3, 3, 3)));
+}
+
+TEST(Boundary, GridConstructorAppliesChannelMask) {
+  SimulationParams p = presets::tiny();
+  p.boundary = BoundaryType::kChannel;
+  FluidGrid grid(p);
+  EXPECT_GT(count_solid_nodes(grid), 0u);
+}
+
+}  // namespace
+}  // namespace lbmib

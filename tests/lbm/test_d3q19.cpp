@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "lbm/d3q19.hpp"
+
+namespace lbmib {
+namespace {
+
+using namespace d3q19;
+
+TEST(D3Q19, WeightsSumToOne) {
+  Real sum = 0.0;
+  for (int i = 0; i < kQ; ++i) sum += w[static_cast<Size>(i)];
+  EXPECT_NEAR(sum, 1.0, 1e-15);
+}
+
+TEST(D3Q19, VelocitiesSumToZero) {
+  int sx = 0, sy = 0, sz = 0;
+  for (int i = 0; i < kQ; ++i) {
+    sx += cx[static_cast<Size>(i)];
+    sy += cy[static_cast<Size>(i)];
+    sz += cz[static_cast<Size>(i)];
+  }
+  EXPECT_EQ(sx, 0);
+  EXPECT_EQ(sy, 0);
+  EXPECT_EQ(sz, 0);
+}
+
+TEST(D3Q19, EighteenMovingDirections) {
+  // Figure 2: "A particle at the center can move along 18 different
+  // directions", plus rest.
+  int moving = 0;
+  for (int i = 0; i < kQ; ++i) {
+    const int mag2 = cx[static_cast<Size>(i)] * cx[static_cast<Size>(i)] +
+                     cy[static_cast<Size>(i)] * cy[static_cast<Size>(i)] +
+                     cz[static_cast<Size>(i)] * cz[static_cast<Size>(i)];
+    if (mag2 > 0) ++moving;
+    EXPECT_LE(mag2, 2);  // axis (1) or face diagonal (2), never corner (3)
+  }
+  EXPECT_EQ(moving, 18);
+}
+
+TEST(D3Q19, DirectionsAreDistinct) {
+  for (int i = 0; i < kQ; ++i) {
+    for (int j = i + 1; j < kQ; ++j) {
+      const bool same = cx[static_cast<Size>(i)] == cx[static_cast<Size>(j)] &&
+                        cy[static_cast<Size>(i)] == cy[static_cast<Size>(j)] &&
+                        cz[static_cast<Size>(i)] == cz[static_cast<Size>(j)];
+      EXPECT_FALSE(same) << "directions " << i << " and " << j;
+    }
+  }
+}
+
+TEST(D3Q19, WeightMatchesSpeed) {
+  for (int i = 0; i < kQ; ++i) {
+    const int mag2 = cx[static_cast<Size>(i)] * cx[static_cast<Size>(i)] +
+                     cy[static_cast<Size>(i)] * cy[static_cast<Size>(i)] +
+                     cz[static_cast<Size>(i)] * cz[static_cast<Size>(i)];
+    const Real expected =
+        mag2 == 0 ? Real{1} / 3 : (mag2 == 1 ? Real{1} / 18 : Real{1} / 36);
+    EXPECT_DOUBLE_EQ(w[static_cast<Size>(i)], expected);
+  }
+}
+
+TEST(D3Q19, OppositeIsInvolutionAndNegates) {
+  for (int i = 0; i < kQ; ++i) {
+    const int o = opposite(i);
+    EXPECT_EQ(opposite(o), i);
+    EXPECT_EQ(cx[static_cast<Size>(o)], -cx[static_cast<Size>(i)]);
+    EXPECT_EQ(cy[static_cast<Size>(o)], -cy[static_cast<Size>(i)]);
+    EXPECT_EQ(cz[static_cast<Size>(o)], -cz[static_cast<Size>(i)]);
+  }
+  EXPECT_EQ(opposite(0), 0);
+}
+
+TEST(D3Q19, SecondMomentIsotropy) {
+  // sum_i w_i c_ia c_ib = cs2 * delta_ab — the lattice isotropy condition
+  // behind the model's second-order accuracy.
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      Real sum = 0.0;
+      for (int i = 0; i < kQ; ++i) {
+        const Vec3 ci = c(i);
+        sum += w[static_cast<Size>(i)] * ci[a] * ci[b];
+      }
+      EXPECT_NEAR(sum, a == b ? cs2 : 0.0, 1e-15) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(D3Q19, FourthMomentIsotropy) {
+  // sum_i w_i c_ia c_ib c_ic c_id = cs2^2 (d_ab d_cd + d_ac d_bd + d_ad d_bc)
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      for (int cc = 0; cc < 3; ++cc) {
+        for (int d = 0; d < 3; ++d) {
+          Real sum = 0.0;
+          for (int i = 0; i < kQ; ++i) {
+            const Vec3 ci = c(i);
+            sum += w[static_cast<Size>(i)] * ci[a] * ci[b] * ci[cc] * ci[d];
+          }
+          const Real kron = ((a == b && cc == d) ? 1.0 : 0.0) +
+                            ((a == cc && b == d) ? 1.0 : 0.0) +
+                            ((a == d && b == cc) ? 1.0 : 0.0);
+          EXPECT_NEAR(sum, cs2 * cs2 * kron, 1e-15);
+        }
+      }
+    }
+  }
+}
+
+TEST(D3Q19, EquilibriumConservesMass) {
+  const Vec3 u{0.05, -0.02, 0.01};
+  const Real rho = 1.1;
+  Real sum = 0.0;
+  for (int i = 0; i < kQ; ++i) sum += equilibrium(i, rho, u);
+  EXPECT_NEAR(sum, rho, 1e-14);
+}
+
+TEST(D3Q19, EquilibriumConservesMomentum) {
+  const Vec3 u{0.05, -0.02, 0.01};
+  const Real rho = 1.1;
+  Vec3 mom{};
+  for (int i = 0; i < kQ; ++i) {
+    mom += equilibrium(i, rho, u) * c(i);
+  }
+  EXPECT_NEAR(mom.x, rho * u.x, 1e-14);
+  EXPECT_NEAR(mom.y, rho * u.y, 1e-14);
+  EXPECT_NEAR(mom.z, rho * u.z, 1e-14);
+}
+
+TEST(D3Q19, EquilibriumAtRestIsWeights) {
+  for (int i = 0; i < kQ; ++i) {
+    EXPECT_DOUBLE_EQ(equilibrium(i, 1.0, {}), w[static_cast<Size>(i)]);
+  }
+}
+
+TEST(D3Q19, GuoForcingZerothMomentVanishes) {
+  // sum_i F_i = 0: the forcing adds momentum, not mass.
+  const Vec3 u{0.03, 0.01, -0.02};
+  const Vec3 force{1e-3, -2e-3, 5e-4};
+  const Real tau = 0.8;
+  Real sum = 0.0;
+  for (int i = 0; i < kQ; ++i) sum += guo_forcing(i, tau, u, force);
+  EXPECT_NEAR(sum, 0.0, 1e-16);
+}
+
+TEST(D3Q19, GuoForcingFirstMomentIsScaledForce) {
+  // sum_i c_i F_i = (1 - 1/(2 tau)) F.
+  const Vec3 u{0.03, 0.01, -0.02};
+  const Vec3 force{1e-3, -2e-3, 5e-4};
+  const Real tau = 0.8;
+  Vec3 mom{};
+  for (int i = 0; i < kQ; ++i) mom += guo_forcing(i, tau, u, force) * c(i);
+  const Real scale = 1.0 - 0.5 / tau;
+  EXPECT_NEAR(mom.x, scale * force.x, 1e-16);
+  EXPECT_NEAR(mom.y, scale * force.y, 1e-16);
+  EXPECT_NEAR(mom.z, scale * force.z, 1e-16);
+}
+
+TEST(D3Q19, DirectionLabels) {
+  EXPECT_EQ(direction_label(0), "( 0, 0, 0)");
+  EXPECT_EQ(direction_label(1), "(+1, 0, 0)");
+  EXPECT_EQ(direction_label(2), "(-1, 0, 0)");
+}
+
+}  // namespace
+}  // namespace lbmib

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "lbm/d3q19.hpp"
+#include "lbm/fluid_grid.hpp"
+
+namespace lbmib {
+namespace {
+
+TEST(FluidGrid, DimensionsAndNodeCount) {
+  FluidGrid grid(4, 5, 6);
+  EXPECT_EQ(grid.nx(), 4);
+  EXPECT_EQ(grid.ny(), 5);
+  EXPECT_EQ(grid.nz(), 6);
+  EXPECT_EQ(grid.num_nodes(), 120u);
+}
+
+TEST(FluidGrid, RejectsEmptyDimensions) {
+  EXPECT_THROW(FluidGrid(0, 4, 4), Error);
+  EXPECT_THROW(FluidGrid(4, -1, 4), Error);
+}
+
+TEST(FluidGrid, IndexIsXMajorZFastest) {
+  FluidGrid grid(3, 4, 5);
+  EXPECT_EQ(grid.index(0, 0, 0), 0u);
+  EXPECT_EQ(grid.index(0, 0, 1), 1u);
+  EXPECT_EQ(grid.index(0, 1, 0), 5u);
+  EXPECT_EQ(grid.index(1, 0, 0), 20u);
+  EXPECT_EQ(grid.index(2, 3, 4), 59u);
+}
+
+TEST(FluidGrid, IndexIsBijective) {
+  FluidGrid grid(3, 4, 5);
+  std::vector<bool> seen(60, false);
+  for (Index x = 0; x < 3; ++x) {
+    for (Index y = 0; y < 4; ++y) {
+      for (Index z = 0; z < 5; ++z) {
+        const Size i = grid.index(x, y, z);
+        ASSERT_LT(i, 60u);
+        EXPECT_FALSE(seen[i]);
+        seen[i] = true;
+      }
+    }
+  }
+}
+
+TEST(FluidGrid, WrapHandlesNegativeAndOverflow) {
+  EXPECT_EQ(FluidGrid::wrap(-1, 8), 7);
+  EXPECT_EQ(FluidGrid::wrap(8, 8), 0);
+  EXPECT_EQ(FluidGrid::wrap(-9, 8), 7);
+  EXPECT_EQ(FluidGrid::wrap(17, 8), 1);
+  EXPECT_EQ(FluidGrid::wrap(3, 8), 3);
+}
+
+TEST(FluidGrid, PeriodicIndexWraps) {
+  FluidGrid grid(4, 4, 4);
+  EXPECT_EQ(grid.periodic_index(-1, 0, 0), grid.index(3, 0, 0));
+  EXPECT_EQ(grid.periodic_index(4, 5, -2), grid.index(0, 1, 2));
+}
+
+TEST(FluidGrid, InitializesToEquilibrium) {
+  const Vec3 u0{0.02, -0.01, 0.03};
+  FluidGrid grid(4, 4, 4, 1.2, u0);
+  for (Size node = 0; node < grid.num_nodes(); ++node) {
+    EXPECT_DOUBLE_EQ(grid.rho(node), 1.2);
+    EXPECT_EQ(grid.velocity(node), u0);
+    for (int dir = 0; dir < kQ; ++dir) {
+      EXPECT_DOUBLE_EQ(grid.df(dir, node),
+                       d3q19::equilibrium(dir, 1.2, u0));
+      EXPECT_EQ(grid.df_new(dir, node), 0.0);
+    }
+  }
+}
+
+TEST(FluidGrid, TotalMassOfUniformState) {
+  FluidGrid grid(4, 4, 4, 1.5);
+  EXPECT_NEAR(grid.total_mass(), 1.5 * 64, 1e-10);
+}
+
+TEST(FluidGrid, TotalMomentumOfUniformState) {
+  const Vec3 u0{0.02, 0.0, -0.01};
+  FluidGrid grid(4, 4, 4, 1.0, u0);
+  const Vec3 p = grid.total_momentum();
+  EXPECT_NEAR(p.x, 64 * 0.02, 1e-12);
+  EXPECT_NEAR(p.y, 0.0, 1e-12);
+  EXPECT_NEAR(p.z, -64 * 0.01, 1e-12);
+}
+
+TEST(FluidGrid, ForceAccessAndReset) {
+  FluidGrid grid(2, 2, 2);
+  grid.add_force(3, {1.0, 2.0, 3.0});
+  grid.add_force(3, {1.0, 0.0, 0.0});
+  EXPECT_EQ(grid.force(3), (Vec3{2.0, 2.0, 3.0}));
+  grid.reset_forces({0.5, 0.0, 0.0});
+  for (Size node = 0; node < grid.num_nodes(); ++node) {
+    EXPECT_EQ(grid.force(node), (Vec3{0.5, 0.0, 0.0}));
+  }
+}
+
+TEST(FluidGrid, SolidFlagDefaultsClear) {
+  FluidGrid grid(2, 2, 2);
+  for (Size node = 0; node < grid.num_nodes(); ++node) {
+    EXPECT_FALSE(grid.solid(node));
+  }
+  grid.set_solid(5, true);
+  EXPECT_TRUE(grid.solid(5));
+  grid.set_solid(5, false);
+  EXPECT_FALSE(grid.solid(5));
+}
+
+TEST(FluidGrid, SwapBuffersExchangesPlanes) {
+  FluidGrid grid(2, 2, 2);
+  grid.df(3, 1) = 42.0;
+  grid.df_new(3, 1) = 7.0;
+  grid.swap_buffers();
+  EXPECT_EQ(grid.df(3, 1), 7.0);
+  EXPECT_EQ(grid.df_new(3, 1), 42.0);
+}
+
+TEST(FluidGrid, CopyFromReplicatesState) {
+  FluidGrid a(3, 3, 3, 1.0, {0.01, 0.0, 0.0});
+  a.df(5, 7) = 0.123;
+  a.set_solid(2, true);
+  a.add_force(4, {1.0, 2.0, 3.0});
+  FluidGrid b(3, 3, 3);
+  b.copy_from(a);
+  EXPECT_EQ(b.df(5, 7), 0.123);
+  EXPECT_TRUE(b.solid(2));
+  EXPECT_EQ(b.force(4), (Vec3{1.0, 2.0, 3.0}));
+  EXPECT_EQ(b.velocity(0), (Vec3{0.01, 0.0, 0.0}));
+}
+
+TEST(FluidGrid, CopyFromRejectsMismatchedDims) {
+  FluidGrid a(3, 3, 3);
+  FluidGrid b(3, 3, 4);
+  EXPECT_THROW(b.copy_from(a), Error);
+}
+
+TEST(FluidGrid, PlanePointersAreContiguousPerDirection) {
+  FluidGrid grid(4, 4, 4);
+  for (int dir = 0; dir < kQ; ++dir) {
+    EXPECT_EQ(grid.df_plane(dir) + 5, &grid.df(dir, 5));
+    EXPECT_EQ(grid.df_new_plane(dir) + 9, &grid.df_new(dir, 9));
+  }
+}
+
+}  // namespace
+}  // namespace lbmib

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/cube_solver.hpp"
+#include "core/dataflow_solver.hpp"
+#include "core/openmp_solver.hpp"
+#include "core/sequential_solver.hpp"
+#include "core/verification.hpp"
+#include "lbm/boundary.hpp"
+#include "lbm/d3q19.hpp"
+#include "lbm/fluid_grid.hpp"
+#include "lbm/observables.hpp"
+
+namespace lbmib {
+namespace {
+
+SimulationParams inlet_params() {
+  SimulationParams p;
+  p.nx = 24;
+  p.ny = 12;
+  p.nz = 12;
+  p.boundary = BoundaryType::kInletOutlet;
+  p.inlet_velocity = {0.04, 0.0, 0.0};
+  p.num_fibers = 0;
+  p.nodes_per_fiber = 0;
+  return p;
+}
+
+TEST(InletOutlet, ParamsValidation) {
+  SimulationParams p = inlet_params();
+  EXPECT_NO_THROW(p.validate());
+  p.inlet_velocity = {0.5, 0.0, 0.0};  // supersonic-ish
+  EXPECT_THROW(p.validate(), Error);
+  p = inlet_params();
+  p.nx = 2;
+  p.cube_size = 1;
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(InletOutlet, MaskMarksChannelWalls) {
+  FluidGrid grid(8, 6, 6);
+  apply_boundary_mask(grid, BoundaryType::kInletOutlet);
+  EXPECT_GT(count_solid_nodes(grid), 0u);
+  EXPECT_FALSE(grid.solid(grid.index(0, 3, 3)));  // inlet face is fluid
+}
+
+TEST(InletOutlet, InletImposesVelocityAtLocalDensity) {
+  FluidGrid grid(8, 6, 6);
+  // Pretend streaming already filled df_new with a pressurized state.
+  const Vec3 u_bulk{0.01, 0.0, 0.0};
+  for (Size n = 0; n < grid.num_nodes(); ++n) {
+    for (int dir = 0; dir < kQ; ++dir) {
+      grid.df_new(dir, n) = d3q19::equilibrium(dir, 1.2, u_bulk);
+    }
+  }
+  const Vec3 u_in{0.03, 0.0, 0.0};
+  apply_inlet_outlet(grid, u_in, 0, 8);
+  // Inlet carries the imposed velocity at the *local* (x=1) density.
+  const Size node = grid.index(0, 3, 3);
+  for (int dir = 0; dir < kQ; ++dir) {
+    EXPECT_NEAR(grid.df_new(dir, node),
+                d3q19::equilibrium(dir, 1.2, u_in), 1e-13);
+  }
+}
+
+TEST(InletOutlet, OutletAnchorsDensityAndExtrapolatesVelocity) {
+  FluidGrid grid(8, 6, 6);
+  const Vec3 u_up{0.02, 0.005, 0.0};
+  for (Size n = 0; n < grid.num_nodes(); ++n) {
+    for (int dir = 0; dir < kQ; ++dir) {
+      grid.df_new(dir, n) = d3q19::equilibrium(dir, 1.3, u_up);
+    }
+  }
+  apply_inlet_outlet(grid, {0.03, 0.0, 0.0}, 0, 8);
+  const Size outlet = grid.index(7, 2, 3);
+  // rho anchored at 1, velocity taken from upstream.
+  for (int dir = 0; dir < kQ; ++dir) {
+    EXPECT_NEAR(grid.df_new(dir, outlet),
+                d3q19::equilibrium(dir, 1.0, u_up), 1e-13);
+  }
+}
+
+TEST(InletOutlet, ApplyRespectsSlabRange) {
+  FluidGrid grid(8, 6, 6);
+  grid.df_new(0, grid.index(0, 3, 3)) = -1.0;
+  apply_inlet_outlet(grid, {0.03, 0.0, 0.0}, 2, 6);  // excludes x=0, x=7
+  EXPECT_EQ(grid.df_new(0, grid.index(0, 3, 3)), -1.0);
+}
+
+TEST(InletOutlet, FlowDevelopsDownstream) {
+  // Starting from rest, the imposed inlet velocity must propagate through
+  // the whole channel.
+  SequentialSolver solver(inlet_params());
+  solver.run(200);
+  const FluidGrid& grid = solver.fluid();
+  // Centerline streamwise velocity positive everywhere, and mass flux in
+  // the channel core near the inlet value's order of magnitude.
+  for (Index x = 1; x < grid.nx() - 1; x += 4) {
+    EXPECT_GT(grid.ux(grid.index(x, 6, 6)), 0.01) << "x=" << x;
+  }
+  EXPECT_LT(max_velocity_magnitude(grid), 0.3);  // stable
+}
+
+TEST(InletOutlet, SteadyStateMassFluxBalances) {
+  // Once developed, the mass flux (rho u) through every cross-section is
+  // equal: what the inlet pushes in, the pressure outlet lets out.
+  SequentialSolver solver(inlet_params());
+  solver.run(500);
+  const FluidGrid& grid = solver.fluid();
+  auto face_mass_flux = [&](Index x) {
+    Real flux = 0.0;
+    for (Index y = 0; y < grid.ny(); ++y) {
+      for (Index z = 0; z < grid.nz(); ++z) {
+        const Size n = grid.index(x, y, z);
+        if (!grid.solid(n)) flux += grid.rho(n) * grid.ux(n);
+      }
+    }
+    return flux;
+  };
+  const Real inflow = face_mass_flux(1);
+  const Real midflow = face_mass_flux(grid.nx() / 2);
+  const Real outflow = face_mass_flux(grid.nx() - 2);
+  EXPECT_NEAR(midflow, inflow, 0.05 * inflow);
+  EXPECT_NEAR(outflow, inflow, 0.05 * inflow);
+}
+
+TEST(InletOutlet, TotalMassStaysBounded) {
+  // The velocity-inlet/pressure-outlet pair must not pressurize the
+  // channel indefinitely.
+  SequentialSolver solver(inlet_params());
+  solver.run(300);
+  const Real mass_early = solver.fluid().total_mass();
+  solver.run(300);
+  const Real mass_late = solver.fluid().total_mass();
+  EXPECT_NEAR(mass_late, mass_early, 0.01 * mass_early);
+}
+
+TEST(InletOutlet, AllParallelSolversMatchSequential) {
+  SimulationParams p = inlet_params();
+  // Add a small immersed sheet to exercise the full coupling too.
+  p.num_fibers = 5;
+  p.nodes_per_fiber = 5;
+  p.sheet_width = 4.0;
+  p.sheet_height = 4.0;
+  p.sheet_origin = {10.0, 4.0, 4.0};
+  p.pin_mode = PinMode::kLeadingEdge;
+
+  SequentialSolver seq(p);
+  seq.run(10);
+
+  p.num_threads = 4;
+  OpenMPSolver omp(p);
+  omp.run(10);
+  EXPECT_LT(compare_solvers(seq, omp).max_any(), 1e-11) << "openmp";
+
+  CubeSolver cube(p);
+  cube.run(10);
+  EXPECT_LT(compare_solvers(seq, cube).max_any(), 1e-11) << "cube";
+
+  DataflowCubeSolver flow(p);
+  flow.run(10);
+  EXPECT_LT(compare_solvers(seq, flow).max_any(), 1e-11) << "dataflow";
+}
+
+TEST(InletOutlet, CubeSizeOneMatchesSequential) {
+  // Exercises the k = 1 outlet path (upstream column in the -x neighbour
+  // cube).
+  SimulationParams p = inlet_params();
+  SequentialSolver seq(p);
+  seq.run(6);
+  p.cube_size = 1;
+  p.num_threads = 2;
+  CubeSolver cube(p);
+  cube.run(6);
+  EXPECT_LT(compare_solvers(seq, cube).max_any(), 1e-11);
+}
+
+TEST(InletOutlet, ObliqueInletVelocity) {
+  SimulationParams p = inlet_params();
+  p.inlet_velocity = {0.03, 0.01, 0.0};
+  SequentialSolver seq(p);
+  seq.run(6);
+  p.num_threads = 3;
+  CubeSolver cube(p);
+  cube.run(6);
+  EXPECT_LT(compare_solvers(seq, cube).max_any(), 1e-11);
+}
+
+}  // namespace
+}  // namespace lbmib

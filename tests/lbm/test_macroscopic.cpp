@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "lbm/d3q19.hpp"
+#include "lbm/fluid_grid.hpp"
+#include "lbm/macroscopic.hpp"
+
+namespace lbmib {
+namespace {
+
+TEST(Macroscopic, RecoversUniformEquilibriumState) {
+  const Vec3 u0{0.03, -0.01, 0.02};
+  FluidGrid grid(4, 4, 4, 1.2, u0);
+  // Put the equilibrium state into df_new (update reads the streamed
+  // buffer).
+  for (Size n = 0; n < grid.num_nodes(); ++n) {
+    for (int d = 0; d < kQ; ++d) grid.df_new(d, n) = grid.df(d, n);
+    grid.rho(n) = 0.0;
+    grid.set_velocity(n, {});
+  }
+  update_velocity_range(grid, 0, grid.num_nodes());
+  for (Size n = 0; n < grid.num_nodes(); ++n) {
+    EXPECT_NEAR(grid.rho(n), 1.2, 1e-13);
+    EXPECT_NEAR(grid.ux(n), u0.x, 1e-14);
+    EXPECT_NEAR(grid.uy(n), u0.y, 1e-14);
+    EXPECT_NEAR(grid.uz(n), u0.z, 1e-14);
+  }
+}
+
+TEST(Macroscopic, HalfForceShiftIncluded) {
+  FluidGrid grid(2, 2, 2, 1.0, {});
+  for (Size n = 0; n < grid.num_nodes(); ++n) {
+    for (int d = 0; d < kQ; ++d) grid.df_new(d, n) = grid.df(d, n);
+  }
+  const Vec3 force{2e-3, 0.0, -4e-3};
+  grid.reset_forces(force);
+  update_velocity_range(grid, 0, grid.num_nodes());
+  for (Size n = 0; n < grid.num_nodes(); ++n) {
+    EXPECT_NEAR(grid.ux(n), 0.5 * force.x, 1e-15);
+    EXPECT_NEAR(grid.uy(n), 0.0, 1e-15);
+    EXPECT_NEAR(grid.uz(n), 0.5 * force.z, 1e-15);
+  }
+}
+
+TEST(Macroscopic, MatchesHandComputedMoments) {
+  FluidGrid grid(2, 2, 2);
+  const Size node = 3;
+  SplitMix64 rng(11);
+  Real rho = 0.0;
+  Vec3 mom{};
+  for (int d = 0; d < kQ; ++d) {
+    const Real v = rng.next_double(0.01, 0.1);
+    grid.df_new(d, node) = v;
+    rho += v;
+    mom += v * d3q19::c(d);
+  }
+  update_velocity_range(grid, 0, grid.num_nodes());
+  EXPECT_NEAR(grid.rho(node), rho, 1e-15);
+  EXPECT_NEAR(grid.ux(node), mom.x / rho, 1e-15);
+  EXPECT_NEAR(grid.uy(node), mom.y / rho, 1e-15);
+  EXPECT_NEAR(grid.uz(node), mom.z / rho, 1e-15);
+}
+
+TEST(Macroscopic, SolidNodesGetZeroVelocity) {
+  FluidGrid grid(2, 2, 2, 1.0, {0.1, 0.1, 0.1});
+  grid.set_solid(5, true);
+  for (Size n = 0; n < grid.num_nodes(); ++n) {
+    for (int d = 0; d < kQ; ++d) grid.df_new(d, n) = grid.df(d, n);
+  }
+  update_velocity_range(grid, 0, grid.num_nodes());
+  EXPECT_EQ(grid.velocity(5), Vec3{});
+  EXPECT_NE(grid.velocity(4), Vec3{});
+}
+
+TEST(Macroscopic, RangeRestrictsWork) {
+  FluidGrid grid(4, 4, 4, 1.0, {0.05, 0.0, 0.0});
+  for (Size n = 0; n < grid.num_nodes(); ++n) {
+    for (int d = 0; d < kQ; ++d) grid.df_new(d, n) = grid.df(d, n);
+    grid.set_velocity(n, {});
+  }
+  update_velocity_range(grid, 0, 32);
+  EXPECT_NEAR(grid.ux(10), 0.05, 1e-14);
+  EXPECT_EQ(grid.ux(50), 0.0);
+}
+
+}  // namespace
+}  // namespace lbmib

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "lbm/collision.hpp"
+#include "lbm/d3q19.hpp"
+#include "lbm/fluid_grid.hpp"
+#include "lbm/macroscopic.hpp"
+#include "lbm/observables.hpp"
+#include "lbm/streaming.hpp"
+
+namespace lbmib {
+namespace {
+
+TEST(Observables, PressureIsCs2Rho) {
+  FluidGrid grid(4, 4, 4, 1.2);
+  EXPECT_DOUBLE_EQ(pressure(grid, 7), 1.2 / 3.0);
+}
+
+TEST(Observables, SymTensorNormAndTrace) {
+  SymTensor3 t{1.0, 2.0, 3.0, 0.5, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(t.trace(), 6.0);
+  EXPECT_DOUBLE_EQ(t.norm(), std::sqrt(1.0 + 4.0 + 9.0 + 2 * 0.25));
+}
+
+TEST(Observables, EquilibriumStateHasZeroNonEqMoment) {
+  FluidGrid grid(4, 4, 4, 1.1, {0.03, -0.01, 0.02});
+  const SymTensor3 pi = nonequilibrium_moment(grid, grid.index(2, 2, 2));
+  EXPECT_NEAR(pi.norm(), 0.0, 1e-14);
+}
+
+TEST(Observables, EquilibriumStateHasZeroStrainAndStress) {
+  FluidGrid grid(4, 4, 4, 1.0, {0.02, 0.0, 0.0});
+  const Size node = grid.index(1, 1, 1);
+  EXPECT_NEAR(strain_rate(grid, node, 0.8).norm(), 0.0, 1e-14);
+  EXPECT_NEAR(shear_stress(grid, node, 0.8).norm(), 0.0, 1e-14);
+}
+
+TEST(Observables, UniformFlowHasZeroVorticity) {
+  FluidGrid grid(6, 6, 6, 1.0, {0.05, 0.02, -0.01});
+  const Vec3 w = vorticity(grid, 3, 3, 3);
+  EXPECT_NEAR(norm(w), 0.0, 1e-15);
+}
+
+TEST(Observables, ShearFlowVorticity) {
+  // u_x = a * y -> omega_z = -a.
+  FluidGrid grid(8, 8, 8);
+  const Real a = 0.01;
+  for (Index x = 0; x < 8; ++x) {
+    for (Index y = 0; y < 8; ++y) {
+      for (Index z = 0; z < 8; ++z) {
+        grid.set_velocity(grid.index(x, y, z),
+                          {a * static_cast<Real>(y), 0.0, 0.0});
+      }
+    }
+  }
+  // Away from the periodic seam the central difference is exact for a
+  // linear profile.
+  const Vec3 w = vorticity(grid, 4, 4, 4);
+  EXPECT_NEAR(w.z, -a, 1e-14);
+  EXPECT_NEAR(w.x, 0.0, 1e-14);
+  EXPECT_NEAR(w.y, 0.0, 1e-14);
+}
+
+TEST(Observables, TaylorGreenVorticityMatchesAnalytic) {
+  constexpr Index kN = 32;
+  constexpr Real kU0 = 0.02;
+  FluidGrid grid(kN, kN, kN);
+  const Real k = 2.0 * std::numbers::pi_v<Real> / static_cast<Real>(kN);
+  for (Index x = 0; x < kN; ++x) {
+    for (Index y = 0; y < kN; ++y) {
+      for (Index z = 0; z < kN; ++z) {
+        grid.set_velocity(grid.index(x, y, z),
+                          {kU0 * std::sin(k * x) * std::cos(k * y),
+                           -kU0 * std::cos(k * x) * std::sin(k * y), 0.0});
+      }
+    }
+  }
+  // omega_z = 2 U k sin(kx) sin(ky); central differences approximate k
+  // with sin(k)/1 -> allow the O(k^2) discretization error.
+  for (Index x : {3, 9, 17}) {
+    for (Index y : {5, 12, 25}) {
+      const Vec3 w = vorticity(grid, x, y, 4);
+      const Real expected =
+          2.0 * kU0 * k * std::sin(k * x) * std::sin(k * y);
+      EXPECT_NEAR(w.z, expected, 0.01 * 2.0 * kU0 * k);
+    }
+  }
+}
+
+TEST(Observables, StrainRateFromMomentsMatchesVelocityGradient) {
+  // Drive a Poiseuille-style shear flow and compare the moment-based
+  // strain rate S_xy against the finite-difference du_x/dy / 2.
+  constexpr Index kNx = 4, kNy = 12, kNz = 4;
+  constexpr Real kTau = 0.8, kForce = 1e-6;
+  FluidGrid grid(kNx, kNy, kNz);
+  for (Index x = 0; x < kNx; ++x) {
+    for (Index z = 0; z < kNz; ++z) {
+      grid.set_solid(grid.index(x, 0, z), true);
+      grid.set_solid(grid.index(x, kNy - 1, z), true);
+    }
+  }
+  for (int s = 0; s < 800; ++s) {
+    grid.reset_forces({kForce, 0.0, 0.0});
+    collide_range(grid, kTau, 0, grid.num_nodes());
+    stream_x_slab(grid, 0, kNx);
+    update_velocity_range(grid, 0, grid.num_nodes());
+    copy_distributions_range(grid, 0, grid.num_nodes());
+  }
+  for (Index y = 3; y <= 8; ++y) {
+    const Size node = grid.index(2, y, 2);
+    const Real dudy =
+        0.5 * (grid.ux(grid.index(2, y + 1, 2)) -
+               grid.ux(grid.index(2, y - 1, 2)));
+    const SymTensor3 s = strain_rate(grid, node, kTau);
+    EXPECT_NEAR(s.xy, 0.5 * dudy, 0.05 * std::abs(0.5 * dudy) + 1e-10)
+        << "y=" << y;
+  }
+}
+
+TEST(Observables, ShearStressIsTwoRhoNuStrain) {
+  FluidGrid grid(4, 4, 4, 1.3);
+  const Size node = grid.index(2, 2, 2);
+  grid.df(1, node) += 0.01;  // any non-equilibrium perturbation
+  grid.df(7, node) += 0.005;
+  const Real tau = 0.9;
+  const SymTensor3 s = strain_rate(grid, node, tau);
+  const SymTensor3 sigma = shear_stress(grid, node, tau);
+  const Real nu = (tau - 0.5) / 3.0;
+  EXPECT_NEAR(sigma.xy, 2.0 * grid.rho(node) * nu * s.xy, 1e-15);
+  EXPECT_NEAR(sigma.xx, 2.0 * grid.rho(node) * nu * s.xx, 1e-15);
+}
+
+TEST(Observables, KineticEnergyOfUniformFlow) {
+  FluidGrid grid(4, 4, 4, 2.0, {0.1, 0.0, 0.0});
+  EXPECT_NEAR(kinetic_energy(grid), 0.5 * 2.0 * 0.01 * 64, 1e-12);
+}
+
+TEST(Observables, KineticEnergySkipsSolids) {
+  FluidGrid grid(4, 4, 4, 1.0, {0.1, 0.0, 0.0});
+  const Real full = kinetic_energy(grid);
+  grid.set_solid(0, true);
+  EXPECT_LT(kinetic_energy(grid), full);
+}
+
+TEST(Observables, EnstrophyZeroForUniformFlow) {
+  FluidGrid grid(6, 6, 6, 1.0, {0.05, 0.0, 0.0});
+  EXPECT_NEAR(enstrophy(grid), 0.0, 1e-20);
+}
+
+TEST(Observables, MaxVelocityMagnitude) {
+  FluidGrid grid(4, 4, 4);
+  grid.set_velocity(grid.index(1, 2, 3), {0.3, 0.4, 0.0});
+  EXPECT_DOUBLE_EQ(max_velocity_magnitude(grid), 0.5);
+}
+
+}  // namespace
+}  // namespace lbmib

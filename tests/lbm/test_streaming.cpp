@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "lbm/boundary.hpp"
+#include "lbm/d3q19.hpp"
+#include "lbm/fluid_grid.hpp"
+#include "lbm/streaming.hpp"
+
+namespace lbmib {
+namespace {
+
+void randomize(FluidGrid& grid, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  for (Size node = 0; node < grid.num_nodes(); ++node) {
+    for (int dir = 0; dir < kQ; ++dir) {
+      grid.df(dir, node) = rng.next_double(0.01, 1.0);
+    }
+  }
+}
+
+TEST(Streaming, MovesValuesToPeriodicNeighbours) {
+  FluidGrid grid(4, 4, 4);
+  randomize(grid, 1);
+  stream_x_slab(grid, 0, 4);
+  using namespace d3q19;
+  for (Index x = 0; x < 4; ++x) {
+    for (Index y = 0; y < 4; ++y) {
+      for (Index z = 0; z < 4; ++z) {
+        const Size src = grid.index(x, y, z);
+        for (int dir = 0; dir < kQ; ++dir) {
+          const Size dst = grid.periodic_index(
+              x + cx[static_cast<Size>(dir)], y + cy[static_cast<Size>(dir)],
+              z + cz[static_cast<Size>(dir)]);
+          EXPECT_EQ(grid.df_new(dir, dst), grid.df(dir, src))
+              << "dir " << dir << " from " << src;
+        }
+      }
+    }
+  }
+}
+
+TEST(Streaming, ConservesMassPeriodic) {
+  FluidGrid grid(6, 4, 4);
+  randomize(grid, 2);
+  Real mass_before = 0.0;
+  for (Size n = 0; n < grid.num_nodes(); ++n) {
+    for (int d = 0; d < kQ; ++d) mass_before += grid.df(d, n);
+  }
+  stream_x_slab(grid, 0, 6);
+  Real mass_after = 0.0;
+  for (Size n = 0; n < grid.num_nodes(); ++n) {
+    for (int d = 0; d < kQ; ++d) mass_after += grid.df_new(d, n);
+  }
+  EXPECT_NEAR(mass_after, mass_before, 1e-10);
+}
+
+TEST(Streaming, IsAPermutationPeriodic) {
+  // Every df value must land in exactly one df_new slot: sort-free check
+  // via sum and sum of squares.
+  FluidGrid grid(4, 4, 4);
+  randomize(grid, 3);
+  Real sum = 0.0, sum2 = 0.0;
+  for (Size n = 0; n < grid.num_nodes(); ++n) {
+    for (int d = 0; d < kQ; ++d) {
+      sum += grid.df(d, n);
+      sum2 += grid.df(d, n) * grid.df(d, n);
+    }
+  }
+  stream_x_slab(grid, 0, 4);
+  Real nsum = 0.0, nsum2 = 0.0;
+  for (Size n = 0; n < grid.num_nodes(); ++n) {
+    for (int d = 0; d < kQ; ++d) {
+      nsum += grid.df_new(d, n);
+      nsum2 += grid.df_new(d, n) * grid.df_new(d, n);
+    }
+  }
+  EXPECT_NEAR(nsum, sum, 1e-10);
+  EXPECT_NEAR(nsum2, sum2, 1e-10);
+}
+
+TEST(Streaming, SlabDecompositionMatchesWholeGrid) {
+  FluidGrid whole(6, 4, 4), parts(6, 4, 4);
+  randomize(whole, 4);
+  randomize(parts, 4);
+  stream_x_slab(whole, 0, 6);
+  stream_x_slab(parts, 0, 2);
+  stream_x_slab(parts, 2, 5);
+  stream_x_slab(parts, 5, 6);
+  for (Size n = 0; n < whole.num_nodes(); ++n) {
+    for (int d = 0; d < kQ; ++d) {
+      EXPECT_EQ(parts.df_new(d, n), whole.df_new(d, n));
+    }
+  }
+}
+
+TEST(Streaming, BounceBackReflectsAtWalls) {
+  FluidGrid grid(4, 6, 6);
+  apply_boundary_mask(grid, BoundaryType::kChannel);
+  randomize(grid, 5);
+  stream_x_slab(grid, 0, 4);
+  using namespace d3q19;
+  // A fluid node adjacent to the y=0 wall: anything pushed toward the wall
+  // must come back in the opposite direction.
+  const Index x = 2, y = 1, z = 3;
+  const Size src = grid.index(x, y, z);
+  for (int dir = 1; dir < kQ; ++dir) {
+    if (cy[static_cast<Size>(dir)] == -1 && cx[static_cast<Size>(dir)] == 0 &&
+        cz[static_cast<Size>(dir)] == 0) {
+      EXPECT_EQ(grid.df_new(opposite(dir), src), grid.df(dir, src));
+    }
+  }
+}
+
+TEST(Streaming, BounceBackConservesMassInChannel) {
+  FluidGrid grid(4, 6, 6);
+  apply_boundary_mask(grid, BoundaryType::kChannel);
+  // Randomize only fluid nodes; solid nodes hold no mass.
+  SplitMix64 rng(6);
+  Real mass_before = 0.0;
+  for (Size n = 0; n < grid.num_nodes(); ++n) {
+    for (int d = 0; d < kQ; ++d) {
+      grid.df(d, n) = grid.solid(n) ? 0.0 : rng.next_double(0.01, 1.0);
+      mass_before += grid.df(d, n);
+    }
+  }
+  stream_x_slab(grid, 0, 4);
+  Real mass_after = 0.0;
+  for (Size n = 0; n < grid.num_nodes(); ++n) {
+    for (int d = 0; d < kQ; ++d) mass_after += grid.df_new(d, n);
+  }
+  EXPECT_NEAR(mass_after, mass_before, 1e-10);
+}
+
+TEST(Streaming, NothingLeaksIntoSolidNodes) {
+  FluidGrid grid(4, 6, 6);
+  apply_boundary_mask(grid, BoundaryType::kChannel);
+  randomize(grid, 7);
+  stream_x_slab(grid, 0, 4);
+  for (Size n = 0; n < grid.num_nodes(); ++n) {
+    if (!grid.solid(n)) continue;
+    for (int d = 0; d < kQ; ++d) {
+      EXPECT_EQ(grid.df_new(d, n), 0.0) << "solid node " << n;
+    }
+  }
+}
+
+TEST(Streaming, CopyDistributionsRoundTrip) {
+  FluidGrid grid(4, 4, 4);
+  randomize(grid, 8);
+  stream_x_slab(grid, 0, 4);
+  copy_distributions_range(grid, 0, grid.num_nodes());
+  for (Size n = 0; n < grid.num_nodes(); ++n) {
+    for (int d = 0; d < kQ; ++d) {
+      EXPECT_EQ(grid.df(d, n), grid.df_new(d, n));
+    }
+  }
+}
+
+TEST(Streaming, CopyRangeIsRestricted) {
+  FluidGrid grid(4, 4, 4);
+  randomize(grid, 9);
+  for (Size n = 0; n < grid.num_nodes(); ++n) {
+    for (int d = 0; d < kQ; ++d) grid.df_new(d, n) = -1.0;
+  }
+  copy_distributions_range(grid, 0, 32);
+  EXPECT_EQ(grid.df(0, 10), -1.0);
+  EXPECT_NE(grid.df(0, 40), -1.0);
+}
+
+}  // namespace
+}  // namespace lbmib

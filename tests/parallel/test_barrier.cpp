@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "parallel/barrier.hpp"
+#include "parallel/thread_team.hpp"
+
+namespace lbmib {
+namespace {
+
+/// Property: after the i-th barrier, every thread observes every other
+/// thread's i-th phase increment. Run for several generations and thread
+/// counts against both barrier implementations.
+class BarrierTest : public ::testing::TestWithParam<
+                        std::tuple<BarrierKind, int /*threads*/>> {
+ protected:
+  std::unique_ptr<Barrier> make(int threads) {
+    if (std::get<0>(GetParam()) == BarrierKind::kSpin) {
+      return std::make_unique<SpinBarrier>(threads);
+    }
+    return std::make_unique<BlockingBarrier>(threads);
+  }
+};
+
+TEST_P(BarrierTest, PhasesStayInLockstep) {
+  const int threads = std::get<1>(GetParam());
+  auto barrier = make(threads);
+  constexpr int kGenerations = 50;
+  std::vector<std::atomic<int>> phase(static_cast<Size>(threads));
+  for (auto& p : phase) p.store(0);
+
+  ThreadTeam team(threads);
+  std::atomic<int> violations{0};
+  team.run([&](int tid) {
+    for (int gen = 0; gen < kGenerations; ++gen) {
+      phase[static_cast<Size>(tid)].fetch_add(1);
+      barrier->arrive_and_wait();
+      // Everyone must have completed `gen + 1` phases by now.
+      for (int t = 0; t < threads; ++t) {
+        if (phase[static_cast<Size>(t)].load() < gen + 1) {
+          violations.fetch_add(1);
+        }
+      }
+      barrier->arrive_and_wait();
+    }
+  });
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST_P(BarrierTest, SingleThreadNeverBlocks) {
+  auto barrier = make(1);
+  for (int i = 0; i < 100; ++i) barrier->arrive_and_wait();
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, BarrierTest,
+    ::testing::Combine(::testing::Values(BarrierKind::kSpin,
+                                         BarrierKind::kBlocking),
+                       ::testing::Values(1, 2, 3, 4, 8)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) == BarrierKind::kSpin
+                             ? "Spin"
+                             : "Blocking") +
+             "_t" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Barrier, RejectsZeroThreads) {
+  EXPECT_THROW(SpinBarrier(0), Error);
+  EXPECT_THROW(BlockingBarrier(0), Error);
+}
+
+TEST(Barrier, ReusableAcrossManyGenerations) {
+  // Regression guard: a generation-counting barrier must not wrap or stall
+  // after many uses.
+  SpinBarrier barrier(2);
+  std::atomic<long> counter{0};
+  std::thread other([&] {
+    for (int i = 0; i < 2000; ++i) {
+      counter.fetch_add(1);
+      barrier.arrive_and_wait();
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    barrier.arrive_and_wait();
+    EXPECT_GE(counter.load(), i + 1);
+  }
+  other.join();
+  EXPECT_EQ(counter.load(), 2000);
+}
+
+}  // namespace
+}  // namespace lbmib

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.hpp"
+#include "parallel/communicator.hpp"
+#include "parallel/thread_team.hpp"
+
+namespace lbmib {
+namespace {
+
+TEST(Channel, FifoOrder) {
+  Channel<int> ch;
+  ch.send(1);
+  ch.send(2);
+  ch.send(3);
+  EXPECT_EQ(ch.recv(), 1);
+  EXPECT_EQ(ch.recv(), 2);
+  EXPECT_EQ(ch.recv(), 3);
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, RecvBlocksUntilSend) {
+  Channel<int> ch;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.send(42);
+  });
+  EXPECT_EQ(ch.recv(), 42);  // blocks until the producer delivers
+  producer.join();
+}
+
+TEST(Channel, ManyProducersOneConsumer) {
+  Channel<int> ch;
+  constexpr int kProducers = 4, kEach = 500;
+  ThreadTeam team(kProducers);
+  std::thread consumer([&] {
+    long sum = 0;
+    for (int i = 0; i < kProducers * kEach; ++i) sum += ch.recv();
+    EXPECT_EQ(sum, static_cast<long>(kProducers) * kEach);
+  });
+  team.run([&](int) {
+    for (int i = 0; i < kEach; ++i) ch.send(1);
+  });
+  consumer.join();
+}
+
+TEST(Communicator, PointToPoint) {
+  Communicator comm(3);
+  comm.send(0, 2, Message{7, {1.0, 2.0}});
+  const Message m = comm.recv(2, 0, 7);
+  EXPECT_EQ(m.tag, 7);
+  ASSERT_EQ(m.data.size(), 2u);
+  EXPECT_EQ(m.data[0], 1.0);
+}
+
+TEST(Communicator, SelfSendWorks) {
+  Communicator comm(1);
+  comm.send(0, 0, Message{1, {3.5}});
+  EXPECT_EQ(comm.recv(0, 0, 1).data[0], 3.5);
+}
+
+TEST(Communicator, TagMismatchThrows) {
+  Communicator comm(2);
+  comm.send(0, 1, Message{5, {}});
+  EXPECT_THROW(comm.recv(1, 0, 6), Error);
+}
+
+TEST(Communicator, PairwiseChannelsAreIndependent) {
+  Communicator comm(2);
+  comm.send(0, 1, Message{1, {10.0}});
+  comm.send(1, 0, Message{2, {20.0}});
+  EXPECT_EQ(comm.recv(0, 1, 2).data[0], 20.0);
+  EXPECT_EQ(comm.recv(1, 0, 1).data[0], 10.0);
+}
+
+TEST(Communicator, AllreduceSumsAcrossRanks) {
+  constexpr int kRanks = 4;
+  Communicator comm(kRanks);
+  ThreadTeam team(kRanks);
+  team.run([&](int rank) {
+    std::vector<Real> partial = {static_cast<Real>(rank),
+                                 static_cast<Real>(2 * rank)};
+    const std::vector<Real> total =
+        comm.allreduce_sum(rank, std::move(partial), 9);
+    ASSERT_EQ(total.size(), 2u);
+    EXPECT_DOUBLE_EQ(total[0], 0 + 1 + 2 + 3);
+    EXPECT_DOUBLE_EQ(total[1], 2 * (0 + 1 + 2 + 3));
+  });
+}
+
+TEST(Communicator, AllreduceSingleRankIsIdentity) {
+  Communicator comm(1);
+  const auto total = comm.allreduce_sum(0, {1.5, -2.5}, 3);
+  EXPECT_EQ(total[0], 1.5);
+  EXPECT_EQ(total[1], -2.5);
+}
+
+TEST(Communicator, AllreduceRepeatedCollectives) {
+  constexpr int kRanks = 3;
+  Communicator comm(kRanks);
+  ThreadTeam team(kRanks);
+  team.run([&](int rank) {
+    for (int round = 0; round < 20; ++round) {
+      const auto total = comm.allreduce_sum(
+          rank, {static_cast<Real>(round)}, 4);
+      EXPECT_DOUBLE_EQ(total[0], 3.0 * round);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace lbmib

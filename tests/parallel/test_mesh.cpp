@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "parallel/mesh.hpp"
+
+namespace lbmib {
+namespace {
+
+TEST(ThreadMesh, SizeIsProduct) {
+  ThreadMesh m{2, 3, 4};
+  EXPECT_EQ(m.size(), 24);
+}
+
+TEST(ThreadMesh, ThreadIdAndCoordinatesAreInverse) {
+  ThreadMesh m{3, 2, 4};
+  for (int i = 0; i < m.p; ++i) {
+    for (int j = 0; j < m.q; ++j) {
+      for (int k = 0; k < m.r; ++k) {
+        const int tid = m.thread_id(i, j, k);
+        const auto c = m.coordinates(tid);
+        EXPECT_EQ(c[0], i);
+        EXPECT_EQ(c[1], j);
+        EXPECT_EQ(c[2], k);
+      }
+    }
+  }
+}
+
+TEST(ThreadMesh, ThreadIdsAreDenseAndUnique) {
+  ThreadMesh m{2, 2, 2};
+  std::vector<bool> seen(8, false);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      for (int k = 0; k < 2; ++k) {
+        const int tid = m.thread_id(i, j, k);
+        ASSERT_GE(tid, 0);
+        ASSERT_LT(tid, 8);
+        EXPECT_FALSE(seen[static_cast<Size>(tid)]);
+        seen[static_cast<Size>(tid)] = true;
+      }
+    }
+  }
+}
+
+class BalancedMeshTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BalancedMeshTest, FactorsExactly) {
+  const int n = GetParam();
+  const ThreadMesh m = balanced_mesh(n);
+  EXPECT_EQ(m.size(), n);
+  EXPECT_GE(m.p, m.q);
+  EXPECT_GE(m.q, m.r);
+  EXPECT_GE(m.r, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BalancedMeshTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16, 17, 24,
+                                           32, 60, 64, 97, 128));
+
+TEST(BalancedMesh, EightThreadsIsTwoCubed) {
+  // The paper's example: 8 threads laid out as a 2x2x2 mesh.
+  const ThreadMesh m = balanced_mesh(8);
+  EXPECT_EQ(m.p, 2);
+  EXPECT_EQ(m.q, 2);
+  EXPECT_EQ(m.r, 2);
+}
+
+TEST(BalancedMesh, SixtyFourThreadsIsFourCubed) {
+  const ThreadMesh m = balanced_mesh(64);
+  EXPECT_EQ(m.p, 4);
+  EXPECT_EQ(m.q, 4);
+  EXPECT_EQ(m.r, 4);
+}
+
+TEST(BalancedMesh, PrimeDegeneratesToLine) {
+  const ThreadMesh m = balanced_mesh(7);
+  EXPECT_EQ(m.p, 7);
+  EXPECT_EQ(m.q, 1);
+  EXPECT_EQ(m.r, 1);
+}
+
+TEST(BalancedMesh, RejectsZero) { EXPECT_THROW(balanced_mesh(0), Error); }
+
+TEST(FittedMesh, PrefersFittingFactorization) {
+  // 8 threads on a 8x2x2-cube grid: 2x2x2 fits; so does 8x1x1. Both fit;
+  // the balanced one must win.
+  const ThreadMesh m = fitted_mesh(8, 8, 2, 2);
+  EXPECT_EQ(m.size(), 8);
+  EXPECT_LE(m.p, 8);
+  EXPECT_LE(m.q, 2);
+  EXPECT_LE(m.r, 2);
+}
+
+TEST(FittedMesh, ElongatedGridGetsElongatedMesh) {
+  // 4 threads on a 16x1x1 cube grid: only 4x1x1 fits.
+  const ThreadMesh m = fitted_mesh(4, 16, 1, 1);
+  EXPECT_EQ(m.p, 4);
+  EXPECT_EQ(m.q, 1);
+  EXPECT_EQ(m.r, 1);
+}
+
+TEST(FittedMesh, FallsBackWhenNothingFits) {
+  // More threads than cubes: still factors to the full thread count.
+  const ThreadMesh m = fitted_mesh(16, 2, 2, 2);
+  EXPECT_EQ(m.size(), 16);
+}
+
+}  // namespace
+}  // namespace lbmib

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "parallel/numa_model.hpp"
+
+namespace lbmib {
+namespace {
+
+TEST(NumaModel, ThogMatchesTableIII) {
+  const MachineTopology t = thog_topology();
+  EXPECT_EQ(t.num_sockets, 4);
+  EXPECT_EQ(t.cores_per_socket, 16);
+  EXPECT_EQ(t.total_cores(), 64);
+  EXPECT_EQ(t.numa_nodes, 8);
+  EXPECT_EQ(t.cores_per_numa_node, 8);
+  EXPECT_EQ(t.memory_per_numa_node_bytes, Size{32} << 30);
+  EXPECT_EQ(t.l1.size_bytes, Size{16} << 10);
+  EXPECT_EQ(t.l2.size_bytes, Size{2} << 20);
+  EXPECT_EQ(t.l2.cores_sharing, 2);
+  EXPECT_EQ(t.l3.size_bytes, Size{12} << 20);
+  EXPECT_EQ(t.l3.cores_sharing, 8);
+}
+
+TEST(NumaModel, ThogDistanceMatchesTableIV) {
+  // Table IV, transcribed:
+  const int expected[8][8] = {
+      {10, 16, 16, 22, 16, 22, 16, 22}, {16, 10, 22, 16, 22, 16, 22, 16},
+      {16, 22, 10, 16, 16, 22, 16, 22}, {22, 16, 16, 10, 22, 16, 22, 16},
+      {16, 22, 16, 22, 10, 16, 16, 22}, {22, 16, 22, 16, 16, 10, 22, 16},
+      {16, 22, 16, 22, 16, 22, 10, 16}, {22, 16, 22, 16, 22, 16, 16, 10}};
+  const MachineTopology t = thog_topology();
+  ASSERT_EQ(t.distance.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(t.distance[static_cast<Size>(i)].size(), 8u);
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_EQ(t.distance[static_cast<Size>(i)][static_cast<Size>(j)],
+                expected[i][j])
+          << "node " << i << " -> " << j;
+    }
+  }
+}
+
+TEST(NumaModel, DistanceIsSymmetricWithLocalMinimum) {
+  const MachineTopology t = thog_topology();
+  const int n = t.numa_nodes;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_EQ(t.distance[static_cast<Size>(i)][static_cast<Size>(j)],
+                t.distance[static_cast<Size>(j)][static_cast<Size>(i)]);
+      if (i != j) {
+        EXPECT_GT(t.distance[static_cast<Size>(i)][static_cast<Size>(j)],
+                  t.distance[static_cast<Size>(i)][static_cast<Size>(i)]);
+      }
+    }
+  }
+}
+
+TEST(NumaModel, RemoteAccessUpTo2p2xLocal) {
+  // "the time to access a remote NUMA memory can be 2.2 times longer".
+  const MachineTopology t = thog_topology();
+  int max_distance = 0;
+  for (const auto& row : t.distance) {
+    for (int v : row) max_distance = std::max(max_distance, v);
+  }
+  EXPECT_EQ(max_distance, 22);  // 2.2 x local(10)
+}
+
+TEST(NumaModel, NodeOfCore) {
+  const MachineTopology t = thog_topology();
+  EXPECT_EQ(t.node_of_core(0), 0);
+  EXPECT_EQ(t.node_of_core(7), 0);
+  EXPECT_EQ(t.node_of_core(8), 1);
+  EXPECT_EQ(t.node_of_core(63), 7);
+}
+
+TEST(NumaModel, DescribeMentionsKeyFacts) {
+  const std::string d = thog_topology().describe();
+  EXPECT_NE(d.find("AMD Opteron 6380"), std::string::npos);
+  EXPECT_NE(d.find("16 KB"), std::string::npos);
+  EXPECT_NE(d.find("2 MB"), std::string::npos);
+  EXPECT_NE(d.find("12 MB"), std::string::npos);
+  EXPECT_NE(d.find("32 GB"), std::string::npos);
+}
+
+TEST(NumaModel, DistanceTableRendering) {
+  const std::string table = thog_topology().distance_table();
+  EXPECT_NE(table.find("10"), std::string::npos);
+  EXPECT_NE(table.find("22"), std::string::npos);
+  // 8 data rows + header
+  EXPECT_EQ(static_cast<int>(std::count(table.begin(), table.end(), '\n')),
+            9);
+}
+
+TEST(NumaModel, AbuDhabiMatchesSectionIIID) {
+  // "two AMD Opteron 16-core Abu Dhabi 2.9GHz CPUs and memory of 64 GB"
+  const MachineTopology t = abu_dhabi_topology();
+  EXPECT_EQ(t.num_sockets, 2);
+  EXPECT_EQ(t.total_cores(), 32);
+  EXPECT_EQ(static_cast<long long>(t.numa_nodes) *
+                static_cast<long long>(t.memory_per_numa_node_bytes),
+            64LL << 30);
+}
+
+}  // namespace
+}  // namespace lbmib

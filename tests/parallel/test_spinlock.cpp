@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "parallel/spinlock.hpp"
+#include "parallel/thread_team.hpp"
+
+namespace lbmib {
+namespace {
+
+TEST(SpinLock, MutualExclusionUnderContention) {
+  SpinLock lock;
+  long counter = 0;  // deliberately non-atomic: the lock must protect it
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 20000;
+  ThreadTeam team(kThreads);
+  team.run([&](int) {
+    for (int i = 0; i < kIncrements; ++i) {
+      SpinLockGuard guard(lock);
+      ++counter;
+    }
+  });
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIncrements);
+}
+
+TEST(SpinLock, TryLockFailsWhenHeld) {
+  SpinLock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(SpinLock, SequentialLockUnlockCycles) {
+  SpinLock lock;
+  for (int i = 0; i < 1000; ++i) {
+    lock.lock();
+    lock.unlock();
+  }
+  SUCCEED();
+}
+
+TEST(SpinLock, GuardReleasesOnScopeExit) {
+  SpinLock lock;
+  {
+    SpinLockGuard guard(lock);
+    EXPECT_FALSE(lock.try_lock());
+  }
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+}  // namespace
+}  // namespace lbmib

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "parallel/thread_team.hpp"
+
+namespace lbmib {
+namespace {
+
+TEST(ThreadTeam, RunsEveryTidExactlyOnce) {
+  constexpr int kThreads = 6;
+  ThreadTeam team(kThreads);
+  std::mutex mutex;
+  std::multiset<int> seen;
+  team.run([&](int tid) {
+    std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(tid);
+  });
+  EXPECT_EQ(seen.size(), static_cast<Size>(kThreads));
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(seen.count(t), 1u);
+}
+
+TEST(ThreadTeam, SingleThreadRunsInline) {
+  ThreadTeam team(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id body_thread;
+  team.run([&](int tid) {
+    EXPECT_EQ(tid, 0);
+    body_thread = std::this_thread::get_id();
+  });
+  EXPECT_EQ(body_thread, caller);
+}
+
+TEST(ThreadTeam, PropagatesWorkerException) {
+  ThreadTeam team(4);
+  EXPECT_THROW(team.run([&](int tid) {
+                 if (tid == 2) throw Error("worker failure");
+               }),
+               Error);
+}
+
+TEST(ThreadTeam, PropagatesMainThreadException) {
+  ThreadTeam team(3);
+  EXPECT_THROW(team.run([&](int tid) {
+                 if (tid == 0) throw Error("main failure");
+               }),
+               Error);
+}
+
+TEST(ThreadTeam, JoinsAllThreadsEvenOnException) {
+  ThreadTeam team(4);
+  std::atomic<int> completed{0};
+  try {
+    team.run([&](int tid) {
+      if (tid == 1) throw Error("bang");
+      completed.fetch_add(1);
+    });
+  } catch (const Error&) {
+  }
+  // All other workers finished and were joined before the rethrow.
+  EXPECT_EQ(completed.load(), 3);
+}
+
+TEST(ThreadTeam, RejectsZeroThreads) { EXPECT_THROW(ThreadTeam(0), Error); }
+
+TEST(ThreadTeam, Reusable) {
+  ThreadTeam team(3);
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 5; ++i) {
+    team.run([&](int) { runs.fetch_add(1); });
+  }
+  EXPECT_EQ(runs.load(), 15);
+}
+
+}  // namespace
+}  // namespace lbmib

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "perfmodel/cache_sim.hpp"
+
+namespace lbmib {
+namespace {
+
+TEST(CacheLevel, GeometryDerived) {
+  CacheLevel cache(16 << 10, 64, 4);  // Opteron L1
+  EXPECT_EQ(cache.num_sets(), 64u);
+  EXPECT_EQ(cache.line_bytes(), 64u);
+  EXPECT_EQ(cache.associativity(), 4);
+}
+
+TEST(CacheLevel, RejectsBadGeometry) {
+  EXPECT_THROW(CacheLevel(1000, 64, 4), Error);   // size not multiple
+  EXPECT_THROW(CacheLevel(1024, 48, 1), Error);   // line not power of two
+  EXPECT_THROW(CacheLevel(1024, 64, 0), Error);   // zero ways
+}
+
+TEST(CacheLevel, ColdMissThenHit) {
+  CacheLevel cache(1024, 64, 2);
+  EXPECT_FALSE(cache.access(0));   // cold miss
+  EXPECT_TRUE(cache.access(0));    // hit
+  EXPECT_TRUE(cache.access(63));   // same line
+  EXPECT_FALSE(cache.access(64));  // next line
+  EXPECT_EQ(cache.accesses(), 4u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_DOUBLE_EQ(cache.miss_rate(), 0.5);
+}
+
+TEST(CacheLevel, LruEvictionOrder) {
+  // Direct-mapped-like scenario in one set: 2-way cache, 8 sets of 64B
+  // lines -> addresses 0, 1024, 2048 all map to set 0.
+  CacheLevel cache(1024, 64, 2);
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_FALSE(cache.access(1024));
+  EXPECT_TRUE(cache.access(0));     // refresh line 0 -> LRU is 1024
+  EXPECT_FALSE(cache.access(2048)); // evicts 1024
+  EXPECT_TRUE(cache.access(0));     // still resident
+  EXPECT_FALSE(cache.access(1024)); // was evicted
+}
+
+TEST(CacheLevel, AssociativityPreventsConflictMisses) {
+  // 4 conflicting lines fit in a 4-way set but thrash a 2-way one.
+  CacheLevel two_way(1024, 64, 2);
+  CacheLevel four_way(2048, 64, 4);  // same 8 sets, more ways
+  const std::uint64_t conflict[4] = {0, 1024, 2048, 3072};
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t a : conflict) {
+      two_way.access(a);
+      four_way.access(a * 2);  // set 0 in the 4-way (16 sets * 64 = 1024... )
+    }
+  }
+  // The 4-way cache only misses cold; the 2-way thrashes.
+  EXPECT_EQ(four_way.misses(), 4u);
+  EXPECT_GT(two_way.misses(), 4u);
+}
+
+TEST(CacheLevel, SequentialSweepMissRateIsInverseLineSize) {
+  CacheLevel cache(16 << 10, 64, 4);
+  // Touch 64 KB of doubles sequentially: one miss per 8 accesses.
+  for (std::uint64_t addr = 0; addr < (64 << 10); addr += 8) {
+    cache.access(addr);
+  }
+  EXPECT_NEAR(cache.miss_rate(), 1.0 / 8.0, 1e-6);
+}
+
+TEST(CacheLevel, WorkingSetSmallerThanCacheHasOnlyColdMisses) {
+  CacheLevel cache(16 << 10, 64, 4);
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint64_t addr = 0; addr < (8 << 10); addr += 64) {
+      cache.access(addr);
+    }
+  }
+  EXPECT_EQ(cache.misses(), (8u << 10) / 64);  // cold only
+}
+
+TEST(CacheLevel, WorkingSetLargerThanCacheThrashesLru) {
+  CacheLevel cache(1024, 64, 2);
+  // Cyclic sweep over 4 KB through a 1 KB cache with true LRU: every
+  // access misses after warmup.
+  for (int round = 0; round < 5; ++round) {
+    for (std::uint64_t addr = 0; addr < 4096; addr += 64) {
+      cache.access(addr);
+    }
+  }
+  EXPECT_DOUBLE_EQ(cache.miss_rate(), 1.0);
+}
+
+TEST(CacheLevel, FlushDropsContents) {
+  CacheLevel cache(1024, 64, 2);
+  cache.access(0);
+  cache.flush();
+  EXPECT_EQ(cache.accesses(), 0u);
+  EXPECT_FALSE(cache.access(0));  // cold again
+}
+
+TEST(CacheLevel, ResetStatsKeepsContents) {
+  CacheLevel cache(1024, 64, 2);
+  cache.access(0);
+  cache.reset_stats();
+  EXPECT_EQ(cache.accesses(), 0u);
+  EXPECT_TRUE(cache.access(0));  // still cached
+}
+
+TEST(CacheHierarchy, L2OnlySeesL1Misses) {
+  CacheGeometry l1{1024, 64, 2, 1};
+  CacheGeometry l2{8192, 64, 4, 2};
+  CacheHierarchy h(l1, l2);
+  h.access(0);
+  h.access(0);
+  h.access(64);
+  EXPECT_EQ(h.l1().accesses(), 3u);
+  EXPECT_EQ(h.l1().misses(), 2u);
+  EXPECT_EQ(h.l2().accesses(), 2u);  // only the two L1 misses
+}
+
+TEST(CacheHierarchy, Opteron6380GeometryMatchesTableIII) {
+  CacheHierarchy h = CacheHierarchy::opteron6380();
+  EXPECT_EQ(h.l1().size_bytes(), Size{16} << 10);
+  EXPECT_EQ(h.l2().size_bytes(), Size{2} << 20);
+}
+
+TEST(CacheHierarchy, AccessRangeTouchesEveryLine) {
+  CacheGeometry l1{1024, 64, 2, 1};
+  CacheGeometry l2{8192, 64, 4, 2};
+  CacheHierarchy h(l1, l2);
+  h.access_range(10, 200);  // spans lines 0..3 (bytes 10..209)
+  EXPECT_EQ(h.l1().accesses(), 4u);
+}
+
+TEST(CacheHierarchy, SummaryMentionsBothLevels) {
+  CacheHierarchy h = CacheHierarchy::opteron6380();
+  h.access(0);
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("L1"), std::string::npos);
+  EXPECT_NE(s.find("L2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbmib

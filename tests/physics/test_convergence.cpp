@@ -1,0 +1,122 @@
+// Spatial convergence order of the fluid substrate: the paper states the
+// LBM is "of second-order accuracy in both time and space". Verify on
+// body-force-driven Poiseuille flow by doubling the channel resolution
+// (in diffusive scaling: force adjusted so the physical problem matches)
+// and comparing the profile error against the analytic parabola.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "lbm/collision.hpp"
+#include "lbm/d3q19.hpp"
+#include "lbm/fluid_grid.hpp"
+#include "lbm/macroscopic.hpp"
+#include "lbm/streaming.hpp"
+
+namespace lbmib {
+namespace {
+
+/// Max relative error of the steady channel profile at `ny` lattice
+/// widths, driven so the analytic centerline velocity is ~0.02.
+Real poiseuille_error(Index ny, int steps) {
+  constexpr Index kNx = 4, kNz = 4;
+  constexpr Real kTau = 0.8;
+  const Real nu = (kTau - 0.5) / 3.0;
+  const Real width = static_cast<Real>(ny) - 2.0;  // half-way walls
+  const Real u_center = 0.02;
+  const Real force = 8.0 * nu * u_center / (width * width);
+
+  FluidGrid grid(kNx, ny, kNz);
+  for (Index x = 0; x < kNx; ++x) {
+    for (Index z = 0; z < kNz; ++z) {
+      grid.set_solid(grid.index(x, 0, z), true);
+      grid.set_solid(grid.index(x, ny - 1, z), true);
+    }
+  }
+  for (int s = 0; s < steps; ++s) {
+    grid.reset_forces({force, 0.0, 0.0});
+    collide_range(grid, kTau, 0, grid.num_nodes());
+    stream_x_slab(grid, 0, kNx);
+    update_velocity_range(grid, 0, grid.num_nodes());
+    copy_distributions_range(grid, 0, grid.num_nodes());
+  }
+
+  const Real y0 = 0.5, y1 = static_cast<Real>(ny) - 1.5;
+  Real max_err = 0.0;
+  for (Index y = 1; y < ny - 1; ++y) {
+    const Real analytic = force / (2.0 * nu) *
+                          (static_cast<Real>(y) - y0) *
+                          (y1 - static_cast<Real>(y));
+    const Real err =
+        std::abs(grid.ux(grid.index(2, y, 2)) - analytic);
+    max_err = std::max(max_err, err / u_center);
+  }
+  return max_err;
+}
+
+TEST(Convergence, PoiseuilleErrorSmallAtBothResolutions) {
+  // With half-way bounce-back + Guo forcing the parabola is resolved
+  // almost exactly (the scheme is exact for quadratic profiles up to
+  // compressibility error), so the error floor is tight at both sizes.
+  const Real coarse = poiseuille_error(10, 2000);
+  const Real fine = poiseuille_error(20, 8000);
+  EXPECT_LT(coarse, 0.02);
+  EXPECT_LT(fine, 0.02);
+  // Refinement must not make things worse.
+  EXPECT_LE(fine, coarse * 1.5);
+}
+
+TEST(Convergence, TaylorGreenDecaySecondOrderInResolution) {
+  // Measure the decay-rate error of the Taylor-Green vortex at N and 2N;
+  // second-order spatial accuracy means the error drops by ~4x (allow
+  // 2.5x for the finite measuring window).
+  auto rate_error = [](Index n) {
+    constexpr Real kTau = 0.8, kU0 = 0.01;
+    const Real nu = (kTau - 0.5) / 3.0;
+    const Real k = 2.0 * M_PI / static_cast<Real>(n);
+    const Real expected = 2.0 * nu * 2.0 * k * k;
+
+    FluidGrid grid(n, n, 4);
+    // 2-D Taylor-Green in x-y, uniform in z.
+    for (Index x = 0; x < n; ++x) {
+      for (Index y = 0; y < n; ++y) {
+        for (Index z = 0; z < 4; ++z) {
+          const Vec3 u{kU0 * std::sin(k * x) * std::cos(k * y),
+                       -kU0 * std::cos(k * x) * std::sin(k * y), 0.0};
+          const Size node = grid.index(x, y, z);
+          for (int dir = 0; dir < kQ; ++dir) {
+            grid.df(dir, node) = d3q19::equilibrium(dir, 1.0, u);
+          }
+        }
+      }
+    }
+    auto energy = [&] {
+      Real e = 0.0;
+      for (Size node = 0; node < grid.num_nodes(); ++node) {
+        e += norm2(grid.velocity(node));
+      }
+      return e;
+    };
+    auto step = [&] {
+      collide_range(grid, kTau, 0, grid.num_nodes());
+      stream_x_slab(grid, 0, n);
+      update_velocity_range(grid, 0, grid.num_nodes());
+      copy_distributions_range(grid, 0, grid.num_nodes());
+    };
+    for (int s = 0; s < 10; ++s) step();
+    const Real e0 = energy();
+    const int window = static_cast<int>(n) * 2;
+    for (int s = 0; s < window; ++s) step();
+    const Real measured = std::log(e0 / energy()) / window;
+    return std::abs(measured - expected) / expected;
+  };
+
+  const Real err_coarse = rate_error(12);
+  const Real err_fine = rate_error(24);
+  EXPECT_LT(err_fine, err_coarse / 2.5)
+      << "coarse " << err_coarse << " fine " << err_fine;
+}
+
+}  // namespace
+}  // namespace lbmib

@@ -1,0 +1,107 @@
+// Physics validation: body-force-driven planar Poiseuille flow.
+//
+// A channel with no-slip walls at the y extremes and a constant body force
+// g along x converges to the parabolic profile
+//     u_x(y) = g / (2 nu) * (y - y0) (y1 - y),
+// where the half-way bounce-back walls sit at y0 = 0.5 and y1 = ny - 1.5.
+// This validates collision + Guo forcing + streaming + bounce-back + the
+// macroscopic update acting together.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lbm/collision.hpp"
+#include "lbm/d3q19.hpp"
+#include "lbm/fluid_grid.hpp"
+#include "lbm/macroscopic.hpp"
+#include "lbm/streaming.hpp"
+
+namespace lbmib {
+namespace {
+
+class PoiseuilleTest : public ::testing::Test {
+ protected:
+  static constexpr Index kNx = 4, kNy = 12, kNz = 4;
+  static constexpr Real kTau = 0.8;
+  static constexpr Real kForce = 1e-6;
+
+  void SetUp() override {
+    grid_ = std::make_unique<FluidGrid>(kNx, kNy, kNz);
+    // Walls only at the y extremes (planar channel; x and z periodic).
+    for (Index x = 0; x < kNx; ++x) {
+      for (Index z = 0; z < kNz; ++z) {
+        grid_->set_solid(grid_->index(x, 0, z), true);
+        grid_->set_solid(grid_->index(x, kNy - 1, z), true);
+      }
+    }
+  }
+
+  void run(int steps) {
+    for (int s = 0; s < steps; ++s) {
+      grid_->reset_forces({kForce, 0.0, 0.0});
+      collide_range(*grid_, kTau, 0, grid_->num_nodes());
+      stream_x_slab(*grid_, 0, kNx);
+      update_velocity_range(*grid_, 0, grid_->num_nodes());
+      copy_distributions_range(*grid_, 0, grid_->num_nodes());
+    }
+  }
+
+  Real analytic(Real y) const {
+    const Real nu = (kTau - 0.5) / 3.0;
+    const Real y0 = 0.5, y1 = static_cast<Real>(kNy) - 1.5;
+    return kForce / (2.0 * nu) * (y - y0) * (y1 - y);
+  }
+
+  std::unique_ptr<FluidGrid> grid_;
+};
+
+TEST_F(PoiseuilleTest, ConvergesToParabolicProfile) {
+  run(1200);
+  for (Index y = 1; y < kNy - 1; ++y) {
+    const Real u = grid_->ux(grid_->index(2, y, 2));
+    const Real expected = analytic(static_cast<Real>(y));
+    EXPECT_NEAR(u, expected, 0.03 * analytic(0.5 * (kNy - 1)))
+        << "y=" << y;
+  }
+}
+
+TEST_F(PoiseuilleTest, CenterlineVelocityMatchesTheory) {
+  run(1200);
+  // kNy even: the two central fluid rows straddle the true centerline.
+  const Real u5 = grid_->ux(grid_->index(1, 5, 1));
+  const Real u6 = grid_->ux(grid_->index(1, 6, 1));
+  const Real u_center = 0.5 * (u5 + u6);
+  const Real expected =
+      0.5 * (analytic(5.0) + analytic(6.0));
+  EXPECT_NEAR(u_center, expected, 0.02 * expected);
+}
+
+TEST_F(PoiseuilleTest, ProfileIsSymmetric) {
+  run(800);
+  for (Index y = 1; y < kNy / 2; ++y) {
+    const Real lo = grid_->ux(grid_->index(0, y, 2));
+    const Real hi = grid_->ux(grid_->index(0, kNy - 1 - y, 2));
+    EXPECT_NEAR(lo, hi, 1e-12) << "y=" << y;
+  }
+}
+
+TEST_F(PoiseuilleTest, CrossFlowVanishes) {
+  run(800);
+  for (Size n = 0; n < grid_->num_nodes(); ++n) {
+    EXPECT_NEAR(grid_->uy(n), 0.0, 1e-12);
+    EXPECT_NEAR(grid_->uz(n), 0.0, 1e-12);
+  }
+}
+
+TEST_F(PoiseuilleTest, FlowIsTranslationInvariantAlongXAndZ) {
+  run(400);
+  const Real ref = grid_->ux(grid_->index(0, 4, 0));
+  for (Index x = 0; x < kNx; ++x) {
+    for (Index z = 0; z < kNz; ++z) {
+      EXPECT_NEAR(grid_->ux(grid_->index(x, 4, z)), ref, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lbmib
