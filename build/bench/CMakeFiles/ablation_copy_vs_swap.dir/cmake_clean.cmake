@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_copy_vs_swap.dir/ablation_copy_vs_swap.cpp.o"
+  "CMakeFiles/ablation_copy_vs_swap.dir/ablation_copy_vs_swap.cpp.o.d"
+  "ablation_copy_vs_swap"
+  "ablation_copy_vs_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_copy_vs_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_copy_vs_swap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cube_size.dir/ablation_cube_size.cpp.o"
+  "CMakeFiles/ablation_cube_size.dir/ablation_cube_size.cpp.o.d"
+  "ablation_cube_size"
+  "ablation_cube_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cube_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_distributed.dir/ablation_distributed.cpp.o"
+  "CMakeFiles/ablation_distributed.dir/ablation_distributed.cpp.o.d"
+  "ablation_distributed"
+  "ablation_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_numa_layout.dir/ablation_numa_layout.cpp.o"
+  "CMakeFiles/ablation_numa_layout.dir/ablation_numa_layout.cpp.o.d"
+  "ablation_numa_layout"
+  "ablation_numa_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_numa_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_d3q19_model.
+# This may be replaced when dependencies are built.

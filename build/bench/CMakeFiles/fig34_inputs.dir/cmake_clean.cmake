@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig34_inputs.dir/fig34_inputs.cpp.o"
+  "CMakeFiles/fig34_inputs.dir/fig34_inputs.cpp.o.d"
+  "fig34_inputs"
+  "fig34_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig34_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_machine.dir/table3_machine.cpp.o"
+  "CMakeFiles/table3_machine.dir/table3_machine.cpp.o.d"
+  "table3_machine"
+  "table3_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_numa_distance.dir/table4_numa_distance.cpp.o"
+  "CMakeFiles/table4_numa_distance.dir/table4_numa_distance.cpp.o.d"
+  "table4_numa_distance"
+  "table4_numa_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_numa_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_table3 "/root/repo/build/bench/table3_machine")
+set_tests_properties(bench_smoke_table3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;42;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table4 "/root/repo/build/bench/table4_numa_distance")
+set_tests_properties(bench_smoke_table4 PROPERTIES  PASS_REGULAR_EXPRESSION "10  16  16  22  16  22  16  22" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;43;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig2 "/root/repo/build/bench/fig2_d3q19_model")
+set_tests_properties(bench_smoke_fig2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig34 "/root/repo/build/bench/fig34_inputs")
+set_tests_properties(bench_smoke_fig34 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig6 "/root/repo/build/bench/fig6_cube_mapping")
+set_tests_properties(bench_smoke_fig6 PROPERTIES  PASS_REGULAR_EXPRESSION "owns exactly 1 cube" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;46;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_past_sphere.dir/flow_past_sphere.cpp.o"
+  "CMakeFiles/flow_past_sphere.dir/flow_past_sphere.cpp.o.d"
+  "flow_past_sphere"
+  "flow_past_sphere.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_past_sphere.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

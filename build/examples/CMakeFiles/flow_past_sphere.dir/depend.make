@@ -1,0 +1,2 @@
+# Empty dependencies file for flow_past_sphere.
+# This may be replaced when dependencies are built.

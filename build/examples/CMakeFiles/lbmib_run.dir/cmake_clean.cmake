@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbmib_run.dir/lbmib_run.cpp.o"
+  "CMakeFiles/lbmib_run.dir/lbmib_run.cpp.o.d"
+  "lbmib_run"
+  "lbmib_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbmib_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lid_driven_cavity.dir/lid_driven_cavity.cpp.o"
+  "CMakeFiles/lid_driven_cavity.dir/lid_driven_cavity.cpp.o.d"
+  "lid_driven_cavity"
+  "lid_driven_cavity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lid_driven_cavity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oscillating_plate.dir/oscillating_plate.cpp.o"
+  "CMakeFiles/oscillating_plate.dir/oscillating_plate.cpp.o.d"
+  "oscillating_plate"
+  "oscillating_plate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oscillating_plate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

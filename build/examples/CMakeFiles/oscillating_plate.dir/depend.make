@@ -1,0 +1,2 @@
+# Empty dependencies file for oscillating_plate.
+# This may be replaced when dependencies are built.

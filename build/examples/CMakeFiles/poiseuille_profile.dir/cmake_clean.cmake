@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poiseuille_profile.dir/poiseuille_profile.cpp.o"
+  "CMakeFiles/poiseuille_profile.dir/poiseuille_profile.cpp.o.d"
+  "poiseuille_profile"
+  "poiseuille_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poiseuille_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

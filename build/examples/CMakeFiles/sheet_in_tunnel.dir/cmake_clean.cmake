@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sheet_in_tunnel.dir/sheet_in_tunnel.cpp.o"
+  "CMakeFiles/sheet_in_tunnel.dir/sheet_in_tunnel.cpp.o.d"
+  "sheet_in_tunnel"
+  "sheet_in_tunnel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sheet_in_tunnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tandem_sheets.dir/tandem_sheets.cpp.o"
+  "CMakeFiles/tandem_sheets.dir/tandem_sheets.cpp.o.d"
+  "tandem_sheets"
+  "tandem_sheets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tandem_sheets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

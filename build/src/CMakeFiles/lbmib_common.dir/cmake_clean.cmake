@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbmib_common.dir/common/config_file.cpp.o"
+  "CMakeFiles/lbmib_common.dir/common/config_file.cpp.o.d"
+  "CMakeFiles/lbmib_common.dir/common/logging.cpp.o"
+  "CMakeFiles/lbmib_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/lbmib_common.dir/common/params.cpp.o"
+  "CMakeFiles/lbmib_common.dir/common/params.cpp.o.d"
+  "CMakeFiles/lbmib_common.dir/common/profiler.cpp.o"
+  "CMakeFiles/lbmib_common.dir/common/profiler.cpp.o.d"
+  "liblbmib_common.a"
+  "liblbmib_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbmib_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autotune.cpp" "src/CMakeFiles/lbmib_core.dir/core/autotune.cpp.o" "gcc" "src/CMakeFiles/lbmib_core.dir/core/autotune.cpp.o.d"
+  "/root/repo/src/core/cube_solver.cpp" "src/CMakeFiles/lbmib_core.dir/core/cube_solver.cpp.o" "gcc" "src/CMakeFiles/lbmib_core.dir/core/cube_solver.cpp.o.d"
+  "/root/repo/src/core/dataflow_solver.cpp" "src/CMakeFiles/lbmib_core.dir/core/dataflow_solver.cpp.o" "gcc" "src/CMakeFiles/lbmib_core.dir/core/dataflow_solver.cpp.o.d"
+  "/root/repo/src/core/distributed2d_solver.cpp" "src/CMakeFiles/lbmib_core.dir/core/distributed2d_solver.cpp.o" "gcc" "src/CMakeFiles/lbmib_core.dir/core/distributed2d_solver.cpp.o.d"
+  "/root/repo/src/core/distributed_solver.cpp" "src/CMakeFiles/lbmib_core.dir/core/distributed_solver.cpp.o" "gcc" "src/CMakeFiles/lbmib_core.dir/core/distributed_solver.cpp.o.d"
+  "/root/repo/src/core/openmp_solver.cpp" "src/CMakeFiles/lbmib_core.dir/core/openmp_solver.cpp.o" "gcc" "src/CMakeFiles/lbmib_core.dir/core/openmp_solver.cpp.o.d"
+  "/root/repo/src/core/sequential_solver.cpp" "src/CMakeFiles/lbmib_core.dir/core/sequential_solver.cpp.o" "gcc" "src/CMakeFiles/lbmib_core.dir/core/sequential_solver.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/CMakeFiles/lbmib_core.dir/core/simulation.cpp.o" "gcc" "src/CMakeFiles/lbmib_core.dir/core/simulation.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/CMakeFiles/lbmib_core.dir/core/solver.cpp.o" "gcc" "src/CMakeFiles/lbmib_core.dir/core/solver.cpp.o.d"
+  "/root/repo/src/core/verification.cpp" "src/CMakeFiles/lbmib_core.dir/core/verification.cpp.o" "gcc" "src/CMakeFiles/lbmib_core.dir/core/verification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbmib_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbmib_core.dir/core/autotune.cpp.o"
+  "CMakeFiles/lbmib_core.dir/core/autotune.cpp.o.d"
+  "CMakeFiles/lbmib_core.dir/core/cube_solver.cpp.o"
+  "CMakeFiles/lbmib_core.dir/core/cube_solver.cpp.o.d"
+  "CMakeFiles/lbmib_core.dir/core/dataflow_solver.cpp.o"
+  "CMakeFiles/lbmib_core.dir/core/dataflow_solver.cpp.o.d"
+  "CMakeFiles/lbmib_core.dir/core/distributed2d_solver.cpp.o"
+  "CMakeFiles/lbmib_core.dir/core/distributed2d_solver.cpp.o.d"
+  "CMakeFiles/lbmib_core.dir/core/distributed_solver.cpp.o"
+  "CMakeFiles/lbmib_core.dir/core/distributed_solver.cpp.o.d"
+  "CMakeFiles/lbmib_core.dir/core/openmp_solver.cpp.o"
+  "CMakeFiles/lbmib_core.dir/core/openmp_solver.cpp.o.d"
+  "CMakeFiles/lbmib_core.dir/core/sequential_solver.cpp.o"
+  "CMakeFiles/lbmib_core.dir/core/sequential_solver.cpp.o.d"
+  "CMakeFiles/lbmib_core.dir/core/simulation.cpp.o"
+  "CMakeFiles/lbmib_core.dir/core/simulation.cpp.o.d"
+  "CMakeFiles/lbmib_core.dir/core/solver.cpp.o"
+  "CMakeFiles/lbmib_core.dir/core/solver.cpp.o.d"
+  "CMakeFiles/lbmib_core.dir/core/verification.cpp.o"
+  "CMakeFiles/lbmib_core.dir/core/verification.cpp.o.d"
+  "liblbmib_core.a"
+  "liblbmib_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbmib_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

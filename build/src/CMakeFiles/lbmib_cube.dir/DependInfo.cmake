@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cube/cube_grid.cpp" "src/CMakeFiles/lbmib_cube.dir/cube/cube_grid.cpp.o" "gcc" "src/CMakeFiles/lbmib_cube.dir/cube/cube_grid.cpp.o.d"
+  "/root/repo/src/cube/cube_kernels.cpp" "src/CMakeFiles/lbmib_cube.dir/cube/cube_kernels.cpp.o" "gcc" "src/CMakeFiles/lbmib_cube.dir/cube/cube_kernels.cpp.o.d"
+  "/root/repo/src/cube/distribution.cpp" "src/CMakeFiles/lbmib_cube.dir/cube/distribution.cpp.o" "gcc" "src/CMakeFiles/lbmib_cube.dir/cube/distribution.cpp.o.d"
+  "/root/repo/src/cube/numa_distribution.cpp" "src/CMakeFiles/lbmib_cube.dir/cube/numa_distribution.cpp.o" "gcc" "src/CMakeFiles/lbmib_cube.dir/cube/numa_distribution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbmib_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

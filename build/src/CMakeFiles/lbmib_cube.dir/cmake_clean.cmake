@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbmib_cube.dir/cube/cube_grid.cpp.o"
+  "CMakeFiles/lbmib_cube.dir/cube/cube_grid.cpp.o.d"
+  "CMakeFiles/lbmib_cube.dir/cube/cube_kernels.cpp.o"
+  "CMakeFiles/lbmib_cube.dir/cube/cube_kernels.cpp.o.d"
+  "CMakeFiles/lbmib_cube.dir/cube/distribution.cpp.o"
+  "CMakeFiles/lbmib_cube.dir/cube/distribution.cpp.o.d"
+  "CMakeFiles/lbmib_cube.dir/cube/numa_distribution.cpp.o"
+  "CMakeFiles/lbmib_cube.dir/cube/numa_distribution.cpp.o.d"
+  "liblbmib_cube.a"
+  "liblbmib_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbmib_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

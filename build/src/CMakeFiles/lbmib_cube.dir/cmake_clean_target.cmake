@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblbmib_cube.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ib/delta.cpp" "src/CMakeFiles/lbmib_ib.dir/ib/delta.cpp.o" "gcc" "src/CMakeFiles/lbmib_ib.dir/ib/delta.cpp.o.d"
+  "/root/repo/src/ib/fiber_forces.cpp" "src/CMakeFiles/lbmib_ib.dir/ib/fiber_forces.cpp.o" "gcc" "src/CMakeFiles/lbmib_ib.dir/ib/fiber_forces.cpp.o.d"
+  "/root/repo/src/ib/fiber_sheet.cpp" "src/CMakeFiles/lbmib_ib.dir/ib/fiber_sheet.cpp.o" "gcc" "src/CMakeFiles/lbmib_ib.dir/ib/fiber_sheet.cpp.o.d"
+  "/root/repo/src/ib/interpolation.cpp" "src/CMakeFiles/lbmib_ib.dir/ib/interpolation.cpp.o" "gcc" "src/CMakeFiles/lbmib_ib.dir/ib/interpolation.cpp.o.d"
+  "/root/repo/src/ib/spreading.cpp" "src/CMakeFiles/lbmib_ib.dir/ib/spreading.cpp.o" "gcc" "src/CMakeFiles/lbmib_ib.dir/ib/spreading.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbmib_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_lbm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbmib_ib.dir/ib/delta.cpp.o"
+  "CMakeFiles/lbmib_ib.dir/ib/delta.cpp.o.d"
+  "CMakeFiles/lbmib_ib.dir/ib/fiber_forces.cpp.o"
+  "CMakeFiles/lbmib_ib.dir/ib/fiber_forces.cpp.o.d"
+  "CMakeFiles/lbmib_ib.dir/ib/fiber_sheet.cpp.o"
+  "CMakeFiles/lbmib_ib.dir/ib/fiber_sheet.cpp.o.d"
+  "CMakeFiles/lbmib_ib.dir/ib/interpolation.cpp.o"
+  "CMakeFiles/lbmib_ib.dir/ib/interpolation.cpp.o.d"
+  "CMakeFiles/lbmib_ib.dir/ib/spreading.cpp.o"
+  "CMakeFiles/lbmib_ib.dir/ib/spreading.cpp.o.d"
+  "liblbmib_ib.a"
+  "liblbmib_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbmib_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/checkpoint.cpp" "src/CMakeFiles/lbmib_io.dir/io/checkpoint.cpp.o" "gcc" "src/CMakeFiles/lbmib_io.dir/io/checkpoint.cpp.o.d"
+  "/root/repo/src/io/csv_writer.cpp" "src/CMakeFiles/lbmib_io.dir/io/csv_writer.cpp.o" "gcc" "src/CMakeFiles/lbmib_io.dir/io/csv_writer.cpp.o.d"
+  "/root/repo/src/io/vtk_writer.cpp" "src/CMakeFiles/lbmib_io.dir/io/vtk_writer.cpp.o" "gcc" "src/CMakeFiles/lbmib_io.dir/io/vtk_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbmib_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

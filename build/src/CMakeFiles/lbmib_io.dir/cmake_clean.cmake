@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbmib_io.dir/io/checkpoint.cpp.o"
+  "CMakeFiles/lbmib_io.dir/io/checkpoint.cpp.o.d"
+  "CMakeFiles/lbmib_io.dir/io/csv_writer.cpp.o"
+  "CMakeFiles/lbmib_io.dir/io/csv_writer.cpp.o.d"
+  "CMakeFiles/lbmib_io.dir/io/vtk_writer.cpp.o"
+  "CMakeFiles/lbmib_io.dir/io/vtk_writer.cpp.o.d"
+  "liblbmib_io.a"
+  "liblbmib_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbmib_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lbm/boundary.cpp" "src/CMakeFiles/lbmib_lbm.dir/lbm/boundary.cpp.o" "gcc" "src/CMakeFiles/lbmib_lbm.dir/lbm/boundary.cpp.o.d"
+  "/root/repo/src/lbm/collision.cpp" "src/CMakeFiles/lbmib_lbm.dir/lbm/collision.cpp.o" "gcc" "src/CMakeFiles/lbmib_lbm.dir/lbm/collision.cpp.o.d"
+  "/root/repo/src/lbm/d3q19.cpp" "src/CMakeFiles/lbmib_lbm.dir/lbm/d3q19.cpp.o" "gcc" "src/CMakeFiles/lbmib_lbm.dir/lbm/d3q19.cpp.o.d"
+  "/root/repo/src/lbm/fluid_grid.cpp" "src/CMakeFiles/lbmib_lbm.dir/lbm/fluid_grid.cpp.o" "gcc" "src/CMakeFiles/lbmib_lbm.dir/lbm/fluid_grid.cpp.o.d"
+  "/root/repo/src/lbm/macroscopic.cpp" "src/CMakeFiles/lbmib_lbm.dir/lbm/macroscopic.cpp.o" "gcc" "src/CMakeFiles/lbmib_lbm.dir/lbm/macroscopic.cpp.o.d"
+  "/root/repo/src/lbm/mrt.cpp" "src/CMakeFiles/lbmib_lbm.dir/lbm/mrt.cpp.o" "gcc" "src/CMakeFiles/lbmib_lbm.dir/lbm/mrt.cpp.o.d"
+  "/root/repo/src/lbm/observables.cpp" "src/CMakeFiles/lbmib_lbm.dir/lbm/observables.cpp.o" "gcc" "src/CMakeFiles/lbmib_lbm.dir/lbm/observables.cpp.o.d"
+  "/root/repo/src/lbm/streaming.cpp" "src/CMakeFiles/lbmib_lbm.dir/lbm/streaming.cpp.o" "gcc" "src/CMakeFiles/lbmib_lbm.dir/lbm/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbmib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbmib_lbm.dir/lbm/boundary.cpp.o"
+  "CMakeFiles/lbmib_lbm.dir/lbm/boundary.cpp.o.d"
+  "CMakeFiles/lbmib_lbm.dir/lbm/collision.cpp.o"
+  "CMakeFiles/lbmib_lbm.dir/lbm/collision.cpp.o.d"
+  "CMakeFiles/lbmib_lbm.dir/lbm/d3q19.cpp.o"
+  "CMakeFiles/lbmib_lbm.dir/lbm/d3q19.cpp.o.d"
+  "CMakeFiles/lbmib_lbm.dir/lbm/fluid_grid.cpp.o"
+  "CMakeFiles/lbmib_lbm.dir/lbm/fluid_grid.cpp.o.d"
+  "CMakeFiles/lbmib_lbm.dir/lbm/macroscopic.cpp.o"
+  "CMakeFiles/lbmib_lbm.dir/lbm/macroscopic.cpp.o.d"
+  "CMakeFiles/lbmib_lbm.dir/lbm/mrt.cpp.o"
+  "CMakeFiles/lbmib_lbm.dir/lbm/mrt.cpp.o.d"
+  "CMakeFiles/lbmib_lbm.dir/lbm/observables.cpp.o"
+  "CMakeFiles/lbmib_lbm.dir/lbm/observables.cpp.o.d"
+  "CMakeFiles/lbmib_lbm.dir/lbm/streaming.cpp.o"
+  "CMakeFiles/lbmib_lbm.dir/lbm/streaming.cpp.o.d"
+  "liblbmib_lbm.a"
+  "liblbmib_lbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbmib_lbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/barrier.cpp" "src/CMakeFiles/lbmib_parallel.dir/parallel/barrier.cpp.o" "gcc" "src/CMakeFiles/lbmib_parallel.dir/parallel/barrier.cpp.o.d"
+  "/root/repo/src/parallel/communicator.cpp" "src/CMakeFiles/lbmib_parallel.dir/parallel/communicator.cpp.o" "gcc" "src/CMakeFiles/lbmib_parallel.dir/parallel/communicator.cpp.o.d"
+  "/root/repo/src/parallel/mesh.cpp" "src/CMakeFiles/lbmib_parallel.dir/parallel/mesh.cpp.o" "gcc" "src/CMakeFiles/lbmib_parallel.dir/parallel/mesh.cpp.o.d"
+  "/root/repo/src/parallel/numa_model.cpp" "src/CMakeFiles/lbmib_parallel.dir/parallel/numa_model.cpp.o" "gcc" "src/CMakeFiles/lbmib_parallel.dir/parallel/numa_model.cpp.o.d"
+  "/root/repo/src/parallel/thread_team.cpp" "src/CMakeFiles/lbmib_parallel.dir/parallel/thread_team.cpp.o" "gcc" "src/CMakeFiles/lbmib_parallel.dir/parallel/thread_team.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbmib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbmib_parallel.dir/parallel/barrier.cpp.o"
+  "CMakeFiles/lbmib_parallel.dir/parallel/barrier.cpp.o.d"
+  "CMakeFiles/lbmib_parallel.dir/parallel/communicator.cpp.o"
+  "CMakeFiles/lbmib_parallel.dir/parallel/communicator.cpp.o.d"
+  "CMakeFiles/lbmib_parallel.dir/parallel/mesh.cpp.o"
+  "CMakeFiles/lbmib_parallel.dir/parallel/mesh.cpp.o.d"
+  "CMakeFiles/lbmib_parallel.dir/parallel/numa_model.cpp.o"
+  "CMakeFiles/lbmib_parallel.dir/parallel/numa_model.cpp.o.d"
+  "CMakeFiles/lbmib_parallel.dir/parallel/thread_team.cpp.o"
+  "CMakeFiles/lbmib_parallel.dir/parallel/thread_team.cpp.o.d"
+  "liblbmib_parallel.a"
+  "liblbmib_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbmib_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

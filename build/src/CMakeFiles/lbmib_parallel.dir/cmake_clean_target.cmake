@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblbmib_parallel.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbmib_perfmodel.dir/perfmodel/access_trace.cpp.o"
+  "CMakeFiles/lbmib_perfmodel.dir/perfmodel/access_trace.cpp.o.d"
+  "CMakeFiles/lbmib_perfmodel.dir/perfmodel/cache_sim.cpp.o"
+  "CMakeFiles/lbmib_perfmodel.dir/perfmodel/cache_sim.cpp.o.d"
+  "CMakeFiles/lbmib_perfmodel.dir/perfmodel/imbalance.cpp.o"
+  "CMakeFiles/lbmib_perfmodel.dir/perfmodel/imbalance.cpp.o.d"
+  "CMakeFiles/lbmib_perfmodel.dir/perfmodel/locality.cpp.o"
+  "CMakeFiles/lbmib_perfmodel.dir/perfmodel/locality.cpp.o.d"
+  "liblbmib_perfmodel.a"
+  "liblbmib_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbmib_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

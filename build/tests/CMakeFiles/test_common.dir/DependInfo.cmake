@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_aligned_buffer.cpp" "tests/CMakeFiles/test_common.dir/common/test_aligned_buffer.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_aligned_buffer.cpp.o.d"
+  "/root/repo/tests/common/test_config_file.cpp" "tests/CMakeFiles/test_common.dir/common/test_config_file.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_config_file.cpp.o.d"
+  "/root/repo/tests/common/test_logging.cpp" "tests/CMakeFiles/test_common.dir/common/test_logging.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_logging.cpp.o.d"
+  "/root/repo/tests/common/test_params.cpp" "tests/CMakeFiles/test_common.dir/common/test_params.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_params.cpp.o.d"
+  "/root/repo/tests/common/test_profiler.cpp" "tests/CMakeFiles/test_common.dir/common/test_profiler.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_profiler.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_types_vec3.cpp" "tests/CMakeFiles/test_common.dir/common/test_types_vec3.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_types_vec3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbmib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_aligned_buffer.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_aligned_buffer.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_config_file.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_config_file.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_logging.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_logging.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_params.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_params.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_profiler.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_profiler.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_types_vec3.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_types_vec3.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

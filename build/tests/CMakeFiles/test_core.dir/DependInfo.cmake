@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_api_surface.cpp" "tests/CMakeFiles/test_core.dir/core/test_api_surface.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_api_surface.cpp.o.d"
+  "/root/repo/tests/core/test_autotune.cpp" "tests/CMakeFiles/test_core.dir/core/test_autotune.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_autotune.cpp.o.d"
+  "/root/repo/tests/core/test_cube_solver.cpp" "tests/CMakeFiles/test_core.dir/core/test_cube_solver.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_cube_solver.cpp.o.d"
+  "/root/repo/tests/core/test_dataflow_solver.cpp" "tests/CMakeFiles/test_core.dir/core/test_dataflow_solver.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_dataflow_solver.cpp.o.d"
+  "/root/repo/tests/core/test_distributed2d_solver.cpp" "tests/CMakeFiles/test_core.dir/core/test_distributed2d_solver.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_distributed2d_solver.cpp.o.d"
+  "/root/repo/tests/core/test_distributed_solver.cpp" "tests/CMakeFiles/test_core.dir/core/test_distributed_solver.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_distributed_solver.cpp.o.d"
+  "/root/repo/tests/core/test_mrt_solvers.cpp" "tests/CMakeFiles/test_core.dir/core/test_mrt_solvers.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_mrt_solvers.cpp.o.d"
+  "/root/repo/tests/core/test_openmp_solver.cpp" "tests/CMakeFiles/test_core.dir/core/test_openmp_solver.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_openmp_solver.cpp.o.d"
+  "/root/repo/tests/core/test_overlapped_steps.cpp" "tests/CMakeFiles/test_core.dir/core/test_overlapped_steps.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_overlapped_steps.cpp.o.d"
+  "/root/repo/tests/core/test_randomized_equivalence.cpp" "tests/CMakeFiles/test_core.dir/core/test_randomized_equivalence.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_randomized_equivalence.cpp.o.d"
+  "/root/repo/tests/core/test_sequential_solver.cpp" "tests/CMakeFiles/test_core.dir/core/test_sequential_solver.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_sequential_solver.cpp.o.d"
+  "/root/repo/tests/core/test_simulation.cpp" "tests/CMakeFiles/test_core.dir/core/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_simulation.cpp.o.d"
+  "/root/repo/tests/core/test_structure.cpp" "tests/CMakeFiles/test_core.dir/core/test_structure.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_structure.cpp.o.d"
+  "/root/repo/tests/core/test_verification.cpp" "tests/CMakeFiles/test_core.dir/core/test_verification.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_verification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbmib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

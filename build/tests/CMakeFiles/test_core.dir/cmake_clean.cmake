@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_api_surface.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_api_surface.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_autotune.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_autotune.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cube_solver.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cube_solver.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_dataflow_solver.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_dataflow_solver.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_distributed2d_solver.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_distributed2d_solver.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_distributed_solver.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_distributed_solver.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mrt_solvers.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mrt_solvers.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_openmp_solver.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_openmp_solver.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_overlapped_steps.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_overlapped_steps.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_randomized_equivalence.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_randomized_equivalence.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_sequential_solver.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_sequential_solver.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_simulation.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_simulation.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_structure.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_structure.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_verification.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_verification.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cube.dir/cube/test_cube_grid.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/test_cube_grid.cpp.o.d"
+  "CMakeFiles/test_cube.dir/cube/test_cube_kernels.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/test_cube_kernels.cpp.o.d"
+  "CMakeFiles/test_cube.dir/cube/test_cube_spread.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/test_cube_spread.cpp.o.d"
+  "CMakeFiles/test_cube.dir/cube/test_distribution.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/test_distribution.cpp.o.d"
+  "CMakeFiles/test_cube.dir/cube/test_numa_distribution.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/test_numa_distribution.cpp.o.d"
+  "test_cube"
+  "test_cube.pdb"
+  "test_cube[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ib/test_delta.cpp" "tests/CMakeFiles/test_ib.dir/ib/test_delta.cpp.o" "gcc" "tests/CMakeFiles/test_ib.dir/ib/test_delta.cpp.o.d"
+  "/root/repo/tests/ib/test_energy.cpp" "tests/CMakeFiles/test_ib.dir/ib/test_energy.cpp.o" "gcc" "tests/CMakeFiles/test_ib.dir/ib/test_energy.cpp.o.d"
+  "/root/repo/tests/ib/test_fiber_forces.cpp" "tests/CMakeFiles/test_ib.dir/ib/test_fiber_forces.cpp.o" "gcc" "tests/CMakeFiles/test_ib.dir/ib/test_fiber_forces.cpp.o.d"
+  "/root/repo/tests/ib/test_fiber_sheet.cpp" "tests/CMakeFiles/test_ib.dir/ib/test_fiber_sheet.cpp.o" "gcc" "tests/CMakeFiles/test_ib.dir/ib/test_fiber_sheet.cpp.o.d"
+  "/root/repo/tests/ib/test_interpolation.cpp" "tests/CMakeFiles/test_ib.dir/ib/test_interpolation.cpp.o" "gcc" "tests/CMakeFiles/test_ib.dir/ib/test_interpolation.cpp.o.d"
+  "/root/repo/tests/ib/test_spreading.cpp" "tests/CMakeFiles/test_ib.dir/ib/test_spreading.cpp.o" "gcc" "tests/CMakeFiles/test_ib.dir/ib/test_spreading.cpp.o.d"
+  "/root/repo/tests/ib/test_tether.cpp" "tests/CMakeFiles/test_ib.dir/ib/test_tether.cpp.o" "gcc" "tests/CMakeFiles/test_ib.dir/ib/test_tether.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbmib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

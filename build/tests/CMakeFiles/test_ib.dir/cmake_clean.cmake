@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ib.dir/ib/test_delta.cpp.o"
+  "CMakeFiles/test_ib.dir/ib/test_delta.cpp.o.d"
+  "CMakeFiles/test_ib.dir/ib/test_energy.cpp.o"
+  "CMakeFiles/test_ib.dir/ib/test_energy.cpp.o.d"
+  "CMakeFiles/test_ib.dir/ib/test_fiber_forces.cpp.o"
+  "CMakeFiles/test_ib.dir/ib/test_fiber_forces.cpp.o.d"
+  "CMakeFiles/test_ib.dir/ib/test_fiber_sheet.cpp.o"
+  "CMakeFiles/test_ib.dir/ib/test_fiber_sheet.cpp.o.d"
+  "CMakeFiles/test_ib.dir/ib/test_interpolation.cpp.o"
+  "CMakeFiles/test_ib.dir/ib/test_interpolation.cpp.o.d"
+  "CMakeFiles/test_ib.dir/ib/test_spreading.cpp.o"
+  "CMakeFiles/test_ib.dir/ib/test_spreading.cpp.o.d"
+  "CMakeFiles/test_ib.dir/ib/test_tether.cpp.o"
+  "CMakeFiles/test_ib.dir/ib/test_tether.cpp.o.d"
+  "test_ib"
+  "test_ib.pdb"
+  "test_ib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lbm/test_boundary.cpp" "tests/CMakeFiles/test_lbm.dir/lbm/test_boundary.cpp.o" "gcc" "tests/CMakeFiles/test_lbm.dir/lbm/test_boundary.cpp.o.d"
+  "/root/repo/tests/lbm/test_collision.cpp" "tests/CMakeFiles/test_lbm.dir/lbm/test_collision.cpp.o" "gcc" "tests/CMakeFiles/test_lbm.dir/lbm/test_collision.cpp.o.d"
+  "/root/repo/tests/lbm/test_d3q19.cpp" "tests/CMakeFiles/test_lbm.dir/lbm/test_d3q19.cpp.o" "gcc" "tests/CMakeFiles/test_lbm.dir/lbm/test_d3q19.cpp.o.d"
+  "/root/repo/tests/lbm/test_fluid_grid.cpp" "tests/CMakeFiles/test_lbm.dir/lbm/test_fluid_grid.cpp.o" "gcc" "tests/CMakeFiles/test_lbm.dir/lbm/test_fluid_grid.cpp.o.d"
+  "/root/repo/tests/lbm/test_inlet_outlet.cpp" "tests/CMakeFiles/test_lbm.dir/lbm/test_inlet_outlet.cpp.o" "gcc" "tests/CMakeFiles/test_lbm.dir/lbm/test_inlet_outlet.cpp.o.d"
+  "/root/repo/tests/lbm/test_macroscopic.cpp" "tests/CMakeFiles/test_lbm.dir/lbm/test_macroscopic.cpp.o" "gcc" "tests/CMakeFiles/test_lbm.dir/lbm/test_macroscopic.cpp.o.d"
+  "/root/repo/tests/lbm/test_mrt.cpp" "tests/CMakeFiles/test_lbm.dir/lbm/test_mrt.cpp.o" "gcc" "tests/CMakeFiles/test_lbm.dir/lbm/test_mrt.cpp.o.d"
+  "/root/repo/tests/lbm/test_observables.cpp" "tests/CMakeFiles/test_lbm.dir/lbm/test_observables.cpp.o" "gcc" "tests/CMakeFiles/test_lbm.dir/lbm/test_observables.cpp.o.d"
+  "/root/repo/tests/lbm/test_streaming.cpp" "tests/CMakeFiles/test_lbm.dir/lbm/test_streaming.cpp.o" "gcc" "tests/CMakeFiles/test_lbm.dir/lbm/test_streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbmib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lbm.dir/lbm/test_boundary.cpp.o"
+  "CMakeFiles/test_lbm.dir/lbm/test_boundary.cpp.o.d"
+  "CMakeFiles/test_lbm.dir/lbm/test_collision.cpp.o"
+  "CMakeFiles/test_lbm.dir/lbm/test_collision.cpp.o.d"
+  "CMakeFiles/test_lbm.dir/lbm/test_d3q19.cpp.o"
+  "CMakeFiles/test_lbm.dir/lbm/test_d3q19.cpp.o.d"
+  "CMakeFiles/test_lbm.dir/lbm/test_fluid_grid.cpp.o"
+  "CMakeFiles/test_lbm.dir/lbm/test_fluid_grid.cpp.o.d"
+  "CMakeFiles/test_lbm.dir/lbm/test_inlet_outlet.cpp.o"
+  "CMakeFiles/test_lbm.dir/lbm/test_inlet_outlet.cpp.o.d"
+  "CMakeFiles/test_lbm.dir/lbm/test_macroscopic.cpp.o"
+  "CMakeFiles/test_lbm.dir/lbm/test_macroscopic.cpp.o.d"
+  "CMakeFiles/test_lbm.dir/lbm/test_mrt.cpp.o"
+  "CMakeFiles/test_lbm.dir/lbm/test_mrt.cpp.o.d"
+  "CMakeFiles/test_lbm.dir/lbm/test_observables.cpp.o"
+  "CMakeFiles/test_lbm.dir/lbm/test_observables.cpp.o.d"
+  "CMakeFiles/test_lbm.dir/lbm/test_streaming.cpp.o"
+  "CMakeFiles/test_lbm.dir/lbm/test_streaming.cpp.o.d"
+  "test_lbm"
+  "test_lbm.pdb"
+  "test_lbm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel.dir/parallel/test_barrier.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_barrier.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_channel.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_channel.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_mesh.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_mesh.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_numa_model.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_numa_model.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_spinlock.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_spinlock.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_thread_team.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_thread_team.cpp.o.d"
+  "test_parallel"
+  "test_parallel.pdb"
+  "test_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/perfmodel/test_access_trace.cpp" "tests/CMakeFiles/test_perfmodel.dir/perfmodel/test_access_trace.cpp.o" "gcc" "tests/CMakeFiles/test_perfmodel.dir/perfmodel/test_access_trace.cpp.o.d"
+  "/root/repo/tests/perfmodel/test_cache_sim.cpp" "tests/CMakeFiles/test_perfmodel.dir/perfmodel/test_cache_sim.cpp.o" "gcc" "tests/CMakeFiles/test_perfmodel.dir/perfmodel/test_cache_sim.cpp.o.d"
+  "/root/repo/tests/perfmodel/test_imbalance.cpp" "tests/CMakeFiles/test_perfmodel.dir/perfmodel/test_imbalance.cpp.o" "gcc" "tests/CMakeFiles/test_perfmodel.dir/perfmodel/test_imbalance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbmib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

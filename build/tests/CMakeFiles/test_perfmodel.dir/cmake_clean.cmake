@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_access_trace.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_access_trace.cpp.o.d"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_cache_sim.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_cache_sim.cpp.o.d"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_imbalance.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_imbalance.cpp.o.d"
+  "test_perfmodel"
+  "test_perfmodel.pdb"
+  "test_perfmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/physics/test_cavity.cpp" "tests/CMakeFiles/test_physics.dir/physics/test_cavity.cpp.o" "gcc" "tests/CMakeFiles/test_physics.dir/physics/test_cavity.cpp.o.d"
+  "/root/repo/tests/physics/test_convergence.cpp" "tests/CMakeFiles/test_physics.dir/physics/test_convergence.cpp.o" "gcc" "tests/CMakeFiles/test_physics.dir/physics/test_convergence.cpp.o.d"
+  "/root/repo/tests/physics/test_couette.cpp" "tests/CMakeFiles/test_physics.dir/physics/test_couette.cpp.o" "gcc" "tests/CMakeFiles/test_physics.dir/physics/test_couette.cpp.o.d"
+  "/root/repo/tests/physics/test_fsi_behaviour.cpp" "tests/CMakeFiles/test_physics.dir/physics/test_fsi_behaviour.cpp.o" "gcc" "tests/CMakeFiles/test_physics.dir/physics/test_fsi_behaviour.cpp.o.d"
+  "/root/repo/tests/physics/test_obstacle.cpp" "tests/CMakeFiles/test_physics.dir/physics/test_obstacle.cpp.o" "gcc" "tests/CMakeFiles/test_physics.dir/physics/test_obstacle.cpp.o.d"
+  "/root/repo/tests/physics/test_poiseuille.cpp" "tests/CMakeFiles/test_physics.dir/physics/test_poiseuille.cpp.o" "gcc" "tests/CMakeFiles/test_physics.dir/physics/test_poiseuille.cpp.o.d"
+  "/root/repo/tests/physics/test_taylor_green.cpp" "tests/CMakeFiles/test_physics.dir/physics/test_taylor_green.cpp.o" "gcc" "tests/CMakeFiles/test_physics.dir/physics/test_taylor_green.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbmib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbmib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

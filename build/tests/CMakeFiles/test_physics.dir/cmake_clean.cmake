@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_physics.dir/physics/test_cavity.cpp.o"
+  "CMakeFiles/test_physics.dir/physics/test_cavity.cpp.o.d"
+  "CMakeFiles/test_physics.dir/physics/test_convergence.cpp.o"
+  "CMakeFiles/test_physics.dir/physics/test_convergence.cpp.o.d"
+  "CMakeFiles/test_physics.dir/physics/test_couette.cpp.o"
+  "CMakeFiles/test_physics.dir/physics/test_couette.cpp.o.d"
+  "CMakeFiles/test_physics.dir/physics/test_fsi_behaviour.cpp.o"
+  "CMakeFiles/test_physics.dir/physics/test_fsi_behaviour.cpp.o.d"
+  "CMakeFiles/test_physics.dir/physics/test_obstacle.cpp.o"
+  "CMakeFiles/test_physics.dir/physics/test_obstacle.cpp.o.d"
+  "CMakeFiles/test_physics.dir/physics/test_poiseuille.cpp.o"
+  "CMakeFiles/test_physics.dir/physics/test_poiseuille.cpp.o.d"
+  "CMakeFiles/test_physics.dir/physics/test_taylor_green.cpp.o"
+  "CMakeFiles/test_physics.dir/physics/test_taylor_green.cpp.o.d"
+  "test_physics"
+  "test_physics.pdb"
+  "test_physics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
