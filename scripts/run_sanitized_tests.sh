@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Build and run the tier-1 test suite under AddressSanitizer + UBSan.
+#
+# Usage: scripts/run_sanitized_tests.sh [build-dir]
+#
+# Uses a dedicated build tree (default: build-asan) so the sanitized
+# configuration never pollutes the regular one. Any failure — build error,
+# test failure, or sanitizer report — exits non-zero.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DLBMIB_SANITIZE=ON \
+  -DLBMIB_BUILD_BENCH=OFF
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+# halt_on_error keeps a UBSan hit from scrolling past unnoticed;
+# detect_leaks stays on (the default) to catch checkpoint buffer leaks.
+export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"

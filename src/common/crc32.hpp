@@ -1,0 +1,64 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+// guarding checkpoint sections against torn writes and bit rot.
+//
+// Header-only, table-driven, incremental: construct a Crc32, feed it byte
+// ranges with update(), read value(). The standard check value holds:
+// crc32_of("123456789") == 0xCBF43926.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace lbmib {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// Incremental CRC-32 accumulator.
+class Crc32 {
+ public:
+  /// Absorb `len` bytes.
+  void update(const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint32_t c = state_;
+    for (std::size_t i = 0; i < len; ++i) {
+      c = detail::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    }
+    state_ = c;
+  }
+
+  /// Checksum of everything absorbed so far.
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+  /// Forget all absorbed bytes (back to the empty-input state).
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot convenience over a single contiguous range.
+inline std::uint32_t crc32_of(const void* data, std::size_t len) {
+  Crc32 crc;
+  crc.update(data, len);
+  return crc.value();
+}
+
+}  // namespace lbmib

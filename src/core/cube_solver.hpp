@@ -58,6 +58,10 @@ class CubeSolver final : public Solver {
   const ThreadMesh& thread_mesh() const { return mesh_; }
 
  private:
+  void restore_fluid(const FluidGrid& fluid) override {
+    grid_.from_planar(fluid);
+  }
+
   /// Shared tail of both constructors: owned-cube/fiber lists + forces.
   void finish_construction(DistributionPolicy policy);
 

@@ -69,6 +69,10 @@ class DataflowCubeSolver final : public Solver {
   }
 
  private:
+  void restore_fluid(const FluidGrid& fluid) override {
+    grid_.from_planar(fluid);
+  }
+
   void thread_entry(int tid, Index num_steps, const StepObserver& observer,
                     Index observer_interval);
   void run_loop(Index num_steps, const StepObserver& observer,

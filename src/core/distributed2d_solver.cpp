@@ -540,6 +540,42 @@ void Distributed2DSolver::run(Index num_steps, const StepObserver& observer,
   run_loop(num_steps, observer, observer_interval);
 }
 
+void Distributed2DSolver::restore_fluid(const FluidGrid& fluid) {
+  // Refill every rank's tile INCLUDING the four ghost layers from the
+  // wrapped global coordinates (the constructor's solid-mask rule):
+  // correct for periodic axes, inert where the edge layers are walls.
+  for (Rank& r : ranks_) {
+    FluidGrid& grid = *r.grid;
+    for (Index lx = 0; lx <= r.tile.x_hi - r.tile.x_lo + 1; ++lx) {
+      const Index gx = FluidGrid::wrap(r.tile.x_lo + lx - 1, params_.nx);
+      for (Index ly = 0; ly <= r.tile.y_hi - r.tile.y_lo + 1; ++ly) {
+        const Index gy = FluidGrid::wrap(r.tile.y_lo + ly - 1, params_.ny);
+        for (Index z = 0; z < params_.nz; ++z) {
+          const Size src = fluid.index(gx, gy, z);
+          const Size dst = grid.index(lx, ly, z);
+          for (int dir = 0; dir < kQ; ++dir) {
+            grid.df(dir, dst) = fluid.df(dir, src);
+            grid.df_new(dir, dst) = fluid.df_new(dir, src);
+          }
+          grid.rho(dst) = fluid.rho(src);
+          grid.set_velocity(dst, fluid.velocity(src));
+          grid.fx(dst) = fluid.fx(src);
+          grid.fy(dst) = fluid.fy(src);
+          grid.fz(dst) = fluid.fz(src);
+          grid.set_solid(dst, fluid.solid(src));
+        }
+      }
+    }
+  }
+}
+
+void Distributed2DSolver::restore_state(const FluidGrid& fluid,
+                                        const Structure& structure,
+                                        Index step) {
+  Solver::restore_state(fluid, structure, step);
+  for (Rank& r : ranks_) r.structure = structure_;
+}
+
 void Distributed2DSolver::snapshot_fluid(FluidGrid& out) const {
   require(out.nx() == params_.nx && out.ny() == params_.ny &&
               out.nz() == params_.nz,

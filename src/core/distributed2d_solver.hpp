@@ -38,6 +38,8 @@ class Distributed2DSolver final : public Solver {
   void run(Index num_steps, const StepObserver& observer = nullptr,
            Index observer_interval = 1) override;
   void snapshot_fluid(FluidGrid& out) const override;
+  void restore_state(const FluidGrid& fluid, const Structure& structure,
+                     Index step) override;
   std::string name() const override { return "distributed2d"; }
 
   std::vector<KernelProfiler> per_thread_profiles() const override {
@@ -59,6 +61,8 @@ class Distributed2DSolver final : public Solver {
     std::unique_ptr<FluidGrid> grid;  // (lnx+2) x (lny+2) x nz w/ ghosts
     Structure structure;              // replica
   };
+
+  void restore_fluid(const FluidGrid& fluid) override;
 
   void rank_entry(int rank, Index num_steps, const StepObserver& observer,
                   Index observer_interval);

@@ -382,6 +382,41 @@ void DistributedSolver::run(Index num_steps, const StepObserver& observer,
   run_loop(num_steps, observer, observer_interval);
 }
 
+void DistributedSolver::restore_fluid(const FluidGrid& fluid) {
+  // Refill every rank's slab INCLUDING ghost columns from the wrapped
+  // global coordinate (the same rule the constructor uses for the solid
+  // mask): correct for periodic x, inert when the edge columns are walls.
+  for (Rank& r : ranks_) {
+    FluidGrid& grid = *r.grid;
+    for (Index lx = 0; lx <= r.x_hi - r.x_lo + 1; ++lx) {
+      const Index gx = FluidGrid::wrap(r.x_lo + lx - 1, params_.nx);
+      for (Index y = 0; y < params_.ny; ++y) {
+        for (Index z = 0; z < params_.nz; ++z) {
+          const Size src = fluid.index(gx, y, z);
+          const Size dst = grid.index(lx, y, z);
+          for (int dir = 0; dir < kQ; ++dir) {
+            grid.df(dir, dst) = fluid.df(dir, src);
+            grid.df_new(dir, dst) = fluid.df_new(dir, src);
+          }
+          grid.rho(dst) = fluid.rho(src);
+          grid.set_velocity(dst, fluid.velocity(src));
+          grid.fx(dst) = fluid.fx(src);
+          grid.fy(dst) = fluid.fy(src);
+          grid.fz(dst) = fluid.fz(src);
+          grid.set_solid(dst, fluid.solid(src));
+        }
+      }
+    }
+  }
+}
+
+void DistributedSolver::restore_state(const FluidGrid& fluid,
+                                      const Structure& structure,
+                                      Index step) {
+  Solver::restore_state(fluid, structure, step);
+  for (Rank& r : ranks_) r.structure = structure_;
+}
+
 void DistributedSolver::snapshot_fluid(FluidGrid& out) const {
   require(out.nx() == params_.nx && out.ny() == params_.ny &&
               out.nz() == params_.nz,

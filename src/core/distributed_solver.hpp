@@ -44,6 +44,8 @@ class DistributedSolver final : public Solver {
   void run(Index num_steps, const StepObserver& observer = nullptr,
            Index observer_interval = 1) override;
   void snapshot_fluid(FluidGrid& out) const override;
+  void restore_state(const FluidGrid& fluid, const Structure& structure,
+                     Index step) override;
   std::string name() const override { return "distributed"; }
 
   std::vector<KernelProfiler> per_thread_profiles() const override {
@@ -65,6 +67,8 @@ class DistributedSolver final : public Solver {
     std::unique_ptr<FluidGrid> grid;  // (x_hi-x_lo+2) x ny x nz w/ ghosts
     Structure structure;              // replica
   };
+
+  void restore_fluid(const FluidGrid& fluid) override;
 
   void rank_entry(int rank, Index num_steps, const StepObserver& observer,
                   Index observer_interval);

@@ -1,0 +1,80 @@
+#include "core/fault_injection.hpp"
+
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "lbm/fluid_grid.hpp"
+
+namespace lbmib {
+namespace fault {
+
+void inject_nan(FluidGrid& grid, Size node) {
+  require(node < grid.num_nodes(), "inject_nan: node out of range");
+  const Real nan = std::numeric_limits<Real>::quiet_NaN();
+  grid.rho(node) = nan;
+  grid.set_velocity(node, {nan, nan, nan});
+  for (int dir = 0; dir < kQ; ++dir) {
+    grid.df(dir, node) = nan;
+    grid.df_new(dir, node) = nan;
+  }
+}
+
+void inject_nan(Solver& solver, Size node) {
+  const SimulationParams& p = solver.params();
+  FluidGrid scratch(p.nx, p.ny, p.nz);
+  solver.snapshot_fluid(scratch);
+  inject_nan(scratch, node);
+  solver.restore_state(scratch, solver.structure(),
+                       solver.steps_completed());
+}
+
+Solver::StepObserver nan_at_step(Index step, Size node) {
+  // `fired` lives in the shared_ptr so copies of the observer (std::function
+  // copies its callable) still fire at most once between them.
+  auto fired = std::make_shared<bool>(false);
+  return [step, node, fired](Solver& solver, Index completed) {
+    if (*fired || completed < step) return;
+    *fired = true;
+    inject_nan(solver, node);
+  };
+}
+
+void truncate_file(const std::string& path, std::uint64_t keep_bytes) {
+  std::ifstream in(path, std::ios::binary);
+  require(in.good(), "truncate_file: cannot open '" + path + "'");
+  std::vector<char> head(static_cast<std::size_t>(keep_bytes));
+  in.read(head.data(), static_cast<std::streamsize>(head.size()));
+  require(static_cast<std::uint64_t>(in.gcount()) == keep_bytes,
+          "truncate_file: '" + path + "' is shorter than keep_bytes");
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(head.data(), static_cast<std::streamsize>(head.size()));
+  require(out.good(), "truncate_file: cannot rewrite '" + path + "'");
+}
+
+void flip_bit(const std::string& path, std::uint64_t byte_offset, int bit) {
+  require(bit >= 0 && bit < 8, "flip_bit: bit must be in [0, 8)");
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  require(file.good(), "flip_bit: cannot open '" + path + "'");
+  file.seekg(static_cast<std::streamoff>(byte_offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  require(file.good(), "flip_bit: offset beyond end of '" + path + "'");
+  byte = static_cast<char>(byte ^ (1 << bit));
+  file.seekp(static_cast<std::streamoff>(byte_offset));
+  file.write(&byte, 1);
+  require(file.good(), "flip_bit: cannot rewrite '" + path + "'");
+}
+
+std::uint64_t file_size(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  require(in.good(), "file_size: cannot open '" + path + "'");
+  return static_cast<std::uint64_t>(in.tellg());
+}
+
+}  // namespace fault
+}  // namespace lbmib

@@ -1,0 +1,54 @@
+// Deterministic fault injection — test-only hooks that let ctest exercise
+// the resilience layer without waiting for a real divergence or crash.
+//
+// Two fault families:
+//   * state faults: poison a fluid node with NaN, either directly on a
+//     planar grid or on a running solver of ANY kind (via snapshot /
+//     restore_state, so the blocked and distributed layouts need no
+//     special cases);
+//   * file faults: truncate a checkpoint mid-body or flip a single bit,
+//     simulating a torn write and silent media corruption respectively.
+//
+// Nothing here is compiled out in release builds — the hooks are plain
+// functions with no global state, so shipping them costs nothing and the
+// recovery path stays testable everywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/solver.hpp"
+
+namespace lbmib {
+
+class FluidGrid;
+
+namespace fault {
+
+/// Overwrite node `node`'s density, velocity, and all 19 distribution
+/// values with quiet NaNs.
+void inject_nan(FluidGrid& grid, Size node);
+
+/// Poison one fluid node of a running solver (any kind) at its current
+/// step. Implemented as snapshot -> poison -> restore_state.
+void inject_nan(Solver& solver, Size node);
+
+/// A step observer that fires exactly once, when `step` completes, and
+/// poisons node `node`. Fire-once matters for recovery tests: after the
+/// ResilientRunner rolls back and replays past `step`, the fault must not
+/// re-fire or the run could never converge.
+Solver::StepObserver nan_at_step(Index step, Size node);
+
+/// Cut `path` down to its first `keep_bytes` bytes (a torn write).
+/// Throws lbmib::Error if the file cannot be read or rewritten.
+void truncate_file(const std::string& path, std::uint64_t keep_bytes);
+
+/// XOR bit `bit` (0-7) of the byte at `byte_offset` (silent corruption).
+/// Throws lbmib::Error on I/O failure or out-of-range offset.
+void flip_bit(const std::string& path, std::uint64_t byte_offset, int bit);
+
+/// Size of `path` in bytes (helper for picking corruption offsets).
+std::uint64_t file_size(const std::string& path);
+
+}  // namespace fault
+}  // namespace lbmib

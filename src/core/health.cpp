@@ -1,0 +1,132 @@
+#include "core/health.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "core/solver.hpp"
+#include "lbm/fluid_grid.hpp"
+
+namespace lbmib {
+
+namespace {
+
+// Lattice sound speed cs = 1/sqrt(3); |u|/cs = |u| * sqrt(3).
+constexpr Real kInvCs = 1.7320508075688772;
+
+}  // namespace
+
+std::string_view health_status_name(HealthStatus status) {
+  switch (status) {
+    case HealthStatus::kHealthy:
+      return "healthy";
+    case HealthStatus::kWarning:
+      return "warning";
+    case HealthStatus::kDiverged:
+      return "diverged";
+  }
+  return "?";
+}
+
+std::string HealthReport::to_string() const {
+  std::ostringstream os;
+  os << health_status_name(status) << " @step " << step;
+  if (status != HealthStatus::kHealthy) {
+    os << ":";
+    if (non_finite_nodes > 0) os << " " << non_finite_nodes << " non-finite";
+    if (bad_density_nodes > 0) {
+      os << " " << bad_density_nodes << " bad-density";
+    }
+    if (mach_exceeded_nodes > 0) {
+      os << " " << mach_exceeded_nodes << " over-Mach";
+    }
+    if (bad_fiber_nodes > 0) os << " " << bad_fiber_nodes << " bad-fiber";
+  }
+  os << " (rho [" << min_rho << ", " << max_rho << "], max Mach "
+     << max_mach << ")";
+  return os.str();
+}
+
+HealthMonitor::HealthMonitor(HealthConfig config) : config_(config) {}
+
+HealthReport HealthMonitor::scan(const FluidGrid& grid,
+                                 const Structure& structure,
+                                 Index step) const {
+  HealthReport r;
+  r.step = step;
+  r.min_rho = std::numeric_limits<Real>::infinity();
+  r.max_rho = -std::numeric_limits<Real>::infinity();
+
+  bool saw_fluid = false;
+  for (Size node = 0; node < grid.num_nodes(); ++node) {
+    if (grid.solid(node)) continue;
+    saw_fluid = true;
+    const Real rho = grid.rho(node);
+    const Real ux = grid.ux(node);
+    const Real uy = grid.uy(node);
+    const Real uz = grid.uz(node);
+    if (!std::isfinite(rho) || !std::isfinite(ux) || !std::isfinite(uy) ||
+        !std::isfinite(uz)) {
+      ++r.non_finite_nodes;
+      continue;
+    }
+    r.min_rho = std::min(r.min_rho, rho);
+    r.max_rho = std::max(r.max_rho, rho);
+    if (rho < config_.min_density || rho > config_.max_density) {
+      ++r.bad_density_nodes;
+    }
+    const Real mach =
+        std::sqrt(ux * ux + uy * uy + uz * uz) * kInvCs;
+    r.max_mach = std::max(r.max_mach, mach);
+    if (mach >= config_.max_mach) ++r.mach_exceeded_nodes;
+  }
+  if (!saw_fluid) {
+    r.min_rho = 0.0;
+    r.max_rho = 0.0;
+  }
+
+  // Fiber positions: non-finite or absurdly far outside the domain both
+  // indicate a structure solve that has blown up.
+  const Real slack = config_.fiber_domain_slack;
+  const Real lo_x = -slack * static_cast<Real>(grid.nx());
+  const Real hi_x = (1.0 + slack) * static_cast<Real>(grid.nx());
+  const Real lo_y = -slack * static_cast<Real>(grid.ny());
+  const Real hi_y = (1.0 + slack) * static_cast<Real>(grid.ny());
+  const Real lo_z = -slack * static_cast<Real>(grid.nz());
+  const Real hi_z = (1.0 + slack) * static_cast<Real>(grid.nz());
+  for (const FiberSheet& sheet : structure) {
+    for (Size i = 0; i < sheet.num_nodes(); ++i) {
+      const Vec3& p = sheet.position(i);
+      if (!std::isfinite(p.x) || !std::isfinite(p.y) ||
+          !std::isfinite(p.z) || p.x < lo_x || p.x > hi_x || p.y < lo_y ||
+          p.y > hi_y || p.z < lo_z || p.z > hi_z) {
+        ++r.bad_fiber_nodes;
+      }
+    }
+  }
+
+  if (r.non_finite_nodes > 0 || r.bad_density_nodes > 0 ||
+      r.mach_exceeded_nodes > 0 || r.bad_fiber_nodes > 0) {
+    r.status = HealthStatus::kDiverged;
+  } else if (r.max_mach >= config_.warn_mach) {
+    r.status = HealthStatus::kWarning;
+  }
+  return r;
+}
+
+HealthReport HealthMonitor::scan(const Solver& solver) {
+  if (const FluidGrid* planar = solver.planar_fluid()) {
+    last_ = scan(*planar, solver.structure(), solver.steps_completed());
+    return last_;
+  }
+  const SimulationParams& p = solver.params();
+  if (!scratch_ || scratch_->nx() != p.nx || scratch_->ny() != p.ny ||
+      scratch_->nz() != p.nz) {
+    scratch_ = std::make_unique<FluidGrid>(p.nx, p.ny, p.nz);
+  }
+  solver.snapshot_fluid(*scratch_);
+  last_ = scan(*scratch_, solver.structure(), solver.steps_completed());
+  return last_;
+}
+
+}  // namespace lbmib

@@ -1,0 +1,87 @@
+// Numerical health monitoring for long LBM-IB runs.
+//
+// BGK-LBM diverges silently: a too-small relaxation time or an over-stiff
+// fiber sheet produces NaNs that propagate through all 19 distribution
+// planes long before any output is inspected. The HealthMonitor scans the
+// fluid moments (rho, u) and the fiber positions for the three standard
+// failure signatures — non-finite values, density outside a physical
+// band, and Mach-number blow-up (|u| approaching the lattice sound speed
+// cs = 1/sqrt(3) voids the low-Mach expansion behind the equilibrium) —
+// and classifies the state as healthy / warning / diverged.
+//
+// Works for every solver kind: planar solvers are scanned in place via
+// Solver::planar_fluid(); blocked and distributed solvers are snapshotted
+// into a scratch grid first.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+#include "ib/fiber_sheet.hpp"
+
+namespace lbmib {
+
+class FluidGrid;
+class Solver;
+
+/// Thresholds for the divergence scan (lattice units).
+struct HealthConfig {
+  Real min_density = 0.1;   ///< rho below this is unphysical
+  Real max_density = 10.0;  ///< rho above this is unphysical
+  Real warn_mach = 0.3;     ///< |u|/cs above this: accuracy degrading
+  Real max_mach = 0.9;      ///< |u|/cs above this: blow-up imminent
+  /// Fiber positions may wander this many domain lengths outside the box
+  /// before being flagged (periodic images make small excursions normal).
+  Real fiber_domain_slack = 1.0;
+};
+
+enum class HealthStatus { kHealthy, kWarning, kDiverged };
+
+std::string_view health_status_name(HealthStatus status);
+
+/// Outcome of one scan. `status` aggregates the counters: any non-finite
+/// value, out-of-band density, or Mach >= max_mach node means kDiverged;
+/// Mach >= warn_mach alone means kWarning.
+struct HealthReport {
+  HealthStatus status = HealthStatus::kHealthy;
+  Index step = 0;            ///< steps completed when the scan ran
+  Size non_finite_nodes = 0; ///< fluid nodes with NaN/Inf rho or u
+  Size bad_density_nodes = 0;
+  Size mach_exceeded_nodes = 0;  ///< nodes with |u|/cs >= max_mach
+  Size bad_fiber_nodes = 0;  ///< fiber nodes non-finite or far outside
+  Real min_rho = 0.0;
+  Real max_rho = 0.0;
+  Real max_mach = 0.0;       ///< largest |u|/cs seen
+
+  bool diverged() const { return status == HealthStatus::kDiverged; }
+  bool healthy() const { return status == HealthStatus::kHealthy; }
+
+  /// One-line summary for logs: "diverged @step 120: 3 non-finite ...".
+  std::string to_string() const;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthConfig config = {});
+
+  const HealthConfig& config() const { return config_; }
+
+  /// Scan explicit state (only non-solid fluid nodes are considered).
+  HealthReport scan(const FluidGrid& grid, const Structure& structure,
+                    Index step = 0) const;
+
+  /// Scan a solver of any kind. Planar solvers are scanned in place;
+  /// others through a snapshot into an internally reused scratch grid.
+  HealthReport scan(const Solver& solver);
+
+  /// Report of the most recent scan (default-constructed before any).
+  const HealthReport& last_report() const { return last_; }
+
+ private:
+  HealthConfig config_;
+  std::unique_ptr<FluidGrid> scratch_;  ///< lazily sized snapshot buffer
+  HealthReport last_;
+};
+
+}  // namespace lbmib

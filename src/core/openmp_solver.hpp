@@ -22,6 +22,7 @@ class OpenMPSolver final : public Solver {
 
   void step() override;
   void snapshot_fluid(FluidGrid& out) const override;
+  const FluidGrid* planar_fluid() const override { return &grid_; }
   std::string name() const override { return "openmp"; }
 
   std::vector<KernelProfiler> per_thread_profiles() const override {
@@ -32,6 +33,10 @@ class OpenMPSolver final : public Solver {
   const FluidGrid& fluid() const { return grid_; }
 
  private:
+  void restore_fluid(const FluidGrid& fluid) override {
+    grid_.copy_from(fluid);
+  }
+
   FluidGrid grid_;
   std::vector<KernelProfiler> thread_profiles_;
   // Cumulative per-kernel max-over-threads time already merged into the

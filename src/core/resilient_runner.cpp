@@ -1,0 +1,150 @@
+#include "core/resilient_runner.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "lbm/fluid_grid.hpp"
+
+namespace lbmib {
+
+std::string ResilienceReport::to_string() const {
+  std::ostringstream os;
+  os << (completed ? "completed" : "aborted") << " after "
+     << steps_completed << " steps, " << retries_used << " recover"
+     << (retries_used == 1 ? "y" : "ies");
+  for (const RecoveryEvent& e : events) {
+    os << "; retry " << e.retry << ": diverged @" << e.detected_step
+       << " -> resumed @" << e.resumed_step << " (tau " << e.new_tau
+       << ", stiffness x" << e.new_stiffness_scale << ")";
+  }
+  return os.str();
+}
+
+ResilientRunner::ResilientRunner(SolverKind kind,
+                                 const SimulationParams& params,
+                                 ResilienceConfig config)
+    : kind_(kind),
+      params_(params),
+      config_(std::move(config)),
+      rotation_(config_.checkpoint_base),
+      monitor_(config_.health),
+      solver_(make_solver(kind, params_)) {
+  require(config_.checkpoint_interval >= 1,
+          "checkpoint interval must be >= 1");
+  require(config_.health_interval >= 1, "health interval must be >= 1");
+  require(config_.max_retries >= 0, "max_retries must be >= 0");
+  require(config_.tau_boost >= 0.0, "tau_boost must be >= 0");
+  require(config_.stiffness_scale > 0.0 && config_.stiffness_scale <= 1.0,
+          "stiffness_scale must be in (0, 1]");
+}
+
+void ResilientRunner::on_step(Index interval,
+                              Solver::StepObserver observer) {
+  require(interval >= 1, "observer interval must be >= 1");
+  observer_interval_ = interval;
+  observer_ = std::move(observer);
+}
+
+void ResilientRunner::save_checkpoint_now() {
+  const SimulationParams& p = solver_->params();
+  FluidGrid snapshot(p.nx, p.ny, p.nz);
+  solver_->snapshot_fluid(snapshot);
+  rotation_.save(snapshot, solver_->structure(),
+                 solver_->steps_completed());
+  last_checkpoint_step_ = solver_->steps_completed();
+  log_debug("resilience: checkpointed step ", last_checkpoint_step_,
+            " -> ", config_.checkpoint_base);
+}
+
+void ResilientRunner::recover(const std::string& cause,
+                              ResilienceReport& report) {
+  ++report.retries_used;
+  if (report.retries_used > config_.max_retries) {
+    throw Error("resilient run failed: " +
+                std::to_string(config_.max_retries) +
+                " retries exhausted; last fault: " + cause);
+  }
+
+  // Degrade toward stability: more viscosity, softer fibers.
+  params_.tau += config_.tau_boost;
+  stiffness_scale_applied_ *= config_.stiffness_scale;
+  params_.stretching_coeff *= config_.stiffness_scale;
+  params_.bending_coeff *= config_.stiffness_scale;
+  for (SheetSpec& spec : params_.extra_sheets) {
+    spec.stretching_coeff *= config_.stiffness_scale;
+    spec.bending_coeff *= config_.stiffness_scale;
+  }
+
+  RecoveryEvent event;
+  event.retry = report.retries_used;
+  event.detected_step = solver_->steps_completed();
+  event.new_tau = params_.tau;
+  event.new_stiffness_scale = stiffness_scale_applied_;
+  event.cause = cause;
+
+  // A fresh solver picks up the degraded parameters everywhere (MRT
+  // matrix, fiber coefficients, forcing); then roll its state back to the
+  // newest checkpoint that validates, or restart from scratch if none
+  // exists (or both rotation slots are corrupted).
+  solver_ = make_solver(kind_, params_);
+  if (rotation_.has_checkpoint()) {
+    FluidGrid snapshot(params_.nx, params_.ny, params_.nz);
+    Structure structure = make_structure(params_);
+    try {
+      const Index step = rotation_.load(snapshot, structure);
+      solver_->restore_state(snapshot, structure, step);
+      event.resumed_step = step;
+    } catch (const Error& e) {
+      log_warn("resilience: no loadable checkpoint (", e.what(),
+               "); restarting from step 0");
+      event.resumed_step = 0;
+    }
+  }
+  last_checkpoint_step_ = solver_->steps_completed();
+
+  log_warn("resilience: retry ", event.retry, "/", config_.max_retries,
+           " — diverged at step ", event.detected_step, " (", cause,
+           "); rolled back to step ", event.resumed_step,
+           ", tau -> ", params_.tau, ", fiber stiffness x",
+           stiffness_scale_applied_);
+  report.events.push_back(std::move(event));
+}
+
+ResilienceReport ResilientRunner::run(Index num_steps) {
+  require(num_steps >= 0, "num_steps must be >= 0");
+  ResilienceReport report;
+
+  while (solver_->steps_completed() < num_steps) {
+    const Index chunk = std::min(config_.health_interval,
+                                 num_steps - solver_->steps_completed());
+    try {
+      solver_->run(chunk, observer_, observer_interval_);
+    } catch (const Error& e) {
+      // A solver exception (e.g. a guard tripping inside a kernel) is a
+      // fault like any other: roll back and retry degraded.
+      recover(std::string("solver error: ") + e.what(), report);
+      continue;
+    }
+
+    const HealthReport health = monitor_.scan(*solver_);
+    if (health.diverged()) {
+      recover(health.to_string(), report);
+      continue;
+    }
+
+    const Index done = solver_->steps_completed();
+    if (done - last_checkpoint_step_ >= config_.checkpoint_interval ||
+        done >= num_steps) {
+      save_checkpoint_now();
+    }
+  }
+
+  report.completed = true;
+  report.steps_completed = solver_->steps_completed();
+  if (!config_.keep_checkpoints) rotation_.remove_files();
+  return report;
+}
+
+}  // namespace lbmib

@@ -1,0 +1,110 @@
+// Automatic rollback-and-retry recovery for long LBM-IB runs.
+//
+// ResilientRunner wraps a solver run with the full resilience loop:
+//
+//   run in chunks of health_interval steps
+//     -> scan for divergence (HealthMonitor) after every chunk
+//     -> checkpoint every checkpoint_interval steps into a rotating
+//        crash-safe pair (io/checkpoint.hpp), only states that passed
+//        the scan
+//     -> on divergence (or a solver exception): roll back to the newest
+//        valid checkpoint and retry with degraded-but-stable parameters —
+//        each retry raises the relaxation time tau (more viscosity damps
+//        the instability) and scales down the fiber stiffness coefficients
+//        (softer sheets relax the Lagrangian CFL constraint)
+//   bounded by max_retries; every intervention is logged (common/logging).
+//
+// Works with every SolverKind: rollback restores through the generic
+// Solver::restore_state, and recovery recreates the solver so degraded
+// parameters reach all derived state (e.g. the MRT relaxation matrix).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/health.hpp"
+#include "core/solver.hpp"
+#include "io/checkpoint.hpp"
+
+namespace lbmib {
+
+/// Policy knobs of the resilience loop.
+struct ResilienceConfig {
+  Index checkpoint_interval = 50;  ///< steps between rotating checkpoints
+  Index health_interval = 10;      ///< steps between divergence scans
+  int max_retries = 3;             ///< recoveries before giving up
+  Real tau_boost = 0.05;           ///< added to tau on every retry
+  Real stiffness_scale = 0.5;      ///< fiber k_s/k_b multiplier per retry
+  /// Base path of the rotating checkpoint pair (slots `.0` / `.1`).
+  std::string checkpoint_base = "lbmib_resilient.ckpt";
+  /// Keep the checkpoint files after a successful run (default: delete).
+  bool keep_checkpoints = false;
+  HealthConfig health;             ///< divergence thresholds
+};
+
+/// One recovery intervention.
+struct RecoveryEvent {
+  int retry = 0;            ///< 1-based retry count
+  Index detected_step = 0;  ///< steps completed when divergence was seen
+  Index resumed_step = 0;   ///< checkpoint step rolled back to (0 = fresh)
+  Real new_tau = 0.0;       ///< tau after degradation
+  Real new_stiffness_scale = 0.0;  ///< cumulative k_s/k_b factor applied
+  std::string cause;        ///< health report or exception message
+};
+
+/// Outcome of a resilient run.
+struct ResilienceReport {
+  bool completed = false;
+  Index steps_completed = 0;
+  int retries_used = 0;
+  std::vector<RecoveryEvent> events;
+
+  std::string to_string() const;
+};
+
+class ResilientRunner {
+ public:
+  ResilientRunner(SolverKind kind, const SimulationParams& params,
+                  ResilienceConfig config = {});
+
+  /// Register a pass-through observer, as Simulation::on_step. Observers
+  /// also run during replayed (post-rollback) steps — make side effects
+  /// idempotent (see fault::nan_at_step for the fire-once pattern).
+  void on_step(Index interval, Solver::StepObserver observer);
+
+  /// Advance to `num_steps` total completed steps, recovering from
+  /// divergence along the way. Throws lbmib::Error once max_retries
+  /// recoveries were spent and the run still diverges.
+  ResilienceReport run(Index num_steps);
+
+  Solver& solver() { return *solver_; }
+  const Solver& solver() const { return *solver_; }
+
+  /// Parameters currently in effect (reflects degradations applied).
+  const SimulationParams& current_params() const { return params_; }
+
+  const ResilienceConfig& config() const { return config_; }
+  const CheckpointRotation& rotation() const { return rotation_; }
+
+ private:
+  /// Roll back to the newest valid checkpoint (or a fresh start) with
+  /// degraded parameters. Appends the event to `report`.
+  void recover(const std::string& cause, ResilienceReport& report);
+
+  /// Checkpoint the solver's current (scanned-healthy) state.
+  void save_checkpoint_now();
+
+  SolverKind kind_;
+  SimulationParams params_;  ///< degraded in place on every recovery
+  ResilienceConfig config_;
+  CheckpointRotation rotation_;
+  HealthMonitor monitor_;
+  std::unique_ptr<Solver> solver_;
+  Solver::StepObserver observer_;
+  Index observer_interval_ = 1;
+  Real stiffness_scale_applied_ = 1.0;
+  Index last_checkpoint_step_ = -1;
+};
+
+}  // namespace lbmib

@@ -13,12 +13,17 @@ class SequentialSolver final : public Solver {
 
   void step() override;
   void snapshot_fluid(FluidGrid& out) const override;
+  const FluidGrid* planar_fluid() const override { return &grid_; }
   std::string name() const override { return "sequential"; }
 
   FluidGrid& fluid() { return grid_; }
   const FluidGrid& fluid() const { return grid_; }
 
  private:
+  void restore_fluid(const FluidGrid& fluid) override {
+    grid_.copy_from(fluid);
+  }
+
   FluidGrid grid_;
 };
 

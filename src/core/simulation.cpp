@@ -1,6 +1,7 @@
 #include "core/simulation.hpp"
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 
 namespace lbmib {
 
@@ -13,8 +14,35 @@ void Simulation::on_step(Index interval, Solver::StepObserver observer) {
   observer_ = std::move(observer);
 }
 
+void Simulation::enable_health_checks(Index interval, HealthConfig config) {
+  require(interval >= 0, "health interval must be >= 0");
+  health_interval_ = interval;
+  monitor_ = HealthMonitor(config);
+}
+
+HealthReport Simulation::check_health() { return monitor_.scan(*solver_); }
+
 void Simulation::run(Index num_steps) {
-  solver_->run(num_steps, observer_, observer_interval_);
+  if (health_interval_ <= 0) {
+    solver_->run(num_steps, observer_, observer_interval_);
+    return;
+  }
+  // Compose the user observer with the periodic health scan. The scan
+  // must not throw: parallel solvers invoke observers from a worker
+  // thread while the rest of the team waits at a barrier, so divergence
+  // is recorded and logged, and callers inspect last_health() (the
+  // ResilientRunner does exactly that between bounded run chunks).
+  const Index user_interval = observer_interval_;
+  auto combined = [this, user_interval](Solver& s, Index step) {
+    if (observer_ && (step + 1) % user_interval == 0) observer_(s, step);
+    if ((step + 1) % health_interval_ == 0) {
+      const HealthReport report = monitor_.scan(s);
+      if (report.diverged()) {
+        log_warn("health: ", report.to_string());
+      }
+    }
+  };
+  solver_->run(num_steps, combined, 1);
 }
 
 }  // namespace lbmib

@@ -14,6 +14,7 @@
 
 #include <memory>
 
+#include "core/health.hpp"
 #include "core/solver.hpp"
 
 namespace lbmib {
@@ -24,6 +25,21 @@ class Simulation {
 
   /// Register an observer called every `interval` steps during run().
   void on_step(Index interval, Solver::StepObserver observer);
+
+  /// Scan fluid and fibers for divergence (NaN/Inf, density bounds, Mach
+  /// blow-up) every `interval` steps during run(). A diverged scan is
+  /// logged; the latest report is available via last_health(). Interval 0
+  /// disables scanning.
+  void enable_health_checks(Index interval, HealthConfig config = {});
+
+  /// Scan right now and return the report (independent of the periodic
+  /// schedule; also updates last_health()).
+  HealthReport check_health();
+
+  /// Report of the most recent health scan.
+  const HealthReport& last_health() const {
+    return monitor_.last_report();
+  }
 
   /// Advance `num_steps` time steps.
   void run(Index num_steps);
@@ -41,6 +57,8 @@ class Simulation {
   std::unique_ptr<Solver> solver_;
   Solver::StepObserver observer_;
   Index observer_interval_ = 1;
+  HealthMonitor monitor_;
+  Index health_interval_ = 0;  ///< 0 = health checks disabled
 };
 
 }  // namespace lbmib

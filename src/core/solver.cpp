@@ -19,6 +19,24 @@ Solver::Solver(const SimulationParams& params) : params_(params) {
   }
 }
 
+void Solver::restore_state(const FluidGrid& fluid,
+                           const Structure& structure, Index step) {
+  require(fluid.nx() == params_.nx && fluid.ny() == params_.ny &&
+              fluid.nz() == params_.nz,
+          "restore_state fluid dimensions do not match");
+  require(structure.size() == structure_.size(),
+          "restore_state sheet count does not match");
+  for (Size s = 0; s < structure.size(); ++s) {
+    require(structure[s].num_fibers() == structure_[s].num_fibers() &&
+                structure[s].nodes_per_fiber() ==
+                    structure_[s].nodes_per_fiber(),
+            "restore_state sheet dimensions do not match");
+  }
+  structure_ = structure;
+  restore_fluid(fluid);
+  steps_completed_ = step;
+}
+
 void Solver::run(Index num_steps, const StepObserver& observer,
                  Index observer_interval) {
   require(observer_interval >= 1, "observer interval must be >= 1");

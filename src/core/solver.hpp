@@ -48,6 +48,18 @@ class Solver {
   /// solvers copy their grid; the cube solver converts from cubes.
   virtual void snapshot_fluid(FluidGrid& out) const = 0;
 
+  /// Direct read access to the fluid state if this solver stores it in
+  /// planar layout (sequential, OpenMP); null otherwise — callers then
+  /// fall back to snapshot_fluid. Lets health scans avoid copying.
+  virtual const FluidGrid* planar_fluid() const { return nullptr; }
+
+  /// Replace the complete simulation state with a previously saved one
+  /// (checkpoint rollback): fluid in planar layout, all sheets, and the
+  /// completed-step counter. `fluid` must match the solver's dimensions
+  /// and `structure` its sheet layout.
+  virtual void restore_state(const FluidGrid& fluid,
+                             const Structure& structure, Index step);
+
   /// Human-readable implementation name.
   virtual std::string name() const = 0;
 
@@ -74,6 +86,10 @@ class Solver {
   }
 
  protected:
+  /// Adopt `fluid` as the solver's fluid state (layout conversion as
+  /// needed). Called by restore_state after the structure is in place.
+  virtual void restore_fluid(const FluidGrid& fluid) = 0;
+
   SimulationParams params_;
   Structure structure_;  ///< never empty; [0] is the primary sheet
   /// Non-null iff params.collision == kMRT; shared by all kernel phases.

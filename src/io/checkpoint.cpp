@@ -1,8 +1,11 @@
 #include "io/checkpoint.hpp"
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "lbm/fluid_grid.hpp"
 
@@ -10,52 +13,102 @@ namespace lbmib {
 
 namespace {
 
-constexpr std::uint64_t kMagic = 0x4C424D4942435032ull;  // "LBMIBCP2"
-constexpr std::uint64_t kVersion = 2;
+constexpr std::uint64_t kMagicV2 = 0x4C424D4942435032ull;  // "LBMIBCP2"
+constexpr std::uint64_t kMagicV3 = 0x4C424D4942435033ull;  // "LBMIBCP3"
+constexpr std::uint64_t kVersion = 3;
 
-void write_u64(std::ostream& out, std::uint64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
+// Serialization helpers that checksum every byte they move. Sections end
+// with finish_section(): the writer appends the running CRC-32, the reader
+// verifies it. The reader also validates the stream after every read so a
+// truncated file reports truncation, not a bogus field mismatch.
 
-std::uint64_t read_u64(std::istream& in) {
-  std::uint64_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof(v));
-  return v;
-}
+class CrcWriter {
+ public:
+  explicit CrcWriter(std::ostream& out) : out_(out) {}
 
-void write_reals(std::ostream& out, const Real* data, Size count) {
-  out.write(reinterpret_cast<const char*>(data),
-            static_cast<std::streamsize>(count * sizeof(Real)));
-}
+  void write(const void* data, std::size_t len) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(len));
+    crc_.update(data, len);
+  }
+  void write_u64(std::uint64_t v) { write(&v, sizeof(v)); }
+  void write_reals(const Real* data, Size count) {
+    write(data, count * sizeof(Real));
+  }
 
-void read_reals(std::istream& in, Real* data, Size count) {
-  in.read(reinterpret_cast<char*>(data),
-          static_cast<std::streamsize>(count * sizeof(Real)));
-}
+  /// Append this section's checksum and start the next section.
+  void finish_section() {
+    const std::uint32_t crc = crc_.value();
+    out_.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    crc_.reset();
+  }
 
-void write_grid(std::ostream& out, const FluidGrid& grid) {
+ private:
+  std::ostream& out_;
+  Crc32 crc_;
+};
+
+class CrcReader {
+ public:
+  CrcReader(std::istream& in, const std::string& path)
+      : in_(in), path_(path) {}
+
+  void read(void* data, std::size_t len) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(len));
+    require(!in_.fail(), "checkpoint '" + path_ + "' is truncated");
+    crc_.update(data, len);
+  }
+  std::uint64_t read_u64() {
+    std::uint64_t v = 0;
+    read(&v, sizeof(v));
+    return v;
+  }
+  void read_reals(Real* data, Size count) {
+    read(data, count * sizeof(Real));
+  }
+
+  /// Verify this section's stored checksum and start the next section.
+  void finish_section() {
+    const std::uint32_t expected = crc_.value();
+    std::uint32_t stored = 0;
+    in_.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    require(!in_.fail(), "checkpoint '" + path_ + "' is truncated");
+    require(stored == expected,
+            "checkpoint '" + path_ + "' failed its section checksum "
+            "(corrupted)");
+    crc_.reset();
+  }
+
+ private:
+  std::istream& in_;
+  const std::string& path_;
+  Crc32 crc_;
+};
+
+void write_grid(CrcWriter& out, const FluidGrid& grid) {
   const Size n = grid.num_nodes();
-  for (int dir = 0; dir < kQ; ++dir) write_reals(out, grid.df_plane(dir), n);
+  for (int dir = 0; dir < kQ; ++dir) out.write_reals(grid.df_plane(dir), n);
   for (int dir = 0; dir < kQ; ++dir) {
-    write_reals(out, grid.df_new_plane(dir), n);
+    out.write_reals(grid.df_new_plane(dir), n);
   }
   for (Size node = 0; node < n; ++node) {
     Real moments[8] = {grid.rho(node), grid.ux(node), grid.uy(node),
                        grid.uz(node),  grid.fx(node), grid.fy(node),
                        grid.fz(node),  grid.solid(node) ? 1.0 : 0.0};
-    write_reals(out, moments, 8);
+    out.write_reals(moments, 8);
   }
+  out.finish_section();
 }
 
-void read_grid(std::istream& in, FluidGrid& grid) {
+void read_grid(CrcReader& in, FluidGrid& grid) {
   const Size n = grid.num_nodes();
-  for (int dir = 0; dir < kQ; ++dir) read_reals(in, grid.df_plane(dir), n);
+  for (int dir = 0; dir < kQ; ++dir) in.read_reals(grid.df_plane(dir), n);
   for (int dir = 0; dir < kQ; ++dir) {
-    read_reals(in, grid.df_new_plane(dir), n);
+    in.read_reals(grid.df_new_plane(dir), n);
   }
   for (Size node = 0; node < n; ++node) {
     Real moments[8];
-    read_reals(in, moments, 8);
+    in.read_reals(moments, 8);
     grid.rho(node) = moments[0];
     grid.set_velocity(node, {moments[1], moments[2], moments[3]});
     grid.fx(node) = moments[4];
@@ -63,11 +116,12 @@ void read_grid(std::istream& in, FluidGrid& grid) {
     grid.fz(node) = moments[6];
     grid.set_solid(node, moments[7] != 0.0);
   }
+  in.finish_section();
 }
 
-void write_sheet(std::ostream& out, const FiberSheet& sheet) {
-  write_u64(out, static_cast<std::uint64_t>(sheet.num_fibers()));
-  write_u64(out, static_cast<std::uint64_t>(sheet.nodes_per_fiber()));
+void write_sheet(CrcWriter& out, const FiberSheet& sheet) {
+  out.write_u64(static_cast<std::uint64_t>(sheet.num_fibers()));
+  out.write_u64(static_cast<std::uint64_t>(sheet.nodes_per_fiber()));
   for (Size i = 0; i < sheet.num_nodes(); ++i) {
     const Vec3& p = sheet.position(i);
     const Vec3& b = sheet.bending_force(i);
@@ -76,104 +130,183 @@ void write_sheet(std::ostream& out, const FiberSheet& sheet) {
     Real fields[13] = {p.x, p.y, p.z, b.x, b.y, b.z, s.x,
                        s.y, s.z, e.x, e.y, e.z,
                        sheet.pinned(i) ? 1.0 : 0.0};
-    write_reals(out, fields, 13);
+    out.write_reals(fields, 13);
   }
+  out.finish_section();
 }
 
-void read_sheet(std::istream& in, FiberSheet& sheet,
+void read_sheet(CrcReader& in, FiberSheet& sheet,
                 const std::string& path) {
-  require(read_u64(in) == static_cast<std::uint64_t>(sheet.num_fibers()) &&
-              read_u64(in) ==
+  require(in.read_u64() == static_cast<std::uint64_t>(sheet.num_fibers()) &&
+              in.read_u64() ==
                   static_cast<std::uint64_t>(sheet.nodes_per_fiber()),
           "checkpoint sheet dimensions do not match in '" + path + "'");
   for (Size i = 0; i < sheet.num_nodes(); ++i) {
     Real fields[13];
-    read_reals(in, fields, 13);
+    in.read_reals(fields, 13);
     sheet.position(i) = {fields[0], fields[1], fields[2]};
     sheet.bending_force(i) = {fields[3], fields[4], fields[5]};
     sheet.stretching_force(i) = {fields[6], fields[7], fields[8]};
     sheet.elastic_force(i) = {fields[9], fields[10], fields[11]};
     sheet.set_pinned(i, fields[12] != 0.0);
   }
+  in.finish_section();
 }
 
-template <class SheetRange>
+// Both public overloads (single sheet, whole structure) funnel through
+// these pointer-range implementations.
+
 void save_impl(const std::string& path, const FluidGrid& grid,
-               const SheetRange& sheets, Size num_sheets) {
-  std::ofstream out(path, std::ios::binary);
-  require(out.good(), "cannot open '" + path + "' for writing");
+               const std::vector<const FiberSheet*>& sheets, Index step) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    require(out.good(), "cannot open '" + tmp + "' for writing");
 
-  write_u64(out, kMagic);
-  write_u64(out, kVersion);
-  write_u64(out, static_cast<std::uint64_t>(grid.nx()));
-  write_u64(out, static_cast<std::uint64_t>(grid.ny()));
-  write_u64(out, static_cast<std::uint64_t>(grid.nz()));
-  write_u64(out, num_sheets);
-  write_grid(out, grid);
-  for (const FiberSheet& sheet : sheets) write_sheet(out, sheet);
-  require(out.good(), "error while writing '" + path + "'");
+    CrcWriter writer(out);
+    writer.write_u64(kMagicV3);
+    writer.write_u64(kVersion);
+    writer.write_u64(static_cast<std::uint64_t>(grid.nx()));
+    writer.write_u64(static_cast<std::uint64_t>(grid.ny()));
+    writer.write_u64(static_cast<std::uint64_t>(grid.nz()));
+    writer.write_u64(static_cast<std::uint64_t>(sheets.size()));
+    writer.write_u64(static_cast<std::uint64_t>(step));
+    writer.finish_section();
+    write_grid(writer, grid);
+    for (const FiberSheet* sheet : sheets) write_sheet(writer, *sheet);
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw Error("error while writing '" + tmp + "'");
+    }
+  }
+  // Atomic publish: the destination either keeps its old content or gets
+  // the complete new file, never a torn mix.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("cannot rename '" + tmp + "' to '" + path + "'");
+  }
 }
 
-template <class SheetRange>
-void load_impl(const std::string& path, FluidGrid& grid,
-               SheetRange& sheets, Size num_sheets) {
+Index load_impl(const std::string& path, FluidGrid& grid,
+                const std::vector<FiberSheet*>& sheets) {
   std::ifstream in(path, std::ios::binary);
   require(in.good(), "cannot open '" + path + "' for reading");
 
-  require(read_u64(in) == kMagic, "'" + path + "' is not a checkpoint");
-  require(read_u64(in) == kVersion, "unsupported checkpoint version");
-  require(read_u64(in) == static_cast<std::uint64_t>(grid.nx()) &&
-              read_u64(in) == static_cast<std::uint64_t>(grid.ny()) &&
-              read_u64(in) == static_cast<std::uint64_t>(grid.nz()),
+  CrcReader reader(in, path);
+  const std::uint64_t magic = reader.read_u64();
+  require(magic == kMagicV3 || magic == kMagicV2,
+          "'" + path + "' is not a checkpoint");
+  require(reader.read_u64() == kVersion,
+          "unsupported checkpoint version in '" + path + "'");
+  require(reader.read_u64() == static_cast<std::uint64_t>(grid.nx()) &&
+              reader.read_u64() == static_cast<std::uint64_t>(grid.ny()) &&
+              reader.read_u64() == static_cast<std::uint64_t>(grid.nz()),
           "checkpoint grid dimensions do not match");
-  require(read_u64(in) == num_sheets,
+  require(reader.read_u64() == sheets.size(),
           "checkpoint sheet count does not match");
-  read_grid(in, grid);
-  for (FiberSheet& sheet : sheets) read_sheet(in, sheet, path);
-  require(in.good(), "checkpoint '" + path + "' is truncated");
+  const Index step = static_cast<Index>(reader.read_u64());
+  reader.finish_section();
+  read_grid(reader, grid);
+  for (FiberSheet* sheet : sheets) read_sheet(reader, *sheet, path);
+  return step;
+}
+
+std::vector<const FiberSheet*> sheet_ptrs(const Structure& structure) {
+  std::vector<const FiberSheet*> ptrs;
+  ptrs.reserve(structure.size());
+  for (const FiberSheet& s : structure) ptrs.push_back(&s);
+  return ptrs;
+}
+
+std::vector<FiberSheet*> sheet_ptrs(Structure& structure) {
+  std::vector<FiberSheet*> ptrs;
+  ptrs.reserve(structure.size());
+  for (FiberSheet& s : structure) ptrs.push_back(&s);
+  return ptrs;
 }
 
 }  // namespace
 
 void save_checkpoint(const std::string& path, const FluidGrid& grid,
-                     const FiberSheet& sheet) {
-  std::ofstream out(path, std::ios::binary);
-  require(out.good(), "cannot open '" + path + "' for writing");
-  write_u64(out, kMagic);
-  write_u64(out, kVersion);
-  write_u64(out, static_cast<std::uint64_t>(grid.nx()));
-  write_u64(out, static_cast<std::uint64_t>(grid.ny()));
-  write_u64(out, static_cast<std::uint64_t>(grid.nz()));
-  write_u64(out, 1);
-  write_grid(out, grid);
-  write_sheet(out, sheet);
-  require(out.good(), "error while writing '" + path + "'");
+                     const FiberSheet& sheet, Index step) {
+  save_impl(path, grid, {&sheet}, step);
 }
 
-void load_checkpoint(const std::string& path, FluidGrid& grid,
-                     FiberSheet& sheet) {
-  std::ifstream in(path, std::ios::binary);
-  require(in.good(), "cannot open '" + path + "' for reading");
-  require(read_u64(in) == kMagic, "'" + path + "' is not a checkpoint");
-  require(read_u64(in) == kVersion, "unsupported checkpoint version");
-  require(read_u64(in) == static_cast<std::uint64_t>(grid.nx()) &&
-              read_u64(in) == static_cast<std::uint64_t>(grid.ny()) &&
-              read_u64(in) == static_cast<std::uint64_t>(grid.nz()),
-          "checkpoint grid dimensions do not match");
-  require(read_u64(in) == 1, "checkpoint holds more than one sheet");
-  read_grid(in, grid);
-  read_sheet(in, sheet, path);
-  require(in.good(), "checkpoint '" + path + "' is truncated");
+Index load_checkpoint(const std::string& path, FluidGrid& grid,
+                      FiberSheet& sheet) {
+  return load_impl(path, grid, {&sheet});
 }
 
 void save_checkpoint(const std::string& path, const FluidGrid& grid,
-                     const Structure& structure) {
-  save_impl(path, grid, structure, structure.size());
+                     const Structure& structure, Index step) {
+  save_impl(path, grid, sheet_ptrs(structure), step);
 }
 
-void load_checkpoint(const std::string& path, FluidGrid& grid,
-                     Structure& structure) {
-  load_impl(path, grid, structure, structure.size());
+Index load_checkpoint(const std::string& path, FluidGrid& grid,
+                      Structure& structure) {
+  return load_impl(path, grid, sheet_ptrs(structure));
+}
+
+Index peek_checkpoint_step(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return -1;
+  std::uint64_t header[7];
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  std::uint32_t stored_crc = 0;
+  in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
+  if (in.fail()) return -1;
+  if (header[0] != kMagicV3 || header[1] != kVersion) return -1;
+  if (crc32_of(header, sizeof(header)) != stored_crc) return -1;
+  return static_cast<Index>(header[6]);
+}
+
+CheckpointRotation::CheckpointRotation(std::string base_path)
+    : paths_{base_path + ".0", base_path + ".1"} {}
+
+void CheckpointRotation::save(const FluidGrid& grid,
+                              const Structure& structure, Index step) {
+  // Overwrite the slot holding the OLDER checkpoint; the newer one stays
+  // intact until this save has fully landed.
+  const Index step0 = peek_checkpoint_step(paths_[0]);
+  const Index step1 = peek_checkpoint_step(paths_[1]);
+  const int slot = step0 > step1 ? 1 : 0;
+  save_checkpoint(paths_[slot], grid, structure, step);
+}
+
+Index CheckpointRotation::load(FluidGrid& grid,
+                               Structure& structure) const {
+  // Try slots newest-first; a slot that fails validation (torn write, bit
+  // rot) falls back to the other.
+  const Index step0 = peek_checkpoint_step(paths_[0]);
+  const Index step1 = peek_checkpoint_step(paths_[1]);
+  const int first = step0 >= step1 ? 0 : 1;
+  std::string failure;
+  for (const int slot : {first, 1 - first}) {
+    if (peek_checkpoint_step(paths_[slot]) < 0) continue;
+    try {
+      return load_checkpoint(paths_[slot], grid, structure);
+    } catch (const Error& e) {
+      failure += std::string(failure.empty() ? "" : "; ") + e.what();
+    }
+  }
+  throw Error("no valid checkpoint in rotation '" + paths_[0] + "' / '" +
+              paths_[1] + "'" + (failure.empty() ? "" : ": " + failure));
+}
+
+bool CheckpointRotation::has_checkpoint() const {
+  return latest_step() >= 0;
+}
+
+Index CheckpointRotation::latest_step() const {
+  return std::max(peek_checkpoint_step(paths_[0]),
+                  peek_checkpoint_step(paths_[1]));
+}
+
+void CheckpointRotation::remove_files() const {
+  std::remove(paths_[0].c_str());
+  std::remove(paths_[1].c_str());
 }
 
 }  // namespace lbmib

@@ -1,34 +1,84 @@
-// Binary checkpoint / restart.
+// Binary checkpoint / restart (format v3, crash-safe).
 //
 // Serializes the complete simulation state — fluid grid (both distribution
-// buffers, moments, forces, solid mask) and fiber sheet (positions,
-// forces, pins) — so long runs can resume exactly. Format: magic + version
-// header, little-endian raw fields.
+// buffers, moments, forces, solid mask) and every fiber sheet (positions,
+// forces, pins) — so long runs can resume exactly.
+//
+// Format v3 (little-endian):
+//   header section: magic, version, nx, ny, nz, num_sheets, step  (u64 each)
+//   one grid section, then one section per sheet
+// Every section is followed by a CRC-32 of its bytes, verified on load, so
+// a torn write or bit flip is detected instead of silently restoring
+// garbage. Saves write to `path + ".tmp"` and atomically rename into
+// place: a crash mid-write never corrupts an existing checkpoint.
+//
+// CheckpointRotation keeps a rotating pair of checkpoints (`base.0`,
+// `base.1`) and restores the newest one that still validates, so a file
+// corrupted on disk degrades to the previous good state instead of
+// aborting the run.
 #pragma once
 
 #include <string>
 
+#include "common/types.hpp"
 #include "ib/fiber_sheet.hpp"
 
 namespace lbmib {
 
 class FluidGrid;
 
-/// Write grid + sheet to `path`. Throws lbmib::Error on I/O failure.
+/// Write grid + sheet to `path` (atomic temp-file + rename). `step` is the
+/// number of completed time steps stored alongside the state. Throws
+/// lbmib::Error on I/O failure.
 void save_checkpoint(const std::string& path, const FluidGrid& grid,
-                     const FiberSheet& sheet);
+                     const FiberSheet& sheet, Index step = 0);
 
-/// Restore state saved by save_checkpoint (single-sheet file). The grid
-/// and sheet must already have the same dimensions as the saved state
-/// (construct from the same SimulationParams); throws lbmib::Error on any
-/// mismatch or corruption.
-void load_checkpoint(const std::string& path, FluidGrid& grid,
-                     FiberSheet& sheet);
+/// Restore state saved by save_checkpoint (single-sheet file) and return
+/// the stored step count. The grid and sheet must already have the same
+/// dimensions as the saved state (construct from the same
+/// SimulationParams); throws lbmib::Error on any mismatch, truncation, or
+/// checksum failure.
+Index load_checkpoint(const std::string& path, FluidGrid& grid,
+                      FiberSheet& sheet);
 
 /// Multi-sheet variants: the whole immersed structure in one file.
 void save_checkpoint(const std::string& path, const FluidGrid& grid,
-                     const Structure& structure);
-void load_checkpoint(const std::string& path, FluidGrid& grid,
-                     Structure& structure);
+                     const Structure& structure, Index step = 0);
+Index load_checkpoint(const std::string& path, FluidGrid& grid,
+                      Structure& structure);
+
+/// Read only the step count stored in a checkpoint header. Returns -1 if
+/// the file is missing, unreadable, or fails header validation.
+Index peek_checkpoint_step(const std::string& path);
+
+/// A rotating pair of checkpoint files `base.0` / `base.1`. save()
+/// alternates slots so the previous good checkpoint survives a crash (or
+/// disk corruption) of the current one; load() restores the newest slot
+/// that passes all CRC checks and falls back to the other.
+class CheckpointRotation {
+ public:
+  explicit CheckpointRotation(std::string base_path);
+
+  /// Save into the slot NOT holding the newest checkpoint.
+  void save(const FluidGrid& grid, const Structure& structure, Index step);
+
+  /// Restore the newest valid slot; returns its step count. Throws
+  /// lbmib::Error if neither slot validates.
+  Index load(FluidGrid& grid, Structure& structure) const;
+
+  /// True if at least one slot has a readable v3 header.
+  bool has_checkpoint() const;
+
+  /// Newest step stored across both slots (-1 if none readable).
+  Index latest_step() const;
+
+  const std::string& slot_path(int slot) const { return paths_[slot & 1]; }
+
+  /// Delete both slot files (ignores missing files).
+  void remove_files() const;
+
+ private:
+  std::string paths_[2];
+};
 
 }  // namespace lbmib

@@ -9,9 +9,13 @@
 #include "common/types.hpp"      // IWYU pragma: export
 #include "common/vec3.hpp"       // IWYU pragma: export
 #include "core/autotune.hpp"    // IWYU pragma: export
+#include "core/fault_injection.hpp" // IWYU pragma: export
+#include "core/health.hpp"       // IWYU pragma: export
+#include "core/resilient_runner.hpp" // IWYU pragma: export
 #include "core/simulation.hpp"   // IWYU pragma: export
 #include "core/solver.hpp"       // IWYU pragma: export
 #include "core/verification.hpp" // IWYU pragma: export
+#include "io/checkpoint.hpp"     // IWYU pragma: export
 #include "cube/cube_grid.hpp"    // IWYU pragma: export
 #include "cube/distribution.hpp" // IWYU pragma: export
 #include "cube/numa_distribution.hpp" // IWYU pragma: export

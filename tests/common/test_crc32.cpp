@@ -1,0 +1,43 @@
+#include "common/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace lbmib {
+namespace {
+
+TEST(Crc32Test, StandardCheckValue) {
+  // The canonical CRC-32/IEEE check vector.
+  const char* msg = "123456789";
+  EXPECT_EQ(crc32_of(msg, std::strlen(msg)), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyInputIsZero) { EXPECT_EQ(crc32_of("", 0), 0u); }
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  Crc32 crc;
+  for (char c : data) crc.update(&c, 1);
+  EXPECT_EQ(crc.value(), crc32_of(data.data(), data.size()));
+}
+
+TEST(Crc32Test, ResetRestoresEmptyState) {
+  Crc32 crc;
+  crc.update("garbage", 7);
+  crc.reset();
+  crc.update("123456789", 9);
+  EXPECT_EQ(crc.value(), 0xCBF43926u);
+}
+
+TEST(Crc32Test, SingleBitFlipChangesValue) {
+  std::string data(64, '\0');
+  data[17] = 'x';
+  const std::uint32_t before = crc32_of(data.data(), data.size());
+  data[40] = static_cast<char>(data[40] ^ 0x10);
+  EXPECT_NE(crc32_of(data.data(), data.size()), before);
+}
+
+}  // namespace
+}  // namespace lbmib

@@ -1,0 +1,136 @@
+#include "core/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/fault_injection.hpp"
+#include "core/simulation.hpp"
+#include "core/solver.hpp"
+#include "lbm/fluid_grid.hpp"
+
+namespace lbmib {
+namespace {
+
+SimulationParams tiny_params() {
+  SimulationParams p = presets::tiny();
+  p.body_force = {1e-5, 0.0, 0.0};
+  return p;
+}
+
+TEST(HealthMonitorTest, FreshStateIsHealthy) {
+  const SimulationParams p = tiny_params();
+  FluidGrid grid(p);
+  Structure structure = make_structure(p);
+  HealthMonitor monitor;
+  const HealthReport r = monitor.scan(grid, structure, 0);
+  EXPECT_EQ(r.status, HealthStatus::kHealthy);
+  EXPECT_EQ(r.non_finite_nodes, 0u);
+  EXPECT_NEAR(r.min_rho, 1.0, 1e-12);
+  EXPECT_NEAR(r.max_rho, 1.0, 1e-12);
+}
+
+TEST(HealthMonitorTest, FlagsInjectedNan) {
+  const SimulationParams p = tiny_params();
+  FluidGrid grid(p);
+  Structure structure = make_structure(p);
+  fault::inject_nan(grid, grid.index(3, 3, 3));
+  HealthMonitor monitor;
+  const HealthReport r = monitor.scan(grid, structure, 7);
+  EXPECT_EQ(r.status, HealthStatus::kDiverged);
+  EXPECT_EQ(r.non_finite_nodes, 1u);
+  EXPECT_EQ(r.step, 7);
+}
+
+TEST(HealthMonitorTest, FlagsDensityOutOfBounds) {
+  const SimulationParams p = tiny_params();
+  FluidGrid grid(p);
+  Structure structure = make_structure(p);
+  grid.rho(grid.index(1, 1, 1)) = 100.0;
+  HealthMonitor monitor;
+  EXPECT_EQ(monitor.scan(grid, structure).status, HealthStatus::kDiverged);
+  EXPECT_EQ(monitor.scan(grid, structure).bad_density_nodes, 1u);
+}
+
+TEST(HealthMonitorTest, FlagsMachBlowupAndWarning) {
+  const SimulationParams p = tiny_params();
+  FluidGrid grid(p);
+  Structure structure = make_structure(p);
+  HealthMonitor monitor;
+
+  // |u| = 0.25 -> Mach ~ 0.43: above warn (0.3), below blow-up (0.9).
+  grid.set_velocity(grid.index(2, 2, 2), {0.25, 0.0, 0.0});
+  EXPECT_EQ(monitor.scan(grid, structure).status, HealthStatus::kWarning);
+
+  // |u| = 0.8 -> Mach ~ 1.4: beyond the lattice sound speed.
+  grid.set_velocity(grid.index(2, 2, 2), {0.8, 0.0, 0.0});
+  const HealthReport r = monitor.scan(grid, structure);
+  EXPECT_EQ(r.status, HealthStatus::kDiverged);
+  EXPECT_EQ(r.mach_exceeded_nodes, 1u);
+}
+
+TEST(HealthMonitorTest, FlagsEscapedFiberNode) {
+  const SimulationParams p = tiny_params();
+  FluidGrid grid(p);
+  Structure structure = make_structure(p);
+  structure[0].position(Size{0}) = {1e6, 0.0, 0.0};
+  HealthMonitor monitor;
+  const HealthReport r = monitor.scan(grid, structure);
+  EXPECT_EQ(r.status, HealthStatus::kDiverged);
+  EXPECT_EQ(r.bad_fiber_nodes, 1u);
+}
+
+TEST(HealthMonitorTest, IgnoresSolidNodes) {
+  const SimulationParams p = tiny_params();
+  FluidGrid grid(p);
+  Structure structure = make_structure(p);
+  const Size node = grid.index(0, 0, 0);
+  grid.set_solid(node, true);
+  grid.rho(node) = std::numeric_limits<Real>::quiet_NaN();
+  HealthMonitor monitor;
+  EXPECT_EQ(monitor.scan(grid, structure).status, HealthStatus::kHealthy);
+}
+
+// Every solver kind must be scannable, and a NaN poked into its state via
+// the generic snapshot/restore path must be flagged within one scan.
+class HealthAllSolversTest : public ::testing::TestWithParam<SolverKind> {};
+
+TEST_P(HealthAllSolversTest, ScanAndInjectionWork) {
+  SimulationParams p = tiny_params();
+  p.num_threads = 2;
+  auto solver = make_solver(GetParam(), p);
+  solver->run(2);
+
+  HealthMonitor monitor;
+  EXPECT_EQ(monitor.scan(*solver).status, HealthStatus::kHealthy);
+
+  fault::inject_nan(*solver, 100);
+  EXPECT_EQ(monitor.scan(*solver).status, HealthStatus::kDiverged);
+  EXPECT_GE(monitor.last_report().non_finite_nodes, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, HealthAllSolversTest,
+    ::testing::Values(SolverKind::kSequential, SolverKind::kOpenMP,
+                      SolverKind::kCube, SolverKind::kDataflow,
+                      SolverKind::kDistributed, SolverKind::kDistributed2D),
+    [](const ::testing::TestParamInfo<SolverKind>& info) {
+      return std::string(solver_kind_name(info.param));
+    });
+
+TEST(SimulationHealthTest, PeriodicScanRecordsDivergence) {
+  SimulationParams p = tiny_params();
+  Simulation sim(SolverKind::kSequential, p);
+  sim.enable_health_checks(5);
+  sim.on_step(1, fault::nan_at_step(7, 64));
+  sim.run(20);
+  // The scan at step 10 (first multiple of 5 after the step-7 injection)
+  // must have caught the NaN.
+  EXPECT_EQ(sim.last_health().status, HealthStatus::kDiverged);
+  EXPECT_GE(sim.last_health().non_finite_nodes, 1u);
+  EXPECT_EQ(sim.check_health().status, HealthStatus::kDiverged);
+}
+
+}  // namespace
+}  // namespace lbmib
