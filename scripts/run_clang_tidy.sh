@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy) over the library sources.
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir]
+#
+# Generates compile_commands.json in a dedicated build tree (default:
+# build-tidy) so the main build is untouched, then tidies every .cpp
+# under src/. Uses run-clang-tidy for parallelism when available, plain
+# clang-tidy otherwise. Exits non-zero on any diagnostic that
+# .clang-tidy promotes to an error.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tidy}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "error: clang-tidy not found on PATH." >&2
+  echo "Install LLVM/Clang (e.g. 'apt install clang-tidy') and re-run;" >&2
+  echo "the CI clang-tidy job runs this script on every push." >&2
+  exit 1
+fi
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  -DLBMIB_BUILD_BENCH=OFF >/dev/null
+
+mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
+echo "clang-tidy over ${#SOURCES[@]} files (database: $BUILD_DIR)"
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -quiet -p "$BUILD_DIR" "${SOURCES[@]}"
+else
+  clang-tidy -quiet -p "$BUILD_DIR" "${SOURCES[@]}"
+fi

@@ -1,25 +1,64 @@
 #!/usr/bin/env bash
-# Build and run the tier-1 test suite under AddressSanitizer + UBSan.
+# Build and run the test suite under a sanitizer.
 #
-# Usage: scripts/run_sanitized_tests.sh [build-dir]
+# Usage: scripts/run_sanitized_tests.sh [address|thread|undefined] [build-dir]
 #
-# Uses a dedicated build tree (default: build-asan) so the sanitized
-# configuration never pollutes the regular one. Any failure — build error,
-# test failure, or sanitizer report — exits non-zero.
+#   address    ASan + UBSan, plus the runtime cube-ownership checker
+#              (-DLBMIB_CHECK_ACCESS=ON); runs the full suite. Default.
+#   thread     ThreadSanitizer; runs the `concurrency` ctest label — the
+#              std::thread solver/barrier/spinlock path. The OpenMP suite
+#              is excluded because GCC's libgomp is not TSan-instrumented
+#              (tsan.supp suppresses any stragglers from that library).
+#   undefined  UBSan alone — cheap enough for quick local iteration.
+#
+# Each mode uses a dedicated build tree (default: build-<mode>) so the
+# sanitized configuration never pollutes the regular one. The build type
+# defaults to RelWithDebInfo inside CMake when sanitizing; override with
+# BUILD_TYPE=Debug etc. Any failure — build error, test failure, or
+# sanitizer report — exits non-zero.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-asan}"
 
-cmake -B "$BUILD_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DLBMIB_SANITIZE=ON \
-  -DLBMIB_BUILD_BENCH=OFF
+MODE="${1:-address}"
+case "$MODE" in
+  address|thread|undefined) ;;
+  *)
+    echo "usage: $0 [address|thread|undefined] [build-dir]" >&2
+    exit 2
+    ;;
+esac
+BUILD_DIR="${2:-build-${MODE}}"
+
+CMAKE_ARGS=(-DLBMIB_BUILD_BENCH=OFF)
+if [[ -n "${BUILD_TYPE:-}" ]]; then
+  CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE="$BUILD_TYPE")
+fi
+
+CTEST_ARGS=()
+case "$MODE" in
+  address)
+    # ASan's shadow memory makes the ownership checker's extra branches
+    # cheap by comparison, so this leg also turns the checker on.
+    CMAKE_ARGS+=(-DLBMIB_SANITIZE=address,undefined -DLBMIB_CHECK_ACCESS=ON)
+    # halt_on_error keeps a UBSan hit from scrolling past unnoticed;
+    # detect_leaks stays on (the default) to catch checkpoint buffer leaks.
+    export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1"
+    export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+    ;;
+  thread)
+    CMAKE_ARGS+=(-DLBMIB_SANITIZE=thread)
+    export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=$PWD/tsan.supp"
+    CTEST_ARGS+=(-L concurrency)
+    ;;
+  undefined)
+    CMAKE_ARGS+=(-DLBMIB_SANITIZE=undefined)
+    export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+    ;;
+esac
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 
-# halt_on_error keeps a UBSan hit from scrolling past unnoticed;
-# detect_leaks stays on (the default) to catch checkpoint buffer leaks.
-export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1"
-export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
-
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
+  "${CTEST_ARGS[@]}"

@@ -67,6 +67,22 @@ void CubeSolver::finish_construction(DistributionPolicy policy) {
       }
     }
   }
+#if LBMIB_ACCESS_CHECK_ENABLED
+  // Shadow the grid with its cube2thread image so every write hook can
+  // verify ownership. Ownership is frozen here: any later drift between
+  // dist_ and the checker's map is itself a bug the checker will surface.
+  access_checker_ =
+      std::make_unique<AccessChecker>(grid_.num_cubes(), params_.num_threads);
+  for (Index cx = 0; cx < grid_.cubes_x(); ++cx) {
+    for (Index cy = 0; cy < grid_.cubes_y(); ++cy) {
+      for (Index cz = 0; cz < grid_.cubes_z(); ++cz) {
+        access_checker_->set_owner(grid_.cube_id(cx, cy, cz),
+                                   dist_.cube2thread(cx, cy, cz));
+      }
+    }
+  }
+  grid_.attach_access_checker(access_checker_.get());
+#endif
   const Index total_fibers = structure_num_fibers(structure_);
   Index global_fiber = 0;
   for (Size s = 0; s < structure_.size(); ++s) {
@@ -89,6 +105,9 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
   };
 
   KernelProfiler& prof = thread_profiles_[static_cast<Size>(tid)];
+  // Debug builds: bind this worker to the checker for the whole loop; the
+  // binding resets the thread's phase automaton to kSpread.
+  LBMIB_ACCESS_CHECK(ScopedThreadBind checker_bind(*access_checker_, tid);)
   const std::vector<Size>& my_cubes = owned_cubes_[static_cast<Size>(tid)];
   const std::vector<std::pair<Size, Index>>& my_fibers =
       owned_fibers_[static_cast<Size>(tid)];
@@ -121,6 +140,8 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
     // Extra barrier (see header comment): all spreading must land before
     // any thread collides.
     barrier_->arrive_and_wait();
+    LBMIB_ACCESS_CHECK(
+        access_checker_->advance_phase(StepPhase::kCollideStream);)
 
     // --- 2nd loop: collision + streaming, fused per cube -----------------
     {
@@ -142,6 +163,7 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
       prof.add(Kernel::kStreaming, stream_s);
     }
     barrier_->arrive_and_wait();  // paper barrier #1
+    LBMIB_ACCESS_CHECK(access_checker_->advance_phase(StepPhase::kUpdate);)
 
     // --- 3rd loop: update velocity ---------------------------------------
     {
@@ -155,6 +177,7 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
       prof.add(Kernel::kUpdateVelocity, seconds_between(t0, Clock::now()));
     }
     barrier_->arrive_and_wait();  // paper barrier #2
+    LBMIB_ACCESS_CHECK(access_checker_->advance_phase(StepPhase::kMoveCopy);)
 
     // --- 4th loop: move owned fibers --------------------------------------
     {
@@ -183,6 +206,7 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
       prof.add(Kernel::kCopyDistribution, seconds_between(t0, Clock::now()));
     }
     barrier_->arrive_and_wait();  // paper barrier #3 (end of step)
+    LBMIB_ACCESS_CHECK(access_checker_->advance_phase(StepPhase::kSpread);)
 
     if (tid == 0) ++steps_completed_;
     if (observer && ((step + 1) % observer_interval == 0)) {

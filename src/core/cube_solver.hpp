@@ -21,6 +21,7 @@
 #include "cube/cube_grid.hpp"
 #include "cube/distribution.hpp"
 #include "cube/numa_distribution.hpp"
+#include "parallel/access_checker.hpp"
 #include "parallel/barrier.hpp"
 #include "parallel/mesh.hpp"
 #include "parallel/spinlock.hpp"
@@ -84,6 +85,9 @@ class CubeSolver final : public Solver {
   std::vector<std::vector<std::pair<Size, Index>>> owned_fibers_;
   std::vector<KernelProfiler> thread_profiles_;
   std::array<double, kNumKernels> profiler_merge_mark_{};
+  /// Debug ownership/phase checker, allocated and attached to grid_ only
+  /// in LBMIB_CHECK_ACCESS builds (null otherwise).
+  std::unique_ptr<AccessChecker> access_checker_;
 };
 
 }  // namespace lbmib

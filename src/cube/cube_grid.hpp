@@ -17,6 +17,9 @@
 #include "common/params.hpp"
 #include "common/types.hpp"
 #include "common/vec3.hpp"
+#include "parallel/access_checker.hpp"
+#include "parallel/spinlock.hpp"
+#include "parallel/thread_safety.hpp"
 
 namespace lbmib {
 
@@ -145,10 +148,32 @@ class CubeGrid {
             slot(cube, kFzSlot)[local]};
   }
   void add_force(Size cube, Size local, const Vec3& f) {
+    LBMIB_ACCESS_CHECK(
+        if (checker_ != nullptr) checker_->check_unlocked_write(cube);)
     slot(cube, kFxSlot)[local] += f.x;
     slot(cube, kFySlot)[local] += f.y;
     slot(cube, kFzSlot)[local] += f.z;
   }
+
+  /// add_force for a cross-thread write under the owning thread's lock
+  /// (the spread kernel's path). `owner_lock` exists so clang's
+  /// thread-safety analysis can prove the caller holds the lock it names;
+  /// `owner` lets the debug AccessChecker verify that the lock held is
+  /// the one cube2thread assigns to `cube`.
+  void add_force_locked([[maybe_unused]] SpinLock& owner_lock,
+                        [[maybe_unused]] int owner, Size cube, Size local,
+                        const Vec3& f) LBMIB_REQUIRES(owner_lock) {
+    LBMIB_ACCESS_CHECK(
+        if (checker_ != nullptr) checker_->check_locked_write(cube, owner);)
+    slot(cube, kFxSlot)[local] += f.x;
+    slot(cube, kFySlot)[local] += f.y;
+    slot(cube, kFzSlot)[local] += f.z;
+  }
+
+  /// Attach (or detach with nullptr) the debug ownership checker consulted
+  /// by the LBMIB_CHECK_ACCESS write hooks. The grid does not own it.
+  void attach_access_checker(AccessChecker* checker) { checker_ = checker; }
+  AccessChecker* access_checker() const { return checker_; }
 
   bool solid(Size cube, Size local) const {
     return solid_[cube * m_ + local] != 0;
@@ -200,6 +225,10 @@ class CubeGrid {
   AlignedBuffer<Size> neighbors_;      // [num_cubes * 27]
   Vec3 lid_velocity_{};
   bool has_lid_ = false;
+  /// Debug ownership checker; consulted only when LBMIB_CHECK_ACCESS is
+  /// compiled in (one never-taken branch otherwise costs nothing because
+  /// the hook itself is compiled out).
+  AccessChecker* checker_ = nullptr;
 };
 
 }  // namespace lbmib

@@ -14,6 +14,8 @@
 namespace lbmib {
 
 void cube_collide(CubeGrid& grid, Real tau, Size cube) {
+  LBMIB_ACCESS_CHECK(if (auto* ck = grid.access_checker())
+                         ck->check_owned_write(cube, StepPhase::kCollideStream);)
   const Size m = grid.nodes_per_cube();
   Real* planes[kQ];
   for (int i = 0; i < kQ; ++i) {
@@ -31,6 +33,8 @@ void cube_collide(CubeGrid& grid, Real tau, Size cube) {
 }
 
 void cube_mrt_collide(CubeGrid& grid, const MrtOperator& op, Size cube) {
+  LBMIB_ACCESS_CHECK(if (auto* ck = grid.access_checker())
+                         ck->check_owned_write(cube, StepPhase::kCollideStream);)
   const Size m = grid.nodes_per_cube();
   Real* planes[kQ];
   for (int i = 0; i < kQ; ++i) {
@@ -168,6 +172,11 @@ void stream_cube_fast(CubeGrid& grid, Size cube) {
 
 void cube_stream(CubeGrid& grid, Size cube) {
   using namespace d3q19;
+  // Streaming also writes neighbour cubes' df_new, but each
+  // (direction, destination-node) slot has a unique source, so only the
+  // *own-cube* ownership and the phase are checked.
+  LBMIB_ACCESS_CHECK(if (auto* ck = grid.access_checker())
+                         ck->check_owned_write(cube, StepPhase::kCollideStream);)
   if (!grid.cube_has_solid(cube)) {
     stream_cube_fast(grid, cube);
     return;
@@ -265,6 +274,8 @@ void cube_stream(CubeGrid& grid, Size cube) {
 
 void cube_update_velocity(CubeGrid& grid, Size cube) {
   using namespace d3q19;
+  LBMIB_ACCESS_CHECK(if (auto* ck = grid.access_checker())
+                         ck->check_owned_write(cube, StepPhase::kUpdate);)
   const Size m = grid.nodes_per_cube();
   const Real* planes[kQ];
   for (int i = 0; i < kQ; ++i) {
@@ -322,6 +333,8 @@ void cube_streamed_moments(const CubeGrid& grid, Size cube, Size local,
 
 void cube_apply_inlet_outlet(CubeGrid& grid, const Vec3& inlet_velocity,
                              Size cube) {
+  LBMIB_ACCESS_CHECK(if (auto* ck = grid.access_checker())
+                         ck->check_owned_write(cube, StepPhase::kUpdate);)
   const Index k = grid.cube_size();
   const Index ncy = grid.cubes_y(), ncz = grid.cubes_z();
   const Index ccx = static_cast<Index>(cube) / (ncy * ncz);
@@ -375,6 +388,8 @@ void cube_apply_inlet_outlet(CubeGrid& grid, const Vec3& inlet_velocity,
 }
 
 void cube_copy_distributions(CubeGrid& grid, Size cube) {
+  LBMIB_ACCESS_CHECK(if (auto* ck = grid.access_checker())
+                         ck->check_owned_write(cube, StepPhase::kMoveCopy);)
   // The 19 df slots and 19 df_new slots are each contiguous within the
   // cube block, so one memcpy moves the whole new buffer back.
   std::memcpy(grid.slot(cube, CubeGrid::kDfSlot),
@@ -457,7 +472,8 @@ void cube_spread_force(const FiberSheet& sheet, CubeGrid& grid,
         const Index cz = static_cast<Index>(r.cube) % ncz;
         const int owner = dist.cube2thread(cx, cy, cz);
         SpinLockGuard guard(locks[static_cast<Size>(owner)]);
-        grid.add_force(r.cube, r.local, f);
+        grid.add_force_locked(locks[static_cast<Size>(owner)], owner,
+                              r.cube, r.local, f);
       });
 }
 

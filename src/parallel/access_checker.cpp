@@ -1,0 +1,156 @@
+#include "parallel/access_checker.hpp"
+
+#include "common/error.hpp"
+
+namespace lbmib {
+
+namespace {
+
+/// Per-thread binding. A thread participates in at most one checked
+/// solver at a time (one ThreadTeam body per thread), so a single slot
+/// suffices; binding to a second checker while bound is an error. The
+/// phase automaton lives here too: phase is a property of the *thread's*
+/// position in the protocol, so thread_local storage both matches the
+/// semantics and keeps the checker hooks free of shared-state traffic.
+struct ThreadBind {
+  const AccessChecker* checker = nullptr;
+  int tid = -1;
+  StepPhase phase = StepPhase::kSpread;
+};
+
+thread_local ThreadBind t_bind;
+
+StepPhase successor(StepPhase phase) {
+  return static_cast<StepPhase>((static_cast<int>(phase) + 1) %
+                                kNumStepPhases);
+}
+
+}  // namespace
+
+std::string_view step_phase_name(StepPhase phase) {
+  switch (phase) {
+    case StepPhase::kSpread:
+      return "spread";
+    case StepPhase::kCollideStream:
+      return "collide+stream";
+    case StepPhase::kUpdate:
+      return "update";
+    case StepPhase::kMoveCopy:
+      return "move+copy";
+  }
+  return "?";
+}
+
+AccessChecker::AccessChecker(Size num_cubes, int num_threads)
+    : num_threads_(num_threads),
+      owner_(static_cast<std::size_t>(num_cubes), -1) {
+  require(num_threads >= 1, "AccessChecker needs at least one thread");
+}
+
+void AccessChecker::set_owner(Size cube, int owner) {
+  require(cube < num_cubes(), "AccessChecker::set_owner: cube out of range");
+  require(owner >= 0 && owner < num_threads_,
+          "AccessChecker::set_owner: owner out of range");
+  owner_[static_cast<std::size_t>(cube)] = owner;
+}
+
+int AccessChecker::owner_of(Size cube) const {
+  require(cube < num_cubes(), "AccessChecker::owner_of: cube out of range");
+  return owner_[static_cast<std::size_t>(cube)];
+}
+
+void AccessChecker::bind_thread(int tid) {
+  require(tid >= 0 && tid < num_threads_,
+          "AccessChecker::bind_thread: tid out of range");
+  require(t_bind.checker == nullptr || t_bind.checker == this,
+          "AccessChecker::bind_thread: thread already bound to another "
+          "checker");
+  t_bind.checker = this;
+  t_bind.tid = tid;
+  t_bind.phase = StepPhase::kSpread;
+}
+
+void AccessChecker::unbind_thread() {
+  t_bind.checker = nullptr;
+  t_bind.tid = -1;
+}
+
+int AccessChecker::bound_thread() const {
+  return t_bind.checker == this ? t_bind.tid : -1;
+}
+
+void AccessChecker::advance_phase(StepPhase to) {
+  const int tid = bound_thread();
+  require(tid >= 0, "AccessChecker::advance_phase: thread not bound");
+  const StepPhase expected = successor(t_bind.phase);
+  if (to != expected) {
+    fail("barrier phase violation: thread " + std::to_string(tid) +
+         " in phase '" + std::string(step_phase_name(t_bind.phase)) +
+         "' advanced to '" + std::string(step_phase_name(to)) +
+         "' but the protocol successor is '" +
+         std::string(step_phase_name(expected)) +
+         "' (a barrier was skipped, duplicated, or reordered)");
+  }
+  t_bind.phase = to;
+}
+
+StepPhase AccessChecker::current_phase() const {
+  require(bound_thread() >= 0,
+          "AccessChecker::current_phase: thread not bound");
+  return t_bind.phase;
+}
+
+void AccessChecker::check_unlocked_write(Size cube) const {
+  const int tid = bound_thread();
+  if (tid < 0) return;  // outside the protocol (sequential path, tests)
+  const int owner = owner_of(cube);
+  if (tid != owner) {
+    fail("unlocked foreign-cube write: thread " + std::to_string(tid) +
+         " wrote cube " + std::to_string(cube) + " owned by thread " +
+         std::to_string(owner) +
+         " without holding the owner's lock (phase '" +
+         std::string(step_phase_name(t_bind.phase)) + "')");
+  }
+}
+
+void AccessChecker::check_locked_write(Size cube, int locked_owner) const {
+  const int owner = owner_of(cube);
+  if (locked_owner != owner) {
+    fail("wrong-lock write: cube " + std::to_string(cube) +
+         " is owned by thread " + std::to_string(owner) +
+         " but the writer holds thread " + std::to_string(locked_owner) +
+         "'s lock — cube2thread and the lock index disagree");
+  }
+  const int tid = bound_thread();
+  if (tid >= 0 && t_bind.phase != StepPhase::kSpread) {
+    fail("locked write outside the spread phase: thread " +
+         std::to_string(tid) + " wrote cube " + std::to_string(cube) +
+         " under lock in phase '" +
+         std::string(step_phase_name(t_bind.phase)) +
+         "' — cross-thread writes are only legal while spreading");
+  }
+}
+
+void AccessChecker::check_owned_write(Size cube, StepPhase phase) const {
+  const int tid = bound_thread();
+  if (tid < 0) return;  // outside the protocol
+  const int owner = owner_of(cube);
+  if (tid != owner) {
+    fail("foreign-cube kernel write: thread " + std::to_string(tid) +
+         " ran a '" + std::string(step_phase_name(phase)) +
+         "' kernel on cube " + std::to_string(cube) +
+         " owned by thread " + std::to_string(owner));
+  }
+  if (t_bind.phase != phase) {
+    fail("phase-protocol violation: thread " + std::to_string(tid) +
+         " ran a '" + std::string(step_phase_name(phase)) +
+         "' kernel on cube " + std::to_string(cube) + " while in phase '" +
+         std::string(step_phase_name(t_bind.phase)) + "'");
+  }
+}
+
+void AccessChecker::fail(const std::string& what) const {
+  throw Error("AccessChecker: " + what);
+}
+
+}  // namespace lbmib

@@ -4,23 +4,37 @@
 // owner thread's private lock; threads spreading fiber forces into foreign
 // cubes acquire the owner's lock first. Critical sections are tiny (a few
 // scattered adds), so a spinlock beats a futex-backed std::mutex.
+//
+// Memory-order / TSan notes. The lock is acquired only through the
+// exchange(acquire); the inner while-loop is a pure wait that performs no
+// acquisition itself, so its loads can be memory_order_relaxed — the
+// acquire that synchronizes-with the previous holder's release-store in
+// unlock() is the exchange retried after the spin observes the flag clear.
+// ThreadSanitizer models every std::atomic access, so the relaxed spin
+// load is *not* a race and needs no suppression; what TSan verifies is
+// that data written under the lock is published by the release/acquire
+// pair on flag_. The test suite exercises this under -fsanitize=thread
+// (tests/parallel/test_spinlock.cpp, scripts/run_sanitized_tests.sh).
 #pragma once
 
 #include <atomic>
 
+#include "parallel/thread_safety.hpp"
+
 namespace lbmib {
 
-class SpinLock {
+class LBMIB_CAPABILITY("SpinLock") SpinLock {
  public:
   SpinLock() = default;
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
-  void lock() {
+  void lock() LBMIB_ACQUIRE() {
     for (;;) {
       // Optimistically try to grab the lock.
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
-      // Spin on a plain load to avoid cache-line ping-pong.
+      // Spin on a plain load to avoid cache-line ping-pong. Relaxed is
+      // sufficient: see the header comment.
       while (flag_.load(std::memory_order_relaxed)) {
 #if defined(__x86_64__) || defined(__i386__)
         __builtin_ia32_pause();
@@ -29,19 +43,28 @@ class SpinLock {
     }
   }
 
-  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+  bool try_lock() LBMIB_TRY_ACQUIRE(true) {
+    // Test first so a failing try_lock doesn't bounce the cache line
+    // exclusive between contenders.
+    if (flag_.load(std::memory_order_relaxed)) return false;
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
 
-  void unlock() { flag_.store(false, std::memory_order_release); }
+  void unlock() LBMIB_RELEASE() {
+    flag_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> flag_{false};
 };
 
 /// RAII guard for SpinLock (CP.20: never plain lock()/unlock()).
-class SpinLockGuard {
+class LBMIB_SCOPED_CAPABILITY SpinLockGuard {
  public:
-  explicit SpinLockGuard(SpinLock& lock) : lock_(lock) { lock_.lock(); }
-  ~SpinLockGuard() { lock_.unlock(); }
+  explicit SpinLockGuard(SpinLock& lock) LBMIB_ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  ~SpinLockGuard() LBMIB_RELEASE() { lock_.unlock(); }
   SpinLockGuard(const SpinLockGuard&) = delete;
   SpinLockGuard& operator=(const SpinLockGuard&) = delete;
 
