@@ -2,9 +2,12 @@
 // swap alternative.
 //
 // The paper's Table I shows the plain buffer copy costing 5.9% of total
-// time; the paper keeps it for simplicity. FluidGrid::swap_buffers() is
-// the O(1) alternative the "future work" optimizations would use. This
-// bench quantifies the gap.
+// time. Since the fused-pipeline work, FluidGrid::swap_buffers() is what
+// every solver actually executes as kernel 9 by default
+// (params.fused_step); the full copy survives only in the selectable
+// reference pipeline (fused_step = false). This bench isolates the
+// per-kernel gap between the two; scripts/run_benchmarks.sh reports the
+// whole-step effect.
 #include <benchmark/benchmark.h>
 
 #include "lbm/fluid_grid.hpp"

@@ -1,13 +1,30 @@
-// Head-to-head of all five solver implementations on one FSI input —
+// Head-to-head of all six solver implementations on one FSI input —
 // the library's summary benchmark. (Not a paper figure; the paper
-// compares OpenMP vs cube in Figures 5/8. This adds the two future-work
+// compares OpenMP vs cube in Figures 5/8. This adds the future-work
 // solvers to the same axis.)
 //
-// Usage: solver_comparison [steps] [threads] [edge]
+// Each solver runs twice: with the fused collide-stream + O(1) buffer
+// swap pipeline (params.fused_step, the default) and with the paper's
+// literal pipeline (collide in place, stream, full copy-back). The two
+// are bit-identical for BGK, so the speedup column is a pure
+// memory-traffic measurement.
+//
+// Output: a human-readable table, solver_comparison.csv, and
+// solver_comparison.json (machine-readable, consumed by
+// scripts/run_benchmarks.sh to assemble BENCH_step.json).
+//
+// Each (solver, pipeline) cell is timed `reps` times on a fresh solver
+// and the minimum is reported — best-of-N is the standard way to strip
+// scheduler noise from an A/B comparison on a shared machine.
+//
+// Usage: solver_comparison [steps] [threads] [edge] [reps]
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "io/csv_writer.hpp"
 #include "lbmib.hpp"
@@ -17,6 +34,7 @@ int main(int argc, char** argv) {
   const Index steps = argc > 1 ? std::atol(argv[1]) : 8;
   const int threads = argc > 2 ? std::atoi(argv[2]) : 4;
   const Index edge = argc > 3 ? std::atol(argv[3]) : 32;
+  const int reps = argc > 4 ? std::atoi(argv[4]) : 3;
 
   SimulationParams p;
   p.nx = edge;
@@ -32,44 +50,99 @@ int main(int argc, char** argv) {
                     static_cast<Real>(edge) / 2.0 - 4.0,
                     static_cast<Real>(edge) / 2.0 - 4.0};
   p.num_threads = threads;
-  p.cube_size = 4;
+  // The largest cube edge that divides the grid (capped at 16, the top of
+  // the autotuner's candidate list) is what tune_cube_size picks for this
+  // input: big cubes keep most of each fused sweep on the in-cube fast
+  // path. See bench/ablation_cube_size.cpp for the full sweep.
+  for (Index cs : {16, 8, 4, 2}) {
+    if (edge % cs == 0) {
+      p.cube_size = cs;
+      break;
+    }
+  }
 
-  std::cout << "=== Solver comparison: one FSI time step, all five "
-               "implementations ===\n";
+  std::cout << "=== Solver comparison: fused vs reference pipeline, all "
+               "six implementations ===\n";
   std::cout << "input: " << p.summary() << ", " << steps
             << " steps; hardware threads: "
             << std::thread::hardware_concurrency() << "\n\n";
 
   CsvWriter csv("solver_comparison.csv",
-                {"solver", "threads", "seconds", "ms_per_step"});
+                {"solver", "threads", "pipeline", "seconds", "ms_per_step",
+                 "steps_per_sec"});
 
-  std::cout << std::setw(14) << "solver" << std::setw(12) << "seconds"
-            << std::setw(14) << "ms/step" << '\n';
-  std::cout << std::string(40, '-') << '\n';
+  std::cout << std::setw(14) << "solver" << std::setw(12) << "ref s"
+            << std::setw(12) << "fused s" << std::setw(12) << "ref st/s"
+            << std::setw(12) << "fused st/s" << std::setw(10) << "speedup"
+            << '\n';
+  std::cout << std::string(72, '-') << '\n';
 
-  double seq_seconds = 0.0;
+  struct Row {
+    std::string solver;
+    int threads;
+    double ref_steps_per_sec;
+    double fused_steps_per_sec;
+  };
+  std::vector<Row> rows;
+
   for (SolverKind kind :
        {SolverKind::kSequential, SolverKind::kOpenMP, SolverKind::kCube,
-        SolverKind::kDataflow, SolverKind::kDistributed}) {
+        SolverKind::kDataflow, SolverKind::kDistributed,
+        SolverKind::kDistributed2D}) {
     SimulationParams q = p;
     if (kind == SolverKind::kSequential) q.num_threads = 1;
-    auto solver = make_solver(kind, q);
-    solver->run(1);  // warm-up
-    WallTimer timer;
-    solver->run(steps);
-    const double seconds = timer.seconds();
-    if (kind == SolverKind::kSequential) seq_seconds = seconds;
-    csv.row(std::string(solver_kind_name(kind)),
-            {static_cast<double>(q.num_threads), seconds,
-             1000.0 * seconds / static_cast<double>(steps)});
+
+    double seconds[2];  // [0] = reference, [1] = fused
+    for (int fused = 0; fused < 2; ++fused) {
+      q.fused_step = (fused == 1);
+      double best = 0.0;
+      for (int rep = 0; rep < reps; ++rep) {
+        auto solver = make_solver(kind, q);
+        solver->run(1);  // warm-up
+        WallTimer timer;
+        solver->run(steps);
+        const double s = timer.seconds();
+        if (rep == 0 || s < best) best = s;
+      }
+      seconds[fused] = best;
+      csv.row(std::string(solver_kind_name(kind)),
+              {static_cast<double>(q.num_threads),
+               static_cast<double>(fused), seconds[fused],
+               1000.0 * seconds[fused] / static_cast<double>(steps),
+               static_cast<double>(steps) / seconds[fused]});
+    }
+    const double ref_sps = static_cast<double>(steps) / seconds[0];
+    const double fused_sps = static_cast<double>(steps) / seconds[1];
+    rows.push_back({std::string(solver_kind_name(kind)), q.num_threads,
+                    ref_sps, fused_sps});
     std::cout << std::setw(14) << solver_kind_name(kind) << std::setw(12)
-              << std::fixed << std::setprecision(3) << seconds
-              << std::setw(14) << std::setprecision(2)
-              << 1000.0 * seconds / static_cast<double>(steps) << '\n';
+              << std::fixed << std::setprecision(3) << seconds[0]
+              << std::setw(12) << seconds[1] << std::setw(12)
+              << std::setprecision(2) << ref_sps << std::setw(12)
+              << fused_sps << std::setw(9) << std::setprecision(2)
+              << seconds[0] / seconds[1] << "x\n";
   }
-  std::cout << "\n(sequential reference: " << std::setprecision(3)
-            << seq_seconds << " s; all solvers verified to produce "
-            << "matching physics by the test suite)\n"
-            << "Wrote solver_comparison.csv\n";
+
+  {
+    std::ofstream json("solver_comparison.json");
+    json << std::setprecision(6) << std::fixed;
+    json << "{\n  \"bench\": \"solver_comparison\",\n  \"steps\": " << steps
+         << ",\n  \"edge\": " << edge << ",\n  \"solvers\": [\n";
+    for (Size i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      json << "    {\"solver\": \"" << r.solver
+           << "\", \"threads\": " << r.threads
+           << ", \"reference_steps_per_sec\": " << r.ref_steps_per_sec
+           << ", \"fused_steps_per_sec\": " << r.fused_steps_per_sec
+           << ", \"speedup\": "
+           << r.fused_steps_per_sec / r.ref_steps_per_sec << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+  }
+
+  std::cout << "\n(fused and reference pipelines are verified "
+               "bit-identical for BGK by the test suite)\n"
+            << "Wrote solver_comparison.csv and solver_comparison.json\n";
   return 0;
 }

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Benchmark-regression harness for the fused collide-stream pipeline.
+#
+# Usage: scripts/run_benchmarks.sh [build-dir] [steps] [threads] [edge] [reps]
+#
+# Runs the two benches that bracket the fused-pipeline work:
+#   * solver_comparison       — whole-step steps/sec for all six solvers,
+#                               fused vs reference pipeline (the number
+#                               that must not regress),
+#   * ablation_copy_vs_swap   — the isolated kernel-9 copy-vs-swap gap
+#                               (google-benchmark microbench).
+#
+# Assembles BENCH_step.json in the repo root from solver_comparison's
+# machine-readable output, annotated with host metadata. CI runs this as a
+# non-gating job; the committed BENCH_step.json is the reference point a
+# reviewer diffs a fresh run against.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+STEPS="${2:-10}"
+THREADS="${3:-4}"
+EDGE="${4:-32}"
+REPS="${5:-3}"
+
+if [[ ! -x "$BUILD_DIR/bench/solver_comparison" ]]; then
+  echo "building benches in $BUILD_DIR..." >&2
+  cmake -B "$BUILD_DIR" -S . -DLBMIB_BUILD_BENCH=ON
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target solver_comparison \
+    ablation_copy_vs_swap
+fi
+
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+# 1) Whole-step solver comparison (writes solver_comparison.{csv,json}
+#    into its cwd).
+(cd "$WORK_DIR" && "$OLDPWD/$BUILD_DIR/bench/solver_comparison" \
+  "$STEPS" "$THREADS" "$EDGE" "$REPS")
+
+# 2) Kernel-9 ablation microbench (console output only; keep it short).
+"$BUILD_DIR/bench/ablation_copy_vs_swap" \
+  --benchmark_min_time=0.05s 2>/dev/null ||
+  "$BUILD_DIR/bench/ablation_copy_vs_swap" --benchmark_min_time=0.05
+
+# 3) Wrap the solver comparison into BENCH_step.json with host metadata.
+{
+  printf '{\n'
+  printf '  "harness": "scripts/run_benchmarks.sh",\n'
+  printf '  "host": {"cpus": %s, "os": "%s"},\n' "$(nproc)" "$(uname -s)"
+  printf '  "params": {"steps": %s, "threads": %s, "edge": %s, "reps": %s},\n' \
+    "$STEPS" "$THREADS" "$EDGE" "$REPS"
+  printf '  "solver_comparison": '
+  sed 's/^/  /' "$WORK_DIR/solver_comparison.json" | sed '1s/^  //'
+  printf '}\n'
+} > BENCH_step.json
+
+echo
+echo "wrote BENCH_step.json:"
+cat BENCH_step.json

@@ -76,7 +76,8 @@ std::string SimulationParams::summary() const {
   os << "fluid " << nx << "x" << ny << "x" << nz << ", tau=" << tau
      << ", sheet " << num_fibers << "x" << nodes_per_fiber << " nodes"
      << ", ks=" << stretching_coeff << ", kb=" << bending_coeff
-     << ", threads=" << num_threads << ", cube=" << cube_size;
+     << ", threads=" << num_threads << ", cube=" << cube_size
+     << (fused_step ? ", fused" : ", unfused");
   return os.str();
 }
 

@@ -93,6 +93,15 @@ struct SimulationParams {
   int num_threads = 1;   ///< worker threads for parallel solvers
   Index cube_size = 4;   ///< k: edge length of a cube (cube-based solver)
 
+  /// Fused collide-stream with O(1) buffer swap (default). When true,
+  /// kernels 5+6 run as one pass that collides each node's 19 populations
+  /// in registers and pushes them straight into df_new, and kernel 9
+  /// becomes a buffer swap instead of a 19-plane copy. When false, the
+  /// solvers run the paper's literal pipeline (collide in place, stream,
+  /// full copy-back) — kept selectable for A/B verification; the two
+  /// paths are bit-identical for BGK.
+  bool fused_step = true;
+
   /// Validate all invariants; throws lbmib::Error with a precise message.
   void validate() const;
 

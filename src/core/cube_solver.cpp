@@ -143,8 +143,21 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
     LBMIB_ACCESS_CHECK(
         access_checker_->advance_phase(StepPhase::kCollideStream);)
 
-    // --- 2nd loop: collision + streaming, fused per cube -----------------
-    {
+    // --- 2nd loop: collision + streaming per cube ------------------------
+    if (params_.fused_step) {
+      // One register-fused pass per cube (kernels 5+6); the whole sweep is
+      // charged to the collision bucket — there is no second traversal
+      // left to time as "streaming".
+      auto t0 = Clock::now();
+      for (Size cube : my_cubes) {
+        if (mrt_) {
+          cube_mrt_collide_stream(grid_, *mrt_, cube);
+        } else {
+          cube_collide_stream(grid_, params_.tau, cube);
+        }
+      }
+      prof.add(Kernel::kCollision, seconds_between(t0, Clock::now()));
+    } else {
       double collide_s = 0.0, stream_s = 0.0;
       for (Size cube : my_cubes) {
         auto t0 = Clock::now();
@@ -188,12 +201,12 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
       prof.add(Kernel::kMoveFibers, seconds_between(t0, Clock::now()));
     }
 
-    // --- 5th loop: copy df_new -> df, and reset forces for the next
-    // step's spreading (own cubes only, so no synchronization needed) ------
+    // --- 5th loop: kernel 9, and reset forces for the next step's
+    // spreading (own cubes only, so no synchronization needed) -------------
     {
       auto t0 = Clock::now();
       for (Size cube : my_cubes) {
-        cube_copy_distributions(grid_, cube);
+        if (!params_.fused_step) cube_copy_distributions(grid_, cube);
         Real* fx = grid_.slot(cube, CubeGrid::kFxSlot);
         Real* fy = grid_.slot(cube, CubeGrid::kFySlot);
         Real* fz = grid_.slot(cube, CubeGrid::kFzSlot);
@@ -202,6 +215,14 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
           fy[local] = params_.body_force.y;
           fz[local] = params_.body_force.z;
         }
+      }
+      if (params_.fused_step && tid == 0) {
+        // Kernel 9 as an O(1) parity flip, done once by thread 0. Legal
+        // anywhere inside the move+copy phase: after barrier #2 no thread
+        // reads df/df_new again this step (loops 4/5 touch only
+        // velocity/force slots, whose bases never move), and barrier #3
+        // publishes the flip before the next step's reads.
+        grid_.swap_df_buffers();
       }
       prof.add(Kernel::kCopyDistribution, seconds_between(t0, Clock::now()));
     }

@@ -140,12 +140,20 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
         ++tasks_executed_[static_cast<Size>(tid)];
         if (task > 0) {
           const Size cube = static_cast<Size>(task - 1);
-          if (mrt_) {
-            cube_mrt_collide(grid_, *mrt_, cube);
+          if (params_.fused_step) {
+            if (mrt_) {
+              cube_mrt_collide_stream(grid_, *mrt_, cube);
+            } else {
+              cube_collide_stream(grid_, params_.tau, cube);
+            }
           } else {
-            cube_collide(grid_, params_.tau, cube);
+            if (mrt_) {
+              cube_mrt_collide(grid_, *mrt_, cube);
+            } else {
+              cube_collide(grid_, params_.tau, cube);
+            }
+            cube_stream(grid_, cube);
           }
-          cube_stream(grid_, cube);
           // Resolve dependencies: the last streamer of a neighbourhood
           // publishes that cube's update task.
           for (Size n : region_[cube]) {
@@ -162,7 +170,7 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
             cube_apply_inlet_outlet(grid_, params_.inlet_velocity, cube);
           }
           cube_update_velocity(grid_, cube);
-          cube_copy_distributions(grid_, cube);
+          if (!params_.fused_step) cube_copy_distributions(grid_, cube);
           // Reset forces for the next step's spreading.
           Real* fx = grid_.slot(cube, CubeGrid::kFxSlot);
           Real* fy = grid_.slot(cube, CubeGrid::kFySlot);
@@ -192,6 +200,11 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
     barrier_.arrive_and_wait();  // positions settled
 
     if (tid == 0) {
+      // Kernel 9 of the fused pipeline: flip the grid's df/df_new bases
+      // once per step. Safe here: the "positions settled" barrier is
+      // behind every thread and nobody touches the grid until the
+      // re-arm barrier below publishes the flip.
+      if (params_.fused_step) grid_.swap_df_buffers();
       ++steps_completed_;
       arm_step();
     }
@@ -239,6 +252,19 @@ void DataflowCubeSolver::run_overlapped(Index num_steps) {
     queue[slot].store(task, std::memory_order_release);
   };
 
+  // Fused pipeline: there is no per-step copy (and no quiescent point to
+  // flip the grid's bases at), so swap parity is tracked per *step* and
+  // passed to the kernels explicitly — step t reads the field that step
+  // t-1 wrote. The task graph already orders every access:
+  // collide(t, n) < update(t, n) < collide(t+1, m) for every m with
+  // n in region(m), so step t's source planes are fully read before
+  // collide(t+1) starts overwriting them. The grid's own bases are
+  // reconciled once after the run.
+  const bool p0 = grid_.swap_parity();
+  auto df_base_at = [](bool parity) {
+    return parity ? CubeGrid::kDfNewSlot : CubeGrid::kDfSlot;
+  };
+
   ThreadTeam team(params_.num_threads);
   team.run([&](int tid) {
     for (;;) {
@@ -263,14 +289,27 @@ void DataflowCubeSolver::run_overlapped(Index num_steps) {
       const Size step = flat / per_step;
       const Size cube = flat % per_step;  // < ncubes by construction
       const Size parity = step & 1;
+      // Step t's df lives at parity p0 ^ (t & 1); its df_new at the other.
+      const bool src_parity = p0 != ((step & 1) != 0);
+      const Size src_base = df_base_at(src_parity);
+      const Size dst_base = df_base_at(!src_parity);
 
       if (is_collide) {
-        if (mrt_) {
-          cube_mrt_collide(grid_, *mrt_, cube);
+        if (params_.fused_step) {
+          if (mrt_) {
+            cube_mrt_collide_stream(grid_, *mrt_, cube, src_base, dst_base);
+          } else {
+            cube_collide_stream(grid_, params_.tau, cube, src_base,
+                                dst_base);
+          }
         } else {
-          cube_collide(grid_, params_.tau, cube);
+          if (mrt_) {
+            cube_mrt_collide(grid_, *mrt_, cube);
+          } else {
+            cube_collide(grid_, params_.tau, cube);
+          }
+          cube_stream(grid_, cube);
         }
-        cube_stream(grid_, cube);
         // Enable update(step, n) for completed neighbourhoods.
         for (Size n : region_[cube]) {
           auto& counter = pending[(2 + parity) * ncubes + n];
@@ -280,11 +319,19 @@ void DataflowCubeSolver::run_overlapped(Index num_steps) {
           }
         }
       } else {
-        if (uses_inlet_outlet(params_.boundary)) {
-          cube_apply_inlet_outlet(grid_, params_.inlet_velocity, cube);
+        if (params_.fused_step) {
+          if (uses_inlet_outlet(params_.boundary)) {
+            cube_apply_inlet_outlet(grid_, params_.inlet_velocity, cube,
+                                    dst_base);
+          }
+          cube_update_velocity(grid_, cube, dst_base);
+        } else {
+          if (uses_inlet_outlet(params_.boundary)) {
+            cube_apply_inlet_outlet(grid_, params_.inlet_velocity, cube);
+          }
+          cube_update_velocity(grid_, cube);
+          cube_copy_distributions(grid_, cube);
         }
-        cube_update_velocity(grid_, cube);
-        cube_copy_distributions(grid_, cube);
         if (step + 1 < static_cast<Size>(num_steps)) {
           // Enable collide(step+1, n): it may only touch cubes whose
           // step-`step` state is fully retired.
@@ -301,6 +348,11 @@ void DataflowCubeSolver::run_overlapped(Index num_steps) {
       }
     }
   });
+  if (params_.fused_step) {
+    // Reconcile the grid's bases with where the last step left the data:
+    // step num_steps-1 wrote its result at parity p0 ^ (num_steps & 1).
+    grid_.set_swap_parity(p0 != ((num_steps & 1) != 0));
+  }
   steps_completed_ += num_steps;
   // Leave the per-step machinery armed for subsequent stepwise runs.
   arm_step();

@@ -8,6 +8,7 @@
 #include "lbm/boundary.hpp"
 #include "lbm/collision.hpp"
 #include "lbm/d3q19.hpp"
+#include "lbm/fused.hpp"
 #include "lbm/macroscopic.hpp"
 #include "lbm/mrt.hpp"
 #include "lbm/streaming.hpp"
@@ -457,23 +458,41 @@ void Distributed2DSolver::rank_entry(int rank, Index num_steps,
       spread_forces_local(r);
       prof.add(Kernel::kSpreadForce, since(t0));
     }
-    {  // kernel 5
-      auto t0 = Clock::now();
-      for (Index lx = 1; lx <= lnx; ++lx) {
-        const auto [begin, end] = row_range(lx);
-        if (mrt_) {
-          mrt_collide_range(grid, *mrt_, begin, end);
-        } else {
-          collide_range(grid, params_.tau, begin, end);
-        }
+    if (params_.fused_step) {
+      // Kernels 5+6 as one pass over the real tile (x/y pushes land in
+      // the ghost layers without wrapping, z wraps — the tile variant
+      // mirrors stream_local exactly); the halo exchange then ships the
+      // freshly-pushed crossing populations as in the reference pipeline.
+      {
+        auto t0 = Clock::now();
+        fused_collide_stream_tile(grid, params_.tau, mrt_.get(), 1, lnx, 1,
+                                  lny);
+        prof.add(Kernel::kCollision, since(t0));
       }
-      prof.add(Kernel::kCollision, since(t0));
-    }
-    {  // kernel 6 + the 8-message halo exchange
-      auto t0 = Clock::now();
-      stream_local(r);
-      exchange_halos(rank);
-      prof.add(Kernel::kStreaming, since(t0));
+      {
+        auto t0 = Clock::now();
+        exchange_halos(rank);
+        prof.add(Kernel::kStreaming, since(t0));
+      }
+    } else {
+      {  // kernel 5
+        auto t0 = Clock::now();
+        for (Index lx = 1; lx <= lnx; ++lx) {
+          const auto [begin, end] = row_range(lx);
+          if (mrt_) {
+            mrt_collide_range(grid, *mrt_, begin, end);
+          } else {
+            collide_range(grid, params_.tau, begin, end);
+          }
+        }
+        prof.add(Kernel::kCollision, since(t0));
+      }
+      {  // kernel 6 + the 8-message halo exchange
+        auto t0 = Clock::now();
+        stream_local(r);
+        exchange_halos(rank);
+        prof.add(Kernel::kStreaming, since(t0));
+      }
     }
     {  // kernel 7 (+ boundary pass)
       auto t0 = Clock::now();
@@ -491,11 +510,16 @@ void Distributed2DSolver::rank_entry(int rank, Index num_steps,
       move_fibers_allreduce(r, rank);
       prof.add(Kernel::kMoveFibers, since(t0));
     }
-    {  // kernel 9
+    {  // kernel 9: per-rank O(1) swap when fused (ghost-layer df goes
+       // stale but is never read; see the 1-D solver's note).
       auto t0 = Clock::now();
-      for (Index lx = 1; lx <= lnx; ++lx) {
-        const auto [begin, end] = row_range(lx);
-        copy_distributions_range(grid, begin, end);
+      if (params_.fused_step) {
+        grid.swap_buffers();
+      } else {
+        for (Index lx = 1; lx <= lnx; ++lx) {
+          const auto [begin, end] = row_range(lx);
+          copy_distributions_range(grid, begin, end);
+        }
       }
       prof.add(Kernel::kCopyDistribution, since(t0));
     }

@@ -7,6 +7,7 @@
 #include "ib/spreading.hpp"
 #include "lbm/boundary.hpp"
 #include "lbm/collision.hpp"
+#include "lbm/fused.hpp"
 #include "lbm/mrt.hpp"
 #include "lbm/d3q19.hpp"
 #include "lbm/macroscopic.hpp"
@@ -302,20 +303,40 @@ void DistributedSolver::rank_entry(int rank, Index num_steps,
       spread_forces_local(r);
       prof.add(Kernel::kSpreadForce, since(t0));
     }
-    {  // kernel 5
-      auto t0 = Clock::now();
-      if (mrt_) {
-        mrt_collide_range(grid, *mrt_, real_begin, real_end);
-      } else {
-        collide_range(grid, params_.tau, real_begin, real_end);
+    if (params_.fused_step) {
+      // Kernels 5+6 as one pass over the real columns. Real columns are
+      // x-interior on the ghosted local grid (pushes land in [0,
+      // local_nx+1], never wrapping x), so the planar fused kernel applies
+      // unchanged; the halo exchange then reads the freshly-pushed
+      // crossing populations out of the ghost columns' df_new exactly as
+      // in the reference pipeline.
+      {
+        auto t0 = Clock::now();
+        fused_collide_stream_x_slab(grid, params_.tau, mrt_.get(), 1,
+                                    local_nx + 1);
+        prof.add(Kernel::kCollision, since(t0));
       }
-      prof.add(Kernel::kCollision, since(t0));
-    }
-    {  // kernel 6 + halo exchange (the only fluid communication)
-      auto t0 = Clock::now();
-      stream_x_slab(grid, 1, local_nx + 1);
-      exchange_halos(rank);
-      prof.add(Kernel::kStreaming, since(t0));
+      {  // kernel 6's communication half keeps the streaming bucket
+        auto t0 = Clock::now();
+        exchange_halos(rank);
+        prof.add(Kernel::kStreaming, since(t0));
+      }
+    } else {
+      {  // kernel 5
+        auto t0 = Clock::now();
+        if (mrt_) {
+          mrt_collide_range(grid, *mrt_, real_begin, real_end);
+        } else {
+          collide_range(grid, params_.tau, real_begin, real_end);
+        }
+        prof.add(Kernel::kCollision, since(t0));
+      }
+      {  // kernel 6 + halo exchange (the only fluid communication)
+        auto t0 = Clock::now();
+        stream_x_slab(grid, 1, local_nx + 1);
+        exchange_halos(rank);
+        prof.add(Kernel::kStreaming, since(t0));
+      }
     }
     {  // kernel 7 (+ boundary pass)
       auto t0 = Clock::now();
@@ -330,9 +351,15 @@ void DistributedSolver::rank_entry(int rank, Index num_steps,
       move_fibers_allreduce(r, rank);
       prof.add(Kernel::kMoveFibers, since(t0));
     }
-    {  // kernel 9
+    {  // kernel 9: per-rank O(1) swap when fused. The ghost columns' df
+       // goes stale under the swap, but ghost df is never read — collision
+       // touches only real columns and the halo exchange reads df_new.
       auto t0 = Clock::now();
-      copy_distributions_range(grid, real_begin, real_end);
+      if (params_.fused_step) {
+        grid.swap_buffers();
+      } else {
+        copy_distributions_range(grid, real_begin, real_end);
+      }
       prof.add(Kernel::kCopyDistribution, since(t0));
     }
 

@@ -10,6 +10,7 @@
 #include "ib/spreading.hpp"
 #include "lbm/boundary.hpp"
 #include "lbm/collision.hpp"
+#include "lbm/fused.hpp"
 #include "lbm/mrt.hpp"
 #include "lbm/macroscopic.hpp"
 #include "lbm/streaming.hpp"
@@ -97,16 +98,29 @@ void OpenMPSolver::step() {
 #pragma omp barrier
 
     // --- LBM related (Algorithm 2 style x-slab partitioning) ---
-    timed(tid, Kernel::kCollision, [&] {
-      if (mrt_) {
-        mrt_collide_range(grid_, *mrt_, node_begin, node_end);
-      } else {
-        collide_range(grid_, params_.tau, node_begin, node_end);
-      }
-    });
+    // Fused pipeline: one pass over this thread's slabs that collides in
+    // registers and pushes into df_new. No thread writes df, and each
+    // df_new slot has a unique writer, so the collide/stream barrier of
+    // the reference pipeline disappears along with the second traversal.
+    // (The conditional barriers are legal: fused_step is uniform across
+    // the team.)
+    if (params_.fused_step) {
+      timed(tid, Kernel::kCollision, [&] {
+        fused_collide_stream_x_slab(grid_, params_.tau, mrt_.get(),
+                                    slabs.begin, slabs.end);
+      });
+    } else {
+      timed(tid, Kernel::kCollision, [&] {
+        if (mrt_) {
+          mrt_collide_range(grid_, *mrt_, node_begin, node_end);
+        } else {
+          collide_range(grid_, params_.tau, node_begin, node_end);
+        }
+      });
 #pragma omp barrier
-    timed(tid, Kernel::kStreaming,
-          [&] { stream_x_slab(grid_, slabs.begin, slabs.end); });
+      timed(tid, Kernel::kStreaming,
+            [&] { stream_x_slab(grid_, slabs.begin, slabs.end); });
+    }
 #pragma omp barrier
 
     // --- FSI coupling related ---
@@ -125,8 +139,19 @@ void OpenMPSolver::step() {
       }
     });
 #pragma omp barrier
-    timed(tid, Kernel::kCopyDistribution,
-          [&] { copy_distributions_range(grid_, node_begin, node_end); });
+    if (!params_.fused_step) {
+      timed(tid, Kernel::kCopyDistribution,
+            [&] { copy_distributions_range(grid_, node_begin, node_end); });
+    }
+  }
+
+  if (params_.fused_step) {
+    // Kernel 9 as an O(1) swap, after the parallel region's implicit
+    // barrier has published every thread's df_new writes. Charged to
+    // thread 0's profile so the merge below still reports it.
+    WallTimer timer;
+    grid_.swap_buffers();
+    thread_profiles_[0].add(Kernel::kCopyDistribution, timer.seconds());
   }
 
   // Merge per-thread time into the aggregate profiler: charge the

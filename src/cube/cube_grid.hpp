@@ -13,6 +13,8 @@
 // Local node order inside a cube is x-major: (lx*k + ly)*k + lz.
 #pragma once
 
+#include <utility>
+
 #include "common/aligned_buffer.hpp"
 #include "common/params.hpp"
 #include "common/types.hpp"
@@ -117,16 +119,46 @@ class CubeGrid {
   // --- per-node field access ------------------------------------------------
 
   Real& df(Size cube, int dir, Size local) {
-    return slot(cube, kDfSlot + static_cast<Size>(dir))[local];
+    return slot(cube, df_base_ + static_cast<Size>(dir))[local];
   }
   Real df(Size cube, int dir, Size local) const {
-    return slot(cube, kDfSlot + static_cast<Size>(dir))[local];
+    return slot(cube, df_base_ + static_cast<Size>(dir))[local];
   }
   Real& df_new(Size cube, int dir, Size local) {
-    return slot(cube, kDfNewSlot + static_cast<Size>(dir))[local];
+    return slot(cube, df_new_base_ + static_cast<Size>(dir))[local];
   }
   Real df_new(Size cube, int dir, Size local) const {
-    return slot(cube, kDfNewSlot + static_cast<Size>(dir))[local];
+    return slot(cube, df_new_base_ + static_cast<Size>(dir))[local];
+  }
+
+  // --- swap parity (fused pipeline's O(1) "kernel 9") ----------------------
+
+  /// Slot base of the present / new distribution field. A cube's block
+  /// cannot pointer-swap the way FluidGrid's planes can (df and df_new are
+  /// interior ranges of one allocation), so the swap flips which 19-slot
+  /// range each accessor targets instead. Both ranges are contiguous, so
+  /// kernels that memcpy 19 slots at once stay valid under either parity.
+  Size df_slot_base() const { return df_base_; }
+  Size df_new_slot_base() const { return df_new_base_; }
+
+  /// Kernel 9 of the fused pipeline: retarget df/df_new in O(1) instead of
+  /// memcpying 19 slots per cube. Accessors (and therefore from_planar /
+  /// to_planar / checkpoints) always follow the current bases, so
+  /// serialized state is parity-safe by construction. See DESIGN.md §11.
+  void swap_df_buffers() {
+    LBMIB_ACCESS_CHECK(if (checker_ != nullptr) checker_->check_swap();)
+    std::swap(df_base_, df_new_base_);
+  }
+
+  /// Current parity: false when df sits at its construction-time base
+  /// (kDfSlot), true after an odd number of swaps.
+  bool swap_parity() const { return df_base_ != kDfSlot; }
+
+  /// Force a specific parity (the overlapped dataflow solver tracks parity
+  /// per step in its task graph and reconciles the grid once at the end).
+  void set_swap_parity(bool parity) {
+    df_base_ = parity ? kDfNewSlot : kDfSlot;
+    df_new_base_ = parity ? kDfSlot : kDfNewSlot;
   }
   Real& rho(Size cube, Size local) { return slot(cube, kRhoSlot)[local]; }
   Real rho(Size cube, Size local) const {
@@ -219,6 +251,8 @@ class CubeGrid {
 
   Size m_;             // nodes per cube
   Size block_stride_;  // reals per cube block
+  Size df_base_ = kDfSlot;        // slot base of df under current parity
+  Size df_new_base_ = kDfNewSlot; // slot base of df_new
   AlignedBuffer<Real> data_;
   AlignedBuffer<std::uint8_t> solid_;  // cube-major, [num_cubes * m]
   AlignedBuffer<std::uint8_t> cube_has_solid_;  // [num_cubes]

@@ -19,7 +19,7 @@ void cube_collide(CubeGrid& grid, Real tau, Size cube) {
   const Size m = grid.nodes_per_cube();
   Real* planes[kQ];
   for (int i = 0; i < kQ; ++i) {
-    planes[i] = grid.slot(cube, CubeGrid::kDfSlot + static_cast<Size>(i));
+    planes[i] = grid.slot(cube, grid.df_slot_base() + static_cast<Size>(i));
   }
   const Real* fx = grid.slot(cube, CubeGrid::kFxSlot);
   const Real* fy = grid.slot(cube, CubeGrid::kFySlot);
@@ -38,7 +38,7 @@ void cube_mrt_collide(CubeGrid& grid, const MrtOperator& op, Size cube) {
   const Size m = grid.nodes_per_cube();
   Real* planes[kQ];
   for (int i = 0; i < kQ; ++i) {
-    planes[i] = grid.slot(cube, CubeGrid::kDfSlot + static_cast<Size>(i));
+    planes[i] = grid.slot(cube, grid.df_slot_base() + static_cast<Size>(i));
   }
   const Real* fx = grid.slot(cube, CubeGrid::kFxSlot);
   const Real* fy = grid.slot(cube, CubeGrid::kFySlot);
@@ -104,14 +104,14 @@ void stream_cube_fast(CubeGrid& grid, Size cube) {
   const Index gz0 = (static_cast<Index>(cube) % ncz) * k;
 
   // Rest particle: whole-slot copy.
-  std::memcpy(grid.slot(cube, CubeGrid::kDfNewSlot),
-              grid.slot(cube, CubeGrid::kDfSlot), m * sizeof(Real));
+  std::memcpy(grid.slot(cube, grid.df_new_slot_base()),
+              grid.slot(cube, grid.df_slot_base()), m * sizeof(Real));
 
   for (int dir = 1; dir < kQ; ++dir) {
     const Real* src_plane =
-        grid.slot(cube, CubeGrid::kDfSlot + static_cast<Size>(dir));
+        grid.slot(cube, grid.df_slot_base() + static_cast<Size>(dir));
     Real* own_new_opp = grid.slot(
-        cube, CubeGrid::kDfNewSlot + static_cast<Size>(opposite(dir)));
+        cube, grid.df_new_slot_base() + static_cast<Size>(opposite(dir)));
     AxisSegment xs[2], ys[2], zs[2];
     const int nxs = axis_segments(k, cx[static_cast<Size>(dir)], xs);
     const int nys = axis_segments(k, cy[static_cast<Size>(dir)], ys);
@@ -127,7 +127,7 @@ void stream_cube_fast(CubeGrid& grid, Size cube) {
                   ? cube
                   : grid.neighbor_cube(cube, sx.dc, sy.dc, sz.dc);
           Real* dst_plane = grid.slot(
-              dest_cube, CubeGrid::kDfNewSlot + static_cast<Size>(dir));
+              dest_cube, grid.df_new_slot_base() + static_cast<Size>(dir));
           if (!grid.cube_has_solid(dest_cube)) {
             const Size row_len = static_cast<Size>(sz.hi - sz.lo + 1);
             for (Index x = sx.lo; x <= sx.hi; ++x) {
@@ -272,14 +272,173 @@ void cube_stream(CubeGrid& grid, Size cube) {
   }
 }
 
+namespace {
+
+/// Fused kernels 5+6 on one cube: collide each node's 19 populations in
+/// registers (BGK when `mrt` is null) and push them straight into the
+/// df_new field at slot base `dst_base`, reading df from `src_base`. The
+/// source field is left untouched, which is what lets kernel 9 become
+/// CubeGrid::swap_df_buffers. Streaming structure (interior fast path,
+/// cross-cube pushes, half-way bounce-back, moving-lid correction) mirrors
+/// cube_stream; solid nodes' dst slots are zeroed so the post-swap df
+/// keeps the reference invariant df[solid] == 0.
+void cube_collide_stream_impl(CubeGrid& grid, Real tau,
+                              const MrtOperator* mrt, Size cube,
+                              Size src_base, Size dst_base) {
+  using namespace d3q19;
+  LBMIB_ACCESS_CHECK(if (auto* ck = grid.access_checker())
+                         ck->check_owned_write(cube, StepPhase::kCollideStream);)
+  const Index k = grid.cube_size();
+  const bool has_lid = grid.has_lid();
+  const Index gz0 = (static_cast<Index>(cube) % grid.cubes_z()) * k;
+  // No solid node in this cube or any neighbour means no push can need
+  // bounce-back (and without walls there is no lid plane either), so
+  // every per-destination solid test below short-circuits to false.
+  const bool solid_free = grid.solid_free_region(cube);
+
+  const Real* src[kQ];
+  Real* own_new[kQ];
+  for (int dir = 0; dir < kQ; ++dir) {
+    src[dir] = grid.slot(cube, src_base + static_cast<Size>(dir));
+    own_new[dir] = grid.slot(cube, dst_base + static_cast<Size>(dir));
+  }
+  const Real* fx = grid.slot(cube, CubeGrid::kFxSlot);
+  const Real* fy = grid.slot(cube, CubeGrid::kFySlot);
+  const Real* fz = grid.slot(cube, CubeGrid::kFzSlot);
+
+  std::ptrdiff_t local_offset[kQ];
+  for (int dir = 0; dir < kQ; ++dir) {
+    local_offset[dir] =
+        (static_cast<std::ptrdiff_t>(cx[static_cast<Size>(dir)]) * k +
+         cy[static_cast<Size>(dir)]) *
+            k +
+        cz[static_cast<Size>(dir)];
+  }
+
+  for (Index lx = 0; lx < k; ++lx) {
+    const bool x_interior = (lx > 0 && lx < k - 1);
+    for (Index ly = 0; ly < k; ++ly) {
+      const bool y_interior = (ly > 0 && ly < k - 1);
+      for (Index lz = 0; lz < k; ++lz) {
+        const Size local = grid.local_id(lx, ly, lz);
+        if (!solid_free && grid.solid(cube, local)) {
+          // Nothing ever pushes into a solid node (pushes toward it turn
+          // into bounce-back at the source), so its dst slots would go
+          // stale across swaps; zero them here. Unique writer: only the
+          // owning cube's sweep touches a solid node's slots.
+          for (int dir = 0; dir < kQ; ++dir) own_new[dir][local] = 0.0;
+          continue;
+        }
+        Real g[kQ];
+        for (int dir = 0; dir < kQ; ++dir) g[dir] = src[dir][local];
+        const Vec3 force{fx[local], fy[local], fz[local]};
+        if (mrt != nullptr) {
+          mrt->collide_node(g, force);
+        } else {
+          collide_node_array(g, tau, force);
+        }
+        own_new[0][local] = g[0];
+
+        if (x_interior && y_interior && lz > 0 && lz < k - 1) {
+          for (int dir = 1; dir < kQ; ++dir) {
+            const Size dest_local = static_cast<Size>(
+                static_cast<std::ptrdiff_t>(local) + local_offset[dir]);
+            if (!solid_free && grid.solid(cube, dest_local)) {
+              Real v = g[dir];
+              if (has_lid && gz0 + lz + cz[static_cast<Size>(dir)] ==
+                                 grid.nz() - 1) {
+                v -= lid_correction(grid.lid_velocity(), dir);
+              }
+              own_new[opposite(dir)][local] = v;
+            } else {
+              own_new[dir][dest_local] = g[dir];
+            }
+          }
+        } else {
+          for (int dir = 1; dir < kQ; ++dir) {
+            Index tx = lx + cx[static_cast<Size>(dir)];
+            Index ty = ly + cy[static_cast<Size>(dir)];
+            Index tz = lz + cz[static_cast<Size>(dir)];
+            int dcx = 0, dcy = 0, dcz = 0;
+            if (tx < 0) {
+              tx += k;
+              dcx = -1;
+            } else if (tx >= k) {
+              tx -= k;
+              dcx = 1;
+            }
+            if (ty < 0) {
+              ty += k;
+              dcy = -1;
+            } else if (ty >= k) {
+              ty -= k;
+              dcy = 1;
+            }
+            if (tz < 0) {
+              tz += k;
+              dcz = -1;
+            } else if (tz >= k) {
+              tz -= k;
+              dcz = 1;
+            }
+            const Size dest_cube =
+                (dcx | dcy | dcz) == 0
+                    ? cube
+                    : grid.neighbor_cube(cube, dcx, dcy, dcz);
+            const Size dest_local = grid.local_id(tx, ty, tz);
+            if (!solid_free && grid.solid(dest_cube, dest_local)) {
+              Real v = g[dir];
+              if (has_lid && gz0 + dcz * k + tz == grid.nz() - 1) {
+                v -= lid_correction(grid.lid_velocity(), dir);
+              }
+              own_new[opposite(dir)][local] = v;
+            } else {
+              grid.slot(dest_cube,
+                        dst_base + static_cast<Size>(dir))[dest_local] =
+                  g[dir];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void cube_collide_stream(CubeGrid& grid, Real tau, Size cube) {
+  cube_collide_stream_impl(grid, tau, nullptr, cube, grid.df_slot_base(),
+                           grid.df_new_slot_base());
+}
+
+void cube_collide_stream(CubeGrid& grid, Real tau, Size cube, Size src_base,
+                         Size dst_base) {
+  cube_collide_stream_impl(grid, tau, nullptr, cube, src_base, dst_base);
+}
+
+void cube_mrt_collide_stream(CubeGrid& grid, const MrtOperator& op,
+                             Size cube) {
+  cube_collide_stream_impl(grid, 0.0, &op, cube, grid.df_slot_base(),
+                           grid.df_new_slot_base());
+}
+
+void cube_mrt_collide_stream(CubeGrid& grid, const MrtOperator& op,
+                             Size cube, Size src_base, Size dst_base) {
+  cube_collide_stream_impl(grid, 0.0, &op, cube, src_base, dst_base);
+}
+
 void cube_update_velocity(CubeGrid& grid, Size cube) {
+  cube_update_velocity(grid, cube, grid.df_new_slot_base());
+}
+
+void cube_update_velocity(CubeGrid& grid, Size cube, Size df_new_base) {
   using namespace d3q19;
   LBMIB_ACCESS_CHECK(if (auto* ck = grid.access_checker())
                          ck->check_owned_write(cube, StepPhase::kUpdate);)
   const Size m = grid.nodes_per_cube();
   const Real* planes[kQ];
   for (int i = 0; i < kQ; ++i) {
-    planes[i] = grid.slot(cube, CubeGrid::kDfNewSlot + static_cast<Size>(i));
+    planes[i] = grid.slot(cube, df_new_base + static_cast<Size>(i));
   }
   const Real* fx = grid.slot(cube, CubeGrid::kFxSlot);
   const Real* fy = grid.slot(cube, CubeGrid::kFySlot);
@@ -315,14 +474,16 @@ void cube_update_velocity(CubeGrid& grid, Size cube) {
 
 namespace {
 
-/// Raw moments of a node's streamed (df_new) distributions.
+/// Raw moments of a node's streamed distributions at slot base
+/// `df_new_base` (the df_new field under the caller's parity).
 void cube_streamed_moments(const CubeGrid& grid, Size cube, Size local,
-                           Real& rho, Vec3& u) {
+                           Size df_new_base, Real& rho, Vec3& u) {
   using namespace d3q19;
   rho = 0.0;
   Vec3 mom{};
   for (int dir = 0; dir < kQ; ++dir) {
-    const Real g = grid.df_new(cube, dir, local);
+    const Real g =
+        grid.slot(cube, df_new_base + static_cast<Size>(dir))[local];
     rho += g;
     mom += g * c(dir);
   }
@@ -333,6 +494,12 @@ void cube_streamed_moments(const CubeGrid& grid, Size cube, Size local,
 
 void cube_apply_inlet_outlet(CubeGrid& grid, const Vec3& inlet_velocity,
                              Size cube) {
+  cube_apply_inlet_outlet(grid, inlet_velocity, cube,
+                          grid.df_new_slot_base());
+}
+
+void cube_apply_inlet_outlet(CubeGrid& grid, const Vec3& inlet_velocity,
+                             Size cube, Size df_new_base) {
   LBMIB_ACCESS_CHECK(if (auto* ck = grid.access_checker())
                          ck->check_owned_write(cube, StepPhase::kUpdate);)
   const Index k = grid.cube_size();
@@ -360,9 +527,10 @@ void cube_apply_inlet_outlet(CubeGrid& grid, const Vec3& inlet_velocity,
         const CubeGrid::NodeRef nb = column_ref(1, ly, lz, 1);
         Real rho_b;
         Vec3 u_ignored;
-        cube_streamed_moments(grid, nb.cube, nb.local, rho_b, u_ignored);
+        cube_streamed_moments(grid, nb.cube, nb.local, df_new_base, rho_b,
+                              u_ignored);
         for (int dir = 0; dir < kQ; ++dir) {
-          grid.df_new(cube, dir, local) =
+          grid.slot(cube, df_new_base + static_cast<Size>(dir))[local] =
               d3q19::equilibrium(dir, rho_b, inlet_velocity);
         }
       }
@@ -377,9 +545,10 @@ void cube_apply_inlet_outlet(CubeGrid& grid, const Vec3& inlet_velocity,
         const CubeGrid::NodeRef up = column_ref(k - 2, ly, lz, -1);
         Real rho_up;
         Vec3 u_up;
-        cube_streamed_moments(grid, up.cube, up.local, rho_up, u_up);
+        cube_streamed_moments(grid, up.cube, up.local, df_new_base, rho_up,
+                              u_up);
         for (int dir = 0; dir < kQ; ++dir) {
-          grid.df_new(cube, dir, local) =
+          grid.slot(cube, df_new_base + static_cast<Size>(dir))[local] =
               d3q19::equilibrium(dir, Real{1}, u_up);
         }
       }
@@ -391,9 +560,10 @@ void cube_copy_distributions(CubeGrid& grid, Size cube) {
   LBMIB_ACCESS_CHECK(if (auto* ck = grid.access_checker())
                          ck->check_owned_write(cube, StepPhase::kMoveCopy);)
   // The 19 df slots and 19 df_new slots are each contiguous within the
-  // cube block, so one memcpy moves the whole new buffer back.
-  std::memcpy(grid.slot(cube, CubeGrid::kDfSlot),
-              grid.slot(cube, CubeGrid::kDfNewSlot),
+  // cube block under either swap parity, so one memcpy moves the whole
+  // new buffer back.
+  std::memcpy(grid.slot(cube, grid.df_slot_base()),
+              grid.slot(cube, grid.df_new_slot_base()),
               static_cast<Size>(kQ) * grid.nodes_per_cube() * sizeof(Real));
 }
 

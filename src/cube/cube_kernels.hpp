@@ -32,8 +32,30 @@ void cube_mrt_collide(CubeGrid& grid, const MrtOperator& op, Size cube);
 /// cubes), with half-way bounce-back at solid nodes.
 void cube_stream(CubeGrid& grid, Size cube);
 
+/// Fused kernels 5+6 on one cube (the params.fused_step pipeline): collide
+/// each node's populations in registers and push them straight into
+/// df_new, leaving df untouched so kernel 9 becomes
+/// CubeGrid::swap_df_buffers. Bit-identical to cube_collide + cube_stream
+/// (the arithmetic is shared via collide_node_array). Solid nodes' df_new
+/// slots are zeroed — see the implementation comment.
+void cube_collide_stream(CubeGrid& grid, Real tau, Size cube);
+void cube_mrt_collide_stream(CubeGrid& grid, const MrtOperator& op,
+                             Size cube);
+
+/// Explicit-parity overloads for the overlapped dataflow solver, which
+/// tracks swap parity per *step* in its task graph rather than on the grid:
+/// read df from slot base `src_base`, write df_new at `dst_base` (each
+/// CubeGrid::kDfSlot or kDfNewSlot).
+void cube_collide_stream(CubeGrid& grid, Real tau, Size cube, Size src_base,
+                         Size dst_base);
+void cube_mrt_collide_stream(CubeGrid& grid, const MrtOperator& op,
+                             Size cube, Size src_base, Size dst_base);
+
 /// Kernel 7 on one cube: macroscopic density/velocity from df_new + F/2.
 void cube_update_velocity(CubeGrid& grid, Size cube);
+
+/// Explicit-parity overload: read the streamed field from `df_new_base`.
+void cube_update_velocity(CubeGrid& grid, Size cube, Size df_new_base);
 
 /// Inlet/outlet pass (BoundaryType::kInletOutlet) for one cube: if the
 /// cube touches x = 0, overwrite those nodes' df_new with the equilibrium
@@ -45,7 +67,12 @@ void cube_update_velocity(CubeGrid& grid, Size cube);
 void cube_apply_inlet_outlet(CubeGrid& grid, const Vec3& inlet_velocity,
                              Size cube);
 
-/// Kernel 9 on one cube: copy df_new back into df.
+/// Explicit-parity overload: rewrite the streamed field at `df_new_base`.
+void cube_apply_inlet_outlet(CubeGrid& grid, const Vec3& inlet_velocity,
+                             Size cube, Size df_new_base);
+
+/// Kernel 9 on one cube: copy df_new back into df (the reference,
+/// unfused pipeline; the fused pipeline swaps instead).
 void cube_copy_distributions(CubeGrid& grid, Size cube);
 
 /// Kernel 4 for fibers [fiber_begin, fiber_end): spread elastic force into

@@ -5,15 +5,12 @@
 
 namespace lbmib {
 
-namespace {
-
-/// Core BGK + Guo update for one node's 19 distribution values.
-inline void collide_values(Real* g[kQ], Real tau, const Vec3& force) {
+void collide_node_array(Real* g, Real tau, const Vec3& force) {
   using namespace d3q19;
   Real rho = 0.0;
   Vec3 mom{};
   for (int i = 0; i < kQ; ++i) {
-    const Real gi = *g[i];
+    const Real gi = g[i];
     rho += gi;
     mom.x += gi * cx[static_cast<Size>(i)];
     mom.y += gi * cy[static_cast<Size>(i)];
@@ -23,8 +20,20 @@ inline void collide_values(Real* g[kQ], Real tau, const Vec3& force) {
   const Real inv_tau = Real{1} / tau;
   for (int i = 0; i < kQ; ++i) {
     const Real geq = equilibrium(i, rho, u);
-    *g[i] += -inv_tau * (*g[i] - geq) + guo_forcing(i, tau, u, force);
+    g[i] += -inv_tau * (g[i] - geq) + guo_forcing(i, tau, u, force);
   }
+}
+
+namespace {
+
+/// BGK + Guo update through per-direction pointers (the strided reference
+/// path). Gathers into a local array, collides, scatters back — one
+/// arithmetic implementation for both pipelines.
+inline void collide_values(Real* g[kQ], Real tau, const Vec3& force) {
+  Real v[kQ];
+  for (int i = 0; i < kQ; ++i) v[i] = *g[i];
+  collide_node_array(v, tau, force);
+  for (int i = 0; i < kQ; ++i) *g[i] = v[i];
 }
 
 }  // namespace

@@ -30,4 +30,10 @@ struct NodeDistributions {
 void collide_node(const NodeDistributions& node, Real tau,
                   const Vec3& force);
 
+/// Collide one node's 19 distribution values held in a contiguous local
+/// array (the fused collide-stream kernel's register path). Exactly the
+/// arithmetic of collide_node — in fact collide_node routes through this
+/// function — so the fused and reference pipelines are bit-identical.
+void collide_node_array(Real* g, Real tau, const Vec3& force);
+
 }  // namespace lbmib

@@ -142,8 +142,11 @@ class FluidGrid {
   /// part is the body force driving channel flow).
   void reset_forces(const Vec3& constant_force);
 
-  /// Swap the present and new distribution buffers (the pointer-swap
-  /// alternative to kernel 9; see bench/ablation_copy_vs_swap.cpp).
+  /// Swap the present and new distribution buffers — kernel 9 of the
+  /// fused pipeline (params.fused_step). O(1) where the reference path
+  /// memcpys 19 planes; accessors always read the canonical buffer, so
+  /// checkpoints and snapshots are parity-safe by construction. See
+  /// DESIGN.md §11 and bench/ablation_copy_vs_swap.cpp.
   void swap_buffers() { std::swap(df_, df_new_); }
 
   /// Deep-copy every field from a grid of identical dimensions. (The grid

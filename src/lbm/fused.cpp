@@ -1,0 +1,165 @@
+#include "lbm/fused.hpp"
+
+#include "lbm/collision.hpp"
+#include "lbm/d3q19.hpp"
+#include "lbm/fluid_grid.hpp"
+#include "lbm/mrt.hpp"
+
+namespace lbmib {
+
+namespace {
+
+/// Per-direction plane pointers, constant interior strides, and the
+/// moving-lid correction — the loop furniture shared with stream_x_slab.
+struct StreamContext {
+  const Real* df[kQ];
+  Real* df_new[kQ];
+  std::ptrdiff_t offset[kQ];
+  Real lid_corr[kQ];
+  bool has_lid;
+
+  explicit StreamContext(FluidGrid& grid) {
+    using namespace d3q19;
+    const Index ny = grid.ny(), nz = grid.nz();
+    for (int dir = 0; dir < kQ; ++dir) {
+      df[dir] = grid.df_plane(dir);
+      df_new[dir] = grid.df_new_plane(dir);
+      offset[dir] =
+          (static_cast<std::ptrdiff_t>(cx[static_cast<Size>(dir)]) * ny +
+           cy[static_cast<Size>(dir)]) *
+              nz +
+          cz[static_cast<Size>(dir)];
+      lid_corr[dir] = 0.0;
+    }
+    has_lid = grid.has_lid();
+    if (has_lid) {
+      for (int dir = 0; dir < kQ; ++dir) {
+        lid_corr[dir] = 2 * w[static_cast<Size>(dir)] * inv_cs2 *
+                        dot(c(dir), grid.lid_velocity());
+      }
+    }
+  }
+};
+
+/// Collide-in-registers callable: BGK when `mrt` is null, MRT otherwise.
+struct NodeCollide {
+  const FluidGrid& grid;
+  Real tau;
+  const MrtOperator* mrt;
+
+  void operator()(Real* g, Size node) const {
+    if (mrt != nullptr) {
+      mrt->collide_node(g, grid.force(node));
+    } else {
+      collide_node_array(g, tau, grid.force(node));
+    }
+  }
+};
+
+}  // namespace
+
+void fused_collide_stream_x_slab(FluidGrid& grid, Real tau,
+                                 const MrtOperator* mrt, Index x_begin,
+                                 Index x_end) {
+  using namespace d3q19;
+  const Index nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+  StreamContext ctx(grid);
+  const NodeCollide collide{grid, tau, mrt};
+
+  for (Index x = x_begin; x < x_end; ++x) {
+    const bool x_interior = (x > 0 && x < nx - 1);
+    for (Index y = 0; y < ny; ++y) {
+      const bool y_interior = (y > 0 && y < ny - 1);
+      for (Index z = 0; z < nz; ++z) {
+        const Size src = grid.index(x, y, z);
+        if (grid.solid(src)) {
+          // Nothing ever pushes into a solid node, so its df_new slots
+          // would go stale across swaps; zero them to keep the post-swap
+          // invariant df[solid] == 0 of the reference path.
+          for (int dir = 0; dir < kQ; ++dir) ctx.df_new[dir][src] = 0.0;
+          continue;
+        }
+        Real g[kQ];
+        for (int dir = 0; dir < kQ; ++dir) g[dir] = ctx.df[dir][src];
+        collide(g, src);
+        ctx.df_new[0][src] = g[0];  // rest particle stays put
+        if (x_interior && y_interior && z > 0 && z < nz - 1) {
+          for (int dir = 1; dir < kQ; ++dir) {
+            const Size dst = static_cast<Size>(
+                static_cast<std::ptrdiff_t>(src) + ctx.offset[dir]);
+            if (grid.solid(dst)) {
+              Real v = g[dir];
+              if (ctx.has_lid &&
+                  z + cz[static_cast<Size>(dir)] == nz - 1) {
+                v -= ctx.lid_corr[dir];
+              }
+              ctx.df_new[opposite(dir)][src] = v;
+            } else {
+              ctx.df_new[dir][dst] = g[dir];
+            }
+          }
+        } else {
+          for (int dir = 1; dir < kQ; ++dir) {
+            const Index tx =
+                FluidGrid::wrap(x + cx[static_cast<Size>(dir)], nx);
+            const Index ty =
+                FluidGrid::wrap(y + cy[static_cast<Size>(dir)], ny);
+            const Index tz =
+                FluidGrid::wrap(z + cz[static_cast<Size>(dir)], nz);
+            const Size dst = grid.index(tx, ty, tz);
+            if (grid.solid(dst)) {
+              Real v = g[dir];
+              if (ctx.has_lid && tz == nz - 1) v -= ctx.lid_corr[dir];
+              ctx.df_new[opposite(dir)][src] = v;
+            } else {
+              ctx.df_new[dir][dst] = g[dir];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void fused_collide_stream_tile(FluidGrid& grid, Real tau,
+                               const MrtOperator* mrt, Index x_lo,
+                               Index x_hi, Index y_lo, Index y_hi) {
+  using namespace d3q19;
+  const Index nz = grid.nz();
+  StreamContext ctx(grid);
+  const NodeCollide collide{grid, tau, mrt};
+
+  for (Index lx = x_lo; lx <= x_hi; ++lx) {
+    for (Index ly = y_lo; ly <= y_hi; ++ly) {
+      for (Index z = 0; z < nz; ++z) {
+        const Size src = grid.index(lx, ly, z);
+        if (grid.solid(src)) {
+          for (int dir = 0; dir < kQ; ++dir) ctx.df_new[dir][src] = 0.0;
+          continue;
+        }
+        Real g[kQ];
+        for (int dir = 0; dir < kQ; ++dir) g[dir] = ctx.df[dir][src];
+        collide(g, src);
+        ctx.df_new[0][src] = g[0];
+        for (int dir = 1; dir < kQ; ++dir) {
+          // x/y targets always land inside the ghosted local grid; only z
+          // wraps (it is not decomposed) — same rule as stream_local.
+          const Index tx = lx + cx[static_cast<Size>(dir)];
+          const Index ty = ly + cy[static_cast<Size>(dir)];
+          const Index tz =
+              FluidGrid::wrap(z + cz[static_cast<Size>(dir)], nz);
+          const Size dst = grid.index(tx, ty, tz);
+          if (grid.solid(dst)) {
+            Real v = g[dir];
+            if (ctx.has_lid && tz == nz - 1) v -= ctx.lid_corr[dir];
+            ctx.df_new[opposite(dir)][src] = v;
+          } else {
+            ctx.df_new[dir][dst] = g[dir];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace lbmib

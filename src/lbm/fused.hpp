@@ -1,0 +1,52 @@
+// Fused collide-stream: kernels 5+6 in one pass over the lattice.
+//
+// The paper's pipeline collides in place over df (one full read+write
+// sweep), streams df into df_new (another full read), then copies df_new
+// back (kernel 9, a third full traversal). Collision only ever reads a
+// node's OWN 19 populations and streaming only reads that node's
+// post-collision values, so the two kernels fuse exactly: load the 19
+// populations into registers, collide them there, and push the results
+// straight into df_new with the same bounce-back / moving-lid / wrap
+// handling as stream_x_slab. The df buffer is left untouched, which makes
+// kernel 9 an O(1) buffer swap (FluidGrid::swap_buffers) instead of a
+// 19-plane memcpy. The arithmetic is shared with the reference kernels
+// (collide_node_array, MrtOperator::collide_node), so for BGK the fused
+// pipeline is bit-identical to collide_range + stream_x_slab + copy.
+//
+// Swap correctness: one fused sweep writes every df_new slot of every
+// fluid node exactly once (a neighbour's push, or the node's own
+// bounce-back where the upstream neighbour is solid), so after the swap
+// no stale fluid data survives. Solid nodes receive no pushes; the sweep
+// zeroes their 19 df_new slots so the post-swap df matches the reference
+// path's invariant df[solid] == 0.
+//
+// Race-freedom under x-slab partitioning is inherited from stream_x_slab:
+// each (direction, destination) df_new slot has a unique source node, and
+// a solid node's slots are written only by the node itself.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace lbmib {
+
+class FluidGrid;
+class MrtOperator;
+
+/// Fused kernels 5+6 for every node with x in [x_begin, x_end): collide in
+/// registers (MRT when `mrt` is non-null, else BGK at `tau`) and push into
+/// df_new. Periodic wrap in all axes at the grid faces, exactly like
+/// stream_x_slab.
+void fused_collide_stream_x_slab(FluidGrid& grid, Real tau,
+                                 const MrtOperator* mrt, Index x_begin,
+                                 Index x_end);
+
+/// Tile variant for the 2-D ghost-layer decomposition: nodes with local
+/// x in [x_lo, x_hi] and y in [y_lo, y_hi] (inclusive, matching the
+/// distributed solver's real-tile bounds). x/y pushes land inside the
+/// ghosted local grid without wrapping; only z wraps (it is not
+/// decomposed). Mirrors Distributed2DSolver's reference stream_local.
+void fused_collide_stream_tile(FluidGrid& grid, Real tau,
+                               const MrtOperator* mrt, Index x_lo,
+                               Index x_hi, Index y_lo, Index y_hi);
+
+}  // namespace lbmib

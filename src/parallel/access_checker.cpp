@@ -149,6 +149,18 @@ void AccessChecker::check_owned_write(Size cube, StepPhase phase) const {
   }
 }
 
+void AccessChecker::check_swap() const {
+  const int tid = bound_thread();
+  if (tid < 0) return;  // outside the protocol
+  if (t_bind.phase != StepPhase::kMoveCopy) {
+    fail("buffer swap outside the move+copy phase: thread " +
+         std::to_string(tid) + " swapped df/df_new in phase '" +
+         std::string(step_phase_name(t_bind.phase)) +
+         "' — the swap retargets every cube at once and is only legal "
+         "after the update barrier");
+  }
+}
+
 void AccessChecker::fail(const std::string& what) const {
   throw Error("AccessChecker: " + what);
 }

@@ -96,6 +96,13 @@ class AccessChecker {
   /// automaton is in `phase`. Unbound threads are exempt.
   void check_owned_write(Size cube, StepPhase phase) const;
 
+  /// The fused pipeline's O(1) buffer swap (CubeGrid::swap_df_buffers).
+  /// The swap retargets every cube's df/df_new base at once, so it is only
+  /// legal in the move+copy phase — after the update barrier has published
+  /// all df_new writes and before any thread starts the next step's reads.
+  /// Unbound threads (sequential paths, tests) are exempt.
+  void check_swap() const;
+
  private:
   [[noreturn]] void fail(const std::string& what) const;
 

@@ -97,6 +97,27 @@ TEST(AccessChecker, SkippedBarrierFires) {
   EXPECT_THROW(checker.advance_phase(StepPhase::kUpdate), Error);
 }
 
+TEST(AccessChecker, SwapOutsideMoveCopyPhaseFires) {
+  // The fused pipeline's O(1) buffer swap replaces kernel 9's copy, so it
+  // inherits the same slot in the protocol: only the move+copy phase, after
+  // the update barrier has retired every read of the old df.
+  AccessChecker checker = make_checker();
+  ScopedThreadBind bind(checker, 0);
+  EXPECT_THROW(checker.check_swap(), Error);  // kSpread
+  checker.advance_phase(StepPhase::kCollideStream);
+  EXPECT_THROW(checker.check_swap(), Error);
+  checker.advance_phase(StepPhase::kUpdate);
+  EXPECT_THROW(checker.check_swap(), Error);
+  checker.advance_phase(StepPhase::kMoveCopy);
+  EXPECT_NO_THROW(checker.check_swap());
+}
+
+TEST(AccessChecker, SwapByUnboundThreadIsExempt) {
+  // Sequential paths and tests swap without entering the protocol.
+  AccessChecker checker = make_checker();
+  EXPECT_NO_THROW(checker.check_swap());
+}
+
 TEST(AccessChecker, PhaseCycleWrapsAroundCleanly) {
   AccessChecker checker = make_checker();
   ScopedThreadBind bind(checker, 0);
