@@ -27,8 +27,27 @@ cmake -B "$BUILD_DIR" -S . \
 mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
 echo "clang-tidy over ${#SOURCES[@]} files (database: $BUILD_DIR)"
 
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"' EXIT
+
+STATUS=0
 if command -v run-clang-tidy >/dev/null 2>&1; then
-  run-clang-tidy -quiet -p "$BUILD_DIR" "${SOURCES[@]}"
+  run-clang-tidy -quiet -p "$BUILD_DIR" "${SOURCES[@]}" 2>&1 \
+    | tee "$LOG" || STATUS=$?
 else
-  clang-tidy -quiet -p "$BUILD_DIR" "${SOURCES[@]}"
+  # Sweep every file even after one fails, so a single run reports the
+  # full finding set.
+  for src in "${SOURCES[@]}"; do
+    clang-tidy -quiet -p "$BUILD_DIR" "$src" 2>&1 \
+      | tee -a "$LOG" || STATUS=$?
+  done
 fi
+
+# run-clang-tidy releases differ on whether per-file failures reach the
+# exit code, so gate on the log as well: every diagnostic promoted by
+# WarningsAsErrors prints ": error:".
+if grep -q ": error:" "$LOG"; then
+  echo "clang-tidy: promoted diagnostics found (see log above)" >&2
+  exit 1
+fi
+exit "$STATUS"

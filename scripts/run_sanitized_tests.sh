@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Build and run the test suite under a sanitizer.
 #
-# Usage: scripts/run_sanitized_tests.sh [address|thread|undefined] [build-dir]
+# Usage: scripts/run_sanitized_tests.sh [address|thread|undefined|race] [build-dir]
 #
 #   address    ASan + UBSan, plus the runtime cube-ownership checker
 #              (-DLBMIB_CHECK_ACCESS=ON); runs the full suite. Default.
@@ -10,6 +10,10 @@
 #              is excluded because GCC's libgomp is not TSan-instrumented
 #              (tsan.supp suppresses any stragglers from that library).
 #   undefined  UBSan alone — cheap enough for quick local iteration.
+#   race       The library's own happens-before race detector
+#              (-DLBMIB_RACE_DETECT=ON) over the full suite, OpenMP
+#              included — it instruments the library's sync primitives,
+#              not the hardware, so it covers what the TSan leg cannot.
 #
 # Each mode uses a dedicated build tree (default: build-<mode>) so the
 # sanitized configuration never pollutes the regular one. The build type
@@ -22,9 +26,9 @@ cd "$(dirname "$0")/.."
 
 MODE="${1:-address}"
 case "$MODE" in
-  address|thread|undefined) ;;
+  address|thread|undefined|race) ;;
   *)
-    echo "usage: $0 [address|thread|undefined] [build-dir]" >&2
+    echo "usage: $0 [address|thread|undefined|race] [build-dir]" >&2
     exit 2
     ;;
 esac
@@ -54,6 +58,12 @@ case "$MODE" in
   undefined)
     CMAKE_ARGS+=(-DLBMIB_SANITIZE=undefined)
     export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+    ;;
+  race)
+    # No sanitizer: the detector is ordinary library code, so the whole
+    # suite (OpenMP solvers included) runs under it. A detected race
+    # throws lbmib::Error and fails the owning test.
+    CMAKE_ARGS+=(-DLBMIB_RACE_DETECT=ON)
     ;;
 esac
 

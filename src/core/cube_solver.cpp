@@ -7,6 +7,7 @@
 #include "cube/cube_kernels.hpp"
 #include "ib/fiber_forces.hpp"
 #include "lbm/boundary.hpp"
+#include "parallel/race_detector.hpp"
 #include "parallel/thread_team.hpp"
 
 namespace lbmib {
@@ -114,6 +115,7 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
 
   for (Index step = 0; step < num_steps; ++step) {
     // --- 1st loop: fiber kernels 1-4 on owned fibers ---------------------
+    LBMIB_RACE_CHECK(race::context("cube solver: spread phase");)
     {
       auto t0 = Clock::now();
       for (const auto& [s, f] : my_fibers) {
@@ -142,6 +144,7 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
     barrier_->arrive_and_wait();
     LBMIB_ACCESS_CHECK(
         access_checker_->advance_phase(StepPhase::kCollideStream);)
+    LBMIB_RACE_CHECK(race::context("cube solver: collide+stream phase");)
 
     // --- 2nd loop: collision + streaming per cube ------------------------
     if (params_.fused_step) {
@@ -177,6 +180,7 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
     }
     barrier_->arrive_and_wait();  // paper barrier #1
     LBMIB_ACCESS_CHECK(access_checker_->advance_phase(StepPhase::kUpdate);)
+    LBMIB_RACE_CHECK(race::context("cube solver: update phase");)
 
     // --- 3rd loop: update velocity ---------------------------------------
     {
@@ -191,6 +195,7 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
     }
     barrier_->arrive_and_wait();  // paper barrier #2
     LBMIB_ACCESS_CHECK(access_checker_->advance_phase(StepPhase::kMoveCopy);)
+    LBMIB_RACE_CHECK(race::context("cube solver: move+copy phase");)
 
     // --- 4th loop: move owned fibers --------------------------------------
     {
@@ -207,6 +212,10 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
       auto t0 = Clock::now();
       for (Size cube : my_cubes) {
         if (!params_.fused_step) cube_copy_distributions(grid_, cube);
+        // The reset below writes the force slots directly, bypassing the
+        // hooked add_force accessors.
+        LBMIB_RACE_CHECK(race::access(&grid_, cube, RaceField::kForce,
+                                      RaceAccess::kWrite, "reset forces");)
         Real* fx = grid_.slot(cube, CubeGrid::kFxSlot);
         Real* fy = grid_.slot(cube, CubeGrid::kFySlot);
         Real* fz = grid_.slot(cube, CubeGrid::kFzSlot);

@@ -10,6 +10,7 @@
 #include "cube/cube_kernels.hpp"
 #include "ib/fiber_forces.hpp"
 #include "lbm/boundary.hpp"
+#include "parallel/race_detector.hpp"
 #include "parallel/thread_team.hpp"
 
 namespace lbmib {
@@ -99,6 +100,7 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
 
   for (Index step = 0; step < num_steps; ++step) {
     // --- fiber force phase: kernels 1-4 fused per fiber, self-scheduled
+    LBMIB_RACE_CHECK(race::context("dataflow solver: spread phase");)
     {
       auto t0 = Clock::now();
       for (;;) {
@@ -114,6 +116,7 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
       prof.add(Kernel::kSpreadForce, since(t0));
     }
     barrier_.arrive_and_wait();  // spreading complete before collision
+    LBMIB_RACE_CHECK(race::context("dataflow solver: task loop");)
 
     // --- fluid dataflow: COLLIDE+STREAM -> (deps) -> UPDATE+COPY -------
     {
@@ -138,6 +141,9 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
           }
         }
         ++tasks_executed_[static_cast<Size>(tid)];
+        // Order this thread after whoever published the slot (seeded
+        // collide slots carry no edge; the spread barrier orders those).
+        LBMIB_RACE_CHECK(race::edge_acquire(&queue_[slot]);)
         if (task > 0) {
           const Size cube = static_cast<Size>(task - 1);
           if (params_.fused_step) {
@@ -155,11 +161,18 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
             cube_stream(grid_, cube);
           }
           // Resolve dependencies: the last streamer of a neighbourhood
-          // publishes that cube's update task.
+          // publishes that cube's update task. Race-detector edges mirror
+          // the atomics: contribute the clock BEFORE the decrement (so
+          // every earlier decrementer's clock is in the sync var by the
+          // time the last one re-reads it), re-join it after observing 1,
+          // and release onto the published queue slot.
           for (Size n : region_[cube]) {
+            LBMIB_RACE_CHECK(race::edge_acq_rel(&pending_[n]);)
             if (pending_[n].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+              LBMIB_RACE_CHECK(race::edge_acquire(&pending_[n]);)
               const Size out =
                   queue_tail_.fetch_add(1, std::memory_order_relaxed);
+              LBMIB_RACE_CHECK(race::edge_release(&queue_[out]);)
               queue_[out].store(encode_update(n),
                                 std::memory_order_release);
             }
@@ -171,7 +184,11 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
           }
           cube_update_velocity(grid_, cube);
           if (!params_.fused_step) cube_copy_distributions(grid_, cube);
-          // Reset forces for the next step's spreading.
+          // Reset forces for the next step's spreading (raw slot writes,
+          // bypassing the hooked add_force accessors).
+          LBMIB_RACE_CHECK(race::access(&grid_, cube, RaceField::kForce,
+                                        RaceAccess::kWrite,
+                                        "reset forces");)
           Real* fx = grid_.slot(cube, CubeGrid::kFxSlot);
           Real* fy = grid_.slot(cube, CubeGrid::kFySlot);
           Real* fz = grid_.slot(cube, CubeGrid::kFzSlot);
@@ -185,6 +202,7 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
       prof.add(Kernel::kCollision, since(t0));
     }
     barrier_.arrive_and_wait();  // all velocities in place
+    LBMIB_RACE_CHECK(race::context("dataflow solver: move phase");)
 
     // --- move fibers, self-scheduled ------------------------------------
     {
@@ -249,6 +267,7 @@ void DataflowCubeSolver::run_overlapped(Index num_steps) {
 
   auto publish = [&](std::int64_t task) {
     const Size slot = tail.fetch_add(1, std::memory_order_relaxed);
+    LBMIB_RACE_CHECK(race::edge_release(&queue[slot]);)
     queue[slot].store(task, std::memory_order_release);
   };
 
@@ -284,6 +303,9 @@ void DataflowCubeSolver::run_overlapped(Index num_steps) {
         }
       }
       ++tasks_executed_[static_cast<Size>(tid)];
+      LBMIB_RACE_CHECK(
+          race::context("dataflow solver: overlapped task loop");
+          race::edge_acquire(&queue[slot]);)
       const bool is_collide = task > 0;
       const Size flat = static_cast<Size>(is_collide ? task - 1 : -task - 1);
       const Size step = flat / per_step;
@@ -313,7 +335,9 @@ void DataflowCubeSolver::run_overlapped(Index num_steps) {
         // Enable update(step, n) for completed neighbourhoods.
         for (Size n : region_[cube]) {
           auto& counter = pending[(2 + parity) * ncubes + n];
+          LBMIB_RACE_CHECK(race::edge_acq_rel(&counter);)
           if (counter.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            LBMIB_RACE_CHECK(race::edge_acquire(&counter);)
             counter.store(pending_init_[n], std::memory_order_relaxed);
             publish(-(static_cast<std::int64_t>(step * per_step + n) + 1));
           }
@@ -338,7 +362,9 @@ void DataflowCubeSolver::run_overlapped(Index num_steps) {
           const Size next_parity = (step + 1) & 1;
           for (Size n : region_[cube]) {
             auto& counter = pending[next_parity * ncubes + n];
+            LBMIB_RACE_CHECK(race::edge_acq_rel(&counter);)
             if (counter.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+              LBMIB_RACE_CHECK(race::edge_acquire(&counter);)
               counter.store(pending_init_[n], std::memory_order_relaxed);
               publish(static_cast<std::int64_t>((step + 1) * per_step + n) +
                       1);
@@ -348,6 +374,12 @@ void DataflowCubeSolver::run_overlapped(Index num_steps) {
       }
     }
   });
+  // The queue and counters live on this stack frame; drop their sync-var
+  // clocks so a future allocation at the same address starts clean.
+  LBMIB_RACE_CHECK(if (RaceDetector* rd = RaceDetector::active()) {
+    for (const auto& q : queue) rd->forget_sync(&q);
+    for (const auto& p : pending) rd->forget_sync(&p);
+  })
   if (params_.fused_step) {
     // Reconcile the grid's bases with where the last step left the data:
     // step num_steps-1 wrote its result at parity p0 ^ (num_steps & 1).

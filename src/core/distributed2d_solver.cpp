@@ -12,6 +12,7 @@
 #include "lbm/macroscopic.hpp"
 #include "lbm/mrt.hpp"
 #include "lbm/streaming.hpp"
+#include "parallel/race_detector.hpp"
 #include "parallel/thread_team.hpp"
 
 namespace lbmib {
@@ -154,6 +155,17 @@ void Distributed2DSolver::exchange_halos(int rank) {
   const Index lny = r.tile.y_hi - r.tile.y_lo;
   const Index nz = grid.nz();
   const int tx = rank / ry_, ty = rank % ry_;
+
+  // The tile grid is rank-private, so one coarse read (packing the ghost
+  // shell) and one write (unpacking into the real edge columns) record
+  // the exchange; cross-rank ordering rides on the channel hooks.
+  LBMIB_RACE_CHECK(
+      race::access_range(&grid, 0, static_cast<Size>(lnx) + 2,
+                         RaceField::kDfNew, RaceAccess::kRead,
+                         "exchange_halos: pack");
+      race::access_range(&grid, 1, static_cast<Size>(lnx) + 1,
+                         RaceField::kDfNew, RaceAccess::kWrite,
+                         "exchange_halos: unpack");)
 
   // --- pack -----------------------------------------------------------
   auto pack_x_face = [&](Index lx, const int dirs[5]) {
@@ -432,6 +444,7 @@ void Distributed2DSolver::rank_entry(int rank, Index num_steps,
   Rank& r = ranks_[static_cast<Size>(rank)];
   KernelProfiler& prof = rank_profiles_[static_cast<Size>(rank)];
   FluidGrid& grid = *r.grid;
+  LBMIB_RACE_CHECK(race::context("distributed 2d solver");)
   const Index lnx = r.tile.x_hi - r.tile.x_lo;
   const Index lny = r.tile.y_hi - r.tile.y_lo;
   const Size row = static_cast<Size>(lny + 2) *

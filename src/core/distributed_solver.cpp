@@ -12,6 +12,7 @@
 #include "lbm/d3q19.hpp"
 #include "lbm/macroscopic.hpp"
 #include "lbm/streaming.hpp"
+#include "parallel/race_detector.hpp"
 #include "parallel/thread_team.hpp"
 
 namespace lbmib {
@@ -124,6 +125,11 @@ void DistributedSolver::exchange_halos(int rank) {
   const int left = (rank + R - 1) % R;
 
   auto pack = [&](Index x, const int dirs[5]) {
+    // The crossing populations leave through this plane's df_new; the
+    // channel send/recv hooks order the message itself.
+    LBMIB_RACE_CHECK(race::access_range(
+        &grid, static_cast<Size>(x), static_cast<Size>(x) + 1,
+        RaceField::kDfNew, RaceAccess::kRead, "exchange_halos: pack");)
     std::vector<Real> data(5 * face);
     Size i = 0;
     for (int d = 0; d < 5; ++d) {
@@ -137,6 +143,9 @@ void DistributedSolver::exchange_halos(int rank) {
   };
   auto unpack = [&](Index x, Index ghost_x, const int dirs[5],
                     const std::vector<Real>& data) {
+    LBMIB_RACE_CHECK(race::access_range(
+        &grid, static_cast<Size>(x), static_cast<Size>(x) + 1,
+        RaceField::kDfNew, RaceAccess::kWrite, "exchange_halos: unpack");)
     Size i = 0;
     for (int d = 0; d < 5; ++d) {
       const int dir = dirs[d];
@@ -285,6 +294,7 @@ void DistributedSolver::rank_entry(int rank, Index num_steps,
   Rank& r = ranks_[static_cast<Size>(rank)];
   KernelProfiler& prof = rank_profiles_[static_cast<Size>(rank)];
   FluidGrid& grid = *r.grid;
+  LBMIB_RACE_CHECK(race::context("distributed solver");)
   const Index local_nx = r.x_hi - r.x_lo;
   const Size plane = static_cast<Size>(grid.ny()) *
                      static_cast<Size>(grid.nz());

@@ -14,6 +14,7 @@
 #include "lbm/mrt.hpp"
 #include "lbm/macroscopic.hpp"
 #include "lbm/streaming.hpp"
+#include "parallel/race_detector.hpp"
 
 namespace lbmib {
 
@@ -48,9 +49,45 @@ void OpenMPSolver::step() {
     thread_profiles_[static_cast<Size>(tid)].add(k, timer.seconds());
   };
 
+#if LBMIB_RACE_DETECT_ENABLED
+  // OpenMP's pool is opaque to the detector, so model the parallel
+  // region as fork/join and wrap each `#pragma omp barrier` in the
+  // detector's barrier protocol, keyed on the solver. The branch on
+  // `race_detector` is uniform across the team, so every thread reaches
+  // the same textual barrier.
+  RaceDetector* race_detector = RaceDetector::active();
+  const std::uint64_t race_token =
+      race_detector != nullptr ? race_detector->fork() : 0;
+#endif
+  auto team_barrier = [&] {
+#if LBMIB_RACE_DETECT_ENABLED
+    if (race_detector != nullptr) {
+      const std::uint64_t gen =
+          race_detector->barrier_arrive(this, params_.num_threads);
+#pragma omp barrier
+      race_detector->barrier_leave(this, gen);
+      return;
+    }
+#endif
+#pragma omp barrier
+  };
+
 #pragma omp parallel num_threads(nthreads)
   {
     const int tid = omp_get_thread_num();
+#if LBMIB_RACE_DETECT_ENABLED
+    struct RaceWorkerScope {
+      RaceDetector* rd;
+      std::uint64_t token;
+      RaceWorkerScope(RaceDetector* r, std::uint64_t t) : rd(r), token(t) {
+        if (rd != nullptr) rd->worker_start(token);
+      }
+      ~RaceWorkerScope() {
+        if (rd != nullptr) rd->worker_end(token);
+      }
+    } race_worker_scope(race_detector, race_token);
+    race::context("openmp solver");
+#endif
     const Range slabs = block_range(nx, tid, nthreads);
     const Size node_begin = static_cast<Size>(slabs.begin) * plane;
     const Size node_end = static_cast<Size>(slabs.end) * plane;
@@ -66,21 +103,21 @@ void OpenMPSolver::step() {
         compute_bending_force(sheet, r.begin, r.end);
       }
     });
-#pragma omp barrier
+    team_barrier();
     timed(tid, Kernel::kStretchingForce, [&] {
       for (FiberSheet& sheet : structure_) {
         const Range r = my_fibers(sheet);
         compute_stretching_force(sheet, r.begin, r.end);
       }
     });
-#pragma omp barrier
+    team_barrier();
     timed(tid, Kernel::kElasticForce, [&] {
       for (FiberSheet& sheet : structure_) {
         const Range r = my_fibers(sheet);
         compute_elastic_force(sheet, r.begin, r.end);
       }
     });
-#pragma omp barrier
+    team_barrier();
     timed(tid, Kernel::kSpreadForce, [&] {
       // Reset this thread's slab of the force field, then spread this
       // thread's fibers with atomic accumulation.
@@ -89,13 +126,17 @@ void OpenMPSolver::step() {
         grid_.fy(node) = params_.body_force.y;
         grid_.fz(node) = params_.body_force.z;
       }
-#pragma omp barrier
+      LBMIB_RACE_CHECK(race::access_range(
+          &grid_, static_cast<Size>(slabs.begin),
+          static_cast<Size>(slabs.end), RaceField::kForce,
+          RaceAccess::kWrite, "reset forces");)
+      team_barrier();
       for (const FiberSheet& sheet : structure_) {
         const Range r = my_fibers(sheet);
         spread_force_atomic(sheet, grid_, r.begin, r.end);
       }
     });
-#pragma omp barrier
+    team_barrier();
 
     // --- LBM related (Algorithm 2 style x-slab partitioning) ---
     // Fused pipeline: one pass over this thread's slabs that collides in
@@ -117,11 +158,11 @@ void OpenMPSolver::step() {
           collide_range(grid_, params_.tau, node_begin, node_end);
         }
       });
-#pragma omp barrier
+      team_barrier();
       timed(tid, Kernel::kStreaming,
             [&] { stream_x_slab(grid_, slabs.begin, slabs.end); });
     }
-#pragma omp barrier
+    team_barrier();
 
     // --- FSI coupling related ---
     timed(tid, Kernel::kUpdateVelocity, [&] {
@@ -131,19 +172,23 @@ void OpenMPSolver::step() {
       }
       update_velocity_range(grid_, node_begin, node_end);
     });
-#pragma omp barrier
+    team_barrier();
     timed(tid, Kernel::kMoveFibers, [&] {
       for (FiberSheet& sheet : structure_) {
         const Range r = my_fibers(sheet);
         move_fibers(sheet, grid_, r.begin, r.end);
       }
     });
-#pragma omp barrier
+    team_barrier();
     if (!params_.fused_step) {
       timed(tid, Kernel::kCopyDistribution,
             [&] { copy_distributions_range(grid_, node_begin, node_end); });
     }
   }
+
+#if LBMIB_RACE_DETECT_ENABLED
+  if (race_detector != nullptr) race_detector->join(race_token);
+#endif
 
   if (params_.fused_step) {
     // Kernel 9 as an O(1) swap, after the parallel region's implicit

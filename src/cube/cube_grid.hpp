@@ -20,6 +20,7 @@
 #include "common/types.hpp"
 #include "common/vec3.hpp"
 #include "parallel/access_checker.hpp"
+#include "parallel/race_detector.hpp"
 #include "parallel/spinlock.hpp"
 #include "parallel/thread_safety.hpp"
 
@@ -47,6 +48,16 @@ class CubeGrid {
   /// Build from the parameter bundle (grid dims, cube size, boundary mask,
   /// initial state).
   explicit CubeGrid(const SimulationParams& params);
+
+  ~CubeGrid() {
+    // Shadow state is keyed by the grid's address; drop it so a future
+    // grid re-using this address starts clean.
+    LBMIB_RACE_CHECK(if (RaceDetector* rd = RaceDetector::active())
+                         rd->forget_space(this);)
+  }
+
+  CubeGrid(CubeGrid&&) = default;
+  CubeGrid& operator=(CubeGrid&&) = default;
 
   Index nx() const { return nx_; }
   Index ny() const { return ny_; }
@@ -147,6 +158,15 @@ class CubeGrid {
   /// serialized state is parity-safe by construction. See DESIGN.md §11.
   void swap_df_buffers() {
     LBMIB_ACCESS_CHECK(if (checker_ != nullptr) checker_->check_swap();)
+    // The swap retargets both logical distribution fields of every cube
+    // at once, so model it as an exclusive write to all of them: any
+    // kernel access not ordered against the swap (premature swap,
+    // skipped end-of-step barrier) becomes a reported race.
+    LBMIB_RACE_CHECK(
+        race::access_range(this, 0, num_cubes(), RaceField::kDf,
+                           RaceAccess::kWrite, "swap_df_buffers");
+        race::access_range(this, 0, num_cubes(), RaceField::kDfNew,
+                           RaceAccess::kWrite, "swap_df_buffers");)
     std::swap(df_base_, df_new_base_);
   }
 
@@ -157,6 +177,11 @@ class CubeGrid {
   /// Force a specific parity (the overlapped dataflow solver tracks parity
   /// per step in its task graph and reconciles the grid once at the end).
   void set_swap_parity(bool parity) {
+    LBMIB_RACE_CHECK(
+        race::access_range(this, 0, num_cubes(), RaceField::kDf,
+                           RaceAccess::kWrite, "set_swap_parity");
+        race::access_range(this, 0, num_cubes(), RaceField::kDfNew,
+                           RaceAccess::kWrite, "set_swap_parity");)
     df_base_ = parity ? kDfNewSlot : kDfSlot;
     df_new_base_ = parity ? kDfSlot : kDfNewSlot;
   }
@@ -182,6 +207,9 @@ class CubeGrid {
   void add_force(Size cube, Size local, const Vec3& f) {
     LBMIB_ACCESS_CHECK(
         if (checker_ != nullptr) checker_->check_unlocked_write(cube);)
+    LBMIB_RACE_CHECK(race::access(this, cube, RaceField::kForce,
+                                  RaceAccess::kWrite,
+                                  "add_force (unlocked)");)
     slot(cube, kFxSlot)[local] += f.x;
     slot(cube, kFySlot)[local] += f.y;
     slot(cube, kFzSlot)[local] += f.z;
@@ -197,6 +225,12 @@ class CubeGrid {
                         const Vec3& f) LBMIB_REQUIRES(owner_lock) {
     LBMIB_ACCESS_CHECK(
         if (checker_ != nullptr) checker_->check_locked_write(cube, owner);)
+    // An exclusive write, not a scatter: the owner's lock totally
+    // orders all spread-phase writers of this cube, so an unlocked
+    // foreign write shows up as a missing happens-before edge.
+    LBMIB_RACE_CHECK(race::access(this, cube, RaceField::kForce,
+                                  RaceAccess::kWrite,
+                                  "add_force (owner-locked)");)
     slot(cube, kFxSlot)[local] += f.x;
     slot(cube, kFySlot)[local] += f.y;
     slot(cube, kFzSlot)[local] += f.z;

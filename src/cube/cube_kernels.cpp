@@ -10,12 +10,17 @@
 #include "lbm/collision.hpp"
 #include "lbm/d3q19.hpp"
 #include "lbm/fluid_grid.hpp"
+#include "parallel/instrumentation.hpp"
 
 namespace lbmib {
 
 void cube_collide(CubeGrid& grid, Real tau, Size cube) {
-  LBMIB_ACCESS_CHECK(if (auto* ck = grid.access_checker())
-                         ck->check_owned_write(cube, StepPhase::kCollideStream);)
+  LBMIB_INSTRUMENT(
+      inst::cube_kernel(grid, cube, StepPhase::kCollideStream,
+                        RaceField::kDf, RaceAccess::kWrite,
+                        "cube_collide: in-place df update");
+      inst::cube_access(grid, cube, RaceField::kForce, RaceAccess::kRead,
+                        "cube_collide: force read");)
   const Size m = grid.nodes_per_cube();
   Real* planes[kQ];
   for (int i = 0; i < kQ; ++i) {
@@ -33,8 +38,12 @@ void cube_collide(CubeGrid& grid, Real tau, Size cube) {
 }
 
 void cube_mrt_collide(CubeGrid& grid, const MrtOperator& op, Size cube) {
-  LBMIB_ACCESS_CHECK(if (auto* ck = grid.access_checker())
-                         ck->check_owned_write(cube, StepPhase::kCollideStream);)
+  LBMIB_INSTRUMENT(
+      inst::cube_kernel(grid, cube, StepPhase::kCollideStream,
+                        RaceField::kDf, RaceAccess::kWrite,
+                        "cube_mrt_collide: in-place df update");
+      inst::cube_access(grid, cube, RaceField::kForce, RaceAccess::kRead,
+                        "cube_mrt_collide: force read");)
   const Size m = grid.nodes_per_cube();
   Real* planes[kQ];
   for (int i = 0; i < kQ; ++i) {
@@ -173,10 +182,17 @@ void stream_cube_fast(CubeGrid& grid, Size cube) {
 void cube_stream(CubeGrid& grid, Size cube) {
   using namespace d3q19;
   // Streaming also writes neighbour cubes' df_new, but each
-  // (direction, destination-node) slot has a unique source, so only the
+  // (direction, destination-node) slot has a unique source, so the
+  // pushes are commutative scatters for the race detector and only the
   // *own-cube* ownership and the phase are checked.
-  LBMIB_ACCESS_CHECK(if (auto* ck = grid.access_checker())
-                         ck->check_owned_write(cube, StepPhase::kCollideStream);)
+  LBMIB_INSTRUMENT(
+      inst::cube_kernel(grid, cube, StepPhase::kCollideStream,
+                        RaceField::kDfNew, RaceAccess::kScatter,
+                        "cube_stream: df_new push");
+      inst::cube_access(grid, cube, RaceField::kDf, RaceAccess::kRead,
+                        "cube_stream: df read");
+      inst::cube_scatter_neighborhood(grid, cube, RaceField::kDfNew,
+                                      "cube_stream: df_new push");)
   if (!grid.cube_has_solid(cube)) {
     stream_cube_fast(grid, cube);
     return;
@@ -286,8 +302,27 @@ void cube_collide_stream_impl(CubeGrid& grid, Real tau,
                               const MrtOperator* mrt, Size cube,
                               Size src_base, Size dst_base) {
   using namespace d3q19;
-  LBMIB_ACCESS_CHECK(if (auto* ck = grid.access_checker())
-                         ck->check_owned_write(cube, StepPhase::kCollideStream);)
+  // Shadow fields are roles relative to the grid's current parity, like
+  // the implicit kernels use: any parity change emits a write-all on both
+  // fields, so role labels stay physically consistent between changes,
+  // and the overlapped solver never changes parity mid-run (DESIGN.md
+  // §12).
+  LBMIB_INSTRUMENT(
+      const RaceField src_field = (src_base == grid.df_slot_base())
+                                      ? RaceField::kDf
+                                      : RaceField::kDfNew;
+      const RaceField dst_field = (dst_base == grid.df_slot_base())
+                                      ? RaceField::kDf
+                                      : RaceField::kDfNew;
+      inst::cube_kernel(grid, cube, StepPhase::kCollideStream, dst_field,
+                        RaceAccess::kScatter,
+                        "cube_collide_stream: df_new push");
+      inst::cube_access(grid, cube, src_field, RaceAccess::kRead,
+                        "cube_collide_stream: df read");
+      inst::cube_access(grid, cube, RaceField::kForce, RaceAccess::kRead,
+                        "cube_collide_stream: force read");
+      inst::cube_scatter_neighborhood(grid, cube, dst_field,
+                                      "cube_collide_stream: df_new push");)
   const Index k = grid.cube_size();
   const bool has_lid = grid.has_lid();
   const Index gz0 = (static_cast<Index>(cube) % grid.cubes_z()) * k;
@@ -433,8 +468,17 @@ void cube_update_velocity(CubeGrid& grid, Size cube) {
 
 void cube_update_velocity(CubeGrid& grid, Size cube, Size df_new_base) {
   using namespace d3q19;
-  LBMIB_ACCESS_CHECK(if (auto* ck = grid.access_checker())
-                         ck->check_owned_write(cube, StepPhase::kUpdate);)
+  LBMIB_INSTRUMENT(
+      const RaceField src_field = (df_new_base == grid.df_slot_base())
+                                      ? RaceField::kDf
+                                      : RaceField::kDfNew;
+      inst::cube_kernel(grid, cube, StepPhase::kUpdate, RaceField::kMacro,
+                        RaceAccess::kWrite,
+                        "cube_update_velocity: macroscopic write");
+      inst::cube_access(grid, cube, src_field, RaceAccess::kRead,
+                        "cube_update_velocity: streamed df read");
+      inst::cube_access(grid, cube, RaceField::kForce, RaceAccess::kRead,
+                        "cube_update_velocity: force read");)
   const Size m = grid.nodes_per_cube();
   const Real* planes[kQ];
   for (int i = 0; i < kQ; ++i) {
@@ -500,11 +544,26 @@ void cube_apply_inlet_outlet(CubeGrid& grid, const Vec3& inlet_velocity,
 
 void cube_apply_inlet_outlet(CubeGrid& grid, const Vec3& inlet_velocity,
                              Size cube, Size df_new_base) {
-  LBMIB_ACCESS_CHECK(if (auto* ck = grid.access_checker())
-                         ck->check_owned_write(cube, StepPhase::kUpdate);)
   const Index k = grid.cube_size();
   const Index ncy = grid.cubes_y(), ncz = grid.cubes_z();
   const Index ccx = static_cast<Index>(cube) / (ncy * ncz);
+  LBMIB_INSTRUMENT(
+      const RaceField f = (df_new_base == grid.df_slot_base())
+                              ? RaceField::kDf
+                              : RaceField::kDfNew;
+      inst::cube_kernel(grid, cube, StepPhase::kUpdate, f,
+                        RaceAccess::kWrite,
+                        "cube_apply_inlet_outlet: boundary rewrite");
+      inst::cube_access(grid, cube, f, RaceAccess::kRead,
+                        "cube_apply_inlet_outlet: streamed df read");
+      // column_ref only leaves the cube when the upstream column of an
+      // x-boundary cube falls outside it, i.e. for 1-wide cubes.
+      if (k == 1 && ccx == 0) inst::cube_access(
+          grid, grid.neighbor_cube(cube, 1, 0, 0), f, RaceAccess::kRead,
+          "cube_apply_inlet_outlet: upstream-column read");
+      if (k == 1 && ccx == grid.cubes_x() - 1) inst::cube_access(
+          grid, grid.neighbor_cube(cube, -1, 0, 0), f, RaceAccess::kRead,
+          "cube_apply_inlet_outlet: upstream-column read");)
 
   // Neighbouring column inside or across the cube for local x-offset +-1.
   auto column_ref = [&](Index lx_target, Index ly, Index lz, int dc)
@@ -557,8 +616,12 @@ void cube_apply_inlet_outlet(CubeGrid& grid, const Vec3& inlet_velocity,
 }
 
 void cube_copy_distributions(CubeGrid& grid, Size cube) {
-  LBMIB_ACCESS_CHECK(if (auto* ck = grid.access_checker())
-                         ck->check_owned_write(cube, StepPhase::kMoveCopy);)
+  LBMIB_INSTRUMENT(
+      inst::cube_kernel(grid, cube, StepPhase::kMoveCopy, RaceField::kDf,
+                        RaceAccess::kWrite,
+                        "cube_copy_distributions: df write");
+      inst::cube_access(grid, cube, RaceField::kDfNew, RaceAccess::kRead,
+                        "cube_copy_distributions: df_new read");)
   // The 19 df slots and 19 df_new slots are each contiguous within the
   // cube block under either swap parity, so one memcpy moves the whole
   // new buffer back.
@@ -657,6 +720,14 @@ void cube_spread_force_unlocked(const FiberSheet& sheet, CubeGrid& grid,
 
 void cube_spread_force_atomic(const FiberSheet& sheet, CubeGrid& grid,
                               Index fiber_begin, Index fiber_end) {
+  // One coarse scatter over every cube per call: the atomic adds commute
+  // with each other, and per-add events would cost 3 shadow lookups per
+  // touched node. Coarsening a scatter only widens its footprint, which
+  // can never hide a conflict with a read or write.
+  LBMIB_RACE_CHECK(race::access_range(&grid, 0, grid.num_cubes(),
+                                      RaceField::kForce,
+                                      RaceAccess::kScatter,
+                                      "cube_spread_force_atomic");)
   cube_spread_impl(
       sheet, grid, fiber_begin, fiber_end,
       [&](const CubeGrid::NodeRef& r, const Vec3& f) {
@@ -697,6 +768,12 @@ Vec3 cube_interpolate_velocity(const CubeGrid& grid, const Vec3& pos) {
 
 void cube_move_fibers(FiberSheet& sheet, const CubeGrid& grid,
                       Index fiber_begin, Index fiber_end, Real dt) {
+  // Interpolation touches the 64-node influence domain of every owned
+  // fiber node; model it as one read of every cube's macroscopic field
+  // (sound over-approximation, see DESIGN.md §12).
+  LBMIB_RACE_CHECK(race::access_range(&grid, 0, grid.num_cubes(),
+                                      RaceField::kMacro, RaceAccess::kRead,
+                                      "cube_move_fibers: velocity read");)
   for (Index f = fiber_begin; f < fiber_end; ++f) {
     for (Index j = 0; j < sheet.nodes_per_fiber(); ++j) {
       const Size i = sheet.id(f, j);

@@ -3,6 +3,7 @@
 #include "ib/spreading.hpp"
 #include "lbm/fluid_grid.hpp"
 #include "ib/fiber_sheet.hpp"
+#include "parallel/instrumentation.hpp"
 
 namespace lbmib {
 
@@ -29,6 +30,13 @@ Vec3 interpolate_velocity(const FluidGrid& grid, const Vec3& pos) {
 
 void move_fibers(FiberSheet& sheet, const FluidGrid& grid,
                  Index fiber_begin, Index fiber_end, Real dt) {
+  // Interpolation touches the 4x4x4 influence domain of every owned
+  // fiber node; model it as one read of every plane's macroscopic field
+  // (sound over-approximation, see DESIGN.md §12).
+  LBMIB_INSTRUMENT(
+      inst::planes(grid, 0, static_cast<Size>(grid.nx()),
+                   RaceField::kMacro, RaceAccess::kRead,
+                   "move_fibers: velocity read");)
   for (Index f = fiber_begin; f < fiber_end; ++f) {
     for (Index j = 0; j < sheet.nodes_per_fiber(); ++j) {
       const Size i = sheet.id(f, j);

@@ -6,6 +6,7 @@
 #include "ib/delta.hpp"
 #include "ib/fiber_sheet.hpp"
 #include "lbm/fluid_grid.hpp"
+#include "parallel/instrumentation.hpp"
 
 namespace lbmib {
 
@@ -68,12 +69,25 @@ void spread_impl(const FiberSheet& sheet, FluidGrid& grid,
 
 void spread_force(const FiberSheet& sheet, FluidGrid& grid,
                   Index fiber_begin, Index fiber_end) {
+  // Plain += into a 4x4x4 domain around each fiber node, anywhere in the
+  // grid: one coarse exclusive write over every plane per call. Callers
+  // must fully order concurrent spreads (the OpenMP solver runs this
+  // path single-threaded; the atomic variant is the concurrent one).
+  LBMIB_INSTRUMENT(
+      inst::planes(grid, 0, static_cast<Size>(grid.nx()),
+                   RaceField::kForce, RaceAccess::kWrite, "spread_force");)
   spread_impl(sheet, grid, fiber_begin, fiber_end,
               [&grid](Size node, const Vec3& f) { grid.add_force(node, f); });
 }
 
 void spread_force_atomic(const FiberSheet& sheet, FluidGrid& grid,
                          Index fiber_begin, Index fiber_end) {
+  // The relaxed fetch_adds commute with each other: one coarse scatter
+  // over every plane per call.
+  LBMIB_INSTRUMENT(
+      inst::planes(grid, 0, static_cast<Size>(grid.nx()),
+                   RaceField::kForce, RaceAccess::kScatter,
+                   "spread_force_atomic");)
   Real* fx = grid.fx_data();
   Real* fy = grid.fy_data();
   Real* fz = grid.fz_data();

@@ -2,6 +2,7 @@
 
 #include "lbm/d3q19.hpp"
 #include "lbm/fluid_grid.hpp"
+#include "parallel/instrumentation.hpp"
 
 namespace lbmib {
 
@@ -81,6 +82,22 @@ void streamed_moments(const FluidGrid& grid, Size node, Real& rho,
 void apply_inlet_outlet(FluidGrid& grid, const Vec3& inlet_velocity,
                         Index x_begin, Index x_end) {
   const Index nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+  LBMIB_INSTRUMENT(
+      if (x_begin <= 0 && 0 < x_end) {
+        inst::planes(grid, 0, 1, RaceField::kDfNew, RaceAccess::kWrite,
+                     "apply_inlet_outlet: inlet rewrite");
+        inst::planes(grid, 1, 2, RaceField::kDfNew, RaceAccess::kRead,
+                     "apply_inlet_outlet: inlet density read");
+      }
+      if (x_begin <= nx - 1 && nx - 1 < x_end) {
+        inst::planes(grid, static_cast<Size>(nx - 1),
+                     static_cast<Size>(nx), RaceField::kDfNew,
+                     RaceAccess::kWrite, "apply_inlet_outlet: outlet rewrite");
+        inst::planes(grid, static_cast<Size>(nx - 2),
+                     static_cast<Size>(nx - 1), RaceField::kDfNew,
+                     RaceAccess::kRead,
+                     "apply_inlet_outlet: outlet upstream read");
+      })
   if (x_begin <= 0 && 0 < x_end) {
     // Velocity inlet: impose u = inlet_velocity at the local density
     // (taken from the x=1 neighbour, whose post-streaming state is

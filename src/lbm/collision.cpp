@@ -2,6 +2,7 @@
 
 #include "lbm/d3q19.hpp"
 #include "lbm/fluid_grid.hpp"
+#include "parallel/instrumentation.hpp"
 
 namespace lbmib {
 
@@ -46,6 +47,11 @@ void collide_node(const NodeDistributions& node, Real tau,
 }
 
 void collide_range(FluidGrid& grid, Real tau, Size begin, Size end) {
+  LBMIB_INSTRUMENT(
+      inst::node_range(grid, begin, end, RaceField::kDf, RaceAccess::kWrite,
+                       "collide_range: in-place df update");
+      inst::node_range(grid, begin, end, RaceField::kForce,
+                       RaceAccess::kRead, "collide_range: force read");)
   Real* planes[kQ];
   for (int i = 0; i < kQ; ++i) planes[i] = grid.df_plane(i);
   for (Size node = begin; node < end; ++node) {

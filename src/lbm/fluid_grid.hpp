@@ -13,6 +13,7 @@
 #include "common/params.hpp"
 #include "common/types.hpp"
 #include "common/vec3.hpp"
+#include "parallel/race_detector.hpp"
 
 namespace lbmib {
 
@@ -26,6 +27,17 @@ class FluidGrid {
   /// Convenience constructor from the parameter bundle (also applies the
   /// boundary mask for the configured BoundaryType).
   explicit FluidGrid(const SimulationParams& params);
+
+  ~FluidGrid() {
+    // Race-detector shadow state is keyed by the grid's address (one
+    // location per x-plane); drop it so a future grid re-using this
+    // address starts clean.
+    LBMIB_RACE_CHECK(if (RaceDetector* rd = RaceDetector::active())
+                         rd->forget_space(this);)
+  }
+
+  FluidGrid(FluidGrid&&) = default;
+  FluidGrid& operator=(FluidGrid&&) = default;
 
   Index nx() const { return nx_; }
   Index ny() const { return ny_; }
@@ -147,7 +159,18 @@ class FluidGrid {
   /// memcpys 19 planes; accessors always read the canonical buffer, so
   /// checkpoints and snapshots are parity-safe by construction. See
   /// DESIGN.md §11 and bench/ablation_copy_vs_swap.cpp.
-  void swap_buffers() { std::swap(df_, df_new_); }
+  void swap_buffers() {
+    // Modeled as an exclusive write to both logical distribution fields
+    // of every x-plane: the swap is the pivot every cross-step access
+    // must be ordered against (see DESIGN.md §12).
+    LBMIB_RACE_CHECK(
+        race::access_range(this, 0, static_cast<Size>(nx_), RaceField::kDf,
+                           RaceAccess::kWrite, "swap_buffers");
+        race::access_range(this, 0, static_cast<Size>(nx_),
+                           RaceField::kDfNew, RaceAccess::kWrite,
+                           "swap_buffers");)
+    std::swap(df_, df_new_);
+  }
 
   /// Deep-copy every field from a grid of identical dimensions. (The grid
   /// is otherwise move-only; copying multi-GB state should be explicit.)

@@ -4,6 +4,7 @@
 #include "lbm/d3q19.hpp"
 #include "lbm/fluid_grid.hpp"
 #include "lbm/mrt.hpp"
+#include "parallel/instrumentation.hpp"
 
 namespace lbmib {
 
@@ -63,6 +64,25 @@ void fused_collide_stream_x_slab(FluidGrid& grid, Real tau,
                                  Index x_end) {
   using namespace d3q19;
   const Index nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+  // Same footprint as stream_x_slab (reads stay inside the slab, pushes
+  // reach one plane either side) plus the collide's force read.
+  LBMIB_INSTRUMENT(
+      inst::planes(grid, static_cast<Size>(x_begin),
+                   static_cast<Size>(x_end), RaceField::kDf,
+                   RaceAccess::kRead, "fused_collide_stream: df read");
+      inst::planes(grid, static_cast<Size>(x_begin),
+                   static_cast<Size>(x_end), RaceField::kForce,
+                   RaceAccess::kRead, "fused_collide_stream: force read");
+      if (x_begin == 0 || x_end == nx) {
+        inst::planes(grid, 0, static_cast<Size>(nx), RaceField::kDfNew,
+                     RaceAccess::kScatter,
+                     "fused_collide_stream: df_new push");
+      } else {
+        inst::planes(grid, static_cast<Size>(x_begin - 1),
+                     static_cast<Size>(x_end + 1), RaceField::kDfNew,
+                     RaceAccess::kScatter,
+                     "fused_collide_stream: df_new push");
+      })
   StreamContext ctx(grid);
   const NodeCollide collide{grid, tau, mrt};
 
@@ -126,6 +146,21 @@ void fused_collide_stream_tile(FluidGrid& grid, Real tau,
                                Index x_hi, Index y_lo, Index y_hi) {
   using namespace d3q19;
   const Index nz = grid.nz();
+  // Tiles never wrap in x (the ghosted local grid absorbs +-1 targets),
+  // so the push footprint is the tile's plane range widened by one.
+  LBMIB_INSTRUMENT(
+      inst::planes(grid, static_cast<Size>(x_lo),
+                   static_cast<Size>(x_hi + 1), RaceField::kDf,
+                   RaceAccess::kRead, "fused_collide_stream_tile: df read");
+      inst::planes(grid, static_cast<Size>(x_lo),
+                   static_cast<Size>(x_hi + 1), RaceField::kForce,
+                   RaceAccess::kRead,
+                   "fused_collide_stream_tile: force read");
+      inst::planes(grid, static_cast<Size>(x_lo > 0 ? x_lo - 1 : 0),
+                   static_cast<Size>(
+                       x_hi + 2 < grid.nx() ? x_hi + 2 : grid.nx()),
+                   RaceField::kDfNew, RaceAccess::kScatter,
+                   "fused_collide_stream_tile: df_new push");)
   StreamContext ctx(grid);
   const NodeCollide collide{grid, tau, mrt};
 

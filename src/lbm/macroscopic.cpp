@@ -2,11 +2,22 @@
 
 #include "lbm/d3q19.hpp"
 #include "lbm/fluid_grid.hpp"
+#include "parallel/instrumentation.hpp"
 
 namespace lbmib {
 
 void update_velocity_range(FluidGrid& grid, Size begin, Size end) {
   using namespace d3q19;
+  LBMIB_INSTRUMENT(
+      inst::node_range(grid, begin, end, RaceField::kMacro,
+                       RaceAccess::kWrite,
+                       "update_velocity_range: macroscopic write");
+      inst::node_range(grid, begin, end, RaceField::kDfNew,
+                       RaceAccess::kRead,
+                       "update_velocity_range: streamed df read");
+      inst::node_range(grid, begin, end, RaceField::kForce,
+                       RaceAccess::kRead,
+                       "update_velocity_range: force read");)
   const Real* planes[kQ];
   for (int i = 0; i < kQ; ++i) planes[i] = grid.df_new_plane(i);
   for (Size node = begin; node < end; ++node) {

@@ -4,12 +4,28 @@
 
 #include "lbm/d3q19.hpp"
 #include "lbm/fluid_grid.hpp"
+#include "parallel/instrumentation.hpp"
 
 namespace lbmib {
 
 void stream_x_slab(FluidGrid& grid, Index x_begin, Index x_end) {
   using namespace d3q19;
   const Index nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+  // Pushes land in the slab plus one plane either side (periodically
+  // wrapped); each (direction, destination) slot has a unique source, so
+  // they are commutative scatters.
+  LBMIB_INSTRUMENT(
+      inst::planes(grid, static_cast<Size>(x_begin),
+                   static_cast<Size>(x_end), RaceField::kDf,
+                   RaceAccess::kRead, "stream_x_slab: df read");
+      if (x_begin == 0 || x_end == nx) {
+        inst::planes(grid, 0, static_cast<Size>(nx), RaceField::kDfNew,
+                     RaceAccess::kScatter, "stream_x_slab: df_new push");
+      } else {
+        inst::planes(grid, static_cast<Size>(x_begin - 1),
+                     static_cast<Size>(x_end + 1), RaceField::kDfNew,
+                     RaceAccess::kScatter, "stream_x_slab: df_new push");
+      })
 
   // Interior fast path: away from the grid faces no wrap can occur, so the
   // destination index is src + a constant per-direction stride.
@@ -88,6 +104,12 @@ void stream_x_slab(FluidGrid& grid, Index x_begin, Index x_end) {
 }
 
 void copy_distributions_range(FluidGrid& grid, Size begin, Size end) {
+  LBMIB_INSTRUMENT(
+      inst::node_range(grid, begin, end, RaceField::kDf, RaceAccess::kWrite,
+                       "copy_distributions_range: df write");
+      inst::node_range(grid, begin, end, RaceField::kDfNew,
+                       RaceAccess::kRead,
+                       "copy_distributions_range: df_new read");)
   const Size count = end - begin;
   for (int dir = 0; dir < kQ; ++dir) {
     std::memcpy(grid.df_plane(dir) + begin, grid.df_new_plane(dir) + begin,

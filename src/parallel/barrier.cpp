@@ -3,21 +3,61 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "parallel/race_detector.hpp"
 
 namespace lbmib {
+
+namespace {
+
+/// Race-detector side of a barrier passage: arrive (contribute this
+/// thread's clock) must run before the real barrier can complete, leave
+/// (acquire the merged clock) after it has. The returned generation
+/// token pairs the two even when several generations are in flight.
+inline std::uint64_t race_barrier_arrive(const void* barrier,
+                                         int participants) {
+  LBMIB_RACE_CHECK(if (RaceDetector* rd = RaceDetector::active()) {
+    return rd->barrier_arrive(barrier, participants);
+  })
+  (void)barrier;
+  (void)participants;
+  return 0;
+}
+
+inline void race_barrier_leave(const void* barrier,
+                               std::uint64_t generation) {
+  LBMIB_RACE_CHECK(if (RaceDetector* rd = RaceDetector::active()) {
+    rd->barrier_leave(barrier, generation);
+  })
+  (void)barrier;
+  (void)generation;
+}
+
+inline void race_barrier_forget(const void* barrier) {
+  LBMIB_RACE_CHECK(if (RaceDetector* rd = RaceDetector::active()) {
+    rd->forget_sync(barrier);
+  })
+  (void)barrier;
+}
+
+}  // namespace
 
 SpinBarrier::SpinBarrier(int num_threads)
     : num_threads_(num_threads), remaining_(num_threads) {
   require(num_threads >= 1, "barrier needs at least one thread");
 }
 
+SpinBarrier::~SpinBarrier() { race_barrier_forget(this); }
+
 void SpinBarrier::arrive_and_wait() {
+  const std::uint64_t race_generation =
+      race_barrier_arrive(this, num_threads_);
   const std::uint64_t my_generation =
       generation_.load(std::memory_order_acquire);
   if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     // Last arrival: reopen the barrier for the next generation.
     remaining_.store(num_threads_, std::memory_order_relaxed);
     generation_.fetch_add(1, std::memory_order_release);
+    race_barrier_leave(this, race_generation);
     return;
   }
   // Spin until the last arrival advances the generation. Yield
@@ -33,6 +73,7 @@ void SpinBarrier::arrive_and_wait() {
 #endif
     }
   }
+  race_barrier_leave(this, race_generation);
 }
 
 BlockingBarrier::BlockingBarrier(int num_threads)
@@ -40,17 +81,25 @@ BlockingBarrier::BlockingBarrier(int num_threads)
   require(num_threads >= 1, "barrier needs at least one thread");
 }
 
+BlockingBarrier::~BlockingBarrier() { race_barrier_forget(this); }
+
 void BlockingBarrier::arrive_and_wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  const std::uint64_t my_generation = generation_;
-  if (--remaining_ == 0) {
-    remaining_ = num_threads_;
-    ++generation_;
-    lock.unlock();
-    cv_.notify_all();
-    return;
+  const std::uint64_t race_generation =
+      race_barrier_arrive(this, num_threads_);
+  bool last = false;
+  {
+    MutexLock lock(mutex_);
+    const std::uint64_t my_generation = generation_;
+    if (--remaining_ == 0) {
+      remaining_ = num_threads_;
+      ++generation_;
+      last = true;
+    } else {
+      while (generation_ == my_generation) mutex_.wait(cv_);
+    }
   }
-  cv_.wait(lock, [&] { return generation_ != my_generation; });
+  if (last) cv_.notify_all();
+  race_barrier_leave(this, race_generation);
 }
 
 }  // namespace lbmib

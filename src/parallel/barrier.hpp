@@ -7,12 +7,18 @@
 //   * BlockingBarrier - mutex/condvar barrier; yields the CPU while
 //                    waiting, the right choice when oversubscribed.
 // The ablation bench bench/ablation_barrier.cpp compares them.
+//
+// Under LBMIB_RACE_DETECT every completed generation is also a
+// happens-before edge: each arrival contributes its vector clock before
+// blocking, the last arrival publishes the merged clock, and every
+// leaver acquires it (RaceDetector::barrier_arrive/barrier_leave).
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
+
+#include "parallel/mutex.hpp"
 
 namespace lbmib {
 
@@ -31,6 +37,7 @@ class Barrier {
 class SpinBarrier final : public Barrier {
  public:
   explicit SpinBarrier(int num_threads);
+  ~SpinBarrier() override;
   void arrive_and_wait() override;
 
  private:
@@ -39,18 +46,21 @@ class SpinBarrier final : public Barrier {
   std::atomic<std::uint64_t> generation_{0};
 };
 
-/// Mutex + condition-variable barrier; sleeps instead of spinning.
+/// Mutex + condition-variable barrier; sleeps instead of spinning. The
+/// mutex-protected state carries clang thread-safety annotations (see
+/// mutex.hpp for why std::mutex itself cannot).
 class BlockingBarrier final : public Barrier {
  public:
   explicit BlockingBarrier(int num_threads);
+  ~BlockingBarrier() override;
   void arrive_and_wait() override;
 
  private:
   const int num_threads_;
-  int remaining_;
-  std::uint64_t generation_ = 0;
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable cv_;
+  int remaining_ LBMIB_GUARDED_BY(mutex_);
+  std::uint64_t generation_ LBMIB_GUARDED_BY(mutex_) = 0;
 };
 
 /// Which barrier flavour a parallel solver should construct.

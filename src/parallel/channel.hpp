@@ -7,12 +7,21 @@
 // fluid state and communicate only through these channels; porting it to
 // MPI means replacing Channel/Communicator with MPI_Send/MPI_Recv and
 // nothing else.
+//
+// Each delivered message is also a happens-before edge: the receiver
+// acquires the clock the sender released (RaceDetector::channel_send/
+// channel_recv, called inside the critical section so the detector's
+// clock FIFO stays aligned with the message FIFO). That is how the
+// distributed solvers' halo exchanges order cross-rank accesses for the
+// race detector without any solver-side hooks.
 #pragma once
 
 #include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "parallel/mutex.hpp"
+#include "parallel/race_detector.hpp"
 
 namespace lbmib {
 
@@ -21,32 +30,49 @@ namespace lbmib {
 template <class T>
 class Channel {
  public:
+  Channel() = default;
+
+  ~Channel() {
+    // A channel destroyed with undelivered messages would otherwise
+    // leave stale clocks behind for a future channel at this address,
+    // desynchronizing that channel's clock FIFO from its message FIFO.
+    LBMIB_RACE_CHECK(if (RaceDetector* rd = RaceDetector::active())
+                         rd->forget_sync(this);)
+  }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
   void send(T value) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.push_back(std::move(value));
+      LBMIB_RACE_CHECK(if (RaceDetector* rd = RaceDetector::active())
+                           rd->channel_send(this);)
     }
     cv_.notify_one();
   }
 
   T recv() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return !queue_.empty(); });
+    MutexLock lock(mutex_);
+    while (queue_.empty()) mutex_.wait(cv_);
     T value = std::move(queue_.front());
     queue_.pop_front();
+    LBMIB_RACE_CHECK(if (RaceDetector* rd = RaceDetector::active())
+                         rd->channel_recv(this);)
     return value;
   }
 
   /// Non-blocking probe (used by tests).
   bool empty() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return queue_.empty();
   }
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable cv_;
-  std::deque<T> queue_;
+  std::deque<T> queue_ LBMIB_GUARDED_BY(mutex_);
 };
 
 }  // namespace lbmib

@@ -1,0 +1,133 @@
+// Unified kernel-event stream for the debug checkers.
+//
+// Cube kernels describe each access they make (cube id, logical field,
+// access kind, protocol phase) through ONE set of hooks; two consumers
+// subscribe to that stream, each behind its own zero-cost gate:
+//
+//   * AccessChecker (LBMIB_CHECK_ACCESS) — the ownership/phase
+//     automaton from DESIGN.md §10: writes must come from the cube's
+//     owner in the protocol phase the kernel belongs to, or hold the
+//     owner's lock during the spread phase.
+//   * RaceDetector (LBMIB_RACE_DETECT) — the happens-before vector
+//     clock checker from DESIGN.md §12, which validates the
+//     synchronization itself rather than assuming the cube solver's
+//     fixed four-phase cycle.
+//
+// Call sites use LBMIB_INSTRUMENT(...) so an un-gated build compiles
+// the hooks away entirely. The helpers are templates on the grid type
+// purely to avoid an include cycle (cube_grid.hpp includes this
+// header).
+#pragma once
+
+#include "parallel/access_checker.hpp"
+#include "parallel/race_detector.hpp"
+
+#if LBMIB_ACCESS_CHECK_ENABLED || LBMIB_RACE_DETECT_ENABLED
+#define LBMIB_INSTRUMENT(...) __VA_ARGS__
+#define LBMIB_INSTRUMENT_ENABLED 1
+#else
+#define LBMIB_INSTRUMENT(...)
+#define LBMIB_INSTRUMENT_ENABLED 0
+#endif
+
+namespace lbmib::inst {
+
+/// A kernel touching its swept cube in `phase`: non-read kinds run the
+/// ownership/phase check, every kind is forwarded to the race detector.
+template <class Grid>
+inline void cube_kernel(Grid& grid, Size cube, StepPhase phase,
+                        RaceField field, RaceAccess kind,
+                        const char* what) {
+#if LBMIB_ACCESS_CHECK_ENABLED
+  if (kind != RaceAccess::kRead) {
+    if (const AccessChecker* ck = grid.access_checker()) {
+      ck->check_owned_write(cube, phase);
+    }
+  }
+#endif
+#if LBMIB_RACE_DETECT_ENABLED
+  race::access(&grid, cube, field, kind, what);
+#endif
+  (void)grid;
+  (void)cube;
+  (void)phase;
+  (void)field;
+  (void)kind;
+  (void)what;
+}
+
+/// A cube-granular event with no ownership rule attached (foreign
+/// reads, unique-slot neighbour pushes): race detector only.
+template <class Grid>
+inline void cube_access(const Grid& grid, Size cube, RaceField field,
+                        RaceAccess kind, const char* what) {
+#if LBMIB_RACE_DETECT_ENABLED
+  race::access(&grid, cube, field, kind, what);
+#endif
+  (void)grid;
+  (void)cube;
+  (void)field;
+  (void)kind;
+  (void)what;
+}
+
+/// Streaming-style scatter into the swept cube and all 26 neighbours
+/// (unique-slot pushes commute, hence kScatter).
+template <class Grid>
+inline void cube_scatter_neighborhood(const Grid& grid, Size cube,
+                                      RaceField field, const char* what) {
+#if LBMIB_RACE_DETECT_ENABLED
+  if (RaceDetector::active() == nullptr) return;
+  for (int dx = -1; dx <= 1; ++dx) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dz = -1; dz <= 1; ++dz) {
+        race::access(&grid, grid.neighbor_cube(cube, dx, dy, dz), field,
+                     RaceAccess::kScatter, what);
+      }
+    }
+  }
+#endif
+  (void)grid;
+  (void)cube;
+  (void)field;
+  (void)what;
+}
+
+/// Plane-granular event on a planar grid: locations [plane_begin,
+/// plane_end) of `field`.
+template <class Grid>
+inline void planes(const Grid& grid, Size plane_begin, Size plane_end,
+                   RaceField field, RaceAccess kind, const char* what) {
+#if LBMIB_RACE_DETECT_ENABLED
+  race::access_range(&grid, plane_begin, plane_end, field, kind, what);
+#endif
+  (void)grid;
+  (void)plane_begin;
+  (void)plane_end;
+  (void)field;
+  (void)kind;
+  (void)what;
+}
+
+/// Node-range form: converts a node range [begin, end) to the covering
+/// x-plane range using the grid's plane size (ny*nz nodes per plane).
+template <class Grid>
+inline void node_range(const Grid& grid, Size begin, Size end,
+                       RaceField field, RaceAccess kind,
+                       const char* what) {
+#if LBMIB_RACE_DETECT_ENABLED
+  if (begin >= end) return;
+  const Size plane =
+      static_cast<Size>(grid.ny()) * static_cast<Size>(grid.nz());
+  race::access_range(&grid, begin / plane, (end + plane - 1) / plane,
+                     field, kind, what);
+#endif
+  (void)grid;
+  (void)begin;
+  (void)end;
+  (void)field;
+  (void)kind;
+  (void)what;
+}
+
+}  // namespace lbmib::inst

@@ -1,0 +1,452 @@
+#include "parallel/race_detector.hpp"
+
+#include <algorithm>
+#include <array>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace lbmib {
+
+namespace {
+
+using ClockValue = std::uint64_t;
+
+/// Sparse-free vector clock: component i is thread slot i's clock.
+struct VectorClock {
+  std::vector<ClockValue> c;
+
+  ClockValue get(int slot) const {
+    const auto i = static_cast<Size>(slot);
+    return i < c.size() ? c[i] : 0;
+  }
+
+  void set(int slot, ClockValue value) {
+    const auto i = static_cast<Size>(slot);
+    if (i >= c.size()) c.resize(i + 1, 0);
+    c[i] = value;
+  }
+
+  void join(const VectorClock& other) {
+    if (other.c.size() > c.size()) c.resize(other.c.size(), 0);
+    for (Size i = 0; i < other.c.size(); ++i) {
+      c[i] = std::max(c[i], other.c[i]);
+    }
+  }
+
+  void clear() { c.clear(); }
+
+  bool empty() const { return c.empty(); }
+};
+
+/// One recorded access: the epoch (clock@thread) it happened at plus
+/// the diagnostic labels captured from the hook site.
+struct AccessRecord {
+  ClockValue clock = 0;
+  int slot = -1;  // -1: no access recorded
+  const char* what = nullptr;
+  const char* context = nullptr;
+
+  bool valid() const { return slot >= 0; }
+};
+
+/// Shadow state for one (space, location, field) word: the last
+/// exclusive write, plus per-thread read and scatter records since
+/// that write.
+struct ShadowWord {
+  AccessRecord write;
+  std::vector<AccessRecord> reads;
+  std::vector<AccessRecord> scatters;
+};
+
+struct SpaceShadow {
+  int id = 0;  // small deterministic id for diagnostics
+  std::vector<std::array<ShadowWord, static_cast<Size>(kNumRaceFields)>>
+      words;
+};
+
+struct BarrierState {
+  int participants = 0;
+  std::uint64_t generation = 0;  // generation currently gathering
+  int arrived = 0;
+  VectorClock gather;
+  std::unordered_map<std::uint64_t, VectorClock> published;
+};
+
+struct ForkState {
+  VectorClock start;
+  VectorClock finished;
+};
+
+thread_local const char* t_context = nullptr;
+
+std::atomic<RaceDetector*> g_installed{nullptr};
+
+}  // namespace
+
+const char* to_string(RaceField field) {
+  switch (field) {
+    case RaceField::kDf:
+      return "df";
+    case RaceField::kDfNew:
+      return "df_new";
+    case RaceField::kForce:
+      return "force";
+    case RaceField::kMacro:
+      return "macro";
+  }
+  return "?";
+}
+
+const char* to_string(RaceAccess kind) {
+  switch (kind) {
+    case RaceAccess::kRead:
+      return "read";
+    case RaceAccess::kWrite:
+      return "write";
+    case RaceAccess::kScatter:
+      return "scatter";
+  }
+  return "?";
+}
+
+struct RaceDetector::Impl {
+  std::mutex mu;
+
+  // Thread slots, assigned in first-event order (deterministic when the
+  // event order is).
+  std::unordered_map<std::thread::id, int> slots;
+  std::vector<VectorClock> clocks;  // one per slot
+
+  std::unordered_map<const void*, VectorClock> sync;  // locks + edges
+  std::unordered_map<const void*, BarrierState> barriers;
+  std::unordered_map<const void*, std::deque<VectorClock>> channels;
+  std::unordered_map<std::uint64_t, ForkState> forks;
+  std::uint64_t next_fork_token = 0;
+
+  std::unordered_map<const void*, SpaceShadow> spaces;
+  int next_space_id = 0;
+
+  int slot_of_current_thread() {
+    const auto id = std::this_thread::get_id();
+    auto it = slots.find(id);
+    if (it != slots.end()) return it->second;
+    const int slot = static_cast<int>(clocks.size());
+    slots.emplace(id, slot);
+    clocks.emplace_back();
+    clocks.back().set(slot, 1);  // epoch 0 is "never"
+    return slot;
+  }
+
+  VectorClock& clock_of(int slot) {
+    return clocks[static_cast<Size>(slot)];
+  }
+
+  void bump(int slot) {
+    VectorClock& vc = clock_of(slot);
+    vc.set(slot, vc.get(slot) + 1);
+  }
+
+  /// True when the recorded access happens-before the current thread's
+  /// clock.
+  bool ordered(const AccessRecord& rec, const VectorClock& now) const {
+    return rec.clock <= now.get(rec.slot);
+  }
+
+  [[noreturn]] void report(const SpaceShadow& space, Size loc,
+                           RaceField field, RaceAccess kind,
+                           const char* what, int slot,
+                           const AccessRecord& prev,
+                           RaceAccess prev_kind) {
+    std::ostringstream os;
+    os << "race detector: conflicting accesses to " << to_string(field)
+       << " at location " << loc << " of space #" << space.id << ":\n"
+       << "  current:  " << to_string(kind) << " \"" << what
+       << "\" by thread t" << slot;
+    if (t_context != nullptr) os << " (context: " << t_context << ")";
+    os << " at epoch " << clock_of(slot).get(slot) << "@t" << slot
+       << "\n"
+       << "  previous: " << to_string(prev_kind) << " \""
+       << (prev.what != nullptr ? prev.what : "?") << "\" by thread t"
+       << prev.slot;
+    if (prev.context != nullptr) os << " (context: " << prev.context << ")";
+    os << " at epoch " << prev.clock << "@t" << prev.slot << "\n"
+       << "  no happens-before edge (barrier, lock, channel, task edge "
+          "or fork/join) orders these accesses";
+    throw Error(os.str());
+  }
+
+  /// Replace (or add) this slot's record in `records`.
+  static void record(std::vector<AccessRecord>& records, int slot,
+                     ClockValue clock, const char* what) {
+    for (AccessRecord& r : records) {
+      if (r.slot == slot) {
+        r.clock = clock;
+        r.what = what;
+        r.context = t_context;
+        return;
+      }
+    }
+    records.push_back(AccessRecord{clock, slot, what, t_context});
+  }
+
+  void access(const void* space_ptr, Size loc, RaceField field,
+              RaceAccess kind, const char* what) {
+    const int slot = slot_of_current_thread();
+    const VectorClock& now = clock_of(slot);
+
+    SpaceShadow& space = spaces[space_ptr];
+    if (space.words.empty()) space.id = next_space_id++;
+    if (loc >= space.words.size()) space.words.resize(loc + 1);
+    ShadowWord& word =
+        space.words[loc][static_cast<Size>(static_cast<int>(field))];
+
+    // Conflict checks. Scatter/scatter pairs commute; everything else
+    // must be ordered.
+    if (word.write.valid() && word.write.slot != slot &&
+        !ordered(word.write, now)) {
+      report(space, loc, field, kind, what, slot, word.write,
+             RaceAccess::kWrite);
+    }
+    if (kind != RaceAccess::kRead) {
+      for (const AccessRecord& r : word.reads) {
+        if (r.slot != slot && !ordered(r, now)) {
+          report(space, loc, field, kind, what, slot, r,
+                 RaceAccess::kRead);
+        }
+      }
+    }
+    if (kind != RaceAccess::kScatter) {
+      for (const AccessRecord& s : word.scatters) {
+        if (s.slot != slot && !ordered(s, now)) {
+          report(space, loc, field, kind, what, slot, s,
+                 RaceAccess::kScatter);
+        }
+      }
+    }
+
+    // Record the access.
+    const ClockValue epoch = now.get(slot);
+    switch (kind) {
+      case RaceAccess::kRead:
+        record(word.reads, slot, epoch, what);
+        break;
+      case RaceAccess::kScatter:
+        record(word.scatters, slot, epoch, what);
+        break;
+      case RaceAccess::kWrite:
+        word.reads.clear();
+        word.scatters.clear();
+        word.write = AccessRecord{epoch, slot, what, t_context};
+        break;
+    }
+  }
+};
+
+RaceDetector::RaceDetector() : impl_(new Impl) {}
+
+RaceDetector::~RaceDetector() {
+  // Never leave a dangling installed pointer behind.
+  RaceDetector* self = this;
+  g_installed.compare_exchange_strong(self, nullptr);
+  delete impl_;
+}
+
+void RaceDetector::lock_acquire(const void* lock) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  const int slot = impl_->slot_of_current_thread();
+  auto it = impl_->sync.find(lock);
+  if (it != impl_->sync.end()) impl_->clock_of(slot).join(it->second);
+}
+
+void RaceDetector::lock_release(const void* lock) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  const int slot = impl_->slot_of_current_thread();
+  impl_->sync[lock].join(impl_->clock_of(slot));
+  impl_->bump(slot);
+}
+
+std::uint64_t RaceDetector::barrier_arrive(const void* barrier,
+                                           int participants) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  const int slot = impl_->slot_of_current_thread();
+  BarrierState& state = impl_->barriers[barrier];
+  if (state.arrived == 0) state.participants = participants;
+  state.gather.join(impl_->clock_of(slot));
+  impl_->bump(slot);
+  const std::uint64_t generation = state.generation;
+  if (++state.arrived >= state.participants) {
+    state.published[generation] = std::move(state.gather);
+    state.gather.clear();
+    state.arrived = 0;
+    ++state.generation;
+    // Prune old generations: nobody can still be leaving a generation
+    // four behind the barrier's current one.
+    while (state.published.size() > 4) {
+      auto oldest = state.published.begin();
+      for (auto it = state.published.begin(); it != state.published.end();
+           ++it) {
+        if (it->first < oldest->first) oldest = it;
+      }
+      state.published.erase(oldest);
+    }
+  }
+  return generation;
+}
+
+void RaceDetector::barrier_leave(const void* barrier,
+                                 std::uint64_t generation) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  const int slot = impl_->slot_of_current_thread();
+  auto it = impl_->barriers.find(barrier);
+  if (it == impl_->barriers.end()) return;
+  auto pub = it->second.published.find(generation);
+  if (pub != it->second.published.end()) {
+    impl_->clock_of(slot).join(pub->second);
+  }
+}
+
+void RaceDetector::channel_send(const void* channel) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  const int slot = impl_->slot_of_current_thread();
+  impl_->channels[channel].push_back(impl_->clock_of(slot));
+  impl_->bump(slot);
+}
+
+void RaceDetector::channel_recv(const void* channel) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  const int slot = impl_->slot_of_current_thread();
+  auto it = impl_->channels.find(channel);
+  if (it == impl_->channels.end() || it->second.empty()) return;
+  impl_->clock_of(slot).join(it->second.front());
+  it->second.pop_front();
+}
+
+std::uint64_t RaceDetector::fork() {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  const int slot = impl_->slot_of_current_thread();
+  const std::uint64_t token = impl_->next_fork_token++;
+  impl_->forks[token].start = impl_->clock_of(slot);
+  impl_->bump(slot);
+  return token;
+}
+
+void RaceDetector::worker_start(std::uint64_t token) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  const int slot = impl_->slot_of_current_thread();
+  auto it = impl_->forks.find(token);
+  if (it != impl_->forks.end()) {
+    impl_->clock_of(slot).join(it->second.start);
+  }
+}
+
+void RaceDetector::worker_end(std::uint64_t token) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  const int slot = impl_->slot_of_current_thread();
+  auto it = impl_->forks.find(token);
+  if (it != impl_->forks.end()) {
+    it->second.finished.join(impl_->clock_of(slot));
+  }
+  impl_->bump(slot);
+}
+
+void RaceDetector::join(std::uint64_t token) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  const int slot = impl_->slot_of_current_thread();
+  auto it = impl_->forks.find(token);
+  if (it != impl_->forks.end()) {
+    impl_->clock_of(slot).join(it->second.finished);
+    impl_->forks.erase(it);
+  }
+}
+
+void RaceDetector::edge_release(const void* var) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  const int slot = impl_->slot_of_current_thread();
+  impl_->sync[var].join(impl_->clock_of(slot));
+  impl_->bump(slot);
+}
+
+void RaceDetector::edge_acquire(const void* var) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  const int slot = impl_->slot_of_current_thread();
+  auto it = impl_->sync.find(var);
+  if (it != impl_->sync.end()) impl_->clock_of(slot).join(it->second);
+}
+
+void RaceDetector::edge_acq_rel(const void* var) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  const int slot = impl_->slot_of_current_thread();
+  VectorClock& vc = impl_->sync[var];
+  impl_->clock_of(slot).join(vc);
+  vc.join(impl_->clock_of(slot));
+  impl_->bump(slot);
+}
+
+void RaceDetector::forget_sync(const void* var) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  impl_->sync.erase(var);
+  impl_->barriers.erase(var);
+  impl_->channels.erase(var);
+}
+
+void RaceDetector::on_access(const void* space, Size loc, RaceField field,
+                             RaceAccess kind, const char* what) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  impl_->access(space, loc, field, kind, what);
+}
+
+void RaceDetector::on_access_range(const void* space, Size begin, Size end,
+                                   RaceField field, RaceAccess kind,
+                                   const char* what) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  for (Size loc = begin; loc < end; ++loc) {
+    impl_->access(space, loc, field, kind, what);
+  }
+}
+
+void RaceDetector::forget_space(const void* space) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  impl_->spaces.erase(space);
+}
+
+void RaceDetector::set_context(const char* context) { t_context = context; }
+
+RaceDetector* RaceDetector::active() {
+  return g_installed.load(std::memory_order_acquire);
+}
+
+RaceDetector* RaceDetector::install(RaceDetector* detector) {
+  return g_installed.exchange(detector, std::memory_order_acq_rel);
+}
+
+ScopedRaceDetector::ScopedRaceDetector()
+    : previous_(RaceDetector::install(&detector_)) {}
+
+ScopedRaceDetector::~ScopedRaceDetector() {
+  RaceDetector::install(previous_);
+}
+
+#if LBMIB_RACE_DETECT_ENABLED
+namespace {
+
+/// Process-wide default detector, installed before main() so every
+/// debug run is checked without any per-test setup.
+RaceDetector& global_race_detector() {
+  static RaceDetector detector;
+  return detector;
+}
+
+const bool g_race_detector_installed = [] {
+  RaceDetector::install(&global_race_detector());
+  return true;
+}();
+
+}  // namespace
+#endif
+
+}  // namespace lbmib

@@ -1,0 +1,211 @@
+// Happens-before race detection over the library's own synchronization
+// primitives.
+//
+// A FastTrack-style vector-clock detector (Flanagan & Freund, PLDI'09)
+// specialised to the library's granularity: shadow state is kept per
+// *cube* for the cube-partitioned solvers and per *x-plane* for the
+// planar solvers, not per byte. Synchronization edges are not inferred
+// from hardware atomics (that is TSan's job); they are established by
+// the library's own primitives, which are instrumented directly:
+//
+//   Barrier::arrive_and_wait  -> all-to-all edge per generation
+//   SpinLock lock/unlock      -> release/acquire chain per lock
+//   Channel send/recv         -> sender-to-receiver edge per message
+//   ThreadTeam fork/join      -> parent<->worker edges
+//   dataflow task counters    -> edge_acquire/edge_release/edge_acq_rel
+//
+// Memory accesses are reported at (space, location, field) granularity,
+// where `space` is a grid object, `location` a cube id or x-plane index
+// and `field` one of the logical per-node field groups. Accesses come
+// in three kinds: reads, exclusive writes, and *scatters* — commutative
+// accumulations (atomic force adds, unique-slot streaming pushes) that
+// may race with each other harmlessly but conflict with reads and
+// writes.
+//
+// Everything is gated behind the LBMIB_RACE_DETECT compile definition
+// via the LBMIB_RACE_CHECK(...) macro at the bottom of this header, the
+// same zero-cost pattern access_checker.hpp uses: in a normal build the
+// hooks expand to nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lbmib {
+
+/// Logical per-node field groups tracked by the detector. kDf/kDfNew
+/// name *roles* (present-time vs streamed populations), not physical
+/// buffers: buffer swaps are modeled as an exclusive write to every
+/// location of both roles, so any access that "jumps" the swap is
+/// flagged even though the underlying pointers moved.
+enum class RaceField : int { kDf = 0, kDfNew = 1, kForce = 2, kMacro = 3 };
+
+inline constexpr int kNumRaceFields = 4;
+
+/// Access kinds. kScatter marks commutative accumulation (atomic force
+/// adds, unique-slot streaming pushes): scatter/scatter pairs never
+/// conflict, scatter/read and scatter/write pairs do.
+enum class RaceAccess : int { kRead = 0, kWrite = 1, kScatter = 2 };
+
+const char* to_string(RaceField field);
+const char* to_string(RaceAccess kind);
+
+/// Vector-clock happens-before detector. All methods are thread-safe
+/// (one internal leaf mutex; the detector never calls back into
+/// instrumented code). Violations throw lbmib::Error describing both
+/// conflicting accesses with their thread, label, context and epoch.
+class RaceDetector {
+ public:
+  RaceDetector();
+  ~RaceDetector();
+
+  RaceDetector(const RaceDetector&) = delete;
+  RaceDetector& operator=(const RaceDetector&) = delete;
+
+  // --- synchronization events -------------------------------------
+  /// Release/acquire chain per lock address.
+  void lock_acquire(const void* lock);
+  void lock_release(const void* lock);
+
+  /// Barrier protocol: every participant calls barrier_arrive() with a
+  /// consistent participant count *before* blocking on the real
+  /// barrier, and barrier_leave() with the returned generation token
+  /// after unblocking. The generation's merged clock is published when
+  /// the last participant arrives, so by the time any thread leaves the
+  /// real barrier the merged clock is available.
+  std::uint64_t barrier_arrive(const void* barrier, int participants);
+  void barrier_leave(const void* barrier, std::uint64_t generation);
+
+  /// FIFO channel: each received message acquires the clock its sender
+  /// released. Call inside the channel's critical section so the clock
+  /// queue stays aligned with the message queue.
+  void channel_send(const void* channel);
+  void channel_recv(const void* channel);
+
+  /// Fork/join: the parent captures its clock in a token; workers
+  /// acquire it at start and merge their clocks back at end; the
+  /// parent acquires the merged clock at join (which retires the
+  /// token).
+  std::uint64_t fork();
+  void worker_start(std::uint64_t token);
+  void worker_end(std::uint64_t token);
+  void join(std::uint64_t token);
+
+  /// Generic release/acquire edges for dataflow task-graph counters
+  /// and queue slots (one sync variable per address).
+  void edge_release(const void* var);
+  void edge_acquire(const void* var);
+  /// Combined acquire+release (read-modify-write, e.g. a dependence
+  /// counter decrement): merges the variable's clock into the thread
+  /// and the thread's clock into the variable.
+  void edge_acq_rel(const void* var);
+
+  /// Drop all sync state for `var` (lock, barrier, channel or edge).
+  /// Called from primitive destructors so a new primitive re-using the
+  /// address does not inherit stale clocks.
+  void forget_sync(const void* var);
+
+  // --- memory events ----------------------------------------------
+  /// One access to location `loc` (cube id or x-plane) of `field` in
+  /// `space` (a grid object). `what` must be a string literal.
+  void on_access(const void* space, Size loc, RaceField field,
+                 RaceAccess kind, const char* what);
+
+  /// Range form: locations [begin, end).
+  void on_access_range(const void* space, Size begin, Size end,
+                       RaceField field, RaceAccess kind, const char* what);
+
+  /// Drop all shadow state for `space`. Called from grid destructors
+  /// so a new grid re-using the address starts clean.
+  void forget_space(const void* space);
+
+  /// Thread-local free-form label (e.g. the current solver phase)
+  /// recorded with every subsequent access on this thread; used purely
+  /// for diagnostics.
+  static void set_context(const char* context);
+
+  // --- lifecycle ---------------------------------------------------
+  /// The installed detector, or nullptr. In LBMIB_RACE_DETECT builds a
+  /// process-wide default instance is installed before main().
+  static RaceDetector* active();
+
+  /// Install `detector` (may be nullptr) and return the previous one.
+  static RaceDetector* install(RaceDetector* detector);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// RAII installation of a fresh detector, restoring the previous one on
+/// destruction. Lets tests run against virgin detector state (fresh
+/// thread slots, empty shadow memory) regardless of what the global
+/// default has seen.
+class ScopedRaceDetector {
+ public:
+  ScopedRaceDetector();
+  ~ScopedRaceDetector();
+
+  ScopedRaceDetector(const ScopedRaceDetector&) = delete;
+  ScopedRaceDetector& operator=(const ScopedRaceDetector&) = delete;
+
+  RaceDetector& detector() { return detector_; }
+
+ private:
+  RaceDetector detector_;
+  RaceDetector* previous_;
+};
+
+/// Convenience wrappers used by kernel hooks: no-ops when no detector
+/// is installed.
+namespace race {
+
+inline void access(const void* space, Size loc, RaceField field,
+                   RaceAccess kind, const char* what) {
+  if (RaceDetector* rd = RaceDetector::active()) {
+    rd->on_access(space, loc, field, kind, what);
+  }
+}
+
+inline void access_range(const void* space, Size begin, Size end,
+                         RaceField field, RaceAccess kind,
+                         const char* what) {
+  if (RaceDetector* rd = RaceDetector::active()) {
+    rd->on_access_range(space, begin, end, field, kind, what);
+  }
+}
+
+inline void context(const char* label) { RaceDetector::set_context(label); }
+
+inline void edge_release(const void* var) {
+  if (RaceDetector* rd = RaceDetector::active()) rd->edge_release(var);
+}
+
+inline void edge_acquire(const void* var) {
+  if (RaceDetector* rd = RaceDetector::active()) rd->edge_acquire(var);
+}
+
+inline void edge_acq_rel(const void* var) {
+  if (RaceDetector* rd = RaceDetector::active()) rd->edge_acq_rel(var);
+}
+
+}  // namespace race
+
+}  // namespace lbmib
+
+// Zero-cost gate, mirroring LBMIB_ACCESS_CHECK in access_checker.hpp:
+// hooks are written as LBMIB_RACE_CHECK(<code>) and vanish entirely
+// unless the build defines LBMIB_RACE_DETECT (CMake option
+// LBMIB_RACE_DETECT=ON).
+#if defined(LBMIB_RACE_DETECT) && LBMIB_RACE_DETECT
+#define LBMIB_RACE_CHECK(...) __VA_ARGS__
+#define LBMIB_RACE_DETECT_ENABLED 1
+#else
+#define LBMIB_RACE_CHECK(...)
+#define LBMIB_RACE_DETECT_ENABLED 0
+#endif

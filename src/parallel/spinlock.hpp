@@ -19,6 +19,7 @@
 
 #include <atomic>
 
+#include "parallel/race_detector.hpp"
 #include "parallel/thread_safety.hpp"
 
 namespace lbmib {
@@ -26,13 +27,23 @@ namespace lbmib {
 class LBMIB_CAPABILITY("SpinLock") SpinLock {
  public:
   SpinLock() = default;
+
+  ~SpinLock() {
+    LBMIB_RACE_CHECK(if (RaceDetector* rd = RaceDetector::active())
+                         rd->forget_sync(this);)
+  }
+
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
   void lock() LBMIB_ACQUIRE() {
     for (;;) {
       // Optimistically try to grab the lock.
-      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      if (!flag_.exchange(true, std::memory_order_acquire)) {
+        LBMIB_RACE_CHECK(if (RaceDetector* rd = RaceDetector::active())
+                             rd->lock_acquire(this);)
+        return;
+      }
       // Spin on a plain load to avoid cache-line ping-pong. Relaxed is
       // sufficient: see the header comment.
       while (flag_.load(std::memory_order_relaxed)) {
@@ -47,10 +58,18 @@ class LBMIB_CAPABILITY("SpinLock") SpinLock {
     // Test first so a failing try_lock doesn't bounce the cache line
     // exclusive between contenders.
     if (flag_.load(std::memory_order_relaxed)) return false;
-    return !flag_.exchange(true, std::memory_order_acquire);
+    const bool acquired = !flag_.exchange(true, std::memory_order_acquire);
+    LBMIB_RACE_CHECK(if (acquired) {
+      if (RaceDetector* rd = RaceDetector::active()) rd->lock_acquire(this);
+    })
+    return acquired;
   }
 
   void unlock() LBMIB_RELEASE() {
+    // Release the detector edge before the real release-store so the
+    // next acquirer's hook always observes it.
+    LBMIB_RACE_CHECK(if (RaceDetector* rd = RaceDetector::active())
+                         rd->lock_release(this);)
     flag_.store(false, std::memory_order_release);
   }
 

@@ -6,13 +6,13 @@
 // MSVC every macro expands to nothing. Reference:
 // https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
 //
-// Only our own primitives (SpinLock, SpinLockGuard) are annotated as
-// capabilities. std::mutex-based classes (Channel, BlockingBarrier) stay
-// unannotated: libstdc++'s std::mutex carries no capability attributes, so
-// GUARDED_BY(mutex_) there would trigger -Wthread-safety-attributes noise
-// instead of analysis. Their locking is trivially scoped (lock_guard /
-// unique_lock within one function) and is covered by TSan instead — see
-// DESIGN.md "Concurrency correctness".
+// All of our own primitives are annotated as capabilities: SpinLock /
+// SpinLockGuard directly, and the std::mutex-based classes (Channel,
+// BlockingBarrier) through the Mutex/MutexLock wrappers in mutex.hpp,
+// which exist because libstdc++'s std::mutex carries no capability
+// attributes of its own. Their mutex-protected state is declared with
+// LBMIB_GUARDED_BY so clang checks the lock discipline; TSan covers the
+// dynamic side — see DESIGN.md "Concurrency correctness".
 #pragma once
 
 #if defined(__clang__) && !defined(SWIG)

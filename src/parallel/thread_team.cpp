@@ -3,14 +3,55 @@
 #include <exception>
 
 #include "common/error.hpp"
+#include "parallel/race_detector.hpp"
 
 namespace lbmib {
+
+#if LBMIB_RACE_DETECT_ENABLED
+namespace {
+
+/// RAII worker scope for the race detector: acquire the fork clock on
+/// entry, contribute this thread's clock on exit (also when the body
+/// throws, so the parent's join still collects it).
+class RaceWorkerScope {
+ public:
+  RaceWorkerScope(RaceDetector* rd, std::uint64_t token)
+      : rd_(rd), token_(token) {
+    if (rd_ != nullptr) rd_->worker_start(token_);
+  }
+  ~RaceWorkerScope() {
+    if (rd_ != nullptr) rd_->worker_end(token_);
+  }
+  RaceWorkerScope(const RaceWorkerScope&) = delete;
+  RaceWorkerScope& operator=(const RaceWorkerScope&) = delete;
+
+ private:
+  RaceDetector* rd_;
+  std::uint64_t token_;
+};
+
+}  // namespace
+#endif
 
 ThreadTeam::ThreadTeam(int num_threads) : num_threads_(num_threads) {
   require(num_threads >= 1, "ThreadTeam needs at least one thread");
 }
 
 void ThreadTeam::run(const std::function<void(int)>& body) {
+#if LBMIB_RACE_DETECT_ENABLED
+  // Fork/join edges: workers start ordered after this point and the
+  // code after the joins is ordered after every worker's end.
+  RaceDetector* race_detector = RaceDetector::active();
+  const std::uint64_t race_token =
+      race_detector != nullptr ? race_detector->fork() : 0;
+  const auto run_body = [&](int tid) {
+    RaceWorkerScope scope(race_detector, race_token);
+    body(tid);
+  };
+#else
+  const std::function<void(int)>& run_body = body;
+#endif
+
   // tid 0 runs on the calling thread; the rest get their own std::thread.
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(num_threads_ - 1));
@@ -20,18 +61,22 @@ void ThreadTeam::run(const std::function<void(int)>& body) {
   for (int tid = 1; tid < num_threads_; ++tid) {
     workers.emplace_back([&, tid] {
       try {
-        body(tid);
+        run_body(tid);
       } catch (...) {
         errors[static_cast<std::size_t>(tid)] = std::current_exception();
       }
     });
   }
   try {
-    body(0);
+    run_body(0);
   } catch (...) {
     errors[0] = std::current_exception();
   }
   for (std::thread& t : workers) t.join();
+
+#if LBMIB_RACE_DETECT_ENABLED
+  if (race_detector != nullptr) race_detector->join(race_token);
+#endif
 
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
