@@ -69,7 +69,15 @@ int main(int argc, char** argv) {
 
   CsvWriter csv("solver_comparison.csv",
                 {"solver", "threads", "pipeline", "seconds", "ms_per_step",
-                 "steps_per_sec"});
+                 "steps_per_sec", "mlups"});
+  // Million lattice-node updates per second — the LBM community's
+  // size-normalized throughput unit (steps/sec times nodes / 1e6).
+  const double nodes = static_cast<double>(edge) *
+                       static_cast<double>(edge) *
+                       static_cast<double>(edge);
+  auto mlups_of = [nodes](double steps_per_sec) {
+    return steps_per_sec * nodes / 1e6;
+  };
 
   std::cout << std::setw(14) << "solver" << std::setw(12) << "ref s"
             << std::setw(12) << "fused s" << std::setw(12) << "ref st/s"
@@ -109,7 +117,8 @@ int main(int argc, char** argv) {
               {static_cast<double>(q.num_threads),
                static_cast<double>(fused), seconds[fused],
                1000.0 * seconds[fused] / static_cast<double>(steps),
-               static_cast<double>(steps) / seconds[fused]});
+               static_cast<double>(steps) / seconds[fused],
+               mlups_of(static_cast<double>(steps) / seconds[fused])});
     }
     const double ref_sps = static_cast<double>(steps) / seconds[0];
     const double fused_sps = static_cast<double>(steps) / seconds[1];
@@ -134,6 +143,8 @@ int main(int argc, char** argv) {
            << "\", \"threads\": " << r.threads
            << ", \"reference_steps_per_sec\": " << r.ref_steps_per_sec
            << ", \"fused_steps_per_sec\": " << r.fused_steps_per_sec
+           << ", \"reference_mlups\": " << mlups_of(r.ref_steps_per_sec)
+           << ", \"fused_mlups\": " << mlups_of(r.fused_steps_per_sec)
            << ", \"speedup\": "
            << r.fused_steps_per_sec / r.ref_steps_per_sec << "}"
            << (i + 1 < rows.size() ? "," : "") << "\n";

@@ -5,6 +5,7 @@
 // Usage:
 //   lbmib_run <config-file> [--solver seq|openmp|cube|dataflow|distributed|distributed2d]
 //             [--steps N] [--output-every N] [--out DIR]
+//             [--trace-out FILE] [--metrics-out FILE] [--metrics-csv FILE]
 //   lbmib_run --write-default <path>    # emit a template config
 #include <cstring>
 #include <iostream>
@@ -22,7 +23,13 @@ void usage() {
       << "usage: lbmib_run <config> [--solver seq|openmp|cube|dataflow|\n"
          "                  distributed|distributed2d]\n"
          "                 [--steps N] [--output-every N] [--out DIR]\n"
-         "       lbmib_run --write-default <path>\n";
+         "                 [--trace-out FILE] [--metrics-out FILE]\n"
+         "                 [--metrics-csv FILE]\n"
+         "       lbmib_run --write-default <path>\n"
+         "  --trace-out   Chrome trace-event JSON (open in Perfetto /\n"
+         "                chrome://tracing)\n"
+         "  --metrics-out Prometheus text exposition of the run metrics\n"
+         "  --metrics-csv same registry as CSV\n";
 }
 
 lbmib::SolverKind parse_solver(const std::string& name) {
@@ -57,6 +64,9 @@ int main(int argc, char** argv) {
     Index steps = 100;
     Index output_every = 0;  // 0 = no periodic output
     std::string out_dir = ".";
+    std::string trace_out;
+    std::string metrics_out;
+    std::string metrics_csv;
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
       auto next = [&]() -> std::string {
@@ -71,6 +81,12 @@ int main(int argc, char** argv) {
         output_every = std::stol(next());
       } else if (arg == "--out") {
         out_dir = next();
+      } else if (arg == "--trace-out") {
+        trace_out = next();
+      } else if (arg == "--metrics-out") {
+        metrics_out = next();
+      } else if (arg == "--metrics-csv") {
+        metrics_csv = next();
       } else {
         usage();
         return 2;
@@ -107,10 +123,24 @@ int main(int argc, char** argv) {
       });
     }
 
+    if (!trace_out.empty()) sim.enable_tracing();
+
     WallTimer timer;
     sim.run(steps);
     std::cout << "\nwall time: " << timer.seconds() << " s\n\n"
               << sim.profile_report();
+    if (!trace_out.empty()) {
+      sim.write_trace(trace_out);
+      std::cout << "trace: " << trace_out << "\n";
+    }
+    if (!metrics_out.empty()) {
+      sim.write_metrics_prometheus(metrics_out);
+      std::cout << "metrics: " << metrics_out << "\n";
+    }
+    if (!metrics_csv.empty()) {
+      sim.write_metrics_csv(metrics_csv);
+      std::cout << "metrics csv: " << metrics_csv << "\n";
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "lbmib_run: " << e.what() << "\n";

@@ -4,9 +4,10 @@
 # Usage: scripts/run_benchmarks.sh [build-dir] [steps] [threads] [edge] [reps]
 #
 # Runs the two benches that bracket the fused-pipeline work:
-#   * solver_comparison       — whole-step steps/sec for all six solvers,
-#                               fused vs reference pipeline (the number
-#                               that must not regress),
+#   * solver_comparison       — whole-step steps/sec and MLUPS (million
+#                               lattice-node updates/sec) for all six
+#                               solvers, fused vs reference pipeline (the
+#                               numbers that must not regress),
 #   * ablation_copy_vs_swap   — the isolated kernel-9 copy-vs-swap gap
 #                               (google-benchmark microbench).
 #

@@ -1,6 +1,9 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 #include <mutex>
 
@@ -9,6 +12,32 @@ namespace lbmib {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_mutex;
+
+/// Small sequential thread id for log lines: stable across the thread's
+/// lifetime, far more readable than std::thread::id hashes.
+int log_thread_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// ISO-8601 UTC timestamp with millisecond precision,
+/// e.g. "2026-08-05T12:34:56.789Z".
+std::string iso8601_now() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -33,8 +62,11 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_message(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
+  const std::string stamp = iso8601_now();
+  const int tid = log_thread_id();
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[lbmib:" << level_name(level) << "] " << message << '\n';
+  std::cerr << "[" << stamp << " lbmib:" << level_name(level) << " t"
+            << tid << "] " << message << '\n';
 }
 
 }  // namespace lbmib

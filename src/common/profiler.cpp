@@ -31,6 +31,30 @@ std::string_view kernel_name(Kernel k) {
   return "unknown_kernel";
 }
 
+const char* kernel_short_name(Kernel k) {
+  switch (k) {
+    case Kernel::kBendingForce:
+      return "bending";
+    case Kernel::kStretchingForce:
+      return "stretching";
+    case Kernel::kElasticForce:
+      return "elastic";
+    case Kernel::kSpreadForce:
+      return "spread";
+    case Kernel::kCollision:
+      return "collide";
+    case Kernel::kStreaming:
+      return "stream";
+    case Kernel::kUpdateVelocity:
+      return "update_velocity";
+    case Kernel::kMoveFibers:
+      return "move_fibers";
+    case Kernel::kCopyDistribution:
+      return "copy_df";
+  }
+  return "unknown";
+}
+
 int kernel_paper_index(Kernel k) { return static_cast<int>(k) + 1; }
 
 double KernelProfiler::total_seconds() const {
@@ -74,6 +98,45 @@ std::string KernelProfiler::report() const {
   os << std::string(68, '-') << '\n';
   os << "Total: " << std::fixed << std::setprecision(3) << total_seconds()
      << " s\n";
+  return os.str();
+}
+
+std::string kernel_report(const KernelProfiler& aggregate,
+                          const std::vector<KernelProfiler>& per_thread) {
+  if (per_thread.empty()) return aggregate.report();
+  const double nthreads = static_cast<double>(per_thread.size());
+
+  std::ostringstream os;
+  os << std::left << std::setw(8) << "Kernel" << std::setw(38) << "Name"
+     << std::right << std::setw(11) << "Seconds" << std::setw(9) << "% Time"
+     << std::setw(10) << "t-min" << std::setw(10) << "t-max"
+     << std::setw(8) << "imbal" << '\n';
+  os << std::string(94, '-') << '\n';
+  for (const KernelProfiler::Row& r : aggregate.ranked_rows()) {
+    double min_s = per_thread.front().seconds(r.kernel);
+    double max_s = min_s;
+    double sum_s = 0.0;
+    for (const KernelProfiler& p : per_thread) {
+      const double s = p.seconds(r.kernel);
+      min_s = std::min(min_s, s);
+      max_s = std::max(max_s, s);
+      sum_s += s;
+    }
+    const double mean_s = sum_s / nthreads;
+    os << std::left << std::setw(8) << (std::to_string(r.paper_index) + ")")
+       << std::setw(38) << r.name << std::right << std::setw(11)
+       << std::fixed << std::setprecision(3) << r.seconds << std::setw(8)
+       << std::setprecision(2) << r.percent_of_total << "%" << std::setw(10)
+       << std::setprecision(3) << min_s << std::setw(10) << max_s
+       << std::setw(8) << std::setprecision(2)
+       << (mean_s > 0.0 ? max_s / mean_s : 1.0) << '\n';
+  }
+  os << std::string(94, '-') << '\n';
+  os << "Total: " << std::fixed << std::setprecision(3)
+     << aggregate.total_seconds() << " s across "
+     << per_thread.size() << " thread profile"
+     << (per_thread.size() == 1 ? "" : "s")
+     << " (imbal = max/mean per-thread seconds)\n";
   return os.str();
 }
 

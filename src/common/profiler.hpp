@@ -33,6 +33,10 @@ inline constexpr int kNumKernels = 9;
 /// Human-readable kernel name (matches the paper's naming).
 std::string_view kernel_name(Kernel k);
 
+/// Short kernel tag used as trace span names and metric labels
+/// ("collide", "spread", ...). Static storage, null-terminated.
+const char* kernel_short_name(Kernel k);
+
 /// Paper index of the kernel (1-based, as used in Algorithm 1 and Table I).
 int kernel_paper_index(Kernel k);
 
@@ -93,5 +97,15 @@ class KernelProfiler {
   using Clock = std::chrono::steady_clock;
   std::array<double, kNumKernels> seconds_{};
 };
+
+/// Table-I style report extended with per-thread spread columns: per
+/// kernel the min/max per-thread seconds and the imbalance factor
+/// (max over mean across threads — the paper's Table II diagnostic).
+/// `aggregate` supplies the Seconds/% columns exactly like
+/// KernelProfiler::report(); `per_thread` is what the solver's
+/// per_thread_profiles() returns (a single entry collapses the spread
+/// columns to min == max, imbalance 1).
+std::string kernel_report(const KernelProfiler& aggregate,
+                          const std::vector<KernelProfiler>& per_thread);
 
 }  // namespace lbmib

@@ -7,6 +7,7 @@
 #include "cube/cube_kernels.hpp"
 #include "ib/fiber_forces.hpp"
 #include "lbm/boundary.hpp"
+#include "obs/trace.hpp"
 #include "parallel/race_detector.hpp"
 #include "parallel/thread_team.hpp"
 
@@ -114,24 +115,44 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
       owned_fibers_[static_cast<Size>(tid)];
 
   for (Index step = 0; step < num_steps; ++step) {
+    // One bar per thread per step in the trace timeline; kernel and
+    // barrier-wait spans nest inside it.
+    LBMIB_TRACE_SPAN(obs::SpanCat::kStep, "step",
+                     static_cast<std::int64_t>(step));
     // --- 1st loop: fiber kernels 1-4 on owned fibers ---------------------
     LBMIB_RACE_CHECK(race::context("cube solver: spread phase");)
     {
       auto t0 = Clock::now();
-      for (const auto& [s, f] : my_fibers) {
-        compute_bending_force(structure_[s], f, f + 1);
+      {
+        LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                         kernel_short_name(Kernel::kBendingForce));
+        for (const auto& [s, f] : my_fibers) {
+          compute_bending_force(structure_[s], f, f + 1);
+        }
       }
       auto t1 = Clock::now();
-      for (const auto& [s, f] : my_fibers) {
-        compute_stretching_force(structure_[s], f, f + 1);
+      {
+        LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                         kernel_short_name(Kernel::kStretchingForce));
+        for (const auto& [s, f] : my_fibers) {
+          compute_stretching_force(structure_[s], f, f + 1);
+        }
       }
       auto t2 = Clock::now();
-      for (const auto& [s, f] : my_fibers) {
-        compute_elastic_force(structure_[s], f, f + 1);
+      {
+        LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                         kernel_short_name(Kernel::kElasticForce));
+        for (const auto& [s, f] : my_fibers) {
+          compute_elastic_force(structure_[s], f, f + 1);
+        }
       }
       auto t3 = Clock::now();
-      for (const auto& [s, f] : my_fibers) {
-        cube_spread_force(structure_[s], grid_, dist_, locks_, f, f + 1);
+      {
+        LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                         kernel_short_name(Kernel::kSpreadForce));
+        for (const auto& [s, f] : my_fibers) {
+          cube_spread_force(structure_[s], grid_, dist_, locks_, f, f + 1);
+        }
       }
       auto t4 = Clock::now();
       prof.add(Kernel::kBendingForce, seconds_between(t0, t1));
@@ -151,6 +172,7 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
       // One register-fused pass per cube (kernels 5+6); the whole sweep is
       // charged to the collision bucket — there is no second traversal
       // left to time as "streaming".
+      LBMIB_TRACE_SPAN(obs::SpanCat::kKernel, "collide_stream");
       auto t0 = Clock::now();
       for (Size cube : my_cubes) {
         if (mrt_) {
@@ -161,6 +183,9 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
       }
       prof.add(Kernel::kCollision, seconds_between(t0, Clock::now()));
     } else {
+      // Collide and stream interleave per cube here, so the trace gets
+      // one combined span; the profiler still splits the buckets.
+      LBMIB_TRACE_SPAN(obs::SpanCat::kKernel, "collide_stream");
       double collide_s = 0.0, stream_s = 0.0;
       for (Size cube : my_cubes) {
         auto t0 = Clock::now();
@@ -184,6 +209,8 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
 
     // --- 3rd loop: update velocity ---------------------------------------
     {
+      LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                       kernel_short_name(Kernel::kUpdateVelocity));
       auto t0 = Clock::now();
       if (uses_inlet_outlet(params_.boundary)) {
         for (Size cube : my_cubes) {
@@ -199,6 +226,8 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
 
     // --- 4th loop: move owned fibers --------------------------------------
     {
+      LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                       kernel_short_name(Kernel::kMoveFibers));
       auto t0 = Clock::now();
       for (const auto& [s, f] : my_fibers) {
         cube_move_fibers(structure_[s], grid_, f, f + 1);
@@ -209,6 +238,8 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
     // --- 5th loop: kernel 9, and reset forces for the next step's
     // spreading (own cubes only, so no synchronization needed) -------------
     {
+      LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                       kernel_short_name(Kernel::kCopyDistribution));
       auto t0 = Clock::now();
       for (Size cube : my_cubes) {
         if (!params_.fused_step) cube_copy_distributions(grid_, cube);
@@ -231,6 +262,7 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
         // reads df/df_new again this step (loops 4/5 touch only
         // velocity/force slots, whose bases never move), and barrier #3
         // publishes the flip before the next step's reads.
+        LBMIB_TRACE_SPAN(obs::SpanCat::kKernel, "swap_df");
         grid_.swap_df_buffers();
       }
       prof.add(Kernel::kCopyDistribution, seconds_between(t0, Clock::now()));

@@ -10,6 +10,8 @@
 #include "cube/cube_kernels.hpp"
 #include "ib/fiber_forces.hpp"
 #include "lbm/boundary.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/race_detector.hpp"
 #include "parallel/thread_team.hpp"
 
@@ -99,9 +101,12 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
   const Size nfibers = fiber_list_.size();
 
   for (Index step = 0; step < num_steps; ++step) {
+    LBMIB_TRACE_SPAN(obs::SpanCat::kStep, "step",
+                     static_cast<std::int64_t>(step));
     // --- fiber force phase: kernels 1-4 fused per fiber, self-scheduled
     LBMIB_RACE_CHECK(race::context("dataflow solver: spread phase");)
     {
+      LBMIB_TRACE_SPAN(obs::SpanCat::kKernel, "fiber_forces_fused");
       auto t0 = Clock::now();
       for (;;) {
         const Size i = fiber_cursor_.fetch_add(1, std::memory_order_relaxed);
@@ -141,11 +146,16 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
           }
         }
         ++tasks_executed_[static_cast<Size>(tid)];
+        LBMIB_TRACE_ON(if (obs::Tracer::active()) {
+          obs::metric_dataflow_tasks().inc();
+        })
         // Order this thread after whoever published the slot (seeded
         // collide slots carry no edge; the spread barrier orders those).
         LBMIB_RACE_CHECK(race::edge_acquire(&queue_[slot]);)
         if (task > 0) {
           const Size cube = static_cast<Size>(task - 1);
+          LBMIB_TRACE_SPAN(obs::SpanCat::kTask, "task.collide_stream",
+                           static_cast<std::int64_t>(cube));
           if (params_.fused_step) {
             if (mrt_) {
               cube_mrt_collide_stream(grid_, *mrt_, cube);
@@ -179,6 +189,8 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
           }
         } else {
           const Size cube = static_cast<Size>(-task - 1);
+          LBMIB_TRACE_SPAN(obs::SpanCat::kTask, "task.update_copy",
+                           static_cast<std::int64_t>(cube));
           if (uses_inlet_outlet(params_.boundary)) {
             cube_apply_inlet_outlet(grid_, params_.inlet_velocity, cube);
           }
@@ -206,6 +218,8 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
 
     // --- move fibers, self-scheduled ------------------------------------
     {
+      LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                       kernel_short_name(Kernel::kMoveFibers));
       auto t0 = Clock::now();
       for (;;) {
         const Size i = move_cursor_.fetch_add(1, std::memory_order_relaxed);
@@ -222,7 +236,10 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
       // once per step. Safe here: the "positions settled" barrier is
       // behind every thread and nobody touches the grid until the
       // re-arm barrier below publishes the flip.
-      if (params_.fused_step) grid_.swap_df_buffers();
+      if (params_.fused_step) {
+        LBMIB_TRACE_SPAN(obs::SpanCat::kKernel, "swap_df");
+        grid_.swap_df_buffers();
+      }
       ++steps_completed_;
       arm_step();
     }
@@ -303,6 +320,9 @@ void DataflowCubeSolver::run_overlapped(Index num_steps) {
         }
       }
       ++tasks_executed_[static_cast<Size>(tid)];
+      LBMIB_TRACE_ON(if (obs::Tracer::active()) {
+        obs::metric_dataflow_tasks().inc();
+      })
       LBMIB_RACE_CHECK(
           race::context("dataflow solver: overlapped task loop");
           race::edge_acquire(&queue[slot]);)
@@ -315,6 +335,10 @@ void DataflowCubeSolver::run_overlapped(Index num_steps) {
       const bool src_parity = p0 != ((step & 1) != 0);
       const Size src_base = df_base_at(src_parity);
       const Size dst_base = df_base_at(!src_parity);
+      LBMIB_TRACE_SPAN(obs::SpanCat::kTask,
+                       is_collide ? "task.collide_stream"
+                                  : "task.update_copy",
+                       static_cast<std::int64_t>(cube));
 
       if (is_collide) {
         if (params_.fused_step) {

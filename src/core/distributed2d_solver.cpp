@@ -12,6 +12,8 @@
 #include "lbm/macroscopic.hpp"
 #include "lbm/mrt.hpp"
 #include "lbm/streaming.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/race_detector.hpp"
 #include "parallel/thread_team.hpp"
 
@@ -149,6 +151,11 @@ void Distributed2DSolver::stream_local(Rank& r) {
 
 void Distributed2DSolver::exchange_halos(int rank) {
   using namespace d3q19;
+  LBMIB_TRACE_SPAN(obs::SpanCat::kHalo, "exchange_halos",
+                   static_cast<std::int64_t>(rank));
+  LBMIB_TRACE_ON(if (obs::Tracer::active()) {
+    obs::metric_halo_exchanges().inc(8.0);  // 4 faces + 4 corners
+  })
   Rank& r = ranks_[static_cast<Size>(rank)];
   FluidGrid& grid = *r.grid;
   const Index lnx = r.tile.x_hi - r.tile.x_lo;
@@ -460,7 +467,10 @@ void Distributed2DSolver::rank_entry(int rank, Index num_steps,
   };
 
   for (Index step = 0; step < num_steps; ++step) {
+    LBMIB_TRACE_SPAN(obs::SpanCat::kStep, "step",
+                     static_cast<std::int64_t>(step));
     {  // kernels 1-4 on the replica, spread into own tile only
+      LBMIB_TRACE_SPAN(obs::SpanCat::kKernel, "fiber_forces_spread");
       auto t0 = Clock::now();
       for (FiberSheet& sheet : r.structure) {
         compute_bending_force(sheet, 0, sheet.num_fibers());
@@ -477,6 +487,7 @@ void Distributed2DSolver::rank_entry(int rank, Index num_steps,
       // mirrors stream_local exactly); the halo exchange then ships the
       // freshly-pushed crossing populations as in the reference pipeline.
       {
+        LBMIB_TRACE_SPAN(obs::SpanCat::kKernel, "collide_stream");
         auto t0 = Clock::now();
         fused_collide_stream_tile(grid, params_.tau, mrt_.get(), 1, lnx, 1,
                                   lny);
@@ -489,6 +500,8 @@ void Distributed2DSolver::rank_entry(int rank, Index num_steps,
       }
     } else {
       {  // kernel 5
+        LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                         kernel_short_name(Kernel::kCollision));
         auto t0 = Clock::now();
         for (Index lx = 1; lx <= lnx; ++lx) {
           const auto [begin, end] = row_range(lx);
@@ -501,6 +514,8 @@ void Distributed2DSolver::rank_entry(int rank, Index num_steps,
         prof.add(Kernel::kCollision, since(t0));
       }
       {  // kernel 6 + the 8-message halo exchange
+        LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                         kernel_short_name(Kernel::kStreaming));
         auto t0 = Clock::now();
         stream_local(r);
         exchange_halos(rank);
@@ -508,6 +523,8 @@ void Distributed2DSolver::rank_entry(int rank, Index num_steps,
       }
     }
     {  // kernel 7 (+ boundary pass)
+      LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                       kernel_short_name(Kernel::kUpdateVelocity));
       auto t0 = Clock::now();
       if (uses_inlet_outlet(params_.boundary)) {
         apply_inlet_outlet_local(r, rank);
@@ -519,12 +536,18 @@ void Distributed2DSolver::rank_entry(int rank, Index num_steps,
       prof.add(Kernel::kUpdateVelocity, since(t0));
     }
     {  // kernel 8
+      LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                       kernel_short_name(Kernel::kMoveFibers));
       auto t0 = Clock::now();
       move_fibers_allreduce(r, rank);
       prof.add(Kernel::kMoveFibers, since(t0));
     }
     {  // kernel 9: per-rank O(1) swap when fused (ghost-layer df goes
        // stale but is never read; see the 1-D solver's note).
+      LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                       params_.fused_step
+                           ? "swap_df"
+                           : kernel_short_name(Kernel::kCopyDistribution));
       auto t0 = Clock::now();
       if (params_.fused_step) {
         grid.swap_buffers();

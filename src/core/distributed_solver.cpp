@@ -12,6 +12,8 @@
 #include "lbm/d3q19.hpp"
 #include "lbm/macroscopic.hpp"
 #include "lbm/streaming.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/race_detector.hpp"
 #include "parallel/thread_team.hpp"
 
@@ -115,6 +117,11 @@ void DistributedSolver::spread_forces_local(Rank& r) {
 }
 
 void DistributedSolver::exchange_halos(int rank) {
+  LBMIB_TRACE_SPAN(obs::SpanCat::kHalo, "exchange_halos",
+                   static_cast<std::int64_t>(rank));
+  LBMIB_TRACE_ON(if (obs::Tracer::active()) {
+    obs::metric_halo_exchanges().inc(2.0);  // one send+recv per face
+  })
   Rank& r = ranks_[static_cast<Size>(rank)];
   FluidGrid& grid = *r.grid;
   const Index local_nx = r.x_hi - r.x_lo;
@@ -302,7 +309,10 @@ void DistributedSolver::rank_entry(int rank, Index num_steps,
   const Size real_end = static_cast<Size>(local_nx + 1) * plane;
 
   for (Index step = 0; step < num_steps; ++step) {
+    LBMIB_TRACE_SPAN(obs::SpanCat::kStep, "step",
+                     static_cast<std::int64_t>(step));
     {  // kernels 1-4 on the replica, spread into own slab only
+      LBMIB_TRACE_SPAN(obs::SpanCat::kKernel, "fiber_forces_spread");
       auto t0 = Clock::now();
       for (FiberSheet& sheet : r.structure) {
         compute_bending_force(sheet, 0, sheet.num_fibers());
@@ -321,6 +331,7 @@ void DistributedSolver::rank_entry(int rank, Index num_steps,
       // crossing populations out of the ghost columns' df_new exactly as
       // in the reference pipeline.
       {
+        LBMIB_TRACE_SPAN(obs::SpanCat::kKernel, "collide_stream");
         auto t0 = Clock::now();
         fused_collide_stream_x_slab(grid, params_.tau, mrt_.get(), 1,
                                     local_nx + 1);
@@ -333,6 +344,8 @@ void DistributedSolver::rank_entry(int rank, Index num_steps,
       }
     } else {
       {  // kernel 5
+        LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                         kernel_short_name(Kernel::kCollision));
         auto t0 = Clock::now();
         if (mrt_) {
           mrt_collide_range(grid, *mrt_, real_begin, real_end);
@@ -342,6 +355,8 @@ void DistributedSolver::rank_entry(int rank, Index num_steps,
         prof.add(Kernel::kCollision, since(t0));
       }
       {  // kernel 6 + halo exchange (the only fluid communication)
+        LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                         kernel_short_name(Kernel::kStreaming));
         auto t0 = Clock::now();
         stream_x_slab(grid, 1, local_nx + 1);
         exchange_halos(rank);
@@ -349,6 +364,8 @@ void DistributedSolver::rank_entry(int rank, Index num_steps,
       }
     }
     {  // kernel 7 (+ boundary pass)
+      LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                       kernel_short_name(Kernel::kUpdateVelocity));
       auto t0 = Clock::now();
       if (uses_inlet_outlet(params_.boundary)) {
         apply_inlet_outlet_local(r, rank);
@@ -357,6 +374,8 @@ void DistributedSolver::rank_entry(int rank, Index num_steps,
       prof.add(Kernel::kUpdateVelocity, since(t0));
     }
     {  // kernel 8 (partial interpolation + allreduce)
+      LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                       kernel_short_name(Kernel::kMoveFibers));
       auto t0 = Clock::now();
       move_fibers_allreduce(r, rank);
       prof.add(Kernel::kMoveFibers, since(t0));
@@ -364,6 +383,10 @@ void DistributedSolver::rank_entry(int rank, Index num_steps,
     {  // kernel 9: per-rank O(1) swap when fused. The ghost columns' df
        // goes stale under the swap, but ghost df is never read — collision
        // touches only real columns and the halo exchange reads df_new.
+      LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                       params_.fused_step
+                           ? "swap_df"
+                           : kernel_short_name(Kernel::kCopyDistribution));
       auto t0 = Clock::now();
       if (params_.fused_step) {
         grid.swap_buffers();

@@ -14,6 +14,7 @@
 #include "lbm/mrt.hpp"
 #include "lbm/macroscopic.hpp"
 #include "lbm/streaming.hpp"
+#include "obs/trace.hpp"
 #include "parallel/race_detector.hpp"
 
 namespace lbmib {
@@ -43,7 +44,14 @@ void OpenMPSolver::step() {
 
   // Reset forces before spreading (part of kernel 4's cost, like the
   // sequential program).
-  auto timed = [&](int tid, Kernel k, auto&& work) {
+  // span_name overrides the trace label where the profiler bucket and
+  // the phase diverge (the fused sweep bills to kCollision but traces
+  // as "collide_stream", matching the other solvers).
+  auto timed = [&](int tid, Kernel k, auto&& work,
+                   [[maybe_unused]] const char* span_name = nullptr) {
+    LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                     span_name != nullptr ? span_name
+                                          : kernel_short_name(k));
     WallTimer timer;
     work();
     thread_profiles_[static_cast<Size>(tid)].add(k, timer.seconds());
@@ -75,6 +83,10 @@ void OpenMPSolver::step() {
 #pragma omp parallel num_threads(nthreads)
   {
     const int tid = omp_get_thread_num();
+    // Per-thread step span: one bar per thread per step in the trace
+    // timeline (OpenMP's worker threads get tracer tids on first span).
+    LBMIB_TRACE_SPAN(obs::SpanCat::kStep, "step",
+                     static_cast<std::int64_t>(steps_completed_));
 #if LBMIB_RACE_DETECT_ENABLED
     struct RaceWorkerScope {
       RaceDetector* rd;
@@ -146,10 +158,13 @@ void OpenMPSolver::step() {
     // (The conditional barriers are legal: fused_step is uniform across
     // the team.)
     if (params_.fused_step) {
-      timed(tid, Kernel::kCollision, [&] {
-        fused_collide_stream_x_slab(grid_, params_.tau, mrt_.get(),
-                                    slabs.begin, slabs.end);
-      });
+      timed(
+          tid, Kernel::kCollision,
+          [&] {
+            fused_collide_stream_x_slab(grid_, params_.tau, mrt_.get(),
+                                        slabs.begin, slabs.end);
+          },
+          "collide_stream");
     } else {
       timed(tid, Kernel::kCollision, [&] {
         if (mrt_) {
@@ -194,6 +209,7 @@ void OpenMPSolver::step() {
     // Kernel 9 as an O(1) swap, after the parallel region's implicit
     // barrier has published every thread's df_new writes. Charged to
     // thread 0's profile so the merge below still reports it.
+    LBMIB_TRACE_SPAN(obs::SpanCat::kKernel, "swap_df");
     WallTimer timer;
     grid_.swap_buffers();
     thread_profiles_[0].add(Kernel::kCopyDistribution, timer.seconds());

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "lbm/fluid_grid.hpp"
+#include "obs/metrics.hpp"
 
 namespace lbmib {
 
@@ -60,6 +61,7 @@ void ResilientRunner::save_checkpoint_now() {
 
 void ResilientRunner::recover(const std::string& cause,
                               ResilienceReport& report) {
+  obs::metric_rollbacks().inc();
   ++report.retries_used;
   if (report.retries_used > config_.max_retries) {
     throw Error("resilient run failed: " +
@@ -130,6 +132,7 @@ ResilienceReport ResilientRunner::run(Index num_steps) {
 
     const HealthReport health = monitor_.scan(*solver_);
     if (health.diverged()) {
+      obs::metric_health_guard_trips().inc();
       recover(health.to_string(), report);
       continue;
     }

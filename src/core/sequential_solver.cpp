@@ -9,6 +9,7 @@
 #include "lbm/mrt.hpp"
 #include "lbm/macroscopic.hpp"
 #include "lbm/streaming.hpp"
+#include "obs/trace.hpp"
 
 namespace lbmib {
 
@@ -17,28 +18,38 @@ SequentialSolver::SequentialSolver(const SimulationParams& params)
 
 void SequentialSolver::step() {
   const Size n = grid_.num_nodes();
+  LBMIB_TRACE_SPAN(obs::SpanCat::kStep, "step",
+                   static_cast<std::int64_t>(steps_completed_));
 
   // --- IB related (kernels 1-4 over every sheet of the structure) ---
   {
     KernelProfiler::Scope scope(profiler_, Kernel::kBendingForce);
+    LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                     kernel_short_name(Kernel::kBendingForce));
     for (FiberSheet& sheet : structure_) {
       compute_bending_force(sheet, 0, sheet.num_fibers());
     }
   }
   {
     KernelProfiler::Scope scope(profiler_, Kernel::kStretchingForce);
+    LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                     kernel_short_name(Kernel::kStretchingForce));
     for (FiberSheet& sheet : structure_) {
       compute_stretching_force(sheet, 0, sheet.num_fibers());
     }
   }
   {
     KernelProfiler::Scope scope(profiler_, Kernel::kElasticForce);
+    LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                     kernel_short_name(Kernel::kElasticForce));
     for (FiberSheet& sheet : structure_) {
       compute_elastic_force(sheet, 0, sheet.num_fibers());
     }
   }
   {
     KernelProfiler::Scope scope(profiler_, Kernel::kSpreadForce);
+    LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                     kernel_short_name(Kernel::kSpreadForce));
     grid_.reset_forces(params_.body_force);
     for (const FiberSheet& sheet : structure_) {
       spread_force(sheet, grid_, 0, sheet.num_fibers());
@@ -50,11 +61,14 @@ void SequentialSolver::step() {
     // Kernels 5+6 in one pass; the whole fused sweep is accounted to the
     // collision scope (there is no separate streaming traversal to time).
     KernelProfiler::Scope scope(profiler_, Kernel::kCollision);
+    LBMIB_TRACE_SPAN(obs::SpanCat::kKernel, "collide_stream");
     fused_collide_stream_x_slab(grid_, params_.tau, mrt_.get(), 0,
                                 grid_.nx());
   } else {
     {
       KernelProfiler::Scope scope(profiler_, Kernel::kCollision);
+      LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                       kernel_short_name(Kernel::kCollision));
       if (mrt_) {
         mrt_collide_range(grid_, *mrt_, 0, n);
       } else {
@@ -63,6 +77,8 @@ void SequentialSolver::step() {
     }
     {
       KernelProfiler::Scope scope(profiler_, Kernel::kStreaming);
+      LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                       kernel_short_name(Kernel::kStreaming));
       stream_x_slab(grid_, 0, grid_.nx());
     }
   }
@@ -70,6 +86,8 @@ void SequentialSolver::step() {
   // --- FSI coupling related ---
   {
     KernelProfiler::Scope scope(profiler_, Kernel::kUpdateVelocity);
+    LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                     kernel_short_name(Kernel::kUpdateVelocity));
     if (uses_inlet_outlet(params_.boundary)) {
       apply_inlet_outlet(grid_, params_.inlet_velocity, 0, grid_.nx());
     }
@@ -77,6 +95,8 @@ void SequentialSolver::step() {
   }
   {
     KernelProfiler::Scope scope(profiler_, Kernel::kMoveFibers);
+    LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                     kernel_short_name(Kernel::kMoveFibers));
     for (FiberSheet& sheet : structure_) {
       move_fibers(sheet, grid_, 0, sheet.num_fibers());
     }
@@ -86,6 +106,10 @@ void SequentialSolver::step() {
     // the reference pipeline — either way it lands in the same profiler
     // bucket, so Table 1 reports how much of the step "kernel 9" costs.
     KernelProfiler::Scope scope(profiler_, Kernel::kCopyDistribution);
+    LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
+                     params_.fused_step
+                         ? "swap_df"
+                         : kernel_short_name(Kernel::kCopyDistribution));
     if (params_.fused_step) {
       grid_.swap_buffers();
     } else {

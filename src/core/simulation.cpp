@@ -1,9 +1,66 @@
 #include "core/simulation.hpp"
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/timer.hpp"
+#include "obs/exporters.hpp"
+#include "obs/metrics.hpp"
 
 namespace lbmib {
+
+namespace {
+
+/// Fold a finished run into the metrics registry: throughput plus the
+/// per-kernel across-thread spread (the registry mirror of
+/// kernel_report()'s new columns).
+void update_run_metrics(const Solver& solver, Index steps, double seconds) {
+  if (steps <= 0 || seconds <= 0.0) return;
+  const SimulationParams& p = solver.params();
+  obs::metric_steps_total().inc(static_cast<double>(steps));
+  const double steps_per_sec = static_cast<double>(steps) / seconds;
+  obs::metric_steps_per_sec().set(steps_per_sec);
+  const double nodes = static_cast<double>(p.nx) *
+                       static_cast<double>(p.ny) *
+                       static_cast<double>(p.nz);
+  obs::metric_mlups().set(steps_per_sec * nodes / 1e6);
+
+  const std::vector<KernelProfiler> per_thread =
+      solver.per_thread_profiles();
+  if (per_thread.empty()) return;
+  auto& registry = obs::MetricsRegistry::global();
+  for (int k = 0; k < kNumKernels; ++k) {
+    const Kernel kernel = static_cast<Kernel>(k);
+    double min_s = per_thread.front().seconds(kernel);
+    double max_s = min_s;
+    double sum_s = 0.0;
+    for (const KernelProfiler& prof : per_thread) {
+      const double s = prof.seconds(kernel);
+      min_s = std::min(min_s, s);
+      max_s = std::max(max_s, s);
+      sum_s += s;
+    }
+    const double mean_s = sum_s / static_cast<double>(per_thread.size());
+    const std::string label =
+        std::string("{kernel=\"") + kernel_short_name(kernel) + "\",stat=";
+    auto gauge = [&](const char* stat, double value) {
+      registry
+          .gauge("lbmib_kernel_seconds" + label + "\"" + stat + "\"}",
+                 "Per-kernel wall seconds across threads (min/mean/max) "
+                 "and max-over-mean imbalance")
+          .set(value);
+    };
+    gauge("min", min_s);
+    gauge("mean", mean_s);
+    gauge("max", max_s);
+    gauge("imbalance", mean_s > 0.0 ? max_s / mean_s : 1.0);
+  }
+}
+
+}  // namespace
 
 Simulation::Simulation(SolverKind kind, const SimulationParams& params)
     : solver_(make_solver(kind, params)) {}
@@ -23,8 +80,10 @@ void Simulation::enable_health_checks(Index interval, HealthConfig config) {
 HealthReport Simulation::check_health() { return monitor_.scan(*solver_); }
 
 void Simulation::run(Index num_steps) {
+  WallTimer timer;
   if (health_interval_ <= 0) {
     solver_->run(num_steps, observer_, observer_interval_);
+    update_run_metrics(*solver_, num_steps, timer.seconds());
     return;
   }
   // Compose the user observer with the periodic health scan. The scan
@@ -38,11 +97,31 @@ void Simulation::run(Index num_steps) {
     if ((step + 1) % health_interval_ == 0) {
       const HealthReport report = monitor_.scan(s);
       if (report.diverged()) {
+        obs::metric_health_guard_trips().inc();
         log_warn("health: ", report.to_string());
       }
     }
   };
   solver_->run(num_steps, combined, 1);
+  update_run_metrics(*solver_, num_steps, timer.seconds());
+}
+
+void Simulation::enable_tracing(Size events_per_thread) {
+  obs::Tracer::start(events_per_thread);
+  // The calling thread doubles as worker 0 in every ThreadTeam run.
+  obs::Tracer::set_thread_name("main");
+}
+
+void Simulation::write_trace(const std::string& path) const {
+  obs::write_chrome_trace(path);
+}
+
+void Simulation::write_metrics_prometheus(const std::string& path) const {
+  obs::write_metrics_prometheus(path);
+}
+
+void Simulation::write_metrics_csv(const std::string& path) const {
+  obs::write_metrics_csv(path);
 }
 
 }  // namespace lbmib

@@ -13,9 +13,11 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "core/health.hpp"
 #include "core/solver.hpp"
+#include "obs/trace.hpp"
 
 namespace lbmib {
 
@@ -44,14 +46,32 @@ class Simulation {
   /// Advance `num_steps` time steps.
   void run(Index num_steps);
 
+  /// Start a span-tracing session (obs::Tracer) recording kernel /
+  /// barrier / task / halo spans into per-thread rings of
+  /// `events_per_thread` slots. No-op in LBMIB_TRACE=OFF builds.
+  void enable_tracing(Size events_per_thread = obs::Tracer::kDefaultCapacity);
+
+  /// Write the tracing session as Chrome trace-event JSON, loadable in
+  /// Perfetto / chrome://tracing. Call between run() calls.
+  void write_trace(const std::string& path) const;
+
+  /// Export the global metrics registry (throughput, per-kernel times,
+  /// barrier waits, ...; see obs/metrics.hpp).
+  void write_metrics_prometheus(const std::string& path) const;
+  void write_metrics_csv(const std::string& path) const;
+
   Solver& solver() { return *solver_; }
   const Solver& solver() const { return *solver_; }
   FiberSheet& sheet() { return solver_->sheet(); }
   const SimulationParams& params() const { return solver_->params(); }
   Index steps_completed() const { return solver_->steps_completed(); }
 
-  /// Per-kernel time table (Table I style).
-  std::string profile_report() const { return solver_->profiler().report(); }
+  /// Per-kernel time table (Table I style) with per-thread min/max and
+  /// imbalance columns when the solver runs more than one thread.
+  std::string profile_report() const {
+    return kernel_report(solver_->profiler(),
+                         solver_->per_thread_profiles());
+  }
 
  private:
   std::unique_ptr<Solver> solver_;

@@ -7,7 +7,10 @@
 
 #include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "common/timer.hpp"
 #include "lbm/fluid_grid.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lbmib {
 
@@ -158,6 +161,8 @@ void read_sheet(CrcReader& in, FiberSheet& sheet,
 
 void save_impl(const std::string& path, const FluidGrid& grid,
                const std::vector<const FiberSheet*>& sheets, Index step) {
+  LBMIB_TRACE_SPAN(obs::SpanCat::kCheckpoint, "checkpoint.save", step);
+  WallTimer save_timer;
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -187,6 +192,7 @@ void save_impl(const std::string& path, const FluidGrid& grid,
     std::remove(tmp.c_str());
     throw Error("cannot rename '" + tmp + "' to '" + path + "'");
   }
+  obs::metric_checkpoint_write_seconds().observe(save_timer.seconds());
 }
 
 Index load_impl(const std::string& path, FluidGrid& grid,

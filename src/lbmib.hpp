@@ -25,4 +25,7 @@
 #include "lbm/fluid_grid.hpp"    // IWYU pragma: export
 #include "lbm/mrt.hpp"           // IWYU pragma: export
 #include "lbm/observables.hpp"   // IWYU pragma: export
+#include "obs/exporters.hpp"     // IWYU pragma: export
+#include "obs/metrics.hpp"       // IWYU pragma: export
+#include "obs/trace.hpp"         // IWYU pragma: export
 #include "parallel/numa_model.hpp" // IWYU pragma: export

@@ -1,0 +1,100 @@
+#include "obs/exporters.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lbmib::obs {
+
+namespace {
+
+/// Escape for a JSON string literal (span names are ASCII literals, but
+/// thread names are caller-provided).
+void json_escape(std::ostringstream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  out << content;
+  if (!out) throw Error("failed writing '" + path + "'");
+}
+
+}  // namespace
+
+std::string chrome_trace_json(
+    const std::vector<SpanEvent>& events,
+    const std::vector<std::pair<std::uint32_t, std::string>>& names) {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [tid, name] : names) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    json_escape(os, name);
+    os << "\"}}";
+  }
+  for (const SpanEvent& e : events) {
+    if (!first) os << ',';
+    first = false;
+    // ts/dur in microseconds, the unit chrome://tracing expects.
+    os << "\n{\"ph\":\"X\",\"pid\":0,\"tid\":" << e.tid << ",\"ts\":"
+       << static_cast<double>(e.start_ns) * 1e-3 << ",\"dur\":"
+       << static_cast<double>(e.dur_ns) * 1e-3 << ",\"cat\":\""
+       << to_string(e.cat) << "\",\"name\":\"";
+    json_escape(os, e.name != nullptr ? e.name : "?");
+    os << '"';
+    if (e.arg >= 0) os << ",\"args\":{\"arg\":" << e.arg << '}';
+    os << '}';
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string chrome_trace_json() {
+  return chrome_trace_json(Tracer::drain(), Tracer::thread_names());
+}
+
+void write_chrome_trace(const std::string& path) {
+  write_file(path, chrome_trace_json());
+}
+
+void write_metrics_prometheus(const std::string& path) {
+  write_file(path, MetricsRegistry::global().prometheus_text());
+}
+
+void write_metrics_csv(const std::string& path) {
+  write_file(path, MetricsRegistry::global().csv());
+}
+
+}  // namespace lbmib::obs

@@ -1,0 +1,31 @@
+// Exporters for the observability layer: Chrome trace-event JSON for
+// the span tracer (loadable in chrome://tracing or https://ui.perfetto.dev)
+// and Prometheus-text / CSV dumps of the metrics registry.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace lbmib::obs {
+
+/// Render `events` as a Chrome trace-event JSON document: one complete
+/// ("X") event per span (ts/dur in microseconds, pid 0, the tracer's
+/// tid), preceded by thread_name metadata ("M") events for `names`.
+std::string chrome_trace_json(
+    const std::vector<SpanEvent>& events,
+    const std::vector<std::pair<std::uint32_t, std::string>>& names);
+
+/// Drain the tracer (non-destructively) and render the current session.
+std::string chrome_trace_json();
+
+/// chrome_trace_json() straight to a file. Throws lbmib::Error on I/O
+/// failure.
+void write_chrome_trace(const std::string& path);
+
+/// MetricsRegistry::global() dumps to file.
+void write_metrics_prometheus(const std::string& path);
+void write_metrics_csv(const std::string& path);
+
+}  // namespace lbmib::obs

@@ -1,0 +1,318 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lbmib::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()),
+                bounds_.end());
+  buckets_ = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const Size bucket = static_cast<Size>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, v);
+  detail::atomic_min(min_, v);
+  detail::atomic_max(max_, v);
+}
+
+std::uint64_t Histogram::cumulative_count(Size bucket) const {
+  std::uint64_t total = 0;
+  for (Size i = 0; i <= bucket && i < buckets_.size(); ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* r = new MetricsRegistry;  // never destroyed
+  return *r;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    const std::string& name, const std::string& help, MetricType type,
+    std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& e : entries_) {
+    if (e->name != name) continue;
+    if (e->type != type) {
+      throw Error("metric '" + name +
+                  "' already registered with a different type");
+    }
+    return *e;
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = name;
+  e->help = help;
+  e->type = type;
+  switch (type) {
+    case MetricType::kCounter:
+      e->counter = std::make_unique<Counter>();
+      break;
+    case MetricType::kGauge:
+      e->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricType::kHistogram:
+      e->histogram = std::make_unique<Histogram>(std::move(bounds));
+      break;
+  }
+  entries_.push_back(std::move(e));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  return *find_or_create(name, help, MetricType::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  return *find_or_create(name, help, MetricType::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& help) {
+  return *find_or_create(name, help, MetricType::kHistogram,
+                         std::move(bounds))
+              .histogram;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& e : entries_) {
+    switch (e->type) {
+      case MetricType::kCounter:
+        e->counter->reset();
+        break;
+      case MetricType::kGauge:
+        e->gauge->reset();
+        break;
+      case MetricType::kHistogram:
+        e->histogram->reset();
+        break;
+    }
+  }
+}
+
+namespace {
+
+/// The metric family name: everything before an optional label set.
+std::string base_name(const std::string& name) {
+  const auto brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+const char* type_name(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+void format_value(std::ostringstream& os, double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    os << static_cast<std::int64_t>(v);
+  } else {
+    os << v;
+  }
+}
+
+/// RFC 4180-quote a CSV field: labelled metric names embed commas and
+/// double quotes (`x{kernel="spread",stat="min"}`).
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os.precision(9);
+  std::string last_base;
+  for (const auto& e : entries_) {
+    const std::string base = base_name(e->name);
+    if (base != last_base) {
+      if (!e->help.empty()) os << "# HELP " << base << ' ' << e->help << '\n';
+      os << "# TYPE " << base << ' ' << type_name(e->type) << '\n';
+      last_base = base;
+    }
+    switch (e->type) {
+      case MetricType::kCounter:
+        os << e->name << ' ';
+        format_value(os, e->counter->value());
+        os << '\n';
+        break;
+      case MetricType::kGauge:
+        os << e->name << ' ';
+        format_value(os, e->gauge->value());
+        os << '\n';
+        break;
+      case MetricType::kHistogram: {
+        const Histogram& h = *e->histogram;
+        for (Size i = 0; i < h.bounds().size(); ++i) {
+          os << base << "_bucket{le=\"" << h.bounds()[i] << "\"} "
+             << h.cumulative_count(i) << '\n';
+        }
+        os << base << "_bucket{le=\"+Inf\"} " << h.count() << '\n';
+        os << base << "_sum " << h.sum() << '\n';
+        os << base << "_count " << h.count() << '\n';
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::csv() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os.precision(9);
+  os << "metric,type,stat,value\n";
+  for (const auto& e : entries_) {
+    switch (e->type) {
+      case MetricType::kCounter:
+        os << csv_field(e->name) << ",counter,value,";
+        format_value(os, e->counter->value());
+        os << '\n';
+        break;
+      case MetricType::kGauge:
+        os << csv_field(e->name) << ",gauge,value,";
+        format_value(os, e->gauge->value());
+        os << '\n';
+        break;
+      case MetricType::kHistogram: {
+        const Histogram& h = *e->histogram;
+        os << csv_field(e->name) << ",histogram,count," << h.count() << '\n';
+        os << csv_field(e->name) << ",histogram,sum," << h.sum() << '\n';
+        if (h.count() > 0) {
+          os << csv_field(e->name) << ",histogram,min," << h.min() << '\n';
+          os << csv_field(e->name) << ",histogram,max," << h.max() << '\n';
+        }
+        for (Size i = 0; i < h.bounds().size(); ++i) {
+          os << csv_field(e->name) << ",histogram,le_" << h.bounds()[i] << ','
+             << h.cumulative_count(i) << '\n';
+        }
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+// --- well-known instruments ------------------------------------------
+
+Counter& metric_steps_total() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "lbmib_steps_total", "Completed simulation steps");
+  return c;
+}
+
+Gauge& metric_steps_per_sec() {
+  static Gauge& g = MetricsRegistry::global().gauge(
+      "lbmib_steps_per_second", "Throughput of the most recent run()");
+  return g;
+}
+
+Gauge& metric_mlups() {
+  static Gauge& g = MetricsRegistry::global().gauge(
+      "lbmib_mlups",
+      "Million lattice-node updates per second of the most recent run()");
+  return g;
+}
+
+Counter& metric_barrier_wait_seconds() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "lbmib_barrier_wait_seconds_total",
+      "Cumulative seconds threads spent waiting at barriers");
+  return c;
+}
+
+Counter& metric_spinlock_spins() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "lbmib_spinlock_spins_total",
+      "Cumulative contended spin iterations across all spinlocks");
+  return c;
+}
+
+Gauge& metric_channel_queue_depth_peak() {
+  static Gauge& g = MetricsRegistry::global().gauge(
+      "lbmib_channel_queue_depth_peak",
+      "Deepest message backlog observed on any channel");
+  return g;
+}
+
+Counter& metric_halo_exchanges() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "lbmib_halo_exchanges_total",
+      "Per-rank halo exchange rounds in the distributed solvers");
+  return c;
+}
+
+Counter& metric_dataflow_tasks() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "lbmib_dataflow_tasks_total",
+      "Tasks executed by the dataflow solver's self-scheduling loop");
+  return c;
+}
+
+Counter& metric_health_guard_trips() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "lbmib_health_guard_trips_total",
+      "Health scans that reported divergence");
+  return c;
+}
+
+Counter& metric_rollbacks() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "lbmib_rollbacks_total",
+      "Rollback-and-retry recoveries performed by ResilientRunner");
+  return c;
+}
+
+Histogram& metric_checkpoint_write_seconds() {
+  static Histogram& h = MetricsRegistry::global().histogram(
+      "lbmib_checkpoint_write_seconds",
+      {0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0},
+      "Wall seconds per checkpoint save");
+  return h;
+}
+
+}  // namespace lbmib::obs

@@ -1,0 +1,170 @@
+// Process-wide metrics registry — the aggregation half of the
+// observability layer (DESIGN.md §13).
+//
+// Three instrument kinds, all updated lock-free with relaxed atomics so
+// solvers can bump them from worker threads:
+//   * Counter   — monotonically increasing double (events, seconds),
+//   * Gauge     — last-written value, plus a CAS max_of() for peaks,
+//   * Histogram — fixed cumulative buckets with sum/count/min/max.
+//
+// The registry maps stable names to instruments. Names follow the
+// Prometheus convention (lbmib_steps_total); a name may carry a label
+// set in braces (lbmib_kernel_seconds{kernel="collision",stat="max"}) —
+// the exporter groups HELP/TYPE headers by the base name. Instruments
+// are never deallocated, so cached references (see the well-known
+// accessors below) stay valid for the process lifetime; reset_values()
+// zeroes them without invalidating anything.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lbmib::obs {
+
+namespace detail {
+/// fetch_add for atomic<double> via CAS (keeps GCC 10/11 working; the
+/// native floating fetch_add is spotty across libstdc++ versions).
+inline void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v,
+                                  std::memory_order_relaxed)) {
+  }
+}
+inline void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < v && !a.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+inline void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur > v && !a.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+class Counter {
+ public:
+  void inc(double delta = 1.0) { detail::atomic_add(value_, delta); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  /// Raise the gauge to `v` if it is below it (peak tracking).
+  void max_of(double v) { detail::atomic_max(value_, v); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Cumulative-bucket histogram. Bucket upper bounds are fixed at
+/// registration; an implicit +Inf bucket catches the rest.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const { return min_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count of observations <= bounds()[i]; index bounds().size() is the
+  /// +Inf bucket. Cumulative, Prometheus-style.
+  std::uint64_t cumulative_count(Size bucket) const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // non-cumulative
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Name -> instrument map. Lookups take one mutex (register/export path
+/// only — hot paths cache the returned reference); updates through the
+/// returned instruments are lock-free.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every built-in metric lives in.
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. Throws lbmib::Error if `name` exists with a
+  /// different type (or, for histograms, different bounds are ignored —
+  /// the first registration wins).
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "");
+
+  /// Zero every instrument's value; registrations (and references into
+  /// the registry) stay valid.
+  void reset_values();
+
+  /// Prometheus text exposition format (HELP/TYPE grouped by base name).
+  std::string prometheus_text() const;
+
+  /// Flat CSV: metric,type,stat,value — one row per scalar, several per
+  /// histogram (count/sum/min/max plus one per bucket).
+  std::string csv() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricType type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(const std::string& name, const std::string& help,
+                        MetricType type, std::vector<double> bounds = {});
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // insertion order
+};
+
+// --- well-known instruments ------------------------------------------
+// Cached lookups into MetricsRegistry::global() for the metrics the
+// library updates from hot-ish paths; callers gate on Tracer::active()
+// where the update sits inside a kernel-adjacent loop.
+Counter& metric_steps_total();
+Gauge& metric_steps_per_sec();
+Gauge& metric_mlups();
+Counter& metric_barrier_wait_seconds();
+Counter& metric_spinlock_spins();
+Gauge& metric_channel_queue_depth_peak();
+Counter& metric_halo_exchanges();
+Counter& metric_dataflow_tasks();
+Counter& metric_health_guard_trips();
+Counter& metric_rollbacks();
+Histogram& metric_checkpoint_write_seconds();
+
+}  // namespace lbmib::obs

@@ -3,11 +3,40 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/race_detector.hpp"
 
 namespace lbmib {
 
 namespace {
+
+#if LBMIB_TRACE_ENABLED
+/// Tracing side of a barrier passage: one "barrier.wait" span from
+/// arrival to release, whose duration also feeds the barrier-wait
+/// counter (the per-thread wait spans are what make the Table-II style
+/// imbalance visible on the trace timeline).
+class BarrierWaitScope {
+ public:
+  BarrierWaitScope()
+      : active_(obs::Tracer::active()),
+        start_ns_(active_ ? obs::Tracer::now_ns() : 0) {}
+  ~BarrierWaitScope() {
+    if (!active_) return;
+    const std::int64_t dur = obs::Tracer::now_ns() - start_ns_;
+    obs::record_span(obs::SpanCat::kBarrier, "barrier.wait", start_ns_,
+                     dur);
+    obs::metric_barrier_wait_seconds().inc(static_cast<double>(dur) *
+                                           1e-9);
+  }
+  BarrierWaitScope(const BarrierWaitScope&) = delete;
+  BarrierWaitScope& operator=(const BarrierWaitScope&) = delete;
+
+ private:
+  const bool active_;
+  const std::int64_t start_ns_;
+};
+#endif
 
 /// Race-detector side of a barrier passage: arrive (contribute this
 /// thread's clock) must run before the real barrier can complete, leave
@@ -49,6 +78,7 @@ SpinBarrier::SpinBarrier(int num_threads)
 SpinBarrier::~SpinBarrier() { race_barrier_forget(this); }
 
 void SpinBarrier::arrive_and_wait() {
+  LBMIB_TRACE_ON(BarrierWaitScope trace_wait_scope;)
   const std::uint64_t race_generation =
       race_barrier_arrive(this, num_threads_);
   const std::uint64_t my_generation =
@@ -84,6 +114,7 @@ BlockingBarrier::BlockingBarrier(int num_threads)
 BlockingBarrier::~BlockingBarrier() { race_barrier_forget(this); }
 
 void BlockingBarrier::arrive_and_wait() {
+  LBMIB_TRACE_ON(BarrierWaitScope trace_wait_scope;)
   const std::uint64_t race_generation =
       race_barrier_arrive(this, num_threads_);
   bool last = false;

@@ -20,6 +20,8 @@
 #include <deque>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/mutex.hpp"
 #include "parallel/race_detector.hpp"
 
@@ -47,6 +49,12 @@ class Channel {
     {
       MutexLock lock(mutex_);
       queue_.push_back(std::move(value));
+      // Peak backlog across every channel: how far the consumer side of
+      // a halo exchange lags its producers.
+      LBMIB_TRACE_ON(if (obs::Tracer::active()) {
+        obs::metric_channel_queue_depth_peak().max_of(
+            static_cast<double>(queue_.size()));
+      })
       LBMIB_RACE_CHECK(if (RaceDetector* rd = RaceDetector::active())
                            rd->channel_send(this);)
     }

@@ -17,6 +17,11 @@
 // the hooks away entirely. The helpers are templates on the grid type
 // purely to avoid an include cycle (cube_grid.hpp includes this
 // header).
+//
+// Timing instrumentation lives elsewhere: the span tracer
+// (obs/trace.hpp, LBMIB_TRACE, DESIGN.md §13) records *when* each
+// kernel/barrier/task ran per thread, while this stream records
+// *whether each access was legal*. The gates are independent.
 #pragma once
 
 #include "parallel/access_checker.hpp"

@@ -19,6 +19,8 @@
 
 #include <atomic>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/race_detector.hpp"
 #include "parallel/thread_safety.hpp"
 
@@ -37,16 +39,25 @@ class LBMIB_CAPABILITY("SpinLock") SpinLock {
   SpinLock& operator=(const SpinLock&) = delete;
 
   void lock() LBMIB_ACQUIRE() {
+    // Contended spin iterations feed lbmib_spinlock_spins_total when a
+    // tracing session is live; the counter add happens once per
+    // contended acquisition, outside the spin loop.
+    LBMIB_TRACE_ON(std::int64_t trace_spins = 0;)
     for (;;) {
       // Optimistically try to grab the lock.
       if (!flag_.exchange(true, std::memory_order_acquire)) {
         LBMIB_RACE_CHECK(if (RaceDetector* rd = RaceDetector::active())
                              rd->lock_acquire(this);)
+        LBMIB_TRACE_ON(if (trace_spins > 0 && obs::Tracer::active()) {
+          obs::metric_spinlock_spins().inc(
+              static_cast<double>(trace_spins));
+        })
         return;
       }
       // Spin on a plain load to avoid cache-line ping-pong. Relaxed is
       // sufficient: see the header comment.
       while (flag_.load(std::memory_order_relaxed)) {
+        LBMIB_TRACE_ON(++trace_spins;)
 #if defined(__x86_64__) || defined(__i386__)
         __builtin_ia32_pause();
 #endif

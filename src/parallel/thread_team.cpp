@@ -1,8 +1,10 @@
 #include "parallel/thread_team.hpp"
 
 #include <exception>
+#include <string>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 #include "parallel/race_detector.hpp"
 
 namespace lbmib {
@@ -60,6 +62,11 @@ void ThreadTeam::run(const std::function<void(int)>& body) {
 
   for (int tid = 1; tid < num_threads_; ++tid) {
     workers.emplace_back([&, tid] {
+      // Label the thread in exported traces (the calling thread keeps
+      // its own name — it usually doubles as the application's main).
+      LBMIB_TRACE_ON(if (obs::Tracer::active()) {
+        obs::Tracer::set_thread_name("worker-" + std::to_string(tid));
+      })
       try {
         run_body(tid);
       } catch (...) {
