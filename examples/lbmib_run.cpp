@@ -6,7 +6,19 @@
 //   lbmib_run <config-file> [--solver seq|openmp|cube|dataflow|distributed|distributed2d]
 //             [--steps N] [--output-every N] [--out DIR]
 //             [--trace-out FILE] [--metrics-out FILE] [--metrics-csv FILE]
+//             [--watchdog-ms N] [--hang-report FILE]
+//             [--chaos-stall POINT [--chaos-stall-ms N]]
 //   lbmib_run --write-default <path>    # emit a template config
+//
+// The driver is hang-proof and interrupt-friendly: --watchdog-ms arms a
+// liveness deadline over the run's CancelToken, and the first
+// SIGINT/SIGTERM cancels the run cooperatively — the solver unwinds at
+// its next cancellation point, a final checkpoint is written, and any
+// requested trace/metrics exports are still flushed. A second signal
+// hard-exits.
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -24,12 +36,37 @@ void usage() {
          "                  distributed|distributed2d]\n"
          "                 [--steps N] [--output-every N] [--out DIR]\n"
          "                 [--trace-out FILE] [--metrics-out FILE]\n"
-         "                 [--metrics-csv FILE]\n"
+         "                 [--metrics-csv FILE] [--watchdog-ms N]\n"
+         "                 [--hang-report FILE]\n"
+         "                 [--chaos-stall POINT [--chaos-stall-ms N]]\n"
          "       lbmib_run --write-default <path>\n"
          "  --trace-out   Chrome trace-event JSON (open in Perfetto /\n"
          "                chrome://tracing)\n"
          "  --metrics-out Prometheus text exposition of the run metrics\n"
-         "  --metrics-csv same registry as CSV\n";
+         "  --metrics-csv same registry as CSV\n"
+         "  --watchdog-ms liveness deadline; a run with no heartbeat for\n"
+         "                this long is cancelled with a hang report\n"
+         "  --hang-report hang-report path (default\n"
+         "                <out>/lbmib_hang_report.txt)\n"
+         "  --chaos-stall inject a stall at the first sync point whose\n"
+         "                label contains POINT (testing aid)\n"
+         "  --chaos-stall-ms\n"
+         "                stall duration; omit for a permanent stick\n";
+}
+
+// First signal: cancel cooperatively (the token outlives main's try
+// block; cancel(const char*) is async-signal-safe). Second: hard exit.
+std::atomic<lbmib::CancelToken*> g_signal_token{nullptr};
+std::atomic<int> g_signals_seen{0};
+
+extern "C" void on_signal(int) {
+  if (g_signals_seen.fetch_add(1, std::memory_order_relaxed) > 0) {
+    std::_Exit(130);
+  }
+  if (lbmib::CancelToken* token =
+          g_signal_token.load(std::memory_order_acquire)) {
+    token->cancel("interrupted by signal", lbmib::CancelCause::kUser);
+  }
 }
 
 lbmib::SolverKind parse_solver(const std::string& name) {
@@ -67,6 +104,10 @@ int main(int argc, char** argv) {
     std::string trace_out;
     std::string metrics_out;
     std::string metrics_csv;
+    long watchdog_ms = 0;
+    std::string hang_report;
+    std::string chaos_stall;
+    long chaos_stall_ms = -1;  // -1 = permanent stick
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
       auto next = [&]() -> std::string {
@@ -87,6 +128,14 @@ int main(int argc, char** argv) {
         metrics_out = next();
       } else if (arg == "--metrics-csv") {
         metrics_csv = next();
+      } else if (arg == "--watchdog-ms") {
+        watchdog_ms = std::stol(next());
+      } else if (arg == "--hang-report") {
+        hang_report = next();
+      } else if (arg == "--chaos-stall") {
+        chaos_stall = next();
+      } else if (arg == "--chaos-stall-ms") {
+        chaos_stall_ms = std::stol(next());
       } else {
         usage();
         return 2;
@@ -124,23 +173,79 @@ int main(int argc, char** argv) {
     }
 
     if (!trace_out.empty()) sim.enable_tracing();
+    if (watchdog_ms > 0) {
+      if (hang_report.empty()) {
+        hang_report = out_dir + "/lbmib_hang_report.txt";
+      }
+      sim.enable_watchdog(watchdog_ms, hang_report);
+      std::cout << "watchdog: " << watchdog_ms << " ms deadline, report "
+                << hang_report << "\n";
+    }
+    if (!chaos_stall.empty()) {
+      chaos::StallSpec stall;
+      stall.point_substr = chaos_stall;
+      stall.duration_ms = chaos_stall_ms;
+      chaos::arm_stall(stall);
+      std::cout << "chaos: stall armed at '" << chaos_stall << "' ("
+                << (chaos_stall_ms < 0 ? std::string("permanent")
+                                       : std::to_string(chaos_stall_ms) +
+                                             " ms")
+                << ")\n";
+    }
+
+    // Route SIGINT/SIGTERM through the simulation's CancelToken so an
+    // interrupted run unwinds into the CancelledError path below and
+    // still flushes its outputs.
+    g_signal_token.store(&sim.cancel_token(), std::memory_order_release);
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+
+    const auto flush_exports = [&] {
+      if (!trace_out.empty()) {
+        sim.write_trace(trace_out);
+        std::cout << "trace: " << trace_out << "\n";
+      }
+      if (!metrics_out.empty()) {
+        sim.write_metrics_prometheus(metrics_out);
+        std::cout << "metrics: " << metrics_out << "\n";
+      }
+      if (!metrics_csv.empty()) {
+        sim.write_metrics_csv(metrics_csv);
+        std::cout << "metrics csv: " << metrics_csv << "\n";
+      }
+    };
 
     WallTimer timer;
-    sim.run(steps);
+    try {
+      sim.run(steps);
+    } catch (const CancelledError& e) {
+      // Cooperative shutdown: persist what the run got to, flush the
+      // observability outputs, and exit with a distinct status.
+      const std::string ckpt = out_dir + "/lbmib_final.ckpt";
+      std::cerr << "lbmib_run: cancelled ("
+                << cancel_cause_name(e.cause()) << "): " << e.what()
+                << "\n";
+      try {
+        const SimulationParams& p = sim.params();
+        FluidGrid snap(p.nx, p.ny, p.nz);
+        sim.solver().snapshot_fluid(snap);
+        save_checkpoint(ckpt, snap, sim.solver().structure(),
+                        sim.steps_completed());
+        std::cerr << "final checkpoint: " << ckpt << " (step "
+                  << sim.steps_completed() << ")\n";
+      } catch (const std::exception& ckpt_err) {
+        std::cerr << "lbmib_run: final checkpoint failed: "
+                  << ckpt_err.what() << "\n";
+      }
+      flush_exports();
+      if (e.cause() == CancelCause::kWatchdog && sim.watchdog()) {
+        std::cerr << sim.watchdog()->last_report();
+      }
+      return e.cause() == CancelCause::kUser ? 130 : 3;
+    }
     std::cout << "\nwall time: " << timer.seconds() << " s\n\n"
               << sim.profile_report();
-    if (!trace_out.empty()) {
-      sim.write_trace(trace_out);
-      std::cout << "trace: " << trace_out << "\n";
-    }
-    if (!metrics_out.empty()) {
-      sim.write_metrics_prometheus(metrics_out);
-      std::cout << "metrics: " << metrics_out << "\n";
-    }
-    if (!metrics_csv.empty()) {
-      sim.write_metrics_csv(metrics_csv);
-      std::cout << "metrics csv: " << metrics_csv << "\n";
-    }
+    flush_exports();
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "lbmib_run: " << e.what() << "\n";

@@ -8,6 +8,8 @@
 #include "ib/fiber_forces.hpp"
 #include "lbm/boundary.hpp"
 #include "obs/trace.hpp"
+#include "parallel/cancel.hpp"
+#include "parallel/chaos.hpp"
 #include "parallel/race_detector.hpp"
 #include "parallel/thread_team.hpp"
 
@@ -114,7 +116,15 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
   const std::vector<std::pair<Size, Index>>& my_fibers =
       owned_fibers_[static_cast<Size>(tid)];
 
+  // Liveness: one heartbeat per phase per step plus a cancel poll at
+  // the step boundary. The beat label names the sync point the thread
+  // is about to enter, which is what a hang report shows for a thread
+  // that never came out of it.
+  ProgressBoard& board = ProgressBoard::global();
+
   for (Index step = 0; step < num_steps; ++step) {
+    cancel_point("cube:step");
+    board.beat("cube:step:start");
     // One bar per thread per step in the trace timeline; kernel and
     // barrier-wait spans nest inside it.
     LBMIB_TRACE_SPAN(obs::SpanCat::kStep, "step",
@@ -162,6 +172,8 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
     }
     // Extra barrier (see header comment): all spreading must land before
     // any thread collides.
+    board.beat("cube:barrier:spread");
+    if (chaos::enabled()) chaos::sync_point("cube:barrier:spread", tid, step);
     barrier_->arrive_and_wait();
     LBMIB_ACCESS_CHECK(
         access_checker_->advance_phase(StepPhase::kCollideStream);)
@@ -203,6 +215,8 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
       prof.add(Kernel::kCollision, collide_s);
       prof.add(Kernel::kStreaming, stream_s);
     }
+    board.beat("cube:barrier:collide");
+    if (chaos::enabled()) chaos::sync_point("cube:barrier:collide", tid, step);
     barrier_->arrive_and_wait();  // paper barrier #1
     LBMIB_ACCESS_CHECK(access_checker_->advance_phase(StepPhase::kUpdate);)
     LBMIB_RACE_CHECK(race::context("cube solver: update phase");)
@@ -220,6 +234,8 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
       for (Size cube : my_cubes) cube_update_velocity(grid_, cube);
       prof.add(Kernel::kUpdateVelocity, seconds_between(t0, Clock::now()));
     }
+    board.beat("cube:barrier:update");
+    if (chaos::enabled()) chaos::sync_point("cube:barrier:update", tid, step);
     barrier_->arrive_and_wait();  // paper barrier #2
     LBMIB_ACCESS_CHECK(access_checker_->advance_phase(StepPhase::kMoveCopy);)
     LBMIB_RACE_CHECK(race::context("cube solver: move+copy phase");)
@@ -266,6 +282,10 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
         grid_.swap_df_buffers();
       }
       prof.add(Kernel::kCopyDistribution, seconds_between(t0, Clock::now()));
+    }
+    board.beat("cube:barrier:step-end");
+    if (chaos::enabled()) {
+      chaos::sync_point("cube:barrier:step-end", tid, step);
     }
     barrier_->arrive_and_wait();  // paper barrier #3 (end of step)
     LBMIB_ACCESS_CHECK(access_checker_->advance_phase(StepPhase::kSpread);)

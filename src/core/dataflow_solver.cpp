@@ -12,6 +12,8 @@
 #include "lbm/boundary.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/cancel.hpp"
+#include "parallel/chaos.hpp"
 #include "parallel/race_detector.hpp"
 #include "parallel/thread_team.hpp"
 
@@ -100,7 +102,11 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
   const Size total_tasks = 2 * grid_.num_cubes();
   const Size nfibers = fiber_list_.size();
 
+  ProgressBoard& board = ProgressBoard::global();
+
   for (Index step = 0; step < num_steps; ++step) {
+    cancel_point("dataflow:step");
+    board.beat("dataflow:step:start");
     LBMIB_TRACE_SPAN(obs::SpanCat::kStep, "step",
                      static_cast<std::int64_t>(step));
     // --- fiber force phase: kernels 1-4 fused per fiber, self-scheduled
@@ -120,24 +126,35 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
       }
       prof.add(Kernel::kSpreadForce, since(t0));
     }
+    board.beat("dataflow:barrier:spread");
+    if (chaos::enabled()) {
+      chaos::sync_point("dataflow:barrier:spread", tid, step);
+    }
     barrier_.arrive_and_wait();  // spreading complete before collision
     LBMIB_RACE_CHECK(race::context("dataflow solver: task loop");)
 
     // --- fluid dataflow: COLLIDE+STREAM -> (deps) -> UPDATE+COPY -------
     {
+      board.beat("dataflow:task-loop");
+      if (chaos::enabled()) {
+        chaos::sync_point("dataflow:task-loop", tid, step);
+      }
       auto t0 = Clock::now();
       for (;;) {
         const Size slot =
             queue_head_.fetch_add(1, std::memory_order_relaxed);
         if (slot >= total_tasks) break;
         // The slot may not be published yet; it must become non-empty
-        // because exactly total_tasks tasks are produced per step.
+        // because exactly total_tasks tasks are produced per step —
+        // unless the producer died or stalled, which is why the slow
+        // (yield) branch of the empty-slot wait is a cancellation point.
         std::int64_t task;
         int spins = 0;
         while ((task = queue_[slot].load(std::memory_order_acquire)) ==
                kEmptySlot) {
           if (++spins >= 256) {
             spins = 0;
+            cancel_point("dataflow:task-slot-wait");
             std::this_thread::yield();  // oversubscribed hosts
           } else {
 #if defined(__x86_64__) || defined(__i386__)
@@ -213,6 +230,10 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
       }
       prof.add(Kernel::kCollision, since(t0));
     }
+    board.beat("dataflow:barrier:tasks-done");
+    if (chaos::enabled()) {
+      chaos::sync_point("dataflow:barrier:tasks-done", tid, step);
+    }
     barrier_.arrive_and_wait();  // all velocities in place
     LBMIB_RACE_CHECK(race::context("dataflow solver: move phase");)
 
@@ -229,6 +250,7 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
       }
       prof.add(Kernel::kMoveFibers, since(t0));
     }
+    board.beat("dataflow:barrier:moved");
     barrier_.arrive_and_wait();  // positions settled
 
     if (tid == 0) {
@@ -243,6 +265,7 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
       ++steps_completed_;
       arm_step();
     }
+    board.beat("dataflow:barrier:rearm");
     barrier_.arrive_and_wait();  // queue re-armed for everyone
 
     if (observer && ((step + 1) % observer_interval == 0)) {
@@ -303,15 +326,18 @@ void DataflowCubeSolver::run_overlapped(Index num_steps) {
 
   ThreadTeam team(params_.num_threads);
   team.run([&](int tid) {
+    ProgressBoard& board = ProgressBoard::global();
     for (;;) {
       const Size slot = head.fetch_add(1, std::memory_order_relaxed);
       if (slot >= total_tasks) break;
+      board.beat("dataflow:overlapped-task");
       std::int64_t task;
       int spins = 0;
       while ((task = queue[slot].load(std::memory_order_acquire)) ==
              kEmptySlot) {
         if (++spins >= 256) {
           spins = 0;
+          cancel_point("dataflow:overlapped-slot-wait");
           std::this_thread::yield();
         } else {
 #if defined(__x86_64__) || defined(__i386__)

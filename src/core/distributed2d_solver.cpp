@@ -14,6 +14,8 @@
 #include "lbm/streaming.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/cancel.hpp"
+#include "parallel/chaos.hpp"
 #include "parallel/race_detector.hpp"
 #include "parallel/thread_team.hpp"
 
@@ -466,9 +468,12 @@ void Distributed2DSolver::rank_entry(int rank, Index num_steps,
     return std::pair<Size, Size>{begin, end};
   };
 
+  ProgressBoard& board = ProgressBoard::global();
   for (Index step = 0; step < num_steps; ++step) {
     LBMIB_TRACE_SPAN(obs::SpanCat::kStep, "step",
                      static_cast<std::int64_t>(step));
+    cancel_point("distributed2d:step");
+    board.beat("distributed2d:step:start");
     {  // kernels 1-4 on the replica, spread into own tile only
       LBMIB_TRACE_SPAN(obs::SpanCat::kKernel, "fiber_forces_spread");
       auto t0 = Clock::now();
@@ -495,6 +500,10 @@ void Distributed2DSolver::rank_entry(int rank, Index num_steps,
       }
       {
         auto t0 = Clock::now();
+        board.beat("distributed2d:halo");
+        if (chaos::enabled()) {
+          chaos::sync_point("distributed2d:halo", rank, step);
+        }
         exchange_halos(rank);
         prof.add(Kernel::kStreaming, since(t0));
       }
@@ -518,6 +527,10 @@ void Distributed2DSolver::rank_entry(int rank, Index num_steps,
                          kernel_short_name(Kernel::kStreaming));
         auto t0 = Clock::now();
         stream_local(r);
+        board.beat("distributed2d:halo");
+        if (chaos::enabled()) {
+          chaos::sync_point("distributed2d:halo", rank, step);
+        }
         exchange_halos(rank);
         prof.add(Kernel::kStreaming, since(t0));
       }
@@ -539,6 +552,10 @@ void Distributed2DSolver::rank_entry(int rank, Index num_steps,
       LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
                        kernel_short_name(Kernel::kMoveFibers));
       auto t0 = Clock::now();
+      board.beat("distributed2d:allreduce");
+      if (chaos::enabled()) {
+        chaos::sync_point("distributed2d:allreduce", rank, step);
+      }
       move_fibers_allreduce(r, rank);
       prof.add(Kernel::kMoveFibers, since(t0));
     }
@@ -560,6 +577,7 @@ void Distributed2DSolver::rank_entry(int rank, Index num_steps,
       prof.add(Kernel::kCopyDistribution, since(t0));
     }
 
+    board.beat("distributed2d:barrier:step-end");
     barrier_.arrive_and_wait();
     if (rank == 0) ++steps_completed_;
     if (observer && ((step + 1) % observer_interval == 0)) {

@@ -14,6 +14,8 @@
 #include "lbm/streaming.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/cancel.hpp"
+#include "parallel/chaos.hpp"
 #include "parallel/race_detector.hpp"
 #include "parallel/thread_team.hpp"
 
@@ -307,10 +309,13 @@ void DistributedSolver::rank_entry(int rank, Index num_steps,
                      static_cast<Size>(grid.nz());
   const Size real_begin = plane;
   const Size real_end = static_cast<Size>(local_nx + 1) * plane;
+  ProgressBoard& board = ProgressBoard::global();
 
   for (Index step = 0; step < num_steps; ++step) {
     LBMIB_TRACE_SPAN(obs::SpanCat::kStep, "step",
                      static_cast<std::int64_t>(step));
+    cancel_point("distributed:step");
+    board.beat("distributed:step:start");
     {  // kernels 1-4 on the replica, spread into own slab only
       LBMIB_TRACE_SPAN(obs::SpanCat::kKernel, "fiber_forces_spread");
       auto t0 = Clock::now();
@@ -339,6 +344,10 @@ void DistributedSolver::rank_entry(int rank, Index num_steps,
       }
       {  // kernel 6's communication half keeps the streaming bucket
         auto t0 = Clock::now();
+        board.beat("distributed:halo");
+        if (chaos::enabled()) {
+          chaos::sync_point("distributed:halo", rank, step);
+        }
         exchange_halos(rank);
         prof.add(Kernel::kStreaming, since(t0));
       }
@@ -359,6 +368,10 @@ void DistributedSolver::rank_entry(int rank, Index num_steps,
                          kernel_short_name(Kernel::kStreaming));
         auto t0 = Clock::now();
         stream_x_slab(grid, 1, local_nx + 1);
+        board.beat("distributed:halo");
+        if (chaos::enabled()) {
+          chaos::sync_point("distributed:halo", rank, step);
+        }
         exchange_halos(rank);
         prof.add(Kernel::kStreaming, since(t0));
       }
@@ -377,6 +390,10 @@ void DistributedSolver::rank_entry(int rank, Index num_steps,
       LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
                        kernel_short_name(Kernel::kMoveFibers));
       auto t0 = Clock::now();
+      board.beat("distributed:allreduce");
+      if (chaos::enabled()) {
+        chaos::sync_point("distributed:allreduce", rank, step);
+      }
       move_fibers_allreduce(r, rank);
       prof.add(Kernel::kMoveFibers, since(t0));
     }
@@ -396,6 +413,7 @@ void DistributedSolver::rank_entry(int rank, Index num_steps,
       prof.add(Kernel::kCopyDistribution, since(t0));
     }
 
+    board.beat("distributed:barrier:step-end");
     barrier_.arrive_and_wait();  // step boundary (observer consistency)
     if (rank == 0) ++steps_completed_;
     if (observer && ((step + 1) % observer_interval == 0)) {

@@ -1,13 +1,18 @@
 // Deterministic fault injection — test-only hooks that let ctest exercise
 // the resilience layer without waiting for a real divergence or crash.
 //
-// Two fault families:
+// Three fault families:
 //   * state faults: poison a fluid node with NaN, either directly on a
 //     planar grid or on a running solver of ANY kind (via snapshot /
 //     restore_state, so the blocked and distributed layouts need no
 //     special cases);
 //   * file faults: truncate a checkpoint mid-body or flip a single bit,
-//     simulating a torn write and silent media corruption respectively.
+//     simulating a torn write and silent media corruption respectively;
+//   * chaos faults (parallel/chaos.hpp, re-exported here): deterministic
+//     thread stalls / permanent sticks at a named sync point, dropped or
+//     duplicated channel messages, and failing checkpoint writes — the
+//     liveness-layer counterparts that the watchdog and ResilientRunner
+//     hang recovery are tested against.
 //
 // Nothing here is compiled out in release builds — the hooks are plain
 // functions with no global state, so shipping them costs nothing and the
@@ -18,6 +23,7 @@
 #include <string>
 
 #include "core/solver.hpp"
+#include "parallel/chaos.hpp"  // IWYU pragma: export (lbmib::chaos::*)
 
 namespace lbmib {
 

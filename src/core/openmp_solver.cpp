@@ -15,6 +15,8 @@
 #include "lbm/macroscopic.hpp"
 #include "lbm/streaming.hpp"
 #include "obs/trace.hpp"
+#include "parallel/cancel.hpp"
+#include "parallel/chaos.hpp"
 #include "parallel/race_detector.hpp"
 
 namespace lbmib {
@@ -37,6 +39,18 @@ Range block_range(Index count, int tid, int nthreads) {
 }  // namespace
 
 void OpenMPSolver::step() {
+  // Liveness hooks live at the step boundary only: exceptions must not
+  // escape an `#pragma omp parallel` structured block and libgomp's
+  // barriers cannot poll a token, so cancellation cannot unwind from
+  // *inside* the region. A worker wedged mid-region stops the master's
+  // beat with it (the master waits at the region's implicit barrier),
+  // so the watchdog still detects and reports the hang; the unwind
+  // happens here once the region would have ended. See DESIGN.md §14.
+  cancel_point("openmp:step");
+  ProgressBoard::global().beat("openmp:step");
+  if (chaos::enabled()) {
+    chaos::sync_point("openmp:step", 0, steps_completed_);
+  }
   const int nthreads = params_.num_threads;
   const Index nx = grid_.nx();
   const Size plane = static_cast<Size>(grid_.ny()) *

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "core/watchdog.hpp"
 #include "lbm/fluid_grid.hpp"
 #include "obs/metrics.hpp"
 
@@ -16,9 +17,14 @@ std::string ResilienceReport::to_string() const {
      << steps_completed << " steps, " << retries_used << " recover"
      << (retries_used == 1 ? "y" : "ies");
   for (const RecoveryEvent& e : events) {
-    os << "; retry " << e.retry << ": diverged @" << e.detected_step
-       << " -> resumed @" << e.resumed_step << " (tau " << e.new_tau
-       << ", stiffness x" << e.new_stiffness_scale << ")";
+    os << "; retry " << e.retry << ": " << (e.hang ? "hung" : "diverged")
+       << " @" << e.detected_step << " -> resumed @" << e.resumed_step;
+    if (e.hang) {
+      os << " (threads " << e.new_num_threads << ")";
+    } else {
+      os << " (tau " << e.new_tau << ", stiffness x"
+         << e.new_stiffness_scale << ")";
+    }
   }
   return os.str();
 }
@@ -39,6 +45,8 @@ ResilientRunner::ResilientRunner(SolverKind kind,
   require(config_.tau_boost >= 0.0, "tau_boost must be >= 0");
   require(config_.stiffness_scale > 0.0 && config_.stiffness_scale <= 1.0,
           "stiffness_scale must be in (0, 1]");
+  require(config_.watchdog_deadline_ms >= 0,
+          "watchdog_deadline_ms must be >= 0");
 }
 
 void ResilientRunner::on_step(Index interval,
@@ -52,14 +60,23 @@ void ResilientRunner::save_checkpoint_now() {
   const SimulationParams& p = solver_->params();
   FluidGrid snapshot(p.nx, p.ny, p.nz);
   solver_->snapshot_fluid(snapshot);
-  rotation_.save(snapshot, solver_->structure(),
-                 solver_->steps_completed());
+  // A failing checkpoint write must not kill a healthy run: the rotation
+  // keeps the previous good pair, so log and carry on — the next interval
+  // retries.
+  try {
+    rotation_.save(snapshot, solver_->structure(),
+                   solver_->steps_completed());
+  } catch (const Error& e) {
+    log_warn("resilience: checkpoint write failed (", e.what(),
+             "); keeping previous checkpoint");
+    return;
+  }
   last_checkpoint_step_ = solver_->steps_completed();
   log_debug("resilience: checkpointed step ", last_checkpoint_step_,
             " -> ", config_.checkpoint_base);
 }
 
-void ResilientRunner::recover(const std::string& cause,
+void ResilientRunner::recover(const std::string& cause, bool hang,
                               ResilienceReport& report) {
   obs::metric_rollbacks().inc();
   ++report.retries_used;
@@ -69,14 +86,28 @@ void ResilientRunner::recover(const std::string& cause,
                 " retries exhausted; last fault: " + cause);
   }
 
-  // Degrade toward stability: more viscosity, softer fibers.
-  params_.tau += config_.tau_boost;
-  stiffness_scale_applied_ *= config_.stiffness_scale;
-  params_.stretching_coeff *= config_.stiffness_scale;
-  params_.bending_coeff *= config_.stiffness_scale;
-  for (SheetSpec& spec : params_.extra_sheets) {
-    spec.stretching_coeff *= config_.stiffness_scale;
-    spec.bending_coeff *= config_.stiffness_scale;
+  if (hang) {
+    // A hang is a scheduling fault: leave the physics alone and shrink
+    // the team instead (fewer threads = fewer sync points to wedge on;
+    // num_threads 1 routes through code with no barriers at all).
+    if (config_.degrade_threads_on_hang && params_.num_threads > 1) {
+      params_.num_threads = std::max(1, params_.num_threads / 2);
+    }
+    // The cancelled run may have left threads parked on the token and the
+    // barrier generation short; a clean token + a fresh solver (below)
+    // replace every poisoned primitive.
+    token_.reset();
+    ProgressBoard::global().clear_retired();
+  } else {
+    // Degrade toward stability: more viscosity, softer fibers.
+    params_.tau += config_.tau_boost;
+    stiffness_scale_applied_ *= config_.stiffness_scale;
+    params_.stretching_coeff *= config_.stiffness_scale;
+    params_.bending_coeff *= config_.stiffness_scale;
+    for (SheetSpec& spec : params_.extra_sheets) {
+      spec.stretching_coeff *= config_.stiffness_scale;
+      spec.bending_coeff *= config_.stiffness_scale;
+    }
   }
 
   RecoveryEvent event;
@@ -84,6 +115,8 @@ void ResilientRunner::recover(const std::string& cause,
   event.detected_step = solver_->steps_completed();
   event.new_tau = params_.tau;
   event.new_stiffness_scale = stiffness_scale_applied_;
+  event.hang = hang;
+  event.new_num_threads = params_.num_threads;
   event.cause = cause;
 
   // A fresh solver picks up the degraded parameters everywhere (MRT
@@ -106,11 +139,18 @@ void ResilientRunner::recover(const std::string& cause,
   }
   last_checkpoint_step_ = solver_->steps_completed();
 
-  log_warn("resilience: retry ", event.retry, "/", config_.max_retries,
-           " — diverged at step ", event.detected_step, " (", cause,
-           "); rolled back to step ", event.resumed_step,
-           ", tau -> ", params_.tau, ", fiber stiffness x",
-           stiffness_scale_applied_);
+  if (hang) {
+    log_warn("resilience: retry ", event.retry, "/", config_.max_retries,
+             " — hung at step ", event.detected_step, " (", cause,
+             "); rolled back to step ", event.resumed_step,
+             ", threads -> ", params_.num_threads);
+  } else {
+    log_warn("resilience: retry ", event.retry, "/", config_.max_retries,
+             " — diverged at step ", event.detected_step, " (", cause,
+             "); rolled back to step ", event.resumed_step,
+             ", tau -> ", params_.tau, ", fiber stiffness x",
+             stiffness_scale_applied_);
+  }
   report.events.push_back(std::move(event));
 }
 
@@ -118,22 +158,52 @@ ResilienceReport ResilientRunner::run(Index num_steps) {
   require(num_steps >= 0, "num_steps must be >= 0");
   ResilienceReport report;
 
+  // Install the runner's token for the duration of the run so every
+  // cancel_point in the solver stack observes it, and arm the watchdog
+  // over it when a deadline is configured.
+  CancelScope cancel_scope(&token_);
+  std::unique_ptr<Watchdog> watchdog;
+  if (config_.watchdog_deadline_ms > 0) {
+    WatchdogConfig wc;
+    wc.deadline_ms = config_.watchdog_deadline_ms;
+    wc.report_path = config_.hang_report_path;
+    watchdog = std::make_unique<Watchdog>(token_, wc);
+    watchdog->start();
+  }
+
   while (solver_->steps_completed() < num_steps) {
     const Index chunk = std::min(config_.health_interval,
                                  num_steps - solver_->steps_completed());
     try {
       solver_->run(chunk, observer_, observer_interval_);
+    } catch (const CancelledError& e) {
+      // A user cancel (signal handler, another thread) means stop, not
+      // retry. A watchdog trip is a hang: recover on the schedule axis.
+      // kError here means the team's failure protocol cancelled siblings
+      // but the root-cause exception did not surface — recover as a hang
+      // too (a fresh solver + clean token is the right reset either way).
+      if (e.cause() == CancelCause::kUser) throw;
+      recover(std::string(cancel_cause_name(e.cause())) + ": " + e.what(),
+              /*hang=*/true, report);
+      continue;
     } catch (const Error& e) {
       // A solver exception (e.g. a guard tripping inside a kernel) is a
-      // fault like any other: roll back and retry degraded.
-      recover(std::string("solver error: ") + e.what(), report);
+      // fault like any other: roll back and retry degraded. The team's
+      // failure protocol cancels sibling workers before rethrowing the
+      // root cause, so clear the token it poisoned.
+      if (token_.cancelled()) {
+        token_.reset();
+        ProgressBoard::global().clear_retired();
+      }
+      recover(std::string("solver error: ") + e.what(), /*hang=*/false,
+              report);
       continue;
     }
 
     const HealthReport health = monitor_.scan(*solver_);
     if (health.diverged()) {
       obs::metric_health_guard_trips().inc();
-      recover(health.to_string(), report);
+      recover(health.to_string(), /*hang=*/false, report);
       continue;
     }
 

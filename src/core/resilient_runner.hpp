@@ -12,6 +12,12 @@
 //        each retry raises the relaxation time tau (more viscosity damps
 //        the instability) and scales down the fiber stiffness coefficients
 //        (softer sheets relax the Lagrangian CFL constraint)
+//     -> on a hang (watchdog_deadline_ms > 0 arms a Watchdog over the
+//        runner's own CancelToken): the cancelled solver unwinds with
+//        CancelledError, and recovery rolls back like divergence but
+//        degrades the *schedule* instead of the physics — the retry
+//        halves the thread count (a wedged sync point is a concurrency
+//        fault; tau and stiffness are innocent)
 //   bounded by max_retries; every intervention is logged (common/logging).
 //
 // Works with every SolverKind: rollback restores through the generic
@@ -26,6 +32,7 @@
 #include "core/health.hpp"
 #include "core/solver.hpp"
 #include "io/checkpoint.hpp"
+#include "parallel/cancel.hpp"
 
 namespace lbmib {
 
@@ -41,6 +48,16 @@ struct ResilienceConfig {
   /// Keep the checkpoint files after a successful run (default: delete).
   bool keep_checkpoints = false;
   HealthConfig health;             ///< divergence thresholds
+  /// Liveness deadline in milliseconds; 0 disables the watchdog. When a
+  /// heartbeat goes stale past the deadline the run is cancelled, the
+  /// hang report written, and recovery rolls back to the last checkpoint.
+  std::int64_t watchdog_deadline_ms = 0;
+  /// Halve the thread count (min 1) on every hang recovery. A stuck sync
+  /// point is a scheduling fault, so the retry shrinks the team instead
+  /// of degrading tau/stiffness.
+  bool degrade_threads_on_hang = true;
+  /// Hang report destination ("" = log only). See core/watchdog.hpp.
+  std::string hang_report_path;
 };
 
 /// One recovery intervention.
@@ -50,6 +67,8 @@ struct RecoveryEvent {
   Index resumed_step = 0;   ///< checkpoint step rolled back to (0 = fresh)
   Real new_tau = 0.0;       ///< tau after degradation
   Real new_stiffness_scale = 0.0;  ///< cumulative k_s/k_b factor applied
+  bool hang = false;        ///< watchdog trip / worker failure, not physics
+  int new_num_threads = 0;  ///< team size after degradation
   std::string cause;        ///< health report or exception message
 };
 
@@ -87,10 +106,17 @@ class ResilientRunner {
   const ResilienceConfig& config() const { return config_; }
   const CheckpointRotation& rotation() const { return rotation_; }
 
+  /// The token the run installs; cancel it (from a signal handler or
+  /// another thread) to stop the run at the next cancellation point.
+  CancelToken& cancel_token() { return token_; }
+
  private:
   /// Roll back to the newest valid checkpoint (or a fresh start) with
-  /// degraded parameters. Appends the event to `report`.
-  void recover(const std::string& cause, ResilienceReport& report);
+  /// degraded parameters. Appends the event to `report`. `hang` selects
+  /// the degradation axis: thread count (hang) vs tau/stiffness
+  /// (divergence).
+  void recover(const std::string& cause, bool hang,
+               ResilienceReport& report);
 
   /// Checkpoint the solver's current (scanned-healthy) state.
   void save_checkpoint_now();
@@ -105,6 +131,7 @@ class ResilientRunner {
   Index observer_interval_ = 1;
   Real stiffness_scale_applied_ = 1.0;
   Index last_checkpoint_step_ = -1;
+  CancelToken token_;
 };
 
 }  // namespace lbmib

@@ -10,6 +10,8 @@
 #include "lbm/macroscopic.hpp"
 #include "lbm/streaming.hpp"
 #include "obs/trace.hpp"
+#include "parallel/cancel.hpp"
+#include "parallel/chaos.hpp"
 
 namespace lbmib {
 
@@ -17,6 +19,14 @@ SequentialSolver::SequentialSolver(const SimulationParams& params)
     : Solver(params), grid_(params) {}
 
 void SequentialSolver::step() {
+  // Step boundary = the sequential solver's only cancellation point and
+  // heartbeat (kernels are short; a hung *sequential* step means a hung
+  // kernel, which the last-beat label narrows to this step).
+  cancel_point("sequential:step");
+  ProgressBoard::global().beat("sequential:step");
+  if (chaos::enabled()) {
+    chaos::sync_point("sequential:step", 0, steps_completed_);
+  }
   const Size n = grid_.num_nodes();
   LBMIB_TRACE_SPAN(obs::SpanCat::kStep, "step",
                    static_cast<std::int64_t>(steps_completed_));

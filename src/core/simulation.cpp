@@ -79,8 +79,21 @@ void Simulation::enable_health_checks(Index interval, HealthConfig config) {
 
 HealthReport Simulation::check_health() { return monitor_.scan(*solver_); }
 
+void Simulation::enable_watchdog(std::int64_t deadline_ms,
+                                 const std::string& report_path) {
+  require(deadline_ms >= 0, "watchdog deadline must be >= 0");
+  watchdog_.reset();  // stop + join any previous monitor first
+  if (deadline_ms == 0) return;
+  WatchdogConfig config;
+  config.deadline_ms = deadline_ms;
+  config.report_path = report_path;
+  watchdog_ = std::make_unique<Watchdog>(token_, config);
+  watchdog_->start();
+}
+
 void Simulation::run(Index num_steps) {
   WallTimer timer;
+  CancelScope cancel_scope(&token_);
   if (health_interval_ <= 0) {
     solver_->run(num_steps, observer_, observer_interval_);
     update_run_metrics(*solver_, num_steps, timer.seconds());

@@ -12,12 +12,15 @@
 //   sim.run(100);
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
 #include "core/health.hpp"
 #include "core/solver.hpp"
+#include "core/watchdog.hpp"
 #include "obs/trace.hpp"
+#include "parallel/cancel.hpp"
 
 namespace lbmib {
 
@@ -43,8 +46,25 @@ class Simulation {
     return monitor_.last_report();
   }
 
-  /// Advance `num_steps` time steps.
+  /// Advance `num_steps` time steps. Installs cancel_token() for the
+  /// duration: a cancel from a signal handler or the watchdog unwinds the
+  /// solver at its next cancellation point and run() rethrows the
+  /// CancelledError.
   void run(Index num_steps);
+
+  /// The token run() installs. Cancel it from anywhere (it is
+  /// async-signal-safe with a string-literal reason) to stop the run.
+  CancelToken& cancel_token() { return token_; }
+
+  /// Arm a liveness watchdog over cancel_token() for subsequent run()
+  /// calls: a heartbeat staler than `deadline_ms` dumps a hang report to
+  /// `report_path` ("" = log only) and cancels the run. `deadline_ms` 0
+  /// disarms.
+  void enable_watchdog(std::int64_t deadline_ms,
+                       const std::string& report_path = "");
+
+  /// The armed watchdog, or nullptr (inspect trips / last_report).
+  const Watchdog* watchdog() const { return watchdog_.get(); }
 
   /// Start a span-tracing session (obs::Tracer) recording kernel /
   /// barrier / task / halo spans into per-thread rings of
@@ -79,6 +99,8 @@ class Simulation {
   Index observer_interval_ = 1;
   HealthMonitor monitor_;
   Index health_interval_ = 0;  ///< 0 = health checks disabled
+  CancelToken token_;
+  std::unique_ptr<Watchdog> watchdog_;
 };
 
 }  // namespace lbmib

@@ -7,6 +7,7 @@
 #include "core/distributed_solver.hpp"
 #include "core/openmp_solver.hpp"
 #include "core/sequential_solver.hpp"
+#include "parallel/cancel.hpp"
 
 namespace lbmib {
 
@@ -40,6 +41,11 @@ void Solver::restore_state(const FluidGrid& fluid,
 void Solver::run(Index num_steps, const StepObserver& observer,
                  Index observer_interval) {
   require(observer_interval >= 1, "observer interval must be >= 1");
+  // Enroll the stepping thread on the ProgressBoard for the duration of
+  // the run. This is the liveness coverage for the solvers that step on
+  // the calling thread (sequential, OpenMP); team-based solvers
+  // override run() and their ThreadTeam enrolls every worker instead.
+  HeartbeatScope heartbeat("solver:run");
   for (Index s = 0; s < num_steps; ++s) {
     step();
     if (observer && (steps_completed_ % observer_interval == 0)) {

@@ -1,0 +1,141 @@
+#include "core/watchdog.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "obs/exporters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/access_checker.hpp"
+
+namespace lbmib {
+
+namespace {
+
+std::int64_t clamp_poll_ms(const WatchdogConfig& config) {
+  if (config.poll_ms > 0) return config.poll_ms;
+  return std::clamp<std::int64_t>(config.deadline_ms / 4, 10, 1000);
+}
+
+}  // namespace
+
+Watchdog::Watchdog(CancelToken& token, WatchdogConfig config)
+    : token_(token), config_(std::move(config)) {}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  armed_at_ns_.store(ProgressBoard::now_ns(), std::memory_order_release);
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+void Watchdog::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  monitor_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+std::string Watchdog::last_report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_report_;
+}
+
+void Watchdog::monitor_loop() {
+  const auto poll = std::chrono::milliseconds(clamp_poll_ms(config_));
+  const std::int64_t deadline_ns = config_.deadline_ms * 1'000'000;
+  bool saw_cancelled = false;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait_for(lock, poll);
+    if (stop_requested_) return;
+    if (token_.cancelled()) {
+      // One hang, one report: stay quiet until the owner resets the
+      // token for a retry, then re-arm against a fresh baseline so
+      // heartbeats stamped before the recovery can't trip instantly.
+      saw_cancelled = true;
+      continue;
+    }
+    const std::int64_t now = ProgressBoard::now_ns();
+    if (saw_cancelled) {
+      saw_cancelled = false;
+      armed_at_ns_.store(now, std::memory_order_release);
+      continue;
+    }
+    const std::int64_t armed = armed_at_ns_.load(std::memory_order_acquire);
+    std::int64_t oldest = -1;
+    for (const auto& t : ProgressBoard::global().snapshot()) {
+      if (!t.live) continue;
+      oldest = std::max(oldest, now - std::max(t.last_beat_ns, armed));
+    }
+    if (oldest < 0 || oldest <= deadline_ns) continue;  // idle or healthy
+    // Trip outside nothing: we hold mutex_, which only the control
+    // surface (start/stop/last_report) contends for.
+    trip(now);
+  }
+}
+
+void Watchdog::trip(std::int64_t now_ns) {
+  const std::string report = build_report(now_ns);
+  last_report_ = report;
+  trips_.fetch_add(1, std::memory_order_acq_rel);
+  obs::metric_watchdog_trips().inc();
+  if (!config_.report_path.empty()) {
+    std::ofstream out(config_.report_path, std::ios::trunc);
+    if (out) out << report;
+  }
+  // Flush what the stalled run recorded so far. Best-effort: blocked
+  // threads record nothing, and the stalled run is about to unwind.
+  if (!config_.trace_path.empty() && obs::Tracer::active()) {
+    obs::write_chrome_trace(config_.trace_path);
+  }
+  log_error("watchdog: liveness deadline of ", config_.deadline_ms,
+            " ms missed — cancelling the run\n", report);
+  token_.cancel("liveness deadline missed (see hang report)",
+                CancelCause::kWatchdog);
+}
+
+std::string Watchdog::build_report(std::int64_t now_ns) const {
+  const std::int64_t deadline_ns = config_.deadline_ms * 1'000'000;
+  const std::int64_t armed = armed_at_ns_.load(std::memory_order_acquire);
+  std::ostringstream os;
+  os << "=== LBM-IB hang report ===\n"
+     << "deadline: " << config_.deadline_ms << " ms\n"
+     << "threads (live first; ages relative to the deadline clock):\n";
+  auto rows = ProgressBoard::global().snapshot();
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.live && !b.live;
+                   });
+  for (const auto& t : rows) {
+    const std::int64_t age_ms =
+        (now_ns - std::max(t.last_beat_ns, armed)) / 1'000'000;
+    os << "  slot " << t.slot << " tid " << t.tid << " ["
+       << (t.live ? "live" : "retired") << "] beats=" << t.beats
+       << " last=\"" << t.what << "\" age=" << age_ms << " ms";
+    if (t.live && now_ns - std::max(t.last_beat_ns, armed) > deadline_ns) {
+      os << "  <-- STUCK";
+    }
+    os << "\n";
+  }
+  if (const AccessChecker* checker = AccessChecker::live()) {
+    os << "access-checker barrier phases:\n" << checker->phase_table();
+  }
+  os << "metrics snapshot:\n"
+     << obs::MetricsRegistry::global().prometheus_text();
+  return os.str();
+}
+
+}  // namespace lbmib

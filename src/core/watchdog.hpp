@@ -1,0 +1,93 @@
+// Deadline watchdog: detects wedged runs and fires the CancelToken.
+//
+// A monitor thread polls the global ProgressBoard (see
+// parallel/cancel.hpp): solver threads stamp heartbeats at step, kernel
+// and pre-sync boundaries, so a thread stuck at a lost barrier
+// generation, a channel receive whose message was dropped, or an
+// injected chaos stall simply stops beating. When the stalest live
+// heartbeat exceeds the deadline the watchdog
+//   1. builds a hang report — per-thread last heartbeat label and age
+//      (the label names the sync point the thread was heading into),
+//      the AccessChecker per-tid barrier-phase table when a checked run
+//      is live, and a metrics snapshot,
+//   2. writes it to the configured path and logs it,
+//   3. flushes a Chrome trace of the stalled run when a tracing session
+//      is active,
+//   4. increments lbmib_watchdog_trips_total and cancels the token with
+//      CancelCause::kWatchdog.
+// Every cancellable wait then throws CancelledError, the thread team
+// unwinds to its join, and ResilientRunner rolls back to the last good
+// checkpoint exactly as it does for divergence.
+//
+// The watchdog never trips an idle board (no live heartbeats = nothing
+// to miss a deadline) and re-arms itself only after the token has been
+// reset, so one hang produces one report.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "parallel/cancel.hpp"
+
+namespace lbmib {
+
+struct WatchdogConfig {
+  /// A live heartbeat older than this trips the watchdog.
+  std::int64_t deadline_ms = 2000;
+  /// Poll period of the monitor thread; 0 picks deadline/4, clamped to
+  /// [10 ms, 1 s].
+  std::int64_t poll_ms = 0;
+  /// Hang-report file ("" = log only).
+  std::string report_path;
+  /// Chrome-trace flush target on a trip ("" = skip; requires an active
+  /// Tracer session).
+  std::string trace_path;
+};
+
+class Watchdog {
+ public:
+  /// The watchdog cancels `token` on a trip. The token must outlive the
+  /// watchdog.
+  explicit Watchdog(CancelToken& token, WatchdogConfig config = {});
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Start the monitor thread (idempotent).
+  void start();
+  /// Stop and join the monitor thread (idempotent; called by the dtor).
+  void stop();
+
+  int trips() const { return trips_.load(std::memory_order_acquire); }
+  bool tripped() const { return trips() > 0; }
+
+  /// The most recent hang report ("" before any trip).
+  std::string last_report() const;
+
+  const WatchdogConfig& config() const { return config_; }
+
+ private:
+  void monitor_loop();
+  std::string build_report(std::int64_t now_ns) const;
+  void trip(std::int64_t now_ns);
+
+  CancelToken& token_;
+  WatchdogConfig config_;
+
+  std::thread monitor_;
+  mutable std::mutex mutex_;       // guards cv_ / stop_ / report_
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::string last_report_;
+  std::atomic<int> trips_{0};
+  /// Heartbeats older than this are ignored: set at start() and at
+  /// re-arm so slots that predate the current run can't trip instantly.
+  std::atomic<std::int64_t> armed_at_ns_{0};
+};
+
+}  // namespace lbmib

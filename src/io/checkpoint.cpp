@@ -11,6 +11,7 @@
 #include "lbm/fluid_grid.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/chaos.hpp"
 
 namespace lbmib {
 
@@ -163,6 +164,10 @@ void save_impl(const std::string& path, const FluidGrid& grid,
                const std::vector<const FiberSheet*>& sheets, Index step) {
   LBMIB_TRACE_SPAN(obs::SpanCat::kCheckpoint, "checkpoint.save", step);
   WallTimer save_timer;
+  // Chaos hook: an armed write fault throws here, before the temp file is
+  // touched — the rotation's previous good pair stays intact, exactly
+  // like a disk-full ofstream failure below would leave it.
+  if (chaos::enabled()) chaos::on_checkpoint_write();
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);

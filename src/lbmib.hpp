@@ -15,6 +15,7 @@
 #include "core/simulation.hpp"   // IWYU pragma: export
 #include "core/solver.hpp"       // IWYU pragma: export
 #include "core/verification.hpp" // IWYU pragma: export
+#include "core/watchdog.hpp"     // IWYU pragma: export
 #include "io/checkpoint.hpp"     // IWYU pragma: export
 #include "cube/cube_grid.hpp"    // IWYU pragma: export
 #include "cube/distribution.hpp" // IWYU pragma: export
@@ -28,4 +29,6 @@
 #include "obs/exporters.hpp"     // IWYU pragma: export
 #include "obs/metrics.hpp"       // IWYU pragma: export
 #include "obs/trace.hpp"         // IWYU pragma: export
+#include "parallel/cancel.hpp"   // IWYU pragma: export
+#include "parallel/chaos.hpp"    // IWYU pragma: export
 #include "parallel/numa_model.hpp" // IWYU pragma: export

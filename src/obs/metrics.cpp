@@ -315,4 +315,27 @@ Histogram& metric_checkpoint_write_seconds() {
   return h;
 }
 
+Counter& metric_watchdog_trips() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "lbmib_watchdog_trips_total",
+      "Missed liveness deadlines detected by the watchdog");
+  return c;
+}
+
+Counter& metric_cancellations() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "lbmib_cancellations_total",
+      "CancelToken cancellations (user aborts, watchdog trips, "
+      "secondary error unwinds)");
+  return c;
+}
+
+Counter& metric_chaos_faults() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "lbmib_chaos_faults_total",
+      "Injected chaos faults that fired (dropped/duplicated messages, "
+      "failed checkpoint writes)");
+  return c;
+}
+
 }  // namespace lbmib::obs

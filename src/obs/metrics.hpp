@@ -166,5 +166,8 @@ Counter& metric_dataflow_tasks();
 Counter& metric_health_guard_trips();
 Counter& metric_rollbacks();
 Histogram& metric_checkpoint_write_seconds();
+Counter& metric_watchdog_trips();
+Counter& metric_cancellations();
+Counter& metric_chaos_faults();
 
 }  // namespace lbmib::obs

@@ -1,10 +1,16 @@
 #include "parallel/access_checker.hpp"
 
+#include <atomic>
+#include <sstream>
+
 #include "common/error.hpp"
 
 namespace lbmib {
 
 namespace {
+
+/// Newest live checker, for watchdog hang reports (see live()).
+std::atomic<const AccessChecker*> g_live_checker{nullptr};
 
 /// Per-thread binding. A thread participates in at most one checked
 /// solver at a time (one ThreadTeam body per thread), so a single slot
@@ -45,6 +51,49 @@ AccessChecker::AccessChecker(Size num_cubes, int num_threads)
     : num_threads_(num_threads),
       owner_(static_cast<std::size_t>(num_cubes), -1) {
   require(num_threads >= 1, "AccessChecker needs at least one thread");
+  phase_mirror_ = std::make_unique<std::atomic<int>[]>(
+      static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    phase_mirror_[static_cast<std::size_t>(i)].store(
+        -1, std::memory_order_relaxed);
+  }
+  g_live_checker.store(this, std::memory_order_release);
+}
+
+AccessChecker::~AccessChecker() {
+  const AccessChecker* self = this;
+  g_live_checker.compare_exchange_strong(self, nullptr,
+                                         std::memory_order_acq_rel);
+}
+
+AccessChecker::AccessChecker(AccessChecker&& other) noexcept
+    : num_threads_(other.num_threads_),
+      owner_(std::move(other.owner_)),
+      phase_mirror_(std::move(other.phase_mirror_)) {
+  // Follow the move: if `other` was the live checker, this is now. The
+  // moved-from shell's destructor CAS will miss (pointer is `this`),
+  // which is exactly right.
+  const AccessChecker* expected = &other;
+  g_live_checker.compare_exchange_strong(expected, this,
+                                         std::memory_order_acq_rel);
+}
+
+const AccessChecker* AccessChecker::live() {
+  return g_live_checker.load(std::memory_order_acquire);
+}
+
+std::string AccessChecker::phase_table() const {
+  std::ostringstream os;
+  for (int tid = 0; tid < num_threads_; ++tid) {
+    const int phase =
+        phase_mirror_[static_cast<std::size_t>(tid)].load(
+            std::memory_order_relaxed);
+    os << "  tid " << tid << ": "
+       << (phase < 0 ? std::string_view("-")
+                     : step_phase_name(static_cast<StepPhase>(phase)))
+       << "\n";
+  }
+  return os.str();
 }
 
 void AccessChecker::set_owner(Size cube, int owner) {
@@ -68,9 +117,15 @@ void AccessChecker::bind_thread(int tid) {
   t_bind.checker = this;
   t_bind.tid = tid;
   t_bind.phase = StepPhase::kSpread;
+  phase_mirror_[static_cast<std::size_t>(tid)].store(
+      static_cast<int>(StepPhase::kSpread), std::memory_order_relaxed);
 }
 
 void AccessChecker::unbind_thread() {
+  if (t_bind.checker == this && t_bind.tid >= 0) {
+    phase_mirror_[static_cast<std::size_t>(t_bind.tid)].store(
+        -1, std::memory_order_relaxed);
+  }
   t_bind.checker = nullptr;
   t_bind.tid = -1;
 }
@@ -92,6 +147,8 @@ void AccessChecker::advance_phase(StepPhase to) {
          "' (a barrier was skipped, duplicated, or reordered)");
   }
   t_bind.phase = to;
+  phase_mirror_[static_cast<std::size_t>(tid)].store(
+      static_cast<int>(to), std::memory_order_relaxed);
 }
 
 StepPhase AccessChecker::current_phase() const {

@@ -23,6 +23,8 @@
 // from ownership checks because they run outside the protocol.
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,6 +53,14 @@ class AccessChecker {
   /// owners. All cubes start unowned (owner -1); fill the map with
   /// set_owner before checking.
   AccessChecker(Size num_cubes, int num_threads);
+  ~AccessChecker();
+  /// Movable (factory helpers return by value); the live() registration
+  /// follows the move. Not copyable: two checkers sharing a phase
+  /// mirror would be meaningless.
+  AccessChecker(AccessChecker&& other) noexcept;
+  AccessChecker& operator=(AccessChecker&&) = delete;
+  AccessChecker(const AccessChecker&) = delete;
+  AccessChecker& operator=(const AccessChecker&) = delete;
 
   int num_threads() const { return num_threads_; }
   Size num_cubes() const { return static_cast<Size>(owner_.size()); }
@@ -78,6 +88,20 @@ class AccessChecker {
 
   /// Current phase of the calling thread (must be bound).
   StepPhase current_phase() const;
+
+  // --- cross-thread diagnostics -------------------------------------------
+
+  /// Formatted per-tid phase table ("tid 0: collide+stream\n..."), read
+  /// from a relaxed atomic mirror of each bound thread's automaton. For
+  /// hang reports: unlike the thread_local automaton, the mirror is
+  /// readable from the watchdog's monitor thread. Unbound tids show "-".
+  std::string phase_table() const;
+
+  /// The most recently constructed live checker, or nullptr — the one a
+  /// watchdog hang report should ask for phase_table(). (Checked runs
+  /// have one checker per cube solver; with several live at once the
+  /// newest wins, which is only a diagnostics limitation.)
+  static const AccessChecker* live();
 
   // --- write checks (throw lbmib::Error on violation) ---------------------
 
@@ -108,6 +132,8 @@ class AccessChecker {
 
   int num_threads_;
   std::vector<int> owner_;  ///< cube id -> owning tid (cube2thread image)
+  /// tid -> mirrored phase int, or -1 while unbound (see phase_table()).
+  std::unique_ptr<std::atomic<int>[]> phase_mirror_;
 };
 
 /// RAII binding of the calling thread to a checker tid (exception-safe:

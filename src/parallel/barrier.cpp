@@ -1,10 +1,12 @@
 #include "parallel/barrier.hpp"
 
+#include <chrono>
 #include <thread>
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/cancel.hpp"
 #include "parallel/race_detector.hpp"
 
 namespace lbmib {
@@ -78,6 +80,9 @@ SpinBarrier::SpinBarrier(int num_threads)
 SpinBarrier::~SpinBarrier() { race_barrier_forget(this); }
 
 void SpinBarrier::arrive_and_wait() {
+  // Poll before arriving: a thread that hasn't decremented yet unwinds
+  // without also corrupting the arrival count.
+  cancel_point("SpinBarrier::arrive_and_wait");
   LBMIB_TRACE_ON(BarrierWaitScope trace_wait_scope;)
   const std::uint64_t race_generation =
       race_barrier_arrive(this, num_threads_);
@@ -91,11 +96,17 @@ void SpinBarrier::arrive_and_wait() {
     return;
   }
   // Spin until the last arrival advances the generation. Yield
-  // occasionally so oversubscribed runs (threads > cores) still progress.
+  // occasionally so oversubscribed runs (threads > cores) still
+  // progress, and poll the installed CancelToken on that slow branch:
+  // a cancelled wait throws CancelledError, which leaves the barrier's
+  // counters permanently short one arrival — a cancelled barrier (and
+  // the solver that owns it) is poisoned and must be rebuilt, which is
+  // what ResilientRunner's recovery does.
   int spins = 0;
   while (generation_.load(std::memory_order_acquire) == my_generation) {
     if (++spins >= 1024) {
       spins = 0;
+      cancel_point("SpinBarrier::arrive_and_wait");
       std::this_thread::yield();
     } else {
 #if defined(__x86_64__) || defined(__i386__)
@@ -114,6 +125,7 @@ BlockingBarrier::BlockingBarrier(int num_threads)
 BlockingBarrier::~BlockingBarrier() { race_barrier_forget(this); }
 
 void BlockingBarrier::arrive_and_wait() {
+  cancel_point("BlockingBarrier::arrive_and_wait");
   LBMIB_TRACE_ON(BarrierWaitScope trace_wait_scope;)
   const std::uint64_t race_generation =
       race_barrier_arrive(this, num_threads_);
@@ -126,7 +138,17 @@ void BlockingBarrier::arrive_and_wait() {
       ++generation_;
       last = true;
     } else {
-      while (generation_ == my_generation) mutex_.wait(cv_);
+      // Bounded waits so a wedged generation can be cancelled (same
+      // poisoning caveat as SpinBarrier: after a CancelledError the
+      // barrier must be rebuilt). 20 ms keeps the idle poll cost
+      // negligible while staying well inside any realistic watchdog
+      // deadline.
+      while (generation_ == my_generation) {
+        if (!mutex_.wait_for(cv_, std::chrono::milliseconds(20)) &&
+            generation_ == my_generation) {
+          cancel_point("BlockingBarrier::arrive_and_wait");
+        }
+      }
     }
   }
   if (last) cv_.notify_all();

@@ -12,6 +12,12 @@
 // happens-before edge: each arrival contributes its vector clock before
 // blocking, the last arrival publishes the merged clock, and every
 // leaver acquires it (RaceDetector::barrier_arrive/barrier_leave).
+//
+// Both barriers are cancellation points (parallel/cancel.hpp): a wait
+// polls the installed CancelToken and throws CancelledError once it is
+// cancelled, so a wedged generation unwinds instead of deadlocking. A
+// cancelled barrier is *poisoned* — its arrival count is short — and
+// must be destroyed and rebuilt before reuse.
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,207 @@
+#include "parallel/cancel.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+namespace lbmib {
+
+namespace {
+
+/// The process-global installed token (see header: one token at a time,
+/// CancelScope saves/restores). A plain atomic pointer so current() is
+/// a single relaxed load on the poll fast path.
+std::atomic<CancelToken*> g_current_token{nullptr};
+
+thread_local int t_heartbeat_slot = -1;
+
+}  // namespace
+
+const char* cancel_cause_name(CancelCause cause) {
+  switch (cause) {
+    case CancelCause::kNone:
+      return "none";
+    case CancelCause::kUser:
+      return "user";
+    case CancelCause::kWatchdog:
+      return "watchdog";
+    case CancelCause::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void CancelToken::cancel(const char* reason, CancelCause cause) noexcept {
+  // First caller claims the token; the publish below is the release
+  // store readers' acquire loads pair with, so reason/cause are visible
+  // before cancelled() turns true.
+  if (claimed_.exchange(true, std::memory_order_acq_rel)) return;
+  reason_.store(reason != nullptr ? reason : "cancelled",
+                std::memory_order_relaxed);
+  cause_.store(cause, std::memory_order_relaxed);
+  obs::metric_cancellations().inc();
+  cancelled_.store(true, std::memory_order_release);
+}
+
+void CancelToken::cancel(const std::string& reason,
+                         CancelCause cause) noexcept {
+  if (claimed_.exchange(true, std::memory_order_acq_rel)) return;
+  const std::size_t n =
+      std::min(reason.size(), sizeof(detail_) - 1);
+  std::memcpy(detail_, reason.data(), n);
+  detail_[n] = '\0';
+  reason_.store(detail_, std::memory_order_relaxed);
+  cause_.store(cause, std::memory_order_relaxed);
+  obs::metric_cancellations().inc();
+  cancelled_.store(true, std::memory_order_release);
+}
+
+std::string CancelToken::reason() const {
+  if (!cancelled()) return "";
+  const char* r = reason_.load(std::memory_order_relaxed);
+  return r != nullptr ? std::string(r) : std::string();
+}
+
+void CancelToken::throw_if_cancelled(const char* where) const {
+  if (!cancelled()) return;
+  std::string what = "cancelled [" +
+                     std::string(cancel_cause_name(cause())) +
+                     "]: " + reason();
+  if (where != nullptr) {
+    what += " (at ";
+    what += where;
+    what += ")";
+  }
+  throw CancelledError(what, cause());
+}
+
+void CancelToken::reset() noexcept {
+  cancelled_.store(false, std::memory_order_relaxed);
+  cause_.store(CancelCause::kNone, std::memory_order_relaxed);
+  reason_.store(nullptr, std::memory_order_relaxed);
+  detail_[0] = '\0';
+  claimed_.store(false, std::memory_order_release);
+}
+
+CancelToken* CancelToken::current() noexcept {
+  return g_current_token.load(std::memory_order_relaxed);
+}
+
+CancelToken* CancelToken::install(CancelToken* token) noexcept {
+  return g_current_token.exchange(token, std::memory_order_acq_rel);
+}
+
+// --- ProgressBoard ---------------------------------------------------
+
+ProgressBoard& ProgressBoard::global() {
+  // Never deallocated, like MetricsRegistry::global(): worker threads
+  // may still beat while static destructors run on the main thread.
+  static ProgressBoard* board = new ProgressBoard();
+  return *board;
+}
+
+std::int64_t ProgressBoard::now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void ProgressBoard::beat(const char* what) noexcept {
+  const int slot = t_heartbeat_slot;
+  if (slot < 0) return;
+  Slot& s = slots_[slot];
+  s.what.store(what, std::memory_order_relaxed);
+  s.last_beat_ns.store(now_ns(), std::memory_order_relaxed);
+  s.beats.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool ProgressBoard::enrolled() const noexcept {
+  return t_heartbeat_slot >= 0;
+}
+
+int ProgressBoard::acquire_slot(int tid, const char* what) noexcept {
+  // Prefer free slots, then recycle retired ones (their post-mortem
+  // info has had its chance to be reported by now).
+  for (int pass = 0; pass < 2; ++pass) {
+    const int want = static_cast<int>(pass == 0 ? SlotState::kFree
+                                                : SlotState::kRetired);
+    for (int i = 0; i < kMaxSlots; ++i) {
+      int expected = want;
+      if (slots_[i].state.compare_exchange_strong(
+              expected, static_cast<int>(SlotState::kLive),
+              std::memory_order_acq_rel)) {
+        Slot& s = slots_[i];
+        s.tid.store(tid, std::memory_order_relaxed);
+        s.beats.store(0, std::memory_order_relaxed);
+        s.what.store(what, std::memory_order_relaxed);
+        s.last_beat_ns.store(now_ns(), std::memory_order_relaxed);
+        return i;
+      }
+    }
+  }
+  return -1;  // board full: the thread simply isn't tracked
+}
+
+void ProgressBoard::retire_slot(int slot) noexcept {
+  if (slot < 0) return;
+  slots_[slot].state.store(static_cast<int>(SlotState::kRetired),
+                           std::memory_order_release);
+}
+
+std::vector<ProgressBoard::ThreadStatus> ProgressBoard::snapshot() const {
+  std::vector<ThreadStatus> out;
+  for (int i = 0; i < kMaxSlots; ++i) {
+    const Slot& s = slots_[i];
+    const int state = s.state.load(std::memory_order_acquire);
+    if (state == static_cast<int>(SlotState::kFree)) continue;
+    ThreadStatus t;
+    t.slot = i;
+    t.tid = s.tid.load(std::memory_order_relaxed);
+    t.live = state == static_cast<int>(SlotState::kLive);
+    t.beats = s.beats.load(std::memory_order_relaxed);
+    t.last_beat_ns = s.last_beat_ns.load(std::memory_order_relaxed);
+    t.what = s.what.load(std::memory_order_relaxed);
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::int64_t ProgressBoard::oldest_live_age_ns(std::int64_t now_ns) const {
+  std::int64_t oldest = -1;
+  for (int i = 0; i < kMaxSlots; ++i) {
+    const Slot& s = slots_[i];
+    if (s.state.load(std::memory_order_acquire) !=
+        static_cast<int>(SlotState::kLive)) {
+      continue;
+    }
+    const std::int64_t age =
+        now_ns - s.last_beat_ns.load(std::memory_order_relaxed);
+    if (age > oldest) oldest = age;
+  }
+  return oldest;
+}
+
+void ProgressBoard::clear_retired() noexcept {
+  for (int i = 0; i < kMaxSlots; ++i) {
+    int expected = static_cast<int>(SlotState::kRetired);
+    slots_[i].state.compare_exchange_strong(
+        expected, static_cast<int>(SlotState::kFree),
+        std::memory_order_acq_rel);
+  }
+}
+
+HeartbeatScope::HeartbeatScope(const char* what, int tid) noexcept
+    : slot_(ProgressBoard::global().acquire_slot(tid, what)),
+      previous_slot_(t_heartbeat_slot) {
+  if (slot_ >= 0) t_heartbeat_slot = slot_;
+}
+
+HeartbeatScope::~HeartbeatScope() {
+  if (slot_ >= 0) {
+    t_heartbeat_slot = previous_slot_;
+    ProgressBoard::global().retire_slot(slot_);
+  }
+}
+
+}  // namespace lbmib

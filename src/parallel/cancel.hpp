@@ -1,0 +1,215 @@
+// Cooperative cancellation and liveness heartbeats.
+//
+// Every wait in the library (barrier generations, channel receives,
+// spinlock acquisitions, dataflow slot spins) used to be unbounded: one
+// stalled participant wedged the whole run. CancelToken turns those
+// waits into *cancellation points* — a cancelled token makes the next
+// poll throw CancelledError, so an entire thread team unwinds to its
+// join instead of deadlocking, and Solver::run surfaces the error.
+//
+// The token is installed process-globally (CancelScope) rather than
+// threaded through every primitive constructor: the waits that must
+// become cancellable live in headers used by every layer, and a single
+// relaxed atomic-pointer load per poll keeps the uncancelled fast path
+// free. One token is active at a time; nested scopes save and restore
+// the previous installation.
+//
+// ProgressBoard is the watchdog's data source: each team thread opens a
+// HeartbeatScope and stamps cheap per-thread heartbeats at step, kernel
+// and pre-sync boundaries. A thread blocked at a wedged barrier or
+// channel stops beating — that staleness, not any introspection of the
+// primitive, is what the deadline watchdog (src/core/watchdog.hpp)
+// detects. Heartbeat labels name the sync point the thread was heading
+// into, which is how hang reports say *where* a thread is stuck.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace lbmib {
+
+/// Why a token was cancelled. kUser covers external requests (signal
+/// handlers, API callers); kWatchdog is a missed liveness deadline;
+/// kError is a secondary cancellation fired so the rest of a team
+/// unwinds after one worker already failed.
+enum class CancelCause { kNone = 0, kUser, kWatchdog, kError };
+
+/// Human-readable name of a cause ("user", "watchdog", ...).
+const char* cancel_cause_name(CancelCause cause);
+
+/// Thrown from cancellation points once the installed token is
+/// cancelled. Derives from Error so existing fault-handling paths
+/// (ResilientRunner's recovery loop) catch it without modification;
+/// cause() distinguishes a hang trip from a user abort.
+class CancelledError : public Error {
+ public:
+  CancelledError(const std::string& what, CancelCause cause)
+      : Error(what), cause_(cause) {}
+  CancelCause cause() const { return cause_; }
+
+ private:
+  CancelCause cause_;
+};
+
+/// One-shot cooperative cancellation flag. cancel() is safe from any
+/// thread — including an asynchronous signal handler when called with a
+/// string literal — and the first caller wins; later calls are ignored
+/// so the original cause survives. reset() re-arms the token for a
+/// retry (only between runs, when no thread can be polling it).
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Cancel with a static reason string. Async-signal-safe: stores and
+  /// atomics only, no allocation, no locks.
+  void cancel(const char* reason,
+              CancelCause cause = CancelCause::kUser) noexcept;
+
+  /// Cancel with a dynamic reason (copied into the token; truncated to
+  /// an internal fixed buffer). Not signal-safe.
+  void cancel(const std::string& reason, CancelCause cause) noexcept;
+
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  CancelCause cause() const noexcept {
+    return cause_.load(std::memory_order_acquire);
+  }
+  /// Reason given by the winning cancel(); "" while uncancelled.
+  std::string reason() const;
+
+  /// Throw CancelledError if cancelled. `where` (a static string naming
+  /// the polling wait) is appended to the message when given.
+  void throw_if_cancelled(const char* where = nullptr) const;
+
+  /// Re-arm after a handled cancellation. The caller must guarantee no
+  /// thread is concurrently polling or cancelling this token.
+  void reset() noexcept;
+
+  /// The process-global token polled by cancellation points, or nullptr.
+  static CancelToken* current() noexcept;
+
+  /// Install `token` as the global one; returns the previous token so
+  /// callers can restore it (prefer CancelScope).
+  static CancelToken* install(CancelToken* token) noexcept;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> claimed_{false};
+  std::atomic<CancelCause> cause_{CancelCause::kNone};
+  std::atomic<const char*> reason_{nullptr};
+  char detail_[240] = {};  // backing store for the std::string overload
+};
+
+/// RAII installation of a CancelToken as the process-global token.
+class CancelScope {
+ public:
+  explicit CancelScope(CancelToken* token)
+      : previous_(CancelToken::install(token)) {}
+  ~CancelScope() { CancelToken::install(previous_); }
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+ private:
+  CancelToken* previous_;
+};
+
+/// Poll the installed token; throws CancelledError when it is cancelled.
+/// No-op (two relaxed loads) when no token is installed or uncancelled.
+inline void cancel_point(const char* where = nullptr) {
+  if (CancelToken* token = CancelToken::current()) {
+    if (token->cancelled()) token->throw_if_cancelled(where);
+  }
+}
+
+// --- progress heartbeats ---------------------------------------------
+
+/// Fixed-capacity board of per-thread progress slots. Threads enrolled
+/// via HeartbeatScope stamp beat() at step/kernel/pre-sync boundaries;
+/// the watchdog's monitor thread snapshots the board and flags live
+/// slots whose last beat is older than the deadline. beat() on a thread
+/// with no open scope is a no-op, so helper threads outside a team
+/// never produce false staleness.
+///
+/// Slots are cache-line sized and written with relaxed stores: a beat
+/// is two stores and an increment on the thread's own line.
+class ProgressBoard {
+ public:
+  static constexpr int kMaxSlots = 256;
+
+  enum class SlotState : int { kFree = 0, kLive, kRetired };
+
+  struct ThreadStatus {
+    int slot = -1;
+    int tid = -1;           ///< team tid given to the scope (-1 unknown)
+    bool live = false;      ///< scope still open
+    std::uint64_t beats = 0;
+    std::int64_t last_beat_ns = 0;  ///< ProgressBoard::now_ns() stamp
+    const char* what = "";          ///< label of the last beat
+  };
+
+  static ProgressBoard& global();
+
+  /// Stamp a heartbeat for the calling thread. `what` must be a string
+  /// with static storage duration (the board stores the pointer).
+  void beat(const char* what) noexcept;
+
+  /// True when the calling thread has an open HeartbeatScope.
+  bool enrolled() const noexcept;
+
+  /// Copy of every live or retired slot (retired ones keep their final
+  /// beat for post-mortem reports).
+  std::vector<ThreadStatus> snapshot() const;
+
+  /// Age in ns of the stalest live slot at `now_ns`, or -1 with no live
+  /// slots (an idle board never trips the watchdog).
+  std::int64_t oldest_live_age_ns(std::int64_t now_ns) const;
+
+  /// Free every retired slot. Call between runs (after recovery) so old
+  /// post-mortem entries don't clutter the next hang report.
+  void clear_retired() noexcept;
+
+  /// Monotonic nanoseconds consistent with last_beat_ns stamps.
+  static std::int64_t now_ns() noexcept;
+
+ private:
+  friend class HeartbeatScope;
+
+  struct alignas(64) Slot {
+    std::atomic<int> state{static_cast<int>(SlotState::kFree)};
+    std::atomic<int> tid{-1};
+    std::atomic<std::uint64_t> beats{0};
+    std::atomic<std::int64_t> last_beat_ns{0};
+    std::atomic<const char*> what{""};
+  };
+
+  int acquire_slot(int tid, const char* what) noexcept;
+  void retire_slot(int slot) noexcept;
+
+  Slot slots_[kMaxSlots];
+};
+
+/// Enrolls the calling thread on the global ProgressBoard for the
+/// scope's lifetime and stamps an initial beat. Scopes nest: an inner
+/// scope gets its own slot and the outer slot resumes on exit (the
+/// outer one simply isn't beaten meanwhile, which is correct — the
+/// thread's liveness is represented by the innermost scope).
+class HeartbeatScope {
+ public:
+  explicit HeartbeatScope(const char* what, int tid = -1) noexcept;
+  ~HeartbeatScope();
+  HeartbeatScope(const HeartbeatScope&) = delete;
+  HeartbeatScope& operator=(const HeartbeatScope&) = delete;
+
+ private:
+  int slot_;
+  int previous_slot_;
+};
+
+}  // namespace lbmib

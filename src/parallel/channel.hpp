@@ -14,14 +14,32 @@
 // clock FIFO stays aligned with the message FIFO). That is how the
 // distributed solvers' halo exchanges order cross-rank accesses for the
 // race detector without any solver-side hooks.
+// recv() is a cancellation point (parallel/cancel.hpp): it polls the
+// installed CancelToken on a bounded wait, so a receiver whose message
+// was lost (a dropped halo packet, a dead sender) unwinds with
+// CancelledError instead of blocking forever. try_recv()/recv_for()
+// give callers non-blocking and deadline-bounded variants; all three
+// issue the same channel_recv clock edge as recv(), and only on a
+// successful dequeue — the detector's clock FIFO must pop exactly when
+// the message FIFO does.
+//
+// send() consults the chaos switchboard (parallel/chaos.hpp) when a
+// fault is armed: a dropped message is discarded before the queue push
+// and before any clock edge (to the detector it never happened, exactly
+// like a packet lost on the wire); a duplicated one is pushed twice
+// with two send edges.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <optional>
 #include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/cancel.hpp"
+#include "parallel/chaos.hpp"
 #include "parallel/mutex.hpp"
 #include "parallel/race_detector.hpp"
 
@@ -46,29 +64,74 @@ class Channel {
   Channel& operator=(const Channel&) = delete;
 
   void send(T value) {
+    int copies = 1;
+    if (chaos::enabled()) {
+      switch (chaos::on_channel_send()) {
+        case chaos::SendAction::kDrop:
+          return;  // lost on the wire: no push, no clock edge
+        case chaos::SendAction::kDuplicate:
+          copies = 2;
+          break;
+        case chaos::SendAction::kDeliver:
+          break;
+      }
+    }
     {
       MutexLock lock(mutex_);
-      queue_.push_back(std::move(value));
-      // Peak backlog across every channel: how far the consumer side of
-      // a halo exchange lags its producers.
-      LBMIB_TRACE_ON(if (obs::Tracer::active()) {
-        obs::metric_channel_queue_depth_peak().max_of(
-            static_cast<double>(queue_.size()));
-      })
-      LBMIB_RACE_CHECK(if (RaceDetector* rd = RaceDetector::active())
-                           rd->channel_send(this);)
+      for (int i = 0; i < copies; ++i) {
+        queue_.push_back(i + 1 < copies ? value : std::move(value));
+        // Peak backlog across every channel: how far the consumer side
+        // of a halo exchange lags its producers.
+        LBMIB_TRACE_ON(if (obs::Tracer::active()) {
+          obs::metric_channel_queue_depth_peak().max_of(
+              static_cast<double>(queue_.size()));
+        })
+        LBMIB_RACE_CHECK(if (RaceDetector* rd = RaceDetector::active())
+                             rd->channel_send(this);)
+      }
     }
-    cv_.notify_one();
+    if (copies > 1) cv_.notify_all();
+    else cv_.notify_one();
   }
 
   T recv() {
     MutexLock lock(mutex_);
-    while (queue_.empty()) mutex_.wait(cv_);
-    T value = std::move(queue_.front());
-    queue_.pop_front();
-    LBMIB_RACE_CHECK(if (RaceDetector* rd = RaceDetector::active())
-                         rd->channel_recv(this);)
-    return value;
+    while (queue_.empty()) {
+      // Bounded wait so a receiver whose message never arrives can be
+      // cancelled; 20 ms idle-poll, zero extra wakeups when messages
+      // flow (the sender's notify ends the wait early).
+      if (!mutex_.wait_for(cv_, std::chrono::milliseconds(20)) &&
+          queue_.empty()) {
+        cancel_point("Channel::recv");
+      }
+    }
+    return pop_locked();
+  }
+
+  /// Non-blocking receive: the next message, or nullopt when the
+  /// channel is empty right now.
+  std::optional<T> try_recv() {
+    MutexLock lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    return pop_locked();
+  }
+
+  /// Bounded-blocking receive: waits up to `timeout` for a message,
+  /// then returns nullopt. Polls the CancelToken like recv().
+  template <class Rep, class Period>
+  std::optional<T> recv_for(std::chrono::duration<Rep, Period> timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mutex_);
+    while (queue_.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return std::nullopt;
+      const auto slice = std::min<std::chrono::steady_clock::duration>(
+          deadline - now, std::chrono::milliseconds(20));
+      if (!mutex_.wait_for(cv_, slice) && queue_.empty()) {
+        cancel_point("Channel::recv_for");
+      }
+    }
+    return pop_locked();
   }
 
   /// Non-blocking probe (used by tests).
@@ -78,6 +141,15 @@ class Channel {
   }
 
  private:
+  /// Dequeue under the held lock, issuing the matching clock edge.
+  T pop_locked() LBMIB_REQUIRES(mutex_) {
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    LBMIB_RACE_CHECK(if (RaceDetector* rd = RaceDetector::active())
+                         rd->channel_recv(this);)
+    return value;
+  }
+
   mutable Mutex mutex_;
   std::condition_variable cv_;
   std::deque<T> queue_ LBMIB_GUARDED_BY(mutex_);

@@ -1,0 +1,189 @@
+#include "parallel/chaos.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <string_view>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/cancel.hpp"
+
+namespace lbmib::chaos {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+// Arming is rare and test-driven; a mutex keeps the spec coherent. The
+// hot-path hooks touch only atomics.
+std::mutex g_arm_mutex;
+
+StallSpec g_stall;                       // guarded by g_arm_mutex
+std::atomic<bool> g_stall_armed{false};
+std::atomic<int> g_stalls_fired{0};
+
+constexpr std::uint64_t kNoTarget = ~std::uint64_t{0};
+std::atomic<std::uint64_t> g_send_counter{0};
+std::atomic<std::uint64_t> g_drop_target{kNoTarget};
+std::atomic<std::uint64_t> g_duplicate_target{kNoTarget};
+std::atomic<std::uint64_t> g_dropped{0};
+std::atomic<std::uint64_t> g_duplicated{0};
+
+std::atomic<int> g_checkpoint_failures{0};
+
+void update_enabled() noexcept {
+  detail::g_enabled.store(
+      g_stall_armed.load(std::memory_order_relaxed) ||
+          g_drop_target.load(std::memory_order_relaxed) != kNoTarget ||
+          g_duplicate_target.load(std::memory_order_relaxed) !=
+              kNoTarget ||
+          g_checkpoint_failures.load(std::memory_order_relaxed) > 0,
+      std::memory_order_relaxed);
+}
+
+bool stall_matches(const StallSpec& spec, const char* point, int tid,
+                   Index step) {
+  if (spec.tid != -1 && spec.tid != tid) return false;
+  if (spec.step != Index{-1} && spec.step != step) return false;
+  return std::string_view(point).find(spec.point_substr) !=
+         std::string_view::npos;
+}
+
+}  // namespace
+
+void reset() noexcept {
+  std::lock_guard<std::mutex> lock(g_arm_mutex);
+  g_stall = StallSpec{};
+  g_stall_armed.store(false, std::memory_order_relaxed);
+  g_stalls_fired.store(0, std::memory_order_relaxed);
+  g_send_counter.store(0, std::memory_order_relaxed);
+  g_drop_target.store(kNoTarget, std::memory_order_relaxed);
+  g_duplicate_target.store(kNoTarget, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+  g_duplicated.store(0, std::memory_order_relaxed);
+  g_checkpoint_failures.store(0, std::memory_order_relaxed);
+  update_enabled();
+}
+
+void arm_stall(StallSpec spec) {
+  std::lock_guard<std::mutex> lock(g_arm_mutex);
+  g_stall = std::move(spec);
+  g_stall_armed.store(true, std::memory_order_release);
+  update_enabled();
+}
+
+int stalls_fired() noexcept {
+  return g_stalls_fired.load(std::memory_order_relaxed);
+}
+
+void sync_point(const char* point, int tid, Index step) {
+  if (!g_stall_armed.load(std::memory_order_acquire)) return;
+  StallSpec spec;
+  {
+    std::lock_guard<std::mutex> lock(g_arm_mutex);
+    if (!g_stall_armed.load(std::memory_order_relaxed)) return;
+    if (!stall_matches(g_stall, point, tid, step)) return;
+    // Fire once: disarm under the lock so concurrent matchers don't
+    // both stall.
+    spec = g_stall;
+    g_stall_armed.store(false, std::memory_order_relaxed);
+    update_enabled();
+  }
+  g_stalls_fired.fetch_add(1, std::memory_order_relaxed);
+  log_warn("chaos: stalling tid ", tid, " at '", point, "' step ", step,
+           spec.duration_ms < 0
+               ? " until cancelled"
+               : (" for " + std::to_string(spec.duration_ms) + " ms"));
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    if (spec.duration_ms >= 0) {
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      if (elapsed >= spec.duration_ms) return;
+    }
+    // A permanent stick parks here until the watchdog (or a user)
+    // cancels; throw_if_cancelled then unwinds the stuck thread.
+    if (CancelToken* token = CancelToken::current()) {
+      token->throw_if_cancelled(point);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void arm_message_drop(std::uint64_t nth) {
+  std::lock_guard<std::mutex> lock(g_arm_mutex);
+  g_drop_target.store(
+      g_send_counter.load(std::memory_order_relaxed) + nth,
+      std::memory_order_relaxed);
+  update_enabled();
+}
+
+void arm_message_duplicate(std::uint64_t nth) {
+  std::lock_guard<std::mutex> lock(g_arm_mutex);
+  g_duplicate_target.store(
+      g_send_counter.load(std::memory_order_relaxed) + nth,
+      std::memory_order_relaxed);
+  update_enabled();
+}
+
+SendAction on_channel_send() noexcept {
+  const std::uint64_t seq =
+      g_send_counter.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t target = g_drop_target.load(std::memory_order_relaxed);
+  if (seq == target &&
+      g_drop_target.compare_exchange_strong(target, kNoTarget,
+                                            std::memory_order_acq_rel)) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    obs::metric_chaos_faults().inc();
+    update_enabled();
+    return SendAction::kDrop;
+  }
+  target = g_duplicate_target.load(std::memory_order_relaxed);
+  if (seq == target &&
+      g_duplicate_target.compare_exchange_strong(
+          target, kNoTarget, std::memory_order_acq_rel)) {
+    g_duplicated.fetch_add(1, std::memory_order_relaxed);
+    obs::metric_chaos_faults().inc();
+    update_enabled();
+    return SendAction::kDuplicate;
+  }
+  return SendAction::kDeliver;
+}
+
+std::uint64_t messages_dropped() noexcept {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+std::uint64_t messages_duplicated() noexcept {
+  return g_duplicated.load(std::memory_order_relaxed);
+}
+
+void arm_checkpoint_write_failures(int count) {
+  std::lock_guard<std::mutex> lock(g_arm_mutex);
+  g_checkpoint_failures.store(count, std::memory_order_relaxed);
+  update_enabled();
+}
+
+void on_checkpoint_write() {
+  int remaining = g_checkpoint_failures.load(std::memory_order_relaxed);
+  while (remaining > 0) {
+    if (g_checkpoint_failures.compare_exchange_weak(
+            remaining, remaining - 1, std::memory_order_acq_rel)) {
+      if (remaining == 1) update_enabled();
+      obs::metric_chaos_faults().inc();
+      throw Error("chaos: injected checkpoint write failure");
+    }
+  }
+}
+
+int checkpoint_failures_remaining() noexcept {
+  return g_checkpoint_failures.load(std::memory_order_relaxed);
+}
+
+}  // namespace lbmib::chaos

@@ -1,0 +1,103 @@
+// Chaos fault family: deterministic hangs and message faults.
+//
+// PR-1's fault_injection covers *data* faults (NaNs, corrupted
+// checkpoint files). This file covers *liveness* faults — the failure
+// modes the watchdog + cancellation layer exists for:
+//   * thread stall / permanent stick at a named sync point,
+//   * dropped or duplicated channel messages (the distributed solvers'
+//     halo-exchange hazard once transport leaves the process),
+//   * failing checkpoint writes (exercising ResilientRunner's tolerance
+//     of a broken save path mid-run).
+//
+// Everything is off by default behind one relaxed atomic gate, so the
+// hooks compiled into Channel::send and the solvers' sync points cost a
+// single predictable-branch load when no fault is armed. Faults are
+// armed from tests (and lbmib_run --chaos-stall), fire deterministically
+// (nth message, exact sync-point/tid/step match), fire once, and
+// reset() disarms everything between tests.
+//
+// A "permanent" stall (negative duration) parks the thread until the
+// installed CancelToken is cancelled, then throws CancelledError — the
+// cooperative analogue of evicting a wedged thread. A thread stuck in
+// the OS (e.g. a lost futex wake) cannot be reclaimed cooperatively;
+// the watchdog still detects and reports it, and recovery degrades to
+// process-level restart. See DESIGN.md §14.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace lbmib::chaos {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when any chaos fault is armed. Call sites guard their hook call
+/// with this so the disarmed cost is one relaxed load.
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Disarm every fault and zero the fire counters.
+void reset() noexcept;
+
+// --- thread stall ----------------------------------------------------
+
+/// Deterministic stall specification. A solver thread calling
+/// sync_point(point, tid, step) stalls when `point` contains
+/// `point_substr`, `tid` matches (or -1 wildcard) and `step` matches
+/// (or -1). duration_ms >= 0 sleeps that long once; duration_ms < 0 is
+/// a permanent stick: the thread parks until the installed CancelToken
+/// cancels, then unwinds via CancelledError.
+struct StallSpec {
+  std::string point_substr;
+  int tid = -1;
+  Index step = -1;
+  std::int64_t duration_ms = -1;
+};
+
+/// Arm a single stall (fires at most once; re-arm to fire again).
+void arm_stall(StallSpec spec);
+
+/// Number of stalls that have fired since the last reset().
+int stalls_fired() noexcept;
+
+/// Solver-side hook, called at named sync points. Out-of-line on
+/// purpose; guard with enabled() at the call site:
+///   if (chaos::enabled()) chaos::sync_point("cube:barrier:update", tid, step);
+void sync_point(const char* point, int tid, Index step);
+
+// --- channel faults --------------------------------------------------
+
+/// What Channel::send should do with the current message.
+enum class SendAction { kDeliver, kDrop, kDuplicate };
+
+/// Drop the nth (0-based) channel send from now, process-wide.
+void arm_message_drop(std::uint64_t nth);
+
+/// Deliver the nth (0-based) channel send from now twice.
+void arm_message_duplicate(std::uint64_t nth);
+
+/// Channel::send hook: counts the send and returns the armed action
+/// for it (fire-once). Guard with enabled().
+SendAction on_channel_send() noexcept;
+
+std::uint64_t messages_dropped() noexcept;
+std::uint64_t messages_duplicated() noexcept;
+
+// --- checkpoint faults -----------------------------------------------
+
+/// Make the next `count` checkpoint writes throw lbmib::Error.
+void arm_checkpoint_write_failures(int count);
+
+/// Checkpoint save hook: throws Error while armed failures remain.
+/// Guard with enabled().
+void on_checkpoint_write();
+
+int checkpoint_failures_remaining() noexcept;
+
+}  // namespace lbmib::chaos

@@ -16,6 +16,7 @@
 // capability context and flagged).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -42,6 +43,21 @@ class LBMIB_CAPABILITY("Mutex") Mutex {
     // comment); a predicate here would defeat the capability adoption.
     cv.wait(lock);  // NOLINT(bugprone-spuriously-wake-up-functions)
     lock.release();
+  }
+
+  /// wait() with a timeout: returns false on timeout, true when
+  /// notified. Same adoption pattern and the same call-site predicate
+  /// obligation; the bounded wait is what lets blocking primitives poll
+  /// a CancelToken instead of sleeping forever (see barrier.cpp,
+  /// channel.hpp).
+  template <class Rep, class Period>
+  bool wait_for(std::condition_variable& cv,
+                std::chrono::duration<Rep, Period> timeout)
+      LBMIB_REQUIRES(this) {
+    std::unique_lock<std::mutex> lock(m_, std::adopt_lock);
+    const std::cv_status status = cv.wait_for(lock, timeout);
+    lock.release();
+    return status == std::cv_status::no_timeout;
   }
 
  private:

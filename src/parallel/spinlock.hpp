@@ -21,6 +21,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/cancel.hpp"
 #include "parallel/race_detector.hpp"
 #include "parallel/thread_safety.hpp"
 
@@ -55,9 +56,14 @@ class LBMIB_CAPABILITY("SpinLock") SpinLock {
         return;
       }
       // Spin on a plain load to avoid cache-line ping-pong. Relaxed is
-      // sufficient: see the header comment.
+      // sufficient: see the header comment. The occasional CancelToken
+      // poll makes a wait on a lock whose holder died (or stalled
+      // forever) cancellable; critical sections are a few adds, so
+      // 2^14 spins of patience never fires on a healthy lock.
+      int cancel_check = 0;
       while (flag_.load(std::memory_order_relaxed)) {
         LBMIB_TRACE_ON(++trace_spins;)
+        if ((++cancel_check & 0x3FFF) == 0) cancel_point("SpinLock::lock");
 #if defined(__x86_64__) || defined(__i386__)
         __builtin_ia32_pause();
 #endif

@@ -5,9 +5,46 @@
 
 #include "common/error.hpp"
 #include "obs/trace.hpp"
+#include "parallel/cancel.hpp"
 #include "parallel/race_detector.hpp"
 
 namespace lbmib {
+
+namespace {
+
+/// When one worker dies the rest of the team is typically blocked at a
+/// barrier or channel waiting for it — forever. Cancel the installed
+/// token (cause kError) so every cancellable wait unwinds; join() then
+/// rethrows the *root* failure, not the secondary CancelledErrors.
+/// A CancelledError itself is not re-broadcast: the token is already
+/// cancelled in that case.
+void cancel_team_on_failure(const std::exception_ptr& error) noexcept {
+  CancelToken* token = CancelToken::current();
+  if (token == nullptr) return;
+  try {
+    std::rethrow_exception(error);
+  } catch (const CancelledError&) {
+  } catch (const std::exception& e) {
+    token->cancel(std::string("team worker failed: ") + e.what(),
+                  CancelCause::kError);
+  } catch (...) {
+    token->cancel("team worker failed", CancelCause::kError);
+  }
+}
+
+/// True when `error` holds a CancelledError (a secondary unwind, not a
+/// root cause).
+bool is_cancelled_error(const std::exception_ptr& error) noexcept {
+  try {
+    std::rethrow_exception(error);
+  } catch (const CancelledError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
 
 #if LBMIB_RACE_DETECT_ENABLED
 namespace {
@@ -67,17 +104,25 @@ void ThreadTeam::run(const std::function<void(int)>& body) {
       LBMIB_TRACE_ON(if (obs::Tracer::active()) {
         obs::Tracer::set_thread_name("worker-" + std::to_string(tid));
       })
+      // Enroll on the ProgressBoard so the watchdog sees this thread;
+      // the solver body stamps the actual step/kernel heartbeats.
+      HeartbeatScope heartbeat("team:worker", tid);
       try {
         run_body(tid);
       } catch (...) {
         errors[static_cast<std::size_t>(tid)] = std::current_exception();
+        cancel_team_on_failure(errors[static_cast<std::size_t>(tid)]);
       }
     });
   }
-  try {
-    run_body(0);
-  } catch (...) {
-    errors[0] = std::current_exception();
+  {
+    HeartbeatScope heartbeat("team:worker", 0);
+    try {
+      run_body(0);
+    } catch (...) {
+      errors[0] = std::current_exception();
+      cancel_team_on_failure(errors[0]);
+    }
   }
   for (std::thread& t : workers) t.join();
 
@@ -85,9 +130,17 @@ void ThreadTeam::run(const std::function<void(int)>& body) {
   if (race_detector != nullptr) race_detector->join(race_token);
 #endif
 
+  // Rethrow the root cause: a real error beats the CancelledErrors the
+  // rest of the team unwound with after the secondary cancellation.
+  const std::exception_ptr* first = nullptr;
   for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
+    if (!e) continue;
+    if (first == nullptr) first = &e;
+    if (!is_cancelled_error(e)) {
+      std::rethrow_exception(e);
+    }
   }
+  if (first != nullptr) std::rethrow_exception(*first);
 }
 
 }  // namespace lbmib

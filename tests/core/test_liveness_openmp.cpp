@@ -1,0 +1,94 @@
+// OpenMP liveness cases, kept out of the TSan `concurrency` label (GCC's
+// libgomp is not TSan-instrumented). The OpenMP solver's cancellation
+// and heartbeat hooks live at the step boundary — exceptions must not
+// escape a `#pragma omp parallel` region — so these tests pin down
+// exactly that contract: a stall at "openmp:step" is detected, recovered
+// from, and a clean run never trips.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/fault_injection.hpp"
+#include "core/resilient_runner.hpp"
+#include "core/simulation.hpp"
+#include "core/watchdog.hpp"
+#include "parallel/cancel.hpp"
+
+namespace lbmib {
+namespace {
+
+SimulationParams openmp_params() {
+  SimulationParams p = presets::tiny();
+  p.body_force = {1e-5, 0.0, 0.0};
+  p.num_threads = 2;
+  return p;
+}
+
+class OpenMPLivenessTest : public ::testing::Test {
+ protected:
+  void SetUp() override { chaos::reset(); }
+  void TearDown() override {
+    chaos::reset();
+    ProgressBoard::global().clear_retired();
+  }
+};
+
+TEST_F(OpenMPLivenessTest, WatchdogDetectsStallAtStepBoundary) {
+  Simulation sim(SolverKind::kOpenMP, openmp_params());
+  sim.enable_watchdog(500);
+
+  chaos::StallSpec stall;
+  stall.point_substr = "openmp:step";
+  stall.duration_ms = -1;
+  chaos::arm_stall(stall);
+
+  try {
+    sim.run(50);
+    FAIL() << "expected the watchdog to cancel the stalled run";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.cause(), CancelCause::kWatchdog);
+  }
+  ASSERT_NE(sim.watchdog(), nullptr);
+  EXPECT_EQ(sim.watchdog()->trips(), 1);
+  const std::string report = sim.watchdog()->last_report();
+  EXPECT_NE(report.find("openmp:step"), std::string::npos);
+  EXPECT_NE(report.find("STUCK"), std::string::npos);
+}
+
+TEST_F(OpenMPLivenessTest, ResilientRunnerRecoversFromStall) {
+  const SimulationParams p = openmp_params();
+  ResilienceConfig cfg;
+  cfg.checkpoint_interval = 5;
+  cfg.health_interval = 5;
+  cfg.max_retries = 2;
+  cfg.watchdog_deadline_ms = 500;
+  cfg.checkpoint_base = ::testing::TempDir() + "liveness_openmp.ckpt";
+  ResilientRunner runner(SolverKind::kOpenMP, p, cfg);
+
+  chaos::StallSpec stall;
+  stall.point_substr = "openmp:step";
+  stall.duration_ms = -1;
+  chaos::arm_stall(stall);
+
+  const ResilienceReport report = runner.run(30);
+
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.steps_completed, 30);
+  EXPECT_EQ(report.retries_used, 1);
+  ASSERT_EQ(report.events.size(), 1u);
+  EXPECT_TRUE(report.events[0].hang);
+  EXPECT_EQ(report.events[0].new_num_threads, 1);
+  EXPECT_EQ(runner.current_params().tau, p.tau);
+}
+
+TEST_F(OpenMPLivenessTest, CleanRunNeverTrips) {
+  Simulation sim(SolverKind::kOpenMP, openmp_params());
+  sim.enable_watchdog(10000);
+  sim.run(60);
+  EXPECT_EQ(sim.steps_completed(), 60);
+  EXPECT_EQ(sim.watchdog()->trips(), 0);
+  EXPECT_FALSE(sim.cancel_token().cancelled());
+}
+
+}  // namespace
+}  // namespace lbmib

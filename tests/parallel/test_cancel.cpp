@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/watchdog.hpp"
+#include "parallel/barrier.hpp"
+#include "parallel/cancel.hpp"
+#include "parallel/chaos.hpp"
+#include "parallel/spinlock.hpp"
+#include "parallel/thread_team.hpp"
+
+namespace lbmib {
+namespace {
+
+TEST(CancelToken, StartsUncancelled) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.cause(), CancelCause::kNone);
+  EXPECT_EQ(token.reason(), "");
+  EXPECT_NO_THROW(token.throw_if_cancelled());
+}
+
+TEST(CancelToken, CancelSetsCauseAndReason) {
+  CancelToken token;
+  token.cancel("why not", CancelCause::kWatchdog);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.cause(), CancelCause::kWatchdog);
+  EXPECT_EQ(token.reason(), "why not");
+  try {
+    token.throw_if_cancelled("some:wait");
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.cause(), CancelCause::kWatchdog);
+    EXPECT_NE(std::string(e.what()).find("some:wait"), std::string::npos);
+  }
+}
+
+TEST(CancelToken, FirstCancelWins) {
+  CancelToken token;
+  token.cancel("first", CancelCause::kUser);
+  token.cancel("second", CancelCause::kError);
+  EXPECT_EQ(token.reason(), "first");
+  EXPECT_EQ(token.cause(), CancelCause::kUser);
+}
+
+TEST(CancelToken, DynamicReasonIsCopied) {
+  CancelToken token;
+  {
+    std::string reason = "transient string";
+    token.cancel(reason, CancelCause::kError);
+  }
+  EXPECT_EQ(token.reason(), "transient string");
+}
+
+TEST(CancelToken, ResetRearms) {
+  CancelToken token;
+  token.cancel("gone", CancelCause::kUser);
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.cause(), CancelCause::kNone);
+  EXPECT_EQ(token.reason(), "");
+  token.cancel("again", CancelCause::kError);
+  EXPECT_EQ(token.cause(), CancelCause::kError);
+}
+
+TEST(CancelToken, CauseNames) {
+  EXPECT_STREQ(cancel_cause_name(CancelCause::kNone), "none");
+  EXPECT_STREQ(cancel_cause_name(CancelCause::kUser), "user");
+  EXPECT_STREQ(cancel_cause_name(CancelCause::kWatchdog), "watchdog");
+  EXPECT_STREQ(cancel_cause_name(CancelCause::kError), "error");
+}
+
+TEST(CancelScope, InstallsAndRestores) {
+  EXPECT_EQ(CancelToken::current(), nullptr);
+  CancelToken outer;
+  {
+    CancelScope outer_scope(&outer);
+    EXPECT_EQ(CancelToken::current(), &outer);
+    CancelToken inner;
+    {
+      CancelScope inner_scope(&inner);
+      EXPECT_EQ(CancelToken::current(), &inner);
+    }
+    EXPECT_EQ(CancelToken::current(), &outer);
+  }
+  EXPECT_EQ(CancelToken::current(), nullptr);
+}
+
+TEST(CancelPoint, NoopWithoutInstalledToken) {
+  EXPECT_NO_THROW(cancel_point("anywhere"));
+}
+
+TEST(CancelPoint, ThrowsOnceCancelled) {
+  CancelToken token;
+  CancelScope scope(&token);
+  EXPECT_NO_THROW(cancel_point("here"));
+  token.cancel("stop");
+  EXPECT_THROW(cancel_point("here"), CancelledError);
+}
+
+TEST(Cancellation, SpinBarrierUnblocksWaiters) {
+  CancelToken token;
+  CancelScope scope(&token);
+  SpinBarrier barrier(2);
+  std::atomic<bool> unwound{false};
+  // One thread arrives; its partner never does. The cancel must free it.
+  std::thread waiter([&] {
+    try {
+      barrier.arrive_and_wait();
+    } catch (const CancelledError&) {
+      unwound.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  token.cancel("partner is not coming");
+  waiter.join();
+  EXPECT_TRUE(unwound.load());
+}
+
+TEST(Cancellation, BlockingBarrierUnblocksWaiters) {
+  CancelToken token;
+  CancelScope scope(&token);
+  BlockingBarrier barrier(2);
+  std::atomic<bool> unwound{false};
+  std::thread waiter([&] {
+    try {
+      barrier.arrive_and_wait();
+    } catch (const CancelledError&) {
+      unwound.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  token.cancel("partner is not coming");
+  waiter.join();
+  EXPECT_TRUE(unwound.load());
+}
+
+TEST(Cancellation, ThreadTeamSurfacesWorkerCancel) {
+  CancelToken token;
+  CancelScope scope(&token);
+  SpinBarrier barrier(3);
+  ThreadTeam team(3);
+  token.cancel("pre-cancelled");
+  EXPECT_THROW(team.run([&](int) { barrier.arrive_and_wait(); }),
+               CancelledError);
+}
+
+TEST(Cancellation, TeamWorkerErrorCancelsSiblings) {
+  // One worker throws a plain Error; the team's failure protocol must
+  // cancel the token so the siblings parked at the barrier unwind, and
+  // the root-cause Error must be the one rethrown.
+  CancelToken token;
+  CancelScope scope(&token);
+  SpinBarrier barrier(4);  // never completed: worker 0 dies first
+  ThreadTeam team(4);
+  try {
+    team.run([&](int tid) {
+      if (tid == 0) throw Error("worker zero exploded");
+      barrier.arrive_and_wait();
+    });
+    FAIL() << "expected Error";
+  } catch (const CancelledError&) {
+    FAIL() << "root cause lost: got the secondary CancelledError";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("worker zero exploded"),
+              std::string::npos);
+  }
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.cause(), CancelCause::kError);
+}
+
+TEST(ProgressBoard, BeatWithoutScopeIsNoop) {
+  ProgressBoard& board = ProgressBoard::global();
+  EXPECT_FALSE(board.enrolled());
+  board.beat("ignored");  // must not crash or create a slot
+  EXPECT_FALSE(board.enrolled());
+}
+
+TEST(ProgressBoard, ScopeEnrollsAndRetires) {
+  ProgressBoard& board = ProgressBoard::global();
+  board.clear_retired();
+  {
+    HeartbeatScope scope("test:alpha", 7);
+    EXPECT_TRUE(board.enrolled());
+    board.beat("test:beta");
+    bool found = false;
+    for (const ProgressBoard::ThreadStatus& t : board.snapshot()) {
+      if (t.live && t.tid == 7) {
+        found = true;
+        EXPECT_STREQ(t.what, "test:beta");
+        EXPECT_GE(t.beats, 1u);  // enrollment stamps the clock, not beats
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+  EXPECT_FALSE(board.enrolled());
+  // Retired slot keeps its post-mortem label until cleared.
+  bool retired_found = false;
+  for (const ProgressBoard::ThreadStatus& t : board.snapshot()) {
+    if (!t.live && t.tid == 7) retired_found = true;
+  }
+  EXPECT_TRUE(retired_found);
+  board.clear_retired();
+  for (const ProgressBoard::ThreadStatus& t : board.snapshot()) {
+    EXPECT_NE(t.tid, 7);
+  }
+}
+
+TEST(ProgressBoard, OldestLiveAgeTracksStalestThread) {
+  ProgressBoard& board = ProgressBoard::global();
+  EXPECT_EQ(board.oldest_live_age_ns(ProgressBoard::now_ns()), -1);
+  HeartbeatScope scope("test:age");
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const std::int64_t age = board.oldest_live_age_ns(ProgressBoard::now_ns());
+  EXPECT_GE(age, 20ll * 1000 * 1000);
+  board.beat("test:age");
+  EXPECT_LT(board.oldest_live_age_ns(ProgressBoard::now_ns()),
+            20ll * 1000 * 1000);
+}
+
+TEST(Watchdog, IdleBoardNeverTrips) {
+  CancelToken token;
+  WatchdogConfig config;
+  config.deadline_ms = 50;
+  Watchdog dog(token, config);
+  dog.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  dog.stop();
+  EXPECT_EQ(dog.trips(), 0);
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(Watchdog, BeatingThreadNeverTrips) {
+  CancelToken token;
+  WatchdogConfig config;
+  config.deadline_ms = 100;
+  Watchdog dog(token, config);
+  dog.start();
+  {
+    HeartbeatScope scope("test:busy");
+    for (int i = 0; i < 30; ++i) {
+      ProgressBoard::global().beat("test:busy");
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  dog.stop();
+  EXPECT_EQ(dog.trips(), 0);
+  EXPECT_FALSE(token.cancelled());
+  ProgressBoard::global().clear_retired();
+}
+
+TEST(Watchdog, StaleHeartbeatTripsAndReports) {
+  CancelToken token;
+  WatchdogConfig config;
+  config.deadline_ms = 80;
+  Watchdog dog(token, config);
+  {
+    HeartbeatScope scope("test:wedged", 3);
+    dog.start();
+    // Stop beating: the watchdog must cancel within a few deadlines.
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!token.cancelled() &&
+           std::chrono::steady_clock::now() < give_up) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  dog.stop();
+  ASSERT_TRUE(token.cancelled());
+  EXPECT_EQ(token.cause(), CancelCause::kWatchdog);
+  EXPECT_EQ(dog.trips(), 1);
+  const std::string report = dog.last_report();
+  EXPECT_NE(report.find("hang report"), std::string::npos);
+  EXPECT_NE(report.find("test:wedged"), std::string::npos);
+  EXPECT_NE(report.find("tid 3"), std::string::npos);
+  EXPECT_NE(report.find("STUCK"), std::string::npos);
+  ProgressBoard::global().clear_retired();
+}
+
+TEST(Watchdog, OneTripPerCancellationAndRearmsAfterReset) {
+  CancelToken token;
+  WatchdogConfig config;
+  config.deadline_ms = 60;
+  Watchdog dog(token, config);
+  HeartbeatScope scope("test:sticky");
+  dog.start();
+  const auto wait_for_trip = [&](int expected) {
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (dog.trips() < expected &&
+           std::chrono::steady_clock::now() < give_up) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  };
+  wait_for_trip(1);
+  ASSERT_EQ(dog.trips(), 1);
+  // Quiet while the token stays cancelled.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  EXPECT_EQ(dog.trips(), 1);
+  // After a reset the stale slot must NOT instantly re-trip (the re-arm
+  // baseline resets), but a continued stall eventually does.
+  token.reset();
+  wait_for_trip(2);
+  EXPECT_EQ(dog.trips(), 2);
+  dog.stop();
+  token.reset();
+}
+
+TEST(Chaos, TimedStallDelaysButCompletes) {
+  chaos::reset();
+  chaos::StallSpec spec;
+  spec.point_substr = "test:stall-here";
+  spec.duration_ms = 80;
+  chaos::arm_stall(spec);
+  const auto t0 = std::chrono::steady_clock::now();
+  chaos::sync_point("test:stall-here", 0, 0);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(60));
+  EXPECT_EQ(chaos::stalls_fired(), 1);
+  // Fire-once: a second visit does not stall again.
+  const auto t1 = std::chrono::steady_clock::now();
+  chaos::sync_point("test:stall-here", 0, 1);
+  EXPECT_LT(std::chrono::steady_clock::now() - t1,
+            std::chrono::milliseconds(50));
+  chaos::reset();
+}
+
+TEST(Chaos, StallMatchesTidAndStep) {
+  chaos::reset();
+  chaos::StallSpec spec;
+  spec.point_substr = "test:selective";
+  spec.tid = 2;
+  spec.step = 5;
+  spec.duration_ms = 10;
+  chaos::arm_stall(spec);
+  chaos::sync_point("test:selective", 1, 5);  // wrong tid
+  chaos::sync_point("test:selective", 2, 4);  // wrong step
+  EXPECT_EQ(chaos::stalls_fired(), 0);
+  chaos::sync_point("test:selective", 2, 5);
+  EXPECT_EQ(chaos::stalls_fired(), 1);
+  chaos::reset();
+}
+
+TEST(Chaos, PermanentStallUnwindsOnCancel) {
+  chaos::reset();
+  CancelToken token;
+  CancelScope scope(&token);
+  chaos::StallSpec spec;
+  spec.point_substr = "test:stuck-forever";
+  spec.duration_ms = -1;
+  chaos::arm_stall(spec);
+  std::atomic<bool> unwound{false};
+  std::thread victim([&] {
+    try {
+      chaos::sync_point("test:stuck-forever", 0, 0);
+    } catch (const CancelledError&) {
+      unwound.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(unwound.load());  // genuinely parked
+  token.cancel("rescue");
+  victim.join();
+  EXPECT_TRUE(unwound.load());
+  chaos::reset();
+}
+
+TEST(Chaos, CheckpointFailuresCountDown) {
+  chaos::reset();
+  chaos::arm_checkpoint_write_failures(2);
+  EXPECT_TRUE(chaos::enabled());
+  EXPECT_THROW(chaos::on_checkpoint_write(), Error);
+  EXPECT_EQ(chaos::checkpoint_failures_remaining(), 1);
+  EXPECT_THROW(chaos::on_checkpoint_write(), Error);
+  EXPECT_NO_THROW(chaos::on_checkpoint_write());
+  chaos::reset();
+  EXPECT_FALSE(chaos::enabled());
+}
+
+}  // namespace
+}  // namespace lbmib

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 #include "common/error.hpp"
+#include "parallel/cancel.hpp"
+#include "parallel/chaos.hpp"
 #include "parallel/communicator.hpp"
 #include "parallel/thread_team.hpp"
 
@@ -43,6 +46,85 @@ TEST(Channel, ManyProducersOneConsumer) {
     for (int i = 0; i < kEach; ++i) ch.send(1);
   });
   consumer.join();
+}
+
+TEST(Channel, TryRecvReturnsNulloptWhenEmpty) {
+  Channel<int> ch;
+  EXPECT_FALSE(ch.try_recv().has_value());
+  ch.send(5);
+  const std::optional<int> got = ch.try_recv();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 5);
+  EXPECT_FALSE(ch.try_recv().has_value());
+}
+
+TEST(Channel, TryRecvKeepsFifoOrder) {
+  Channel<int> ch;
+  ch.send(1);
+  ch.send(2);
+  EXPECT_EQ(*ch.try_recv(), 1);
+  EXPECT_EQ(ch.recv(), 2);
+}
+
+TEST(Channel, RecvForTimesOutOnEmptyChannel) {
+  Channel<int> ch;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(
+      ch.recv_for(std::chrono::milliseconds(50)).has_value());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(40));
+}
+
+TEST(Channel, RecvForReturnsDeliveredMessage) {
+  Channel<int> ch;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.send(7);
+  });
+  const std::optional<int> got =
+      ch.recv_for(std::chrono::seconds(10));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 7);
+  producer.join();
+}
+
+TEST(Channel, RecvUnblocksOnCancel) {
+  CancelToken token;
+  CancelScope scope(&token);
+  Channel<int> ch;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    token.cancel("test cancel");
+  });
+  EXPECT_THROW(ch.recv(), CancelledError);
+  canceller.join();
+}
+
+TEST(Channel, ChaosDropLosesExactlyOneMessage) {
+  chaos::reset();
+  Channel<int> ch;
+  chaos::arm_message_drop(1);  // drop the second send
+  ch.send(1);
+  ch.send(2);  // dropped
+  ch.send(3);
+  EXPECT_EQ(ch.recv(), 1);
+  EXPECT_EQ(ch.recv(), 3);
+  EXPECT_TRUE(ch.empty());
+  EXPECT_EQ(chaos::messages_dropped(), 1u);
+  chaos::reset();
+}
+
+TEST(Channel, ChaosDuplicateDeliversTwice) {
+  chaos::reset();
+  Channel<int> ch;
+  chaos::arm_message_duplicate(0);  // duplicate the first send
+  ch.send(9);
+  ch.send(10);
+  EXPECT_EQ(ch.recv(), 9);
+  EXPECT_EQ(ch.recv(), 9);
+  EXPECT_EQ(ch.recv(), 10);
+  EXPECT_EQ(chaos::messages_duplicated(), 1u);
+  chaos::reset();
 }
 
 TEST(Communicator, PointToPoint) {
