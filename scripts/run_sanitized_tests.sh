@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Build and run the test suite under a sanitizer.
 #
-# Usage: scripts/run_sanitized_tests.sh [address|thread|undefined|race] [build-dir]
+# Usage: scripts/run_sanitized_tests.sh [address|thread|undefined|race|modelcheck] [build-dir]
 #
 #   address    ASan + UBSan, plus the runtime cube-ownership checker
 #              (-DLBMIB_CHECK_ACCESS=ON); runs the full suite. Default.
@@ -14,6 +14,12 @@
 #              (-DLBMIB_RACE_DETECT=ON) over the full suite, OpenMP
 #              included — it instruments the library's sync primitives,
 #              not the hardware, so it covers what the TSan leg cannot.
+#   modelcheck The DPOR schedule-space model checker
+#              (-DLBMIB_MODELCHECK=ON, which force-enables the race
+#              detector and access checker); runs the `modelcheck` ctest
+#              label: exhaustive interleaving exploration of the
+#              primitive models plus the injected-bug detectors. Failing
+#              schedules are written to $LBMIB_MC_ARTIFACT_DIR when set.
 #
 # Each mode uses a dedicated build tree (default: build-<mode>) so the
 # sanitized configuration never pollutes the regular one. The build type
@@ -26,9 +32,9 @@ cd "$(dirname "$0")/.."
 
 MODE="${1:-address}"
 case "$MODE" in
-  address|thread|undefined|race) ;;
+  address|thread|undefined|race|modelcheck) ;;
   *)
-    echo "usage: $0 [address|thread|undefined|race] [build-dir]" >&2
+    echo "usage: $0 [address|thread|undefined|race|modelcheck] [build-dir]" >&2
     exit 2
     ;;
 esac
@@ -64,6 +70,14 @@ case "$MODE" in
     # suite (OpenMP solvers included) runs under it. A detected race
     # throws lbmib::Error and fails the owning test.
     CMAKE_ARGS+=(-DLBMIB_RACE_DETECT=ON)
+    ;;
+  modelcheck)
+    # No sanitizer either: the checker serializes its virtual threads,
+    # so TSan would see nothing and only slow the exploration. The gate
+    # force-enables LBMIB_RACE_DETECT and LBMIB_CHECK_ACCESS so every
+    # explored schedule runs under both.
+    CMAKE_ARGS+=(-DLBMIB_MODELCHECK=ON)
+    CTEST_ARGS+=(-L modelcheck)
     ;;
 esac
 

@@ -14,6 +14,7 @@
 #include "obs/trace.hpp"
 #include "parallel/cancel.hpp"
 #include "parallel/chaos.hpp"
+#include "parallel/modelcheck.hpp"
 #include "parallel/race_detector.hpp"
 #include "parallel/thread_team.hpp"
 
@@ -149,6 +150,22 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
         // unless the producer died or stalled, which is why the slow
         // (yield) branch of the empty-slot wait is a cancellation point.
         std::int64_t task;
+        // Under the model checker the empty-slot spin becomes a
+        // cooperative wait on the slot (the publisher's mc::notify on
+        // the same address wakes it), so an unpublished task is a
+        // structural deadlock rather than a livelock.
+        LBMIB_MC_CHECK(if (mc::active()) {
+          mc::sched_point(mc::Op::kEdgeAcquire, &queue_[slot]);
+          const CancelToken* token = CancelToken::current();
+          mc::wait_until(&queue_[slot], [this, slot, token] {
+            return queue_[slot].load(std::memory_order_acquire) !=
+                       kEmptySlot ||
+                   (token != nullptr && token->cancelled());
+          });
+          if (queue_[slot].load(std::memory_order_acquire) == kEmptySlot) {
+            cancel_point("dataflow:task-slot-wait");
+          }
+        })
         int spins = 0;
         while ((task = queue_[slot].load(std::memory_order_acquire)) ==
                kEmptySlot) {
@@ -194,6 +211,8 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
           // time the last one re-reads it), re-join it after observing 1,
           // and release onto the published queue slot.
           for (Size n : region_[cube]) {
+            LBMIB_MC_CHECK(
+                mc::sched_point(mc::Op::kEdgeAcqRel, &pending_[n]);)
             LBMIB_RACE_CHECK(race::edge_acq_rel(&pending_[n]);)
             if (pending_[n].fetch_sub(1, std::memory_order_acq_rel) == 1) {
               LBMIB_RACE_CHECK(race::edge_acquire(&pending_[n]);)
@@ -202,6 +221,7 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
               LBMIB_RACE_CHECK(race::edge_release(&queue_[out]);)
               queue_[out].store(encode_update(n),
                                 std::memory_order_release);
+              LBMIB_MC_CHECK(mc::notify(&queue_[out]);)
             }
           }
         } else {
@@ -307,8 +327,10 @@ void DataflowCubeSolver::run_overlapped(Index num_steps) {
 
   auto publish = [&](std::int64_t task) {
     const Size slot = tail.fetch_add(1, std::memory_order_relaxed);
+    LBMIB_MC_CHECK(mc::sched_point(mc::Op::kEdgeRelease, &queue[slot]);)
     LBMIB_RACE_CHECK(race::edge_release(&queue[slot]);)
     queue[slot].store(task, std::memory_order_release);
+    LBMIB_MC_CHECK(mc::notify(&queue[slot]);)
   };
 
   // Fused pipeline: there is no per-step copy (and no quiescent point to
@@ -332,6 +354,18 @@ void DataflowCubeSolver::run_overlapped(Index num_steps) {
       if (slot >= total_tasks) break;
       board.beat("dataflow:overlapped-task");
       std::int64_t task;
+      LBMIB_MC_CHECK(if (mc::active()) {
+        mc::sched_point(mc::Op::kEdgeAcquire, &queue[slot]);
+        const CancelToken* token = CancelToken::current();
+        mc::wait_until(&queue[slot], [&queue, slot, token] {
+          return queue[slot].load(std::memory_order_acquire) !=
+                     kEmptySlot ||
+                 (token != nullptr && token->cancelled());
+        });
+        if (queue[slot].load(std::memory_order_acquire) == kEmptySlot) {
+          cancel_point("dataflow:overlapped-slot-wait");
+        }
+      })
       int spins = 0;
       while ((task = queue[slot].load(std::memory_order_acquire)) ==
              kEmptySlot) {
@@ -385,6 +419,7 @@ void DataflowCubeSolver::run_overlapped(Index num_steps) {
         // Enable update(step, n) for completed neighbourhoods.
         for (Size n : region_[cube]) {
           auto& counter = pending[(2 + parity) * ncubes + n];
+          LBMIB_MC_CHECK(mc::sched_point(mc::Op::kEdgeAcqRel, &counter);)
           LBMIB_RACE_CHECK(race::edge_acq_rel(&counter);)
           if (counter.fetch_sub(1, std::memory_order_acq_rel) == 1) {
             LBMIB_RACE_CHECK(race::edge_acquire(&counter);)
@@ -412,6 +447,7 @@ void DataflowCubeSolver::run_overlapped(Index num_steps) {
           const Size next_parity = (step + 1) & 1;
           for (Size n : region_[cube]) {
             auto& counter = pending[next_parity * ncubes + n];
+            LBMIB_MC_CHECK(mc::sched_point(mc::Op::kEdgeAcqRel, &counter);)
             LBMIB_RACE_CHECK(race::edge_acq_rel(&counter);)
             if (counter.fetch_sub(1, std::memory_order_acq_rel) == 1) {
               LBMIB_RACE_CHECK(race::edge_acquire(&counter);)

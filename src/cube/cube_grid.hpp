@@ -20,6 +20,7 @@
 #include "common/types.hpp"
 #include "common/vec3.hpp"
 #include "parallel/access_checker.hpp"
+#include "parallel/modelcheck.hpp"
 #include "parallel/race_detector.hpp"
 #include "parallel/spinlock.hpp"
 #include "parallel/thread_safety.hpp"
@@ -157,6 +158,10 @@ class CubeGrid {
   /// to_planar / checkpoints) always follow the current bases, so
   /// serialized state is parity-safe by construction. See DESIGN.md §11.
   void swap_df_buffers() {
+    // Schedule point so the model checker can order the swap against
+    // in-flight kernel accesses: under exploration a premature swap
+    // manifests as a race on the df fields below in some schedule.
+    LBMIB_MC_CHECK(mc::sched_point(mc::Op::kAccess, this);)
     LBMIB_ACCESS_CHECK(if (checker_ != nullptr) checker_->check_swap();)
     // The swap retargets both logical distribution fields of every cube
     // at once, so model it as an exclusive write to all of them: any

@@ -7,6 +7,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/cancel.hpp"
+#include "parallel/modelcheck.hpp"
 #include "parallel/race_detector.hpp"
 
 namespace lbmib {
@@ -84,6 +85,36 @@ void SpinBarrier::arrive_and_wait() {
   // without also corrupting the arrival count.
   cancel_point("SpinBarrier::arrive_and_wait");
   LBMIB_TRACE_ON(BarrierWaitScope trace_wait_scope;)
+  // Under the model checker the arrival is a schedule point and the
+  // generation spin becomes a cooperative wait, so the engine can
+  // enumerate arrival orders and detect a wedged generation as a
+  // structural deadlock instead of a spin.
+  LBMIB_MC_CHECK(if (mc::active()) {
+    mc::sched_point(mc::Op::kBarrierArrive, this);
+    const std::uint64_t mc_race_generation =
+        race_barrier_arrive(this, num_threads_);
+    const std::uint64_t mc_generation =
+        generation_.load(std::memory_order_acquire);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(num_threads_, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_release);
+      mc::notify(this);
+      race_barrier_leave(this, mc_race_generation);
+      return;
+    }
+    const CancelToken* token = CancelToken::current();
+    mc::wait_until(this, [this, mc_generation, token] {
+      return generation_.load(std::memory_order_acquire) != mc_generation ||
+             (token != nullptr && token->cancelled());
+    });
+    if (generation_.load(std::memory_order_acquire) == mc_generation) {
+      // Woken by cancellation, not release: poisoned, same as the real
+      // path's CancelledError.
+      cancel_point("SpinBarrier::arrive_and_wait");
+    }
+    race_barrier_leave(this, mc_race_generation);
+    return;
+  })
   const std::uint64_t race_generation =
       race_barrier_arrive(this, num_threads_);
   const std::uint64_t my_generation =
@@ -127,6 +158,44 @@ BlockingBarrier::~BlockingBarrier() { race_barrier_forget(this); }
 void BlockingBarrier::arrive_and_wait() {
   cancel_point("BlockingBarrier::arrive_and_wait");
   LBMIB_TRACE_ON(BarrierWaitScope trace_wait_scope;)
+  // Cooperative path: the condvar wait is replaced by mc::wait_until so
+  // the engine sees a blocked thread. The predicate takes the barrier
+  // mutex itself (it is evaluated on notifying threads too); the mutex
+  // is never held across a schedule point, so it cannot contend.
+  LBMIB_MC_CHECK(if (mc::active()) {
+    mc::sched_point(mc::Op::kBarrierArrive, this);
+    const std::uint64_t mc_race_generation =
+        race_barrier_arrive(this, num_threads_);
+    bool mc_last = false;
+    std::uint64_t mc_generation;
+    {
+      MutexLock lock(mutex_);
+      mc_generation = generation_;
+      if (--remaining_ == 0) {
+        remaining_ = num_threads_;
+        ++generation_;
+        mc_last = true;
+      }
+    }
+    if (mc_last) {
+      mc::notify(this);
+    } else {
+      const CancelToken* token = CancelToken::current();
+      mc::wait_until(this, [this, mc_generation, token] {
+        MutexLock lock(mutex_);
+        return generation_ != mc_generation ||
+               (token != nullptr && token->cancelled());
+      });
+      bool released;
+      {
+        MutexLock lock(mutex_);
+        released = generation_ != mc_generation;
+      }
+      if (!released) cancel_point("BlockingBarrier::arrive_and_wait");
+    }
+    race_barrier_leave(this, mc_race_generation);
+    return;
+  })
   const std::uint64_t race_generation =
       race_barrier_arrive(this, num_threads_);
   bool last = false;

@@ -4,8 +4,34 @@
 #include <cstring>
 
 #include "obs/metrics.hpp"
+#include "parallel/modelcheck.hpp"
 
 namespace lbmib {
+
+namespace {
+
+/// Model-checker side of a cancellation: the claim is a schedule point
+/// (so the checker can interleave racing cancel() calls and verify the
+/// first-caller-wins protocol) and the publish wakes every blocked
+/// cooperative wait — their predicates all poll cancelled(), which is
+/// how a model-checked cancellation unwedges a parked barrier/channel
+/// wait. Both calls are no-ops outside an exploration; the notify is
+/// shielded because cancel() is noexcept.
+inline void mc_token_claim_point(const void* token) noexcept {
+  LBMIB_MC_CHECK(mc::sched_point_noexcept(mc::Op::kTokenClaim, token);)
+  (void)token;
+}
+
+inline void mc_token_publish() noexcept {
+  LBMIB_MC_CHECK(if (mc::active()) {
+    try {
+      mc::notify(nullptr);
+    } catch (...) {
+    }
+  })
+}
+
+}  // namespace
 
 namespace {
 
@@ -36,16 +62,19 @@ void CancelToken::cancel(const char* reason, CancelCause cause) noexcept {
   // First caller claims the token; the publish below is the release
   // store readers' acquire loads pair with, so reason/cause are visible
   // before cancelled() turns true.
+  mc_token_claim_point(this);
   if (claimed_.exchange(true, std::memory_order_acq_rel)) return;
   reason_.store(reason != nullptr ? reason : "cancelled",
                 std::memory_order_relaxed);
   cause_.store(cause, std::memory_order_relaxed);
   obs::metric_cancellations().inc();
   cancelled_.store(true, std::memory_order_release);
+  mc_token_publish();
 }
 
 void CancelToken::cancel(const std::string& reason,
                          CancelCause cause) noexcept {
+  mc_token_claim_point(this);
   if (claimed_.exchange(true, std::memory_order_acq_rel)) return;
   const std::size_t n =
       std::min(reason.size(), sizeof(detail_) - 1);
@@ -55,6 +84,7 @@ void CancelToken::cancel(const std::string& reason,
   cause_.store(cause, std::memory_order_relaxed);
   obs::metric_cancellations().inc();
   cancelled_.store(true, std::memory_order_release);
+  mc_token_publish();
 }
 
 std::string CancelToken::reason() const {

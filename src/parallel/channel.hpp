@@ -40,6 +40,7 @@
 #include "obs/trace.hpp"
 #include "parallel/cancel.hpp"
 #include "parallel/chaos.hpp"
+#include "parallel/modelcheck.hpp"
 #include "parallel/mutex.hpp"
 #include "parallel/race_detector.hpp"
 
@@ -64,6 +65,10 @@ class Channel {
   Channel& operator=(const Channel&) = delete;
 
   void send(T value) {
+    // Schedule point before the push; the mc::notify after the push is
+    // what model-checked receivers cooperatively wait on (the condvar
+    // notify below is a no-op for them).
+    LBMIB_MC_CHECK(mc::sched_point(mc::Op::kChanSend, this);)
     int copies = 1;
     if (chaos::enabled()) {
       switch (chaos::on_channel_send()) {
@@ -92,9 +97,36 @@ class Channel {
     }
     if (copies > 1) cv_.notify_all();
     else cv_.notify_one();
+    LBMIB_MC_CHECK(mc::notify(this);)
   }
 
   T recv() {
+    // Model-checked path: replace the bounded condvar poll with a
+    // cooperative wait so the engine sees a blocked receiver (a message
+    // that can never arrive is a structural deadlock, and a send/recv
+    // ordering that loses the wakeup would show as one too).
+    LBMIB_MC_CHECK(if (mc::active()) {
+      mc::sched_point(mc::Op::kChanRecv, this);
+      const CancelToken* token = CancelToken::current();
+      for (;;) {
+        {
+          MutexLock lock(mutex_);
+          if (!queue_.empty()) return pop_locked();
+        }
+        mc::wait_until(this, [this, token] {
+          MutexLock lock(mutex_);
+          return !queue_.empty() ||
+                 (token != nullptr && token->cancelled());
+        });
+        {
+          MutexLock lock(mutex_);
+          if (!queue_.empty()) return pop_locked();
+        }
+        // Woken with an empty queue: only cancellation can do that
+        // (no schedule point separates the wakeup from the re-check).
+        cancel_point("Channel::recv");
+      }
+    })
     MutexLock lock(mutex_);
     while (queue_.empty()) {
       // Bounded wait so a receiver whose message never arrives can be
@@ -111,6 +143,7 @@ class Channel {
   /// Non-blocking receive: the next message, or nullopt when the
   /// channel is empty right now.
   std::optional<T> try_recv() {
+    LBMIB_MC_CHECK(mc::sched_point(mc::Op::kChanTryRecv, this);)
     MutexLock lock(mutex_);
     if (queue_.empty()) return std::nullopt;
     return pop_locked();
@@ -120,6 +153,31 @@ class Channel {
   /// then returns nullopt. Polls the CancelToken like recv().
   template <class Rep, class Period>
   std::optional<T> recv_for(std::chrono::duration<Rep, Period> timeout) {
+    // Model-checked path: the deadline is abstracted away — the
+    // scheduler may fire the timeout as an explicit transition at any
+    // point while the receiver is blocked, so both outcomes (message
+    // and nullopt) are explored regardless of the real duration.
+    LBMIB_MC_CHECK(if (mc::active()) {
+      mc::sched_point(mc::Op::kChanRecvFor, this);
+      const CancelToken* token = CancelToken::current();
+      for (;;) {
+        {
+          MutexLock lock(mutex_);
+          if (!queue_.empty()) return pop_locked();
+        }
+        const bool pred_held = mc::wait_until_for(this, [this, token] {
+          MutexLock lock(mutex_);
+          return !queue_.empty() ||
+                 (token != nullptr && token->cancelled());
+        });
+        if (!pred_held) return std::nullopt;
+        {
+          MutexLock lock(mutex_);
+          if (!queue_.empty()) return pop_locked();
+        }
+        cancel_point("Channel::recv_for");
+      }
+    })
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     MutexLock lock(mutex_);
     while (queue_.empty()) {

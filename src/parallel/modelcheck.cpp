@@ -1,0 +1,887 @@
+// The model-checking engine behind parallel/modelcheck.hpp: a
+// serializing virtual-thread scheduler plus stateless DPOR exploration.
+//
+// One OS thread backs each virtual thread, but a token handoff keeps
+// exactly one runnable: threads park inside the hooks (sched_point /
+// wait_until) on the engine's condition variable and the controller —
+// the thread that called explore()/replay() — picks who proceeds at
+// every schedule point. Replaying a recorded choice list therefore
+// reproduces an execution exactly, which is what both DPOR (stateless
+// backtracking re-runs a forced prefix) and failure replay rely on.
+//
+// DPOR bookkeeping follows Flanagan & Godefroid (POPL'05): a persistent
+// stack of frames, one per schedule point of the current execution
+// prefix, each carrying the enabled set, the backtrack set, the done
+// set and a sleep set. Two events are dependent iff they touch the same
+// object (conservative: no commutativity special cases), so the
+// reduction never prunes an ordering that could matter. Cross-run event
+// identity uses small integer object ids assigned in first-touch order
+// — raw pointers are not stable across runs because every schedule
+// reconstructs the model's state from scratch.
+#include "parallel/modelcheck.hpp"
+
+#if LBMIB_MODELCHECK_ENABLED
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "parallel/cancel.hpp"
+#include "parallel/race_detector.hpp"
+
+namespace lbmib::mc {
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kThreadStart:
+      return "thread.start";
+    case Op::kThreadCreate:
+      return "thread.create";
+    case Op::kThreadJoin:
+      return "thread.join";
+    case Op::kYield:
+      return "yield";
+    case Op::kWaitRetry:
+      return "wait.retry";
+    case Op::kTimeout:
+      return "timeout";
+    case Op::kLockAcquire:
+      return "lock.acquire";
+    case Op::kLockTryAcquire:
+      return "lock.try";
+    case Op::kLockRelease:
+      return "lock.release";
+    case Op::kBarrierArrive:
+      return "barrier.arrive";
+    case Op::kChanSend:
+      return "chan.send";
+    case Op::kChanRecv:
+      return "chan.recv";
+    case Op::kChanTryRecv:
+      return "chan.try_recv";
+    case Op::kChanRecvFor:
+      return "chan.recv_for";
+    case Op::kEdgeRelease:
+      return "edge.release";
+    case Op::kEdgeAcquire:
+      return "edge.acquire";
+    case Op::kEdgeAcqRel:
+      return "edge.acq_rel";
+    case Op::kTokenClaim:
+      return "token.claim";
+    case Op::kAccess:
+      return "access";
+  }
+  return "op?";
+}
+
+std::string Schedule::serialize() const {
+  std::string out = "v1:";
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(choices[i]);
+  }
+  return out;
+}
+
+Schedule Schedule::parse(const std::string& text) {
+  require(text.rfind("v1:", 0) == 0,
+          "mc::Schedule::parse: missing v1: prefix in '" + text + "'");
+  Schedule schedule;
+  std::stringstream body(text.substr(3));
+  std::string item;
+  while (std::getline(body, item, ',')) {
+    if (item.empty()) continue;
+    try {
+      schedule.choices.push_back(std::stoi(item));
+    } catch (const std::exception&) {
+      throw Error("mc::Schedule::parse: bad choice '" + item + "'");
+    }
+    require(schedule.choices.back() >= 0,
+            "mc::Schedule::parse: negative thread id");
+  }
+  return schedule;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// virtual threads
+
+struct VThread {
+  // kCreated: allocated by spawn_thread, not yet schedulable.
+  // kReady:   parked at a schedule point, waiting to be chosen.
+  // kRunning: owns the execution token.
+  // kBlocked: parked in a cooperative wait (enabled only if timeout_ok).
+  // kDone:    body returned / threw; OS thread is exiting.
+  enum St : int { kCreated = 0, kReady, kRunning, kBlocked, kDone };
+
+  int id = 0;
+  ThreadBody body;
+  std::thread os;
+  // Atomic so join predicates (evaluated both by notifying threads
+  // holding the engine mutex and by the waiter itself without it) can
+  // read it freely.
+  std::atomic<int> state{kCreated};
+  Op pending_op = Op::kThreadStart;
+  const void* pending_obj = nullptr;
+  const void* wait_obj = nullptr;
+  const std::function<bool()>* wait_pred = nullptr;
+  bool timeout_ok = false;
+  bool timeout_fired = false;
+  std::exception_ptr error;
+};
+
+thread_local VThread* t_self = nullptr;
+
+// sorted-small-set helpers (thread ids; sets have <= a few entries)
+bool set_contains(const std::vector<int>& set, int value) {
+  return std::find(set.begin(), set.end(), value) != set.end();
+}
+
+void set_insert(std::vector<int>& set, int value) {
+  if (!set_contains(set, value)) set.push_back(value);
+}
+
+// ---------------------------------------------------------------------
+// engine
+
+struct RunOutcome {
+  bool ok = true;
+  bool diverged = false;  // forced schedule did not match the model
+  std::string error;
+  std::vector<int> choices;
+  std::vector<std::string> trace;
+};
+
+class Engine {
+ public:
+  explicit Engine(const Options& options) : opts_(options) {}
+
+  /// One execution. With use_frames, choices are forced from the DPOR
+  /// stack prefix and fresh frames are pushed beyond it; with an
+  /// external `force` list (replay mode) no DPOR state is kept.
+  RunOutcome run_one(const ModelFactory& factory, bool use_frames,
+                     const std::vector<int>* force);
+
+  /// Advance the DPOR stack to the next unexplored choice; false when
+  /// the schedule space is exhausted.
+  bool backtrack_next();
+
+  bool bound_limited() const { return bound_limited_; }
+
+  // --- hook entry points (called on virtual threads) ----------------
+  void sched_point(VThread* self, Op op, const void* obj);
+  void wait_until(VThread* self, const void* obj,
+                  const std::function<bool()>& pred);
+  bool wait_until_for(VThread* self, const void* obj,
+                      const std::function<bool()>& pred);
+  void notify(const void* obj);
+  int spawn_thread(VThread* self, ThreadBody body);
+  void join_thread(VThread* self, int handle);
+  void name_object(const void* obj, const char* label) {
+    std::lock_guard<std::mutex> lock(mu_);
+    names_[obj] = label;
+  }
+
+ private:
+  // One DPOR frame per schedule point of the current prefix.
+  struct Frame {
+    int chosen = -1;
+    int event_thread = -1;
+    Op op = Op::kYield;
+    int obj_id = -1;  // -1: event not (re)recorded yet
+    std::vector<int> enabled;
+    std::vector<int> backtrack;
+    std::vector<int> done;
+    std::vector<int> sleep_base;
+    int preemptions_before = 0;
+    int prev_thread = -1;  // thread running when this state was reached
+  };
+
+  bool none_running_locked() const {
+    for (const auto& t : threads_) {
+      if (t->state.load(std::memory_order_relaxed) == VThread::kRunning) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  int object_id_locked(const void* obj) {
+    if (obj == nullptr) return -1;
+    auto it = obj_ids_.find(obj);
+    if (it != obj_ids_.end()) return it->second;
+    const int id = static_cast<int>(obj_labels_.size());
+    obj_ids_.emplace(obj, id);
+    auto name = names_.find(obj);
+    obj_labels_.push_back(name != names_.end()
+                              ? name->second
+                              : "obj#" + std::to_string(id));
+    return id;
+  }
+
+  std::string object_label_locked(int obj_id) const {
+    if (obj_id < 0) return "-";
+    return obj_labels_[static_cast<std::size_t>(obj_id)];
+  }
+
+  void notify_locked(const void* obj);
+  void vthread_main(VThread* t);
+  void launch_locked(VThread* t);
+  RunOutcome finish_run(std::unique_lock<std::mutex>& lock, bool ok,
+                        std::string error, bool diverged);
+  std::string describe_stuck_locked() const;
+
+  Options opts_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool aborting_ = false;
+
+  // per-run state
+  std::vector<std::unique_ptr<VThread>> threads_;
+  std::unordered_map<const void*, int> obj_ids_;
+  std::vector<std::string> obj_labels_;
+  std::unordered_map<const void*, std::string> names_;
+  std::vector<std::string> trace_;
+  std::vector<int> choices_;
+  std::uint64_t step_ = 0;
+  int prev_thread_ = -1;
+  int preemptions_ = 0;
+  std::vector<int> cur_sleep_;
+
+  // cross-run state
+  std::vector<Frame> stack_;
+  bool bound_limited_ = false;
+};
+
+Engine* g_engine = nullptr;
+
+void Engine::notify_locked(const void* obj) {
+  for (auto& t : threads_) {
+    if (t->state.load(std::memory_order_relaxed) != VThread::kBlocked) {
+      continue;
+    }
+    if (t->wait_pred == nullptr) continue;
+    if (obj != nullptr && t->wait_obj != obj) continue;
+    // Predicates are side-effect free and only read model state that no
+    // other thread is mutating right now (the notifier holds the
+    // execution token), so evaluating here is safe.
+    if (!(*t->wait_pred)()) continue;
+    t->pending_op = Op::kWaitRetry;
+    t->pending_obj = obj;
+    t->state.store(VThread::kReady, std::memory_order_relaxed);
+  }
+}
+
+void Engine::vthread_main(VThread* t) {
+  t_self = t;
+  bool run_body;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      return t->state.load(std::memory_order_relaxed) == VThread::kRunning ||
+             aborting_;
+    });
+    run_body = !aborting_;
+  }
+  if (run_body) {
+    try {
+      t->body();
+    } catch (const ExecutionAborted&) {
+      // teardown of a failed schedule; nothing to record
+    } catch (...) {
+      t->error = std::current_exception();
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    t->state.store(VThread::kDone, std::memory_order_relaxed);
+    if (!aborting_) {
+      trace_.push_back("T" + std::to_string(t->id) + " exit");
+    }
+    notify_locked(t);  // wake cooperative joiners
+    cv_.notify_all();
+  }
+  t_self = nullptr;
+}
+
+void Engine::launch_locked(VThread* t) {
+  t->os = std::thread([this, t] { vthread_main(t); });
+}
+
+void Engine::sched_point(VThread* self, Op op, const void* obj) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (aborting_) throw ExecutionAborted{};
+  self->pending_op = op;
+  self->pending_obj = obj;
+  self->state.store(VThread::kReady, std::memory_order_relaxed);
+  cv_.notify_all();
+  cv_.wait(lock, [&] {
+    return self->state.load(std::memory_order_relaxed) == VThread::kRunning ||
+           aborting_;
+  });
+  if (aborting_) throw ExecutionAborted{};
+}
+
+void Engine::wait_until(VThread* self, const void* obj,
+                        const std::function<bool()>& pred) {
+  for (;;) {
+    if (pred()) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (aborting_) throw ExecutionAborted{};
+    self->wait_obj = obj;
+    self->wait_pred = &pred;
+    self->timeout_ok = false;
+    self->timeout_fired = false;
+    self->state.store(VThread::kBlocked, std::memory_order_relaxed);
+    cv_.notify_all();
+    cv_.wait(lock, [&] {
+      return self->state.load(std::memory_order_relaxed) ==
+                 VThread::kRunning ||
+             aborting_;
+    });
+    self->wait_pred = nullptr;
+    self->wait_obj = nullptr;
+    if (aborting_) throw ExecutionAborted{};
+  }
+}
+
+bool Engine::wait_until_for(VThread* self, const void* obj,
+                            const std::function<bool()>& pred) {
+  for (;;) {
+    if (pred()) return true;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (aborting_) throw ExecutionAborted{};
+    self->wait_obj = obj;
+    self->wait_pred = &pred;
+    self->timeout_ok = true;
+    self->timeout_fired = false;
+    self->state.store(VThread::kBlocked, std::memory_order_relaxed);
+    cv_.notify_all();
+    cv_.wait(lock, [&] {
+      return self->state.load(std::memory_order_relaxed) ==
+                 VThread::kRunning ||
+             aborting_;
+    });
+    self->wait_pred = nullptr;
+    self->wait_obj = nullptr;
+    self->timeout_ok = false;
+    if (aborting_) throw ExecutionAborted{};
+    if (self->timeout_fired) {
+      self->timeout_fired = false;
+      return false;
+    }
+  }
+}
+
+void Engine::notify(const void* obj) {
+  std::lock_guard<std::mutex> lock(mu_);
+  notify_locked(obj);
+}
+
+int Engine::spawn_thread(VThread* self, ThreadBody body) {
+  VThread* child;
+  int handle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handle = static_cast<int>(threads_.size());
+    threads_.push_back(std::make_unique<VThread>());
+    child = threads_.back().get();
+    child->id = handle;
+    child->body = std::move(body);
+  }
+  // The creation is an event: the child only becomes schedulable after
+  // the scheduler lets this thread perform it.
+  sched_point(self, Op::kThreadCreate, child);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    child->pending_op = Op::kThreadStart;
+    child->state.store(VThread::kReady, std::memory_order_relaxed);
+    launch_locked(child);
+  }
+  return handle;
+}
+
+void Engine::join_thread(VThread* self, int handle) {
+  VThread* child;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    require(handle >= 0 &&
+                handle < static_cast<int>(threads_.size()),
+            "mc::join_thread: bad handle");
+    child = threads_[static_cast<std::size_t>(handle)].get();
+  }
+  sched_point(self, Op::kThreadJoin, child);
+  wait_until(self, child, [child] {
+    return child->state.load(std::memory_order_relaxed) == VThread::kDone;
+  });
+}
+
+std::string Engine::describe_stuck_locked() const {
+  std::string out;
+  for (const auto& t : threads_) {
+    const int st = t->state.load(std::memory_order_relaxed);
+    if (st == VThread::kDone) continue;
+    if (!out.empty()) out += "; ";
+    out += "T" + std::to_string(t->id);
+    if (st == VThread::kCreated) {
+      out += " never started";
+    } else if (st == VThread::kBlocked) {
+      auto it = obj_ids_.find(t->wait_obj);
+      out += " blocked on " +
+             (it != obj_ids_.end() ? object_label_locked(it->second)
+                                   : std::string("obj?"));
+    } else {
+      out += std::string(" parked at ") + to_string(t->pending_op);
+    }
+  }
+  return out;
+}
+
+RunOutcome Engine::finish_run(std::unique_lock<std::mutex>& lock, bool ok,
+                              std::string error, bool diverged) {
+  aborting_ = true;
+  cv_.notify_all();
+  lock.unlock();
+  for (auto& t : threads_) {
+    if (t->os.joinable()) t->os.join();
+  }
+  RunOutcome out;
+  out.ok = ok;
+  out.diverged = diverged;
+  out.error = std::move(error);
+  out.choices = choices_;
+  out.trace = trace_;
+  threads_.clear();  // destroys bodies, releasing per-run model state
+  aborting_ = false;
+  return out;
+}
+
+RunOutcome Engine::run_one(const ModelFactory& factory, bool use_frames,
+                           const std::vector<int>* force) {
+  // --- reset per-run state -----------------------------------------
+  threads_.clear();
+  obj_ids_.clear();
+  obj_labels_.clear();
+  names_.clear();
+  trace_.clear();
+  choices_.clear();
+  step_ = 0;
+  prev_thread_ = -1;
+  preemptions_ = 0;
+  cur_sleep_.clear();
+  aborting_ = false;
+
+  // Fresh happens-before detector per schedule: a race anywhere in this
+  // interleaving throws lbmib::Error out of the offending primitive.
+  std::unique_ptr<ScopedRaceDetector> race;
+  if (opts_.run_race_detector) race = std::make_unique<ScopedRaceDetector>();
+
+  std::vector<ThreadBody> bodies = factory();
+  require(!bodies.empty(), "mc model factory returned no threads");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& body : bodies) {
+      const int id = static_cast<int>(threads_.size());
+      threads_.push_back(std::make_unique<VThread>());
+      VThread* t = threads_.back().get();
+      t->id = id;
+      t->body = std::move(body);
+      t->pending_op = Op::kThreadStart;
+      t->state.store(VThread::kReady, std::memory_order_relaxed);
+      launch_locked(t);
+    }
+  }
+
+  // --- controller loop: one iteration per schedule point ------------
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return none_running_locked(); });
+
+    // A thread that finished with an exception fails the schedule
+    // immediately (barrier partners etc. may be blocked on it forever).
+    for (const auto& t : threads_) {
+      if (t->state.load(std::memory_order_relaxed) == VThread::kDone &&
+          t->error) {
+        std::string what = "T" + std::to_string(t->id) + " failed: ";
+        try {
+          std::rethrow_exception(t->error);
+        } catch (const std::exception& e) {
+          what += e.what();
+        } catch (...) {
+          what += "unknown exception";
+        }
+        return finish_run(lock, false, what, false);
+      }
+    }
+
+    // Enabled = parked at a schedule point, or blocked in a wait whose
+    // timeout the scheduler may fire.
+    std::vector<int> enabled;
+    bool all_done = true;
+    for (const auto& t : threads_) {
+      const int st = t->state.load(std::memory_order_relaxed);
+      if (st != VThread::kDone) all_done = false;
+      if (st == VThread::kReady ||
+          (st == VThread::kBlocked && t->timeout_ok)) {
+        enabled.push_back(t->id);
+      }
+    }
+    if (enabled.empty()) {
+      if (all_done) return finish_run(lock, true, "", false);
+      return finish_run(lock, false, "deadlock: " + describe_stuck_locked(),
+                        false);
+    }
+
+    // --- choose ----------------------------------------------------
+    int chosen;
+    bool fresh_frame = false;
+    Frame* frame = nullptr;
+    if (use_frames && step_ < stack_.size()) {
+      frame = &stack_[step_];
+      chosen = frame->chosen;
+      if (!set_contains(enabled, chosen)) {
+        return finish_run(
+            lock, false,
+            "internal: replayed choice T" + std::to_string(chosen) +
+                " not enabled at step " + std::to_string(step_) +
+                " (nondeterministic model?)",
+            true);
+      }
+    } else if (force != nullptr && step_ < force->size()) {
+      chosen = (*force)[step_];
+      if (!set_contains(enabled, chosen)) {
+        return finish_run(lock, false,
+                          "schedule diverged at step " +
+                              std::to_string(step_) + ": T" +
+                              std::to_string(chosen) + " is not enabled",
+                          true);
+      }
+    } else {
+      // Free choice. Effective sleep set = inherited sleep; prefer
+      // staying on the previous thread (no preemption), else lowest id.
+      const bool prev_enabled = set_contains(enabled, prev_thread_);
+      std::vector<int> candidates;
+      const bool over_bound = opts_.preemption_bound >= 0 &&
+                              preemptions_ >= opts_.preemption_bound;
+      for (int id : enabled) {
+        if (over_bound && prev_enabled && id != prev_thread_) {
+          bound_limited_ = true;
+          continue;  // a switch away from a runnable thread = preemption
+        }
+        candidates.push_back(id);
+      }
+      if (candidates.empty()) candidates = enabled;  // bound fallback
+      std::vector<int> awake;
+      for (int id : candidates) {
+        if (!set_contains(cur_sleep_, id)) awake.push_back(id);
+      }
+      if (awake.empty()) awake = candidates;  // sleep-blocked: redundant run
+      chosen = set_contains(awake, prev_thread_) ? prev_thread_ : awake[0];
+      if (use_frames) {
+        fresh_frame = true;
+        Frame f;
+        f.chosen = chosen;
+        f.event_thread = chosen;
+        f.enabled = enabled;
+        f.done = {chosen};
+        f.backtrack = {chosen};
+        f.sleep_base = cur_sleep_;
+        f.preemptions_before = preemptions_;
+        f.prev_thread = prev_thread_;
+        stack_.push_back(std::move(f));
+        frame = &stack_.back();
+      }
+    }
+
+    // --- record the event ------------------------------------------
+    VThread* t = threads_[static_cast<std::size_t>(chosen)].get();
+    Op op;
+    const void* obj;
+    const bool is_timeout =
+        t->state.load(std::memory_order_relaxed) == VThread::kBlocked;
+    if (is_timeout) {
+      op = Op::kTimeout;
+      obj = t->wait_obj;
+    } else {
+      op = t->pending_op;
+      obj = t->pending_obj;
+    }
+    const int obj_id = object_id_locked(obj);
+    choices_.push_back(chosen);
+    trace_.push_back("#" + std::to_string(step_) + " T" +
+                     std::to_string(chosen) + " " + to_string(op) + " " +
+                     object_label_locked(obj_id));
+
+    if (frame != nullptr) {
+      if (frame->obj_id < 0 || fresh_frame) {
+        // First execution of this choice: record the event and add the
+        // DPOR backtrack point at the last dependent event by another
+        // thread (Flanagan-Godefroid update).
+        frame->op = op;
+        frame->obj_id = obj_id;
+        frame->event_thread = chosen;
+        if (obj_id >= 0) {
+          for (std::size_t j = step_; j-- > 0;) {
+            Frame& g = stack_[j];
+            if (g.event_thread == chosen || g.obj_id != obj_id) continue;
+            if (set_contains(g.enabled, chosen)) {
+              set_insert(g.backtrack, chosen);
+            } else {
+              for (int id : g.enabled) set_insert(g.backtrack, id);
+            }
+            break;
+          }
+        }
+      } else if (frame->op != op || frame->obj_id != obj_id) {
+        return finish_run(lock, false,
+                          "internal: replay divergence at step " +
+                              std::to_string(step_) +
+                              " (nondeterministic model?)",
+                          true);
+      }
+      // Sleep-set advance: previously explored siblings sleep until an
+      // event dependent with their pending operation executes.
+      std::vector<int> effective = frame->sleep_base;
+      for (int id : frame->done) {
+        if (id != chosen) set_insert(effective, id);
+      }
+      cur_sleep_.clear();
+      for (int q : effective) {
+        if (q == chosen) continue;
+        const VThread* tq = threads_[static_cast<std::size_t>(q)].get();
+        const void* qobj =
+            tq->state.load(std::memory_order_relaxed) == VThread::kBlocked
+                ? tq->wait_obj
+                : tq->pending_obj;
+        if (obj == nullptr || qobj == nullptr || qobj != obj) {
+          cur_sleep_.push_back(q);
+        }
+      }
+    }
+
+    if (prev_thread_ >= 0 && chosen != prev_thread_ &&
+        set_contains(enabled, prev_thread_)) {
+      ++preemptions_;
+    }
+    prev_thread_ = chosen;
+
+    ++step_;
+    if (step_ > opts_.max_steps) {
+      return finish_run(lock, false,
+                        "step limit (" + std::to_string(opts_.max_steps) +
+                            ") exceeded: model livelock?",
+                        false);
+    }
+
+    // --- hand the token over ---------------------------------------
+    if (is_timeout) t->timeout_fired = true;
+    t->state.store(VThread::kRunning, std::memory_order_relaxed);
+    cv_.notify_all();
+  }
+}
+
+bool Engine::backtrack_next() {
+  while (!stack_.empty()) {
+    Frame& f = stack_.back();
+    for (int c : f.backtrack) {
+      if (set_contains(f.done, c)) continue;
+      // Respect the preemption bound: switching away from a runnable
+      // previous thread is a preemption.
+      const bool preempt = f.prev_thread >= 0 && c != f.prev_thread &&
+                           set_contains(f.enabled, f.prev_thread);
+      if (opts_.preemption_bound >= 0 &&
+          f.preemptions_before + (preempt ? 1 : 0) >
+              opts_.preemption_bound) {
+        f.done.push_back(c);
+        bound_limited_ = true;
+        continue;
+      }
+      f.done.push_back(c);
+      f.chosen = c;
+      f.event_thread = c;
+      f.obj_id = -1;  // event will be re-recorded on the next run
+      return true;
+    }
+    stack_.pop_back();
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------
+// artifacts
+
+void write_artifact(const Options& opts, const Result& result) {
+  if (opts.artifact_dir.empty()) return;
+  try {
+    std::filesystem::create_directories(opts.artifact_dir);
+    std::ofstream out(std::filesystem::path(opts.artifact_dir) /
+                      (opts.name + ".schedule"));
+    out << "model: " << opts.name << "\n";
+    out << "error: " << result.error << "\n";
+    out << "schedule: " << result.failing_schedule.serialize() << "\n";
+    out << "trace:\n";
+    for (const std::string& line : result.trace) out << "  " << line << "\n";
+  } catch (const std::exception&) {
+    // Artifacts are best-effort; the failure itself is already reported.
+  }
+}
+
+Options with_artifact_env(Options opts) {
+  if (opts.artifact_dir.empty()) {
+    if (const char* env = std::getenv("LBMIB_MC_ARTIFACT_DIR")) {
+      opts.artifact_dir = env;
+    }
+  }
+  return opts;
+}
+
+/// RAII installation so an exception cannot leave a dangling engine.
+class EngineScope {
+ public:
+  explicit EngineScope(Engine* engine) {
+    require(g_engine == nullptr, "mc: nested exploration is not supported");
+    g_engine = engine;
+  }
+  ~EngineScope() { g_engine = nullptr; }
+  EngineScope(const EngineScope&) = delete;
+  EngineScope& operator=(const EngineScope&) = delete;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// public API
+
+Result explore(const Options& options, const ModelFactory& factory) {
+  const Options opts = with_artifact_env(options);
+  Engine engine(opts);
+  EngineScope scope(&engine);
+  Result result;
+  for (;;) {
+    RunOutcome out = engine.run_one(factory, /*use_frames=*/true, nullptr);
+    ++result.schedules;
+    if (!out.ok) {
+      result.ok = false;
+      result.error = "[" + opts.name + "] schedule " +
+                     Schedule{out.choices}.serialize() + ": " + out.error;
+      result.failing_schedule.choices = out.choices;
+      result.trace = out.trace;
+      result.bound_limited = engine.bound_limited();
+      write_artifact(opts, result);
+      return result;
+    }
+    if (result.schedules >= opts.max_schedules) break;
+    if (!engine.backtrack_next()) {
+      result.exhausted = true;
+      break;
+    }
+  }
+  result.bound_limited = engine.bound_limited();
+  return result;
+}
+
+Result replay(const Options& options, const ModelFactory& factory,
+              const Schedule& schedule) {
+  const Options opts = with_artifact_env(options);
+  Engine engine(opts);
+  EngineScope scope(&engine);
+  RunOutcome out =
+      engine.run_one(factory, /*use_frames=*/false, &schedule.choices);
+  if (out.diverged) {
+    throw Error("[" + opts.name + "] replay: " + out.error);
+  }
+  Result result;
+  result.schedules = 1;
+  result.ok = out.ok;
+  if (!out.ok) {
+    result.error = "[" + opts.name + "] schedule " +
+                   Schedule{out.choices}.serialize() + ": " + out.error;
+  }
+  result.failing_schedule.choices = out.choices;
+  result.trace = out.trace;
+  return result;
+}
+
+bool active() noexcept { return g_engine != nullptr && t_self != nullptr; }
+
+void sched_point(Op op, const void* obj) {
+  if (g_engine != nullptr && t_self != nullptr) {
+    g_engine->sched_point(t_self, op, obj);
+  }
+}
+
+void sched_point_noexcept(Op op, const void* obj) noexcept {
+  if (g_engine == nullptr || t_self == nullptr) return;
+  try {
+    g_engine->sched_point(t_self, op, obj);
+  } catch (const ExecutionAborted&) {
+    // noexcept call site (CancelToken::cancel): swallow the teardown
+    // signal; the next throwing hook on this thread unwinds it.
+  }
+}
+
+void wait_until(const void* obj, const std::function<bool()>& pred) {
+  if (g_engine != nullptr && t_self != nullptr) {
+    g_engine->wait_until(t_self, obj, pred);
+    return;
+  }
+  // Not under an exploration: callers only reach this from LBMIB_MC
+  // blocks guarded by active(), so this is unreachable — but degrade to
+  // a sane busy wait rather than corrupting state if misused.
+  while (!pred()) std::this_thread::yield();
+}
+
+bool wait_until_for(const void* obj, const std::function<bool()>& pred) {
+  if (g_engine != nullptr && t_self != nullptr) {
+    return g_engine->wait_until_for(t_self, obj, pred);
+  }
+  return pred();
+}
+
+void notify(const void* obj) {
+  if (g_engine != nullptr) g_engine->notify(obj);
+}
+
+bool cancel_requested() noexcept {
+  const CancelToken* token = CancelToken::current();
+  return token != nullptr && token->cancelled();
+}
+
+int spawn_thread(ThreadBody body) {
+  require(g_engine != nullptr && t_self != nullptr,
+          "mc::spawn_thread outside an exploration");
+  return g_engine->spawn_thread(t_self, std::move(body));
+}
+
+void join_thread(int handle) {
+  require(g_engine != nullptr && t_self != nullptr,
+          "mc::join_thread outside an exploration");
+  g_engine->join_thread(t_self, handle);
+}
+
+void name_object(const void* obj, const char* label) {
+  if (g_engine != nullptr) g_engine->name_object(obj, label);
+}
+
+void check(bool condition, const char* message) {
+  if (!condition) {
+    throw Error(std::string("model check failed: ") + message);
+  }
+}
+
+}  // namespace lbmib::mc
+
+#endif  // LBMIB_MODELCHECK_ENABLED

@@ -1,0 +1,220 @@
+// Schedule-space model checking over the library's sync primitives.
+//
+// The PR-2 access checker, PR-4 race detector and PR-6 liveness tests
+// all observe the *single* interleaving the OS happens to produce; a
+// protocol bug that needs one unlucky preemption passes CI forever.
+// This header adds a loom/CHESS-style systematic concurrency checker:
+// a cooperative virtual-thread scheduler that seizes control at every
+// sync operation of SpinBarrier, BlockingBarrier, SpinLock, Mutex,
+// Channel, ThreadTeam, CancelToken and the dataflow queue slots, then
+// exhaustively enumerates interleavings of small models using dynamic
+// partial-order reduction (DPOR) with sleep sets and a configurable
+// CHESS-style preemption bound (DESIGN.md §15).
+//
+// Execution model. Each explored schedule runs the model's threads as
+// real std::threads, but exactly one is runnable at a time: a thread
+// parks inside every hook (sched_point / wait_until) and the engine's
+// controller decides who proceeds. Code between two hooks is therefore
+// atomic, which is exactly the granularity at which the library's
+// protocols can interleave — the hooks sit at the same seams the inst::
+// stream and the PR-6 cancel_points already mark. Blocking waits are
+// rewritten cooperatively: a waiter deschedules until a notify() on the
+// same object re-enables it, so the checker sees a *blocked* thread
+// (deadlock candidates are detected structurally) instead of a spin.
+//
+// Every explored schedule runs under a fresh happens-before race
+// detector (LBMIB_MODELCHECK=ON implies LBMIB_RACE_DETECT=ON and
+// LBMIB_CHECK_ACCESS=ON at configure time), so a single clean
+// exploration is an exhaustive proof — for that bounded configuration —
+// that no interleaving races, deadlocks, loses a wakeup, or violates a
+// model assertion.
+//
+// Failures are replayable: Result::failing_schedule serializes to a
+// comma-separated choice list that replay() re-executes byte-for-byte
+// deterministically (models must not branch on time or unseeded
+// randomness; the engine itself never consults either).
+//
+// Everything is gated behind the LBMIB_MODELCHECK compile definition
+// via LBMIB_MC_CHECK(...), the same zero-cost pattern as
+// LBMIB_RACE_CHECK: in a normal build the hooks expand to nothing and
+// this header defines only the empty macro.
+#pragma once
+
+#if defined(LBMIB_MODELCHECK) && LBMIB_MODELCHECK
+#define LBMIB_MC_CHECK(...) __VA_ARGS__
+#define LBMIB_MODELCHECK_ENABLED 1
+#else
+#define LBMIB_MC_CHECK(...)
+#define LBMIB_MODELCHECK_ENABLED 0
+#endif
+
+#if LBMIB_MODELCHECK_ENABLED
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lbmib::mc {
+
+/// Operation kinds announced at schedule points. The (kind, object)
+/// pair drives the DPOR dependence relation: two events conflict iff
+/// they touch the same object, so the checker only explores orderings
+/// that can matter.
+enum class Op : int {
+  kThreadStart = 0,  ///< first event of every virtual thread
+  kThreadCreate,     ///< ThreadTeam fork (object = child thread)
+  kThreadJoin,       ///< ThreadTeam join (object = child thread)
+  kYield,            ///< voluntary model-level yield (no object)
+  kWaitRetry,        ///< re-check of a cooperative wait's predicate
+  kTimeout,          ///< scheduler fired a bounded wait's timeout
+  kLockAcquire,      ///< SpinLock::lock
+  kLockTryAcquire,   ///< SpinLock::try_lock
+  kLockRelease,      ///< SpinLock::unlock
+  kBarrierArrive,    ///< Barrier::arrive_and_wait
+  kChanSend,         ///< Channel::send
+  kChanRecv,         ///< Channel::recv
+  kChanTryRecv,      ///< Channel::try_recv
+  kChanRecvFor,      ///< Channel::recv_for
+  kEdgeRelease,      ///< dataflow queue-slot publish
+  kEdgeAcquire,      ///< dataflow queue-slot consume
+  kEdgeAcqRel,       ///< dataflow dependence-counter decrement
+  kTokenClaim,       ///< CancelToken::cancel claim
+  kAccess,           ///< generic model-level shared access
+};
+
+const char* to_string(Op op);
+
+/// A serialized schedule: the thread id chosen at every schedule point.
+/// serialize() produces "v1:0,1,1,0" (version prefix + comma-separated
+/// choices); parse() inverts it and throws lbmib::Error on malformed
+/// input. Replaying the same schedule against the same model reproduces
+/// the identical event trace (and failure) byte for byte.
+struct Schedule {
+  std::vector<int> choices;
+
+  std::string serialize() const;
+  static Schedule parse(const std::string& text);
+  bool empty() const { return choices.empty(); }
+};
+
+/// Exploration knobs. A model is a factory returning one closure per
+/// virtual thread; the factory runs once per schedule so every schedule
+/// starts from identical state (share per-schedule state between the
+/// closures via shared_ptr capture).
+struct Options {
+  /// Name used in failure reports and artifact file names.
+  std::string name = "model";
+  /// CHESS-style preemption bound: schedules needing more involuntary
+  /// context switches are pruned. -1 = unbounded (full DPOR space).
+  int preemption_bound = -1;
+  /// Safety valve on the number of executions; exceeding it returns
+  /// with exhausted=false instead of running forever.
+  std::uint64_t max_schedules = 100000;
+  /// Per-execution step limit; tripping it fails the schedule (a model
+  /// livelock — e.g. an unbounded poll loop — is a bug to report).
+  std::uint64_t max_steps = 100000;
+  /// Run every schedule under a fresh ScopedRaceDetector so the PR-4
+  /// happens-before checker validates each interleaving.
+  bool run_race_detector = true;
+  /// Directory for failure-schedule artifacts ("" = $LBMIB_MC_ARTIFACT_DIR,
+  /// unset meaning none): on failure, explore() writes
+  /// <dir>/<name>.schedule with the schedule, trace and error.
+  std::string artifact_dir;
+};
+
+struct Result {
+  bool ok = true;
+  /// Whole schedule space explored (within the preemption bound).
+  bool exhausted = false;
+  /// At least one schedule was pruned by the preemption bound.
+  bool bound_limited = false;
+  std::uint64_t schedules = 0;
+  /// Failure description ("" when ok): deadlock, race, assertion, ...
+  std::string error;
+  /// The schedule that produced the failure (empty when ok).
+  Schedule failing_schedule;
+  /// Event trace: full trace of the run for replay(); failing run's
+  /// trace for explore() failures; empty otherwise.
+  std::vector<std::string> trace;
+};
+
+using ThreadBody = std::function<void()>;
+using ModelFactory = std::function<std::vector<ThreadBody>()>;
+
+/// Exhaustively explore the model's schedule space. Stops at the first
+/// failing schedule (result carries the replayable schedule and trace)
+/// or when the space is exhausted / max_schedules is hit.
+Result explore(const Options& options, const ModelFactory& factory);
+
+/// Re-execute one serialized schedule (e.g. from a failure artifact).
+/// The result always carries the full event trace; ok reflects whether
+/// the schedule still fails. Throws lbmib::Error if the schedule
+/// diverges from the model (wrong model or corrupted schedule).
+Result replay(const Options& options, const ModelFactory& factory,
+              const Schedule& schedule);
+
+// --- hooks (called by the primitives and by model code) --------------
+// All of these are no-ops unless an exploration is running AND the
+// calling thread is one of its virtual threads, so primitives stay
+// usable from un-modeled threads (test main, watchdog) even in
+// LBMIB_MODELCHECK builds.
+
+/// True when the calling thread is a virtual thread of a live
+/// exploration — the primitives' test for "take the cooperative path".
+bool active() noexcept;
+
+/// Announce the next operation and park until the scheduler picks this
+/// thread. Throws ExecutionAborted during teardown of a failed run.
+void sched_point(Op op, const void* obj);
+
+/// sched_point for noexcept call sites (CancelToken::cancel): during
+/// teardown it returns instead of throwing.
+void sched_point_noexcept(Op op, const void* obj) noexcept;
+
+/// Cooperative blocking wait: deschedule until a notify() on `obj`
+/// makes `pred` true. The predicate must be side-effect free (it is
+/// also evaluated on notifying threads). Callers re-check cancellation
+/// after it returns, mirroring the real primitives' cancellable waits.
+void wait_until(const void* obj, const std::function<bool()>& pred);
+
+/// wait_until for deadline-bounded waits: the scheduler may fire the
+/// timeout as an explicit transition instead. Returns false iff the
+/// timeout fired (at most once per call), true when pred held.
+bool wait_until_for(const void* obj, const std::function<bool()>& pred);
+
+/// Wake virtual threads blocked on `obj` whose predicate now holds.
+/// Call after the state change, outside any lock the predicate takes.
+/// notify(nullptr) is a wildcard: every blocked thread's predicate is
+/// re-evaluated (used by CancelToken::cancel, which cannot know which
+/// objects its waiters are parked on).
+void notify(const void* obj);
+
+/// Convenience: is the installed CancelToken cancelled? Used inside
+/// wait predicates so cancellation wakes cooperative waits.
+bool cancel_requested() noexcept;
+
+/// Spawn a virtual thread mid-execution (ThreadTeam's fork under the
+/// checker). Returns a handle for join_thread.
+int spawn_thread(ThreadBody body);
+
+/// Cooperatively wait for a spawned virtual thread to finish.
+void join_thread(int handle);
+
+/// Attach a diagnostic label to an object for trace output ("lock",
+/// "halo channel", ...). Unnamed objects print as obj#<first-use-id>.
+void name_object(const void* obj, const char* label);
+
+/// Model assertion: throws lbmib::Error with the failing schedule's
+/// context when false.
+void check(bool condition, const char* message);
+
+/// Thrown from hooks while a failed execution is being torn down, to
+/// unwind parked virtual threads. Deliberately not derived from
+/// std::exception so model code's catch(const std::exception&)
+/// handlers don't absorb it silently.
+class ExecutionAborted {};
+
+}  // namespace lbmib::mc
+
+#endif  // LBMIB_MODELCHECK_ENABLED

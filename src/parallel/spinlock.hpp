@@ -22,6 +22,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/cancel.hpp"
+#include "parallel/modelcheck.hpp"
 #include "parallel/race_detector.hpp"
 #include "parallel/thread_safety.hpp"
 
@@ -40,6 +41,29 @@ class LBMIB_CAPABILITY("SpinLock") SpinLock {
   SpinLock& operator=(const SpinLock&) = delete;
 
   void lock() LBMIB_ACQUIRE() {
+    // Model-checked path: the acquisition is a schedule point and a
+    // contended wait parks cooperatively until unlock()'s notify, so
+    // the engine can enumerate acquisition orders and a lock whose
+    // holder never releases shows up as a structural deadlock.
+    LBMIB_MC_CHECK(if (mc::active()) {
+      mc::sched_point(mc::Op::kLockAcquire, this);
+      const CancelToken* token = CancelToken::current();
+      for (;;) {
+        if (!flag_.exchange(true, std::memory_order_acquire)) {
+          LBMIB_RACE_CHECK(if (RaceDetector* rd = RaceDetector::active())
+                               rd->lock_acquire(this);)
+          return;
+        }
+        mc::wait_until(this, [this, token] {
+          return !flag_.load(std::memory_order_relaxed) ||
+                 (token != nullptr && token->cancelled());
+        });
+        if (flag_.load(std::memory_order_relaxed) && token != nullptr &&
+            token->cancelled()) {
+          cancel_point("SpinLock::lock");
+        }
+      }
+    })
     // Contended spin iterations feed lbmib_spinlock_spins_total when a
     // tracing session is live; the counter add happens once per
     // contended acquisition, outside the spin loop.
@@ -72,6 +96,7 @@ class LBMIB_CAPABILITY("SpinLock") SpinLock {
   }
 
   bool try_lock() LBMIB_TRY_ACQUIRE(true) {
+    LBMIB_MC_CHECK(mc::sched_point(mc::Op::kLockTryAcquire, this);)
     // Test first so a failing try_lock doesn't bounce the cache line
     // exclusive between contenders.
     if (flag_.load(std::memory_order_relaxed)) return false;
@@ -83,11 +108,13 @@ class LBMIB_CAPABILITY("SpinLock") SpinLock {
   }
 
   void unlock() LBMIB_RELEASE() {
+    LBMIB_MC_CHECK(mc::sched_point(mc::Op::kLockRelease, this);)
     // Release the detector edge before the real release-store so the
     // next acquirer's hook always observes it.
     LBMIB_RACE_CHECK(if (RaceDetector* rd = RaceDetector::active())
                          rd->lock_release(this);)
     flag_.store(false, std::memory_order_release);
+    LBMIB_MC_CHECK(mc::notify(this);)
   }
 
  private:

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "obs/trace.hpp"
 #include "parallel/cancel.hpp"
+#include "parallel/modelcheck.hpp"
 #include "parallel/race_detector.hpp"
 
 namespace lbmib {
@@ -42,6 +43,20 @@ bool is_cancelled_error(const std::exception_ptr& error) noexcept {
   } catch (...) {
     return false;
   }
+}
+
+/// Rethrow the root cause: a real error beats the CancelledErrors the
+/// rest of the team unwound with after the secondary cancellation.
+void rethrow_team_errors(const std::vector<std::exception_ptr>& errors) {
+  const std::exception_ptr* first = nullptr;
+  for (const std::exception_ptr& e : errors) {
+    if (!e) continue;
+    if (first == nullptr) first = &e;
+    if (!is_cancelled_error(e)) {
+      std::rethrow_exception(e);
+    }
+  }
+  if (first != nullptr) std::rethrow_exception(*first);
 }
 
 }  // namespace
@@ -91,6 +106,45 @@ void ThreadTeam::run(const std::function<void(int)>& body) {
   const std::function<void(int)>& run_body = body;
 #endif
 
+  // Model-checked fork/join: when run() is called from a virtual thread
+  // of a live exploration, workers become virtual threads too, so the
+  // engine schedules the whole team (tid 0 stays on the caller, exactly
+  // like the real path). The error/cancellation protocol is unchanged —
+  // only the thread mechanism differs.
+  LBMIB_MC_CHECK(if (mc::active()) {
+    std::vector<std::exception_ptr> mc_errors(
+        static_cast<std::size_t>(num_threads_));
+    std::vector<int> handles;
+    handles.reserve(static_cast<std::size_t>(num_threads_ - 1));
+    for (int tid = 1; tid < num_threads_; ++tid) {
+      handles.push_back(mc::spawn_thread([&run_body, &mc_errors, tid] {
+        try {
+          run_body(tid);
+        } catch (const mc::ExecutionAborted&) {
+          throw;  // teardown of a failed schedule, not a worker error
+        } catch (...) {
+          mc_errors[static_cast<std::size_t>(tid)] =
+              std::current_exception();
+          cancel_team_on_failure(mc_errors[static_cast<std::size_t>(tid)]);
+        }
+      }));
+    }
+    try {
+      run_body(0);
+    } catch (const mc::ExecutionAborted&) {
+      throw;
+    } catch (...) {
+      mc_errors[0] = std::current_exception();
+      cancel_team_on_failure(mc_errors[0]);
+    }
+    for (int handle : handles) mc::join_thread(handle);
+#if LBMIB_RACE_DETECT_ENABLED
+    if (race_detector != nullptr) race_detector->join(race_token);
+#endif
+    rethrow_team_errors(mc_errors);
+    return;
+  })
+
   // tid 0 runs on the calling thread; the rest get their own std::thread.
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(num_threads_ - 1));
@@ -130,17 +184,7 @@ void ThreadTeam::run(const std::function<void(int)>& body) {
   if (race_detector != nullptr) race_detector->join(race_token);
 #endif
 
-  // Rethrow the root cause: a real error beats the CancelledErrors the
-  // rest of the team unwound with after the secondary cancellation.
-  const std::exception_ptr* first = nullptr;
-  for (const std::exception_ptr& e : errors) {
-    if (!e) continue;
-    if (first == nullptr) first = &e;
-    if (!is_cancelled_error(e)) {
-      std::rethrow_exception(e);
-    }
-  }
-  if (first != nullptr) std::rethrow_exception(*first);
+  rethrow_team_errors(errors);
 }
 
 }  // namespace lbmib

@@ -148,9 +148,16 @@ INSTANTIATE_TEST_SUITE_P(AllSolvers, FusedEquivalence,
 
 class FusedCheckpointTest : public ::testing::TestWithParam<SolverKind> {
  protected:
+  // Per-param filename: the six solver instances are separate ctest
+  // entries that may run concurrently under `ctest -j`, so a shared
+  // checkpoint path races one instance's save against another's
+  // TearDown unlink.
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "lbmib_fused_parity_test_" +
+            std::string(solver_kind_name(GetParam())) + ".bin";
+  }
   void TearDown() override { std::remove(path_.c_str()); }
-  std::string path_ =
-      ::testing::TempDir() + "lbmib_fused_parity_test.bin";
+  std::string path_;
 };
 
 TEST_P(FusedCheckpointTest, OddStepCheckpointResumesIdentically) {

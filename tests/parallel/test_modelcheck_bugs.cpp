@@ -1,0 +1,222 @@
+// Injected protocol bugs that exploration MUST find, each with a
+// replayable failing schedule: (1) a worker that skips its barrier
+// arrive, (2) a producer that drops the wakeup after publishing,
+// (3) a premature parity buffer swap racing a kernel access, and
+// (4) a cancel protocol with a non-atomic claim that elects two
+// winners. These are the acceptance-criteria detectors for the model
+// checker itself: if a refactor of the engine stops finding any of
+// them, this file goes red before a real regression ships.
+#include "parallel/modelcheck.hpp"
+
+#include <gtest/gtest.h>
+
+#if LBMIB_MODELCHECK_ENABLED
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "cube/cube_grid.hpp"
+#include "parallel/barrier.hpp"
+#include "parallel/race_detector.hpp"
+
+namespace lbmib {
+namespace {
+
+mc::Options opts(const char* name) {
+  mc::Options options;
+  options.name = name;
+  return options;
+}
+
+void expect_found_and_replayable(const mc::Result& result,
+                                 const mc::ModelFactory& model,
+                                 const char* name) {
+  ASSERT_FALSE(result.ok) << "bug not found by exploration";
+  ASSERT_FALSE(result.failing_schedule.empty());
+  ASSERT_FALSE(result.trace.empty());
+  const mc::Result replayed =
+      mc::replay(opts(name), model, result.failing_schedule);
+  EXPECT_FALSE(replayed.ok);
+  EXPECT_EQ(replayed.error, result.error);
+  EXPECT_EQ(replayed.trace, result.trace);
+}
+
+// Bug 1: one participant of a two-party barrier never arrives. The
+// partner parks forever; the engine reports a structural deadlock
+// (every schedule fails — the bug is unconditional).
+mc::ModelFactory skipped_barrier_arrive_model() {
+  return [] {
+    auto barrier = std::make_shared<SpinBarrier>(2);
+    std::vector<mc::ThreadBody> threads;
+    threads.push_back([barrier] { barrier->arrive_and_wait(); });
+    threads.push_back([] {
+      // BUG: supposed to arrive; yields and exits instead.
+      mc::sched_point(mc::Op::kYield, nullptr);
+    });
+    return threads;
+  };
+}
+
+TEST(McBugs, SkippedBarrierArriveDeadlocks) {
+  const mc::ModelFactory model = skipped_barrier_arrive_model();
+  const mc::Result result = mc::explore(opts("skip-arrive"), model);
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("deadlock"), std::string::npos) << result.error;
+  expect_found_and_replayable(result, model, "skip-arrive");
+}
+
+// The deterministic-replay acceptance test: serialize the failing
+// schedule to its wire form, parse it back, and replay twice. Both
+// replays must reproduce the exploration's failure report and event
+// trace byte-for-byte.
+TEST(McBugs, FailingScheduleReplaysByteForByte) {
+  const mc::ModelFactory model = skipped_barrier_arrive_model();
+  const mc::Result explored = mc::explore(opts("replay-det"), model);
+  ASSERT_FALSE(explored.ok);
+
+  const std::string wire = explored.failing_schedule.serialize();
+  const mc::Schedule parsed = mc::Schedule::parse(wire);
+  EXPECT_EQ(parsed.choices, explored.failing_schedule.choices);
+
+  const mc::Result first = mc::replay(opts("replay-det"), model, parsed);
+  const mc::Result second = mc::replay(opts("replay-det"), model, parsed);
+  EXPECT_FALSE(first.ok);
+  EXPECT_EQ(first.error, explored.error);
+  EXPECT_EQ(first.trace, explored.trace);
+  EXPECT_EQ(second.error, first.error);
+  EXPECT_EQ(second.trace, first.trace);
+}
+
+// Bug 2: a flag-based handoff where the producer stores the flag but
+// forgets to notify. In the consumer-first interleaving the consumer
+// parks before the store and nothing ever wakes it — a lost wakeup,
+// surfaced as a deadlock in exactly those schedules. (The producer-first
+// schedules pass, so this also checks that exploration reaches the bad
+// ordering rather than stopping at the first clean one.)
+mc::ModelFactory dropped_wakeup_model() {
+  return [] {
+    auto flag = std::make_shared<std::atomic<int>>(0);
+    std::vector<mc::ThreadBody> threads;
+    threads.push_back([flag] {
+      mc::sched_point(mc::Op::kAccess, flag.get());
+      flag->store(1, std::memory_order_release);
+      // BUG: missing mc::notify(flag.get()) — the wakeup is dropped.
+    });
+    threads.push_back([flag] {
+      mc::sched_point(mc::Op::kAccess, flag.get());
+      mc::wait_until(flag.get(), [flag] {
+        return flag->load(std::memory_order_acquire) == 1;
+      });
+    });
+    return threads;
+  };
+}
+
+TEST(McBugs, DroppedChannelWakeupFoundAsDeadlock) {
+  const mc::ModelFactory model = dropped_wakeup_model();
+  const mc::Result result = mc::explore(opts("lost-wakeup"), model);
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("deadlock"), std::string::npos) << result.error;
+  expect_found_and_replayable(result, model, "lost-wakeup");
+}
+
+// Bug 3: the parity swap runs without the barrier that orders it after
+// the kernel writes. The swap models an exclusive write to both df
+// roles, so the schedule where it overlaps the kernel access trips the
+// happens-before race detector running under the exploration.
+mc::ModelFactory premature_parity_swap_model() {
+  return [] {
+    auto grid = std::make_shared<CubeGrid>(8, 4, 4, 4);
+    std::vector<mc::ThreadBody> threads;
+    threads.push_back([grid] {
+      mc::sched_point(mc::Op::kAccess, grid.get());
+      race::access(grid.get(), 0, RaceField::kDf, RaceAccess::kWrite,
+                   "kernel write");
+    });
+    threads.push_back([grid] {
+      // BUG: no barrier.arrive_and_wait() before the swap.
+      grid->swap_df_buffers();
+    });
+    return threads;
+  };
+}
+
+TEST(McBugs, PrematureParitySwapTripsRaceDetector) {
+  const mc::ModelFactory model = premature_parity_swap_model();
+  const mc::Result result = mc::explore(opts("early-swap"), model);
+  ASSERT_FALSE(result.ok);
+  // The race detector reports the conflicting accesses by field role.
+  EXPECT_NE(result.error.find("race"), std::string::npos) << result.error;
+  expect_found_and_replayable(result, model, "early-swap");
+}
+
+// Bug 4: a broken CancelToken-style claim that checks then sets a plain
+// flag with a schedule point in between — the textbook lost-update
+// window. Two racing cancellers can both observe "unclaimed" and both
+// win; the model asserts at most one winner, which some interleaving
+// violates. (The clean claim-once model over the REAL CancelToken lives
+// in test_modelcheck_models.cpp.)
+mc::ModelFactory double_claim_model() {
+  return [] {
+    struct BadToken {
+      bool claimed = false;
+      std::atomic<int> winners{0};
+    };
+    auto bad = std::make_shared<BadToken>();
+    std::vector<mc::ThreadBody> threads;
+    threads.push_back([bad] {
+      auto cancel = [bad] {
+        mc::sched_point(mc::Op::kTokenClaim, bad.get());
+        if (!bad->claimed) {
+          // BUG: check and set are separate steps, not an atomic
+          // exchange like the real CancelToken's claimed_.exchange().
+          mc::sched_point(mc::Op::kTokenClaim, bad.get());
+          bad->claimed = true;
+          bad->winners.fetch_add(1);
+        }
+      };
+      const int first = mc::spawn_thread(cancel);
+      const int second = mc::spawn_thread(cancel);
+      mc::join_thread(first);
+      mc::join_thread(second);
+      mc::check(bad->winners.load() <= 1,
+                "claim-once protocol elected two winners");
+    });
+    return threads;
+  };
+}
+
+TEST(McBugs, DoubleCancelClaimFoundByExploration) {
+  const mc::ModelFactory model = double_claim_model();
+  const mc::Result result = mc::explore(opts("double-claim"), model);
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("two winners"), std::string::npos)
+      << result.error;
+  expect_found_and_replayable(result, model, "double-claim");
+}
+
+// A preemption bound of 0 (no preemptions at all) can still find the
+// unconditional barrier bug: bounding trades completeness for speed,
+// not soundness on bugs reachable without preemption.
+TEST(McBugs, BoundedSearchStillFindsUnconditionalBug) {
+  mc::Options bounded = opts("skip-arrive-bound");
+  bounded.preemption_bound = 0;
+  const mc::Result result =
+      mc::explore(bounded, skipped_barrier_arrive_model());
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("deadlock"), std::string::npos) << result.error;
+}
+
+}  // namespace
+}  // namespace lbmib
+
+#else  // !LBMIB_MODELCHECK_ENABLED
+
+TEST(McBugs, RequiresModelcheckBuild) {
+  GTEST_SKIP() << "built without LBMIB_MODELCHECK";
+}
+
+#endif

@@ -1,0 +1,302 @@
+// Engine-level tests for the DPOR model checker: schedule
+// serialization, exploration mechanics (exhaustion, partial-order
+// reduction, preemption bound, step limit), failure detection
+// (assertions, deadlock) and deterministic replay. Primitive-protocol
+// models live in test_modelcheck_models.cpp; injected-bug models in
+// test_modelcheck_bugs.cpp.
+#include "parallel/modelcheck.hpp"
+
+#include <gtest/gtest.h>
+
+#if LBMIB_MODELCHECK_ENABLED
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "parallel/spinlock.hpp"
+
+namespace lbmib {
+namespace {
+
+mc::Options opts(const char* name) {
+  mc::Options options;
+  options.name = name;
+  return options;
+}
+
+TEST(McSchedule, SerializeParseRoundtrip) {
+  mc::Schedule schedule;
+  schedule.choices = {0, 1, 1, 0, 2};
+  EXPECT_EQ(schedule.serialize(), "v1:0,1,1,0,2");
+  const mc::Schedule parsed = mc::Schedule::parse(schedule.serialize());
+  EXPECT_EQ(parsed.choices, schedule.choices);
+  EXPECT_TRUE(mc::Schedule::parse("v1:").empty());
+}
+
+TEST(McSchedule, ParseRejectsMalformedInput) {
+  EXPECT_THROW(mc::Schedule::parse("0,1"), Error);
+  EXPECT_THROW(mc::Schedule::parse("v1:zero"), Error);
+  EXPECT_THROW(mc::Schedule::parse("v1:-2"), Error);
+}
+
+TEST(McEngine, SingleThreadExhaustsInOneSchedule) {
+  int factory_calls = 0;
+  const mc::Result result = mc::explore(opts("single"), [&factory_calls] {
+    ++factory_calls;
+    std::vector<mc::ThreadBody> threads;
+    threads.push_back([] {
+      int x = 0;
+      mc::sched_point(mc::Op::kAccess, &x);
+      x = 1;
+      mc::sched_point(mc::Op::kAccess, &x);
+      mc::check(x == 1, "x survived the schedule point");
+    });
+    return threads;
+  });
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.schedules, 1u);
+  EXPECT_EQ(factory_calls, 1);
+}
+
+// Partial-order reduction: threads touching disjoint objects have no
+// dependent events, so one schedule covers the whole space.
+TEST(McEngine, IndependentThreadsNeedOneSchedule) {
+  const mc::Result result = mc::explore(opts("independent"), [] {
+    auto a = std::make_shared<int>(0);
+    auto b = std::make_shared<int>(0);
+    std::vector<mc::ThreadBody> threads;
+    threads.push_back([a] {
+      mc::sched_point(mc::Op::kAccess, a.get());
+      *a = 1;
+    });
+    threads.push_back([b] {
+      mc::sched_point(mc::Op::kAccess, b.get());
+      *b = 1;
+    });
+    return threads;
+  });
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.schedules, 1u);
+}
+
+TEST(McEngine, DependentAccessesExploreBothOrders) {
+  const auto orders = std::make_shared<std::set<std::string>>();
+  const mc::Result result = mc::explore(opts("orders"), [orders] {
+    auto log = std::make_shared<std::string>();
+    auto obj = std::make_shared<int>(0);
+    std::vector<mc::ThreadBody> threads;
+    for (const char label : {'A', 'B'}) {
+      threads.push_back([orders, log, obj, label] {
+        mc::sched_point(mc::Op::kAccess, obj.get());
+        log->push_back(label);
+        if (log->size() == 2) orders->insert(*log);
+      });
+    }
+    return threads;
+  });
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_GE(result.schedules, 2u);
+  EXPECT_EQ(orders->count("AB"), 1u);
+  EXPECT_EQ(orders->count("BA"), 1u);
+}
+
+mc::ModelFactory order_sensitive_assertion_model() {
+  return [] {
+    auto x = std::make_shared<int>(0);
+    std::vector<mc::ThreadBody> threads;
+    threads.push_back([x] {
+      mc::sched_point(mc::Op::kAccess, x.get());
+      *x = 1;
+    });
+    threads.push_back([x] {
+      mc::sched_point(mc::Op::kAccess, x.get());
+      mc::check(*x == 1, "writer must go first");
+    });
+    return threads;
+  };
+}
+
+TEST(McEngine, AssertionFailureYieldsReplayableSchedule) {
+  const mc::ModelFactory model = order_sensitive_assertion_model();
+  const mc::Result result = mc::explore(opts("assert"), model);
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("writer must go first"), std::string::npos)
+      << result.error;
+  ASSERT_FALSE(result.failing_schedule.empty());
+  ASSERT_FALSE(result.trace.empty());
+
+  const mc::Result replayed =
+      mc::replay(opts("assert"), model, result.failing_schedule);
+  EXPECT_FALSE(replayed.ok);
+  EXPECT_EQ(replayed.error, result.error);
+  EXPECT_EQ(replayed.trace, result.trace);
+}
+
+TEST(McEngine, ReplayThrowsOnDivergentSchedule) {
+  const mc::ModelFactory model = order_sensitive_assertion_model();
+  mc::Schedule bogus;
+  bogus.choices = {7, 7, 7};  // thread 7 never exists
+  EXPECT_THROW(mc::replay(opts("diverge"), model, bogus), Error);
+}
+
+// The classic AB-BA cycle: some interleaving leaves each thread holding
+// one lock and blocked on the other, which the engine must report as a
+// structural deadlock (the cooperative SpinLock path makes the blocked
+// threads visible instead of spinning).
+TEST(McEngine, LockCycleDetectedAsDeadlock) {
+  const mc::Result result = mc::explore(opts("abba"), [] {
+    auto a = std::make_shared<SpinLock>();
+    auto b = std::make_shared<SpinLock>();
+    std::vector<mc::ThreadBody> threads;
+    threads.push_back([a, b] {
+      a->lock();
+      b->lock();
+      b->unlock();
+      a->unlock();
+    });
+    threads.push_back([a, b] {
+      b->lock();
+      a->lock();
+      a->unlock();
+      b->unlock();
+    });
+    return threads;
+  });
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("deadlock"), std::string::npos)
+      << result.error;
+  EXPECT_FALSE(result.failing_schedule.empty());
+}
+
+mc::ModelFactory contended_counter_model() {
+  return [] {
+    auto obj = std::make_shared<int>(0);
+    std::vector<mc::ThreadBody> threads;
+    for (int t = 0; t < 2; ++t) {
+      threads.push_back([obj] {
+        for (int i = 0; i < 3; ++i) {
+          mc::sched_point(mc::Op::kAccess, obj.get());
+        }
+      });
+    }
+    return threads;
+  };
+}
+
+TEST(McEngine, PreemptionBoundPrunesScheduleSpace) {
+  const mc::ModelFactory model = contended_counter_model();
+  const mc::Result full = mc::explore(opts("bound-off"), model);
+  mc::Options bounded = opts("bound-1");
+  bounded.preemption_bound = 1;
+  const mc::Result pruned = mc::explore(bounded, model);
+
+  EXPECT_TRUE(full.ok) << full.error;
+  EXPECT_TRUE(pruned.ok) << pruned.error;
+  EXPECT_TRUE(full.exhausted);
+  EXPECT_TRUE(pruned.exhausted);
+  EXPECT_FALSE(full.bound_limited);
+  EXPECT_TRUE(pruned.bound_limited);
+  EXPECT_LT(pruned.schedules, full.schedules);
+}
+
+TEST(McEngine, MaxSchedulesCapStopsWithoutExhausting) {
+  mc::Options capped = opts("capped");
+  capped.max_schedules = 1;
+  const mc::Result result = mc::explore(capped, contended_counter_model());
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.schedules, 1u);
+  EXPECT_FALSE(result.exhausted);
+}
+
+TEST(McEngine, StepLimitFlagsLivelock) {
+  mc::Options options = opts("livelock");
+  options.max_steps = 50;
+  const mc::Result result = mc::explore(options, [] {
+    std::vector<mc::ThreadBody> threads;
+    threads.push_back([] {
+      for (;;) mc::sched_point(mc::Op::kYield, nullptr);
+    });
+    return threads;
+  });
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("step limit"), std::string::npos)
+      << result.error;
+}
+
+TEST(McEngine, SpawnAndJoinDynamicThreads) {
+  const mc::Result result = mc::explore(opts("spawn"), [] {
+    std::vector<mc::ThreadBody> threads;
+    threads.push_back([] {
+      auto flag = std::make_shared<int>(0);
+      const int child = mc::spawn_thread([flag] {
+        mc::sched_point(mc::Op::kAccess, flag.get());
+        *flag = 1;
+      });
+      mc::join_thread(child);
+      mc::check(*flag == 1, "child finished before join returned");
+    });
+    return threads;
+  });
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.exhausted);
+}
+
+TEST(McEngine, FailureWritesScheduleArtifact) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "mc_artifacts";
+  std::filesystem::remove_all(dir);
+  mc::Options options = opts("artifact");
+  options.artifact_dir = dir.string();
+  const mc::Result result =
+      mc::explore(options, order_sensitive_assertion_model());
+  ASSERT_FALSE(result.ok);
+
+  std::ifstream in(dir / "artifact.schedule");
+  ASSERT_TRUE(in.is_open());
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_NE(contents.str().find("schedule: v1:"), std::string::npos);
+  EXPECT_NE(contents.str().find("writer must go first"), std::string::npos);
+}
+
+// Object names registered via name_object show up in traces, making the
+// failure artifact legible without knowing the model's addresses.
+TEST(McEngine, NamedObjectsAppearInTrace) {
+  const mc::ModelFactory model = [] {
+    auto obj = std::make_shared<int>(0);
+    std::vector<mc::ThreadBody> threads;
+    threads.push_back([obj] {
+      mc::name_object(obj.get(), "the-counter");
+      mc::sched_point(mc::Op::kAccess, obj.get());
+      mc::check(false, "forced failure to capture the trace");
+    });
+    return threads;
+  };
+  const mc::Result result = mc::explore(opts("names"), model);
+  ASSERT_FALSE(result.ok);
+  bool found = false;
+  for (const std::string& line : result.trace) {
+    if (line.find("the-counter") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace lbmib
+
+#else  // !LBMIB_MODELCHECK_ENABLED
+
+TEST(McEngine, RequiresModelcheckBuild) {
+  GTEST_SKIP() << "built without LBMIB_MODELCHECK";
+}
+
+#endif
