@@ -38,6 +38,7 @@ void usage() {
          "                 [--trace-out FILE] [--metrics-out FILE]\n"
          "                 [--metrics-csv FILE] [--watchdog-ms N]\n"
          "                 [--hang-report FILE]\n"
+         "                 [--no-simd] [--tile-y N] [--no-first-touch]\n"
          "                 [--chaos-stall POINT [--chaos-stall-ms N]]\n"
          "       lbmib_run --write-default <path>\n"
          "  --trace-out   Chrome trace-event JSON (open in Perfetto /\n"
@@ -48,6 +49,11 @@ void usage() {
          "                this long is cancelled with a hang report\n"
          "  --hang-report hang-report path (default\n"
          "                <out>/lbmib_hang_report.txt)\n"
+         "  --no-simd     run the fused sweep scalar (A/B baseline)\n"
+         "  --tile-y N    force the fused sweep's y-tile extent\n"
+         "                (default: auto from the probed L2 cache)\n"
+         "  --no-first-touch\n"
+         "                skip NUMA first-touch grid initialization\n"
          "  --chaos-stall inject a stall at the first sync point whose\n"
          "                label contains POINT (testing aid)\n"
          "  --chaos-stall-ms\n"
@@ -108,6 +114,9 @@ int main(int argc, char** argv) {
     std::string hang_report;
     std::string chaos_stall;
     long chaos_stall_ms = -1;  // -1 = permanent stick
+    bool no_simd = false;
+    bool no_first_touch = false;
+    long tile_y_override = -1;  // -1 = keep config value
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
       auto next = [&]() -> std::string {
@@ -136,13 +145,23 @@ int main(int argc, char** argv) {
         chaos_stall = next();
       } else if (arg == "--chaos-stall-ms") {
         chaos_stall_ms = std::stol(next());
+      } else if (arg == "--no-simd") {
+        no_simd = true;
+      } else if (arg == "--tile-y") {
+        tile_y_override = std::stol(next());
+      } else if (arg == "--no-first-touch") {
+        no_first_touch = true;
       } else {
         usage();
         return 2;
       }
     }
 
-    const SimulationParams params = load_params_file(config_path);
+    SimulationParams params = load_params_file(config_path);
+    if (no_simd) params.simd_step = false;
+    if (no_first_touch) params.first_touch = false;
+    if (tile_y_override >= 0) params.tile_y = tile_y_override;
+    params.validate();
     std::cout << "lbmib_run: " << params.summary() << "\n"
               << "solver: " << solver_kind_name(kind) << ", " << steps
               << " steps\n";

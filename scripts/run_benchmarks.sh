@@ -8,13 +8,19 @@
 #                               lattice-node updates/sec) for all six
 #                               solvers, fused vs reference pipeline (the
 #                               numbers that must not regress),
+#   * micro_collide_stream    — per-kernel MLUPS of the lane-block SIMD
+#                               collide / stream / fused kernels vs their
+#                               scalar twins (the vectorization payoff in
+#                               isolation),
 #   * ablation_copy_vs_swap   — the isolated kernel-9 copy-vs-swap gap
 #                               (google-benchmark microbench).
 #
-# Assembles BENCH_step.json in the repo root from solver_comparison's
-# machine-readable output, annotated with host metadata. CI runs this as a
-# non-gating job; the committed BENCH_step.json is the reference point a
-# reviewer diffs a fresh run against.
+# Assembles BENCH_step.json in the repo root from solver_comparison's and
+# micro_collide_stream's machine-readable output, annotated with host
+# metadata and the build's vector flags (LBMIB_VECTOR_FLAGS from the CMake
+# cache), so a recorded number can always be traced to the ISA it ran on.
+# CI runs this as a non-gating job; the committed BENCH_step.json is the
+# reference point a reviewer diffs a fresh run against.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,12 +31,18 @@ THREADS="${3:-4}"
 EDGE="${4:-32}"
 REPS="${5:-3}"
 
-if [[ ! -x "$BUILD_DIR/bench/solver_comparison" ]]; then
+if [[ ! -x "$BUILD_DIR/bench/solver_comparison" ||
+      ! -x "$BUILD_DIR/bench/micro_collide_stream" ]]; then
   echo "building benches in $BUILD_DIR..." >&2
   cmake -B "$BUILD_DIR" -S . -DLBMIB_BUILD_BENCH=ON
   cmake --build "$BUILD_DIR" -j"$(nproc)" --target solver_comparison \
-    ablation_copy_vs_swap
+    micro_collide_stream ablation_copy_vs_swap
 fi
+
+# Vector flags the build actually compiled with (-march=native or the
+# -mavx2 -mfma fallback), recorded alongside the numbers.
+VECTOR_FLAGS="$(sed -n 's/^LBMIB_VECTOR_FLAGS:INTERNAL=//p' \
+  "$BUILD_DIR/CMakeCache.txt" | head -1)"
 
 WORK_DIR="$(mktemp -d)"
 trap 'rm -rf "$WORK_DIR"' EXIT
@@ -40,20 +52,30 @@ trap 'rm -rf "$WORK_DIR"' EXIT
 (cd "$WORK_DIR" && "$OLDPWD/$BUILD_DIR/bench/solver_comparison" \
   "$STEPS" "$THREADS" "$EDGE" "$REPS")
 
-# 2) Kernel-9 ablation microbench (console output only; keep it short).
+# 2) Per-kernel SIMD microbench (writes micro_collide_stream.json into
+#    its cwd).
+(cd "$WORK_DIR" && "$OLDPWD/$BUILD_DIR/bench/micro_collide_stream" \
+  "$EDGE")
+
+# 3) Kernel-9 ablation microbench (console output only; keep it short).
 "$BUILD_DIR/bench/ablation_copy_vs_swap" \
   --benchmark_min_time=0.05s 2>/dev/null ||
   "$BUILD_DIR/bench/ablation_copy_vs_swap" --benchmark_min_time=0.05
 
-# 3) Wrap the solver comparison into BENCH_step.json with host metadata.
+# 4) Wrap both machine-readable benches into BENCH_step.json with host
+#    and build metadata.
 {
   printf '{\n'
   printf '  "harness": "scripts/run_benchmarks.sh",\n'
   printf '  "host": {"cpus": %s, "os": "%s"},\n' "$(nproc)" "$(uname -s)"
+  printf '  "build": {"vector_flags": "%s"},\n' "$VECTOR_FLAGS"
   printf '  "params": {"steps": %s, "threads": %s, "edge": %s, "reps": %s},\n' \
     "$STEPS" "$THREADS" "$EDGE" "$REPS"
   printf '  "solver_comparison": '
-  sed 's/^/  /' "$WORK_DIR/solver_comparison.json" | sed '1s/^  //'
+  sed 's/^/  /' "$WORK_DIR/solver_comparison.json" | sed '1s/^  //' |
+    sed '$s/$/,/'
+  printf '  "micro_collide_stream": '
+  sed 's/^/  /' "$WORK_DIR/micro_collide_stream.json" | sed '1s/^  //'
   printf '}\n'
 } > BENCH_step.json
 

@@ -11,7 +11,11 @@
 
 namespace lbmib {
 
-/// Default alignment: a full cache line, which also satisfies AVX-512.
+/// Default alignment: a full cache line (64 bytes), which also satisfies
+/// AVX-512 vector loads. This is a hard contract, not a hint: the SIMD
+/// kernels apply std::assume_aligned at this width to buffer bases, and
+/// tests/common/test_aligned_buffer.cpp asserts it holds for every
+/// allocation pattern the grids use.
 inline constexpr Size kCacheLineBytes = 64;
 
 /// Fixed-size heap array aligned to `Alignment` bytes, zero-initialised.
@@ -47,8 +51,21 @@ class AlignedBuffer {
 
   ~AlignedBuffer() { release(); }
 
+  /// Compile-time alignment of data() in bytes.
+  static constexpr Size alignment() { return Alignment; }
+
   /// Reallocate to hold `count` zero-initialised elements.
   void reset(Size count) {
+    reset_uninitialized(count);
+    fill(T{});
+  }
+
+  /// Reallocate without touching the new memory. std::aligned_alloc does
+  /// not fault pages in, so on NUMA systems the pages bind to whichever
+  /// node first *writes* them — the first-touch initialization paths of
+  /// the grid classes rely on this to place each thread's slab locally.
+  /// Callers must initialize every element before reading it.
+  void reset_uninitialized(Size count) {
     release();
     if (count == 0) return;
     // Round the byte size up to a multiple of the alignment as required
@@ -59,7 +76,6 @@ class AlignedBuffer {
     if (p == nullptr) throw std::bad_alloc{};
     data_ = static_cast<T*>(p);
     size_ = count;
-    fill(T{});
   }
 
   void fill(const T& value) {

@@ -66,6 +66,13 @@ BoundaryType parse_boundary(const std::string& origin, int line,
        "'cavity'");
 }
 
+bool parse_bool(const std::string& origin, int line,
+                const std::string& value) {
+  if (value == "true" || value == "1" || value == "on") return true;
+  if (value == "false" || value == "0" || value == "off") return false;
+  fail(origin, line, "expected a boolean, got '" + value + "'");
+}
+
 PinMode parse_pin_mode(const std::string& origin, int line,
                        const std::string& value) {
   if (value == "none") return PinMode::kNone;
@@ -226,6 +233,14 @@ SimulationParams parse_params(std::istream& in, const std::string& origin) {
           static_cast<int>(parse_index(origin, line, value));
     } else if (key == "cube_size") {
       params.cube_size = parse_index(origin, line, value);
+    } else if (key == "fused_step") {
+      params.fused_step = parse_bool(origin, line, value);
+    } else if (key == "simd_step") {
+      params.simd_step = parse_bool(origin, line, value);
+    } else if (key == "tile_y") {
+      params.tile_y = parse_index(origin, line, value);
+    } else if (key == "first_touch") {
+      params.first_touch = parse_bool(origin, line, value);
     } else {
       fail(origin, line, "unknown key '" + key + "'");
     }
@@ -275,6 +290,11 @@ void save_params_file(const SimulationParams& params,
   out << "pin_mode = " << pin_mode_name(params.pin_mode) << "\n";
   out << "num_threads = " << params.num_threads << "\n";
   out << "cube_size = " << params.cube_size << "\n";
+  out << "fused_step = " << (params.fused_step ? "true" : "false") << "\n";
+  out << "simd_step = " << (params.simd_step ? "true" : "false") << "\n";
+  out << "tile_y = " << params.tile_y << "\n";
+  out << "first_touch = " << (params.first_touch ? "true" : "false")
+      << "\n";
   for (const SphereObstacle& o : params.obstacles) {
     out << "\n[obstacle]\n";
     out << "center = " << o.center.x << ' ' << o.center.y << ' '

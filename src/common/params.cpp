@@ -36,6 +36,7 @@ void SimulationParams::validate() const {
     require(norm(inlet_velocity) < Real{0.3},
             "inlet velocity too large for the lattice (|u| < 0.3)");
   }
+  require(tile_y >= 0, "tile_y must be non-negative (0 = auto)");
   require(cube_size >= 1, "cube_size must be at least 1");
   require(nx % cube_size == 0 && ny % cube_size == 0 && nz % cube_size == 0,
           "every grid dimension must be divisible by cube_size");
@@ -77,7 +78,10 @@ std::string SimulationParams::summary() const {
      << ", sheet " << num_fibers << "x" << nodes_per_fiber << " nodes"
      << ", ks=" << stretching_coeff << ", kb=" << bending_coeff
      << ", threads=" << num_threads << ", cube=" << cube_size
-     << (fused_step ? ", fused" : ", unfused");
+     << (fused_step ? ", fused" : ", unfused")
+     << (simd_step ? ", simd" : ", scalar");
+  if (tile_y > 0) os << ", tile_y=" << tile_y;
+  if (!first_touch) os << ", no-first-touch";
   return os.str();
 }
 

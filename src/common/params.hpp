@@ -102,6 +102,23 @@ struct SimulationParams {
   /// paths are bit-identical for BGK.
   bool fused_step = true;
 
+  /// Vectorized fused sweep (default). When true, the fused kernels hand
+  /// contiguous solid-free z-runs to the SIMD lane-block collision kernels
+  /// (simd_kernels.hpp); when false they run the scalar per-node loop.
+  /// Kept selectable for A/B verification and for the bit-exactness legs
+  /// of the fused-equivalence suite.
+  bool simd_step = true;
+
+  /// y-tile extent of the planar fused sweep's cache blocking. 0 (default)
+  /// picks the largest tile whose 3-row df working set fits the probed L2
+  /// cache (fused_auto_tile_y); any positive value forces that extent.
+  Index tile_y = 0;
+
+  /// NUMA first-touch placement (default). When true and num_threads > 1,
+  /// grid buffers are initialized by the worker team under the same
+  /// partition the sweeps use, binding each worker's pages to its node.
+  bool first_touch = true;
+
   /// Validate all invariants; throws lbmib::Error with a precise message.
   void validate() const;
 

@@ -188,9 +188,10 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
       auto t0 = Clock::now();
       for (Size cube : my_cubes) {
         if (mrt_) {
-          cube_mrt_collide_stream(grid_, *mrt_, cube);
+          cube_mrt_collide_stream(grid_, *mrt_, cube, params_.simd_step);
         } else {
-          cube_collide_stream(grid_, params_.tau, cube);
+          cube_collide_stream(grid_, params_.tau, cube,
+                              params_.simd_step);
         }
       }
       prof.add(Kernel::kCollision, seconds_between(t0, Clock::now()));

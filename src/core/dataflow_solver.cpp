@@ -192,9 +192,11 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
                            static_cast<std::int64_t>(cube));
           if (params_.fused_step) {
             if (mrt_) {
-              cube_mrt_collide_stream(grid_, *mrt_, cube);
+              cube_mrt_collide_stream(grid_, *mrt_, cube,
+                                      params_.simd_step);
             } else {
-              cube_collide_stream(grid_, params_.tau, cube);
+              cube_collide_stream(grid_, params_.tau, cube,
+                                  params_.simd_step);
             }
           } else {
             if (mrt_) {
@@ -403,10 +405,11 @@ void DataflowCubeSolver::run_overlapped(Index num_steps) {
       if (is_collide) {
         if (params_.fused_step) {
           if (mrt_) {
-            cube_mrt_collide_stream(grid_, *mrt_, cube, src_base, dst_base);
+            cube_mrt_collide_stream(grid_, *mrt_, cube, src_base, dst_base,
+                                    params_.simd_step);
           } else {
             cube_collide_stream(grid_, params_.tau, cube, src_base,
-                                dst_base);
+                                dst_base, params_.simd_step);
           }
         } else {
           if (mrt_) {

@@ -495,7 +495,7 @@ void Distributed2DSolver::rank_entry(int rank, Index num_steps,
         LBMIB_TRACE_SPAN(obs::SpanCat::kKernel, "collide_stream");
         auto t0 = Clock::now();
         fused_collide_stream_tile(grid, params_.tau, mrt_.get(), 1, lnx, 1,
-                                  lny);
+                                  lny, params_.simd_step);
         prof.add(Kernel::kCollision, since(t0));
       }
       {

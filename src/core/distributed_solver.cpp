@@ -339,7 +339,8 @@ void DistributedSolver::rank_entry(int rank, Index num_steps,
         LBMIB_TRACE_SPAN(obs::SpanCat::kKernel, "collide_stream");
         auto t0 = Clock::now();
         fused_collide_stream_x_slab(grid, params_.tau, mrt_.get(), 1,
-                                    local_nx + 1);
+                                    local_nx + 1, params_.simd_step,
+                                    params_.tile_y);
         prof.add(Kernel::kCollision, since(t0));
       }
       {  // kernel 6's communication half keeps the streaming bucket

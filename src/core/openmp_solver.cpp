@@ -176,7 +176,8 @@ void OpenMPSolver::step() {
           tid, Kernel::kCollision,
           [&] {
             fused_collide_stream_x_slab(grid_, params_.tau, mrt_.get(),
-                                        slabs.begin, slabs.end);
+                                        slabs.begin, slabs.end,
+                                        params_.simd_step, params_.tile_y);
           },
           "collide_stream");
     } else {

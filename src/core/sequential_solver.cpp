@@ -73,7 +73,8 @@ void SequentialSolver::step() {
     KernelProfiler::Scope scope(profiler_, Kernel::kCollision);
     LBMIB_TRACE_SPAN(obs::SpanCat::kKernel, "collide_stream");
     fused_collide_stream_x_slab(grid_, params_.tau, mrt_.get(), 0,
-                                grid_.nx());
+                                grid_.nx(), params_.simd_step,
+                                params_.tile_y);
   } else {
     {
       KernelProfiler::Scope scope(profiler_, Kernel::kCollision);

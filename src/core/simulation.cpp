@@ -7,6 +7,8 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/timer.hpp"
+#include "lbm/fused.hpp"
+#include "lbm/simd.hpp"
 #include "obs/exporters.hpp"
 #include "obs/metrics.hpp"
 
@@ -27,6 +29,14 @@ void update_run_metrics(const Solver& solver, Index steps, double seconds) {
                        static_cast<double>(p.ny) *
                        static_cast<double>(p.nz);
   obs::metric_mlups().set(steps_per_sec * nodes / 1e6);
+  obs::metric_vector_width().set(
+      p.simd_step ? static_cast<double>(simd::vector_width_doubles())
+                  : 1.0);
+  obs::metric_tile_y().set(static_cast<double>(
+      p.tile_y > 0 ? std::min(p.tile_y, p.ny)
+                   : fused_auto_tile_y(p.ny, p.nz)));
+  obs::metric_first_touch().set(
+      p.first_touch && p.num_threads > 1 ? 1.0 : 0.0);
 
   const std::vector<KernelProfiler> per_thread =
       solver.per_thread_profiles();

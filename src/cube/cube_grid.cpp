@@ -1,5 +1,9 @@
 #include "cube/cube_grid.hpp"
 
+#include <omp.h>
+
+#include <cstring>
+
 #include "common/error.hpp"
 #include "lbm/boundary.hpp"
 #include "lbm/d3q19.hpp"
@@ -51,8 +55,43 @@ void CubeGrid::build_neighbor_table() {
 }
 
 CubeGrid::CubeGrid(const SimulationParams& params)
-    : CubeGrid(params.nx, params.ny, params.nz, params.cube_size,
-               params.rho0, params.initial_velocity) {
+    : nx_(params.nx), ny_(params.ny), nz_(params.nz), k_(params.cube_size) {
+  require(nx_ > 0 && ny_ > 0 && nz_ > 0,
+          "grid dimensions must be positive");
+  require(k_ >= 1, "cube size must be at least 1");
+  require(nx_ % k_ == 0 && ny_ % k_ == 0 && nz_ % k_ == 0,
+          "grid dimensions must be divisible by the cube size");
+  ncx_ = nx_ / k_;
+  ncy_ = ny_ / k_;
+  ncz_ = nz_ / k_;
+  m_ = static_cast<Size>(k_) * static_cast<Size>(k_) *
+       static_cast<Size>(k_);
+  block_stride_ = kSlotsPerCube * m_;
+  const int threads = params.first_touch ? params.num_threads : 1;
+  if (threads <= 1) {
+    data_.reset(num_cubes() * block_stride_);
+    solid_.reset(num_cubes() * m_);
+    cube_has_solid_.reset(num_cubes());
+    initialize(params.rho0, params.initial_velocity);
+  } else {
+    // NUMA first-touch: allocate without touching, then let an OpenMP
+    // team write contiguous linear-id cube ranges — the order the cube
+    // solvers hand cubes to threads — so each worker's blocks bind to
+    // its own node.
+    data_.reset_uninitialized(num_cubes() * block_stride_);
+    solid_.reset_uninitialized(num_cubes() * m_);
+    cube_has_solid_.reset_uninitialized(num_cubes());
+#pragma omp parallel num_threads(threads)
+    {
+      const int tid = omp_get_thread_num();
+      const Size nth = static_cast<Size>(omp_get_num_threads());
+      const Size begin = num_cubes() * static_cast<Size>(tid) / nth;
+      const Size end = num_cubes() * (static_cast<Size>(tid) + 1) / nth;
+      initialize_range(begin, end, params.rho0, params.initial_velocity);
+    }
+  }
+  neighbors_.reset(num_cubes() * 27);
+  build_neighbor_table();
   // Shared mask logic (walls + obstacles) via is_boundary_solid.
   for (Index x = 0; x < nx_; ++x) {
     for (Index y = 0; y < ny_; ++y) {
@@ -93,6 +132,41 @@ bool CubeGrid::solid_free_region(Size cube) const {
 CubeGrid::NodeRef CubeGrid::locate_periodic(Index x, Index y, Index z) const {
   return locate(FluidGrid::wrap(x, nx_), FluidGrid::wrap(y, ny_),
                 FluidGrid::wrap(z, nz_));
+}
+
+void CubeGrid::initialize_range(Size cube_begin, Size cube_end, Real rho0,
+                                const Vec3& u0) {
+  Real eq[kQ];
+  for (int dir = 0; dir < kQ; ++dir) {
+    eq[dir] = d3q19::equilibrium(dir, rho0, u0);
+  }
+  for (Size cube = cube_begin; cube < cube_end; ++cube) {
+    for (int dir = 0; dir < kQ; ++dir) {
+      Real* g = slot(cube, df_base_ + static_cast<Size>(dir));
+      Real* gn = slot(cube, df_new_base_ + static_cast<Size>(dir));
+      for (Size i = 0; i < m_; ++i) g[i] = eq[dir];
+      std::memset(gn, 0, m_ * sizeof(Real));
+    }
+    Real* r = slot(cube, kRhoSlot);
+    Real* ux = slot(cube, kUxSlot);
+    Real* uy = slot(cube, kUySlot);
+    Real* uz = slot(cube, kUzSlot);
+    for (Size i = 0; i < m_; ++i) {
+      r[i] = rho0;
+      ux[i] = u0.x;
+      uy[i] = u0.y;
+      uz[i] = u0.z;
+    }
+    std::memset(slot(cube, kFxSlot), 0, m_ * sizeof(Real));
+    std::memset(slot(cube, kFySlot), 0, m_ * sizeof(Real));
+    std::memset(slot(cube, kFzSlot), 0, m_ * sizeof(Real));
+  }
+  if (cube_end > cube_begin) {
+    std::memset(solid_.data() + cube_begin * m_, 0,
+                (cube_end - cube_begin) * m_);
+    std::memset(cube_has_solid_.data() + cube_begin, 0,
+                cube_end - cube_begin);
+  }
 }
 
 void CubeGrid::initialize(Real rho0, const Vec3& u0) {

@@ -47,7 +47,11 @@ class CubeGrid {
            const Vec3& u0 = {});
 
   /// Build from the parameter bundle (grid dims, cube size, boundary mask,
-  /// initial state).
+  /// initial state). When params.first_touch is set and num_threads > 1,
+  /// the cube blocks are initialized by an OpenMP team under a contiguous
+  /// block partition of linear cube ids — the same order the cube solvers
+  /// distribute cubes — so each worker's blocks bind to its own NUMA node
+  /// (first-touch placement).
   explicit CubeGrid(const SimulationParams& params);
 
   ~CubeGrid() {
@@ -287,6 +291,13 @@ class CubeGrid {
   Index nx_, ny_, nz_, k_;
   Index ncx_, ncy_, ncz_;
   void build_neighbor_table();
+
+  /// Construction-time initialization of cube blocks [cube_begin,
+  /// cube_end): equilibrium df, zero df_new/forces, rest macroscopics,
+  /// zero solid bytes and the cube_has_solid cache. Parity-aware but only
+  /// ever called at base parity (from the constructors).
+  void initialize_range(Size cube_begin, Size cube_end, Real rho0,
+                        const Vec3& u0);
 
   Size m_;             // nodes per cube
   Size block_stride_;  // reals per cube block

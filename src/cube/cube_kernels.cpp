@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstring>
 
+#include "common/aligned_buffer.hpp"
 #include "cube/cube_grid.hpp"
 #include "ib/delta.hpp"
 #include "ib/fiber_sheet.hpp"
@@ -10,6 +11,7 @@
 #include "lbm/collision.hpp"
 #include "lbm/d3q19.hpp"
 #include "lbm/fluid_grid.hpp"
+#include "lbm/simd_kernels.hpp"
 #include "parallel/instrumentation.hpp"
 
 namespace lbmib {
@@ -290,6 +292,78 @@ void cube_stream(CubeGrid& grid, Size cube) {
 
 namespace {
 
+/// Vector fast path for a solid-free region (cube + all 26 neighbours
+/// hold no solid node): collide the whole cube through the lane-block
+/// kernels into a thread-local scratch block — every node participates,
+/// so the block sees perfectly contiguous input — then scatter with the
+/// same rectangular region decomposition as stream_cube_fast, where every
+/// region is a branch-free strided row copy (no bounce-back and no lid
+/// plane can be in reach without a wall). Values are byte-copies of the
+/// lane kernels' output, so the path is exactly as bit-identical to the
+/// scalar sweep as the lane kernels themselves.
+void cube_collide_stream_vector(CubeGrid& grid, Real tau,
+                                const MrtOperator* mrt, Size cube,
+                                Size src_base, Size dst_base) {
+  using namespace d3q19;
+  const Index k = grid.cube_size();
+  const Size m = grid.nodes_per_cube();
+  const Size stride = (m + 7) / 8 * 8;  // keep scratch planes 64B-aligned
+  thread_local AlignedBuffer<Real> scratch;
+  if (scratch.size() < static_cast<Size>(kQ) * stride) {
+    scratch.reset_uninitialized(static_cast<Size>(kQ) * stride);
+  }
+
+  const Real* src[kQ];
+  Real* post[kQ];
+  for (int dir = 0; dir < kQ; ++dir) {
+    src[dir] = grid.slot(cube, src_base + static_cast<Size>(dir));
+    post[dir] = scratch.data() + static_cast<Size>(dir) * stride;
+  }
+  const Real* fx = grid.slot(cube, CubeGrid::kFxSlot);
+  const Real* fy = grid.slot(cube, CubeGrid::kFySlot);
+  const Real* fz = grid.slot(cube, CubeGrid::kFzSlot);
+  if (mrt != nullptr) {
+    fused_block_mrt(src, post, fx, fy, fz, m, *mrt);
+  } else {
+    fused_block_bgk(src, post, fx, fy, fz, m, tau);
+  }
+
+  // Rest particle: whole-slot copy.
+  std::memcpy(grid.slot(cube, dst_base), post[0], m * sizeof(Real));
+  for (int dir = 1; dir < kQ; ++dir) {
+    const Real* src_plane = post[dir];
+    AxisSegment xs[2], ys[2], zs[2];
+    const int nxs = axis_segments(k, cx[static_cast<Size>(dir)], xs);
+    const int nys = axis_segments(k, cy[static_cast<Size>(dir)], ys);
+    const int nzs = axis_segments(k, cz[static_cast<Size>(dir)], zs);
+    for (int ix = 0; ix < nxs; ++ix) {
+      for (int iy = 0; iy < nys; ++iy) {
+        for (int iz = 0; iz < nzs; ++iz) {
+          const AxisSegment& sx = xs[ix];
+          const AxisSegment& sy = ys[iy];
+          const AxisSegment& sz = zs[iz];
+          const Size dest_cube =
+              (sx.dc == 0 && sy.dc == 0 && sz.dc == 0)
+                  ? cube
+                  : grid.neighbor_cube(cube, sx.dc, sy.dc, sz.dc);
+          Real* dst_plane =
+              grid.slot(dest_cube, dst_base + static_cast<Size>(dir));
+          const Size row_len = static_cast<Size>(sz.hi - sz.lo + 1);
+          for (Index x = sx.lo; x <= sx.hi; ++x) {
+            for (Index y = sy.lo; y <= sy.hi; ++y) {
+              const Size src_row = grid.local_id(x, y, sz.lo);
+              const Size dst_row = grid.local_id(
+                  x + sx.shift, y + sy.shift, sz.lo + sz.shift);
+              std::memcpy(dst_plane + dst_row, src_plane + src_row,
+                          row_len * sizeof(Real));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 /// Fused kernels 5+6 on one cube: collide each node's 19 populations in
 /// registers (BGK when `mrt` is null) and push them straight into the
 /// df_new field at slot base `dst_base`, reading df from `src_base`. The
@@ -300,7 +374,7 @@ namespace {
 /// keeps the reference invariant df[solid] == 0.
 void cube_collide_stream_impl(CubeGrid& grid, Real tau,
                               const MrtOperator* mrt, Size cube,
-                              Size src_base, Size dst_base) {
+                              Size src_base, Size dst_base, bool simd) {
   using namespace d3q19;
   // Shadow fields are roles relative to the grid's current parity, like
   // the implicit kernels use: any parity change emits a write-all on both
@@ -330,6 +404,10 @@ void cube_collide_stream_impl(CubeGrid& grid, Real tau,
   // bounce-back (and without walls there is no lid plane either), so
   // every per-destination solid test below short-circuits to false.
   const bool solid_free = grid.solid_free_region(cube);
+  if (simd && solid_free) {
+    cube_collide_stream_vector(grid, tau, mrt, cube, src_base, dst_base);
+    return;
+  }
 
   const Real* src[kQ];
   Real* own_new[kQ];
@@ -441,25 +519,27 @@ void cube_collide_stream_impl(CubeGrid& grid, Real tau,
 
 }  // namespace
 
-void cube_collide_stream(CubeGrid& grid, Real tau, Size cube) {
+void cube_collide_stream(CubeGrid& grid, Real tau, Size cube, bool simd) {
   cube_collide_stream_impl(grid, tau, nullptr, cube, grid.df_slot_base(),
-                           grid.df_new_slot_base());
+                           grid.df_new_slot_base(), simd);
 }
 
 void cube_collide_stream(CubeGrid& grid, Real tau, Size cube, Size src_base,
-                         Size dst_base) {
-  cube_collide_stream_impl(grid, tau, nullptr, cube, src_base, dst_base);
+                         Size dst_base, bool simd) {
+  cube_collide_stream_impl(grid, tau, nullptr, cube, src_base, dst_base,
+                           simd);
 }
 
 void cube_mrt_collide_stream(CubeGrid& grid, const MrtOperator& op,
-                             Size cube) {
+                             Size cube, bool simd) {
   cube_collide_stream_impl(grid, 0.0, &op, cube, grid.df_slot_base(),
-                           grid.df_new_slot_base());
+                           grid.df_new_slot_base(), simd);
 }
 
 void cube_mrt_collide_stream(CubeGrid& grid, const MrtOperator& op,
-                             Size cube, Size src_base, Size dst_base) {
-  cube_collide_stream_impl(grid, 0.0, &op, cube, src_base, dst_base);
+                             Size cube, Size src_base, Size dst_base,
+                             bool simd) {
+  cube_collide_stream_impl(grid, 0.0, &op, cube, src_base, dst_base, simd);
 }
 
 void cube_update_velocity(CubeGrid& grid, Size cube) {

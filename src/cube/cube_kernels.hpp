@@ -37,19 +37,25 @@ void cube_stream(CubeGrid& grid, Size cube);
 /// df_new, leaving df untouched so kernel 9 becomes
 /// CubeGrid::swap_df_buffers. Bit-identical to cube_collide + cube_stream
 /// (the arithmetic is shared via collide_node_array). Solid nodes' df_new
-/// slots are zeroed — see the implementation comment.
-void cube_collide_stream(CubeGrid& grid, Real tau, Size cube);
+/// slots are zeroed — see the implementation comment. When `simd` is set,
+/// cubes whose 27-cube region is solid-free collide through the lane-block
+/// kernels into a thread-local scratch block and scatter with the same
+/// branch-free rectangular row copies as stream_cube_fast; other cubes
+/// (and simd == false, the A/B reference) take the scalar per-node sweep.
+void cube_collide_stream(CubeGrid& grid, Real tau, Size cube,
+                         bool simd = true);
 void cube_mrt_collide_stream(CubeGrid& grid, const MrtOperator& op,
-                             Size cube);
+                             Size cube, bool simd = true);
 
 /// Explicit-parity overloads for the overlapped dataflow solver, which
 /// tracks swap parity per *step* in its task graph rather than on the grid:
 /// read df from slot base `src_base`, write df_new at `dst_base` (each
 /// CubeGrid::kDfSlot or kDfNewSlot).
 void cube_collide_stream(CubeGrid& grid, Real tau, Size cube, Size src_base,
-                         Size dst_base);
+                         Size dst_base, bool simd = true);
 void cube_mrt_collide_stream(CubeGrid& grid, const MrtOperator& op,
-                             Size cube, Size src_base, Size dst_base);
+                             Size cube, Size src_base, Size dst_base,
+                             bool simd = true);
 
 /// Kernel 7 on one cube: macroscopic density/velocity from df_new + F/2.
 void cube_update_velocity(CubeGrid& grid, Size cube);

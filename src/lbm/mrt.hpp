@@ -67,6 +67,16 @@ class MrtOperator {
     return m_inv_[static_cast<Size>(row)][static_cast<Size>(col)];
   }
 
+  // Raw rows for the vectorized lane-block kernel (simd_kernels.cpp),
+  // which hoists one matrix row per moment loop.
+  const Real* m_row(int row) const {
+    return m_[static_cast<Size>(row)].data();
+  }
+  const Real* m_inv_row(int row) const {
+    return m_inv_[static_cast<Size>(row)].data();
+  }
+  const Real* s_diagonal_data() const { return s_.data(); }
+
   const MrtRelaxation& relaxation() const { return relaxation_; }
 
  private:

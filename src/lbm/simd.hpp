@@ -1,0 +1,98 @@
+// SIMD plumbing for the vectorized collide-stream kernels: compile-time
+// ISA detection, restrict/prefetch/assume-aligned portability macros, and
+// the lane-block geometry shared by the planar and cube block kernels.
+//
+// The kernels themselves (simd_kernels.hpp) are written as plain scalar
+// C++ over fixed-size lane blocks with `#pragma omp simd` on the lane
+// loops; everything here degrades gracefully to portable scalar code on
+// compilers or targets without the relevant builtins, so no path is ever
+// compiled out — only de-vectorized.
+#pragma once
+
+#include <cstdint>
+#if __has_include(<memory>)
+#include <memory>  // std::assume_aligned (C++20)
+#endif
+
+#include "common/aligned_buffer.hpp"
+#include "common/types.hpp"
+
+#if defined(NDEBUG)
+#define LBMIB_SIMD_ASSERT(cond) ((void)0)
+#else
+#include <cassert>
+#define LBMIB_SIMD_ASSERT(cond) assert(cond)
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define LBMIB_RESTRICT __restrict__
+#else
+#define LBMIB_RESTRICT
+#endif
+
+// Software prefetch: rw = 0 read / 1 write, locality in [0,3].
+#if defined(__GNUC__) || defined(__clang__)
+#define LBMIB_PREFETCH(addr, rw, locality) \
+  __builtin_prefetch((addr), (rw), (locality))
+#else
+#define LBMIB_PREFETCH(addr, rw, locality) ((void)0)
+#endif
+
+namespace lbmib::simd {
+
+/// Lanes per block in the block kernels. Chosen so one block's live state
+/// (19 gathered populations + macroscopic temporaries, ~24 lanes' worth of
+/// arrays for MRT) fits comfortably in L1 while still spanning several
+/// hardware vectors (4 x AVX-512 / 8 x AVX2 doubles).
+inline constexpr Size kLaneBlock = 32;
+
+/// Width of the widest available vector unit in doubles (compile-time).
+constexpr int vector_width_doubles() {
+#if defined(__AVX512F__)
+  return 8;
+#elif defined(__AVX__)
+  return 4;
+#elif defined(__SSE2__) || defined(__ARM_NEON)
+  return 2;
+#else
+  return 1;
+#endif
+}
+
+/// Human-readable name of the vector ISA the kernels were compiled for.
+constexpr const char* isa_name() {
+#if defined(__AVX512F__)
+  return "avx512f";
+#elif defined(__AVX2__)
+  return "avx2";
+#elif defined(__AVX__)
+  return "avx";
+#elif defined(__SSE2__)
+  return "sse2";
+#elif defined(__ARM_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+/// True when `p` is aligned to the AlignedBuffer cache-line contract.
+inline bool is_cacheline_aligned(const void* p) {
+  return (reinterpret_cast<std::uintptr_t>(p) % kCacheLineBytes) == 0;
+}
+
+/// Kernel-boundary alignment gate: asserts (debug builds) that `p` honours
+/// the 64-byte AlignedBuffer contract and tells the optimizer so. Use only
+/// on pointers that really are buffer/plane bases — interior run pointers
+/// (e.g. a z-run starting at z = 1) are intentionally not funneled here.
+template <class T>
+inline T* assume_cacheline_aligned(T* p) {
+  LBMIB_SIMD_ASSERT(is_cacheline_aligned(p));
+#if defined(__cpp_lib_assume_aligned)
+  return std::assume_aligned<kCacheLineBytes>(p);
+#else
+  return p;
+#endif
+}
+
+}  // namespace lbmib::simd

@@ -4,6 +4,7 @@
 
 #include "lbm/d3q19.hpp"
 #include "lbm/fluid_grid.hpp"
+#include "lbm/simd.hpp"
 #include "parallel/instrumentation.hpp"
 
 namespace lbmib {
@@ -60,6 +61,15 @@ void stream_x_slab(FluidGrid& grid, Index x_begin, Index x_end) {
     const bool x_interior = (x > 0 && x < nx - 1);
     for (Index y = 0; y < ny; ++y) {
       const bool y_interior = (y > 0 && y < ny - 1);
+      // Keep the next z-row's source lines in flight while this row
+      // scatters; the strided plane-to-plane hops defeat the linear
+      // hardware prefetcher.
+      {
+        const Size next = grid.index(x, y, 0) + static_cast<Size>(nz);
+        for (int dir = 0; dir < kQ; ++dir) {
+          LBMIB_PREFETCH(df[dir] + next, 0, 2);
+        }
+      }
       for (Index z = 0; z < nz; ++z) {
         const Size src = grid.index(x, y, z);
         if (grid.solid(src)) continue;

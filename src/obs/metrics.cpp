@@ -338,4 +338,27 @@ Counter& metric_chaos_faults() {
   return c;
 }
 
+Gauge& metric_vector_width() {
+  static Gauge& g = MetricsRegistry::global().gauge(
+      "lbmib_vector_width_doubles",
+      "Compile-time SIMD vector width in doubles of the lane-block "
+      "kernels (1 when the fused sweep ran scalar)");
+  return g;
+}
+
+Gauge& metric_tile_y() {
+  static Gauge& g = MetricsRegistry::global().gauge(
+      "lbmib_fused_tile_y",
+      "Effective y-tile extent of the cache-blocked fused sweep");
+  return g;
+}
+
+Gauge& metric_first_touch() {
+  static Gauge& g = MetricsRegistry::global().gauge(
+      "lbmib_numa_first_touch",
+      "1 when grid buffers were first-touch initialized by the worker "
+      "team (NUMA placement), else 0");
+  return g;
+}
+
 }  // namespace lbmib::obs

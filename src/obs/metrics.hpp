@@ -169,5 +169,8 @@ Histogram& metric_checkpoint_write_seconds();
 Counter& metric_watchdog_trips();
 Counter& metric_cancellations();
 Counter& metric_chaos_faults();
+Gauge& metric_vector_width();
+Gauge& metric_tile_y();
+Gauge& metric_first_touch();
 
 }  // namespace lbmib::obs

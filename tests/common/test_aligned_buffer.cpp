@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/aligned_buffer.hpp"
+#include "lbm/fluid_grid.hpp"
+#include "lbm/simd.hpp"
 
 namespace lbmib {
 namespace {
@@ -98,6 +100,49 @@ TEST(AlignedBuffer, SpanCoversBuffer) {
 TEST(AlignedBuffer, CustomAlignment) {
   AlignedBuffer<double, 4096> buf(3);
   EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 4096, 0u);
+}
+
+TEST(AlignedBuffer, DefaultAlignmentIsSixtyFourBytes) {
+  // Hard contract for the SIMD kernels: they std::assume_aligned<64> on
+  // buffer bases, so the default must stay a full cache line (which also
+  // satisfies AVX-512 loads).
+  static_assert(kCacheLineBytes == 64);
+  static_assert(AlignedBuffer<double>::alignment() == 64);
+  static_assert(AlignedBuffer<float>::alignment() == 64);
+  static_assert(AlignedBuffer<std::uint8_t>::alignment() == 64);
+}
+
+TEST(AlignedBuffer, ResetUninitializedAlignsWithoutTouching) {
+  // The NUMA first-touch paths allocate with reset_uninitialized so the
+  // worker team's writes — not the allocating thread — fault the pages
+  // in. The allocation must still honour the alignment contract and
+  // report the requested logical size.
+  AlignedBuffer<double> buf;
+  for (Size count : {1u, 7u, 63u, 64u, 65u, 1000u}) {
+    buf.reset_uninitialized(count);
+    EXPECT_EQ(buf.size(), count);
+    EXPECT_TRUE(simd::is_cacheline_aligned(buf.data())) << count;
+    // Writing every element must be in bounds (ASan/valgrind leg checks
+    // the allocation really covers the rounded-up byte size).
+    for (Size i = 0; i < count; ++i) buf[i] = 1.0;
+  }
+}
+
+TEST(AlignedBuffer, FluidGridPlaneBasesAreCacheLineAligned) {
+  // The fused sweep hands plane bases (df + dir * plane_stride) to the
+  // lane kernels; the padded stride must keep every one of the 19
+  // direction planes on the 64-byte contract, not just plane 0.
+  for (Index nz : {3, 4, 5, 8, 13}) {
+    FluidGrid grid(4, 3, nz);
+    EXPECT_EQ(grid.plane_stride() % (kCacheLineBytes / sizeof(Real)), 0u)
+        << "nz=" << nz;
+    for (int dir = 0; dir < kQ; ++dir) {
+      EXPECT_TRUE(simd::is_cacheline_aligned(grid.df_plane(dir)))
+          << "nz=" << nz << " dir=" << dir;
+      EXPECT_TRUE(simd::is_cacheline_aligned(grid.df_new_plane(dir)))
+          << "nz=" << nz << " dir=" << dir;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,223 @@
+// Lane-block kernel equivalence: fused_block_bgk / fused_block_mrt must
+// reproduce the scalar per-node kernels (collide_node_array,
+// MrtOperator::collide_node) for any run length (full blocks, ragged
+// tails, single nodes) and in place (dst == src).
+//
+// Tolerance note: the lane kernels perform the scalar operation sequence
+// per lane, but they live in a different translation unit, and under the
+// compiler's default fp-contraction it may fuse different multiply-adds
+// in each — worth up to a few ULPs on adversarial random inputs. These
+// tests therefore assert 4-ULP agreement (EXPECT_DOUBLE_EQ). The
+// *solver-level* vectorized-vs-scalar legs in test_fused_equivalence.cpp
+// stay strictly bit-exact on this toolchain for real flow states and are
+// the canonical fused-path contract; this test localizes any arithmetic
+// (as opposed to streaming/boundary) regression.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/rng.hpp"
+#include "lbm/collision.hpp"
+#include "lbm/d3q19.hpp"
+#include "lbm/fused.hpp"
+#include "lbm/mrt.hpp"
+#include "lbm/simd.hpp"
+#include "lbm/simd_kernels.hpp"
+
+namespace lbmib {
+namespace {
+
+constexpr Real kTau = 0.7;
+
+/// One randomized run of `n` nodes: 19 population planes plus force
+/// components, laid out like a FluidGrid z-run (direction-major planes).
+struct LaneRun {
+  explicit LaneRun(Size n, std::uint64_t seed) : n(n) {
+    SplitMix64 rng(seed);
+    for (int dir = 0; dir < kQ; ++dir) {
+      planes[dir].reset(n);
+      // Near-equilibrium populations: positive, O(weight) magnitude.
+      for (Size i = 0; i < n; ++i) {
+        planes[dir][i] = d3q19::w[static_cast<Size>(dir)] * rng.next_double(0.8, 1.2);
+      }
+    }
+    fx.reset(n);
+    fy.reset(n);
+    fz.reset(n);
+    for (Size i = 0; i < n; ++i) {
+      fx[i] = rng.next_double(-1e-4, 1e-4);
+      fy[i] = rng.next_double(-1e-4, 1e-4);
+      fz[i] = rng.next_double(-1e-4, 1e-4);
+    }
+  }
+
+  /// Scalar reference: gather node i, collide with the per-node kernel.
+  std::vector<std::array<Real, kQ>> scalar_bgk() const {
+    std::vector<std::array<Real, kQ>> out(n);
+    for (Size i = 0; i < n; ++i) {
+      for (int dir = 0; dir < kQ; ++dir) out[i][dir] = planes[dir][i];
+      collide_node_array(out[i].data(), kTau, {fx[i], fy[i], fz[i]});
+    }
+    return out;
+  }
+
+  std::vector<std::array<Real, kQ>> scalar_mrt(
+      const MrtOperator& op) const {
+    std::vector<std::array<Real, kQ>> out(n);
+    for (Size i = 0; i < n; ++i) {
+      for (int dir = 0; dir < kQ; ++dir) out[i][dir] = planes[dir][i];
+      op.collide_node(out[i].data(), {fx[i], fy[i], fz[i]});
+    }
+    return out;
+  }
+
+  Size n;
+  AlignedBuffer<Real> planes[kQ];
+  AlignedBuffer<Real> fx, fy, fz;
+};
+
+/// Run lengths that cover: sub-block, exact kLaneBlock multiples, ragged
+/// tails of every flavour, and a single node.
+std::vector<Size> interesting_lengths() {
+  return {1,
+          3,
+          simd::kLaneBlock - 1,
+          simd::kLaneBlock,
+          simd::kLaneBlock + 1,
+          2 * simd::kLaneBlock,
+          3 * simd::kLaneBlock + 7};
+}
+
+TEST(SimdKernels, BgkMatchesScalarPerNode) {
+  for (Size n : interesting_lengths()) {
+    LaneRun run(n, 0xB6Cull + n);
+    const auto expect = run.scalar_bgk();
+
+    AlignedBuffer<Real> out[kQ];
+    const Real* src[kQ];
+    Real* dst[kQ];
+    for (int dir = 0; dir < kQ; ++dir) {
+      out[dir].reset(n);
+      src[dir] = run.planes[dir].data();
+      dst[dir] = out[dir].data();
+    }
+    fused_block_bgk(src, dst, run.fx.data(), run.fy.data(),
+                    run.fz.data(), n, kTau);
+
+    for (Size i = 0; i < n; ++i) {
+      for (int dir = 0; dir < kQ; ++dir) {
+        EXPECT_DOUBLE_EQ(out[dir][i], expect[i][dir])
+            << "n=" << n << " node=" << i << " dir=" << dir;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, MrtMatchesScalarPerNode) {
+  const MrtOperator op(MrtRelaxation::from_tau(kTau));
+  for (Size n : interesting_lengths()) {
+    LaneRun run(n, 0x317ull + n);
+    const auto expect = run.scalar_mrt(op);
+
+    AlignedBuffer<Real> out[kQ];
+    const Real* src[kQ];
+    Real* dst[kQ];
+    for (int dir = 0; dir < kQ; ++dir) {
+      out[dir].reset(n);
+      src[dir] = run.planes[dir].data();
+      dst[dir] = out[dir].data();
+    }
+    fused_block_mrt(src, dst, run.fx.data(), run.fy.data(),
+                    run.fz.data(), n, op);
+
+    for (Size i = 0; i < n; ++i) {
+      for (int dir = 0; dir < kQ; ++dir) {
+        EXPECT_DOUBLE_EQ(out[dir][i], expect[i][dir])
+            << "n=" << n << " node=" << i << " dir=" << dir;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, InPlaceCollideMatchesOutOfPlace) {
+  // dst == src is the pure-collide contract the cube scratch path and
+  // any future in-place caller rely on.
+  const Size n = 2 * simd::kLaneBlock + 5;
+  LaneRun a(n, 0xFEEDull);
+  LaneRun b(n, 0xFEEDull);  // identical contents
+
+  AlignedBuffer<Real> out[kQ];
+  const Real* src[kQ];
+  Real* dst_out[kQ];
+  Real* dst_inplace[kQ];
+  for (int dir = 0; dir < kQ; ++dir) {
+    out[dir].reset(n);
+    src[dir] = a.planes[dir].data();
+    dst_out[dir] = out[dir].data();
+    dst_inplace[dir] = b.planes[dir].data();
+  }
+  fused_block_bgk(src, dst_out, a.fx.data(), a.fy.data(), a.fz.data(), n,
+                  kTau);
+  const Real* src_b[kQ];
+  for (int dir = 0; dir < kQ; ++dir) src_b[dir] = b.planes[dir].data();
+  fused_block_bgk(src_b, dst_inplace, b.fx.data(), b.fy.data(),
+                  b.fz.data(), n, kTau);
+
+  for (int dir = 0; dir < kQ; ++dir) {
+    for (Size i = 0; i < n; ++i) {
+      EXPECT_EQ(b.planes[dir][i], out[dir][i])
+          << "dir=" << dir << " node=" << i;
+    }
+  }
+}
+
+TEST(SimdKernels, RestDirectionConservesMassAtEquilibrium) {
+  // At exact equilibrium with zero force the collision is the identity;
+  // a quick sanity net under the bit-exact tests above.
+  const Size n = simd::kLaneBlock;
+  AlignedBuffer<Real> planes[kQ], zero(n), out[kQ];
+  const Real* src[kQ];
+  Real* dst[kQ];
+  for (int dir = 0; dir < kQ; ++dir) {
+    planes[dir].reset(n);
+    planes[dir].fill(d3q19::w[static_cast<Size>(dir)]);  // rho = 1, u = 0 equilibrium
+    out[dir].reset(n);
+    src[dir] = planes[dir].data();
+    dst[dir] = out[dir].data();
+  }
+  fused_block_bgk(src, dst, zero.data(), zero.data(), zero.data(), n,
+                  kTau);
+  for (int dir = 0; dir < kQ; ++dir) {
+    for (Size i = 0; i < n; ++i) {
+      EXPECT_NEAR(out[dir][i], d3q19::w[static_cast<Size>(dir)], 1e-15);
+    }
+  }
+}
+
+TEST(SimdKernels, AutoTileRespectsBounds) {
+  // The auto tile is clamped to [1, ny] for any geometry, including
+  // degenerate ones; exact value depends on the probed L2 size.
+  for (Index ny : {1, 2, 16, 64, 1024}) {
+    for (Index nz : {3, 16, 64, 4096}) {
+      const Index tile = fused_auto_tile_y(ny, nz);
+      EXPECT_GE(tile, 1) << "ny=" << ny << " nz=" << nz;
+      EXPECT_LE(tile, ny) << "ny=" << ny << " nz=" << nz;
+    }
+  }
+}
+
+TEST(SimdKernels, AutoTileShrinksWithRowFootprint) {
+  // Doubling the z extent doubles a row's cache footprint, so the tile
+  // must not grow; monotonicity is what the cache model promises.
+  Index last = fused_auto_tile_y(1 << 20, 4);
+  for (Index nz : {8, 16, 64, 256, 1024}) {
+    const Index tile = fused_auto_tile_y(1 << 20, nz);
+    EXPECT_LE(tile, last) << "nz=" << nz;
+    last = tile;
+  }
+}
+
+}  // namespace
+}  // namespace lbmib
