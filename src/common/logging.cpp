@@ -5,13 +5,14 @@
 #include <cstdio>
 #include <ctime>
 #include <iostream>
-#include <mutex>
+
+#include "parallel/mutex.hpp"
 
 namespace lbmib {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+Mutex g_mutex;
 
 /// Small sequential thread id for log lines: stable across the thread's
 /// lifetime, far more readable than std::thread::id hashes.
@@ -24,6 +25,7 @@ int log_thread_id() {
 /// ISO-8601 UTC timestamp with millisecond precision,
 /// e.g. "2026-08-05T12:34:56.789Z".
 std::string iso8601_now() {
+  // NOLINTNEXTLINE(lbmib-nondeterminism) log stamps are presentation-only
   const auto now = std::chrono::system_clock::now();
   const std::time_t secs = std::chrono::system_clock::to_time_t(now);
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -64,7 +66,7 @@ void log_message(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
   const std::string stamp = iso8601_now();
   const int tid = log_thread_id();
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::cerr << "[" << stamp << " lbmib:" << level_name(level) << " t"
             << tid << "] " << message << '\n';
 }

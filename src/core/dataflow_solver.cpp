@@ -116,6 +116,7 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
       LBMIB_TRACE_SPAN(obs::SpanCat::kKernel, "fiber_forces_fused");
       auto t0 = Clock::now();
       for (;;) {
+        cancel_point("dataflow:fiber-forces");
         const Size i = fiber_cursor_.fetch_add(1, std::memory_order_relaxed);
         if (i >= nfibers) break;
         const auto [s, f] = fiber_list_[i];
@@ -265,6 +266,7 @@ void DataflowCubeSolver::thread_entry(int tid, Index num_steps,
                        kernel_short_name(Kernel::kMoveFibers));
       auto t0 = Clock::now();
       for (;;) {
+        cancel_point("dataflow:move-fibers");
         const Size i = move_cursor_.fetch_add(1, std::memory_order_relaxed);
         if (i >= nfibers) break;
         const auto [s, f] = fiber_list_[i];
@@ -344,9 +346,6 @@ void DataflowCubeSolver::run_overlapped(Index num_steps) {
   // collide(t+1) starts overwriting them. The grid's own bases are
   // reconciled once after the run.
   const bool p0 = grid_.swap_parity();
-  auto df_base_at = [](bool parity) {
-    return parity ? CubeGrid::kDfNewSlot : CubeGrid::kDfSlot;
-  };
 
   ThreadTeam team(params_.num_threads);
   team.run([&](int tid) {
@@ -395,8 +394,8 @@ void DataflowCubeSolver::run_overlapped(Index num_steps) {
       const Size parity = step & 1;
       // Step t's df lives at parity p0 ^ (t & 1); its df_new at the other.
       const bool src_parity = p0 != ((step & 1) != 0);
-      const Size src_base = df_base_at(src_parity);
-      const Size dst_base = df_base_at(!src_parity);
+      const Size src_base = CubeGrid::df_base_for(src_parity);
+      const Size dst_base = CubeGrid::df_base_for(!src_parity);
       LBMIB_TRACE_SPAN(obs::SpanCat::kTask,
                        is_collide ? "task.collide_stream"
                                   : "task.update_copy",

@@ -28,28 +28,29 @@ Watchdog::Watchdog(CancelToken& token, WatchdogConfig config)
 Watchdog::~Watchdog() { stop(); }
 
 void Watchdog::start() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (running_) return;
   stop_requested_ = false;
   running_ = true;
   armed_at_ns_.store(ProgressBoard::now_ns(), std::memory_order_release);
+  // NOLINTNEXTLINE(lbmib-raw-sync) daemon thread; see the header comment
   monitor_ = std::thread([this] { monitor_loop(); });
 }
 
 void Watchdog::stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!running_) return;
     stop_requested_ = true;
   }
   cv_.notify_all();
   monitor_.join();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   running_ = false;
 }
 
 std::string Watchdog::last_report() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return last_report_;
 }
 
@@ -57,9 +58,9 @@ void Watchdog::monitor_loop() {
   const auto poll = std::chrono::milliseconds(clamp_poll_ms(config_));
   const std::int64_t deadline_ns = config_.deadline_ms * 1'000'000;
   bool saw_cancelled = false;
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
-    cv_.wait_for(lock, poll);
+    mutex_.wait_for(cv_, poll);
     if (stop_requested_) return;
     if (token_.cancelled()) {
       // One hang, one report: stay quiet until the owner resets the

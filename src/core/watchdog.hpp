@@ -27,11 +27,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "parallel/cancel.hpp"
+#include "parallel/mutex.hpp"
 
 namespace lbmib {
 
@@ -78,8 +78,12 @@ class Watchdog {
   CancelToken& token_;
   WatchdogConfig config_;
 
-  std::thread monitor_;
-  mutable std::mutex mutex_;       // guards cv_ / stop_ / report_
+  // The monitor is a daemon, not a worker: it must keep running while
+  // the ThreadTeam unwinds from the very cancellation it raised, so it
+  // cannot be enrolled in the team it polices.
+  std::thread monitor_;  // NOLINT(lbmib-raw-sync) daemon outlives cancellation
+  mutable Mutex mutex_;  // guards cv_ / stop_ / report_
+  // NOLINTNEXTLINE(lbmib-raw-sync) waits route through Mutex::wait_for
   std::condition_variable cv_;
   bool stop_requested_ = false;
   bool running_ = false;

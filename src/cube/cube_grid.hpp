@@ -183,6 +183,20 @@ class CubeGrid {
   /// (kDfSlot), true after an odd number of swaps.
   bool swap_parity() const { return df_base_ != kDfSlot; }
 
+  /// Slot bases for a captured parity: callers that pipeline several
+  /// steps against one grid (the overlapped dataflow solver) track
+  /// parity per step and cannot read df_slot_base() between swaps.
+  /// These are the only sanctioned way to name a base outside the grid
+  /// itself — the raw kDfSlot/kDfNewSlot constants describe the
+  /// construction-time layout and are wrong after an odd number of
+  /// swaps (enforced by the lbmib-df-parity check).
+  static constexpr Size df_base_for(bool parity) {
+    return parity ? kDfNewSlot : kDfSlot;
+  }
+  static constexpr Size df_new_base_for(bool parity) {
+    return parity ? kDfSlot : kDfNewSlot;
+  }
+
   /// Force a specific parity (the overlapped dataflow solver tracks parity
   /// per step in its task graph and reconciles the grid once at the end).
   void set_swap_parity(bool parity) {

@@ -55,7 +55,7 @@ MetricsRegistry& MetricsRegistry::global() {
 MetricsRegistry::Entry& MetricsRegistry::find_or_create(
     const std::string& name, const std::string& help, MetricType type,
     std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& e : entries_) {
     if (e->name != name) continue;
     if (e->type != type) {
@@ -102,7 +102,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 void MetricsRegistry::reset_values() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& e : entries_) {
     switch (e->type) {
       case MetricType::kCounter:
@@ -163,7 +163,7 @@ std::string csv_field(const std::string& s) {
 }  // namespace
 
 std::string MetricsRegistry::prometheus_text() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::ostringstream os;
   os.precision(9);
   std::string last_base;
@@ -202,7 +202,7 @@ std::string MetricsRegistry::prometheus_text() const {
 }
 
 std::string MetricsRegistry::csv() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::ostringstream os;
   os.precision(9);
   os << "metric,type,stat,value\n";

@@ -19,11 +19,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/types.hpp"
+#include "parallel/mutex.hpp"
 
 namespace lbmib::obs {
 
@@ -147,7 +147,7 @@ class MetricsRegistry {
   Entry& find_or_create(const std::string& name, const std::string& help,
                         MetricType type, std::vector<double> bounds = {});
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::vector<std::unique_ptr<Entry>> entries_;  // insertion order
 };
 

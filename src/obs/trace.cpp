@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
-#include <mutex>
+
+#include "parallel/mutex.hpp"
 
 namespace lbmib::obs {
 
@@ -23,7 +24,7 @@ struct ThreadBuffer {
 };
 
 struct Registry {
-  std::mutex mutex;
+  Mutex mutex;
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
 };
 
@@ -43,7 +44,7 @@ ThreadBuffer& local_buffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
     auto b = std::make_shared<ThreadBuffer>();
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     b->tid = static_cast<std::uint32_t>(r.buffers.size());
     b->name = "thread-" + std::to_string(b->tid);
     r.buffers.push_back(b);
@@ -119,7 +120,7 @@ std::vector<SpanEvent> Tracer::drain() {
   const std::uint64_t gen = g_generation.load(std::memory_order_relaxed);
   std::vector<SpanEvent> out;
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   for (const auto& b : r.buffers) {
     if (b->generation.load(std::memory_order_relaxed) != gen) continue;
     const std::uint64_t n = b->pushed.load(std::memory_order_acquire);
@@ -144,7 +145,7 @@ Size Tracer::dropped() {
   const std::uint64_t gen = g_generation.load(std::memory_order_relaxed);
   Size lost = 0;
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   for (const auto& b : r.buffers) {
     if (b->generation.load(std::memory_order_relaxed) != gen) continue;
     const std::uint64_t n = b->pushed.load(std::memory_order_acquire);
@@ -157,7 +158,7 @@ Size Tracer::dropped() {
 void Tracer::set_thread_name(const std::string& name) {
   ThreadBuffer& b = local_buffer();
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   b.name = name;
 }
 
@@ -165,7 +166,7 @@ std::vector<std::pair<std::uint32_t, std::string>> Tracer::thread_names() {
   const std::uint64_t gen = g_generation.load(std::memory_order_relaxed);
   std::vector<std::pair<std::uint32_t, std::string>> out;
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   for (const auto& b : r.buffers) {
     if (b->generation.load(std::memory_order_relaxed) != gen) continue;
     out.emplace_back(b->tid, b->name);

@@ -770,6 +770,9 @@ Result explore(const Options& options, const ModelFactory& factory) {
   Engine engine(opts);
   EngineScope scope(&engine);
   Result result;
+  // Each iteration pops a DPOR backtrack frame and run_one() honors the
+  // step/schedule bounds, so the loop terminates by design.
+  // NOLINTNEXTLINE(lbmib-missing-cancel-point) bounded by the frame stack
   for (;;) {
     RunOutcome out = engine.run_one(factory, /*use_frames=*/true, nullptr);
     ++result.schedules;

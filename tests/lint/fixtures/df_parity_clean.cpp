@@ -1,0 +1,17 @@
+// Reading df state through the parity accessors must pass
+// lbmib-df-parity everywhere in the tree.
+//
+// EXPECT-CLEAN
+#include "stub_lbmib.h"
+
+double* present_base(lbmib::CubeGrid& grid) {
+  return grid.data() + grid.df_slot_base();
+}
+
+double* next_base(lbmib::CubeGrid& grid) {
+  return grid.data() + grid.df_new_slot_base();
+}
+
+unsigned captured_parity_base(bool parity) {
+  return lbmib::CubeGrid::df_base_for(parity);
+}

@@ -1,0 +1,16 @@
+// The library's own primitives — and NOLINT'ed deliberate exceptions —
+// must pass lbmib-raw-sync.
+//
+// EXPECT-CLEAN
+#include "stub_lbmib.h"
+
+struct Worker {
+  lbmib::Mutex mu;
+  lbmib::SpinLock spin;
+  // A daemon that must outlive cancellation is a documented exception.
+  std::thread monitor;  // NOLINT(lbmib-raw-sync) daemon outlives cancellation
+};
+
+void serialize(Worker& w) {
+  lbmib::MutexLock lock(w.mu);
+}

@@ -1,0 +1,101 @@
+#include "LockDisciplineCheck.h"
+
+#include "LbmibTidyUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace lbmib {
+
+LockDisciplineCheck::LockDisciplineCheck(StringRef Name,
+                                         ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      AllowedPathRegex(
+          Options.get("AllowedPathRegex", "(^|/)src/parallel/")),
+      GuardClassRegex(
+          Options.get("GuardClassRegex", ".*([Gg]uard|[Ll]ock)$")) {}
+
+void LockDisciplineCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowedPathRegex", AllowedPathRegex);
+  Options.store(Opts, "GuardClassRegex", GuardClassRegex);
+}
+
+void LockDisciplineCheck::registerMatchers(
+    ast_matchers::MatchFinder *Finder) {
+  const auto LockableRecord = cxxRecordDecl(hasAnyName(
+      "SpinLock", "Mutex", "::std::mutex", "::std::recursive_mutex",
+      "::std::timed_mutex", "::std::shared_mutex"));
+  const auto OnLockable =
+      on(expr(anyOf(hasType(hasUnqualifiedDesugaredType(
+                        recordType(hasDeclaration(LockableRecord)))),
+                    hasType(pointsTo(LockableRecord)))));
+
+  // Rule 1: manual lock()/unlock() outside a guard class.
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasAnyName("lock", "unlock")).bind("method")),
+          OnLockable,
+          unless(hasAncestor(cxxRecordDecl(matchesName(GuardClassRegex)))),
+          unless(isExpansionInSystemHeader()))
+          .bind("manual"),
+      this);
+
+  // Rule 2: a blocking call with a live SpinLockGuard in an enclosing
+  // compound statement. Ordering (guard declared *before* the call) is
+  // verified in check(); the matcher over-approximates.
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasAnyName("arrive_and_wait", "recv",
+                                          "recv_for", "wait", "wait_for"))
+                     .bind("blockfn")),
+          hasAncestor(compoundStmt(has(declStmt(hasSingleDecl(
+              varDecl(hasType(cxxRecordDecl(hasName("SpinLockGuard"))))
+                  .bind("spinguard")))))),
+          unless(isExpansionInSystemHeader()))
+          .bind("blocking"),
+      this);
+}
+
+void LockDisciplineCheck::check(
+    const ast_matchers::MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+
+  if (const auto *Manual =
+          Result.Nodes.getNodeAs<CXXMemberCallExpr>("manual")) {
+    const SourceLocation Loc = Manual->getBeginLoc();
+    if (pathMatches(AllowedPathRegex, locationPath(SM, Loc)))
+      return;
+    const auto *M = Result.Nodes.getNodeAs<CXXMethodDecl>("method");
+    diag(Loc, "manual '%0()' call; use a RAII guard (SpinLockGuard, "
+              "MutexLock, std::lock_guard) so the lock is released on "
+              "every path, including exceptions and cancellation "
+              "unwinds")
+        << M->getNameAsString();
+    return;
+  }
+
+  if (const auto *Blocking =
+          Result.Nodes.getNodeAs<CXXMemberCallExpr>("blocking")) {
+    const auto *Guard = Result.Nodes.getNodeAs<VarDecl>("spinguard");
+    if (Guard == nullptr)
+      return;
+    // The guard must be declared before the blocking call (same scope
+    // chain is implied by the ancestor matcher).
+    if (!SM.isBeforeInTranslationUnit(Guard->getLocation(),
+                                      Blocking->getBeginLoc()))
+      return;
+    const auto *Fn = Result.Nodes.getNodeAs<CXXMethodDecl>("blockfn");
+    diag(Blocking->getBeginLoc(),
+         "blocking call '%0' while a SpinLock is held (guard '%1' is "
+         "live): spin-waiters burn a core and defer their cancel polls; "
+         "scope the guard so it is released before blocking")
+        << Fn->getNameAsString() << Guard->getNameAsString();
+  }
+}
+
+} // namespace lbmib
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,39 @@
+// lbmib-lock-discipline: two rules about holding locks.
+//
+//   1. No manual lock()/unlock() pairs (CP.20): an exception or early
+//      return between them leaks the lock, and clang's thread-safety
+//      analysis (which gates the CI clang job) only reasons cleanly
+//      about scoped capabilities. Use SpinLockGuard / MutexLock /
+//      std::lock_guard. Guard classes themselves (and the primitive
+//      wrappers in src/parallel/) are exempt.
+//   2. No blocking operation (barrier arrive_and_wait, Channel recv,
+//      Mutex wait) while a SpinLockGuard is live in an enclosing scope:
+//      contenders spin — burning a core and deferring their cancel
+//      polls — while the holder sleeps, and under the model checker the
+//      schedule shows up as a (correct!) deadlock report.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace lbmib {
+
+class LockDisciplineCheck : public ClangTidyCheck {
+public:
+  LockDisciplineCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  /// Paths where manual lock()/unlock() is the implementation (the
+  /// guards and primitives themselves).
+  const std::string AllowedPathRegex;
+  /// Enclosing classes whose job is to call lock()/unlock().
+  const std::string GuardClassRegex;
+};
+
+} // namespace lbmib
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,121 @@
+#include "MissingCancelPointCheck.h"
+
+#include "LbmibTidyUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/SmallVector.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace lbmib {
+
+namespace {
+
+/// Default set mirroring scripts/lbmib_lint.py: the cancellation seams
+/// (parallel/cancel.hpp), the heartbeat, and every blocking library
+/// call that itself polls the CancelToken.
+constexpr char kDefaultCancelNames[] =
+    "cancel_point,throw_if_cancelled,cancelled,beat,heartbeat,"
+    "wait,wait_for,wait_until,wait_until_for,arrive_and_wait,"
+    "recv,try_recv,recv_for,sched_point";
+
+/// Literal-true loop condition (or absent): `while (true)`, `while (1)`,
+/// `for (;;)`. Computed conditions are assumed bounded — flagging every
+/// `while (head < tail)` would bury the signal.
+bool isUnboundedCondition(const Expr *Cond) {
+  if (Cond == nullptr)
+    return true;
+  const Expr *E = Cond->IgnoreParenImpCasts();
+  if (const auto *B = dyn_cast<CXXBoolLiteralExpr>(E))
+    return B->getValue();
+  if (const auto *I = dyn_cast<IntegerLiteral>(E))
+    return I->getValue() != 0;
+  return false;
+}
+
+} // namespace
+
+MissingCancelPointCheck::MissingCancelPointCheck(StringRef Name,
+                                                ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      CancelNames(Options.get("CancelNames", kDefaultCancelNames)) {
+  for (llvm::StringRef N : splitNameList(CancelNames))
+    NameSet.insert(N);
+}
+
+void MissingCancelPointCheck::storeOptions(
+    ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "CancelNames", CancelNames);
+}
+
+void MissingCancelPointCheck::registerMatchers(
+    ast_matchers::MatchFinder *Finder) {
+  Finder->addMatcher(
+      whileStmt(unless(isExpansionInSystemHeader())).bind("while"), this);
+  Finder->addMatcher(
+      forStmt(unless(isExpansionInSystemHeader())).bind("for"), this);
+}
+
+bool MissingCancelPointCheck::containsCancellation(const Stmt *Body) const {
+  if (Body == nullptr)
+    return false;
+  llvm::SmallVector<const Stmt *, 32> Work;
+  Work.push_back(Body);
+  while (!Work.empty()) {
+    const Stmt *S = Work.pop_back_val();
+    if (S == nullptr)
+      continue;
+    if (const auto *Call = dyn_cast<CallExpr>(S)) {
+      if (const FunctionDecl *Callee = Call->getDirectCallee()) {
+        if (NameSet.count(Callee->getNameAsString()))
+          return true;
+      }
+    }
+    // Dependent/unresolved member calls in templates still carry the
+    // member name; honor it so templated worker loops don't need
+    // suppressions.
+    if (const auto *M = dyn_cast<CXXDependentScopeMemberExpr>(S)) {
+      if (NameSet.count(M->getMember().getAsString()))
+        return true;
+    }
+    for (const Stmt *Child : S->children())
+      Work.push_back(Child);
+  }
+  return false;
+}
+
+void MissingCancelPointCheck::check(
+    const ast_matchers::MatchFinder::MatchResult &Result) {
+  const Stmt *Body = nullptr;
+  const Expr *Cond = nullptr;
+  SourceLocation Loc;
+  if (const auto *W = Result.Nodes.getNodeAs<WhileStmt>("while")) {
+    Cond = W->getCond();
+    Body = W->getBody();
+    Loc = W->getWhileLoc();
+  } else if (const auto *F = Result.Nodes.getNodeAs<ForStmt>("for")) {
+    Cond = F->getCond();
+    Body = F->getBody();
+    Loc = F->getForLoc();
+  } else {
+    return;
+  }
+
+  if (!isUnboundedCondition(Cond))
+    return;
+  if (containsCancellation(Body))
+    return;
+
+  diag(Loc,
+       "unbounded loop has no cancel_point(), heartbeat, or cancellable "
+       "blocking call on any path; a wedge here is invisible to the "
+       "watchdog and cannot be unwound (src/parallel/cancel.hpp)");
+}
+
+} // namespace lbmib
+} // namespace tidy
+} // namespace clang

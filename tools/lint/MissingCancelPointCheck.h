@@ -1,0 +1,36 @@
+// lbmib-missing-cancel-point: the PR-6 hang-proofing invariant. Every
+// unbounded loop (`for (;;)`, `while (true)`) must contain, on some
+// path, either a cooperative cancellation poll (cancel_point,
+// throw_if_cancelled), a heartbeat (ProgressBoard::beat), or a call
+// into a cancellable blocking primitive (barrier arrive_and_wait,
+// Channel::recv/recv_for, Mutex::wait/wait_for, mc::sched_point...).
+// A loop with none of these can wedge forever: the watchdog sees the
+// thread's heartbeat go stale but cancellation cannot unwind it, so the
+// hang survives until the process is killed.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/ADT/StringSet.h"
+
+namespace clang {
+namespace tidy {
+namespace lbmib {
+
+class MissingCancelPointCheck : public ClangTidyCheck {
+public:
+  MissingCancelPointCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  bool containsCancellation(const Stmt *Body) const;
+
+  /// Comma-separated callee names that satisfy the invariant.
+  const std::string CancelNames;
+  llvm::StringSet<> NameSet;
+};
+
+} // namespace lbmib
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,110 @@
+#include "RawSyncCheck.h"
+
+#include "LbmibTidyUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace lbmib {
+
+namespace {
+
+/// The replacement hint for a given raw construct's qualified name.
+llvm::StringRef hintFor(llvm::StringRef Qualified) {
+  if (Qualified.contains("condition_variable"))
+    return "route the wait through lbmib::Mutex::wait/wait_for "
+           "(src/parallel/mutex.hpp) so cancellation and the model "
+           "checker see the blocking edge";
+  if (Qualified.contains("mutex"))
+    return "use lbmib::Mutex with MutexLock, or lbmib::SpinLock with "
+           "SpinLockGuard (src/parallel/mutex.hpp, spinlock.hpp)";
+  if (Qualified.contains("thread"))
+    return "use lbmib::ThreadTeam (src/parallel/thread_team.hpp), which "
+           "enrolls workers in heartbeats, cancellation and the race "
+           "detector";
+  if (Qualified.contains("fence"))
+    return "publish through a release/acquire pair on a named "
+           "std::atomic instead: the detectors model objects, not fences";
+  return "use the instrumented primitives in src/parallel/";
+}
+
+} // namespace
+
+RawSyncCheck::RawSyncCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      AllowedPathRegex(Options.get("AllowedPathRegex",
+                                   "(^|/)src/parallel/")) {}
+
+void RawSyncCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowedPathRegex", AllowedPathRegex);
+}
+
+void RawSyncCheck::registerMatchers(ast_matchers::MatchFinder *Finder) {
+  const auto RawSyncRecord = cxxRecordDecl(hasAnyName(
+      "::std::mutex", "::std::recursive_mutex", "::std::timed_mutex",
+      "::std::recursive_timed_mutex", "::std::shared_mutex",
+      "::std::shared_timed_mutex", "::std::condition_variable",
+      "::std::condition_variable_any", "::std::thread", "::std::jthread"));
+
+  // Owning declarations (locals, members, params by value). References
+  // and pointers are deliberately not flagged: the owner is the
+  // violation, a leaf wrapper taking `std::condition_variable&` (like
+  // lbmib::Mutex::wait) is the approved seam.
+  Finder->addMatcher(
+      valueDecl(hasType(hasUnqualifiedDesugaredType(recordType(
+                    hasDeclaration(RawSyncRecord.bind("type"))))),
+                unless(isExpansionInSystemHeader()))
+          .bind("decl"),
+      this);
+
+  // Bare fences and direct pthread calls.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::std::atomic_thread_fence", "::std::atomic_signal_fence",
+                   "::atomic_thread_fence", "::pthread_create",
+                   "::pthread_mutex_init", "::pthread_mutex_lock",
+                   "::pthread_mutex_unlock", "::pthread_cond_init",
+                   "::pthread_cond_wait", "::pthread_cond_signal",
+                   "::pthread_barrier_init", "::pthread_barrier_wait"))
+                   .bind("fn")),
+               unless(isExpansionInSystemHeader()))
+          .bind("call"),
+      this);
+}
+
+void RawSyncCheck::check(
+    const ast_matchers::MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  SourceLocation Loc;
+  std::string Construct;
+
+  if (const auto *D = Result.Nodes.getNodeAs<ValueDecl>("decl")) {
+    const auto *T = Result.Nodes.getNodeAs<CXXRecordDecl>("type");
+    if (T == nullptr)
+      return;
+    Loc = D->getLocation();
+    Construct = T->getQualifiedNameAsString();
+  } else if (const auto *C = Result.Nodes.getNodeAs<CallExpr>("call")) {
+    const auto *F = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+    if (F == nullptr)
+      return;
+    Loc = C->getBeginLoc();
+    Construct = F->getQualifiedNameAsString();
+  } else {
+    return;
+  }
+
+  if (pathMatches(AllowedPathRegex, locationPath(SM, Loc)))
+    return;
+
+  diag(Loc, "raw '%0' outside src/parallel/ is invisible to the race "
+            "detector, model checker and cancellation layer; %1")
+      << Construct << hintFor(Construct);
+}
+
+} // namespace lbmib
+} // namespace tidy
+} // namespace clang

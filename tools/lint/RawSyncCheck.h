@@ -1,0 +1,34 @@
+// lbmib-raw-sync: raw standard-library synchronization outside
+// src/parallel/ is invisible to the race detector (DESIGN.md §12), the
+// model checker (§15), and the cancellation layer (§14) — all three
+// hook the *library's* primitives, not libstdc++'s. A std::mutex in a
+// solver can deadlock without the watchdog attributing it and without
+// the DPOR engine being able to preempt around it. This check flags
+// declarations of std::mutex / std::condition_variable / std::thread
+// (and friends), bare atomic fences, and pthread calls anywhere the
+// allowlist regex does not match, and names the library primitive to
+// use instead.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace lbmib {
+
+class RawSyncCheck : public ClangTidyCheck {
+public:
+  RawSyncCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  /// Paths where raw primitives are the implementation substrate (the
+  /// wrappers have to be built out of something).
+  const std::string AllowedPathRegex;
+};
+
+} // namespace lbmib
+} // namespace tidy
+} // namespace clang
