@@ -8,21 +8,31 @@
 // four fluid-sweeping kernels (5, 7, 9, 6) must dominate with collision
 // around 70+%.
 //
-// Usage: table1_kernel_profile [--full] [steps]
+// When the host grants perf_event_open (see obs/perf_counters.hpp) the
+// time columns are followed by per-kernel counter columns — IPC,
+// LLC-miss/node, achieved GB/s vs the analytic bound — via the roofline
+// report; on locked-down hosts the bench silently stays time-only.
+// --no-counters skips the counter session (and the ~100 ms peak probe).
+//
+// Usage: table1_kernel_profile [--full] [--no-counters] [steps]
 #include <cstring>
 #include <iostream>
 
 #include "core/sequential_solver.hpp"
 #include "lbmib.hpp"
+#include "obs/perf_counters.hpp"
 
 int main(int argc, char** argv) {
   using namespace lbmib;
 
   bool full = false;
+  bool counters = true;
   Index steps = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) {
       full = true;
+    } else if (std::strcmp(argv[i], "--no-counters") == 0) {
+      counters = false;
     } else {
       steps = std::atol(argv[i]);
     }
@@ -53,25 +63,36 @@ int main(int argc, char** argv) {
             << "\ninput: " << params.summary() << ", " << steps
             << " steps\n\n";
 
-  SequentialSolver solver(params);
+  if (counters) obs::PerfCounters::start();  // degrades with one warning
+
+  Simulation solver(SolverKind::kSequential, params);
   WallTimer timer;
   solver.run(steps);
   const double total = timer.seconds();
 
-  std::cout << solver.profiler().report() << "\n";
+  std::cout << solver.solver().profiler().report() << "\n";
   std::cout << "Wall time: " << total << " s\n";
+  if (counters) {
+    std::cout << "\n" << solver.roofline_report().to_string();
+    // Fresh totals for the fused run: the pipelines share IB span names
+    // and must not pool their counter deltas.
+    obs::PerfCounters::reset();
+  }
 
   // Same input under the fused default, for contrast: collide+stream is
   // one sweep charged to kernel 5 and kernel 9 is the O(1) swap.
   params.fused_step = true;
-  SequentialSolver fused(params);
+  Simulation fused(SolverKind::kSequential, params);
   WallTimer fused_timer;
   fused.run(steps);
   const double fused_total = fused_timer.seconds();
   std::cout << "\n--- fused pipeline (library default) on the same input ---\n"
-            << fused.profiler().report() << "\n";
+            << fused.solver().profiler().report() << "\n";
   std::cout << "Wall time: " << fused_total << " s ("
             << total / fused_total << "x vs reference)\n";
+  if (counters) {
+    std::cout << "\n" << fused.roofline_report().to_string();
+  }
   std::cout << "\nPaper reference (Table I, % of total):\n"
                "  5) compute_fluid_collision            73.2%\n"
                "  7) update_fluid_velocity              12.6%\n"

@@ -7,6 +7,7 @@
 //             [--steps N] [--output-every N] [--out DIR]
 //             [--trace-out FILE] [--metrics-out FILE] [--metrics-csv FILE]
 //             [--watchdog-ms N] [--hang-report FILE]
+//             [--perf-counters] [--roofline-out FILE] [--http-port N]
 //             [--chaos-stall POINT [--chaos-stall-ms N]]
 //   lbmib_run --write-default <path>    # emit a template config
 //
@@ -20,6 +21,7 @@
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -38,6 +40,8 @@ void usage() {
          "                 [--trace-out FILE] [--metrics-out FILE]\n"
          "                 [--metrics-csv FILE] [--watchdog-ms N]\n"
          "                 [--hang-report FILE]\n"
+         "                 [--perf-counters] [--roofline-out FILE]\n"
+         "                 [--http-port N]\n"
          "                 [--no-simd] [--tile-y N] [--no-first-touch]\n"
          "                 [--chaos-stall POINT [--chaos-stall-ms N]]\n"
          "       lbmib_run --write-default <path>\n"
@@ -49,6 +53,15 @@ void usage() {
          "                this long is cancelled with a hang report\n"
          "  --hang-report hang-report path (default\n"
          "                <out>/lbmib_hang_report.txt)\n"
+         "  --perf-counters\n"
+         "                sample hardware counters per kernel and print\n"
+         "                a roofline report (degrades to time-only with\n"
+         "                a warning when perf_event_open is denied)\n"
+         "  --roofline-out\n"
+         "                also write the roofline report as JSON\n"
+         "  --http-port N serve live telemetry on 127.0.0.1:N —\n"
+         "                /metrics /healthz /status /trace (0 picks an\n"
+         "                ephemeral port, printed at startup)\n"
          "  --no-simd     run the fused sweep scalar (A/B baseline)\n"
          "  --tile-y N    force the fused sweep's y-tile extent\n"
          "                (default: auto from the probed L2 cache)\n"
@@ -112,6 +125,9 @@ int main(int argc, char** argv) {
     std::string metrics_csv;
     long watchdog_ms = 0;
     std::string hang_report;
+    bool perf_counters = false;
+    std::string roofline_out;
+    long http_port = -1;  // -1 = no server
     std::string chaos_stall;
     long chaos_stall_ms = -1;  // -1 = permanent stick
     bool no_simd = false;
@@ -141,6 +157,12 @@ int main(int argc, char** argv) {
         watchdog_ms = std::stol(next());
       } else if (arg == "--hang-report") {
         hang_report = next();
+      } else if (arg == "--perf-counters") {
+        perf_counters = true;
+      } else if (arg == "--roofline-out") {
+        roofline_out = next();
+      } else if (arg == "--http-port") {
+        http_port = std::stol(next());
       } else if (arg == "--chaos-stall") {
         chaos_stall = next();
       } else if (arg == "--chaos-stall-ms") {
@@ -192,6 +214,13 @@ int main(int argc, char** argv) {
     }
 
     if (!trace_out.empty()) sim.enable_tracing();
+    if (perf_counters || !roofline_out.empty()) {
+      // Degradation contract: when the host denies perf_event_open this
+      // warns once and the run continues identically, time-only — the
+      // roofline below still classifies kernels from profiler seconds.
+      sim.enable_perf_counters();
+    }
+    if (http_port >= 0) sim.start_telemetry(static_cast<int>(http_port));
     if (watchdog_ms > 0) {
       if (hang_report.empty()) {
         hang_report = out_dir + "/lbmib_hang_report.txt";
@@ -231,6 +260,16 @@ int main(int argc, char** argv) {
       if (!metrics_csv.empty()) {
         sim.write_metrics_csv(metrics_csv);
         std::cout << "metrics csv: " << metrics_csv << "\n";
+      }
+      if ((perf_counters || !roofline_out.empty()) &&
+          sim.steps_completed() > 0) {
+        const perfmodel::RooflineReport roofline = sim.roofline_report();
+        std::cout << "\n" << roofline.to_string();
+        if (!roofline_out.empty()) {
+          std::ofstream out(roofline_out, std::ios::trunc);
+          out << roofline.json();
+          std::cout << "roofline: " << roofline_out << "\n";
+        }
       }
     };
 

@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Offline critical-path attribution over an exported Chrome trace.
+
+This is the same walk ``src/obs/critical_path.cpp`` performs in-process,
+reimplemented over the Chrome trace-event JSON that ``lbmib_run
+--trace-out`` (or the /trace telemetry endpoint) emits, so a trace
+captured on one machine can be attributed on another:
+
+  * every ``cat == "step"`` span is a per-thread step window; its
+    ``args.arg`` is the step number,
+  * child spans are bucketed kernel/task -> compute, halo/checkpoint ->
+    halo, barrier -> wait; on overlap the highest-priority bucket wins
+    (wait > halo > compute), and time covered by no child is *serial*,
+  * the critical path is assembled per step number from the longest
+    window across threads — the thread everyone else waited for.
+
+Prints the same per-thread + critical table as the in-process report,
+plus a per-span-name time ranking. ``--json`` emits the breakdown
+machine-readably instead. No third-party imports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+import json
+import sys
+
+# Priority inside a step window; higher wins on overlap. Mirrors
+# Bucket in src/obs/critical_path.cpp.
+SERIAL, COMPUTE, HALO, WAIT = 0, 1, 2, 3
+BUCKET_OF = {
+    "kernel": COMPUTE,
+    "task": COMPUTE,
+    "halo": HALO,
+    "checkpoint": HALO,
+    "barrier": WAIT,
+}
+BUCKET_NAME = ["serial", "compute", "halo", "barrier"]
+
+
+def fail(msg: str) -> None:
+    print(f"analyze_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def attribute_window(start, end, children, bucket_us):
+    """Priority sweep over one step window; adds covered time (µs) per
+    bucket to bucket_us[4]. Mirrors attribute_window() in C++."""
+    edges = []  # (t, bucket, delta)
+    for (s, e, b) in children:
+        lo, hi = max(s, start), min(e, end)
+        if hi <= lo:
+            continue
+        edges.append((lo, b, +1))
+        edges.append((hi, b, -1))
+    edges.sort(key=lambda x: x[0])
+
+    depth = [0, 0, 0, 0]
+    cursor = start
+    i = 0
+    while i < len(edges):
+        t = edges[i][0]
+        if t > cursor:
+            active = SERIAL
+            for b in (WAIT, HALO, COMPUTE):
+                if depth[b] > 0:
+                    active = b
+                    break
+            bucket_us[active] += t - cursor
+            cursor = t
+        while i < len(edges) and edges[i][0] == t:
+            depth[edges[i][1]] += edges[i][2]
+            i += 1
+    if end > cursor:
+        bucket_us[SERIAL] += end - cursor
+
+
+def analyze(path: str):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents")
+
+    windows = {}   # tid -> [(start, end, step_arg)]
+    children = {}  # tid -> [(start, end, bucket)]
+    by_name = {}   # span name -> [total_us, count]
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        tid, ts, dur = ev["tid"], ev["ts"], ev["dur"]
+        cat = ev.get("cat", "other")
+        if cat == "step":
+            arg = ev.get("args", {}).get("arg", -1)
+            windows.setdefault(tid, []).append((ts, ts + dur, arg))
+        elif cat in BUCKET_OF:
+            children.setdefault(tid, []).append(
+                (ts, ts + dur, BUCKET_OF[cat]))
+            acc = by_name.setdefault(ev["name"], [0.0, 0])
+            acc[0] += dur
+            acc[1] += 1
+
+    if not windows:
+        fail(f"{path}: no 'step' spans — was the run traced with "
+             "LBMIB_TRACE on and --trace-out?")
+
+    threads = []  # (tid, steps, total_us, bucket_us[4])
+    longest = {}  # step arg -> (dur_us, bucket_us[4])
+    for tid in sorted(windows):
+        # Bisect on start times keeps each window's child scan local
+        # instead of rescanning the whole thread (traces run to 100k+
+        # events); max_dur bounds how far left an overlapping child's
+        # start can sit.
+        kids = sorted(children.get(tid, []))
+        starts = [k[0] for k in kids]
+        max_dur = max((e - s for (s, e, _) in kids), default=0)
+        total = [0.0, 0.0, 0.0, 0.0]
+        span_total = 0.0
+        for (start, end, arg) in windows[tid]:
+            lo = bisect.bisect_left(starts, start - max_dur)
+            hi = bisect.bisect_left(starts, end)
+            one = [0.0, 0.0, 0.0, 0.0]
+            attribute_window(start, end, kids[lo:hi], one)
+            for b in range(4):
+                total[b] += one[b]
+            span_total += end - start
+            dur = end - start
+            if arg not in longest or dur > longest[arg][0]:
+                longest[arg] = (dur, one)
+        threads.append((tid, len(windows[tid]), span_total, total))
+
+    crit = [0.0, 0.0, 0.0, 0.0]
+    crit_total = 0.0
+    for (dur, one) in longest.values():
+        crit_total += dur
+        for b in range(4):
+            crit[b] += one[b]
+
+    return threads, (len(longest), crit_total, crit), by_name
+
+
+def print_report(threads, critical, by_name, top: int) -> None:
+    print("=== critical path attribution (offline) ===")
+    hdr = (f"{'thread':<8} {'steps':>6} {'step_s':>9} {'compute':>8} "
+           f"{'barrier':>8} {'halo':>8} {'serial':>8}")
+    print(hdr)
+
+    def row(name, steps, total_us, bucket_us):
+        s = total_us * 1e-6
+        pct = [100.0 * b / total_us if total_us > 0 else 0.0
+               for b in bucket_us]
+        print(f"{name:<8} {steps:>6} {s:>9.4f} {pct[COMPUTE]:>7.1f}% "
+              f"{pct[WAIT]:>7.1f}% {pct[HALO]:>7.1f}% "
+              f"{pct[SERIAL]:>7.1f}%")
+
+    for (tid, steps, total_us, bucket_us) in threads:
+        row(f"t{tid}", steps, total_us, bucket_us)
+    n_steps, crit_total, crit = critical
+    row("critical", n_steps, crit_total, crit)
+
+    if by_name and top > 0:
+        print(f"\ntop {top} spans by total time:")
+        ranked = sorted(by_name.items(), key=lambda kv: -kv[1][0])[:top]
+        for name, (us, count) in ranked:
+            print(f"  {name:<24} {us * 1e-6:>9.4f} s  x{count}")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace-event JSON file")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the breakdown as JSON instead of a table")
+    ap.add_argument("--top", type=int, default=10,
+                    help="spans to show in the time ranking (0 = none)")
+    args = ap.parse_args()
+
+    threads, critical, by_name = analyze(args.trace)
+    if args.json:
+        n_steps, crit_total, crit = critical
+        doc = {
+            "threads": [
+                {"tid": tid, "steps": steps,
+                 "step_seconds": total * 1e-6,
+                 **{BUCKET_NAME[b] + "_seconds": bucket[b] * 1e-6
+                    for b in range(4)}}
+                for (tid, steps, total, bucket) in threads
+            ],
+            "critical": {
+                "steps": n_steps, "step_seconds": crit_total * 1e-6,
+                **{BUCKET_NAME[b] + "_seconds": crit[b] * 1e-6
+                   for b in range(4)},
+            },
+            "spans": {name: {"seconds": us * 1e-6, "count": count}
+                      for name, (us, count) in sorted(by_name.items())},
+        }
+        json.dump(doc, sys.stdout, indent=2)
+        print()
+    else:
+        print_report(threads, critical, by_name, args.top)
+
+
+if __name__ == "__main__":
+    main()

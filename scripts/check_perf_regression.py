@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Noise-aware perf-regression gate over two BENCH_step.json files.
+
+Compares a fresh ``scripts/run_benchmarks.sh`` output (``--fresh``)
+against the committed reference (``--baseline``), metric by metric:
+
+  * ``solver_comparison``: per-solver ``fused_steps_per_sec`` and
+    ``reference_steps_per_sec`` — the whole-step numbers that must not
+    regress,
+  * ``micro_collide_stream``: per-kernel MLUPS — the SIMD payoff in
+    isolation.
+
+Benchmark noise on shared CI runners is real, so the gate has two
+thresholds on the fractional slowdown (1 - fresh/baseline):
+
+  * past ``--warn`` (default 0.15): printed as a warning, exit 0,
+  * past ``--fail`` (default 0.50): printed as FAIL, exit 1.
+
+Speedups and small wobbles are reported as OK. Metrics present in only
+one file are listed but never gate (the bench set is allowed to grow).
+If the two files were built with different vector flags the gate
+downgrades every FAIL to a warning — the numbers are not comparable.
+No third-party imports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_perf_regression: cannot load {path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def collect_metrics(doc: dict) -> dict[str, float]:
+    """Flatten the gated metrics to {label: higher-is-better value}."""
+    out: dict[str, float] = {}
+    for s in doc.get("solver_comparison", {}).get("solvers", []):
+        name = s.get("solver", "?")
+        for key in ("fused_steps_per_sec", "reference_steps_per_sec"):
+            v = s.get(key)
+            if isinstance(v, (int, float)) and v > 0:
+                out[f"{name}.{key}"] = float(v)
+    kernels = doc.get("micro_collide_stream", {}).get("kernels", {})
+    for key, v in kernels.items():
+        if isinstance(v, (int, float)) and v > 0:
+            out[f"micro.{key}"] = float(v)
+    return out
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_step.json (the reference)")
+    ap.add_argument("--fresh", required=True,
+                    help="BENCH_step.json from the run under test")
+    ap.add_argument("--warn", type=float, default=0.15,
+                    help="fractional slowdown that prints a warning")
+    ap.add_argument("--fail", type=float, default=0.50,
+                    help="fractional slowdown that fails the gate")
+    args = ap.parse_args()
+    if not 0.0 < args.warn <= args.fail:
+        ap.error("need 0 < --warn <= --fail")
+
+    base_doc, fresh_doc = load(args.baseline), load(args.fresh)
+    base, fresh = collect_metrics(base_doc), collect_metrics(fresh_doc)
+    if not base:
+        print("check_perf_regression: baseline has no gated metrics",
+              file=sys.stderr)
+        sys.exit(2)
+
+    base_flags = base_doc.get("build", {}).get("vector_flags", "")
+    fresh_flags = fresh_doc.get("build", {}).get("vector_flags", "")
+    comparable = base_flags == fresh_flags
+    if not comparable:
+        print(f"note: vector flags differ (baseline {base_flags!r} vs "
+              f"fresh {fresh_flags!r}) — failures downgraded to warnings")
+
+    failures: list[str] = []
+    warnings: list[str] = []
+    width = max(len(k) for k in base)
+    print(f"{'metric':<{width}} {'baseline':>12} {'fresh':>12} "
+          f"{'ratio':>7}  verdict")
+    for key in sorted(base):
+        b = base[key]
+        if key not in fresh:
+            print(f"{key:<{width}} {b:>12.3f} {'—':>12} {'—':>7}  "
+                  "missing in fresh (not gated)")
+            continue
+        f = fresh[key]
+        ratio = f / b
+        slowdown = 1.0 - ratio
+        if slowdown >= args.fail:
+            verdict = f"FAIL (past --fail {args.fail:.2f})"
+            failures.append(key)
+        elif slowdown >= args.warn:
+            verdict = f"warn (past --warn {args.warn:.2f})"
+            warnings.append(key)
+        else:
+            verdict = "OK"
+        print(f"{key:<{width}} {b:>12.3f} {f:>12.3f} {ratio:>6.2f}x  "
+              f"{verdict}")
+    for key in sorted(set(fresh) - set(base)):
+        print(f"{key:<{width}} {'—':>12} {fresh[key]:>12.3f} {'—':>7}  "
+              "new metric (not gated)")
+
+    print()
+    if failures and comparable:
+        print(f"check_perf_regression: FAIL — {len(failures)} metric(s) "
+              f"regressed past --fail {args.fail:.2f}: "
+              f"{', '.join(failures)}")
+        sys.exit(1)
+    if failures:
+        warnings.extend(failures)
+    if warnings:
+        print(f"check_perf_regression: OK with {len(warnings)} "
+              f"warning(s): {', '.join(warnings)}")
+    else:
+        print("check_perf_regression: OK — no regressions past "
+              f"--warn {args.warn:.2f}")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

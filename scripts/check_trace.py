@@ -14,8 +14,12 @@ the spec Perfetto/chrome://tracing require of us:
 
 Optionally validates a Prometheus text file (``--prometheus``) — every
 non-comment line must parse as ``name[{labels}] value`` and every
-``--expect-metrics`` name must be present — and a metrics CSV
-(``--csv``) for the ``metric,type,stat,value`` header.
+``--expect-metrics`` name must be present — a metrics CSV (``--csv``)
+for the ``metric,type,stat,value`` header, and a roofline JSON file
+(``--roofline``, as written by ``lbmib_run --roofline-out``): machine
+peaks must be positive, every kernel row must carry the analytic-model
+fields with a sane bound verdict, and when ``counters_available`` is
+true at least one row must carry measured counter fields (ipc etc.).
 
 Exits non-zero with a description of the first failure. No third-party
 imports: json/re/argparse only.
@@ -123,11 +127,79 @@ def check_csv(path: str) -> None:
     print(f"check_trace: {path}: OK — {len(rows) - 1} CSV rows")
 
 
+def check_roofline(path: str) -> None:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+    peaks = doc.get("peaks")
+    if not isinstance(peaks, dict):
+        fail(f"{path}: missing 'peaks' object")
+    for field in ("gbps", "gflops", "balance_flop_per_byte"):
+        v = peaks.get(field)
+        if not isinstance(v, (int, float)) or v <= 0:
+            fail(f"{path}: peaks.{field} must be a positive number, "
+                 f"got {v!r}")
+    if not isinstance(peaks.get("threads"), int) or peaks["threads"] < 1:
+        fail(f"{path}: peaks.threads must be a positive integer")
+    if not isinstance(doc.get("counters_available"), bool):
+        fail(f"{path}: 'counters_available' must be a boolean")
+
+    kernels = doc.get("kernels")
+    if not isinstance(kernels, list) or not kernels:
+        fail(f"{path}: 'kernels' must be a non-empty array")
+    counter_fields = ("ipc", "llc_miss_rate", "llc_miss_per_unit",
+                      "measured_gbps", "stalled_backend_frac")
+    n_with_counters = 0
+    for i, row in enumerate(kernels):
+        for field in ("kernel", "unit", "bound"):
+            if not isinstance(row.get(field), str):
+                fail(f"{path}: kernel {i} field {field!r} must be a "
+                     f"string, got {row.get(field)!r}")
+        if row["bound"] not in ("bandwidth", "compute"):
+            fail(f"{path}: kernel {i} ({row['kernel']}) has bound="
+                 f"{row['bound']!r}, expected bandwidth|compute")
+        if row["unit"] not in ("node", "point"):
+            fail(f"{path}: kernel {i} ({row['kernel']}) has unit="
+                 f"{row['unit']!r}, expected node|point")
+        for field in ("seconds", "ai_flop_per_byte", "model_gbytes",
+                      "achieved_gbps", "achieved_gflops",
+                      "roof_fraction"):
+            v = row.get(field)
+            if not isinstance(v, (int, float)) or v < 0:
+                fail(f"{path}: kernel {i} ({row['kernel']}) field "
+                     f"{field!r} must be a non-negative number, "
+                     f"got {v!r}")
+        present = [f for f in counter_fields if f in row]
+        if present:
+            # Counter fields are all-or-nothing per row.
+            missing = [f for f in counter_fields if f not in row]
+            if missing:
+                fail(f"{path}: kernel {i} ({row['kernel']}) has partial "
+                     f"counter fields: missing {missing}")
+            for field in counter_fields:
+                if not isinstance(row[field], (int, float)):
+                    fail(f"{path}: kernel {i} ({row['kernel']}) field "
+                         f"{field!r} must be numeric")
+            n_with_counters += 1
+    if doc["counters_available"] and n_with_counters == 0:
+        fail(f"{path}: counters_available is true but no kernel row "
+             "carries counter fields")
+    print(
+        f"check_trace: {path}: OK — {len(kernels)} roofline rows, "
+        f"{n_with_counters} with counters, peak {peaks['gbps']} GB/s / "
+        f"{peaks['gflops']} GFLOP/s"
+    )
+
+
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace", help="Chrome trace-event JSON to validate")
     ap.add_argument("--prometheus", help="Prometheus text file to validate")
     ap.add_argument("--csv", help="metrics CSV file to validate")
+    ap.add_argument("--roofline",
+                    help="roofline JSON (lbmib_run --roofline-out) to "
+                    "validate")
     ap.add_argument(
         "--expect",
         default="",
@@ -140,8 +212,9 @@ def main() -> None:
         "Prometheus file",
     )
     args = ap.parse_args()
-    if not (args.trace or args.prometheus or args.csv):
-        ap.error("nothing to check: pass --trace, --prometheus, or --csv")
+    if not (args.trace or args.prometheus or args.csv or args.roofline):
+        ap.error("nothing to check: pass --trace, --prometheus, --csv, "
+                 "or --roofline")
 
     if args.trace:
         check_trace(args.trace,
@@ -151,6 +224,8 @@ def main() -> None:
                          [s for s in args.expect_metrics.split(",") if s])
     if args.csv:
         check_csv(args.csv)
+    if args.roofline:
+        check_roofline(args.roofline)
 
 
 if __name__ == "__main__":

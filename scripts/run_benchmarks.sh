@@ -62,8 +62,20 @@ trap 'rm -rf "$WORK_DIR"' EXIT
   --benchmark_min_time=0.05s 2>/dev/null ||
   "$BUILD_DIR/bench/ablation_copy_vs_swap" --benchmark_min_time=0.05
 
-# 4) Wrap both machine-readable benches into BENCH_step.json with host
-#    and build metadata.
+# 4) Performance-observatory snapshot: a short counted run emitting the
+#    per-kernel roofline (counter availability included) as JSON. On a
+#    locked-down host this degrades to time-only automatically; the JSON
+#    then simply lacks the counter columns.
+if [[ -x "$BUILD_DIR/examples/lbmib_run" ]]; then
+  "$BUILD_DIR/examples/lbmib_run" --write-default "$WORK_DIR/obs.cfg" \
+    >/dev/null
+  (cd "$WORK_DIR" && "$OLDPWD/$BUILD_DIR/examples/lbmib_run" obs.cfg \
+    --solver cube --steps "$((STEPS * 10))" --perf-counters \
+    --roofline-out roofline.json >/dev/null)
+fi
+
+# 5) Wrap the machine-readable benches (and the roofline snapshot when
+#    present) into BENCH_step.json with host and build metadata.
 {
   printf '{\n'
   printf '  "harness": "scripts/run_benchmarks.sh",\n'
@@ -75,7 +87,14 @@ trap 'rm -rf "$WORK_DIR"' EXIT
   sed 's/^/  /' "$WORK_DIR/solver_comparison.json" | sed '1s/^  //' |
     sed '$s/$/,/'
   printf '  "micro_collide_stream": '
-  sed 's/^/  /' "$WORK_DIR/micro_collide_stream.json" | sed '1s/^  //'
+  if [[ -s "$WORK_DIR/roofline.json" ]]; then
+    sed 's/^/  /' "$WORK_DIR/micro_collide_stream.json" | sed '1s/^  //' |
+      sed '$s/$/,/'
+    printf '  "perf_observatory": '
+    sed 's/^/  /' "$WORK_DIR/roofline.json" | sed '1s/^  //'
+  else
+    sed 's/^/  /' "$WORK_DIR/micro_collide_stream.json" | sed '1s/^  //'
+  fi
   printf '}\n'
 } > BENCH_step.json
 

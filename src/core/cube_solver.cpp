@@ -255,8 +255,13 @@ void CubeSolver::thread_entry(int tid, Index num_steps,
     // --- 5th loop: kernel 9, and reset forces for the next step's
     // spreading (own cubes only, so no synchronization needed) -------------
     {
+      // Under the fused pipeline no distributions are copied here — the
+      // loop only resets forces — so don't record it as copy_df, where
+      // the roofline would charge it the 38-plane copy traffic.
       LBMIB_TRACE_SPAN(obs::SpanCat::kKernel,
-                       kernel_short_name(Kernel::kCopyDistribution));
+                       params_.fused_step
+                           ? "reset_forces"
+                           : kernel_short_name(Kernel::kCopyDistribution));
       auto t0 = Clock::now();
       for (Size cube : my_cubes) {
         if (!params_.fused_step) cube_copy_distributions(grid_, cube);

@@ -4,13 +4,17 @@
 #include <string>
 #include <vector>
 
+#include <sstream>
+
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/timer.hpp"
 #include "lbm/fused.hpp"
 #include "lbm/simd.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/exporters.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 
 namespace lbmib {
 
@@ -104,21 +108,39 @@ void Simulation::enable_watchdog(std::int64_t deadline_ms,
 void Simulation::run(Index num_steps) {
   WallTimer timer;
   CancelScope cancel_scope(&token_);
-  if (health_interval_ <= 0) {
+  const bool live = telemetry_ != nullptr && telemetry_->running();
+  if (health_interval_ <= 0 && !live) {
     solver_->run(num_steps, observer_, observer_interval_);
     update_run_metrics(*solver_, num_steps, timer.seconds());
     return;
   }
-  // Compose the user observer with the periodic health scan. The scan
-  // must not throw: parallel solvers invoke observers from a worker
-  // thread while the rest of the team waits at a barrier, so divergence
-  // is recorded and logged, and callers inspect last_health() (the
-  // ResilientRunner does exactly that between bounded run chunks).
+  // Compose the user observer with the periodic health scan and — when
+  // the telemetry server is live — per-step progress gauges so mid-run
+  // scrapes see movement. The scan must not throw: parallel solvers
+  // invoke observers from a worker thread while the rest of the team
+  // waits at a barrier, so divergence is recorded and logged, and
+  // callers inspect last_health() (the ResilientRunner does exactly
+  // that between bounded run chunks). The gauge updates are relaxed
+  // stores — the only state the server thread reads.
   const Index user_interval = observer_interval_;
-  auto combined = [this, user_interval](Solver& s, Index step) {
+  const double nodes = static_cast<double>(
+      solver_->params().nx * solver_->params().ny * solver_->params().nz);
+  auto combined = [this, user_interval, live, nodes, &timer](
+                      Solver& s, Index step) {
     if (observer_ && (step + 1) % user_interval == 0) observer_(s, step);
-    if ((step + 1) % health_interval_ == 0) {
+    if (live) {
+      obs::metric_current_step().set(static_cast<double>(step + 1));
+      const double elapsed = timer.seconds();
+      if (elapsed > 0.0) {
+        const double sps = static_cast<double>(step + 1) / elapsed;
+        obs::metric_steps_per_sec().set(sps);
+        obs::metric_mlups().set(sps * nodes / 1e6);
+      }
+    }
+    if (health_interval_ > 0 && (step + 1) % health_interval_ == 0) {
       const HealthReport report = monitor_.scan(s);
+      obs::metric_health_status().set(
+          static_cast<double>(static_cast<int>(report.status)));
       if (report.diverged()) {
         obs::metric_health_guard_trips().inc();
         log_warn("health: ", report.to_string());
@@ -145,6 +167,224 @@ void Simulation::write_metrics_prometheus(const std::string& path) const {
 
 void Simulation::write_metrics_csv(const std::string& path) const {
   obs::write_metrics_csv(path);
+}
+
+bool Simulation::enable_perf_counters() {
+  // Counter-enabled runs export self-describing metrics (availability
+  // gauges from start(), build info here) even without the HTTP server.
+  obs::ensure_process_metrics();
+  return obs::PerfCounters::start();
+}
+
+namespace {
+
+/// Profiler bucket -> the span name counters accumulate under, plus
+/// whether the kernel sweeps lattice nodes or fiber points. The fused
+/// pipeline folds streaming into the collision bucket and reduces the
+/// copy bucket to an O(1) swap (no traffic model entry, so it drops
+/// out of the roofline), mirroring sequential_solver.cpp.
+const char* roofline_span_name(Kernel k, bool fused) {
+  switch (k) {
+    case Kernel::kCollision:
+      return fused ? "collide_stream" : "collide";
+    case Kernel::kCopyDistribution:
+      return fused ? "swap_df" : "copy_df";
+    default:
+      return kernel_short_name(k);
+  }
+}
+
+bool is_node_kernel(Kernel k) {
+  switch (k) {
+    case Kernel::kCollision:
+    case Kernel::kStreaming:
+    case Kernel::kUpdateVelocity:
+    case Kernel::kCopyDistribution:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+perfmodel::RooflineReport Simulation::roofline_report() const {
+  const SimulationParams& p = solver_->params();
+  const double steps = static_cast<double>(solver_->steps_completed());
+  const double nodes = static_cast<double>(p.nx) *
+                       static_cast<double>(p.ny) *
+                       static_cast<double>(p.nz);
+  double points = 0.0;
+  for (const FiberSheet& sheet : solver_->structure()) {
+    points += static_cast<double>(sheet.num_nodes());
+  }
+
+  // Seconds of the critical (slowest) thread per kernel: roofline
+  // achieved-GB/s is per-socket traffic over the wall time the kernel
+  // actually gated, and the per-thread max is that wall time under the
+  // barrier-synchronized pipelines.
+  const std::vector<KernelProfiler> per_thread =
+      solver_->per_thread_profiles();
+  std::vector<perfmodel::KernelMeasurement> ms;
+  for (int k = 0; k < kNumKernels; ++k) {
+    const Kernel kernel = static_cast<Kernel>(k);
+    double max_s = 0.0;
+    for (const KernelProfiler& prof : per_thread) {
+      max_s = std::max(max_s, prof.seconds(kernel));
+    }
+    if (max_s <= 0.0) max_s = solver_->profiler().seconds(kernel);
+    perfmodel::KernelMeasurement m;
+    m.name = roofline_span_name(kernel, p.fused_step);
+    m.seconds = max_s;
+    m.units = (is_node_kernel(kernel) ? nodes : points) * steps;
+    ms.push_back(std::move(m));
+  }
+
+  // Join the hardware-counter sums recorded under the same span names.
+  // The dataflow pipeline records under task names the profiler table
+  // does not carry, so append any counter rows the map above missed.
+  for (const obs::KernelCounters& kc : obs::PerfCounters::snapshot()) {
+    perfmodel::KernelMeasurement* row = nullptr;
+    for (perfmodel::KernelMeasurement& m : ms) {
+      if (m.name == kc.name) {
+        row = &m;
+        break;
+      }
+    }
+    if (row == nullptr) {
+      // Span names without a profiler bucket (the dataflow task spans,
+      // the distributed solvers' fused fiber pass). Only modeled names
+      // can be classified, and the traffic table's unit tells whether
+      // the span family sweeps the grid or the structure once per step.
+      const perfmodel::KernelTraffic* traffic =
+          perfmodel::kernel_traffic(kc.name);
+      if (traffic == nullptr) continue;
+      perfmodel::KernelMeasurement extra;
+      extra.name = kc.name;
+      extra.seconds =
+          kc.value[static_cast<int>(obs::PerfEvent::kTaskClock)] / 1e9;
+      extra.units =
+          (std::string("node") == traffic->unit ? nodes : points) * steps;
+      ms.push_back(std::move(extra));
+      row = &ms.back();
+    }
+    row->spans = kc.spans;
+    row->has_counters = true;
+    row->cycles = kc.cycles();
+    row->instructions = kc.instructions();
+    row->llc_references =
+        kc.value[static_cast<int>(obs::PerfEvent::kLlcReferences)];
+    row->llc_misses =
+        kc.value[static_cast<int>(obs::PerfEvent::kLlcMisses)];
+    row->stalled_backend =
+        kc.value[static_cast<int>(obs::PerfEvent::kStalledBackend)];
+    row->dtlb_misses =
+        kc.value[static_cast<int>(obs::PerfEvent::kDtlbMisses)];
+  }
+
+  static const perfmodel::MachinePeaks peaks = [&] {
+    return perfmodel::measure_machine_peaks(p.num_threads);
+  }();
+  perfmodel::RooflineReport report = perfmodel::build_roofline(ms, peaks);
+  report.availability = obs::PerfCounters::availability().to_string();
+  return report;
+}
+
+bool Simulation::start_telemetry(int port) {
+  if (telemetry_ == nullptr) {
+    telemetry_ = std::make_unique<obs::TelemetryServer>();
+  }
+  if (telemetry_->running()) return true;
+  obs::ensure_process_metrics();
+  obs::register_default_endpoints(*telemetry_);
+  // The /status and /healthz builders run on the server thread mid-run;
+  // status_json()/healthz_json() read only atomics, as required by the
+  // TelemetryServer handler contract.
+  telemetry_->handle("/status", [this] {
+    return obs::HttpResponse{200, "application/json", status_json()};
+  });
+  telemetry_->handle("/healthz", [this] {
+    return obs::HttpResponse{200, "application/json", healthz_json()};
+  });
+  return telemetry_->start(port);
+}
+
+void Simulation::stop_telemetry() {
+  if (telemetry_ != nullptr) telemetry_->stop();
+}
+
+std::string Simulation::status_json() const {
+  auto& registry = obs::MetricsRegistry::global();
+  std::ostringstream os;
+  os << "{\n  \"solver\": " << obs::json_escaped(solver_->name())
+     << ",\n  \"step\": "
+     << static_cast<std::int64_t>(obs::metric_current_step().value())
+     << ",\n  \"steps_total\": "
+     << static_cast<std::int64_t>(obs::metric_steps_total().value())
+     << ",\n  \"steps_per_sec\": " << obs::metric_steps_per_sec().value()
+     << ",\n  \"mlups\": " << obs::metric_mlups().value()
+     << ",\n  \"kernel_imbalance\": {";
+  bool first = true;
+  for (int k = 0; k < kNumKernels; ++k) {
+    const char* name = kernel_short_name(static_cast<Kernel>(k));
+    // Registered by update_run_metrics at the end of each run(); zero
+    // mid-first-run. find-or-create keeps this allocation-stable.
+    const double imbalance =
+        registry
+            .gauge(std::string("lbmib_kernel_seconds{kernel=\"") + name +
+                   "\",stat=\"imbalance\"}")
+            .value();
+    os << (first ? "" : ", ") << "\"" << name << "\": " << imbalance;
+    first = false;
+  }
+  os << "}\n}\n";
+  return os.str();
+}
+
+std::string Simulation::healthz_json() const {
+  const std::int64_t now = ProgressBoard::now_ns();
+  std::ostringstream os;
+  const int health =
+      static_cast<int>(obs::metric_health_status().value());
+  const int watchdog_trips =
+      watchdog_ != nullptr ? watchdog_->trips() : 0;
+  os << "{\n  \"status\": "
+     << (watchdog_trips > 0 ? "\"hung\""
+         : health >= 2      ? "\"diverged\""
+         : health == 1      ? "\"warning\""
+                            : "\"ok\"")
+     << ",\n  \"health_code\": " << health
+     << ",\n  \"watchdog_armed\": "
+     << (watchdog_ != nullptr ? "true" : "false")
+     << ",\n  \"watchdog_trips\": " << watchdog_trips
+     << ",\n  \"cancelled\": " << (token_.cancelled() ? "true" : "false")
+     << ",\n  \"threads\": [";
+  bool first = true;
+  for (const auto& t : ProgressBoard::global().snapshot()) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"slot\": " << t.slot << ", \"live\": "
+       << (t.live ? "true" : "false") << ", \"beats\": " << t.beats
+       << ", \"age_ms\": " << (now - t.last_beat_ns) / 1'000'000
+       << ", \"at\": " << obs::json_escaped(std::string(t.what)) << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+std::string Simulation::profile_report() const {
+  std::string report = kernel_report(solver_->profiler(),
+                                     solver_->per_thread_profiles());
+  if (obs::Tracer::active()) {
+    // drain() wants quiescence; between run() calls (the documented
+    // call site) the worker teams have joined.
+    const obs::CriticalPathReport path = obs::attribute_current_session();
+    if (!path.empty()) {
+      report += "\n";
+      report += path.to_string();
+    }
+  }
+  return report;
 }
 
 }  // namespace lbmib

@@ -19,8 +19,10 @@
 #include "core/health.hpp"
 #include "core/solver.hpp"
 #include "core/watchdog.hpp"
+#include "obs/server.hpp"
 #include "obs/trace.hpp"
 #include "parallel/cancel.hpp"
+#include "perfmodel/roofline.hpp"
 
 namespace lbmib {
 
@@ -80,6 +82,35 @@ class Simulation {
   void write_metrics_prometheus(const std::string& path) const;
   void write_metrics_csv(const std::string& path) const;
 
+  /// Start a hardware-counter session (obs::PerfCounters): kernel spans
+  /// of subsequent run() calls accumulate cycles/instructions/LLC-miss
+  /// deltas for the roofline report. Returns false (after one warning)
+  /// when the host grants no perf events — the run continues time-only.
+  bool enable_perf_counters();
+
+  /// Per-kernel roofline: analytic D3Q19 traffic + KernelProfiler
+  /// seconds (+ counter columns when enable_perf_counters() succeeded),
+  /// classified against in-process bandwidth/FLOP peaks. Call after
+  /// run(); probing the peaks takes ~100 ms on first use.
+  perfmodel::RooflineReport roofline_report() const;
+
+  /// Serve live telemetry on 127.0.0.1:`port` (0 = ephemeral): /metrics
+  /// (Prometheus), /healthz (liveness JSON), /status (progress JSON),
+  /// /trace (Chrome JSON). Returns false when the bind fails; the run
+  /// is unaffected either way. The server daemon outlives run() calls
+  /// until stop_telemetry() or destruction.
+  bool start_telemetry(int port);
+  void stop_telemetry();
+  const obs::TelemetryServer* telemetry() const {
+    return telemetry_.get();
+  }
+
+  /// The /status and /healthz documents (also useful without the
+  /// server). Safe to call from any thread mid-run: both read only
+  /// atomics (gauges, progress-board snapshots, watchdog trip counts).
+  std::string status_json() const;
+  std::string healthz_json() const;
+
   Solver& solver() { return *solver_; }
   const Solver& solver() const { return *solver_; }
   FiberSheet& sheet() { return solver_->sheet(); }
@@ -87,11 +118,9 @@ class Simulation {
   Index steps_completed() const { return solver_->steps_completed(); }
 
   /// Per-kernel time table (Table I style) with per-thread min/max and
-  /// imbalance columns when the solver runs more than one thread.
-  std::string profile_report() const {
-    return kernel_report(solver_->profiler(),
-                         solver_->per_thread_profiles());
-  }
+  /// imbalance columns when the solver runs more than one thread; a
+  /// traced run appends the critical-path attribution table.
+  std::string profile_report() const;
 
  private:
   std::unique_ptr<Solver> solver_;
@@ -101,6 +130,7 @@ class Simulation {
   Index health_interval_ = 0;  ///< 0 = health checks disabled
   CancelToken token_;
   std::unique_ptr<Watchdog> watchdog_;
+  std::unique_ptr<obs::TelemetryServer> telemetry_;
 };
 
 }  // namespace lbmib

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/logging.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/exporters.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -133,6 +134,15 @@ std::string Watchdog::build_report(std::int64_t now_ns) const {
   }
   if (const AccessChecker* checker = AccessChecker::live()) {
     os << "access-checker barrier phases:\n" << checker->phase_table();
+  }
+  if (obs::Tracer::active()) {
+    // Where did the time go before the hang? The rings hold the last
+    // ~64k spans per thread; attributing them shows whether the stuck
+    // threads were computing or already parked at a barrier. Best-effort
+    // drain: blocked threads record nothing further, and one in-flight
+    // span can at most perturb one step's numbers.
+    const obs::CriticalPathReport path = obs::attribute_current_session();
+    if (!path.empty()) os << path.to_string();
   }
   os << "metrics snapshot:\n"
      << obs::MetricsRegistry::global().prometheus_text();

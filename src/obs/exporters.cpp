@@ -48,6 +48,14 @@ void write_file(const std::string& path, const std::string& content) {
 
 }  // namespace
 
+std::string json_escaped(const std::string& s) {
+  std::ostringstream os;
+  os << '"';
+  json_escape(os, s);
+  os << '"';
+  return os.str();
+}
+
 std::string chrome_trace_json(
     const std::vector<SpanEvent>& events,
     const std::vector<std::pair<std::uint32_t, std::string>>& names) {

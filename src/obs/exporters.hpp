@@ -28,4 +28,8 @@ void write_chrome_trace(const std::string& path);
 void write_metrics_prometheus(const std::string& path);
 void write_metrics_csv(const std::string& path);
 
+/// `s` as a JSON string literal including the quotes — shared by the
+/// trace exporter and the /status and /healthz endpoint builders.
+std::string json_escaped(const std::string& s);
+
 }  // namespace lbmib::obs

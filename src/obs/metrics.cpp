@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "lbm/simd.hpp"
+#include "obs/trace.hpp"
 
 namespace lbmib::obs {
 
@@ -359,6 +361,58 @@ Gauge& metric_first_touch() {
       "1 when grid buffers were first-touch initialized by the worker "
       "team (NUMA placement), else 0");
   return g;
+}
+
+Gauge& metric_current_step() {
+  static Gauge& g = MetricsRegistry::global().gauge(
+      "lbmib_current_step",
+      "Step index the running simulation most recently completed "
+      "(updated per step so live scrapes see progress)");
+  return g;
+}
+
+Gauge& metric_health_status() {
+  static Gauge& g = MetricsRegistry::global().gauge(
+      "lbmib_health_status",
+      "HealthMonitor verdict of the latest scan: 0 healthy, 1 warning, "
+      "2 diverged");
+  return g;
+}
+
+Counter& metric_telemetry_requests() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "lbmib_telemetry_requests_total",
+      "HTTP requests served by the embedded telemetry endpoint");
+  return c;
+}
+
+void ensure_process_metrics() {
+  // The one-and-only value of an info-style metric is 1; everything
+  // interesting lives in the labels (the Prometheus build_info idiom).
+  static Gauge& info = *[] {
+    std::ostringstream name;
+    name << "lbmib_build_info{isa=\"" << simd::isa_name()
+         << "\",vector_width=\"" << simd::vector_width_doubles()
+         << "\",lane_block=\"" << simd::kLaneBlock << "\",trace=\""
+#if LBMIB_TRACE_ENABLED
+         << "on"
+#else
+         << "off"
+#endif
+         << "\",git=\""
+#if defined(LBMIB_GIT_DESCRIBE)
+         << LBMIB_GIT_DESCRIBE
+#else
+         << "unknown"
+#endif
+         << "\"}";
+    return &MetricsRegistry::global().gauge(
+        name.str(),
+        "Build self-description: vector ISA the kernels compiled for, "
+        "lane-block width, tracing support, git revision");
+  }();
+  info.set(1.0);
+  metric_vector_width().set(simd::vector_width_doubles());
 }
 
 }  // namespace lbmib::obs

@@ -172,5 +172,14 @@ Counter& metric_chaos_faults();
 Gauge& metric_vector_width();
 Gauge& metric_tile_y();
 Gauge& metric_first_touch();
+Gauge& metric_current_step();
+Gauge& metric_health_status();
+Counter& metric_telemetry_requests();
+
+/// Register the process-level self-description metrics (idempotent):
+/// lbmib_build_info{isa=...,fused=...,git=...} = 1 plus the scalar
+/// build gauges — so a Prometheus scrape identifies what binary and
+/// configuration produced it without out-of-band context.
+void ensure_process_metrics();
 
 }  // namespace lbmib::obs

@@ -1,0 +1,402 @@
+#include "obs/perf_counters.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/mutex.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace lbmib::obs {
+
+namespace {
+
+#if defined(__linux__)
+
+/// perf_event_attr for one event of the group; returns false for
+/// events this build does not know how to encode.
+bool fill_attr(PerfEvent e, perf_event_attr& attr) {
+  std::memset(&attr, 0, sizeof attr);
+  attr.size = sizeof attr;
+  attr.disabled = 0;  // counts from open; spans use deltas
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  switch (e) {
+    case PerfEvent::kCycles:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_CPU_CYCLES;
+      return true;
+    case PerfEvent::kInstructions:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_INSTRUCTIONS;
+      return true;
+    case PerfEvent::kLlcReferences:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_CACHE_REFERENCES;
+      return true;
+    case PerfEvent::kLlcMisses:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_CACHE_MISSES;
+      return true;
+    case PerfEvent::kStalledBackend:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_STALLED_CYCLES_BACKEND;
+      return true;
+    case PerfEvent::kDtlbMisses:
+      attr.type = PERF_TYPE_HW_CACHE;
+      attr.config = PERF_COUNT_HW_CACHE_DTLB |
+                    (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                    (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+      return true;
+    case PerfEvent::kTaskClock:
+      attr.type = PERF_TYPE_SOFTWARE;
+      attr.config = PERF_COUNT_SW_TASK_CLOCK;
+      return true;
+    case PerfEvent::kPageFaults:
+      attr.type = PERF_TYPE_SOFTWARE;
+      attr.config = PERF_COUNT_SW_PAGE_FAULTS;
+      return true;
+  }
+  return false;
+}
+
+int open_event(PerfEvent e, int group_fd) {
+  perf_event_attr attr;
+  if (!fill_attr(e, attr)) return -1;
+  return static_cast<int>(
+      syscall(__NR_perf_event_open, &attr, 0, -1, group_fd, 0));
+}
+
+#endif  // __linux__
+
+/// Per-thread counter state: the open group plus the accumulation
+/// slots. Slots are written by the owning thread only and read by
+/// snapshot() with relaxed atomics, following the tracer's ring
+/// pattern (trace.cpp); the registry keeps slots alive past thread
+/// exit via shared_ptr.
+struct ThreadCounters {
+  static constexpr int kMaxKernels = 48;
+
+  struct KernelSlot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::uint64_t> spans{0};
+    std::array<std::atomic<double>, kNumPerfEvents> sum{};
+  };
+
+  // Owner-only fields.
+  bool open_attempted = false;
+  int group_fd = -1;
+  std::vector<int> fds;
+  /// PerfEvent of each value slot in group-read order.
+  std::vector<PerfEvent> event_of_index;
+
+  // Cross-thread-readable fields.
+  std::atomic<std::uint64_t> generation{0};
+  std::atomic<int> n_slots{0};
+  std::array<KernelSlot, kMaxKernels> slots;
+
+  void close_fds() {
+#if defined(__linux__)
+    for (int fd : fds) ::close(fd);
+#endif
+    fds.clear();
+    group_fd = -1;
+    open_attempted = false;
+  }
+};
+
+struct Registry {
+  Mutex mutex;
+  std::vector<std::shared_ptr<ThreadCounters>> threads;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: outlives exiting threads
+  return *r;
+}
+
+std::atomic<std::uint64_t> g_generation{1};
+
+/// Owns the thread-local shared_ptr so thread exit closes the fds
+/// (kernel resources) while the accumulation slots live on in the
+/// registry for snapshot().
+struct ThreadHandle {
+  std::shared_ptr<ThreadCounters> state;
+  ThreadHandle() : state(std::make_shared<ThreadCounters>()) {
+    Registry& r = registry();
+    MutexLock lock(r.mutex);
+    r.threads.push_back(state);
+  }
+  ~ThreadHandle() { state->close_fds(); }
+};
+
+ThreadCounters& local_counters() {
+  thread_local ThreadHandle handle;
+  return *handle.state;
+}
+
+/// Open the calling thread's group: the first grantable event becomes
+/// the leader, later ones join it. Events the probe rejected are not
+/// retried (one failed syscall per event per process, not per thread).
+bool open_group(ThreadCounters& t, const PerfAvailability& av) {
+  if (t.open_attempted) return t.group_fd >= 0;
+  t.open_attempted = true;
+#if defined(__linux__)
+  for (int i = 0; i < kNumPerfEvents; ++i) {
+    if (!av.event[i]) continue;
+    const int fd = open_event(static_cast<PerfEvent>(i), t.group_fd);
+    if (fd < 0) continue;
+    if (t.group_fd < 0) t.group_fd = fd;
+    t.fds.push_back(fd);
+    t.event_of_index.push_back(static_cast<PerfEvent>(i));
+  }
+#else
+  (void)av;
+#endif
+  return t.group_fd >= 0;
+}
+
+bool read_group(ThreadCounters& t, PerfSample& out) {
+#if defined(__linux__)
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, values[].
+  std::uint64_t buf[3 + kNumPerfEvents];
+  const ssize_t want = static_cast<ssize_t>(
+      (3 + t.event_of_index.size()) * sizeof(std::uint64_t));
+  if (::read(t.group_fd, buf, sizeof buf) < want) return false;
+  out.time_enabled = buf[1];
+  out.time_running = buf[2];
+  for (std::size_t i = 0; i < t.event_of_index.size(); ++i) {
+    out.value[static_cast<int>(t.event_of_index[i])] = buf[3 + i];
+  }
+  return true;
+#else
+  (void)t;
+  (void)out;
+  return false;
+#endif
+}
+
+ThreadCounters::KernelSlot* find_or_create_slot(ThreadCounters& t,
+                                                const char* name) {
+  const int n = t.n_slots.load(std::memory_order_relaxed);
+  for (int i = 0; i < n; ++i) {
+    const char* have = t.slots[i].name.load(std::memory_order_relaxed);
+    if (have == name || std::strcmp(have, name) == 0) return &t.slots[i];
+  }
+  if (n >= ThreadCounters::kMaxKernels) return nullptr;  // table full
+  ThreadCounters::KernelSlot& slot = t.slots[n];
+  slot.spans.store(0, std::memory_order_relaxed);
+  for (auto& v : slot.sum) v.store(0.0, std::memory_order_relaxed);
+  slot.name.store(name, std::memory_order_relaxed);
+  // Publish after the slot contents: snapshot() acquires n_slots.
+  t.n_slots.store(n + 1, std::memory_order_release);
+  return &slot;
+}
+
+PerfAvailability probe_availability() {
+  PerfAvailability av;
+#if defined(__linux__)
+  for (int i = 0; i < kNumPerfEvents; ++i) {
+    const int fd = open_event(static_cast<PerfEvent>(i), -1);
+    if (fd >= 0) {
+      av.event[i] = true;
+      av.any = true;
+      ::close(fd);
+    } else if (av.first_error == 0 &&
+               i <= static_cast<int>(PerfEvent::kDtlbMisses)) {
+      av.first_error = errno;
+    }
+  }
+  av.hardware = av.event[static_cast<int>(PerfEvent::kCycles)] &&
+                av.event[static_cast<int>(PerfEvent::kInstructions)];
+#endif
+  return av;
+}
+
+void export_availability_gauges(const PerfAvailability& av) {
+  auto& reg = MetricsRegistry::global();
+  for (int i = 0; i < kNumPerfEvents; ++i) {
+    reg.gauge(std::string("lbmib_perf_event_available{event=\"") +
+                  perf_event_name(static_cast<PerfEvent>(i)) + "\"}",
+              "1 when the host grants this perf_event_open counter, "
+              "0 when the observatory runs without it")
+        .set(av.event[i] ? 1.0 : 0.0);
+  }
+  reg.gauge("lbmib_perf_counters_hardware",
+            "1 when cycles+instructions are grantable (full roofline "
+            "columns), 0 in time-only degradation")
+      .set(av.hardware ? 1.0 : 0.0);
+}
+
+}  // namespace
+
+const char* perf_event_name(PerfEvent e) {
+  switch (e) {
+    case PerfEvent::kCycles:
+      return "cycles";
+    case PerfEvent::kInstructions:
+      return "instructions";
+    case PerfEvent::kLlcReferences:
+      return "llc_references";
+    case PerfEvent::kLlcMisses:
+      return "llc_misses";
+    case PerfEvent::kStalledBackend:
+      return "stalled_backend";
+    case PerfEvent::kDtlbMisses:
+      return "dtlb_misses";
+    case PerfEvent::kTaskClock:
+      return "task_clock";
+    case PerfEvent::kPageFaults:
+      return "page_faults";
+  }
+  return "?";
+}
+
+std::string PerfAvailability::to_string() const {
+  std::ostringstream os;
+  os << (hardware ? "hardware counters available"
+         : any    ? "software counters only"
+                  : "no perf counters");
+  os << " [";
+  bool first = true;
+  for (int i = 0; i < kNumPerfEvents; ++i) {
+    if (!event[i]) continue;
+    if (!first) os << ' ';
+    first = false;
+    os << perf_event_name(static_cast<PerfEvent>(i));
+  }
+  os << ']';
+  if (first_error != 0) {
+    os << " (hardware events: " << std::strerror(first_error) << ")";
+  }
+  return os.str();
+}
+
+std::atomic<bool> PerfCounters::g_active{false};
+
+const PerfAvailability& PerfCounters::availability() {
+  static const PerfAvailability av = probe_availability();
+  return av;
+}
+
+bool PerfCounters::start() {
+  const PerfAvailability& av = availability();
+  export_availability_gauges(av);
+  if (!av.any) {
+    // The single degradation warning the acceptance contract requires:
+    // the run continues time-only with identical exit status.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      log_warn("perf counters unavailable (", av.to_string(),
+               "); continuing with time-only profiling");
+    }
+    return false;
+  }
+  reset();
+  g_active.store(true, std::memory_order_release);
+  log_info("perf counters: ", av.to_string());
+  return true;
+}
+
+void PerfCounters::stop() {
+  g_active.store(false, std::memory_order_release);
+}
+
+void PerfCounters::reset() {
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PerfCounters::begin(PerfSample& out) {
+  out.valid = false;
+  ThreadCounters& t = local_counters();
+  if (!open_group(t, availability())) return;
+  const std::uint64_t gen = g_generation.load(std::memory_order_relaxed);
+  if (t.generation.load(std::memory_order_relaxed) != gen) {
+    // First sampled span of this session on this thread: empty the
+    // accumulation table (owner-only writes; n_slots release-published).
+    t.n_slots.store(0, std::memory_order_release);
+    t.generation.store(gen, std::memory_order_relaxed);
+  }
+  out.valid = read_group(t, out);
+}
+
+void PerfCounters::end(const char* name, const PerfSample& begin) {
+  if (!begin.valid || !active()) return;
+  ThreadCounters& t = local_counters();
+  PerfSample now;
+  if (!read_group(t, now)) return;
+  ThreadCounters::KernelSlot* slot = find_or_create_slot(t, name);
+  if (slot == nullptr) return;
+  // Multiplex correction: scale the delta by enabled/running time, as
+  // perf(1) does when the group was time-shared on the PMU.
+  const std::uint64_t d_enabled = now.time_enabled - begin.time_enabled;
+  const std::uint64_t d_running = now.time_running - begin.time_running;
+  const double scale =
+      (d_running > 0 && d_running < d_enabled)
+          ? static_cast<double>(d_enabled) / static_cast<double>(d_running)
+          : 1.0;
+  for (const PerfEvent e : t.event_of_index) {
+    const int i = static_cast<int>(e);
+    const double delta =
+        static_cast<double>(now.value[i] - begin.value[i]) * scale;
+    auto& sum = slot->sum[i];
+    sum.store(sum.load(std::memory_order_relaxed) + delta,
+              std::memory_order_relaxed);
+  }
+  slot->spans.store(slot->spans.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+}
+
+std::vector<KernelCounters> PerfCounters::snapshot() {
+  const std::uint64_t gen = g_generation.load(std::memory_order_relaxed);
+  std::vector<KernelCounters> out;
+  Registry& r = registry();
+  MutexLock lock(r.mutex);
+  for (const auto& t : r.threads) {
+    if (t->generation.load(std::memory_order_relaxed) != gen) continue;
+    const int n = t->n_slots.load(std::memory_order_acquire);
+    for (int i = 0; i < n; ++i) {
+      const ThreadCounters::KernelSlot& slot = t->slots[i];
+      const char* name = slot.name.load(std::memory_order_relaxed);
+      if (name == nullptr) continue;
+      auto it = std::find_if(out.begin(), out.end(),
+                             [name](const KernelCounters& k) {
+                               return k.name == name;
+                             });
+      if (it == out.end()) {
+        out.emplace_back();
+        it = out.end() - 1;
+        it->name = name;
+      }
+      it->spans += slot.spans.load(std::memory_order_relaxed);
+      for (int e = 0; e < kNumPerfEvents; ++e) {
+        it->value[e] += slot.sum[e].load(std::memory_order_relaxed);
+      }
+    }
+  }
+  const int clock_idx = static_cast<int>(PerfEvent::kTaskClock);
+  std::stable_sort(out.begin(), out.end(),
+                   [clock_idx](const KernelCounters& a,
+                               const KernelCounters& b) {
+                     if (a.cycles() != b.cycles()) {
+                       return a.cycles() > b.cycles();
+                     }
+                     return a.value[clock_idx] > b.value[clock_idx];
+                   });
+  return out;
+}
+
+}  // namespace lbmib::obs

@@ -1,0 +1,104 @@
+// Embedded telemetry HTTP server — the live-scrape leg of the
+// performance observatory (DESIGN.md §18).
+//
+// A deliberately tiny HTTP/1.0-style responder: one daemon thread, a
+// poll(2)-bounded blocking accept loop, one request per connection,
+// GET only. That is all a Prometheus scrape or a curl during a run
+// needs, and it keeps the attack/maintenance surface near zero — which
+// matters because the server binds **loopback only** (127.0.0.1), by
+// design and not configurably: telemetry includes host metadata, and
+// anything beyond same-host scraping should be proxied by
+// infrastructure that owns authentication.
+//
+// Threading contract (PR-9 lint protocols):
+//   * handlers are registered before start() and are called on the
+//     server thread — they must only read atomics/registries that are
+//     safe from any thread (MetricsRegistry instruments, ProgressBoard
+//     snapshots, watchdog trip counts). The /status and /healthz
+//     builders in Simulation honor this by exporting through gauges.
+//   * the accept loop is a daemon like the Watchdog monitor: it keeps
+//     serving /healthz while a hung run is being cancelled, so it does
+//     not poll a CancelToken; shutdown is cooperative via stop(),
+//     which flips the stop flag, closes the listening socket to kick
+//     the poll, and joins — bounded by the 200 ms poll timeout.
+//   * registration and lifecycle are guarded by an lbmib::Mutex; the
+//     hot loop touches it only on lookup (one scrape per seconds —
+//     uncontended).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "parallel/mutex.hpp"
+
+namespace lbmib::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Called on the server thread; must be safe to run concurrently with
+/// solver threads (read atomics, take no solver locks).
+using HttpHandler = std::function<HttpResponse()>;
+
+class TelemetryServer {
+ public:
+  TelemetryServer() = default;
+  ~TelemetryServer();
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Register (or replace) the handler for an exact path ("/metrics").
+  void handle(const std::string& path, HttpHandler handler);
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral, see port()) and start the
+  /// daemon. Returns false with a log_warn when the bind fails (port in
+  /// use, no socket permission) — telemetry is best-effort, the run
+  /// continues unserved.
+  bool start(int port);
+
+  /// Stop and join the daemon (idempotent; dtor calls it).
+  void stop();
+
+  bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// Actual bound port (meaningful while running; ephemeral binds
+  /// report the kernel-assigned port).
+  int port() const { return port_.load(std::memory_order_acquire); }
+  /// Requests served (any path, any status) since start().
+  std::uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void serve_one(int client_fd);
+
+  mutable Mutex mutex_;  // guards handlers_ and lifecycle transitions
+  std::vector<std::pair<std::string, HttpHandler>> handlers_;
+  // Daemon thread, Watchdog-style: must outlive run cancellation to
+  // keep /healthz reachable while a hang unwinds.
+  std::thread server_;  // NOLINT(lbmib-raw-sync) daemon; see file comment
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<int> port_{0};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+/// Register the endpoints that need only the obs layer:
+///   /metrics — Prometheus text of MetricsRegistry::global()
+///   /trace   — Chrome trace JSON of the current tracer session (a
+///              non-destructive drain; 503 when no session is active)
+/// Simulation adds /healthz and /status on top (core-layer state).
+void register_default_endpoints(TelemetryServer& server);
+
+}  // namespace lbmib::obs

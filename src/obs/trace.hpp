@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/perf_counters.hpp"
 
 namespace lbmib::obs {
 
@@ -112,15 +113,27 @@ void record_span(SpanCat cat, const char* name, std::int64_t start_ns,
 
 /// RAII span: records construction-to-destruction as one complete
 /// ("X") event. Near-free when the tracer is stopped.
+///
+/// Kernel-grade spans (kKernel, kTask) double as the sampling points of
+/// the performance observatory: when a PerfCounters session is active,
+/// the ctor/dtor bracket the scope with counter-group reads and the
+/// delta accrues under the span name (perf_counters.hpp). The two
+/// sessions are independent — counters work without a running Tracer
+/// and vice versa; each costs one relaxed load when off.
 class Span {
  public:
   explicit Span(SpanCat cat, const char* name, std::int64_t arg = -1)
-      : name_(nullptr) {
+      : name_(nullptr), perf_name_(nullptr) {
     if (Tracer::active()) {
       name_ = name;
       cat_ = cat;
       arg_ = arg;
       start_ns_ = Tracer::now_ns();
+    }
+    if ((cat == SpanCat::kKernel || cat == SpanCat::kTask) &&
+        PerfCounters::active()) {
+      perf_name_ = name;
+      PerfCounters::begin(sample_);
     }
   }
   ~Span() {
@@ -128,15 +141,20 @@ class Span {
       record_span(cat_, name_, start_ns_, Tracer::now_ns() - start_ns_,
                   arg_);
     }
+    if (perf_name_ != nullptr) {
+      PerfCounters::end(perf_name_, sample_);
+    }
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
  private:
   const char* name_;
+  const char* perf_name_;
   std::int64_t start_ns_ = 0;
   std::int64_t arg_ = -1;
   SpanCat cat_ = SpanCat::kOther;
+  PerfSample sample_;
 };
 
 }  // namespace lbmib::obs

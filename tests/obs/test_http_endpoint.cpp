@@ -1,0 +1,153 @@
+// Telemetry HTTP server tests: loopback scrape of the default
+// endpoints, 404/405 handling, the Simulation-level /healthz and
+// /status builders, and cancel-clean shutdown. Pure std::thread (the
+// server daemon) — rides the `concurrency` label so TSan watches the
+// handler/solver-thread contract.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/params.hpp"
+#include "core/simulation.hpp"
+#include "obs/server.hpp"
+#include "obs/trace.hpp"
+
+namespace lbmib::obs {
+namespace {
+
+/// Minimal HTTP client: one request, read to EOF (the server closes
+/// after each response).
+std::string http_request(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return {};
+  }
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string http_get(int port, const std::string& path) {
+  return http_request(
+      port, "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n");
+}
+
+TEST(HttpEndpoint, ServesHandlersAndErrors) {
+  TelemetryServer server;
+  server.handle("/ping", [] {
+    HttpResponse r;
+    r.body = "pong";
+    return r;
+  });
+  register_default_endpoints(server);
+  if (!server.start(0)) {
+    GTEST_SKIP() << "no loopback sockets on this host";
+  }
+  EXPECT_TRUE(server.running());
+  const int port = server.port();
+  ASSERT_GT(port, 0);
+
+  const std::string ping = http_get(port, "/ping");
+  EXPECT_NE(ping.find("200"), std::string::npos);
+  EXPECT_NE(ping.find("pong"), std::string::npos);
+  EXPECT_NE(ping.find("Content-Length:"), std::string::npos);
+
+  // /metrics serves the global Prometheus registry.
+  const std::string metrics = http_get(port, "/metrics");
+  EXPECT_NE(metrics.find("200"), std::string::npos);
+  EXPECT_NE(metrics.find("lbmib_"), std::string::npos);
+
+  // Query strings are stripped before path lookup.
+  EXPECT_NE(http_get(port, "/ping?x=1").find("pong"),
+            std::string::npos);
+
+  EXPECT_NE(http_get(port, "/nope").find("404"), std::string::npos);
+  EXPECT_NE(http_request(port,
+                         "POST /ping HTTP/1.1\r\nHost: x\r\n\r\n")
+                .find("405"),
+            std::string::npos);
+
+  EXPECT_GE(server.requests(), 5u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+}
+
+TEST(HttpEndpoint, TraceEndpointReports503WithoutASession) {
+  Tracer::stop();  // make sure no session is active
+  TelemetryServer server;
+  register_default_endpoints(server);
+  if (!server.start(0)) {
+    GTEST_SKIP() << "no loopback sockets on this host";
+  }
+  EXPECT_NE(http_get(server.port(), "/trace").find("503"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(HttpEndpoint, RebindsAfterStopAndSurvivesPortCollision) {
+  TelemetryServer a;
+  if (!a.start(0)) {
+    GTEST_SKIP() << "no loopback sockets on this host";
+  }
+  const int port = a.port();
+
+  // Second server on the same port: bind fails, start() reports it,
+  // the process carries on — telemetry is best-effort.
+  TelemetryServer b;
+  EXPECT_FALSE(b.start(port));
+  EXPECT_FALSE(b.running());
+
+  a.stop();
+  // The port is free again (SO_REUSEADDR): a fresh server can claim it.
+  TelemetryServer c;
+  EXPECT_TRUE(c.start(port));
+  EXPECT_EQ(c.port(), port);
+  c.stop();
+}
+
+TEST(HttpEndpoint, SimulationServesHealthAndStatus) {
+  SimulationParams params = presets::tiny();
+  Simulation sim(SolverKind::kSequential, params);
+  if (!sim.start_telemetry(0)) {
+    GTEST_SKIP() << "no loopback sockets on this host";
+  }
+  ASSERT_NE(sim.telemetry(), nullptr);
+  const int port = sim.telemetry()->port();
+
+  sim.run(2);
+
+  const std::string health = http_get(port, "/healthz");
+  EXPECT_NE(health.find("200"), std::string::npos);
+  EXPECT_NE(health.find("\"status\""), std::string::npos);
+  EXPECT_NE(health.find("\"watchdog_armed\""), std::string::npos);
+
+  const std::string status = http_get(port, "/status");
+  EXPECT_NE(status.find("\"solver\""), std::string::npos);
+  EXPECT_NE(status.find("\"step\""), std::string::npos);
+
+  sim.stop_telemetry();
+  EXPECT_FALSE(sim.telemetry()->running());
+}
+
+}  // namespace
+}  // namespace lbmib::obs
